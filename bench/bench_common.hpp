@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace ps::bench {
+
+/// Compile a bundled module or abort.
+inline CompileResult compile(const char* source, CompileOptions options = {}) {
+  Compiler compiler(options);
+  CompileResult result = compiler.compile(source);
+  if (!result.ok || !result.primary) {
+    fprintf(stderr, "bench: compilation failed:\n%s\n",
+            result.diagnostics.c_str());
+    abort();
+  }
+  return result;
+}
+
+/// Fill every (non-scalar) input of an interpreter with a deterministic
+/// pattern.
+inline void fill_inputs(Interpreter& interp, const CheckedModule& module) {
+  for (const DataItem& item : module.data) {
+    if (item.cls != DataClass::Input || item.is_scalar()) continue;
+    auto span = interp.array(item.name).raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = std::sin(static_cast<double>(i) * 0.37) * 4.0;
+  }
+}
+
+/// Checksum of an output array (keeps the optimiser honest).
+inline double checksum(const Interpreter& interp, const char* name) {
+  double sum = 0;
+  auto span = interp.array(name).raw();
+  for (double v : span) sum += v;
+  return sum;
+}
+
+}  // namespace ps::bench

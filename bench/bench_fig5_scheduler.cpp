@@ -1,0 +1,94 @@
+// Figure 5: the component graph and per-component flowcharts of the
+// Relaxation module, plus Figure 6 (its full flowchart).
+//
+// Prints both tables, then benchmarks the scheduling phase itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/scheduler.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+void print_figures() {
+  auto result = ps::bench::compile(ps::kRelaxationSource);
+  const ps::CompiledModule& stage = *result.primary;
+
+  printf("=== Figure 5: component graph and corresponding flowchart ===\n");
+  ps::TextTable table({"Component", "Node(s)", "Flowchart"});
+  for (size_t i = 0; i < stage.schedule.components.size(); ++i) {
+    const auto& comp = stage.schedule.components[i];
+    std::string names;
+    for (size_t j = 0; j < comp.nodes.size(); ++j) {
+      if (j) names += ", ";
+      names += stage.graph->node(comp.nodes[j]).name;
+    }
+    table.add_row({std::to_string(i + 1), names,
+                   ps::flowchart_to_line(comp.flowchart, *stage.graph)});
+  }
+  printf("%s\n", table.render().c_str());
+
+  printf("=== Figure 6: flowchart for the Relaxation module ===\n%s\n",
+         ps::flowchart_to_string(stage.schedule.flowchart, *stage.graph)
+             .c_str());
+
+  printf("=== Virtual dimensions (section 3.4) ===\n");
+  for (const auto& [name, dims] : stage.schedule.virtual_dims) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (!dims[d].is_virtual) continue;
+      printf("  %s dimension %zu: virtual, window %lld\n", name.c_str(),
+             d + 1, static_cast<long long>(dims[d].window));
+    }
+  }
+  printf("\n");
+}
+
+void BM_ScheduleRelaxation(benchmark::State& state) {
+  auto result = ps::bench::compile(ps::kRelaxationSource);
+  const ps::DepGraph& graph = *result.primary->graph;
+  for (auto _ : state) {
+    ps::Scheduler scheduler(graph);
+    auto schedule = scheduler.run();
+    benchmark::DoNotOptimize(schedule.ok);
+  }
+}
+BENCHMARK(BM_ScheduleRelaxation);
+
+void BM_ScheduleSyntheticChain(benchmark::State& state) {
+  // A pipeline of n pointwise stages: scheduling is near-linear in the
+  // number of equations.
+  int64_t n = state.range(0);
+  std::ostringstream os;
+  os << "Gen: module (x: array[I] of real; n: int): [y: array[I] of real];\n"
+     << "type I = 0 .. n;\nvar\n";
+  for (int64_t i = 0; i < n; ++i)
+    os << "  a" << i << ": array [I] of real;\n";
+  os << "define\n";
+  for (int64_t i = 0; i < n; ++i) {
+    std::string prev = i == 0 ? "x" : "a" + std::to_string(i - 1);
+    os << "  a" << i << "[I] = " << prev << "[I] + 1.0;\n";
+  }
+  os << "  y[I] = a" << (n - 1) << "[I];\nend Gen;\n";
+  auto result = ps::bench::compile(os.str().c_str());
+  const ps::DepGraph& graph = *result.primary->graph;
+  for (auto _ : state) {
+    ps::Scheduler scheduler(graph);
+    auto schedule = scheduler.run();
+    benchmark::DoNotOptimize(schedule.ok);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ScheduleSyntheticChain)->Range(4, 256)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

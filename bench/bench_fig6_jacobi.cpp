@@ -1,0 +1,74 @@
+// Figure 6 (performance shape): executing the Jacobi flowchart.
+//
+// The paper's DOALL annotations promise loop-level parallelism on a MIMD
+// machine; here the schedule's DOALL loops run on the thread pool and we
+// measure the speedup over the same schedule executed sequentially
+// (honor_doall = false), across grid sizes and thread counts. The shape
+// to observe: near-linear scaling for large grids, overhead-dominated
+// behaviour for tiny ones.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using ps::bench::compile;
+using ps::bench::fill_inputs;
+
+void print_figure() {
+  auto result = compile(ps::kRelaxationSource);
+  printf("=== Figure 6 schedule under benchmark ===\n%s\n",
+         ps::flowchart_to_string(result.primary->schedule.flowchart,
+                                 *result.primary->graph)
+             .c_str());
+}
+
+/// args: {M, threads}; threads == 0 means the sequential baseline.
+void BM_JacobiSchedule(benchmark::State& state) {
+  auto result = compile(ps::kRelaxationSource);
+  const ps::CompiledModule& stage = *result.primary;
+  int64_t m = state.range(0);
+  int64_t threads = state.range(1);
+  int64_t sweeps = 8;
+
+  std::unique_ptr<ps::ThreadPool> pool;
+  ps::InterpreterOptions options;
+  if (threads > 0) {
+    pool = std::make_unique<ps::ThreadPool>(static_cast<size_t>(threads));
+    options.pool = pool.get();
+  } else {
+    options.honor_doall = false;
+  }
+  options.use_virtual_windows = true;
+  options.virtual_dims = &stage.schedule.virtual_dims;
+
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_inputs(interp, *stage.module);
+
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+  state.counters["points"] = benchmark::Counter(
+      static_cast<double>(m * m * sweeps),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_JacobiSchedule)
+    ->ArgsProduct({{32, 128, 384}, {0, 1, 2, 4, 8, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

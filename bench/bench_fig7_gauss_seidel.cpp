@@ -1,0 +1,112 @@
+// Figure 7 + section 4 (the paper's headline result, performance shape):
+//
+//   * the revised relaxation schedules fully iteratively
+//     (DO K (DO I (DO J))) -- Figure 7;
+//   * after the hyperplane transform (K' = 2K + I + J; I' = K; J' = I)
+//     the rescheduled module has DOALL inner loops, the same shape as
+//     Figure 6;
+//   * executing both, the transformed wavefront beats the sequential
+//     original once the grid is large enough to amortise the bounding-box
+//     and synchronisation overheads -- who wins and where the crossover
+//     falls is the reproduction target, not absolute numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using ps::bench::compile;
+using ps::bench::fill_inputs;
+
+ps::CompileResult& transformed() {
+  static ps::CompileResult result = [] {
+    ps::CompileOptions options;
+    options.apply_hyperplane = true;
+    return compile(ps::kGaussSeidelSource, options);
+  }();
+  return result;
+}
+
+void print_figure() {
+  auto& result = transformed();
+  printf("=== Figure 7: flowchart with revised eq.3 ===\n%s\n",
+         ps::flowchart_to_string(result.primary->schedule.flowchart,
+                                 *result.primary->graph)
+             .c_str());
+  printf("=== Section 4 transform ===\n%s\n",
+         result.transform->describe().c_str());
+  printf("=== Rescheduled transformed module (shape of Figure 6) ===\n%s\n",
+         ps::flowchart_to_string(result.transformed->schedule.flowchart,
+                                 *result.transformed->graph)
+             .c_str());
+}
+
+/// Sequential execution of the iterative Gauss-Seidel schedule.
+void BM_GaussSeidelSequential(benchmark::State& state) {
+  auto& result = transformed();
+  const ps::CompiledModule& stage = *result.primary;
+  int64_t m = state.range(0);
+  int64_t sweeps = std::max<int64_t>(4, m / 2);
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", m}, {"maxK", sweeps}});
+  fill_inputs(interp, *stage.module);
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+}
+BENCHMARK(BM_GaussSeidelSequential)
+    ->Arg(32)
+    ->Arg(96)
+    ->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+/// The hyperplane-transformed module: outer DO over hyperplanes, DOALL
+/// inner loops on the pool. threads == 0: transformed but sequential
+/// (isolates the bounding-box overhead from the parallel win).
+void BM_GaussSeidelHyperplane(benchmark::State& state) {
+  auto& result = transformed();
+  const ps::CompiledModule& stage = *result.transformed;
+  int64_t m = state.range(0);
+  int64_t threads = state.range(1);
+  // Hyperplane slabs are maxK x (M+2) points; scale the sweep count with
+  // the grid so the parallelism (and the crossover) is visible.
+  int64_t sweeps = std::max<int64_t>(4, m / 2);
+
+  std::unique_ptr<ps::ThreadPool> pool;
+  ps::InterpreterOptions options;
+  if (threads > 0) {
+    pool = std::make_unique<ps::ThreadPool>(static_cast<size_t>(threads));
+    options.pool = pool.get();
+  } else {
+    options.honor_doall = false;
+  }
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_inputs(interp, *stage.module);
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+}
+BENCHMARK(BM_GaussSeidelHyperplane)
+    ->ArgsProduct({{32, 96, 160}, {0, 4, 8, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

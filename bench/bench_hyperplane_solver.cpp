@@ -1,0 +1,98 @@
+// Section 4 machinery: the least-time-function solver and the unimodular
+// completion, on the paper's instance and on synthetic dependence sets of
+// growing dimension/count.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "support/matrix.hpp"
+#include "transform/time_function.hpp"
+
+namespace {
+
+std::vector<std::vector<int64_t>> paper_deps() {
+  return {{1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 0, -1}, {1, -1, 0}};
+}
+
+void print_derivation() {
+  printf("=== Section 4: dependence inequalities and their solution ===\n");
+  printf("dependences: (1,0,0) (0,0,1) (0,1,0) (1,0,-1) (1,-1,0)\n");
+  auto t = ps::solve_time_function(paper_deps());
+  printf("least time function: t = %lldK + %lldI + %lldJ  (paper: 2K+I+J)\n",
+         static_cast<long long>((*t)[0]), static_cast<long long>((*t)[1]),
+         static_cast<long long>((*t)[2]));
+  auto m = ps::unimodular_completion(*t);
+  printf("unimodular completion T =\n%s\n", m->to_string().c_str());
+  auto inv = m->integer_inverse();
+  printf("T^-1 =\n%s\n\n", inv->to_string().c_str());
+}
+
+void BM_SolvePaperInstance(benchmark::State& state) {
+  auto deps = paper_deps();
+  for (auto _ : state) {
+    auto t = ps::solve_time_function(deps);
+    benchmark::DoNotOptimize(t.has_value());
+  }
+}
+BENCHMARK(BM_SolvePaperInstance);
+
+/// Random feasible dependence sets: all vectors lexicographically
+/// positive, components in [-2, 2]. args: {dims, count}.
+void BM_SolveRandomFeasible(benchmark::State& state) {
+  size_t dims = static_cast<size_t>(state.range(0));
+  size_t count = static_cast<size_t>(state.range(1));
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int64_t> comp(-2, 2);
+  std::vector<std::vector<std::vector<int64_t>>> instances;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::vector<int64_t>> deps;
+    while (deps.size() < count) {
+      std::vector<int64_t> d(dims);
+      for (auto& v : d) v = comp(rng);
+      // Keep lexicographically positive vectors: a feasible instance.
+      auto it = std::find_if(d.begin(), d.end(),
+                             [](int64_t v) { return v != 0; });
+      if (it == d.end() || *it < 0) continue;
+      deps.push_back(std::move(d));
+    }
+    instances.push_back(std::move(deps));
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    auto t = ps::solve_time_function(instances[next]);
+    benchmark::DoNotOptimize(t.has_value());
+    next = (next + 1) % instances.size();
+  }
+}
+BENCHMARK(BM_SolveRandomFeasible)
+    ->ArgsProduct({{2, 3, 4}, {2, 8, 32}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UnimodularCompletion(benchmark::State& state) {
+  std::vector<int64_t> row{2, 1, 1};
+  for (auto _ : state) {
+    auto m = ps::unimodular_completion(row);
+    benchmark::DoNotOptimize(m.has_value());
+  }
+}
+BENCHMARK(BM_UnimodularCompletion);
+
+void BM_GcdCompletionFallback(benchmark::State& state) {
+  std::vector<int64_t> row{6, 10, 15};  // gcd 1, no unit coefficient
+  for (auto _ : state) {
+    auto m = ps::unimodular_completion(row);
+    benchmark::DoNotOptimize(m.has_value());
+  }
+}
+BENCHMARK(BM_GcdCompletionFallback);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_derivation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

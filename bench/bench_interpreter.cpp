@@ -1,0 +1,66 @@
+// Runtime-engine ablations (design choices called out in DESIGN.md):
+//   * bytecode VM vs the tree-walking reference evaluator;
+//   * collapsing perfectly nested DOALL loops vs honouring the nest
+//     shape (the hyperplane slab needs the collapse to expose more than
+//     maxK-way parallelism).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using ps::bench::compile;
+using ps::bench::fill_inputs;
+
+/// args: {engine: 0 = bytecode, 1 = tree-walk}.
+void BM_EngineAblationJacobi(benchmark::State& state) {
+  auto result = compile(ps::kRelaxationSource);
+  const ps::CompiledModule& stage = *result.primary;
+  ps::InterpreterOptions options;
+  options.engine = state.range(0) == 0 ? ps::EvalEngine::Bytecode
+                                       : ps::EvalEngine::TreeWalk;
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", 128}, {"maxK", 8}}, {}, options);
+  fill_inputs(interp, *stage.module);
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+}
+BENCHMARK(BM_EngineAblationJacobi)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// args: {collapse: 1/0} on the hyperplane-transformed Gauss-Seidel.
+void BM_CollapseAblationWavefront(benchmark::State& state) {
+  ps::CompileOptions copts;
+  copts.apply_hyperplane = true;
+  auto result = compile(ps::kGaussSeidelSource, copts);
+  const ps::CompiledModule& stage = *result.transformed;
+  ps::ThreadPool pool(16);
+  ps::InterpreterOptions options;
+  options.pool = &pool;
+  options.collapse_doall = state.range(0) != 0;
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", 96}, {"maxK", 48}}, {}, options);
+  fill_inputs(interp, *stage.module);
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+}
+BENCHMARK(BM_CollapseAblationWavefront)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

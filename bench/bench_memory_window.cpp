@@ -1,0 +1,85 @@
+// Section 3.4 / section 4 (memory): virtual dimensions.
+//
+// Prints the allocation comparison the paper makes -- the Jacobi A needs
+// a window of 2 grids instead of maxK grids; the transformed A' needs
+// 3 x maxK x M elements (window 3 over hyperplanes) versus the iterative
+// version's 2 x M x M -- then benchmarks execution with and without
+// windowed storage (the shape: windowing does not slow execution and
+// shrinks footprint dramatically as maxK grows).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using ps::bench::compile;
+using ps::bench::fill_inputs;
+
+void print_table() {
+  auto result = compile(ps::kRelaxationSource);
+  const auto& vd = result.primary->schedule.virtual_dims.at("A");
+  printf("=== Section 3.4: virtual dimension of A ===\n");
+  printf("dimension 1 virtual: %s, window %lld (paper: window two)\n",
+         vd[0].is_virtual ? "yes" : "no",
+         static_cast<long long>(vd[0].window));
+
+  ps::CompileOptions options;
+  options.apply_hyperplane = true;
+  auto gs = compile(ps::kGaussSeidelSource, options);
+  const auto& tvd = gs.transformed->schedule.virtual_dims.at("A'");
+  printf("transformed A' dimension 1 window (within recurrence): %lld "
+         "(paper: three)\n\n",
+         static_cast<long long>(tvd[0].component_window));
+
+  printf("allocation for M x M grids, maxK sweeps (doubles):\n");
+  printf("%8s %8s %16s %16s %16s\n", "M", "maxK", "A full", "A window 2",
+         "A' window 3 (3*maxK*M)");
+  for (long m : {64L, 256L}) {
+    for (long k : {8L, 64L, 512L}) {
+      long full = k * (m + 2) * (m + 2);
+      long window2 = 2 * (m + 2) * (m + 2);
+      long window3 = 3 * k * m;  // the paper's 3 x maxK x M figure
+      printf("%8ld %8ld %16ld %16ld %16ld\n", m, k, full, window2, window3);
+    }
+  }
+  printf("\n");
+}
+
+/// args: {M, maxK, windowed}.
+void BM_JacobiStorage(benchmark::State& state) {
+  auto result = compile(ps::kRelaxationSource);
+  const ps::CompiledModule& stage = *result.primary;
+  int64_t m = state.range(0);
+  int64_t sweeps = state.range(1);
+  bool windowed = state.range(2) != 0;
+
+  ps::InterpreterOptions options;
+  options.use_virtual_windows = windowed;
+  options.virtual_dims = &stage.schedule.virtual_dims;
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_inputs(interp, *stage.module);
+  for (auto _ : state) {
+    interp.reset();
+    interp.run();
+    benchmark::DoNotOptimize(ps::bench::checksum(interp, "newA"));
+  }
+  state.counters["alloc_doubles"] = benchmark::Counter(
+      static_cast<double>(interp.allocated_doubles()));
+}
+BENCHMARK(BM_JacobiStorage)
+    ->ArgsProduct({{64, 128}, {8, 32}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Compiler-throughput benchmarks: the full pipeline (parse -> sema ->
+// graph -> schedule -> C emission) on the paper's modules and on
+// synthetic programs of growing size, plus the loop-merge ablation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void BM_CompileRelaxation(benchmark::State& state) {
+  ps::Compiler compiler;
+  for (auto _ : state) {
+    auto result = compiler.compile(ps::kRelaxationSource);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_CompileRelaxation)->Unit(benchmark::kMicrosecond);
+
+void BM_CompileWithHyperplane(benchmark::State& state) {
+  ps::CompileOptions options;
+  options.apply_hyperplane = true;
+  ps::Compiler compiler(options);
+  for (auto _ : state) {
+    auto result = compiler.compile(ps::kGaussSeidelSource);
+    benchmark::DoNotOptimize(result.transformed.has_value());
+  }
+}
+BENCHMARK(BM_CompileWithHyperplane)->Unit(benchmark::kMicrosecond);
+
+std::string synthetic_module(int64_t stages) {
+  std::ostringstream os;
+  os << "Gen: module (x: array[I] of real; n: int; s: int): "
+        "[y: array[I] of real];\n"
+     << "type T = 1 .. s; I = 0 .. n;\nvar\n";
+  for (int64_t i = 0; i < stages; ++i) {
+    if (i % 3 == 2)
+      os << "  a" << i << ": array [T] of array [I] of real;\n";
+    else
+      os << "  a" << i << ": array [I] of real;\n";
+  }
+  os << "define\n";
+  // Stage i is a time recurrence iff i % 3 == 2 (matching the var
+  // declarations above); reading a recurrence stage takes its last slice.
+  auto value_of = [](int64_t i) {
+    return i % 3 == 2 ? "a" + std::to_string(i) + "[s, I]"
+                      : "a" + std::to_string(i) + "[I]";
+  };
+  for (int64_t i = 0; i < stages; ++i) {
+    std::string prev = i == 0 ? "x[I]" : value_of(i - 1);
+    if (i % 3 == 2) {
+      os << "  a" << i << "[T, I] = if T = 1 then " << prev << " else a" << i
+         << "[T-1, I] * 0.5;\n";
+    } else {
+      os << "  a" << i << "[I] = " << prev << " + 1.0;\n";
+    }
+  }
+  os << "  y[I] = " << value_of(stages - 1) << ";\nend Gen;\n";
+  return os.str();
+}
+
+void BM_CompileSynthetic(benchmark::State& state) {
+  std::string source = synthetic_module(state.range(0));
+  // Validate once.
+  {
+    ps::Compiler compiler;
+    auto result = compiler.compile(source);
+    if (!result.ok) {
+      state.SkipWithError(("synthetic module failed: " +
+                           result.diagnostics).c_str());
+      return;
+    }
+  }
+  ps::Compiler compiler;
+  for (auto _ : state) {
+    auto result = compiler.compile(source);
+    benchmark::DoNotOptimize(result.ok);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileSynthetic)->Range(4, 128)->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LoopMergeAblation(benchmark::State& state) {
+  bool merge = state.range(0) != 0;
+  ps::CompileOptions options;
+  options.merge_loops = merge;
+  ps::Compiler compiler(options);
+  std::string source = synthetic_module(64);
+  for (auto _ : state) {
+    auto result = compiler.compile(source);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_LoopMergeAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// A domain beyond relaxation: dynamic programming. Edit distance is the
+// textbook "seemingly iterative" computation -- c[I,J] depends on
+// c[I-1,J], c[I,J-1] and c[I-1,J-1], so the paper's scheduler makes both
+// loops DO. The hyperplane transform finds t = I + J and turns the table
+// fill into anti-diagonal wavefronts with a DOALL inner loop, while the
+// result is checked against a plain C++ DP implementation.
+//
+//   $ ./examples/dp_wavefront [n] [m]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace {
+
+const char* kEditDistance = R"PS(
+Edit: module (a: array[1 .. n] of int; b: array[1 .. m] of int;
+              n: int; m: int):
+  [dist: int];
+type I = 0 .. n; J = 0 .. m;
+var c: array [I, J] of int;
+define
+  c[I, J] = if I = 0 then J
+            else if J = 0 then I
+            else min(min(c[I-1, J] + 1, c[I, J-1] + 1),
+                     c[I-1, J-1] + (if a[I] = b[J] then 0 else 1));
+  dist = c[n, m];
+end Edit;
+)PS";
+
+int reference_edit_distance(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  std::vector<std::vector<int>> c(a.size() + 1,
+                                  std::vector<int>(b.size() + 1));
+  for (size_t i = 0; i <= a.size(); ++i) c[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= b.size(); ++j) c[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i)
+    for (size_t j = 1; j <= b.size(); ++j)
+      c[i][j] = std::min({c[i - 1][j] + 1, c[i][j - 1] + 1,
+                          c[i - 1][j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+  return c[a.size()][b.size()];
+}
+
+double run_and_time(const ps::CompiledModule& stage, int64_t n, int64_t m,
+                    const std::vector<int>& a, const std::vector<int>& b,
+                    ps::ThreadPool* pool, double* result) {
+  ps::InterpreterOptions options;
+  options.pool = pool;
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"n", n}, {"m", m}}, {}, options);
+  for (int64_t i = 1; i <= n; ++i)
+    interp.array("a").set(std::vector<int64_t>{i},
+                          static_cast<double>(a[static_cast<size_t>(i - 1)]));
+  for (int64_t j = 1; j <= m; ++j)
+    interp.array("b").set(std::vector<int64_t>{j},
+                          static_cast<double>(b[static_cast<size_t>(j - 1)]));
+  auto start = std::chrono::steady_clock::now();
+  interp.run();
+  auto stop = std::chrono::steady_clock::now();
+  *result = interp.scalar("dist");
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 600;
+  int64_t m = argc > 2 ? std::atoll(argv[2]) : 600;
+
+  ps::CompileOptions options;
+  options.apply_hyperplane = true;
+  ps::Compiler compiler(options);
+  ps::CompileResult result = compiler.compile(kEditDistance);
+  if (!result.ok || !result.transformed) {
+    fprintf(stderr, "%s", result.diagnostics.c_str());
+    return 1;
+  }
+
+  printf("== Edit-distance schedule (both loops iterative) ==\n%s\n",
+         ps::flowchart_to_string(result.primary->schedule.flowchart,
+                                 *result.primary->graph)
+             .c_str());
+  printf("== Hyperplane: %s ==\n\n", result.transform->describe().c_str());
+  printf("== Wavefront schedule ==\n%s\n",
+         ps::flowchart_to_string(result.transformed->schedule.flowchart,
+                                 *result.transformed->graph)
+             .c_str());
+
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> sym(0, 3);
+  std::vector<int> a(static_cast<size_t>(n));
+  std::vector<int> b(static_cast<size_t>(m));
+  for (int& v : a) v = sym(rng);
+  for (int& v : b) v = sym(rng);
+  int expected = reference_edit_distance(a, b);
+
+  double d_seq = 0;
+  double d_par = 0;
+  double t_seq = run_and_time(*result.primary, n, m, a, b, nullptr, &d_seq);
+  double t_par = run_and_time(*result.transformed, n, m, a, b,
+                              &ps::ThreadPool::global(), &d_par);
+
+  printf("== Results (n = %lld, m = %lld) ==\n", static_cast<long long>(n),
+         static_cast<long long>(m));
+  printf("  reference C++ DP        : distance %d\n", expected);
+  printf("  sequential PS schedule  : distance %.0f  in %8.2f ms\n", d_seq,
+         t_seq);
+  printf("  wavefront PS schedule   : distance %.0f  in %8.2f ms (%zu "
+         "threads)\n",
+         d_par, t_par, ps::ThreadPool::global().size());
+  printf("  wavefront speedup       : %.2fx\n", t_seq / t_par);
+  if (t_par > t_seq)
+    printf("  (the DP body is a handful of integer ops, so at this size the\n"
+           "   per-diagonal barriers dominate; try n = m = 3000 to see the\n"
+           "   wavefront win -- the crossover is the point of the bench)\n");
+
+  if (static_cast<int>(d_seq) != expected ||
+      static_cast<int>(d_par) != expected) {
+    fprintf(stderr, "DISTANCE MISMATCH\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// A domain example beyond the paper's relaxation: 1-D explicit heat
+// diffusion written as a PS module, compiled, scheduled (outer DO over
+// time with a DOALL space loop, window-2 storage), executed in parallel,
+// and compared against an analytically-motivated sanity check (heat is
+// conserved away from the boundary and the profile flattens).
+//
+//   $ ./examples/heat_equation [N] [steps]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/interpreter.hpp"
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 64;
+  int64_t steps = argc > 2 ? std::atoll(argv[2]) : 200;
+
+  ps::Compiler compiler;
+  ps::CompileResult result = compiler.compile(ps::kHeat1dSource);
+  if (!result.ok) {
+    fprintf(stderr, "%s", result.diagnostics.c_str());
+    return 1;
+  }
+  const ps::CompiledModule& stage = *result.primary;
+
+  printf("== Heat1d schedule ==\n%s\n",
+         ps::flowchart_to_string(stage.schedule.flowchart, *stage.graph)
+             .c_str());
+  const auto& vd = stage.schedule.virtual_dims.at("u");
+  printf("u dimension 1: %s, window %lld -- only two time slices are ever "
+         "allocated\n\n",
+         vd[0].is_virtual ? "virtual" : "not virtual",
+         static_cast<long long>(vd[0].window));
+
+  ps::InterpreterOptions options;
+  options.pool = &ps::ThreadPool::global();
+  options.use_virtual_windows = true;
+  options.virtual_dims = &stage.schedule.virtual_dims;
+  ps::Interpreter interp(*stage.module, *stage.graph,
+                         stage.schedule.flowchart,
+                         ps::IntEnv{{"N", n}, {"steps", steps}},
+                         {{"r", 0.24}}, options);
+
+  // Initial condition: a box of heat in the middle third.
+  ps::NdArray& u0 = interp.array("u0");
+  double total0 = 0;
+  for (int64_t x = 0; x <= n + 1; ++x) {
+    double v = (x > n / 3 && x < 2 * n / 3) ? 90.0 : 0.0;
+    u0.set(std::vector<int64_t>{x}, v);
+    if (x >= 1 && x <= n) total0 += v;
+  }
+
+  interp.run();
+
+  // Report: coarse ASCII profile plus conservation check.
+  printf("== Final profile after %lld steps ==\n",
+         static_cast<long long>(steps));
+  double total1 = 0;
+  double peak = 0;
+  for (int64_t x = 1; x <= n; ++x) {
+    double v = interp.array("uOut").at(std::vector<int64_t>{x});
+    total1 += v;
+    peak = std::max(peak, v);
+  }
+  for (int64_t x = 1; x <= n; ++x) {
+    double v = interp.array("uOut").at(std::vector<int64_t>{x});
+    int bars = peak > 0 ? static_cast<int>(v / peak * 50) : 0;
+    printf("%4lld |", static_cast<long long>(x));
+    for (int b = 0; b < bars; ++b) printf("#");
+    printf("\n");
+  }
+  printf("\ninterior heat: initial %.3f, final %.3f (loss through the "
+         "fixed-0 boundary only)\n",
+         total0, total1);
+  if (total1 > total0 + 1e-9) {
+    fprintf(stderr, "heat was created -- schedule bug\n");
+    return 1;
+  }
+  printf("allocated %zu doubles (windowed)\n", interp.allocated_doubles());
+  return 0;
+}

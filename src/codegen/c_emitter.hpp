@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flowchart.hpp"
+#include "core/scheduler.hpp"
+#include "graph/depgraph.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+struct CodegenOptions {
+  /// Emit `#pragma omp parallel for` above DOALL loops (every loop is
+  /// also annotated with a `/* DO */` / `/* DOALL */` comment, matching
+  /// the paper's "each loop is annotated to indicate whether it is an
+  /// iterative or concurrent for").
+  bool emit_openmp = true;
+  /// Allocate windowed storage for local dimensions the sound
+  /// virtual-dimension analysis marked virtual, indexing them modulo the
+  /// window (section 3.4's memory reuse).
+  bool use_virtual_windows = true;
+  const std::map<std::string, std::vector<VirtualDim>>* virtual_dims = nullptr;
+  /// C function name; defaults to the sanitised module name.
+  std::string function_name;
+  /// Exact non-rectangular loop bounds (Lamport [10]) for the hyperplane-
+  /// transformed iteration space: loops whose variable has a level here
+  /// are emitted with max-of-ceil-div lower and min-of-floor-div upper
+  /// bounds over the enclosing indices, replacing the rectangular
+  /// bounding-box subrange (and its in-body guard work). Must outlive
+  /// the emit_c call.
+  const LoopNestBounds* exact_bounds = nullptr;
+};
+
+/// Generate a self-contained C translation unit for a scheduled module:
+/// one function taking the input arrays/scalars and output arrays
+/// (row-major, caller-allocated), with locals malloc'd inside. This is
+/// the code-generator phase of the paper's compiler ("generates
+/// declarations and functions in the C language").
+[[nodiscard]] std::string emit_c(const CheckedModule& module,
+                                 const DepGraph& graph,
+                                 const Flowchart& flowchart,
+                                 const CodegenOptions& options = {});
+
+/// Map a PS identifier to a valid C identifier (primes become "_p").
+[[nodiscard]] std::string c_identifier(const std::string& name);
+
+}  // namespace ps

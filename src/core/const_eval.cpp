@@ -1,0 +1,133 @@
+#include "core/const_eval.hpp"
+
+namespace ps {
+
+std::optional<int64_t> eval_const_int(const Expr& e, const IntEnv& env) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLitExpr&>(e).value;
+    case ExprKind::Name: {
+      auto it = env.find(static_cast<const NameExpr&>(e).name);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op != UnaryOp::Neg) return std::nullopt;
+      auto v = eval_const_int(*u.operand, env);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto l = eval_const_int(*b.lhs, env);
+      auto r = eval_const_int(*b.rhs, env);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinaryOp::Add:
+          return *l + *r;
+        case BinaryOp::Sub:
+          return *l - *r;
+        case BinaryOp::Mul:
+          return *l * *r;
+        case BinaryOp::IntDiv:
+          if (*r == 0) return std::nullopt;
+          return *l / *r;
+        case BinaryOp::Mod:
+          if (*r == 0) return std::nullopt;
+          return *l % *r;
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      auto c = eval_const_bool(*i.cond, env);
+      if (!c) return std::nullopt;
+      return eval_const_int(*c ? *i.then_expr : *i.else_expr, env);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      if (c.callee == "abs" && c.args.size() == 1) {
+        auto v = eval_const_int(*c.args[0], env);
+        if (!v) return std::nullopt;
+        return *v < 0 ? -*v : *v;
+      }
+      if ((c.callee == "min" || c.callee == "max") && c.args.size() == 2) {
+        auto a = eval_const_int(*c.args[0], env);
+        auto b = eval_const_int(*c.args[1], env);
+        if (!a || !b) return std::nullopt;
+        return c.callee == "min" ? std::min(*a, *b) : std::max(*a, *b);
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> eval_const_bool(const Expr& e, const IntEnv& env) {
+  switch (e.kind) {
+    case ExprKind::BoolLit:
+      return static_cast<const BoolLitExpr&>(e).value;
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op != UnaryOp::Not) return std::nullopt;
+      auto v = eval_const_bool(*u.operand, env);
+      if (!v) return std::nullopt;
+      return !*v;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinaryOp::And: {
+          auto l = eval_const_bool(*b.lhs, env);
+          auto r = eval_const_bool(*b.rhs, env);
+          if (l && !*l) return false;
+          if (r && !*r) return false;
+          if (l && r) return *l && *r;
+          return std::nullopt;
+        }
+        case BinaryOp::Or: {
+          auto l = eval_const_bool(*b.lhs, env);
+          auto r = eval_const_bool(*b.rhs, env);
+          if (l && *l) return true;
+          if (r && *r) return true;
+          if (l && r) return *l || *r;
+          return std::nullopt;
+        }
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge: {
+          auto l = eval_const_int(*b.lhs, env);
+          auto r = eval_const_int(*b.rhs, env);
+          if (!l || !r) return std::nullopt;
+          switch (b.op) {
+            case BinaryOp::Eq: return *l == *r;
+            case BinaryOp::Ne: return *l != *r;
+            case BinaryOp::Lt: return *l < *r;
+            case BinaryOp::Le: return *l <= *r;
+            case BinaryOp::Gt: return *l > *r;
+            case BinaryOp::Ge: return *l >= *r;
+            default: return std::nullopt;
+          }
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      auto c = eval_const_bool(*i.cond, env);
+      if (!c) return std::nullopt;
+      return eval_const_bool(*c ? *i.then_expr : *i.else_expr, env);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace ps

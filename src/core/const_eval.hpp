@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace ps {
+
+/// Environment for static integer evaluation: index variables and scalar
+/// parameter values.
+using IntEnv = std::map<std::string, int64_t, std::less<>>;
+
+/// Evaluate an integer expression over `env`. Returns nullopt when the
+/// expression references unknown names, non-integer operations, or array
+/// elements. Used for loop bounds, subscripts and guard conditions.
+[[nodiscard]] std::optional<int64_t> eval_const_int(const Expr& e,
+                                                    const IntEnv& env);
+
+/// Evaluate a boolean expression over `env` (comparisons/connectives over
+/// integer subexpressions). Returns nullopt when not statically known.
+[[nodiscard]] std::optional<bool> eval_const_bool(const Expr& e,
+                                                  const IntEnv& env);
+
+}  // namespace ps

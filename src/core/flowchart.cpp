@@ -1,0 +1,79 @@
+#include "core/flowchart.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ps {
+
+std::string_view loop_kind_name(LoopKind kind) {
+  return kind == LoopKind::Iterative ? "DO" : "DOALL";
+}
+
+namespace {
+
+void print_multiline(const Flowchart& steps, const DepGraph& graph,
+                     std::ostringstream& os, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const auto& step : steps) {
+    if (step.kind == FlowStep::Kind::Equation) {
+      os << pad << graph.node(step.node).name << '\n';
+    } else {
+      os << pad << loop_kind_name(step.loop) << ' ' << step.var << " (\n";
+      print_multiline(step.children, graph, os, indent + 1);
+      os << pad << ")\n";
+    }
+  }
+}
+
+void print_line(const Flowchart& steps, const DepGraph& graph,
+                std::ostringstream& os) {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i) os << "; ";
+    const auto& step = steps[i];
+    if (step.kind == FlowStep::Kind::Equation) {
+      os << graph.node(step.node).name;
+    } else {
+      os << loop_kind_name(step.loop) << ' ' << step.var << " (";
+      print_line(step.children, graph, os);
+      os << ")";
+    }
+  }
+}
+
+}  // namespace
+
+std::string flowchart_to_string(const Flowchart& steps,
+                                const DepGraph& graph) {
+  std::ostringstream os;
+  print_multiline(steps, graph, os, 0);
+  return os.str();
+}
+
+std::string flowchart_to_line(const Flowchart& steps, const DepGraph& graph) {
+  if (steps.empty()) return "(null)";
+  std::ostringstream os;
+  print_line(steps, graph, os);
+  return os.str();
+}
+
+size_t flowchart_equation_count(const Flowchart& steps) {
+  size_t count = 0;
+  for (const auto& step : steps) {
+    if (step.kind == FlowStep::Kind::Equation)
+      ++count;
+    else
+      count += flowchart_equation_count(step.children);
+  }
+  return count;
+}
+
+size_t flowchart_depth(const Flowchart& steps) {
+  size_t depth = 0;
+  for (const auto& step : steps) {
+    if (step.kind == FlowStep::Kind::Loop)
+      depth = std::max(depth, 1 + flowchart_depth(step.children));
+  }
+  return depth;
+}
+
+}  // namespace ps

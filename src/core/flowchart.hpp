@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/depgraph.hpp"
+
+namespace ps {
+
+/// Loop annotation: iterative `DO` or concurrent `DOALL` (paper
+/// section 3.3 step 6).
+enum class LoopKind { Iterative, Parallel };
+
+[[nodiscard]] std::string_view loop_kind_name(LoopKind kind);
+
+/// One flowchart descriptor (paper Figure 4): either a dependency-graph
+/// node (an equation to be emitted) or a subrange loop containing a list
+/// of nested descriptors. The flowchart is the recursive structure the
+/// code generator walks to emit procedural code.
+struct FlowStep {
+  enum class Kind { Equation, Loop };
+
+  Kind kind = Kind::Equation;
+
+  // Kind::Equation
+  uint32_t node = 0;  // dependency-graph node id of the equation
+
+  // Kind::Loop
+  std::string var;                // loop index variable
+  const Type* range = nullptr;    // subrange iterated over
+  LoopKind loop = LoopKind::Parallel;
+  std::vector<FlowStep> children;
+
+  [[nodiscard]] static FlowStep equation(uint32_t node_id) {
+    FlowStep s;
+    s.kind = Kind::Equation;
+    s.node = node_id;
+    return s;
+  }
+  [[nodiscard]] static FlowStep make_loop(std::string var, const Type* range,
+                                          LoopKind kind,
+                                          std::vector<FlowStep> children) {
+    FlowStep s;
+    s.kind = Kind::Loop;
+    s.var = std::move(var);
+    s.range = range;
+    s.loop = kind;
+    s.children = std::move(children);
+    return s;
+  }
+};
+
+using Flowchart = std::vector<FlowStep>;
+
+/// Multi-line rendering with indentation, as in the paper's Figure 6:
+///   DOALL I (
+///     DOALL J (
+///       eq.1
+///     )
+///   )
+[[nodiscard]] std::string flowchart_to_string(const Flowchart& steps,
+                                              const DepGraph& graph);
+
+/// One-line rendering, as in the paper's Figure 5 component table:
+///   DO K (DOALL I (DOALL J (eq.3)))
+/// Empty flowcharts render as "(null)".
+[[nodiscard]] std::string flowchart_to_line(const Flowchart& steps,
+                                            const DepGraph& graph);
+
+/// Total number of equation descriptors in a flowchart.
+[[nodiscard]] size_t flowchart_equation_count(const Flowchart& steps);
+
+/// Maximum loop nesting depth.
+[[nodiscard]] size_t flowchart_depth(const Flowchart& steps);
+
+}  // namespace ps

@@ -1,0 +1,210 @@
+#include "core/loop_merge.hpp"
+
+#include <set>
+#include <string>
+
+namespace ps {
+
+namespace {
+
+bool ranges_compatible(const Type* a, const Type* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (!a->name.empty() && a->name == b->name) return true;
+  return types_equal(*a, *b);
+}
+
+/// Names of the data items defined by equations inside a flowchart.
+void collect_defined(const Flowchart& steps, const DepGraph& graph,
+                     std::set<std::string>& out) {
+  for (const auto& step : steps) {
+    if (step.kind == FlowStep::Kind::Equation) {
+      const CheckedEquation& eq = graph.equation_of(graph.node(step.node));
+      out.insert(graph.module().data[eq.target].name);
+    } else {
+      collect_defined(step.children, graph, out);
+    }
+  }
+}
+
+/// Check all references in `steps` to arrays in `defined`: the fused
+/// dimension must be subscripted with exactly `var` (offset constraint
+/// depending on the loop kind); `var` must not appear anywhere else in
+/// the reference, and the reference must mention `var` at all.
+bool refs_allow_fusion(const Flowchart& steps, const DepGraph& graph,
+                       const std::set<std::string>& defined,
+                       const std::string& var, LoopKind kind) {
+  for (const auto& step : steps) {
+    if (step.kind == FlowStep::Kind::Loop) {
+      if (!refs_allow_fusion(step.children, graph, defined, var, kind))
+        return false;
+      continue;
+    }
+    const CheckedEquation& eq = graph.equation_of(graph.node(step.node));
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (defined.count(ref.array) == 0U) continue;
+      bool var_seen = false;
+      for (const SubscriptInfo& sub : ref.subs) {
+        if (sub.kind == SubscriptInfo::Kind::IndexVar && sub.var == var) {
+          if (var_seen) return false;  // var in two positions
+          var_seen = true;
+          if (kind == LoopKind::Parallel && sub.offset != 0) return false;
+          if (kind == LoopKind::Iterative && sub.offset > 0) return false;
+        } else if (sub.kind == SubscriptInfo::Kind::General &&
+                   sub.expr != nullptr) {
+          // Conservatively reject general subscripts on fused arrays.
+          return false;
+        }
+      }
+      if (!var_seen) return false;  // whole-dimension read across iterations
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Data items read (arrays and scalars) by the equations of a step.
+void collect_used(const FlowStep& step, const DepGraph& graph,
+                  std::set<std::string>& out) {
+  if (step.kind == FlowStep::Kind::Equation) {
+    const CheckedEquation& eq = graph.equation_of(graph.node(step.node));
+    for (const ArrayRefInfo& ref : eq.array_refs) out.insert(ref.array);
+    for (const std::string& s : eq.scalar_refs) out.insert(s);
+    return;
+  }
+  for (const FlowStep& child : step.children) collect_used(child, graph, out);
+}
+
+void collect_defined_step(const FlowStep& step, const DepGraph& graph,
+                          std::set<std::string>& out) {
+  if (step.kind == FlowStep::Kind::Equation) {
+    const CheckedEquation& eq = graph.equation_of(graph.node(step.node));
+    out.insert(graph.module().data[eq.target].name);
+    return;
+  }
+  for (const FlowStep& child : step.children)
+    collect_defined_step(child, graph, out);
+}
+
+bool intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& x : a)
+    if (b.count(x) != 0U) return true;
+  return false;
+}
+
+/// `later` must stay after `earlier`: it reads something `earlier`
+/// defines, or they define (slices of) the same item, or it defines
+/// something `earlier` reads (cannot happen in a valid single-
+/// assignment schedule, but checked for robustness).
+bool must_follow(const FlowStep& later, const FlowStep& earlier,
+                 const DepGraph& graph) {
+  std::set<std::string> later_use;
+  std::set<std::string> later_def;
+  std::set<std::string> earlier_use;
+  std::set<std::string> earlier_def;
+  collect_used(later, graph, later_use);
+  collect_defined_step(later, graph, later_def);
+  collect_used(earlier, graph, earlier_use);
+  collect_defined_step(earlier, graph, earlier_def);
+  return intersects(later_use, earlier_def) ||
+         intersects(later_def, earlier_def) ||
+         intersects(later_def, earlier_use);
+}
+
+/// Can `a` be followed directly by `b` and fuse (same variable, range
+/// and annotation, references permitting)?
+bool fusable(const FlowStep& a, const FlowStep& b, const DepGraph& graph) {
+  if (a.kind != FlowStep::Kind::Loop || b.kind != FlowStep::Kind::Loop)
+    return false;
+  if (a.var != b.var || a.loop != b.loop ||
+      !ranges_compatible(a.range, b.range))
+    return false;
+  std::set<std::string> defined;
+  collect_defined(a.children, graph, defined);
+  return refs_allow_fusion(b.children, graph, defined, b.var, b.loop);
+}
+
+/// Reordering prepass on one descriptor list: each step may slide
+/// earlier, stopping at the last predecessor it must follow; it lands
+/// at the first position in that legal window that makes it adjacent
+/// to a fusable loop (or stays put).
+Flowchart reorder_for_fusion(Flowchart steps, const DepGraph& graph,
+                             MergeStats* stats) {
+  for (FlowStep& step : steps)
+    if (step.kind == FlowStep::Kind::Loop)
+      step.children = reorder_for_fusion(std::move(step.children), graph,
+                                         stats);
+
+  Flowchart out;
+  for (FlowStep& step : steps) {
+    // The legal window is (last_dep, out.size()]: inserting anywhere
+    // after every element the step must follow.
+    size_t window_begin = 0;
+    for (size_t i = out.size(); i-- > 0;) {
+      if (must_follow(step, out[i], graph)) {
+        window_begin = i + 1;
+        break;
+      }
+    }
+    size_t target = out.size();
+    for (size_t pos = window_begin; pos < out.size(); ++pos) {
+      if (pos > 0 && fusable(out[pos - 1], step, graph)) {
+        target = pos;
+        break;
+      }
+    }
+    if (target < out.size()) {
+      out.insert(out.begin() + static_cast<ptrdiff_t>(target),
+                 std::move(step));
+      if (stats != nullptr) ++stats->moved;
+    } else {
+      out.push_back(std::move(step));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Flowchart merge_loops_reordered(Flowchart steps, const DepGraph& graph,
+                                MergeStats* stats) {
+  steps = reorder_for_fusion(std::move(steps), graph, stats);
+  return merge_loops(std::move(steps), graph, stats);
+}
+
+Flowchart merge_loops(Flowchart steps, const DepGraph& graph,
+                      MergeStats* stats) {
+  // First fuse recursively inside every loop.
+  for (auto& step : steps)
+    if (step.kind == FlowStep::Kind::Loop)
+      step.children = merge_loops(std::move(step.children), graph, stats);
+
+  Flowchart out;
+  for (auto& step : steps) {
+    if (!out.empty() && out.back().kind == FlowStep::Kind::Loop &&
+        step.kind == FlowStep::Kind::Loop && out.back().var == step.var &&
+        out.back().loop == step.loop &&
+        ranges_compatible(out.back().range, step.range)) {
+      std::set<std::string> defined;
+      collect_defined(out.back().children, graph, defined);
+      if (refs_allow_fusion(step.children, graph, defined, step.var,
+                            step.loop)) {
+        for (auto& child : step.children)
+          out.back().children.push_back(std::move(child));
+        // Newly adjacent children may fuse in turn.
+        out.back().children =
+            merge_loops(std::move(out.back().children), graph, stats);
+        if (stats != nullptr) ++stats->merged;
+        continue;
+      }
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+}  // namespace ps

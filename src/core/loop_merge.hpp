@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/flowchart.hpp"
+
+namespace ps {
+
+struct MergeStats {
+  size_t merged = 0;  // number of loop pairs fused
+  size_t moved = 0;   // steps relocated by the reordering prepass
+};
+
+/// Loop fusion pass: the improvement the paper lists as ongoing work in
+/// its conclusion ("Improvement of the scheduler to better merge
+/// iterative loops"; see also the comparison with [11] in section 3.3 --
+/// the paper's algorithm "performs poorly in ... combining into a single
+/// loop those equations which though not recursively related,
+/// nevertheless depend on the same subscript(s)").
+///
+/// Two adjacent loops are fused when they iterate the same variable over
+/// compatible subranges with the same DO/DOALL annotation, and every
+/// reference in the second loop's body to an array defined in the first
+/// loop's body subscripts the fused dimension with exactly the loop
+/// variable (offset 0 for DOALL; offset <= 0 for DO, since earlier
+/// iterations have completed). The pass applies recursively, so perfectly
+/// nested fusable loops collapse together.
+[[nodiscard]] Flowchart merge_loops(Flowchart steps, const DepGraph& graph,
+                                    MergeStats* stats = nullptr);
+
+/// Fusion with a dependence-respecting reordering prepass: a step may
+/// move earlier in its list -- never past a producer of data it reads,
+/// nor past another definition of an array it defines -- when that
+/// places it next to a loop it can fuse with. This catches the fusions
+/// the paper's section 3.3 comparison attributes to [11] ("combining
+/// into a single loop those equations which though not recursively
+/// related, nevertheless depend on the same subscript(s)") that plain
+/// adjacency misses because an unrelated component sits in between.
+/// The result is re-validated by the caller's usual schedule validator
+/// in the tests; the move rule preserves every producer-before-consumer
+/// ordering by construction.
+[[nodiscard]] Flowchart merge_loops_reordered(Flowchart steps,
+                                              const DepGraph& graph,
+                                              MergeStats* stats = nullptr);
+
+}  // namespace ps

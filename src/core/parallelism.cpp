@@ -1,0 +1,148 @@
+#include "core/parallelism.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+struct Cost {
+  int64_t work = 0;
+  int64_t span = 0;
+  int64_t barriers = 0;
+};
+
+Cost analyze_list(const Flowchart& steps, IntEnv& env,
+                  const LoopNestBounds* exact);
+
+Cost analyze_step(const FlowStep& step, IntEnv& env,
+                  const LoopNestBounds* exact) {
+  if (step.kind == FlowStep::Kind::Equation) return Cost{1, 1, 0};
+
+  const LoopLevelBounds* level =
+      exact == nullptr ? nullptr : exact->find(step.var);
+
+  // Fast path: rectangular bounds and a body whose cost cannot depend
+  // on this index (no inner exact levels) multiply instead of iterate.
+  if (level == nullptr) {
+    auto lo = eval_const_int(*step.range->lo, env);
+    auto hi = eval_const_int(*step.range->hi, env);
+    if (!lo || !hi)
+      throw std::runtime_error("parallelism: cannot evaluate bounds of '" +
+                               step.var + "'");
+    int64_t extent = std::max<int64_t>(0, *hi - *lo + 1);
+    if (extent == 0) return Cost{};
+    // The body may still contain exact-bounds loops referencing this
+    // variable; detect by probing one iteration only when needed.
+    bool body_varies = false;
+    if (exact != nullptr) {
+      // Conservative: if any descendant loop has an exact level whose
+      // bound terms mention step.var, iterate.
+      std::function<bool(const Flowchart&)> scan = [&](const Flowchart& fs) {
+        for (const FlowStep& f : fs) {
+          if (f.kind != FlowStep::Kind::Loop) continue;
+          if (const LoopLevelBounds* l = exact->find(f.var)) {
+            for (const auto& terms : {l->lowers, l->uppers})
+              for (const BoundTerm& t : terms)
+                for (const auto& [v, c] : t.coeffs)
+                  if (v == step.var) return true;
+          }
+          if (scan(f.children)) return true;
+        }
+        return false;
+      };
+      body_varies = scan(step.children);
+    }
+    if (!body_varies) {
+      env[step.var] = *lo;  // any in-range value works for inner bounds
+      Cost body = analyze_list(step.children, env, exact);
+      env.erase(step.var);
+      Cost out;
+      out.work = body.work * extent;
+      if (step.loop == LoopKind::Iterative) {
+        out.span = body.span * extent;
+        out.barriers = body.barriers * extent;
+      } else {
+        out.span = body.span;
+        out.barriers = body.barriers * extent + 1;
+      }
+      return out;
+    }
+    // Fall through to iteration with rectangular bounds.
+    Cost out;
+    int64_t max_span = 0;
+    for (int64_t it = *lo; it <= *hi; ++it) {
+      env[step.var] = it;
+      Cost body = analyze_list(step.children, env, exact);
+      out.work += body.work;
+      if (step.loop == LoopKind::Iterative) {
+        out.span += body.span;
+        out.barriers += body.barriers;
+      } else {
+        max_span = std::max(max_span, body.span);
+        out.barriers += body.barriers;
+      }
+      env.erase(step.var);
+    }
+    if (step.loop == LoopKind::Parallel) {
+      out.span = max_span;
+      ++out.barriers;
+    }
+    return out;
+  }
+
+  // Exact bounds: iterate (hyperplane counts are small by construction).
+  int64_t lo = level->lower(env);
+  int64_t hi = level->upper(env);
+  Cost out;
+  int64_t max_span = 0;
+  for (int64_t it = lo; it <= hi; ++it) {
+    env[step.var] = it;
+    Cost body = analyze_list(step.children, env, exact);
+    out.work += body.work;
+    if (step.loop == LoopKind::Iterative) {
+      out.span += body.span;
+      out.barriers += body.barriers;
+    } else {
+      max_span = std::max(max_span, body.span);
+      out.barriers += body.barriers;
+    }
+    env.erase(step.var);
+  }
+  if (step.loop == LoopKind::Parallel && hi >= lo) {
+    out.span = max_span;
+    ++out.barriers;
+  }
+  return out;
+}
+
+Cost analyze_list(const Flowchart& steps, IntEnv& env,
+                  const LoopNestBounds* exact) {
+  Cost total;
+  for (const FlowStep& step : steps) {
+    Cost c = analyze_step(step, env, exact);
+    total.work += c.work;
+    total.span += c.span;
+    total.barriers += c.barriers;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string ParallelismReport::to_string() const {
+  return "work=" + std::to_string(work) + " span=" + std::to_string(span) +
+         " avg-parallelism=" + std::to_string(average_parallelism()) +
+         " barriers=" + std::to_string(barriers);
+}
+
+ParallelismReport analyze_parallelism(const Flowchart& steps,
+                                      const IntEnv& params,
+                                      const LoopNestBounds* exact_bounds) {
+  IntEnv env = params;
+  Cost c = analyze_list(steps, env, exact_bounds);
+  return ParallelismReport{c.work, c.span, c.barriers};
+}
+
+}  // namespace ps

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/const_eval.hpp"
+#include "core/flowchart.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+/// Work/span analysis of a flowchart under the paper's machine model:
+/// one equation instance costs one unit, DO loops serialise their
+/// iterations, DOALL loops run all iterations in one step (unbounded
+/// processors -- the PRAM-style upper bound the DO/DOALL annotations
+/// expose).
+///
+/// For the relaxation example this quantifies section 4's payoff
+/// exactly: the Gauss-Seidel schedule has span = work = maxK*(M+2)^2,
+/// while the transformed schedule's span is the hyperplane count
+/// t_max - t_min + 1 = 2*maxK + 2*M + 1 -- the length of the time
+/// function's range, since one hyperplane executes per step.
+struct ParallelismReport {
+  int64_t work = 0;  // total equation instances
+  int64_t span = 0;  // critical-path length in sequential steps
+  int64_t barriers = 0;  // DOALL joins executed (one per parallel loop run)
+
+  [[nodiscard]] double average_parallelism() const {
+    return span == 0 ? 0.0 : static_cast<double>(work) / static_cast<double>(span);
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyse `steps` with loop bounds taken from the rectangular
+/// subranges (evaluated over `params`), or from `exact_bounds` for
+/// loop variables that have a level there (the hyperplane-transformed
+/// iteration space). Throws std::runtime_error when a bound cannot be
+/// evaluated.
+[[nodiscard]] ParallelismReport analyze_parallelism(
+    const Flowchart& steps, const IntEnv& params,
+    const LoopNestBounds* exact_bounds = nullptr);
+
+}  // namespace ps

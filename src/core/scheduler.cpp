@@ -1,0 +1,306 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/scc.hpp"
+
+namespace ps {
+
+namespace {
+
+/// Does the expression mention the index variable `var`?
+bool expr_mentions(const Expr* e, const std::string& var) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::Name:
+      return static_cast<const NameExpr*>(e)->name == var;
+    case ExprKind::Index: {
+      const auto* ix = static_cast<const IndexExpr*>(e);
+      if (expr_mentions(ix->base.get(), var)) return true;
+      for (const auto& s : ix->subs)
+        if (expr_mentions(s.get(), var)) return true;
+      return false;
+    }
+    case ExprKind::Field:
+      return expr_mentions(static_cast<const FieldExpr*>(e)->base.get(), var);
+    case ExprKind::Unary:
+      return expr_mentions(static_cast<const UnaryExpr*>(e)->operand.get(),
+                           var);
+    case ExprKind::Binary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      return expr_mentions(b->lhs.get(), var) ||
+             expr_mentions(b->rhs.get(), var);
+    }
+    case ExprKind::If: {
+      const auto* i = static_cast<const IfExpr*>(e);
+      return expr_mentions(i->cond.get(), var) ||
+             expr_mentions(i->then_expr.get(), var) ||
+             expr_mentions(i->else_expr.get(), var);
+    }
+    case ExprKind::Call: {
+      const auto* c = static_cast<const CallExpr*>(e);
+      for (const auto& a : c->args)
+        if (expr_mentions(a.get(), var)) return true;
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+int loop_dim_index(const CheckedEquation& eq, const std::string& var) {
+  for (size_t d = 0; d < eq.loop_dims.size(); ++d)
+    if (eq.loop_dims[d].var == var) return static_cast<int>(d);
+  return -1;
+}
+
+bool ranges_compatible(const Type* a, const Type* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (!a->name.empty() && a->name == b->name) return true;
+  return types_equal(*a, *b);
+}
+
+}  // namespace
+
+ScheduleResult Scheduler::run() {
+  ScheduleResult result;
+  result.ok = true;
+  edge_active_.assign(graph_->edges().size(), true);
+  scheduled_.clear();
+
+  // Pre-size the virtual-dimension table so lookups are total.
+  for (const auto& item : graph_->module().data)
+    result.virtual_dims[item.name] =
+        std::vector<VirtualDim>(item.rank());
+
+  std::vector<uint32_t> all(graph_->nodes().size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  result.flowchart = schedule_graph(all, result, &result.components);
+  if (!result.errors.empty()) result.ok = false;
+  return result;
+}
+
+Flowchart Scheduler::schedule_graph(const std::vector<uint32_t>& nodes,
+                                    ScheduleResult& result,
+                                    std::vector<ComponentInfo>* top_level) {
+  // Induced subgraph over `nodes` with the currently active edges.
+  std::map<uint32_t, uint32_t> local;
+  for (uint32_t i = 0; i < nodes.size(); ++i) local.emplace(nodes[i], i);
+  std::vector<std::vector<uint32_t>> adj(nodes.size());
+  for (const auto& e : graph_->edges()) {
+    if (!edge_active_[e.id]) continue;
+    auto src = local.find(e.src);
+    auto dst = local.find(e.dst);
+    if (src == local.end() || dst == local.end()) continue;
+    adj[src->second].push_back(dst->second);
+  }
+
+  SccResult sccs = compute_sccs(adj);
+
+  Flowchart flowchart;
+  for (const auto& comp_local : sccs.components) {
+    std::vector<uint32_t> comp;
+    comp.reserve(comp_local.size());
+    for (uint32_t lid : comp_local) comp.push_back(nodes[lid]);
+    std::sort(comp.begin(), comp.end());
+    Flowchart sub = schedule_component(comp, result);
+    if (top_level != nullptr)
+      top_level->push_back(ComponentInfo{comp, sub});
+    for (auto& step : sub) flowchart.push_back(std::move(step));
+  }
+  return flowchart;
+}
+
+Flowchart Scheduler::schedule_component(const std::vector<uint32_t>& comp,
+                                        ScheduleResult& result) {
+  // Step 1: a lone data node contributes no code.
+  if (comp.size() == 1 && graph_->node(comp[0]).is_data()) return {};
+
+  std::vector<uint32_t> equations;
+  for (uint32_t id : comp)
+    if (!graph_->node(id).is_data()) equations.push_back(id);
+  if (equations.empty()) {
+    result.errors.push_back(
+        "component of data nodes with no equations cannot be scheduled");
+    return {};
+  }
+
+  // Step 2: pick an unscheduled node dimension. Candidates are taken in
+  // the loop-dimension order of the first equation of the component,
+  // which reproduces the paper's "picks the first dimension (K)".
+  const CheckedEquation& primary = graph_->equation_of(
+      graph_->node(equations.front()));
+  std::vector<std::string> unscheduled;
+  for (const LoopDim& dim : primary.loop_dims)
+    if (scheduled_[equations.front()].count(dim.var) == 0U)
+      unscheduled.push_back(dim.var);
+
+  if (unscheduled.empty()) {
+    // Step 2b: all dimensions scheduled, single equation remains.
+    if (comp.size() == 1) return {FlowStep::equation(comp[0])};
+    // Step 2a: multi-node component with nothing left to schedule.
+    result.errors.push_back(
+        "equations cannot be scheduled by this algorithm: component "
+        "containing " + graph_->node(comp[0]).name +
+        " has no remaining schedulable dimension");
+    return {};
+  }
+
+  // Step 3: find the first eligible dimension.
+  std::optional<DimChoice> choice;
+  for (const std::string& var : unscheduled) {
+    choice = make_choice(comp, var);
+    if (choice) break;
+  }
+  if (!choice) {
+    if (comp.size() == 1) {
+      // A single recursive equation whose remaining dimensions are all
+      // ineligible cannot occur (a lone equation node has no in-component
+      // edges), but guard anyway.
+      result.errors.push_back("equation " + graph_->node(comp[0]).name +
+                              " has no eligible dimension");
+      return {};
+    }
+    result.errors.push_back(
+        "equations cannot be scheduled by this algorithm: no dimension of "
+        "the component containing " + graph_->node(comp[0]).name +
+        " satisfies the subscript restrictions (step 3)");
+    return {};
+  }
+
+  // Section 3.4: virtual-dimension analysis for this dimension, done
+  // before edge deletion so it sees every use edge.
+  analyze_virtual(comp, *choice, result);
+
+  // Step 4: delete the "I - constant" edges; they reference elements
+  // produced on earlier iterations of the loop being generated.
+  bool deleted = false;
+  for (const auto& e : graph_->edges()) {
+    if (!edge_active_[e.id] || e.ref == nullptr) continue;
+    if (!in_set(comp, e.src) || !in_set(comp, e.dst)) continue;
+    auto pos_it = choice->data_positions.find(e.src);
+    if (pos_it == choice->data_positions.end()) continue;
+    const EdgeLabel& label = e.labels[pos_it->second];
+    const SubscriptInfo& sub = e.ref->subs[pos_it->second];
+    if (label.kind == SubscriptInfo::Kind::IndexVar && sub.var == choice->var &&
+        label.offset < 0) {
+      edge_active_[e.id] = false;
+      deleted = true;
+    }
+  }
+
+  // Step 5: mark the dimension scheduled for every equation in the
+  // component.
+  for (uint32_t eq : equations) scheduled_[eq].insert(choice->var);
+
+  // Steps 6-8: create the loop descriptor (iterative iff edges were
+  // deleted) and schedule the reduced subgraph beneath it.
+  Flowchart children = schedule_graph(comp, result, nullptr);
+  LoopKind kind = deleted ? LoopKind::Iterative : LoopKind::Parallel;
+  Flowchart out;
+  out.push_back(
+      FlowStep::make_loop(choice->var, choice->range, kind, std::move(children)));
+  return out;
+}
+
+std::optional<Scheduler::DimChoice> Scheduler::make_choice(
+    const std::vector<uint32_t>& comp, const std::string& var) const {
+  DimChoice choice;
+  choice.var = var;
+
+  // Every equation of the component must loop over `var`, with a
+  // compatible subrange; the variable must sit at a consistent position
+  // in each array it defines.
+  for (uint32_t id : comp) {
+    const DepNode& node = graph_->node(id);
+    if (node.is_data()) continue;
+    const CheckedEquation& eq = graph_->equation_of(node);
+    int idx = loop_dim_index(eq, var);
+    if (idx < 0) return std::nullopt;
+    const LoopDim& dim = eq.loop_dims[static_cast<size_t>(idx)];
+    if (choice.range == nullptr)
+      choice.range = dim.range;
+    else if (!ranges_compatible(choice.range, dim.range))
+      return std::nullopt;
+
+    uint32_t target =
+        graph_->data_node(graph_->module().data[eq.target].name);
+    if (!in_set(comp, target)) continue;
+    auto [it, inserted] = choice.data_positions.emplace(target, dim.lhs_dim);
+    if (!inserted && it->second != dim.lhs_dim) return std::nullopt;
+  }
+
+  // Every active in-component use edge must reference `var` only at the
+  // consistent position and only as "I" or "I - constant" (step 3; "I +
+  // constant" and general expressions make the dimension ineligible).
+  for (const auto& e : graph_->edges()) {
+    if (!edge_active_[e.id] || e.ref == nullptr) continue;
+    if (!in_set(comp, e.src) || !in_set(comp, e.dst)) continue;
+    auto pos_it = choice.data_positions.find(e.src);
+    if (pos_it == choice.data_positions.end()) return std::nullopt;
+    size_t pos = pos_it->second;
+    for (size_t p = 0; p < e.labels.size(); ++p) {
+      const EdgeLabel& label = e.labels[p];
+      const SubscriptInfo& sub = e.ref->subs[p];
+      bool is_var = label.kind == SubscriptInfo::Kind::IndexVar &&
+                    sub.var == var;
+      if (p == pos) {
+        if (!is_var || label.offset > 0) return std::nullopt;
+      } else {
+        if (is_var) return std::nullopt;  // inconsistent position
+        if (label.kind == SubscriptInfo::Kind::General &&
+            expr_mentions(sub.expr, var))
+          return std::nullopt;
+      }
+    }
+  }
+  return choice;
+}
+
+void Scheduler::analyze_virtual(const std::vector<uint32_t>& comp,
+                                const DimChoice& choice,
+                                ScheduleResult& result) {
+  for (uint32_t id : comp) {
+    const DepNode& node = graph_->node(id);
+    if (!node.is_data()) continue;
+    const DataItem& item = graph_->data_of(node);
+    if (item.cls != DataClass::Local) continue;
+    auto pos_it = choice.data_positions.find(id);
+    if (pos_it == choice.data_positions.end()) continue;
+    size_t pos = pos_it->second;
+
+    bool strict_ok = true;
+    bool comp_ok = true;
+    int64_t max_back = 0;
+    for (const auto& e : graph_->edges()) {
+      if (e.ref == nullptr || e.src != id) continue;
+      const EdgeLabel& label = e.labels[pos];
+      const SubscriptInfo& sub = e.ref->subs[pos];
+      bool in_comp = in_set(comp, e.dst);
+      if (in_comp) {
+        // Form 1: "I" or "I - constant" with the target inside Mi.
+        if (label.kind == SubscriptInfo::Kind::IndexVar &&
+            sub.var == choice.var && label.offset <= 0) {
+          max_back = std::max(max_back, -label.offset);
+        } else {
+          strict_ok = false;
+          comp_ok = false;
+        }
+      } else {
+        // Form 2: the edge leaves the component and its subscript is the
+        // upper bound of the subrange (only the last element is used).
+        if (label.kind != SubscriptInfo::Kind::UpperBound) strict_ok = false;
+      }
+    }
+
+    VirtualDim& vd = result.virtual_dims[item.name][pos];
+    vd.is_virtual = strict_ok;
+    vd.window = strict_ok ? max_back + 1 : 0;
+    vd.virtual_in_component = comp_ok;
+    vd.component_window = comp_ok ? max_back + 1 : 0;
+  }
+}
+
+}  // namespace ps

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/flowchart.hpp"
+#include "graph/depgraph.hpp"
+
+namespace ps {
+
+/// Virtual-dimension analysis result for one dimension of one data item
+/// (paper section 3.4). `is_virtual` is the sound analysis exactly as
+/// stated in the paper (every use edge is form 1 or form 2); `window` is
+/// 1 + the largest backward offset.
+///
+/// `virtual_in_component` ignores edges leaving the component -- this is
+/// the variant the paper appeals to in section 4 when it declares the
+/// transformed array's first dimension virtual with window three while
+/// deferring the rotate/unrotate code generation ("with a little more
+/// intelligence...") to future work.
+struct VirtualDim {
+  bool is_virtual = false;
+  int64_t window = 0;
+  bool virtual_in_component = false;
+  int64_t component_window = 0;
+};
+
+/// Per-component record used to reproduce the paper's Figure 5 table.
+struct ComponentInfo {
+  std::vector<uint32_t> nodes;  // graph node ids, sorted
+  Flowchart flowchart;          // schedule of this component alone
+};
+
+struct ScheduleResult {
+  bool ok = false;
+  Flowchart flowchart;
+  /// Top-level MSCCs in dependence order with their sub-flowcharts.
+  std::vector<ComponentInfo> components;
+  /// data item name -> one entry per flattened dimension.
+  std::map<std::string, std::vector<VirtualDim>> virtual_dims;
+  std::vector<std::string> errors;
+};
+
+/// The scheduling phase (paper section 3.3): two mutually recursive
+/// procedures. Schedule-Graph splits a (sub)graph into MSCCs and
+/// schedules them in dependence order; Schedule-Component picks a
+/// schedulable loop dimension, deletes the "I - constant" edges (which
+/// reference values produced on earlier iterations of the chosen loop),
+/// marks the loop iterative (DO) when edges were deleted and parallel
+/// (DOALL) otherwise, and recurses on the reduced graph.
+class Scheduler {
+ public:
+  explicit Scheduler(const DepGraph& graph) : graph_(&graph) {}
+
+  [[nodiscard]] ScheduleResult run();
+
+ private:
+  struct DimChoice {
+    std::string var;
+    const Type* range = nullptr;
+    /// data node id -> dimension position of `var` in that node.
+    std::map<uint32_t, size_t> data_positions;
+  };
+
+  Flowchart schedule_graph(const std::vector<uint32_t>& nodes,
+                           ScheduleResult& result,
+                           std::vector<ComponentInfo>* top_level);
+  Flowchart schedule_component(const std::vector<uint32_t>& comp,
+                               ScheduleResult& result);
+
+  /// Try to form an eligible dimension choice for index variable `var`
+  /// over the component (paper step 3); nullopt when ineligible.
+  [[nodiscard]] std::optional<DimChoice> make_choice(
+      const std::vector<uint32_t>& comp, const std::string& var) const;
+
+  void analyze_virtual(const std::vector<uint32_t>& comp,
+                       const DimChoice& choice, ScheduleResult& result);
+
+  [[nodiscard]] bool in_set(const std::vector<uint32_t>& nodes,
+                            uint32_t id) const {
+    return std::binary_search(nodes.begin(), nodes.end(), id);
+  }
+
+  const DepGraph* graph_;
+  std::vector<bool> edge_active_;
+  /// equation node id -> loop variables already scheduled.
+  std::map<uint32_t, std::set<std::string>> scheduled_;
+};
+
+}  // namespace ps

@@ -1,0 +1,352 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ps {
+
+namespace {
+
+/// Execution timestamp: alternating step indices and loop iteration
+/// values, with a parallel flag per coordinate.
+struct Stamp {
+  std::vector<int64_t> coords;
+  std::vector<bool> parallel;
+};
+
+/// Ordering verdict for writer-before-reader.
+enum class Order { Before, Race, NotBefore };
+
+Order compare(const Stamp& writer, const Stamp& reader) {
+  size_t n = std::max(writer.coords.size(), reader.coords.size());
+  for (size_t i = 0; i < n; ++i) {
+    int64_t w = i < writer.coords.size() ? writer.coords[i] : -1;
+    int64_t r = i < reader.coords.size() ? reader.coords[i] : -1;
+    if (w == r) continue;
+    bool par = (i < writer.parallel.size() && writer.parallel[i]) ||
+               (i < reader.parallel.size() && reader.parallel[i]);
+    if (par) return Order::Race;
+    return w < r ? Order::Before : Order::NotBefore;
+  }
+  // Identical stamps: the "writer" is the reading instance itself.
+  return Order::NotBefore;
+}
+
+struct Cell {
+  Stamp stamp;
+};
+
+class Validator {
+ public:
+  Validator(const CheckedModule& module, const DepGraph& graph,
+            const IntEnv& params)
+      : module_(module), graph_(graph), params_(params) {}
+
+  ValidationReport run(const Flowchart& flowchart, bool require_outputs) {
+    // Pre-compute extents.
+    for (const auto& item : module_.data) {
+      Extents ext;
+      bool ok = true;
+      for (const Type* dim : item.dims) {
+        auto lo = eval_const_int(*dim->lo, params_);
+        auto hi = eval_const_int(*dim->hi, params_);
+        if (!lo || !hi) {
+          report_.fail("cannot evaluate bounds of '" + item.name + "'");
+          ok = false;
+          break;
+        }
+        ext.lo.push_back(*lo);
+        ext.hi.push_back(*hi);
+      }
+      if (ok) extents_.emplace(item.name, std::move(ext));
+    }
+    if (!report_.ok) return std::move(report_);
+
+    Stamp stamp;
+    IntEnv env = params_;
+    exec_list(flowchart, stamp, env);
+
+    if (require_outputs) check_outputs();
+    return std::move(report_);
+  }
+
+ private:
+  struct Extents {
+    std::vector<int64_t> lo;
+    std::vector<int64_t> hi;
+  };
+
+  void exec_list(const Flowchart& steps, Stamp& stamp, IntEnv& env) {
+    for (size_t i = 0; i < steps.size(); ++i) {
+      stamp.coords.push_back(static_cast<int64_t>(i));
+      stamp.parallel.push_back(false);
+      exec_step(steps[i], stamp, env);
+      stamp.coords.pop_back();
+      stamp.parallel.pop_back();
+    }
+  }
+
+  void exec_step(const FlowStep& step, Stamp& stamp, IntEnv& env) {
+    if (step.kind == FlowStep::Kind::Equation) {
+      exec_equation(step.node, stamp, env);
+      return;
+    }
+    auto lo = eval_const_int(*step.range->lo, env);
+    auto hi = eval_const_int(*step.range->hi, env);
+    if (!lo || !hi) {
+      report_.fail("cannot evaluate bounds of loop over '" + step.var + "'");
+      return;
+    }
+    bool parallel = step.loop == LoopKind::Parallel;
+    for (int64_t it = *lo; it <= *hi; ++it) {
+      stamp.coords.push_back(it);
+      stamp.parallel.push_back(parallel);
+      auto saved = env.find(step.var);
+      int64_t saved_value = saved != env.end() ? saved->second : 0;
+      bool had = saved != env.end();
+      env[step.var] = it;
+      exec_list(step.children, stamp, env);
+      if (had)
+        env[step.var] = saved_value;
+      else
+        env.erase(step.var);
+      stamp.coords.pop_back();
+      stamp.parallel.pop_back();
+    }
+  }
+
+  void exec_equation(uint32_t node_id, const Stamp& stamp, const IntEnv& env) {
+    const DepNode& node = graph_.node(node_id);
+    const CheckedEquation& eq = graph_.equation_of(node);
+    const DataItem& target = module_.data[eq.target];
+    ++report_.instances;
+
+    // Every loop dimension must be bound by an enclosing loop.
+    for (const LoopDim& dim : eq.loop_dims) {
+      if (env.find(dim.var) == env.end()) {
+        report_.fail(eq.display_name + ": index variable '" + dim.var +
+                     "' is not bound by an enclosing loop");
+        return;
+      }
+    }
+
+    // Target element.
+    std::vector<int64_t> idx;
+    for (const LhsSubscript& sub : eq.lhs_subs) {
+      std::optional<int64_t> v;
+      if (sub.is_index_var) {
+        v = env.at(sub.var);
+      } else {
+        v = eval_const_int(*sub.fixed, env);
+      }
+      if (!v) {
+        report_.fail(eq.display_name + ": cannot evaluate LHS subscript");
+        return;
+      }
+      idx.push_back(*v);
+    }
+    if (!check_bounds(target.name, idx, eq.display_name, "write")) return;
+
+    // Reads first (an instance cannot read its own write).
+    eval_reads(*eq.rhs, env, stamp, eq.display_name);
+
+    // Then the write.
+    auto& cells = written_[target.name];
+    auto [it, inserted] = cells.emplace(idx, Cell{stamp});
+    if (!inserted)
+      report_.fail(eq.display_name + ": element " +
+                   element_name(target.name, idx) +
+                   " written more than once (single assignment violated)");
+  }
+
+  bool check_bounds(const std::string& name, const std::vector<int64_t>& idx,
+                    const std::string& who, const char* what) {
+    auto it = extents_.find(name);
+    if (it == extents_.end()) return false;
+    const Extents& ext = it->second;
+    if (idx.size() != ext.lo.size()) {
+      report_.fail(who + ": rank mismatch on '" + name + "'");
+      return false;
+    }
+    for (size_t d = 0; d < idx.size(); ++d) {
+      if (idx[d] < ext.lo[d] || idx[d] > ext.hi[d]) {
+        report_.fail(who + ": out-of-bounds " + what + " " +
+                     element_name(name, idx) + " (dimension " +
+                     std::to_string(d + 1) + " is " +
+                     std::to_string(ext.lo[d]) + ".." +
+                     std::to_string(ext.hi[d]) + ")");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::string element_name(const std::string& name,
+                                  const std::vector<int64_t>& idx) {
+    std::ostringstream os;
+    os << name;
+    if (!idx.empty()) {
+      os << '[';
+      for (size_t i = 0; i < idx.size(); ++i) {
+        if (i) os << ',';
+        os << idx[i];
+      }
+      os << ']';
+    }
+    return os.str();
+  }
+
+  /// Walk an RHS expression, resolving statically evaluable guards and
+  /// recording/checking every element read.
+  void eval_reads(const Expr& e, const IntEnv& env, const Stamp& stamp,
+                  const std::string& who) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+      case ExprKind::BoolLit:
+        return;
+      case ExprKind::Name: {
+        const auto& name = static_cast<const NameExpr&>(e).name;
+        const DataItem* item = module_.find_data(name);
+        if (item != nullptr && item->is_scalar()) check_read(name, {}, stamp, who);
+        return;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        if (ix.base->kind == ExprKind::Name) {
+          const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+          const DataItem* item = module_.find_data(name);
+          if (item != nullptr && item->rank() == ix.subs.size()) {
+            std::vector<int64_t> idx;
+            bool all_known = true;
+            for (const auto& sub : ix.subs) {
+              auto v = eval_const_int(*sub, env);
+              if (!v) {
+                all_known = false;
+                break;
+              }
+              idx.push_back(*v);
+            }
+            if (all_known) {
+              check_read(name, idx, stamp, who);
+            } else {
+              report_.fail(who + ": cannot evaluate subscripts of read of '" +
+                           name + "'");
+            }
+          }
+        }
+        for (const auto& sub : ix.subs) eval_reads(*sub, env, stamp, who);
+        return;
+      }
+      case ExprKind::Field:
+        eval_reads(*static_cast<const FieldExpr&>(e).base, env, stamp, who);
+        return;
+      case ExprKind::Unary:
+        eval_reads(*static_cast<const UnaryExpr&>(e).operand, env, stamp, who);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        eval_reads(*b.lhs, env, stamp, who);
+        eval_reads(*b.rhs, env, stamp, who);
+        return;
+      }
+      case ExprKind::If: {
+        const auto& i = static_cast<const IfExpr&>(e);
+        auto cond = eval_const_bool(*i.cond, env);
+        eval_reads(*i.cond, env, stamp, who);
+        if (cond) {
+          eval_reads(*cond ? *i.then_expr : *i.else_expr, env, stamp, who);
+        } else {
+          // Guard not statically known: conservatively require both
+          // branches' reads to be legal.
+          eval_reads(*i.then_expr, env, stamp, who);
+          eval_reads(*i.else_expr, env, stamp, who);
+        }
+        return;
+      }
+      case ExprKind::Call:
+        for (const auto& a : static_cast<const CallExpr&>(e).args)
+          eval_reads(*a, env, stamp, who);
+        return;
+    }
+  }
+
+  void check_read(const std::string& name, const std::vector<int64_t>& idx,
+                  const Stamp& stamp, const std::string& who) {
+    ++report_.reads;
+    const DataItem* item = module_.find_data(name);
+    if (item == nullptr) return;
+    if (item->cls == DataClass::Input) {
+      check_bounds(name, idx, who, "read");
+      return;  // inputs are available from the start
+    }
+    if (!check_bounds(name, idx, who, "read")) return;
+    auto map_it = written_.find(name);
+    const Cell* cell = nullptr;
+    if (map_it != written_.end()) {
+      auto cell_it = map_it->second.find(idx);
+      if (cell_it != map_it->second.end()) cell = &cell_it->second;
+    }
+    if (cell == nullptr) {
+      report_.fail(who + ": reads " + element_name(name, idx) +
+                   " before it is produced");
+      return;
+    }
+    switch (compare(cell->stamp, stamp)) {
+      case Order::Before:
+        return;
+      case Order::Race:
+        report_.fail(who + ": read of " + element_name(name, idx) +
+                     " races with its write across DOALL iterations");
+        return;
+      case Order::NotBefore:
+        report_.fail(who + ": reads " + element_name(name, idx) +
+                     " before it is produced (ordering violation)");
+        return;
+    }
+  }
+
+  void check_outputs() {
+    for (const auto& item : module_.data) {
+      if (item.cls != DataClass::Output) continue;
+      auto ext_it = extents_.find(item.name);
+      if (ext_it == extents_.end()) continue;
+      const Extents& ext = ext_it->second;
+      size_t expected = 1;
+      for (size_t d = 0; d < ext.lo.size(); ++d) {
+        if (ext.hi[d] < ext.lo[d]) {
+          expected = 0;
+          break;
+        }
+        expected *= static_cast<size_t>(ext.hi[d] - ext.lo[d] + 1);
+      }
+      size_t got = 0;
+      auto it = written_.find(item.name);
+      if (it != written_.end()) got = it->second.size();
+      if (got != expected)
+        report_.fail("output '" + item.name + "' has " + std::to_string(got) +
+                     " of " + std::to_string(expected) +
+                     " elements defined");
+    }
+  }
+
+  const CheckedModule& module_;
+  const DepGraph& graph_;
+  const IntEnv& params_;
+  std::map<std::string, Extents> extents_;
+  std::map<std::string, std::map<std::vector<int64_t>, Cell>> written_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+ValidationReport validate_schedule(const CheckedModule& module,
+                                   const DepGraph& graph,
+                                   const Flowchart& flowchart,
+                                   const IntEnv& params,
+                                   bool require_outputs_written) {
+  Validator v(module, graph, params);
+  return v.run(flowchart, require_outputs_written);
+}
+
+}  // namespace ps

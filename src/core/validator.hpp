@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/const_eval.hpp"
+#include "core/flowchart.hpp"
+#include "graph/depgraph.hpp"
+
+namespace ps {
+
+/// Result of concretely checking a schedule.
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> issues;
+  size_t instances = 0;  // equation instances executed
+  size_t reads = 0;      // element reads checked
+
+  void fail(std::string message) {
+    ok = false;
+    if (issues.size() < 50) issues.push_back(std::move(message));
+  }
+};
+
+/// Concretely validate a flowchart against the fundamental dataflow
+/// constraint: every value is produced before it is used, and produced
+/// exactly once (single assignment).
+///
+/// The validator symbolically executes the flowchart for the given
+/// parameter values, time-stamping each element write with its position
+/// in the (partially ordered) execution: DO loops order their iterations,
+/// DOALL iterations are concurrent. A read is legal only when the writing
+/// instance is strictly ordered before the reading instance; a read whose
+/// first ordering difference falls on a DOALL iteration coordinate is a
+/// race and is reported. Conditional branches whose guards are statically
+/// evaluable (index arithmetic) are resolved; otherwise both branches'
+/// reads are checked conservatively.
+///
+/// This is the oracle used by the scheduler property tests.
+[[nodiscard]] ValidationReport validate_schedule(const CheckedModule& module,
+                                                 const DepGraph& graph,
+                                                 const Flowchart& flowchart,
+                                                 const IntEnv& params,
+                                                 bool require_outputs_written =
+                                                     true);
+
+}  // namespace ps

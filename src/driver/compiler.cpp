@@ -1,0 +1,113 @@
+#include "driver/compiler.hpp"
+
+namespace ps {
+
+std::optional<CompiledModule> Compiler::analyze(ModuleAst ast,
+                                                DiagnosticEngine& diags) const {
+  CompiledModule out;
+  out.source = to_source(ast);
+
+  Sema sema(diags);
+  auto checked = sema.check(std::move(ast));
+  if (!checked) return std::nullopt;
+  out.module = std::make_unique<CheckedModule>(std::move(*checked));
+
+  out.graph = std::make_unique<DepGraph>(DepGraph::build(*out.module));
+
+  Scheduler scheduler(*out.graph);
+  out.schedule = scheduler.run();
+  if (!out.schedule.ok) {
+    for (const auto& err : out.schedule.errors) diags.error({}, err);
+    return out;  // schedule failed but analysis artefacts remain useful
+  }
+
+  if (options_.merge_loops)
+    out.schedule.flowchart =
+        merge_loops_reordered(std::move(out.schedule.flowchart), *out.graph,
+                              &out.merge_stats);
+
+  if (options_.emit_c_code) {
+    CodegenOptions cg;
+    cg.emit_openmp = options_.emit_openmp;
+    cg.use_virtual_windows = options_.use_virtual_windows;
+    cg.virtual_dims = &out.schedule.virtual_dims;
+    out.c_code = emit_c(*out.module, *out.graph, out.schedule.flowchart, cg);
+  }
+  return out;
+}
+
+CompileResult Compiler::compile(std::string_view source) const {
+  CompileResult result;
+  DiagnosticEngine diags;
+  diags.set_source(source);
+
+  Parser parser(source, diags);
+  ProgramAst program = parser.parse_program();
+  if (diags.has_errors() || program.modules.empty()) {
+    if (program.modules.empty() && !diags.has_errors())
+      diags.error({}, "no module found in input");
+    result.diagnostics = diags.render();
+    return result;
+  }
+
+  auto primary = analyze(std::move(program.modules.front()), diags);
+  if (!primary || diags.has_errors()) {
+    result.diagnostics = diags.render();
+    if (primary) result.primary = std::move(primary);
+    return result;
+  }
+  result.primary = std::move(primary);
+  result.ok = true;
+
+  if (options_.apply_hyperplane) {
+    const CheckedModule& module = *result.primary->module;
+    for (const std::string& candidate : transform_candidates(module)) {
+      DiagnosticEngine probe;  // failures here are not fatal
+      auto deps = extract_dependences(module, candidate, probe);
+      if (!deps) continue;
+      auto transform = find_hyperplane(*deps, options_.solver);
+      if (!transform) continue;
+      auto rewritten = hyperplane_rewrite(module, *transform, probe);
+      if (!rewritten) continue;
+      DiagnosticEngine tdiags;
+      auto transformed = analyze(std::move(*rewritten), tdiags);
+      if (!transformed || tdiags.has_errors()) {
+        result.diagnostics += tdiags.render();
+        continue;
+      }
+      result.dependences = std::move(*deps);
+      result.transform = std::move(*transform);
+      result.transformed = std::move(transformed);
+
+      if (options_.exact_bounds) {
+        // Lamport-style exact scanning of the skewed domain: project the
+        // image of the original index box onto per-level loop bounds and
+        // regenerate the transformed module's C with them.
+        auto domain = transformed_domain(module, *result.transform);
+        if (domain) {
+          auto nest =
+              fourier_motzkin_bounds(*domain, result.transform->new_vars);
+          if (nest) {
+            result.exact_nest = std::move(*nest);
+            if (options_.emit_c_code) {
+              CodegenOptions cg;
+              cg.emit_openmp = options_.emit_openmp;
+              cg.use_virtual_windows = options_.use_virtual_windows;
+              cg.virtual_dims = &result.transformed->schedule.virtual_dims;
+              cg.exact_bounds = &*result.exact_nest;
+              result.transformed->c_code = emit_c(
+                  *result.transformed->module, *result.transformed->graph,
+                  result.transformed->schedule.flowchart, cg);
+            }
+          }
+        }
+      }
+      break;  // transform the first viable candidate
+    }
+  }
+
+  result.diagnostics += diags.render();
+  return result;
+}
+
+}  // namespace ps

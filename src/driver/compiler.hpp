@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "codegen/c_emitter.hpp"
+#include "core/loop_merge.hpp"
+#include "core/scheduler.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "graph/depgraph.hpp"
+#include "transform/dependence.hpp"
+#include "transform/hyperplane.hpp"
+#include "transform/polyhedron.hpp"
+#include "transform/rewrite.hpp"
+
+namespace ps {
+
+/// End-to-end compilation options.
+struct CompileOptions {
+  /// Run the loop-fusion pass on the flowchart (the paper's conclusion
+  /// lists better loop merging as ongoing work).
+  bool merge_loops = false;
+  /// Attempt the section-4 hyperplane restructuring on recursively
+  /// defined local arrays whose dependences force iterative inner loops.
+  bool apply_hyperplane = false;
+  /// With apply_hyperplane: also project the transformed iteration
+  /// domain to exact non-rectangular loop bounds (Lamport [10]) via
+  /// Fourier-Motzkin elimination, and emit the transformed module's C
+  /// with those bounds instead of the guarded bounding box. The nest is
+  /// returned in CompileResult::exact_nest for the interpreter.
+  bool exact_bounds = false;
+  /// Generate C code (deliverable of the paper's code generator phase).
+  bool emit_c_code = true;
+  bool emit_openmp = true;
+  bool use_virtual_windows = true;
+  TimeFunctionOptions solver;
+};
+
+/// One fully analysed and scheduled module.
+struct CompiledModule {
+  std::unique_ptr<CheckedModule> module;
+  std::unique_ptr<DepGraph> graph;  // refers into *module
+  ScheduleResult schedule;
+  MergeStats merge_stats;
+  std::string c_code;
+  std::string source;  // PS source text (pretty-printed for derived modules)
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string diagnostics;  // rendered diagnostics (empty on clean success)
+  std::optional<CompiledModule> primary;
+  /// Populated when apply_hyperplane found and transformed a candidate.
+  std::optional<DependenceSet> dependences;
+  std::optional<HyperplaneTransform> transform;
+  std::optional<CompiledModule> transformed;
+  /// Exact loop bounds of the transformed iteration space (set when
+  /// CompileOptions::exact_bounds and a transform was applied). Pass to
+  /// InterpreterOptions::exact_bounds / CodegenOptions::exact_bounds;
+  /// stable for the lifetime of the result.
+  std::optional<LoopNestBounds> exact_nest;
+};
+
+/// The psc compiler facade: parse -> sema -> dependency graph ->
+/// schedule (-> hyperplane restructure -> reschedule) -> C code.
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {}) : options_(options) {}
+
+  /// Compile the first module of `source`.
+  [[nodiscard]] CompileResult compile(std::string_view source) const;
+
+  /// Analyse and schedule an already-parsed module.
+  [[nodiscard]] std::optional<CompiledModule> analyze(
+      ModuleAst ast, DiagnosticEngine& diags) const;
+
+  [[nodiscard]] const CompileOptions& options() const { return options_; }
+
+ private:
+  CompileOptions options_;
+};
+
+}  // namespace ps

@@ -1,0 +1,128 @@
+// psc: command-line front end for the PS compiler reproduction.
+//
+// Usage:
+//   psc [options] <file.ps | ->
+//     --schedule        print the flowchart (default)
+//     --components      print the MSCC table (paper Figure 5)
+//     --graph           print the dependency-graph inventory
+//     --dot             print the dependency graph as Graphviz DOT
+//     --c               print the generated C code
+//     --source          print the pretty-printed PS source
+//     --hyperplane      apply the section-4 restructuring and report both
+//     --merge           run the loop-fusion pass
+//     --no-windows      disable virtual-dimension windowing in codegen
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "driver/compiler.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+void print_stage(const ps::CompiledModule& stage, bool components, bool graph,
+                 bool dot, bool c_code, bool source, bool schedule) {
+  if (source) std::cout << stage.source << '\n';
+  if (graph) std::cout << stage.graph->summary() << '\n';
+  if (dot) std::cout << stage.graph->to_dot() << '\n';
+  if (components) {
+    ps::TextTable table({"Component", "Node(s)", "Flowchart"});
+    for (size_t i = 0; i < stage.schedule.components.size(); ++i) {
+      const auto& comp = stage.schedule.components[i];
+      std::string names;
+      for (size_t j = 0; j < comp.nodes.size(); ++j) {
+        if (j) names += ", ";
+        names += stage.graph->node(comp.nodes[j]).name;
+      }
+      table.add_row({std::to_string(i + 1), names,
+                     ps::flowchart_to_line(comp.flowchart, *stage.graph)});
+    }
+    std::cout << table.render() << '\n';
+  }
+  if (schedule)
+    std::cout << ps::flowchart_to_string(stage.schedule.flowchart,
+                                         *stage.graph)
+              << '\n';
+  if (c_code) std::cout << stage.c_code << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool components = false;
+  bool graph = false;
+  bool dot = false;
+  bool c_code = false;
+  bool source = false;
+  bool schedule = false;
+  std::string path;
+
+  ps::CompileOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--components") components = true;
+    else if (arg == "--graph") graph = true;
+    else if (arg == "--dot") dot = true;
+    else if (arg == "--c") c_code = true;
+    else if (arg == "--source") source = true;
+    else if (arg == "--schedule") schedule = true;
+    else if (arg == "--hyperplane") options.apply_hyperplane = true;
+    else if (arg == "--exact") {
+      options.apply_hyperplane = true;
+      options.exact_bounds = true;
+    }
+    else if (arg == "--merge") options.merge_loops = true;
+    else if (arg == "--no-windows") options.use_virtual_windows = false;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
+                   "--source] [--hyperplane] [--exact] [--merge] "
+                   "[--no-windows] <file.ps|->\n";
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (!components && !graph && !dot && !c_code && !source) schedule = true;
+  if (path.empty()) {
+    std::cerr << "psc: no input file (use '-' for stdin)\n";
+    return 2;
+  }
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "psc: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  ps::Compiler compiler(options);
+  ps::CompileResult result = compiler.compile(text);
+  if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
+  if (!result.ok || !result.primary) return 1;
+
+  print_stage(*result.primary, components, graph, dot, c_code, source,
+              schedule);
+
+  if (result.transform) {
+    std::cout << "-- hyperplane transform on '" << result.transform->array
+              << "': " << result.transform->describe() << "\n\n";
+    if (result.exact_nest)
+      std::cout << "-- exact loop bounds (Lamport):\n"
+                << result.exact_nest->to_string() << "\n\n";
+    if (result.transformed)
+      print_stage(*result.transformed, components, graph, dot, c_code, source,
+                  schedule);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+
+// Figure 1 of the paper, with the OCR damage repaired: subranges
+// I,J = 0..M+1 and K = 2..maxK; A is array [1..maxK] of array [I,J].
+const char* const kRelaxationSource = R"PS(
+(*$m+v+x+t-*)
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+  [newA: array [I, J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+  (* A denotes the succession of grids *)
+define
+  (*eq.1*) A[1] = InitialA;   (* the first grid is input *)
+  (*eq.2*) newA = A[maxK];    (* the grid returned is from
+                                 the last iteration *)
+  (*eq.3*) A[K,I,J] = if (I = 0)
+                      or (J = 0)
+                      or (I = M+1)
+                      or (J = M+1)
+                      then A[K-1,I,J]   (* carry over boundary points *)
+                      else ( A[K-1,I,J-1]
+                            +A[K-1,I-1,J]
+                            +A[K-1,I,J+1]
+                            +A[K-1,I+1,J] ) / 4;
+end Relaxation;
+)PS";
+
+// Section 4's revised equation 3: J-1 and I-1 neighbours are taken from
+// the current sweep K, forcing iterative I and J loops (Figure 7).
+const char* const kGaussSeidelSource = R"PS(
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+  [newA: array [I, J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+define
+  (*eq.1*) A[1] = InitialA;
+  (*eq.2*) newA = A[maxK];
+  (*eq.3*) A[K,I,J] = if (I = 0)
+                      or (J = 0)
+                      or (I = M+1)
+                      or (J = M+1)
+                      then A[K-1,I,J]
+                      else ( A[K,I,J-1]
+                            +A[K,I-1,J]
+                            +A[K-1,I,J+1]
+                            +A[K-1,I+1,J] ) / 4;
+end Relaxation;
+)PS";
+
+const char* const kHeat1dSource = R"PS(
+Heat1d: module (u0: array[X] of real; N: int; steps: int;
+                r: real):
+  [uOut: array [X] of real];
+type
+  X = 0 .. N+1;  T = 2 .. steps;
+var
+  u: array [1 .. steps] of array [X] of real;
+define
+  u[1] = u0;
+  uOut = u[steps];
+  u[T,X] = if (X = 0) or (X = N+1)
+           then u[T-1,X]
+           else u[T-1,X] + r * (u[T-1,X-1] - 2.0 * u[T-1,X] + u[T-1,X+1]);
+end Heat1d;
+)PS";
+
+const char* const kPointwiseChainSource = R"PS(
+Chain: module (x: array[I] of real; N: int):
+  [y: array [I] of real];
+type
+  I = 0 .. N-1;
+var
+  a: array [I] of real;
+  b: array [I] of real;
+  c: array [I] of real;
+define
+  a[I] = x[I] * 2.0;
+  b[I] = a[I] + 1.0;
+  c[I] = b[I] * b[I];
+  y[I] = c[I] - a[I];
+end Chain;
+)PS";
+
+}  // namespace ps

@@ -1,0 +1,24 @@
+#pragma once
+
+namespace ps {
+
+/// The paper's Figure 1: the Jacobi-style relaxation module (Equation 1
+/// -- every element value is taken from the previous iteration).
+/// Scheduling it reproduces Figures 5 and 6.
+extern const char* const kRelaxationSource;
+
+/// Section 4's revised module (Equation 2, Gauss-Seidel-style: the J-1
+/// and I-1 neighbours come from the current iteration). Scheduling it
+/// reproduces Figure 7; the hyperplane transform recovers the parallel
+/// schedule of Figure 6.
+extern const char* const kGaussSeidelSource;
+
+/// A 1-D heat-diffusion module used by the examples and tests: same
+/// structure as Figure 1 one dimension down.
+extern const char* const kHeat1dSource;
+
+/// A chain of element-wise array equations over the same subranges; the
+/// loop-fusion pass collapses its four DOALL nests into one.
+extern const char* const kPointwiseChainSource;
+
+}  // namespace ps

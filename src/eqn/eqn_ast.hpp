@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace ps::eqn {
+
+/// A superscripted/subscripted reference `A^{k-1}_{i,j-1}` in the
+/// equation language. Following the paper's section 2 convention,
+/// superscripts (iteration numbers) and subscripts (array elements)
+/// are not differentiated downstream: translation concatenates them,
+/// superscripts first, into one PS subscript list `A[k-1, i, j-1]`.
+struct EqnRef {
+  std::string name;
+  std::vector<ExprPtr> supers;
+  std::vector<ExprPtr> subs;
+  SourceLoc loc;
+
+  [[nodiscard]] size_t rank() const { return supers.size() + subs.size(); }
+};
+
+/// `k in 2..maxK` -- one index binding of a clause's `for` domain.
+struct EqnBinding {
+  std::string var;
+  ExprPtr lo;
+  ExprPtr hi;
+  SourceLoc loc;
+};
+
+/// One equation clause:
+///   A^{k}_{i,j} = rhs  [if guard | otherwise]  [for bindings];
+/// Clauses whose left-hand sides share the same shape are merged by the
+/// translator into a single PS equation with an if/else chain.
+struct EqnClause {
+  EqnRef lhs;
+  ExprPtr rhs;
+  ExprPtr guard;          // null unless `if`
+  bool otherwise = false; // `otherwise` marker
+  std::vector<EqnBinding> bindings;
+  SourceLoc loc;
+};
+
+/// `param InitialA : real[0..M+1, 0..M+1];`
+struct EqnParam {
+  std::string name;
+  bool is_int = false;  // scalar int vs real
+  /// Array dimensions (empty = scalar): lo/hi bound expressions.
+  std::vector<std::pair<ExprPtr, ExprPtr>> dims;
+  SourceLoc loc;
+};
+
+/// `result newA = A^{maxK};` -- the module result is a (possibly
+/// partially applied) slice of an equation array.
+struct EqnResult {
+  std::string name;
+  EqnRef ref;
+  SourceLoc loc;
+};
+
+/// A parsed equation file: one module worth of parameters, results and
+/// clauses.
+struct EqnModule {
+  std::string name;
+  std::vector<EqnParam> params;
+  std::vector<EqnResult> results;
+  std::vector<EqnClause> clauses;
+  SourceLoc loc;
+};
+
+}  // namespace ps::eqn

@@ -1,0 +1,206 @@
+#include "eqn/eqn_lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace ps::eqn {
+
+namespace {
+
+const std::map<std::string_view, EqnTokKind> kKeywords = {
+    {"module", EqnTokKind::KwModule},   {"param", EqnTokKind::KwParam},
+    {"result", EqnTokKind::KwResult},   {"for", EqnTokKind::KwFor},
+    {"in", EqnTokKind::KwIn},           {"if", EqnTokKind::KwIf},
+    {"otherwise", EqnTokKind::KwOtherwise},
+    {"int", EqnTokKind::KwInt},         {"real", EqnTokKind::KwReal},
+    {"and", EqnTokKind::KwAnd},         {"or", EqnTokKind::KwOr},
+    {"not", EqnTokKind::KwNot},         {"div", EqnTokKind::KwDiv},
+    {"mod", EqnTokKind::KwMod},
+};
+
+}  // namespace
+
+std::string_view eqn_tok_name(EqnTokKind kind) {
+  switch (kind) {
+    case EqnTokKind::EndOfFile: return "end of file";
+    case EqnTokKind::Identifier: return "identifier";
+    case EqnTokKind::IntLit: return "integer literal";
+    case EqnTokKind::RealLit: return "real literal";
+    case EqnTokKind::Command: return "TeX command";
+    case EqnTokKind::KwModule: return "'module'";
+    case EqnTokKind::KwParam: return "'param'";
+    case EqnTokKind::KwResult: return "'result'";
+    case EqnTokKind::KwFor: return "'for'";
+    case EqnTokKind::KwIn: return "'in'";
+    case EqnTokKind::KwIf: return "'if'";
+    case EqnTokKind::KwOtherwise: return "'otherwise'";
+    case EqnTokKind::KwInt: return "'int'";
+    case EqnTokKind::KwReal: return "'real'";
+    case EqnTokKind::KwAnd: return "'and'";
+    case EqnTokKind::KwOr: return "'or'";
+    case EqnTokKind::KwNot: return "'not'";
+    case EqnTokKind::KwDiv: return "'div'";
+    case EqnTokKind::KwMod: return "'mod'";
+    case EqnTokKind::Caret: return "'^'";
+    case EqnTokKind::Underscore: return "'_'";
+    case EqnTokKind::LBrace: return "'{'";
+    case EqnTokKind::RBrace: return "'}'";
+    case EqnTokKind::LParen: return "'('";
+    case EqnTokKind::RParen: return "')'";
+    case EqnTokKind::LBracket: return "'['";
+    case EqnTokKind::RBracket: return "']'";
+    case EqnTokKind::Comma: return "','";
+    case EqnTokKind::Colon: return "':'";
+    case EqnTokKind::Semicolon: return "';'";
+    case EqnTokKind::Equal: return "'='";
+    case EqnTokKind::Plus: return "'+'";
+    case EqnTokKind::Minus: return "'-'";
+    case EqnTokKind::Star: return "'*'";
+    case EqnTokKind::Slash: return "'/'";
+    case EqnTokKind::Less: return "'<'";
+    case EqnTokKind::LessEq: return "'<='";
+    case EqnTokKind::Greater: return "'>'";
+    case EqnTokKind::GreaterEq: return "'>='";
+    case EqnTokKind::NotEq: return "'<>'";
+    case EqnTokKind::DotDot: return "'..'";
+  }
+  return "?";
+}
+
+EqnLexer::EqnLexer(std::string_view source, DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+char EqnLexer::peek(size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char EqnLexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+SourceLoc EqnLexer::here() const {
+  return SourceLoc{line_, column_, static_cast<uint32_t>(pos_)};
+}
+
+void EqnLexer::skip_trivia() {
+  while (!at_end()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '%') {  // TeX comment to end of line
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      break;
+    }
+  }
+}
+
+EqnToken EqnLexer::lex_number(SourceLoc start) {
+  std::string text;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  // '..' must not be swallowed as a decimal point.
+  if (peek() == '.' && peek(1) != '.' &&
+      std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    EqnToken tok{EqnTokKind::RealLit, text, 0, std::stod(text), start};
+    return tok;
+  }
+  EqnToken tok{EqnTokKind::IntLit, text, std::stoll(text), 0, start};
+  return tok;
+}
+
+EqnToken EqnLexer::lex_identifier(SourceLoc start) {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '\'')
+    text += advance();
+  auto kw = kKeywords.find(text);
+  if (kw != kKeywords.end()) return EqnToken{kw->second, text, 0, 0, start};
+  return EqnToken{EqnTokKind::Identifier, text, 0, 0, start};
+}
+
+EqnToken EqnLexer::lex_command(SourceLoc start) {
+  advance();  // backslash
+  std::string text;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) text += advance();
+  if (text.empty())
+    diags_.error(start, "empty TeX command");
+  return EqnToken{EqnTokKind::Command, text, 0, 0, start};
+}
+
+EqnToken EqnLexer::next() {
+  skip_trivia();
+  SourceLoc start = here();
+  if (at_end()) return EqnToken{EqnTokKind::EndOfFile, "", 0, 0, start};
+
+  char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(start);
+  if (std::isalpha(static_cast<unsigned char>(c))) return lex_identifier(start);
+  if (c == '\\') return lex_command(start);
+
+  advance();
+  auto tok = [&](EqnTokKind kind) {
+    return EqnToken{kind, std::string(1, c), 0, 0, start};
+  };
+  switch (c) {
+    case '^': return tok(EqnTokKind::Caret);
+    case '_': return tok(EqnTokKind::Underscore);
+    case '{': return tok(EqnTokKind::LBrace);
+    case '}': return tok(EqnTokKind::RBrace);
+    case '(': return tok(EqnTokKind::LParen);
+    case ')': return tok(EqnTokKind::RParen);
+    case '[': return tok(EqnTokKind::LBracket);
+    case ']': return tok(EqnTokKind::RBracket);
+    case ',': return tok(EqnTokKind::Comma);
+    case ':': return tok(EqnTokKind::Colon);
+    case ';': return tok(EqnTokKind::Semicolon);
+    case '=': return tok(EqnTokKind::Equal);
+    case '+': return tok(EqnTokKind::Plus);
+    case '-': return tok(EqnTokKind::Minus);
+    case '*': return tok(EqnTokKind::Star);
+    case '/': return tok(EqnTokKind::Slash);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return EqnToken{EqnTokKind::LessEq, "<=", 0, 0, start};
+      }
+      if (peek() == '>') {
+        advance();
+        return EqnToken{EqnTokKind::NotEq, "<>", 0, 0, start};
+      }
+      return tok(EqnTokKind::Less);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return EqnToken{EqnTokKind::GreaterEq, ">=", 0, 0, start};
+      }
+      return tok(EqnTokKind::Greater);
+    case '.':
+      if (peek() == '.') {
+        advance();
+        return EqnToken{EqnTokKind::DotDot, "..", 0, 0, start};
+      }
+      diags_.error(start, "stray '.'");
+      return next();
+    default:
+      diags_.error(start, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+std::vector<EqnToken> EqnLexer::lex_all() {
+  std::vector<EqnToken> out;
+  while (true) {
+    out.push_back(next());
+    if (out.back().kind == EqnTokKind::EndOfFile) return out;
+  }
+}
+
+}  // namespace ps::eqn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "eqn/eqn_token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps::eqn {
+
+/// Hand-written lexer for the EQN equation language.
+///
+/// Comments run from `%` to end of line (TeX style). TeX commands are
+/// lexed as Command tokens with the backslash stripped (`\frac` ->
+/// "frac"); the parser maps relational and logical commands (`\le`,
+/// `\lor`, `\cdot`, ...) onto the plain operators, so both notations
+/// may be mixed freely.
+class EqnLexer {
+ public:
+  EqnLexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Lex the next token; returns EndOfFile forever once exhausted.
+  EqnToken next();
+
+  /// Lex the entire buffer (convenience for the tests).
+  std::vector<EqnToken> lex_all();
+
+ private:
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] SourceLoc here() const;
+  void skip_trivia();
+
+  EqnToken lex_number(SourceLoc start);
+  EqnToken lex_identifier(SourceLoc start);
+  EqnToken lex_command(SourceLoc start);
+
+  std::string_view source_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace ps::eqn

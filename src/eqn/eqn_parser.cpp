@@ -1,0 +1,450 @@
+#include "eqn/eqn_parser.hpp"
+
+#include <utility>
+
+namespace ps::eqn {
+
+EqnParser::EqnParser(std::string_view source, DiagnosticEngine& diags)
+    : lexer_(source, diags), diags_(diags) {}
+
+const EqnToken& EqnParser::peek() {
+  if (!has_lookahead_) {
+    lookahead_ = lexer_.next();
+    has_lookahead_ = true;
+  }
+  return lookahead_;
+}
+
+EqnToken EqnParser::take() {
+  peek();
+  has_lookahead_ = false;
+  return std::move(lookahead_);
+}
+
+bool EqnParser::at(EqnTokKind kind) { return peek().kind == kind; }
+
+bool EqnParser::accept(EqnTokKind kind) {
+  if (!at(kind)) return false;
+  take();
+  return true;
+}
+
+bool EqnParser::expect(EqnTokKind kind, std::string_view context) {
+  if (accept(kind)) return true;
+  diags_.error(peek().loc, "expected " + std::string(eqn_tok_name(kind)) +
+                               " " + std::string(context) + ", found " +
+                               std::string(eqn_tok_name(peek().kind)));
+  return false;
+}
+
+void EqnParser::sync_to_semicolon() {
+  while (!at(EqnTokKind::EndOfFile) && !accept(EqnTokKind::Semicolon)) take();
+}
+
+std::optional<EqnTokKind> EqnParser::command_operator(std::string_view name) {
+  if (name == "le" || name == "leq") return EqnTokKind::LessEq;
+  if (name == "ge" || name == "geq") return EqnTokKind::GreaterEq;
+  if (name == "ne" || name == "neq") return EqnTokKind::NotEq;
+  if (name == "lt") return EqnTokKind::Less;
+  if (name == "gt") return EqnTokKind::Greater;
+  if (name == "lor" || name == "vee") return EqnTokKind::KwOr;
+  if (name == "land" || name == "wedge") return EqnTokKind::KwAnd;
+  if (name == "lnot" || name == "neg") return EqnTokKind::KwNot;
+  if (name == "cdot" || name == "times") return EqnTokKind::Star;
+  return std::nullopt;
+}
+
+std::optional<EqnModule> EqnParser::parse_module() {
+  EqnModule module;
+  module.loc = peek().loc;
+  if (!expect(EqnTokKind::KwModule, "at the start of an equation file"))
+    return std::nullopt;
+  if (!at(EqnTokKind::Identifier)) {
+    diags_.error(peek().loc, "expected module name");
+    return std::nullopt;
+  }
+  module.name = take().text;
+  expect(EqnTokKind::Semicolon, "after the module name");
+
+  while (!at(EqnTokKind::EndOfFile)) {
+    if (at(EqnTokKind::KwParam)) {
+      if (auto p = parse_param())
+        module.params.push_back(std::move(*p));
+      else
+        sync_to_semicolon();
+    } else if (at(EqnTokKind::KwResult)) {
+      if (auto r = parse_result())
+        module.results.push_back(std::move(*r));
+      else
+        sync_to_semicolon();
+    } else {
+      if (auto c = parse_clause())
+        module.clauses.push_back(std::move(*c));
+      else
+        sync_to_semicolon();
+    }
+  }
+  if (diags_.has_errors()) return std::nullopt;
+  if (module.results.empty())
+    diags_.error(module.loc, "module '" + module.name + "' has no result");
+  if (module.clauses.empty())
+    diags_.error(module.loc, "module '" + module.name + "' has no equations");
+  if (diags_.has_errors()) return std::nullopt;
+  return module;
+}
+
+std::optional<EqnParam> EqnParser::parse_param() {
+  EqnParam param;
+  param.loc = peek().loc;
+  take();  // 'param'
+  if (!at(EqnTokKind::Identifier)) {
+    diags_.error(peek().loc, "expected parameter name");
+    return std::nullopt;
+  }
+  param.name = take().text;
+  if (!expect(EqnTokKind::Colon, "after the parameter name"))
+    return std::nullopt;
+
+  if (accept(EqnTokKind::KwInt)) {
+    param.is_int = true;
+  } else if (accept(EqnTokKind::KwReal)) {
+    param.is_int = false;
+    if (accept(EqnTokKind::LBracket)) {
+      do {
+        ExprPtr lo = parse_arith();
+        if (!expect(EqnTokKind::DotDot, "in an array bound")) return std::nullopt;
+        ExprPtr hi = parse_arith();
+        if (!lo || !hi) return std::nullopt;
+        param.dims.emplace_back(std::move(lo), std::move(hi));
+      } while (accept(EqnTokKind::Comma));
+      if (!expect(EqnTokKind::RBracket, "after the array bounds"))
+        return std::nullopt;
+    }
+  } else {
+    diags_.error(peek().loc, "expected 'int' or 'real' parameter type");
+    return std::nullopt;
+  }
+  if (!expect(EqnTokKind::Semicolon, "after the parameter declaration"))
+    return std::nullopt;
+  return param;
+}
+
+std::optional<EqnResult> EqnParser::parse_result() {
+  EqnResult result;
+  result.loc = peek().loc;
+  take();  // 'result'
+  if (!at(EqnTokKind::Identifier)) {
+    diags_.error(peek().loc, "expected result name");
+    return std::nullopt;
+  }
+  result.name = take().text;
+  if (!expect(EqnTokKind::Equal, "after the result name")) return std::nullopt;
+  auto ref = parse_ref();
+  if (!ref) return std::nullopt;
+  result.ref = std::move(*ref);
+  if (!expect(EqnTokKind::Semicolon, "after the result definition"))
+    return std::nullopt;
+  return result;
+}
+
+std::optional<EqnClause> EqnParser::parse_clause() {
+  EqnClause clause;
+  clause.loc = peek().loc;
+  auto lhs = parse_ref();
+  if (!lhs) return std::nullopt;
+  clause.lhs = std::move(*lhs);
+  if (!expect(EqnTokKind::Equal, "after the equation left-hand side"))
+    return std::nullopt;
+  clause.rhs = parse_arith();
+  if (!clause.rhs) return std::nullopt;
+
+  if (accept(EqnTokKind::KwIf)) {
+    clause.guard = parse_bool();
+    if (!clause.guard) return std::nullopt;
+  } else if (accept(EqnTokKind::KwOtherwise)) {
+    clause.otherwise = true;
+  }
+
+  if (accept(EqnTokKind::KwFor)) {
+    do {
+      auto binding = parse_binding();
+      if (!binding) return std::nullopt;
+      clause.bindings.push_back(std::move(*binding));
+    } while (accept(EqnTokKind::Comma));
+  }
+  if (!expect(EqnTokKind::Semicolon, "after the equation")) return std::nullopt;
+  return clause;
+}
+
+std::optional<EqnRef> EqnParser::parse_ref() {
+  if (!at(EqnTokKind::Identifier)) {
+    diags_.error(peek().loc, "expected a name");
+    return std::nullopt;
+  }
+  EqnRef ref;
+  EqnToken name = take();
+  ref.name = name.text;
+  ref.loc = name.loc;
+  if (accept(EqnTokKind::Caret)) {
+    if (!parse_group(ref.supers)) return std::nullopt;
+  }
+  if (accept(EqnTokKind::Underscore)) {
+    if (!parse_group(ref.subs)) return std::nullopt;
+  }
+  return ref;
+}
+
+bool EqnParser::parse_group(std::vector<ExprPtr>& out) {
+  if (accept(EqnTokKind::LBrace)) {
+    do {
+      ExprPtr e = parse_arith();
+      if (!e) return false;
+      out.push_back(std::move(e));
+    } while (accept(EqnTokKind::Comma));
+    return expect(EqnTokKind::RBrace, "after the script group");
+  }
+  // Short form: a single digit-run or identifier, as in A^2 or A_i.
+  if (at(EqnTokKind::IntLit)) {
+    EqnToken t = take();
+    out.push_back(std::make_unique<IntLitExpr>(t.int_value, t.loc));
+    return true;
+  }
+  if (at(EqnTokKind::Identifier)) {
+    EqnToken t = take();
+    out.push_back(std::make_unique<NameExpr>(t.text, t.loc));
+    return true;
+  }
+  diags_.error(peek().loc, "expected '{', a number or a name after ^/_");
+  return false;
+}
+
+std::optional<EqnBinding> EqnParser::parse_binding() {
+  if (!at(EqnTokKind::Identifier)) {
+    diags_.error(peek().loc, "expected an index variable");
+    return std::nullopt;
+  }
+  EqnBinding binding;
+  EqnToken name = take();
+  binding.var = name.text;
+  binding.loc = name.loc;
+  if (!expect(EqnTokKind::KwIn, "in an index binding")) return std::nullopt;
+  binding.lo = parse_arith();
+  if (!binding.lo) return std::nullopt;
+  if (!expect(EqnTokKind::DotDot, "in an index range")) return std::nullopt;
+  binding.hi = parse_arith();
+  if (!binding.hi) return std::nullopt;
+  return binding;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr EqnParser::parse_bool() {
+  ExprPtr lhs = parse_bool_and();
+  if (!lhs) return nullptr;
+  while (true) {
+    bool is_or = at(EqnTokKind::KwOr) ||
+                 (at(EqnTokKind::Command) &&
+                  command_operator(peek().text) == EqnTokKind::KwOr);
+    if (!is_or) return lhs;
+    SourceLoc loc = take().loc;
+    ExprPtr rhs = parse_bool_and();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(lhs),
+                                       std::move(rhs), loc);
+  }
+}
+
+ExprPtr EqnParser::parse_bool_and() {
+  ExprPtr lhs = parse_bool_not();
+  if (!lhs) return nullptr;
+  while (true) {
+    bool is_and = at(EqnTokKind::KwAnd) ||
+                  (at(EqnTokKind::Command) &&
+                   command_operator(peek().text) == EqnTokKind::KwAnd);
+    if (!is_and) return lhs;
+    SourceLoc loc = take().loc;
+    ExprPtr rhs = parse_bool_not();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(lhs),
+                                       std::move(rhs), loc);
+  }
+}
+
+ExprPtr EqnParser::parse_bool_not() {
+  bool is_not = at(EqnTokKind::KwNot) ||
+                (at(EqnTokKind::Command) &&
+                 command_operator(peek().text) == EqnTokKind::KwNot);
+  if (is_not) {
+    SourceLoc loc = take().loc;
+    ExprPtr operand = parse_bool_not();
+    if (!operand) return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(operand), loc);
+  }
+  if (accept(EqnTokKind::LParen)) {
+    // Parenthesised boolean subexpression.
+    ExprPtr inner = parse_bool();
+    if (!inner) return nullptr;
+    if (!expect(EqnTokKind::RParen, "after the condition")) return nullptr;
+    return inner;
+  }
+  return parse_comparison();
+}
+
+ExprPtr EqnParser::parse_comparison() {
+  ExprPtr lhs = parse_arith();
+  if (!lhs) return nullptr;
+
+  EqnTokKind op_kind = peek().kind;
+  if (op_kind == EqnTokKind::Command) {
+    auto mapped = command_operator(peek().text);
+    if (!mapped) {
+      diags_.error(peek().loc, "expected a comparison operator");
+      return nullptr;
+    }
+    op_kind = *mapped;
+  }
+  BinaryOp op;
+  switch (op_kind) {
+    case EqnTokKind::Equal: op = BinaryOp::Eq; break;
+    case EqnTokKind::NotEq: op = BinaryOp::Ne; break;
+    case EqnTokKind::Less: op = BinaryOp::Lt; break;
+    case EqnTokKind::LessEq: op = BinaryOp::Le; break;
+    case EqnTokKind::Greater: op = BinaryOp::Gt; break;
+    case EqnTokKind::GreaterEq: op = BinaryOp::Ge; break;
+    default:
+      diags_.error(peek().loc, "expected a comparison operator");
+      return nullptr;
+  }
+  SourceLoc loc = take().loc;
+  ExprPtr rhs = parse_arith();
+  if (!rhs) return nullptr;
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+}
+
+ExprPtr EqnParser::parse_arith() {
+  ExprPtr lhs = parse_term();
+  if (!lhs) return nullptr;
+  while (at(EqnTokKind::Plus) || at(EqnTokKind::Minus)) {
+    EqnToken op = take();
+    ExprPtr rhs = parse_term();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(
+        op.kind == EqnTokKind::Plus ? BinaryOp::Add : BinaryOp::Sub,
+        std::move(lhs), std::move(rhs), op.loc);
+  }
+  return lhs;
+}
+
+ExprPtr EqnParser::parse_term() {
+  ExprPtr lhs = parse_unary();
+  if (!lhs) return nullptr;
+  while (true) {
+    BinaryOp op;
+    if (at(EqnTokKind::Star)) {
+      op = BinaryOp::Mul;
+    } else if (at(EqnTokKind::Slash)) {
+      op = BinaryOp::Div;
+    } else if (at(EqnTokKind::KwDiv)) {
+      op = BinaryOp::IntDiv;
+    } else if (at(EqnTokKind::KwMod)) {
+      op = BinaryOp::Mod;
+    } else if (at(EqnTokKind::Command) &&
+               command_operator(peek().text) == EqnTokKind::Star) {
+      op = BinaryOp::Mul;
+    } else {
+      return lhs;
+    }
+    SourceLoc loc = take().loc;
+    ExprPtr rhs = parse_unary();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr EqnParser::parse_unary() {
+  if (at(EqnTokKind::Minus)) {
+    SourceLoc loc = take().loc;
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(operand), loc);
+  }
+  return parse_primary();
+}
+
+ExprPtr EqnParser::parse_primary() {
+  if (at(EqnTokKind::IntLit)) {
+    EqnToken t = take();
+    return std::make_unique<IntLitExpr>(t.int_value, t.loc);
+  }
+  if (at(EqnTokKind::RealLit)) {
+    EqnToken t = take();
+    return std::make_unique<RealLitExpr>(t.real_value, t.loc);
+  }
+  if (accept(EqnTokKind::LParen)) {
+    ExprPtr inner = parse_arith();
+    if (!inner) return nullptr;
+    if (!expect(EqnTokKind::RParen, "after the expression")) return nullptr;
+    return inner;
+  }
+  if (at(EqnTokKind::Command)) {
+    EqnToken cmd = take();
+    if (cmd.text == "frac") {
+      // \frac{numerator}{denominator}
+      if (!expect(EqnTokKind::LBrace, "after \\frac")) return nullptr;
+      ExprPtr numer = parse_arith();
+      if (!numer) return nullptr;
+      if (!expect(EqnTokKind::RBrace, "after the numerator")) return nullptr;
+      if (!expect(EqnTokKind::LBrace, "before the denominator"))
+        return nullptr;
+      ExprPtr denom = parse_arith();
+      if (!denom) return nullptr;
+      if (!expect(EqnTokKind::RBrace, "after the denominator")) return nullptr;
+      return std::make_unique<BinaryExpr>(BinaryOp::Div, std::move(numer),
+                                          std::move(denom), cmd.loc);
+    }
+    if (cmd.text == "sqrt") {
+      if (!expect(EqnTokKind::LBrace, "after \\sqrt")) return nullptr;
+      ExprPtr arg = parse_arith();
+      if (!arg) return nullptr;
+      if (!expect(EqnTokKind::RBrace, "after the radicand")) return nullptr;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(arg));
+      return std::make_unique<CallExpr>("sqrt", std::move(args), cmd.loc);
+    }
+    diags_.error(cmd.loc, "unknown TeX command '\\" + cmd.text + "'");
+    return nullptr;
+  }
+  if (at(EqnTokKind::Identifier)) {
+    // Intrinsic call f(...) or a (scripted) reference.
+    auto ref = parse_ref();
+    if (!ref) return nullptr;
+    if (ref->rank() == 0 && accept(EqnTokKind::LParen)) {
+      std::vector<ExprPtr> args;
+      if (!at(EqnTokKind::RParen)) {
+        do {
+          ExprPtr arg = parse_arith();
+          if (!arg) return nullptr;
+          args.push_back(std::move(arg));
+        } while (accept(EqnTokKind::Comma));
+      }
+      if (!expect(EqnTokKind::RParen, "after the call arguments"))
+        return nullptr;
+      return std::make_unique<CallExpr>(ref->name, std::move(args), ref->loc);
+    }
+    if (ref->rank() == 0)
+      return std::make_unique<NameExpr>(ref->name, ref->loc);
+    std::vector<ExprPtr> subs;
+    for (auto& s : ref->supers) subs.push_back(std::move(s));
+    for (auto& s : ref->subs) subs.push_back(std::move(s));
+    return std::make_unique<IndexExpr>(
+        std::make_unique<NameExpr>(ref->name, ref->loc), std::move(subs),
+        ref->loc);
+  }
+  diags_.error(peek().loc, "expected an expression, found " +
+                               std::string(eqn_tok_name(peek().kind)));
+  return nullptr;
+}
+
+}  // namespace ps::eqn

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "eqn/eqn_ast.hpp"
+#include "eqn/eqn_lexer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps::eqn {
+
+/// Recursive-descent parser for the EQN equation language:
+///
+///   file    := 'module' IDENT ';' item*
+///   item    := param | result | clause
+///   param   := 'param' IDENT ':' type ';'
+///   type    := 'int' | 'real' | 'real' '[' range (',' range)* ']'
+///   result  := 'result' IDENT '=' ref ';'
+///   clause  := ref '=' arith (('if' bool) | 'otherwise')?
+///              ('for' binding (',' binding)*)? ';'
+///   binding := IDENT 'in' arith '..' arith
+///   ref     := IDENT ('^' group)? ('_' group)?
+///   group   := '{' arith (',' arith)* '}' | INT | IDENT
+///
+/// Expressions come in two precedence families: `arith` (+, -, *, /,
+/// div, mod, \frac, \cdot, \times, unary minus, intrinsic calls) and
+/// `bool` (comparisons =, <>, <=, <, >=, > / \ne, \le, \ge over arith,
+/// combined with and/or/not / \land, \lor, \lnot). Right-hand sides are
+/// arithmetic; guards are boolean -- so '=' is unambiguous.
+class EqnParser {
+ public:
+  EqnParser(std::string_view source, DiagnosticEngine& diags);
+
+  /// Parse one module; nullopt (with diagnostics) on failure.
+  std::optional<EqnModule> parse_module();
+
+ private:
+  const EqnToken& peek();
+  EqnToken take();
+  bool at(EqnTokKind kind);
+  bool accept(EqnTokKind kind);
+  bool expect(EqnTokKind kind, std::string_view context);
+  void sync_to_semicolon();
+
+  /// Translate a relational/logical/arithmetic TeX command to its
+  /// operator token kind; nullopt for non-operator commands.
+  static std::optional<EqnTokKind> command_operator(std::string_view name);
+
+  std::optional<EqnParam> parse_param();
+  std::optional<EqnResult> parse_result();
+  std::optional<EqnClause> parse_clause();
+  std::optional<EqnRef> parse_ref();
+  bool parse_group(std::vector<ExprPtr>& out);
+  std::optional<EqnBinding> parse_binding();
+
+  ExprPtr parse_bool();
+  ExprPtr parse_bool_and();
+  ExprPtr parse_bool_not();
+  ExprPtr parse_comparison();
+  ExprPtr parse_arith();
+  ExprPtr parse_term();
+  ExprPtr parse_unary();
+  ExprPtr parse_primary();
+
+  EqnLexer lexer_;
+  DiagnosticEngine& diags_;
+  EqnToken lookahead_;
+  bool has_lookahead_ = false;
+};
+
+}  // namespace ps::eqn

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace ps::eqn {
+
+/// Tokens of the equation language EQN -- the TeX-flavoured surface
+/// syntax for numerical equations the paper names as its "ultimate
+/// goal" front end ("a translator of equations in the form of (1),
+/// perhaps as TeX or Postscript files, to modules in this language").
+enum class EqnTokKind {
+  EndOfFile,
+  Identifier,   // A, InitialA, maxK
+  IntLit,       // 4
+  RealLit,      // 0.25
+  Command,      // \frac, \cdot, \lor ... (text() is without the backslash)
+
+  // Keywords.
+  KwModule,
+  KwParam,
+  KwResult,
+  KwFor,
+  KwIn,
+  KwIf,
+  KwOtherwise,
+  KwInt,
+  KwReal,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwDiv,
+  KwMod,
+
+  // Punctuation and operators.
+  Caret,      // ^
+  Underscore, // _
+  LBrace,     // {
+  RBrace,     // }
+  LParen,     // (
+  RParen,     // )
+  LBracket,   // [
+  RBracket,   // ]
+  Comma,      // ,
+  Colon,      // :
+  Semicolon,  // ;
+  Equal,      // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Less,
+  LessEq,     // <=
+  Greater,
+  GreaterEq,  // >=
+  NotEq,      // <>
+  DotDot,     // ..
+};
+
+struct EqnToken {
+  EqnTokKind kind = EqnTokKind::EndOfFile;
+  std::string text;   // identifier / command spelling
+  int64_t int_value = 0;
+  double real_value = 0;
+  SourceLoc loc;
+};
+
+[[nodiscard]] std::string_view eqn_tok_name(EqnTokKind kind);
+
+}  // namespace ps::eqn

@@ -1,0 +1,560 @@
+#include "eqn/translate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "eqn/eqn_parser.hpp"
+
+namespace ps::eqn {
+
+namespace {
+
+/// One dimension of an equation array, as inferred from the clauses.
+struct DimInfo {
+  std::string var;        // canonical binding variable ("" when never bound)
+  const Expr* lo = nullptr;  // binding range (borrowed from a clause)
+  const Expr* hi = nullptr;
+  /// Literal fixed subscripts seen at this position (A^{1} -> 1); they
+  /// may widen a literal binding bound (k in 2..maxK plus the fixed 1
+  /// gives the declared range 1..maxK, as in the paper's Figure 1).
+  std::vector<int64_t> fixed_literals;
+};
+
+struct ArrayInfo {
+  std::vector<DimInfo> dims;
+  SourceLoc loc;
+};
+
+/// A group of clauses sharing one left-hand-side shape = one PS
+/// equation after guard chaining.
+struct ClauseGroup {
+  std::string array;
+  std::vector<const EqnClause*> clauses;
+};
+
+bool is_binding_var(const EqnClause& clause, const Expr& e,
+                    std::string* var_out) {
+  if (e.kind != ExprKind::Name) return false;
+  const auto& name = static_cast<const NameExpr&>(e).name;
+  for (const EqnBinding& b : clause.bindings) {
+    if (b.var == name) {
+      *var_out = name;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// All scripts of a reference in PS order: superscripts first.
+std::vector<const Expr*> script_list(const EqnRef& ref) {
+  std::vector<const Expr*> out;
+  for (const auto& e : ref.supers) out.push_back(e.get());
+  for (const auto& e : ref.subs) out.push_back(e.get());
+  return out;
+}
+
+/// Shape key of a clause LHS: per position, the binding variable name or
+/// the rendered fixed expression. Clauses with equal keys merge.
+std::string shape_key(const EqnClause& clause) {
+  std::string key = clause.lhs.name;
+  for (const Expr* e : script_list(clause.lhs)) {
+    std::string var;
+    if (is_binding_var(clause, *e, &var))
+      key += "|v:" + var;
+    else
+      key += "|f:" + to_string(*e);
+  }
+  return key;
+}
+
+TypeExprPtr subrange_type(const Expr& lo, const Expr& hi, SourceLoc loc) {
+  auto node = std::make_unique<TypeExprNode>();
+  node->kind = TypeExprKind::Subrange;
+  node->loc = loc;
+  node->lo = lo.clone();
+  node->hi = hi.clone();
+  return node;
+}
+
+TypeExprPtr named_type(const std::string& name, SourceLoc loc) {
+  auto node = std::make_unique<TypeExprNode>();
+  node->kind = TypeExprKind::Named;
+  node->name = name;
+  node->loc = loc;
+  return node;
+}
+
+TypeExprPtr real_type(SourceLoc loc) {
+  auto node = std::make_unique<TypeExprNode>();
+  node->kind = TypeExprKind::Real;
+  node->loc = loc;
+  return node;
+}
+
+class Translator {
+ public:
+  Translator(const EqnModule& module, DiagnosticEngine& diags)
+      : in_(module), diags_(diags) {}
+
+  std::optional<ModuleAst> run() {
+    collect_groups();
+    if (!infer_arrays()) return std::nullopt;
+    if (!check_bindings()) return std::nullopt;
+
+    ModuleAst out;
+    out.name = in_.name;
+    out.loc = in_.loc;
+    emit_type_decls(out);
+    emit_params(out);
+    if (!emit_locals(out)) return std::nullopt;
+    if (!emit_group_equations(out)) return std::nullopt;
+    if (!emit_results(out)) return std::nullopt;
+    if (diags_.has_errors()) return std::nullopt;
+    return out;
+  }
+
+ private:
+  // -- analysis ---------------------------------------------------------
+
+  void collect_groups() {
+    for (const EqnClause& clause : in_.clauses) {
+      std::string key = shape_key(clause);
+      auto it = group_index_.find(key);
+      if (it == group_index_.end()) {
+        group_index_.emplace(key, groups_.size());
+        groups_.push_back(ClauseGroup{clause.lhs.name, {&clause}});
+      } else {
+        groups_[it->second].clauses.push_back(&clause);
+      }
+    }
+  }
+
+  bool infer_arrays() {
+    bool ok = true;
+    for (const ClauseGroup& group : groups_) {
+      const EqnClause& first = *group.clauses.front();
+      auto [it, inserted] = arrays_.try_emplace(group.array);
+      ArrayInfo& info = it->second;
+      if (inserted) {
+        info.dims.resize(first.lhs.rank());
+        info.loc = first.lhs.loc;
+      } else if (info.dims.size() != first.lhs.rank()) {
+        diags_.error(first.lhs.loc,
+                     "'" + group.array + "' is used with " +
+                         std::to_string(first.lhs.rank()) + " scripts here but " +
+                         std::to_string(info.dims.size()) + " elsewhere");
+        ok = false;
+        continue;
+      }
+      auto scripts = script_list(first.lhs);
+      for (size_t d = 0; d < scripts.size(); ++d) {
+        std::string var;
+        if (is_binding_var(first, *scripts[d], &var)) {
+          const EqnBinding* binding = find_binding(first, var);
+          DimInfo& dim = info.dims[d];
+          if (dim.lo == nullptr) {
+            dim.var = var;
+            dim.lo = binding->lo.get();
+            dim.hi = binding->hi.get();
+          } else if (!expr_equal(*dim.lo, *binding->lo) ||
+                     !expr_equal(*dim.hi, *binding->hi)) {
+            diags_.error(binding->loc,
+                         "dimension " + std::to_string(d + 1) + " of '" +
+                             group.array + "' is bound to " +
+                             to_string(*binding->lo) + ".." +
+                             to_string(*binding->hi) + " here but " +
+                             to_string(*dim.lo) + ".." + to_string(*dim.hi) +
+                             " elsewhere");
+            ok = false;
+          }
+        } else if (scripts[d]->kind == ExprKind::IntLit) {
+          info.dims[d].fixed_literals.push_back(
+              static_cast<const IntLitExpr&>(*scripts[d]).value);
+        }
+        // Symbolic fixed subscripts (A^{maxK}) constrain nothing: the
+        // range must come from some binding or literal.
+      }
+    }
+    return ok;
+  }
+
+  bool check_bindings() {
+    bool ok = true;
+    for (const ClauseGroup& group : groups_) {
+      const EqnClause& first = *group.clauses.front();
+      // Every binding var must appear on the LHS (PS loops come from
+      // the LHS index variables).
+      for (const EqnBinding& b : first.bindings) {
+        bool used = false;
+        for (const Expr* e : script_list(first.lhs)) {
+          std::string var;
+          if (is_binding_var(first, *e, &var) && var == b.var) used = true;
+        }
+        if (!used) {
+          diags_.error(b.loc, "index '" + b.var +
+                                  "' is bound but does not appear on the "
+                                  "left-hand side");
+          ok = false;
+        }
+      }
+      // All clauses of a group agree on their bindings.
+      for (const EqnClause* clause : group.clauses) {
+        if (clause == &first) continue;
+        if (!same_bindings(first, *clause)) {
+          diags_.error(clause->loc,
+                       "clauses for this left-hand side have different "
+                       "index bindings; split the domains with guards "
+                       "instead");
+          ok = false;
+        }
+      }
+      // Exactly one unguarded/otherwise clause, and it comes last in
+      // the chain.
+      size_t fallbacks = 0;
+      for (const EqnClause* clause : group.clauses)
+        if (clause->guard == nullptr) ++fallbacks;
+      if (fallbacks == 0) {
+        diags_.error(first.loc, "no 'otherwise' clause for '" + group.array +
+                                    "': the case split is incomplete");
+        ok = false;
+      } else if (fallbacks > 1) {
+        diags_.error(first.loc, "more than one unguarded clause for '" +
+                                    group.array + "'");
+        ok = false;
+      }
+    }
+    // Binding variables bound to different ranges anywhere in the file
+    // would need two subrange types of the same name.
+    for (const EqnClause& clause : in_.clauses) {
+      for (const EqnBinding& b : clause.bindings) {
+        auto it = binding_ranges_.find(b.var);
+        if (it == binding_ranges_.end()) {
+          binding_ranges_.emplace(
+              b.var, std::make_pair(b.lo.get(), b.hi.get()));
+        } else if (!expr_equal(*it->second.first, *b.lo) ||
+                   !expr_equal(*it->second.second, *b.hi)) {
+          diags_.error(b.loc, "index '" + b.var +
+                                  "' is bound to two different ranges; "
+                                  "rename one of the indices");
+          ok = false;
+        }
+      }
+    }
+    return ok;
+  }
+
+  static const EqnBinding* find_binding(const EqnClause& clause,
+                                        const std::string& var) {
+    for (const EqnBinding& b : clause.bindings)
+      if (b.var == var) return &b;
+    return nullptr;
+  }
+
+  static bool same_bindings(const EqnClause& a, const EqnClause& b) {
+    if (a.bindings.size() != b.bindings.size()) return false;
+    for (const EqnBinding& ba : a.bindings) {
+      const EqnBinding* bb = find_binding(b, ba.var);
+      if (bb == nullptr || !expr_equal(*ba.lo, *bb->lo) ||
+          !expr_equal(*ba.hi, *bb->hi))
+        return false;
+    }
+    return true;
+  }
+
+  /// The declared range of one array dimension: the binding range,
+  /// widened by literal fixed subscripts when both ends are literals.
+  bool dim_range(const std::string& array, const DimInfo& dim, ExprPtr* lo,
+                 ExprPtr* hi) {
+    if (dim.lo == nullptr) {
+      if (dim.fixed_literals.empty()) {
+        diags_.error(arrays_.at(array).loc,
+                     "cannot infer a range for a dimension of '" + array +
+                         "': it is never bound by a 'for'");
+        return false;
+      }
+      auto [mn, mx] = std::minmax_element(dim.fixed_literals.begin(),
+                                          dim.fixed_literals.end());
+      *lo = std::make_unique<IntLitExpr>(*mn);
+      *hi = std::make_unique<IntLitExpr>(*mx);
+      return true;
+    }
+    *lo = dim.lo->clone();
+    *hi = dim.hi->clone();
+    if (!dim.fixed_literals.empty()) {
+      auto [mn, mx] = std::minmax_element(dim.fixed_literals.begin(),
+                                          dim.fixed_literals.end());
+      if ((*lo)->kind == ExprKind::IntLit &&
+          *mn < static_cast<IntLitExpr&>(**lo).value)
+        *lo = std::make_unique<IntLitExpr>(*mn);
+      if ((*hi)->kind == ExprKind::IntLit &&
+          *mx > static_cast<IntLitExpr&>(**hi).value)
+        *hi = std::make_unique<IntLitExpr>(*mx);
+    }
+    return true;
+  }
+
+  /// True when the binding range of `dim.var` equals the declared
+  /// dimension range, so the array declaration can name the subrange.
+  bool dim_matches_binding(const DimInfo& dim, const Expr& lo,
+                           const Expr& hi) const {
+    return dim.lo != nullptr && expr_equal(*dim.lo, lo) &&
+           expr_equal(*dim.hi, hi);
+  }
+
+  // -- emission ---------------------------------------------------------
+
+  void emit_type_decls(ModuleAst& out) {
+    // One subrange type per binding variable; variables with equal
+    // ranges share a declaration (type i, j = 0 .. M+1).
+    std::vector<std::string> order;
+    for (const EqnClause& clause : in_.clauses)
+      for (const EqnBinding& b : clause.bindings)
+        if (std::find(order.begin(), order.end(), b.var) == order.end())
+          order.push_back(b.var);
+
+    std::set<std::string> done;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (done.count(order[i])) continue;
+      const auto& [lo_i, hi_i] = binding_ranges_.at(order[i]);
+      TypeDeclAst decl;
+      decl.names.push_back(order[i]);
+      done.insert(order[i]);
+      for (size_t j = i + 1; j < order.size(); ++j) {
+        if (done.count(order[j])) continue;
+        const auto& [lo_j, hi_j] = binding_ranges_.at(order[j]);
+        if (expr_equal(*lo_i, *lo_j) && expr_equal(*hi_i, *hi_j)) {
+          decl.names.push_back(order[j]);
+          done.insert(order[j]);
+        }
+      }
+      decl.type = subrange_type(*lo_i, *hi_i, in_.loc);
+      out.type_decls.push_back(std::move(decl));
+    }
+  }
+
+  void emit_params(ModuleAst& out) {
+    for (const EqnParam& p : in_.params) {
+      VarDeclAst decl;
+      decl.names.push_back(p.name);
+      decl.loc = p.loc;
+      if (p.dims.empty()) {
+        decl.type = std::make_unique<TypeExprNode>();
+        decl.type->kind = p.is_int ? TypeExprKind::Int : TypeExprKind::Real;
+        decl.type->loc = p.loc;
+      } else {
+        auto arr = std::make_unique<TypeExprNode>();
+        arr->kind = TypeExprKind::Array;
+        arr->loc = p.loc;
+        std::set<std::string> used;
+        for (const auto& [lo, hi] : p.dims)
+          arr->dims.push_back(dim_type_expr(*lo, *hi, p.loc, &used));
+        arr->elem = real_type(p.loc);
+        decl.type = std::move(arr);
+      }
+      out.params.push_back(std::move(decl));
+      param_names_.insert(p.name);
+    }
+  }
+
+  /// Binding variables in order of first appearance (the order the
+  /// reader of the equation file expects in declarations).
+  std::vector<std::string> binding_order() const {
+    std::vector<std::string> order;
+    for (const EqnClause& clause : in_.clauses)
+      for (const EqnBinding& b : clause.bindings)
+        if (std::find(order.begin(), order.end(), b.var) == order.end())
+          order.push_back(b.var);
+    return order;
+  }
+
+  /// Named subrange when a binding variable has exactly this range,
+  /// otherwise an anonymous subrange. With several equal-range names
+  /// (i, j = 0..M+1), successive dimensions of one array prefer names
+  /// not used yet, so InitialA prints as array [i, j] rather than
+  /// array [i, i].
+  TypeExprPtr dim_type_expr(const Expr& lo, const Expr& hi, SourceLoc loc,
+                            std::set<std::string>* used) {
+    std::string fallback;
+    for (const std::string& var : binding_order()) {
+      const auto& range = binding_ranges_.at(var);
+      if (!expr_equal(*range.first, lo) || !expr_equal(*range.second, hi))
+        continue;
+      if (used == nullptr || used->insert(var).second)
+        return named_type(var, loc);
+      if (fallback.empty()) fallback = var;
+    }
+    if (!fallback.empty()) return named_type(fallback, loc);
+    return subrange_type(lo, hi, loc);
+  }
+
+  bool emit_locals(ModuleAst& out) {
+    std::set<std::string> result_names;
+    for (const EqnResult& r : in_.results) result_names.insert(r.name);
+
+    for (auto& [name, info] : arrays_) {
+      if (param_names_.count(name)) {
+        diags_.error(info.loc,
+                     "parameter '" + name + "' cannot be defined by an "
+                                            "equation");
+        return false;
+      }
+      if (result_names.count(name)) {
+        diags_.error(info.loc,
+                     "'" + name + "' is declared as a result; results are "
+                                  "slices of equation arrays");
+        return false;
+      }
+      VarDeclAst decl;
+      decl.names.push_back(name);
+      decl.loc = info.loc;
+      auto arr = std::make_unique<TypeExprNode>();
+      arr->kind = TypeExprKind::Array;
+      arr->loc = info.loc;
+      for (const DimInfo& dim : info.dims) {
+        ExprPtr lo;
+        ExprPtr hi;
+        if (!dim_range(name, dim, &lo, &hi)) return false;
+        if (dim_matches_binding(dim, *lo, *hi))
+          arr->dims.push_back(named_type(dim.var, info.loc));
+        else
+          arr->dims.push_back(subrange_type(*lo, *hi, info.loc));
+      }
+      arr->elem = real_type(info.loc);
+      decl.type = std::move(arr);
+      out.locals.push_back(std::move(decl));
+    }
+    return true;
+  }
+
+  bool emit_group_equations(ModuleAst& out) {
+    for (const ClauseGroup& group : groups_) {
+      const EqnClause& first = *group.clauses.front();
+      EquationAst eq;
+      eq.lhs_name = group.array;
+      eq.loc = first.loc;
+      for (const Expr* e : script_list(first.lhs)) {
+        std::string var;
+        if (is_binding_var(first, *e, &var))
+          eq.lhs_subs.push_back(std::make_unique<NameExpr>(var, e->loc));
+        else
+          eq.lhs_subs.push_back(e->clone());
+      }
+
+      // Chain the guards: guarded clauses in order, fallback last.
+      const EqnClause* fallback = nullptr;
+      std::vector<const EqnClause*> guarded;
+      for (const EqnClause* clause : group.clauses) {
+        if (clause->guard == nullptr)
+          fallback = clause;
+        else
+          guarded.push_back(clause);
+      }
+      ExprPtr rhs = fallback->rhs->clone();
+      for (size_t i = guarded.size(); i-- > 0;) {
+        rhs = std::make_unique<IfExpr>(guarded[i]->guard->clone(),
+                                       guarded[i]->rhs->clone(),
+                                       std::move(rhs), guarded[i]->loc);
+      }
+      eq.rhs = std::move(rhs);
+      out.equations.push_back(std::move(eq));
+    }
+    return true;
+  }
+
+  bool emit_results(ModuleAst& out) {
+    for (const EqnResult& r : in_.results) {
+      auto it = arrays_.find(r.ref.name);
+      if (it == arrays_.end()) {
+        diags_.error(r.loc, "result '" + r.name + "' refers to '" +
+                                r.ref.name +
+                                "', which no equation defines");
+        return false;
+      }
+      const ArrayInfo& info = it->second;
+      size_t fixed = r.ref.rank();
+      if (fixed > info.dims.size()) {
+        diags_.error(r.loc, "result '" + r.name + "' applies " +
+                                std::to_string(fixed) + " scripts to the " +
+                                std::to_string(info.dims.size()) +
+                                "-dimensional '" + r.ref.name + "'");
+        return false;
+      }
+
+      // Output declaration over the remaining dimensions.
+      VarDeclAst decl;
+      decl.names.push_back(r.name);
+      decl.loc = r.loc;
+      std::vector<std::string> loop_vars;
+      if (fixed == info.dims.size()) {
+        decl.type = real_type(r.loc);
+      } else {
+        auto arr = std::make_unique<TypeExprNode>();
+        arr->kind = TypeExprKind::Array;
+        arr->loc = r.loc;
+        for (size_t d = fixed; d < info.dims.size(); ++d) {
+          const DimInfo& dim = info.dims[d];
+          ExprPtr lo;
+          ExprPtr hi;
+          if (!dim_range(r.ref.name, dim, &lo, &hi)) return false;
+          if (dim.var.empty() || !dim_matches_binding(dim, *lo, *hi)) {
+            diags_.error(r.loc,
+                         "result '" + r.name + "' keeps dimension " +
+                             std::to_string(d + 1) + " of '" + r.ref.name +
+                             "', whose range does not match an index "
+                             "binding");
+            return false;
+          }
+          arr->dims.push_back(named_type(dim.var, r.loc));
+          loop_vars.push_back(dim.var);
+        }
+        arr->elem = real_type(r.loc);
+        decl.type = std::move(arr);
+      }
+      out.results.push_back(std::move(decl));
+
+      // The copy equation newA[i, j] = A[maxK, i, j].
+      EquationAst eq;
+      eq.lhs_name = r.name;
+      eq.loc = r.loc;
+      std::vector<ExprPtr> subs;
+      for (const Expr* e : script_list(r.ref)) subs.push_back(e->clone());
+      for (const std::string& var : loop_vars) {
+        eq.lhs_subs.push_back(std::make_unique<NameExpr>(var, r.loc));
+        subs.push_back(std::make_unique<NameExpr>(var, r.loc));
+      }
+      eq.rhs = std::make_unique<IndexExpr>(
+          std::make_unique<NameExpr>(r.ref.name, r.loc), std::move(subs),
+          r.loc);
+      out.equations.push_back(std::move(eq));
+    }
+    return true;
+  }
+
+  const EqnModule& in_;
+  DiagnosticEngine& diags_;
+
+  std::vector<ClauseGroup> groups_;
+  std::map<std::string, size_t> group_index_;
+  std::map<std::string, ArrayInfo> arrays_;
+  /// binding var -> (lo, hi), borrowed from the clauses.
+  std::map<std::string, std::pair<const Expr*, const Expr*>> binding_ranges_;
+  std::set<std::string> param_names_;
+};
+
+}  // namespace
+
+std::optional<ModuleAst> translate_equations(const EqnModule& module,
+                                             DiagnosticEngine& diags) {
+  return Translator(module, diags).run();
+}
+
+std::optional<ModuleAst> equations_to_ps(std::string_view eqn_source,
+                                         DiagnosticEngine& diags) {
+  EqnParser parser(eqn_source, diags);
+  auto module = parser.parse_module();
+  if (!module) return std::nullopt;
+  return translate_equations(*module, diags);
+}
+
+}  // namespace ps::eqn

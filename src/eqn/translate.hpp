@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "eqn/eqn_ast.hpp"
+#include "frontend/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps::eqn {
+
+/// Translate a parsed equation module into a PS module AST (the paper's
+/// "ultimate goal" front end). The key moves, straight from section 2:
+///
+///  * superscripts and subscripts are not differentiated -- both become
+///    PS subscripts, superscripts first (A^{k}_{i,j} -> A[k, i, j]);
+///  * every index binding (`k in 2..maxK`) becomes a named subrange
+///    type, so bindings double as the loop domains of the scheduler;
+///  * clauses with the same left-hand-side shape merge into one PS
+///    equation whose right-hand side chains the guards into an
+///    if/then/else (the guarded clauses in order, the 'otherwise'
+///    clause last);
+///  * clauses with distinct shapes (e.g. the fixed superscript in
+///    A^{1}_{i,j} = InitialA_{i,j}) stay separate equations, exactly
+///    like `A[1] = InitialA` in the paper's Figure 1;
+///  * each equation array that is not a parameter becomes a local
+///    variable whose dimension ranges are the union of the binding
+///    ranges and any literal fixed subscripts (the k dimension of A is
+///    1..maxK although the recurrence binds k in 2..maxK);
+///  * `result newA = A^{maxK}` declares the output array over the
+///    remaining dimensions and emits the copy equation
+///    `newA[i, j] = A[maxK, i, j]`.
+///
+/// Returns nullopt with diagnostics for inconsistent input (clashing
+/// binding ranges, missing 'otherwise', rank mismatches...).
+[[nodiscard]] std::optional<ModuleAst> translate_equations(
+    const EqnModule& module, DiagnosticEngine& diags);
+
+/// Convenience wrapper: parse EQN text and translate it. The returned
+/// module pretty-prints to PS source via to_source() and feeds straight
+/// into ps::Compiler::analyze / ps::Sema.
+[[nodiscard]] std::optional<ModuleAst> equations_to_ps(
+    std::string_view eqn_source, DiagnosticEngine& diags);
+
+}  // namespace ps::eqn

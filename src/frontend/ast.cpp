@@ -1,0 +1,340 @@
+#include "frontend/ast.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ps {
+
+ExprPtr IndexExpr::clone() const {
+  std::vector<ExprPtr> s;
+  s.reserve(subs.size());
+  for (const auto& sub : subs) s.push_back(sub->clone());
+  return std::make_unique<IndexExpr>(base->clone(), std::move(s), loc);
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> a;
+  a.reserve(args.size());
+  for (const auto& arg : args) a.push_back(arg->clone());
+  return std::make_unique<CallExpr>(callee, std::move(a), loc);
+}
+
+std::string_view unary_op_name(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg:
+      return "-";
+    case UnaryOp::Not:
+      return "not";
+  }
+  return "?";
+}
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+      return "+";
+    case BinaryOp::Sub:
+      return "-";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::IntDiv:
+      return "div";
+    case BinaryOp::Mod:
+      return "mod";
+    case BinaryOp::Eq:
+      return "=";
+    case BinaryOp::Ne:
+      return "<>";
+    case BinaryOp::Lt:
+      return "<";
+    case BinaryOp::Le:
+      return "<=";
+    case BinaryOp::Gt:
+      return ">";
+    case BinaryOp::Ge:
+      return ">=";
+    case BinaryOp::And:
+      return "and";
+    case BinaryOp::Or:
+      return "or";
+  }
+  return "?";
+}
+
+namespace {
+
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Or:
+      return 1;
+    case BinaryOp::And:
+      return 2;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 3;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 4;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::IntDiv:
+    case BinaryOp::Mod:
+      return 5;
+  }
+  return 0;
+}
+
+void print(const Expr& e, std::ostringstream& os, int parent_prec) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      os << static_cast<const IntLitExpr&>(e).value;
+      return;
+    case ExprKind::RealLit: {
+      double v = static_cast<const RealLitExpr&>(e).value;
+      std::ostringstream tmp;
+      tmp << v;
+      std::string s = tmp.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos)
+        s += ".0";
+      os << s;
+      return;
+    }
+    case ExprKind::BoolLit:
+      os << (static_cast<const BoolLitExpr&>(e).value ? "true" : "false");
+      return;
+    case ExprKind::Name:
+      os << static_cast<const NameExpr&>(e).name;
+      return;
+    case ExprKind::Index: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      print(*ix.base, os, 100);
+      os << '[';
+      for (size_t i = 0; i < ix.subs.size(); ++i) {
+        if (i) os << ", ";
+        print(*ix.subs[i], os, 0);
+      }
+      os << ']';
+      return;
+    }
+    case ExprKind::Field: {
+      const auto& f = static_cast<const FieldExpr&>(e);
+      print(*f.base, os, 100);
+      os << '.' << f.field;
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      os << unary_op_name(u.op);
+      if (u.op == UnaryOp::Not) os << ' ';
+      print(*u.operand, os, 99);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      int prec = precedence(b.op);
+      bool paren = prec < parent_prec;
+      if (paren) os << '(';
+      print(*b.lhs, os, prec);
+      os << ' ' << binary_op_name(b.op) << ' ';
+      print(*b.rhs, os, prec + 1);
+      if (paren) os << ')';
+      return;
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      bool paren = parent_prec > 0;
+      if (paren) os << '(';
+      os << "if ";
+      print(*i.cond, os, 0);
+      os << " then ";
+      print(*i.then_expr, os, 0);
+      os << " else ";
+      print(*i.else_expr, os, 0);
+      if (paren) os << ')';
+      return;
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      os << c.callee << '(';
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ", ";
+        print(*c.args[i], os, 0);
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  print(e, os, 0);
+  return os.str();
+}
+
+bool expr_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLitExpr&>(a).value ==
+             static_cast<const IntLitExpr&>(b).value;
+    case ExprKind::RealLit:
+      return static_cast<const RealLitExpr&>(a).value ==
+             static_cast<const RealLitExpr&>(b).value;
+    case ExprKind::BoolLit:
+      return static_cast<const BoolLitExpr&>(a).value ==
+             static_cast<const BoolLitExpr&>(b).value;
+    case ExprKind::Name:
+      return static_cast<const NameExpr&>(a).name ==
+             static_cast<const NameExpr&>(b).name;
+    case ExprKind::Index: {
+      const auto& x = static_cast<const IndexExpr&>(a);
+      const auto& y = static_cast<const IndexExpr&>(b);
+      if (!expr_equal(*x.base, *y.base)) return false;
+      if (x.subs.size() != y.subs.size()) return false;
+      for (size_t i = 0; i < x.subs.size(); ++i)
+        if (!expr_equal(*x.subs[i], *y.subs[i])) return false;
+      return true;
+    }
+    case ExprKind::Field: {
+      const auto& x = static_cast<const FieldExpr&>(a);
+      const auto& y = static_cast<const FieldExpr&>(b);
+      return x.field == y.field && expr_equal(*x.base, *y.base);
+    }
+    case ExprKind::Unary: {
+      const auto& x = static_cast<const UnaryExpr&>(a);
+      const auto& y = static_cast<const UnaryExpr&>(b);
+      return x.op == y.op && expr_equal(*x.operand, *y.operand);
+    }
+    case ExprKind::Binary: {
+      const auto& x = static_cast<const BinaryExpr&>(a);
+      const auto& y = static_cast<const BinaryExpr&>(b);
+      return x.op == y.op && expr_equal(*x.lhs, *y.lhs) &&
+             expr_equal(*x.rhs, *y.rhs);
+    }
+    case ExprKind::If: {
+      const auto& x = static_cast<const IfExpr&>(a);
+      const auto& y = static_cast<const IfExpr&>(b);
+      return expr_equal(*x.cond, *y.cond) &&
+             expr_equal(*x.then_expr, *y.then_expr) &&
+             expr_equal(*x.else_expr, *y.else_expr);
+    }
+    case ExprKind::Call: {
+      const auto& x = static_cast<const CallExpr&>(a);
+      const auto& y = static_cast<const CallExpr&>(b);
+      if (x.callee != y.callee || x.args.size() != y.args.size()) return false;
+      for (size_t i = 0; i < x.args.size(); ++i)
+        if (!expr_equal(*x.args[i], *y.args[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+TypeExprPtr TypeExprNode::clone() const {
+  auto out = std::make_unique<TypeExprNode>();
+  out->kind = kind;
+  out->loc = loc;
+  out->name = name;
+  if (lo) out->lo = lo->clone();
+  if (hi) out->hi = hi->clone();
+  for (const auto& d : dims) out->dims.push_back(d->clone());
+  if (elem) out->elem = elem->clone();
+  for (const auto& f : fields)
+    out->fields.push_back(TypeExprField{f.name, f.type->clone()});
+  out->enumerators = enumerators;
+  return out;
+}
+
+std::string to_string(const TypeExprNode& t) {
+  switch (t.kind) {
+    case TypeExprKind::Named:
+      return t.name;
+    case TypeExprKind::Int:
+      return "int";
+    case TypeExprKind::Real:
+      return "real";
+    case TypeExprKind::Bool:
+      return "bool";
+    case TypeExprKind::Subrange:
+      return to_string(*t.lo) + " .. " + to_string(*t.hi);
+    case TypeExprKind::Array: {
+      std::vector<std::string> ds;
+      ds.reserve(t.dims.size());
+      for (const auto& d : t.dims) ds.push_back(to_string(*d));
+      return "array [" + join(ds, ", ") + "] of " + to_string(*t.elem);
+    }
+    case TypeExprKind::Record: {
+      std::string out = "record ";
+      for (const auto& f : t.fields)
+        out += f.name + ": " + to_string(*f.type) + "; ";
+      return out + "end";
+    }
+    case TypeExprKind::Enum:
+      return "(" + join(t.enumerators, ", ") + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string decl_to_source(const VarDeclAst& d) {
+  return join(d.names, ", ") + ": " + to_string(*d.type);
+}
+
+}  // namespace
+
+std::string to_source(const ModuleAst& m) {
+  std::ostringstream os;
+  os << m.name << ": module (";
+  for (size_t i = 0; i < m.params.size(); ++i) {
+    if (i) os << "; ";
+    os << decl_to_source(m.params[i]);
+  }
+  os << "):\n  [";
+  for (size_t i = 0; i < m.results.size(); ++i) {
+    if (i) os << "; ";
+    os << decl_to_source(m.results[i]);
+  }
+  os << "];\n";
+  if (!m.type_decls.empty()) {
+    os << "type\n";
+    for (const auto& t : m.type_decls)
+      os << "  " << join(t.names, ", ") << " = " << to_string(*t.type)
+         << ";\n";
+  }
+  if (!m.locals.empty()) {
+    os << "var\n";
+    for (const auto& v : m.locals) os << "  " << decl_to_source(v) << ";\n";
+  }
+  os << "define\n";
+  for (const auto& eq : m.equations) {
+    os << "  " << eq.lhs_name;
+    if (!eq.lhs_subs.empty()) {
+      os << '[';
+      for (size_t i = 0; i < eq.lhs_subs.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*eq.lhs_subs[i]);
+      }
+      os << ']';
+    }
+    os << " = " << to_string(*eq.rhs) << ";\n";
+  }
+  os << "end " << m.name << ";\n";
+  return os.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,257 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace ps {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLit,
+  RealLit,
+  BoolLit,
+  Name,
+  Index,   // base[sub, ...]
+  Field,   // base.field
+  Unary,
+  Binary,
+  If,
+  Call,
+};
+
+enum class UnaryOp { Neg, Not };
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,     // '/' -- real division
+  IntDiv,  // 'div'
+  Mod,     // 'mod'
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all PS expression nodes. Nodes are immutable after
+/// construction except for the `type` annotation filled in by sema
+/// (an opaque pointer into the module's TypeTable).
+struct Expr {
+  explicit Expr(ExprKind k, SourceLoc l = {}) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep copy. Type annotations are not copied; re-run sema on clones.
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+
+  ExprKind kind;
+  SourceLoc loc;
+  const struct Type* type = nullptr;  // filled by sema
+};
+
+struct IntLitExpr final : Expr {
+  explicit IntLitExpr(int64_t v, SourceLoc l = {})
+      : Expr(ExprKind::IntLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<IntLitExpr>(value, loc);
+  }
+  int64_t value;
+};
+
+struct RealLitExpr final : Expr {
+  explicit RealLitExpr(double v, SourceLoc l = {})
+      : Expr(ExprKind::RealLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<RealLitExpr>(value, loc);
+  }
+  double value;
+};
+
+struct BoolLitExpr final : Expr {
+  explicit BoolLitExpr(bool v, SourceLoc l = {})
+      : Expr(ExprKind::BoolLit, l), value(v) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<BoolLitExpr>(value, loc);
+  }
+  bool value;
+};
+
+/// An identifier use: module parameter, local, result, equation index
+/// variable, or enumeration constant -- disambiguated by sema.
+struct NameExpr final : Expr {
+  explicit NameExpr(std::string n, SourceLoc l = {})
+      : Expr(ExprKind::Name, l), name(std::move(n)) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<NameExpr>(name, loc);
+  }
+  std::string name;
+};
+
+/// A subscripted reference `base[s1, ..., sk]`. `base` is a NameExpr in
+/// well-formed programs; subscript count may be smaller than the array
+/// rank (remaining dimensions are implicit, elaborated by sema).
+struct IndexExpr final : Expr {
+  IndexExpr(ExprPtr b, std::vector<ExprPtr> s, SourceLoc l = {})
+      : Expr(ExprKind::Index, l), base(std::move(b)), subs(std::move(s)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+  ExprPtr base;
+  std::vector<ExprPtr> subs;
+};
+
+struct FieldExpr final : Expr {
+  FieldExpr(ExprPtr b, std::string f, SourceLoc l = {})
+      : Expr(ExprKind::Field, l), base(std::move(b)), field(std::move(f)) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<FieldExpr>(base->clone(), field, loc);
+  }
+  ExprPtr base;
+  std::string field;
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e, SourceLoc l = {})
+      : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<UnaryExpr>(op, operand->clone(), loc);
+  }
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr a, ExprPtr b, SourceLoc l = {})
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone(), loc);
+  }
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct IfExpr final : Expr {
+  IfExpr(ExprPtr c, ExprPtr t, ExprPtr e, SourceLoc l = {})
+      : Expr(ExprKind::If, l),
+        cond(std::move(c)),
+        then_expr(std::move(t)),
+        else_expr(std::move(e)) {}
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<IfExpr>(cond->clone(), then_expr->clone(),
+                                    else_expr->clone(), loc);
+  }
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+/// Intrinsic function application (abs, min, max, sqrt, ...).
+struct CallExpr final : Expr {
+  CallExpr(std::string c, std::vector<ExprPtr> a, SourceLoc l = {})
+      : Expr(ExprKind::Call, l), callee(std::move(c)), args(std::move(a)) {}
+  [[nodiscard]] ExprPtr clone() const override;
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+/// Render an expression back to PS surface syntax (for diagnostics,
+/// golden tests and the C emitter's comments).
+[[nodiscard]] std::string to_string(const Expr& e);
+
+/// Structural equality, ignoring source locations and type annotations.
+[[nodiscard]] bool expr_equal(const Expr& a, const Expr& b);
+
+[[nodiscard]] std::string_view unary_op_name(UnaryOp op);
+[[nodiscard]] std::string_view binary_op_name(BinaryOp op);
+
+// ---------------------------------------------------------------------------
+// Type expressions (parse-level, resolved by sema)
+// ---------------------------------------------------------------------------
+
+enum class TypeExprKind { Named, Int, Real, Bool, Subrange, Array, Record, Enum };
+
+struct TypeExprNode;
+using TypeExprPtr = std::unique_ptr<TypeExprNode>;
+
+struct TypeExprField {
+  std::string name;
+  TypeExprPtr type;
+};
+
+struct TypeExprNode {
+  TypeExprKind kind = TypeExprKind::Named;
+  SourceLoc loc;
+  std::string name;                  // Named
+  ExprPtr lo, hi;                    // Subrange
+  std::vector<TypeExprPtr> dims;     // Array index types
+  TypeExprPtr elem;                  // Array element type
+  std::vector<TypeExprField> fields; // Record
+  std::vector<std::string> enumerators;  // Enum
+
+  [[nodiscard]] TypeExprPtr clone() const;
+};
+
+[[nodiscard]] std::string to_string(const TypeExprNode& t);
+
+// ---------------------------------------------------------------------------
+// Declarations and module
+// ---------------------------------------------------------------------------
+
+struct TypeDeclAst {
+  std::vector<std::string> names;  // "I, J = 0 .. M+1" declares two types
+  TypeExprPtr type;
+  SourceLoc loc;
+};
+
+struct VarDeclAst {
+  std::vector<std::string> names;
+  TypeExprPtr type;
+  SourceLoc loc;
+};
+
+/// One defining equation: `lhs_name[lhs_subs] = rhs;`.
+struct EquationAst {
+  std::string lhs_name;
+  std::vector<ExprPtr> lhs_subs;
+  ExprPtr rhs;
+  SourceLoc loc;
+};
+
+/// A PS module: functional unit with parameters, results, declarations
+/// and a define-section of unordered equations (paper section 2).
+struct ModuleAst {
+  std::string name;
+  std::vector<VarDeclAst> params;
+  std::vector<VarDeclAst> results;
+  std::vector<TypeDeclAst> type_decls;
+  std::vector<VarDeclAst> locals;
+  std::vector<EquationAst> equations;
+  SourceLoc loc;
+};
+
+/// A parsed compilation unit (one or more modules).
+struct ProgramAst {
+  std::vector<ModuleAst> modules;
+};
+
+/// Render a module back to PS surface syntax. Re-parsing the output
+/// yields a structurally identical module (round-trip tested).
+[[nodiscard]] std::string to_source(const ModuleAst& m);
+
+}  // namespace ps

@@ -1,0 +1,268 @@
+#include "frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace ps {
+
+namespace {
+
+struct Keyword {
+  std::string_view spelling;
+  TokenKind kind;
+};
+
+constexpr std::array kKeywords = {
+    Keyword{"module", TokenKind::KwModule}, Keyword{"type", TokenKind::KwType},
+    Keyword{"var", TokenKind::KwVar},       Keyword{"define", TokenKind::KwDefine},
+    Keyword{"end", TokenKind::KwEnd},       Keyword{"array", TokenKind::KwArray},
+    Keyword{"of", TokenKind::KwOf},         Keyword{"record", TokenKind::KwRecord},
+    Keyword{"if", TokenKind::KwIf},         Keyword{"then", TokenKind::KwThen},
+    Keyword{"else", TokenKind::KwElse},     Keyword{"or", TokenKind::KwOr},
+    Keyword{"and", TokenKind::KwAnd},       Keyword{"not", TokenKind::KwNot},
+    Keyword{"div", TokenKind::KwDiv},       Keyword{"mod", TokenKind::KwMod},
+    Keyword{"int", TokenKind::KwInt},       Keyword{"integer", TokenKind::KwInt},
+    Keyword{"real", TokenKind::KwReal},     Keyword{"bool", TokenKind::KwBool},
+    Keyword{"boolean", TokenKind::KwBool},  Keyword{"true", TokenKind::KwTrue},
+    Keyword{"false", TokenKind::KwFalse},
+};
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::EndOfFile: return "end of file";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::RealLiteral: return "real literal";
+    case TokenKind::KwModule: return "'module'";
+    case TokenKind::KwType: return "'type'";
+    case TokenKind::KwVar: return "'var'";
+    case TokenKind::KwDefine: return "'define'";
+    case TokenKind::KwEnd: return "'end'";
+    case TokenKind::KwArray: return "'array'";
+    case TokenKind::KwOf: return "'of'";
+    case TokenKind::KwRecord: return "'record'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwThen: return "'then'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwOr: return "'or'";
+    case TokenKind::KwAnd: return "'and'";
+    case TokenKind::KwNot: return "'not'";
+    case TokenKind::KwDiv: return "'div'";
+    case TokenKind::KwMod: return "'mod'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwReal: return "'real'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::Equal: return "'='";
+    case TokenKind::NotEqual: return "'<>'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessEqual: return "'<='";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::GreaterEqual: return "'>='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Error: return "invalid token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char ch = source_[pos_++];
+  if (ch == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return ch;
+}
+
+SourceLoc Lexer::here() const {
+  return SourceLoc{line_, column_, static_cast<uint32_t>(pos_)};
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    char ch = peek();
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance();
+      continue;
+    }
+    if (ch == '(' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      int depth = 1;
+      while (!at_end() && depth > 0) {
+        if (peek() == '(' && peek(1) == '*') {
+          advance();
+          advance();
+          ++depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          advance();
+          advance();
+          --depth;
+        } else {
+          advance();
+        }
+      }
+      if (depth > 0) diags_.error(start, "unterminated comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lex_number(SourceLoc start) {
+  size_t begin = pos_;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  bool is_real = false;
+  // A '.' starts a fraction only when not part of the '..' range operator.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_real = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t mark = pos_;
+    char sign = peek(1);
+    size_t digits_at = (sign == '+' || sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(digits_at)))) {
+      is_real = true;
+      for (size_t i = 0; i <= digits_at; ++i) advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    } else {
+      pos_ = mark;  // 'e' belongs to a following identifier
+    }
+  }
+  std::string text(source_.substr(begin, pos_ - begin));
+  Token tok;
+  tok.loc = start;
+  tok.text = text;
+  if (is_real) {
+    tok.kind = TokenKind::RealLiteral;
+    tok.real_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    tok.kind = TokenKind::IntLiteral;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), tok.int_value);
+    if (ec != std::errc()) {
+      diags_.error(start, "integer literal out of range: " + text);
+      tok.kind = TokenKind::Error;
+    }
+  }
+  return tok;
+}
+
+Token Lexer::lex_identifier(SourceLoc start) {
+  size_t begin = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '\'')
+    advance();
+  std::string text(source_.substr(begin, pos_ - begin));
+  Token tok;
+  tok.loc = start;
+  tok.text = text;
+  tok.kind = TokenKind::Identifier;
+  for (const auto& kw : kKeywords) {
+    if (iequals(text, kw.spelling)) {
+      tok.kind = kw.kind;
+      break;
+    }
+  }
+  return tok;
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  SourceLoc start = here();
+  if (at_end()) return Token{TokenKind::EndOfFile, "", 0, 0, start};
+
+  char ch = peek();
+  if (std::isdigit(static_cast<unsigned char>(ch))) return lex_number(start);
+  if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_')
+    return lex_identifier(start);
+
+  advance();
+  auto simple = [&](TokenKind kind, std::string text) {
+    return Token{kind, std::move(text), 0, 0, start};
+  };
+  switch (ch) {
+    case '(': return simple(TokenKind::LParen, "(");
+    case ')': return simple(TokenKind::RParen, ")");
+    case '[': return simple(TokenKind::LBracket, "[");
+    case ']': return simple(TokenKind::RBracket, "]");
+    case ',': return simple(TokenKind::Comma, ",");
+    case ';': return simple(TokenKind::Semicolon, ";");
+    case ':': return simple(TokenKind::Colon, ":");
+    case '=': return simple(TokenKind::Equal, "=");
+    case '+': return simple(TokenKind::Plus, "+");
+    case '-': return simple(TokenKind::Minus, "-");
+    case '*': return simple(TokenKind::Star, "*");
+    case '/': return simple(TokenKind::Slash, "/");
+    case '.':
+      if (peek() == '.') {
+        advance();
+        return simple(TokenKind::DotDot, "..");
+      }
+      return simple(TokenKind::Dot, ".");
+    case '<':
+      if (peek() == '>') {
+        advance();
+        return simple(TokenKind::NotEqual, "<>");
+      }
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::LessEqual, "<=");
+      }
+      return simple(TokenKind::Less, "<");
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return simple(TokenKind::GreaterEqual, ">=");
+      }
+      return simple(TokenKind::Greater, ">");
+    default:
+      diags_.error(start, std::string("unexpected character '") + ch + "'");
+      return simple(TokenKind::Error, std::string(1, ch));
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  while (true) {
+    Token tok = next();
+    bool done = tok.is(TokenKind::EndOfFile);
+    out.push_back(std::move(tok));
+    if (done) break;
+  }
+  return out;
+}
+
+}  // namespace ps

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps {
+
+/// Hand-written lexer for PS.
+///
+/// Comments are Pascal-style `(* ... *)` and nest; compiler pragmas such
+/// as `(*$m+v+x+t-*)` (Figure 1 of the paper) are treated as comments.
+/// Keywords are matched case-insensitively.
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Lex the next token; returns EndOfFile forever once exhausted.
+  Token next();
+
+  /// Lex the entire buffer (convenience for tests).
+  std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] SourceLoc here() const;
+  void skip_trivia();
+
+  Token lex_number(SourceLoc start);
+  Token lex_identifier(SourceLoc start);
+
+  std::string_view source_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace ps

@@ -1,0 +1,490 @@
+#include "frontend/parser.hpp"
+
+#include <utility>
+
+namespace ps {
+
+Parser::Parser(std::string_view source, DiagnosticEngine& diags)
+    : lexer_(source, diags), diags_(diags) {
+  tok_ = lexer_.next();
+}
+
+void Parser::bump() { tok_ = lexer_.next(); }
+
+bool Parser::accept(TokenKind kind) {
+  if (!at(kind)) return false;
+  bump();
+  return true;
+}
+
+bool Parser::expect(TokenKind kind, std::string_view context) {
+  if (accept(kind)) return true;
+  diags_.error(tok_.loc, std::string("expected ") +
+                             std::string(token_kind_name(kind)) + " in " +
+                             std::string(context) + ", found " +
+                             std::string(token_kind_name(tok_.kind)));
+  return false;
+}
+
+void Parser::sync_to_semicolon() {
+  while (!at(TokenKind::EndOfFile) && !at(TokenKind::Semicolon)) bump();
+  accept(TokenKind::Semicolon);
+}
+
+ProgramAst Parser::parse_program() {
+  ProgramAst program;
+  while (!at(TokenKind::EndOfFile)) {
+    auto module = parse_module();
+    if (module) {
+      program.modules.push_back(std::move(*module));
+    } else {
+      // Cannot make progress on garbage between modules.
+      if (!at(TokenKind::EndOfFile)) bump();
+    }
+  }
+  return program;
+}
+
+std::optional<ModuleAst> Parser::parse_module() {
+  ModuleAst m;
+  m.loc = tok_.loc;
+  if (!at(TokenKind::Identifier)) {
+    diags_.error(tok_.loc, "expected module name");
+    return std::nullopt;
+  }
+  m.name = tok_.text;
+  bump();
+  if (!expect(TokenKind::Colon, "module header")) return std::nullopt;
+  if (!expect(TokenKind::KwModule, "module header")) return std::nullopt;
+  if (!expect(TokenKind::LParen, "module parameter list")) return std::nullopt;
+  m.params = parse_decl_list(TokenKind::RParen);
+  expect(TokenKind::RParen, "module parameter list");
+  expect(TokenKind::Colon, "module header");
+  expect(TokenKind::LBracket, "module result list");
+  m.results = parse_decl_list(TokenKind::RBracket);
+  expect(TokenKind::RBracket, "module result list");
+  expect(TokenKind::Semicolon, "module header");
+
+  if (accept(TokenKind::KwType)) {
+    while (at(TokenKind::Identifier)) {
+      auto decl = parse_type_decl();
+      if (decl) m.type_decls.push_back(std::move(*decl));
+    }
+  }
+  if (accept(TokenKind::KwVar)) {
+    while (at(TokenKind::Identifier)) {
+      auto decl = parse_decl();
+      if (decl) {
+        m.locals.push_back(std::move(*decl));
+        expect(TokenKind::Semicolon, "variable declaration");
+      } else {
+        sync_to_semicolon();
+      }
+    }
+  }
+  expect(TokenKind::KwDefine, "module body");
+  while (!at(TokenKind::KwEnd) && !at(TokenKind::EndOfFile)) {
+    auto eq = parse_equation();
+    if (eq)
+      m.equations.push_back(std::move(*eq));
+    else
+      sync_to_semicolon();
+  }
+  expect(TokenKind::KwEnd, "module");
+  if (at(TokenKind::Identifier)) {
+    if (tok_.text != m.name)
+      diags_.warning(tok_.loc, "module trailer name '" + tok_.text +
+                                   "' does not match header '" + m.name + "'");
+    bump();
+  }
+  expect(TokenKind::Semicolon, "module trailer");
+  return m;
+}
+
+std::vector<VarDeclAst> Parser::parse_decl_list(TokenKind terminator) {
+  std::vector<VarDeclAst> out;
+  if (at(terminator)) return out;
+  while (true) {
+    auto decl = parse_decl();
+    if (decl) out.push_back(std::move(*decl));
+    if (!accept(TokenKind::Semicolon)) break;
+    if (at(terminator)) break;  // tolerate trailing ';'
+  }
+  return out;
+}
+
+std::optional<VarDeclAst> Parser::parse_decl() {
+  VarDeclAst d;
+  d.loc = tok_.loc;
+  if (!at(TokenKind::Identifier)) {
+    diags_.error(tok_.loc, "expected declaration name");
+    return std::nullopt;
+  }
+  d.names.push_back(tok_.text);
+  bump();
+  while (accept(TokenKind::Comma)) {
+    if (!at(TokenKind::Identifier)) {
+      diags_.error(tok_.loc, "expected name after ','");
+      return std::nullopt;
+    }
+    d.names.push_back(tok_.text);
+    bump();
+  }
+  if (!expect(TokenKind::Colon, "declaration")) return std::nullopt;
+  d.type = parse_type_expr();
+  if (!d.type) return std::nullopt;
+  return d;
+}
+
+std::optional<TypeDeclAst> Parser::parse_type_decl() {
+  TypeDeclAst d;
+  d.loc = tok_.loc;
+  d.names.push_back(tok_.text);
+  bump();
+  while (accept(TokenKind::Comma)) {
+    if (!at(TokenKind::Identifier)) {
+      diags_.error(tok_.loc, "expected name after ',' in type declaration");
+      sync_to_semicolon();
+      return std::nullopt;
+    }
+    d.names.push_back(tok_.text);
+    bump();
+  }
+  if (!expect(TokenKind::Equal, "type declaration")) {
+    sync_to_semicolon();
+    return std::nullopt;
+  }
+  d.type = parse_type_expr();
+  if (!d.type) {
+    sync_to_semicolon();
+    return std::nullopt;
+  }
+  expect(TokenKind::Semicolon, "type declaration");
+  return d;
+}
+
+TypeExprPtr Parser::parse_type_expr() {
+  SourceLoc loc = tok_.loc;
+  auto node = std::make_unique<TypeExprNode>();
+  node->loc = loc;
+
+  switch (tok_.kind) {
+    case TokenKind::KwInt:
+      node->kind = TypeExprKind::Int;
+      bump();
+      return node;
+    case TokenKind::KwReal:
+      node->kind = TypeExprKind::Real;
+      bump();
+      return node;
+    case TokenKind::KwBool:
+      node->kind = TypeExprKind::Bool;
+      bump();
+      return node;
+    case TokenKind::KwArray: {
+      bump();
+      node->kind = TypeExprKind::Array;
+      if (!expect(TokenKind::LBracket, "array type")) return nullptr;
+      while (true) {
+        auto dim = parse_type_expr();
+        if (!dim) return nullptr;
+        node->dims.push_back(std::move(dim));
+        if (!accept(TokenKind::Comma)) break;
+      }
+      if (!expect(TokenKind::RBracket, "array type")) return nullptr;
+      if (!expect(TokenKind::KwOf, "array type")) return nullptr;
+      node->elem = parse_type_expr();
+      if (!node->elem) return nullptr;
+      return node;
+    }
+    case TokenKind::KwRecord: {
+      bump();
+      node->kind = TypeExprKind::Record;
+      while (at(TokenKind::Identifier)) {
+        auto decl = parse_decl();
+        if (!decl) return nullptr;
+        for (auto& fname : decl->names) {
+          TypeExprField field;
+          field.name = fname;
+          field.type = decl->type->clone();
+          node->fields.push_back(std::move(field));
+        }
+        expect(TokenKind::Semicolon, "record field");
+      }
+      if (!expect(TokenKind::KwEnd, "record type")) return nullptr;
+      return node;
+    }
+    case TokenKind::LParen: {
+      // Enumeration: (red, green, blue)
+      bump();
+      node->kind = TypeExprKind::Enum;
+      while (at(TokenKind::Identifier)) {
+        node->enumerators.push_back(tok_.text);
+        bump();
+        if (!accept(TokenKind::Comma)) break;
+      }
+      if (!expect(TokenKind::RParen, "enumeration type")) return nullptr;
+      return node;
+    }
+    default:
+      break;
+  }
+
+  // Either a bare type name or a subrange `lo .. hi`, both of which begin
+  // with an additive expression.
+  ExprPtr lo = parse_add();
+  if (!lo) return nullptr;
+  if (accept(TokenKind::DotDot)) {
+    node->kind = TypeExprKind::Subrange;
+    node->lo = std::move(lo);
+    node->hi = parse_add();
+    if (!node->hi) return nullptr;
+    return node;
+  }
+  if (lo->kind == ExprKind::Name) {
+    node->kind = TypeExprKind::Named;
+    node->name = static_cast<NameExpr&>(*lo).name;
+    return node;
+  }
+  diags_.error(loc, "expected type expression");
+  return nullptr;
+}
+
+std::optional<EquationAst> Parser::parse_equation() {
+  EquationAst eq;
+  eq.loc = tok_.loc;
+  if (!at(TokenKind::Identifier)) {
+    diags_.error(tok_.loc, "expected equation left-hand side");
+    return std::nullopt;
+  }
+  eq.lhs_name = tok_.text;
+  bump();
+  if (accept(TokenKind::LBracket)) {
+    while (true) {
+      ExprPtr sub = parse_expr();
+      if (!sub) return std::nullopt;
+      eq.lhs_subs.push_back(std::move(sub));
+      if (!accept(TokenKind::Comma)) break;
+    }
+    if (!expect(TokenKind::RBracket, "equation left-hand side"))
+      return std::nullopt;
+  }
+  if (!expect(TokenKind::Equal, "equation")) return std::nullopt;
+  eq.rhs = parse_expr();
+  if (!eq.rhs) return std::nullopt;
+  expect(TokenKind::Semicolon, "equation");
+  return eq;
+}
+
+ExprPtr Parser::parse_expression_only() {
+  ExprPtr e = parse_expr();
+  if (e && !at(TokenKind::EndOfFile))
+    diags_.error(tok_.loc, "trailing tokens after expression");
+  return e;
+}
+
+ExprPtr Parser::parse_expr() {
+  if (at(TokenKind::KwIf)) {
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr cond = parse_expr();
+    if (!cond) return nullptr;
+    if (!expect(TokenKind::KwThen, "if expression")) return nullptr;
+    ExprPtr then_expr = parse_expr();
+    if (!then_expr) return nullptr;
+    if (!expect(TokenKind::KwElse, "if expression")) return nullptr;
+    ExprPtr else_expr = parse_expr();
+    if (!else_expr) return nullptr;
+    return std::make_unique<IfExpr>(std::move(cond), std::move(then_expr),
+                                    std::move(else_expr), loc);
+  }
+  return parse_or();
+}
+
+ExprPtr Parser::parse_or() {
+  ExprPtr lhs = parse_and();
+  while (lhs && at(TokenKind::KwOr)) {
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr rhs = parse_and();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(lhs),
+                                       std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+  ExprPtr lhs = parse_rel();
+  while (lhs && at(TokenKind::KwAnd)) {
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr rhs = parse_rel();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(lhs),
+                                       std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_rel() {
+  ExprPtr lhs = parse_add();
+  if (!lhs) return nullptr;
+  BinaryOp op;
+  switch (tok_.kind) {
+    case TokenKind::Equal: op = BinaryOp::Eq; break;
+    case TokenKind::NotEqual: op = BinaryOp::Ne; break;
+    case TokenKind::Less: op = BinaryOp::Lt; break;
+    case TokenKind::LessEqual: op = BinaryOp::Le; break;
+    case TokenKind::Greater: op = BinaryOp::Gt; break;
+    case TokenKind::GreaterEqual: op = BinaryOp::Ge; break;
+    default:
+      return lhs;
+  }
+  SourceLoc loc = tok_.loc;
+  bump();
+  ExprPtr rhs = parse_add();
+  if (!rhs) return nullptr;
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+}
+
+ExprPtr Parser::parse_add() {
+  ExprPtr lhs = parse_mul();
+  while (lhs && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
+    BinaryOp op = at(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr rhs = parse_mul();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_mul() {
+  ExprPtr lhs = parse_unary();
+  while (lhs) {
+    BinaryOp op;
+    if (at(TokenKind::Star))
+      op = BinaryOp::Mul;
+    else if (at(TokenKind::Slash))
+      op = BinaryOp::Div;
+    else if (at(TokenKind::KwDiv))
+      op = BinaryOp::IntDiv;
+    else if (at(TokenKind::KwMod))
+      op = BinaryOp::Mod;
+    else
+      break;
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr rhs = parse_unary();
+    if (!rhs) return nullptr;
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  if (at(TokenKind::Minus)) {
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(operand), loc);
+  }
+  if (at(TokenKind::KwNot)) {
+    SourceLoc loc = tok_.loc;
+    bump();
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(operand), loc);
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr base = parse_primary();
+  while (base) {
+    if (accept(TokenKind::LBracket)) {
+      std::vector<ExprPtr> subs;
+      while (true) {
+        ExprPtr sub = parse_expr();
+        if (!sub) return nullptr;
+        subs.push_back(std::move(sub));
+        if (!accept(TokenKind::Comma)) break;
+      }
+      if (!expect(TokenKind::RBracket, "subscript")) return nullptr;
+      SourceLoc loc = base->loc;
+      base = std::make_unique<IndexExpr>(std::move(base), std::move(subs), loc);
+      continue;
+    }
+    if (at(TokenKind::Dot)) {
+      bump();
+      if (!at(TokenKind::Identifier)) {
+        diags_.error(tok_.loc, "expected field name after '.'");
+        return nullptr;
+      }
+      SourceLoc loc = base->loc;
+      base = std::make_unique<FieldExpr>(std::move(base), tok_.text, loc);
+      bump();
+      continue;
+    }
+    break;
+  }
+  return base;
+}
+
+ExprPtr Parser::parse_primary() {
+  SourceLoc loc = tok_.loc;
+  switch (tok_.kind) {
+    case TokenKind::IntLiteral: {
+      auto e = std::make_unique<IntLitExpr>(tok_.int_value, loc);
+      bump();
+      return e;
+    }
+    case TokenKind::RealLiteral: {
+      auto e = std::make_unique<RealLitExpr>(tok_.real_value, loc);
+      bump();
+      return e;
+    }
+    case TokenKind::KwTrue:
+      bump();
+      return std::make_unique<BoolLitExpr>(true, loc);
+    case TokenKind::KwFalse:
+      bump();
+      return std::make_unique<BoolLitExpr>(false, loc);
+    case TokenKind::Identifier: {
+      std::string name = tok_.text;
+      bump();
+      if (accept(TokenKind::LParen)) {
+        std::vector<ExprPtr> args;
+        if (!at(TokenKind::RParen)) {
+          while (true) {
+            ExprPtr arg = parse_expr();
+            if (!arg) return nullptr;
+            args.push_back(std::move(arg));
+            if (!accept(TokenKind::Comma)) break;
+          }
+        }
+        if (!expect(TokenKind::RParen, "call")) return nullptr;
+        return std::make_unique<CallExpr>(std::move(name), std::move(args),
+                                          loc);
+      }
+      return std::make_unique<NameExpr>(std::move(name), loc);
+    }
+    case TokenKind::LParen: {
+      bump();
+      ExprPtr inner = parse_expr();
+      if (!inner) return nullptr;
+      if (!expect(TokenKind::RParen, "parenthesised expression"))
+        return nullptr;
+      return inner;
+    }
+    default:
+      diags_.error(loc, std::string("expected expression, found ") +
+                            std::string(token_kind_name(tok_.kind)));
+      return nullptr;
+  }
+}
+
+}  // namespace ps

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps {
+
+/// Recursive-descent parser for PS modules.
+///
+/// Grammar (reconstructed from section 2 and Figure 1 of the paper):
+///
+///   program    := module+
+///   module     := IDENT ':' 'module' '(' decls ')' ':' '[' decls ']' ';'
+///                 ['type' typedecl+] ['var' vardecl+]
+///                 'define' equation+ 'end' IDENT ';'
+///   decls      := decl (';' decl)*
+///   decl       := IDENT (',' IDENT)* ':' typeexpr
+///   typedecl   := IDENT (',' IDENT)* '=' typeexpr ';'
+///   vardecl    := decl ';'
+///   typeexpr   := 'int' | 'real' | 'bool' | IDENT
+///               | addexpr '..' addexpr
+///               | 'array' '[' typeexpr (',' typeexpr)* ']' 'of' typeexpr
+///               | 'record' (decl ';')+ 'end'
+///               | '(' IDENT (',' IDENT)* ')'
+///   equation   := IDENT ['[' expr (',' expr)* ']'] '=' expr ';'
+///   expr       := 'if' expr 'then' expr 'else' expr | orexpr
+///   orexpr     := andexpr ('or' andexpr)*
+///   andexpr    := relexpr ('and' relexpr)*
+///   relexpr    := addexpr [('='|'<>'|'<'|'<='|'>'|'>=') addexpr]
+///   addexpr    := mulexpr (('+'|'-') mulexpr)*
+///   mulexpr    := unary (('*'|'/'|'div'|'mod') unary)*
+///   unary      := ('-'|'not') unary | postfix
+///   postfix    := primary ('[' expr (',' expr)* ']' | '.' IDENT)*
+///   primary    := NUMBER | 'true' | 'false' | IDENT
+///               | IDENT '(' expr (',' expr)* ')'   -- intrinsic call
+///               | '(' expr ')'
+///
+/// The parser recovers at ';' boundaries so several errors can be
+/// reported from one run.
+class Parser {
+ public:
+  Parser(std::string_view source, DiagnosticEngine& diags);
+
+  /// Parse an entire compilation unit. Returns the (possibly partial)
+  /// AST; check `diags.has_errors()` for success.
+  ProgramAst parse_program();
+
+  /// Parse exactly one module.
+  std::optional<ModuleAst> parse_module();
+
+  /// Parse a standalone expression (used by tests and tools).
+  ExprPtr parse_expression_only();
+
+ private:
+  const Token& cur() const { return tok_; }
+  void bump();
+  bool at(TokenKind kind) const { return tok_.kind == kind; }
+  bool accept(TokenKind kind);
+  bool expect(TokenKind kind, std::string_view context);
+  void sync_to_semicolon();
+
+  std::vector<VarDeclAst> parse_decl_list(TokenKind terminator);
+  std::optional<VarDeclAst> parse_decl();
+  TypeExprPtr parse_type_expr();
+  std::optional<TypeDeclAst> parse_type_decl();
+  std::optional<EquationAst> parse_equation();
+
+  ExprPtr parse_expr();
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_rel();
+  ExprPtr parse_add();
+  ExprPtr parse_mul();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  Lexer lexer_;
+  DiagnosticEngine& diags_;
+  Token tok_;
+};
+
+}  // namespace ps

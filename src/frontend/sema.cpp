@@ -1,0 +1,803 @@
+#include "frontend/sema.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace ps {
+
+std::string_view data_class_name(DataClass cls) {
+  switch (cls) {
+    case DataClass::Input:
+      return "input";
+    case DataClass::Output:
+      return "output";
+    case DataClass::Local:
+      return "local";
+  }
+  return "?";
+}
+
+std::string SubscriptInfo::display() const {
+  switch (kind) {
+    case Kind::IndexVar:
+      if (offset == 0) return var;
+      if (offset < 0) return var + " - " + std::to_string(-offset);
+      return var + " + " + std::to_string(offset);
+    case Kind::Constant:
+      return std::to_string(constant);
+    case Kind::UpperBound:
+      return expr ? to_string(*expr) : "<upper>";
+    case Kind::General:
+      return expr ? to_string(*expr) : "<expr>";
+  }
+  return "?";
+}
+
+const DataItem* CheckedModule::find_data(std::string_view name) const {
+  for (const auto& d : data)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+size_t CheckedModule::data_index(std::string_view name) const {
+  for (size_t i = 0; i < data.size(); ++i)
+    if (data[i].name == name) return i;
+  throw std::out_of_range("no data item named " + std::string(name));
+}
+
+const Type* CheckedModule::find_type(std::string_view name) const {
+  auto it = named_types.find(name);
+  return it == named_types.end() ? nullptr : it->second;
+}
+
+namespace {
+
+/// Per-equation scope: index variables introduced by the LHS.
+struct EqScope {
+  const std::vector<LoopDim>* loop_dims = nullptr;
+
+  [[nodiscard]] const LoopDim* find(std::string_view name) const {
+    for (const auto& d : *loop_dims)
+      if (d.var == name) return &d;
+    return nullptr;
+  }
+};
+
+class Checker {
+ public:
+  Checker(DiagnosticEngine& diags, ModuleAst module)
+      : diags_(diags), ast_(std::move(module)) {}
+
+  std::optional<CheckedModule> run() {
+    out_.name = ast_.name;
+    declare_types();
+    declare_data();
+    compute_bound_deps();
+    for (size_t i = 0; i < ast_.equations.size(); ++i)
+      check_equation(ast_.equations[i], i);
+    check_coverage();
+    if (diags_.has_errors()) return std::nullopt;
+    out_.ast = std::move(ast_);
+    return std::move(out_);
+  }
+
+ private:
+  // -- declarations ---------------------------------------------------------
+
+  void declare_types() {
+    for (const auto& decl : ast_.type_decls) {
+      for (const auto& name : decl.names) {
+        if (out_.named_types.count(name) != 0U) {
+          diags_.error(decl.loc, "duplicate type name '" + name + "'");
+          continue;
+        }
+        const Type* resolved = resolve_type(*decl.type, name);
+        if (resolved == nullptr) continue;
+        out_.named_types.emplace(name, resolved);
+        if (resolved->kind == TypeKind::Enum)
+          for (size_t ord = 0; ord < resolved->enumerators.size(); ++ord)
+            enum_consts_.emplace(resolved->enumerators[ord],
+                                 std::make_pair(resolved, (int64_t)ord));
+      }
+    }
+  }
+
+  /// Resolve a parse-level type expression to a Type owned by the table.
+  /// `declared_name` tags the result for display (may be empty).
+  const Type* resolve_type(const TypeExprNode& node,
+                           const std::string& declared_name = "") {
+    switch (node.kind) {
+      case TypeExprKind::Int:
+        return out_.types.int_type();
+      case TypeExprKind::Real:
+        return out_.types.real_type();
+      case TypeExprKind::Bool:
+        return out_.types.bool_type();
+      case TypeExprKind::Named: {
+        auto it = out_.named_types.find(node.name);
+        if (it == out_.named_types.end()) {
+          diags_.error(node.loc, "unknown type name '" + node.name + "'");
+          return nullptr;
+        }
+        return it->second;
+      }
+      case TypeExprKind::Subrange: {
+        Type* t = out_.types.create();
+        t->kind = TypeKind::Subrange;
+        t->name = declared_name;
+        t->lo = node.lo->clone();
+        t->hi = node.hi->clone();
+        return t;
+      }
+      case TypeExprKind::Array: {
+        Type* t = out_.types.create();
+        t->kind = TypeKind::Array;
+        t->name = declared_name;
+        for (const auto& dim : node.dims) {
+          const Type* d = resolve_type(*dim);
+          if (d == nullptr) return nullptr;
+          if (d->kind != TypeKind::Subrange) {
+            diags_.error(dim->loc,
+                         "array dimension must be a subrange, got '" +
+                             d->display() + "'");
+            return nullptr;
+          }
+          t->dims.push_back(d);
+        }
+        t->elem = resolve_type(*node.elem);
+        if (t->elem == nullptr) return nullptr;
+        return t;
+      }
+      case TypeExprKind::Record: {
+        Type* t = out_.types.create();
+        t->kind = TypeKind::Record;
+        t->name = declared_name;
+        std::set<std::string> seen;
+        for (const auto& field : node.fields) {
+          if (!seen.insert(field.name).second)
+            diags_.error(node.loc,
+                         "duplicate record field '" + field.name + "'");
+          const Type* ft = resolve_type(*field.type);
+          if (ft == nullptr) return nullptr;
+          t->fields.emplace_back(field.name, ft);
+        }
+        return t;
+      }
+      case TypeExprKind::Enum: {
+        Type* t = out_.types.create();
+        t->kind = TypeKind::Enum;
+        t->name = declared_name;
+        t->enumerators = node.enumerators;
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  void declare_data() {
+    auto add = [&](const VarDeclAst& decl, DataClass cls) {
+      const Type* type = resolve_type(*decl.type);
+      for (const auto& name : decl.names) {
+        if (out_.named_types.count(name) != 0U) {
+          diags_.error(decl.loc, "'" + name +
+                                     "' is already a type name; data items "
+                                     "and types share one namespace");
+          continue;
+        }
+        if (out_.find_data(name) != nullptr) {
+          diags_.error(decl.loc, "duplicate data item '" + name + "'");
+          continue;
+        }
+        if (type == nullptr) continue;
+        DataItem item;
+        item.name = name;
+        item.cls = cls;
+        item.type = type;
+        item.loc = decl.loc;
+        FlattenedType flat = flatten_type(*type);
+        item.dims = flat.dims;
+        item.elem = flat.elem;
+        out_.data.push_back(std::move(item));
+      }
+    };
+    for (const auto& p : ast_.params) add(p, DataClass::Input);
+    for (const auto& r : ast_.results) add(r, DataClass::Output);
+    for (const auto& l : ast_.locals) add(l, DataClass::Local);
+  }
+
+  /// Collect the scalar data items referenced by an expression into `out`.
+  void collect_scalar_names(const Expr& e, std::vector<std::string>& out) {
+    switch (e.kind) {
+      case ExprKind::Name: {
+        const auto& n = static_cast<const NameExpr&>(e);
+        const DataItem* item = out_.find_data(n.name);
+        if (item != nullptr && item->is_scalar() &&
+            std::find(out.begin(), out.end(), n.name) == out.end())
+          out.push_back(n.name);
+        return;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        collect_scalar_names(*ix.base, out);
+        for (const auto& s : ix.subs) collect_scalar_names(*s, out);
+        return;
+      }
+      case ExprKind::Field:
+        collect_scalar_names(*static_cast<const FieldExpr&>(e).base, out);
+        return;
+      case ExprKind::Unary:
+        collect_scalar_names(*static_cast<const UnaryExpr&>(e).operand, out);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        collect_scalar_names(*b.lhs, out);
+        collect_scalar_names(*b.rhs, out);
+        return;
+      }
+      case ExprKind::If: {
+        const auto& i = static_cast<const IfExpr&>(e);
+        collect_scalar_names(*i.cond, out);
+        collect_scalar_names(*i.then_expr, out);
+        collect_scalar_names(*i.else_expr, out);
+        return;
+      }
+      case ExprKind::Call:
+        for (const auto& a : static_cast<const CallExpr&>(e).args)
+          collect_scalar_names(*a, out);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void compute_bound_deps() {
+    for (auto& item : out_.data) {
+      for (const Type* dim : item.dims) {
+        collect_scalar_names(*dim->lo, item.bound_deps);
+        collect_scalar_names(*dim->hi, item.bound_deps);
+      }
+    }
+  }
+
+  // -- equations ------------------------------------------------------------
+
+  void check_equation(const EquationAst& eq, size_t index) {
+    CheckedEquation ce;
+    ce.id = index;
+    ce.display_name = "eq." + std::to_string(index + 1);
+    ce.loc = eq.loc;
+
+    const DataItem* target = out_.find_data(eq.lhs_name);
+    if (target == nullptr) {
+      diags_.error(eq.loc, "equation defines unknown data item '" +
+                               eq.lhs_name + "'");
+      return;
+    }
+    if (target->cls == DataClass::Input) {
+      diags_.error(eq.loc, "equation may not define input parameter '" +
+                               eq.lhs_name + "'");
+      return;
+    }
+    ce.target = out_.data_index(eq.lhs_name);
+
+    if (eq.lhs_subs.size() > target->rank()) {
+      diags_.error(eq.loc, "'" + eq.lhs_name + "' has " +
+                               std::to_string(target->rank()) +
+                               " dimension(s) but the left-hand side has " +
+                               std::to_string(eq.lhs_subs.size()) +
+                               " subscript(s)");
+      return;
+    }
+
+    // Build LHS subscripts and loop dimensions. An explicit subscript that
+    // names a declared subrange type introduces an index variable ranging
+    // over that subrange (the paper's A[K,I,J]); any other expression is a
+    // fixed slice (the paper's A[1]). Unsubscripted trailing dimensions
+    // become implicit index variables named after the dimension's subrange.
+    std::set<std::string> used_vars;
+    for (size_t p = 0; p < target->rank(); ++p) {
+      if (p < eq.lhs_subs.size()) {
+        const Expr& sub = *eq.lhs_subs[p];
+        if (sub.kind == ExprKind::Name) {
+          const auto& name = static_cast<const NameExpr&>(sub).name;
+          const Type* named = out_.find_type(name);
+          if (named != nullptr) {
+            if (named->kind != TypeKind::Subrange) {
+              diags_.error(sub.loc, "index variable '" + name +
+                                        "' must name a subrange type");
+              return;
+            }
+            if (!used_vars.insert(name).second) {
+              diags_.error(sub.loc,
+                           "duplicate index variable '" + name + "'");
+              return;
+            }
+            ce.lhs_subs.push_back(LhsSubscript{true, name, nullptr});
+            ce.loop_dims.push_back(LoopDim{name, named, p});
+            continue;
+          }
+        }
+        // Fixed slice: expression over module scope (no index variables).
+        EqScope empty_scope{&kNoLoopDims};
+        const Type* sub_type = check_expr(*eq.lhs_subs[p], empty_scope);
+        if (sub_type == nullptr) return;
+        if (sub_type->scalar_kind() != TypeKind::Int) {
+          diags_.error(sub.loc, "fixed subscript must be an integer");
+          return;
+        }
+        ce.lhs_subs.push_back(LhsSubscript{false, "", &sub});
+        collect_scalar_names(sub, ce.scalar_refs);
+      } else {
+        // Implicit dimension.
+        const Type* dim = target->dims[p];
+        std::string var = dim->name;
+        if (var.empty() || used_vars.count(var) != 0U)
+          var = "_i" + std::to_string(p + 1);
+        if (used_vars.count(var) != 0U) {
+          diags_.error(eq.loc, "cannot synthesise index variable for "
+                               "dimension " + std::to_string(p + 1));
+          return;
+        }
+        used_vars.insert(var);
+        ce.lhs_subs.push_back(LhsSubscript{true, var, nullptr});
+        ce.loop_dims.push_back(LoopDim{var, dim, p});
+      }
+    }
+
+    // Elaborate a private copy of the RHS, then type check it.
+    ce.rhs = eq.rhs->clone();
+    EqScope scope{&ce.loop_dims};
+    if (!elaborate(ce.rhs, scope)) return;
+    const Type* rhs_type = check_expr(*ce.rhs, scope);
+    if (rhs_type == nullptr) return;
+    if (!type_assignable(*target->elem, *rhs_type)) {
+      diags_.error(eq.loc, "equation for '" + eq.lhs_name +
+                               "' has element type '" +
+                               target->elem->display() +
+                               "' but right-hand side is '" +
+                               rhs_type->display() + "'");
+      return;
+    }
+
+    collect_refs(*ce.rhs, scope, ce);
+    collect_scalar_names(*ce.rhs, ce.scalar_refs);
+    out_.equations.push_back(std::move(ce));
+  }
+
+  /// Make implicit trailing dimensions of data references explicit by
+  /// appending the equation's trailing loop variables, e.g. rewriting
+  /// `newA = A[maxK]` into `newA[I,J] = A[maxK,I,J]`.
+  bool elaborate(ExprPtr& e, const EqScope& scope) {
+    switch (e->kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+      case ExprKind::BoolLit:
+        return true;
+      case ExprKind::Name: {
+        const auto& name = static_cast<const NameExpr&>(*e).name;
+        if (scope.find(name) != nullptr) return true;
+        const DataItem* item = out_.find_data(name);
+        if (item != nullptr && item->rank() > 0)
+          return append_implicit(e, *item, 0, scope);
+        return true;
+      }
+      case ExprKind::Index: {
+        auto& ix = static_cast<IndexExpr&>(*e);
+        for (auto& sub : ix.subs)
+          if (!elaborate(sub, scope)) return false;
+        if (ix.base->kind == ExprKind::Name) {
+          const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+          const DataItem* item = out_.find_data(name);
+          if (item != nullptr && ix.subs.size() < item->rank())
+            return append_implicit(e, *item, ix.subs.size(), scope);
+          return true;
+        }
+        return elaborate(ix.base, scope);
+      }
+      case ExprKind::Field:
+        return elaborate(static_cast<FieldExpr&>(*e).base, scope);
+      case ExprKind::Unary:
+        return elaborate(static_cast<UnaryExpr&>(*e).operand, scope);
+      case ExprKind::Binary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        return elaborate(b.lhs, scope) && elaborate(b.rhs, scope);
+      }
+      case ExprKind::If: {
+        auto& i = static_cast<IfExpr&>(*e);
+        return elaborate(i.cond, scope) && elaborate(i.then_expr, scope) &&
+               elaborate(i.else_expr, scope);
+      }
+      case ExprKind::Call: {
+        auto& c = static_cast<CallExpr&>(*e);
+        for (auto& a : c.args)
+          if (!elaborate(a, scope)) return false;
+        return true;
+      }
+    }
+    return true;
+  }
+
+  /// Append loop variables for the unsubscripted trailing dimensions of a
+  /// reference to `item` that currently has `given` explicit subscripts.
+  bool append_implicit(ExprPtr& e, const DataItem& item, size_t given,
+                       const EqScope& scope) {
+    size_t needed = item.rank() - given;
+    const auto& dims = *scope.loop_dims;
+    if (dims.size() < needed) {
+      diags_.error(e->loc,
+                   "reference to '" + item.name + "' needs " +
+                       std::to_string(needed) +
+                       " implicit subscript(s) but the equation has only " +
+                       std::to_string(dims.size()) + " loop dimension(s)");
+      return false;
+    }
+    std::vector<ExprPtr> subs;
+    if (e->kind == ExprKind::Index)
+      subs = std::move(static_cast<IndexExpr&>(*e).subs);
+    ExprPtr base = e->kind == ExprKind::Index
+                       ? std::move(static_cast<IndexExpr&>(*e).base)
+                       : std::move(e);
+    SourceLoc loc = base->loc;
+    for (size_t i = dims.size() - needed; i < dims.size(); ++i)
+      subs.push_back(std::make_unique<NameExpr>(dims[i].var, loc));
+    e = std::make_unique<IndexExpr>(std::move(base), std::move(subs), loc);
+    return true;
+  }
+
+  // -- subscript classification (Figure 2) ----------------------------------
+
+  SubscriptInfo classify_subscript(const Expr& sub, const Type& dim,
+                                   const EqScope& scope) {
+    SubscriptInfo info;
+    info.expr = &sub;
+    // "I" form.
+    if (sub.kind == ExprKind::Name) {
+      const auto& name = static_cast<const NameExpr&>(sub).name;
+      if (scope.find(name) != nullptr) {
+        info.kind = SubscriptInfo::Kind::IndexVar;
+        info.var = name;
+        return info;
+      }
+    }
+    // "I +- constant" form.
+    if (sub.kind == ExprKind::Binary) {
+      const auto& b = static_cast<const BinaryExpr&>(sub);
+      if (b.op == BinaryOp::Add || b.op == BinaryOp::Sub) {
+        const Expr* var_side = nullptr;
+        const Expr* lit_side = nullptr;
+        if (b.lhs->kind == ExprKind::Name && b.rhs->kind == ExprKind::IntLit) {
+          var_side = b.lhs.get();
+          lit_side = b.rhs.get();
+        } else if (b.op == BinaryOp::Add && b.lhs->kind == ExprKind::IntLit &&
+                   b.rhs->kind == ExprKind::Name) {
+          var_side = b.rhs.get();
+          lit_side = b.lhs.get();
+        }
+        if (var_side != nullptr) {
+          const auto& name = static_cast<const NameExpr&>(*var_side).name;
+          if (scope.find(name) != nullptr) {
+            int64_t c = static_cast<const IntLitExpr&>(*lit_side).value;
+            info.kind = SubscriptInfo::Kind::IndexVar;
+            info.var = name;
+            info.offset = b.op == BinaryOp::Sub ? -c : c;
+            return info;
+          }
+        }
+      }
+    }
+    // Upper-bound form "N" (paper section 3.4, form 2).
+    if (dim.hi != nullptr && expr_equal(sub, *dim.hi)) {
+      info.kind = SubscriptInfo::Kind::UpperBound;
+      return info;
+    }
+    if (sub.kind == ExprKind::IntLit) {
+      info.kind = SubscriptInfo::Kind::Constant;
+      info.constant = static_cast<const IntLitExpr&>(sub).value;
+      return info;
+    }
+    info.kind = SubscriptInfo::Kind::General;
+    return info;
+  }
+
+  void collect_refs(const Expr& e, const EqScope& scope, CheckedEquation& ce) {
+    switch (e.kind) {
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        if (ix.base->kind == ExprKind::Name) {
+          const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+          const DataItem* item = out_.find_data(name);
+          if (item != nullptr && item->rank() == ix.subs.size()) {
+            ArrayRefInfo ref;
+            ref.array = name;
+            ref.expr = &ix;
+            for (size_t p = 0; p < ix.subs.size(); ++p)
+              ref.subs.push_back(
+                  classify_subscript(*ix.subs[p], *item->dims[p], scope));
+            ce.array_refs.push_back(std::move(ref));
+          }
+        }
+        for (const auto& s : ix.subs) collect_refs(*s, scope, ce);
+        return;
+      }
+      case ExprKind::Field:
+        collect_refs(*static_cast<const FieldExpr&>(e).base, scope, ce);
+        return;
+      case ExprKind::Unary:
+        collect_refs(*static_cast<const UnaryExpr&>(e).operand, scope, ce);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        collect_refs(*b.lhs, scope, ce);
+        collect_refs(*b.rhs, scope, ce);
+        return;
+      }
+      case ExprKind::If: {
+        const auto& i = static_cast<const IfExpr&>(e);
+        collect_refs(*i.cond, scope, ce);
+        collect_refs(*i.then_expr, scope, ce);
+        collect_refs(*i.else_expr, scope, ce);
+        return;
+      }
+      case ExprKind::Call:
+        for (const auto& a : static_cast<const CallExpr&>(e).args)
+          collect_refs(*a, scope, ce);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // -- type checking ---------------------------------------------------------
+
+  const Type* check_expr(Expr& e, const EqScope& scope) {
+    const Type* t = check_expr_impl(e, scope);
+    e.type = t;
+    return t;
+  }
+
+  const Type* check_expr_impl(Expr& e, const EqScope& scope) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return out_.types.int_type();
+      case ExprKind::RealLit:
+        return out_.types.real_type();
+      case ExprKind::BoolLit:
+        return out_.types.bool_type();
+      case ExprKind::Name: {
+        const auto& name = static_cast<const NameExpr&>(e).name;
+        if (const LoopDim* dim = scope.find(name)) return dim->range;
+        if (const DataItem* item = out_.find_data(name)) return item->type;
+        auto ec = enum_consts_.find(name);
+        if (ec != enum_consts_.end()) return ec->second.first;
+        diags_.error(e.loc, "unknown name '" + name + "'");
+        return nullptr;
+      }
+      case ExprKind::Index: {
+        auto& ix = static_cast<IndexExpr&>(e);
+        const Type* base_type = check_expr(*ix.base, scope);
+        if (base_type == nullptr) return nullptr;
+        if (base_type->kind != TypeKind::Array) {
+          diags_.error(e.loc, "subscripted value is not an array");
+          return nullptr;
+        }
+        FlattenedType flat = flatten_type(*base_type);
+        if (ix.subs.size() != flat.dims.size()) {
+          diags_.error(e.loc, "expected " + std::to_string(flat.dims.size()) +
+                                  " subscript(s), found " +
+                                  std::to_string(ix.subs.size()));
+          return nullptr;
+        }
+        for (auto& sub : ix.subs) {
+          const Type* st = check_expr(*sub, scope);
+          if (st == nullptr) return nullptr;
+          if (st->scalar_kind() != TypeKind::Int) {
+            diags_.error(sub->loc, "subscript must be an integer");
+            return nullptr;
+          }
+        }
+        return flat.elem;
+      }
+      case ExprKind::Field: {
+        auto& f = static_cast<FieldExpr&>(e);
+        const Type* base_type = check_expr(*f.base, scope);
+        if (base_type == nullptr) return nullptr;
+        if (base_type->kind != TypeKind::Record) {
+          diags_.error(e.loc, "'.' applied to non-record value");
+          return nullptr;
+        }
+        for (const auto& [fname, ftype] : base_type->fields)
+          if (fname == f.field) return ftype;
+        diags_.error(e.loc, "record has no field '" + f.field + "'");
+        return nullptr;
+      }
+      case ExprKind::Unary: {
+        auto& u = static_cast<UnaryExpr&>(e);
+        const Type* ot = check_expr(*u.operand, scope);
+        if (ot == nullptr) return nullptr;
+        if (u.op == UnaryOp::Neg) {
+          if (!ot->is_numeric()) {
+            diags_.error(e.loc, "'-' applied to non-numeric value");
+            return nullptr;
+          }
+          return ot->scalar_kind() == TypeKind::Int ? out_.types.int_type()
+                                                    : out_.types.real_type();
+        }
+        if (ot->kind != TypeKind::Bool) {
+          diags_.error(e.loc, "'not' applied to non-boolean value");
+          return nullptr;
+        }
+        return out_.types.bool_type();
+      }
+      case ExprKind::Binary:
+        return check_binary(static_cast<BinaryExpr&>(e), scope);
+      case ExprKind::If: {
+        auto& i = static_cast<IfExpr&>(e);
+        const Type* ct = check_expr(*i.cond, scope);
+        const Type* tt = check_expr(*i.then_expr, scope);
+        const Type* et = check_expr(*i.else_expr, scope);
+        if (ct == nullptr || tt == nullptr || et == nullptr) return nullptr;
+        if (ct->kind != TypeKind::Bool) {
+          diags_.error(i.cond->loc, "if condition must be boolean");
+          return nullptr;
+        }
+        if (type_assignable(*tt, *et)) return widen(tt, et);
+        if (type_assignable(*et, *tt)) return widen(tt, et);
+        diags_.error(e.loc, "if branches have incompatible types '" +
+                                tt->display() + "' and '" + et->display() +
+                                "'");
+        return nullptr;
+      }
+      case ExprKind::Call:
+        return check_call(static_cast<CallExpr&>(e), scope);
+    }
+    return nullptr;
+  }
+
+  const Type* widen(const Type* a, const Type* b) {
+    if (a->scalar_kind() == TypeKind::Real || b->scalar_kind() == TypeKind::Real)
+      return out_.types.real_type();
+    if (a->scalar_kind() == TypeKind::Int) return out_.types.int_type();
+    return a;
+  }
+
+  const Type* check_binary(BinaryExpr& b, const EqScope& scope) {
+    const Type* lt = check_expr(*b.lhs, scope);
+    const Type* rt = check_expr(*b.rhs, scope);
+    if (lt == nullptr || rt == nullptr) return nullptr;
+    switch (b.op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul: {
+        if (!lt->is_numeric() || !rt->is_numeric()) {
+          diags_.error(b.loc, "arithmetic on non-numeric operands");
+          return nullptr;
+        }
+        return widen(lt, rt);
+      }
+      case BinaryOp::Div: {
+        if (!lt->is_numeric() || !rt->is_numeric()) {
+          diags_.error(b.loc, "'/' on non-numeric operands");
+          return nullptr;
+        }
+        return out_.types.real_type();
+      }
+      case BinaryOp::IntDiv:
+      case BinaryOp::Mod: {
+        if (lt->scalar_kind() != TypeKind::Int ||
+            rt->scalar_kind() != TypeKind::Int) {
+          diags_.error(b.loc, "'div'/'mod' require integer operands");
+          return nullptr;
+        }
+        return out_.types.int_type();
+      }
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge: {
+        bool ok = (lt->is_numeric() && rt->is_numeric()) ||
+                  (lt->kind == TypeKind::Bool && rt->kind == TypeKind::Bool) ||
+                  (lt->kind == TypeKind::Enum && types_equal(*lt, *rt));
+        if (!ok) {
+          diags_.error(b.loc, "incomparable operands '" + lt->display() +
+                                  "' and '" + rt->display() + "'");
+          return nullptr;
+        }
+        return out_.types.bool_type();
+      }
+      case BinaryOp::And:
+      case BinaryOp::Or: {
+        if (lt->kind != TypeKind::Bool || rt->kind != TypeKind::Bool) {
+          diags_.error(b.loc, "'and'/'or' require boolean operands");
+          return nullptr;
+        }
+        return out_.types.bool_type();
+      }
+    }
+    return nullptr;
+  }
+
+  const Type* check_call(CallExpr& c, const EqScope& scope) {
+    std::string name = to_lower(c.callee);
+    struct Intrinsic {
+      std::string_view name;
+      size_t arity;
+      enum { Numeric, Real, Int } result;
+    };
+    static constexpr Intrinsic kIntrinsics[] = {
+        {"abs", 1, Intrinsic::Numeric}, {"min", 2, Intrinsic::Numeric},
+        {"max", 2, Intrinsic::Numeric}, {"sqrt", 1, Intrinsic::Real},
+        {"sin", 1, Intrinsic::Real},    {"cos", 1, Intrinsic::Real},
+        {"exp", 1, Intrinsic::Real},    {"ln", 1, Intrinsic::Real},
+        {"floor", 1, Intrinsic::Int},   {"ceil", 1, Intrinsic::Int},
+    };
+    for (const auto& intr : kIntrinsics) {
+      if (name != intr.name) continue;
+      if (c.args.size() != intr.arity) {
+        diags_.error(c.loc, "'" + c.callee + "' expects " +
+                                std::to_string(intr.arity) + " argument(s)");
+        return nullptr;
+      }
+      const Type* widest = out_.types.int_type();
+      for (auto& arg : c.args) {
+        const Type* at = check_expr(*arg, scope);
+        if (at == nullptr) return nullptr;
+        if (!at->is_numeric()) {
+          diags_.error(arg->loc, "'" + c.callee + "' requires numeric "
+                                 "arguments");
+          return nullptr;
+        }
+        widest = widen(widest, at);
+      }
+      switch (intr.result) {
+        case Intrinsic::Numeric:
+          return widest;
+        case Intrinsic::Real:
+          return out_.types.real_type();
+        case Intrinsic::Int:
+          return out_.types.int_type();
+      }
+    }
+    diags_.error(c.loc, "unknown intrinsic '" + c.callee + "'");
+    return nullptr;
+  }
+
+  // -- completeness -----------------------------------------------------------
+
+  void check_coverage() {
+    for (const auto& item : out_.data) {
+      if (item.cls == DataClass::Input) continue;
+      bool defined = false;
+      for (const auto& eq : out_.equations)
+        if (out_.data[eq.target].name == item.name) defined = true;
+      if (!defined)
+        diags_.error(item.loc, std::string(data_class_name(item.cls)) + " '" +
+                                   item.name + "' has no defining equation");
+    }
+  }
+
+  static const std::vector<LoopDim> kNoLoopDims;
+
+  DiagnosticEngine& diags_;
+  ModuleAst ast_;
+  CheckedModule out_;
+  std::map<std::string, std::pair<const Type*, int64_t>, std::less<>>
+      enum_consts_;
+};
+
+const std::vector<LoopDim> Checker::kNoLoopDims{};
+
+}  // namespace
+
+std::optional<CheckedModule> Sema::check(ModuleAst module) {
+  Checker checker(diags_, std::move(module));
+  return checker.run();
+}
+
+}  // namespace ps

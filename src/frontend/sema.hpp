@@ -1,0 +1,123 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/types.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps {
+
+enum class DataClass { Input, Output, Local };
+
+[[nodiscard]] std::string_view data_class_name(DataClass cls);
+
+/// One module-level data item (input parameter, result, or local
+/// variable). Arrays are described by their flattened dimension list --
+/// `array [K] of array [I, J] of real` has dims (K, I, J) -- matching the
+/// paper's node labels ("a node label for each dimension of the node").
+struct DataItem {
+  std::string name;
+  DataClass cls = DataClass::Local;
+  const Type* type = nullptr;        // declared type
+  std::vector<const Type*> dims;     // flattened subrange dimensions
+  const Type* elem = nullptr;        // scalar element type
+  std::vector<std::string> bound_deps;  // scalar items used in dim bounds
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_scalar() const { return dims.empty(); }
+  [[nodiscard]] size_t rank() const { return dims.size(); }
+};
+
+/// Classification of one subscript position of an array reference,
+/// mirroring the paper's Figure 2 edge-label attributes.
+struct SubscriptInfo {
+  enum class Kind {
+    IndexVar,    // "I" or "I +- constant" (offset carries the constant)
+    Constant,    // integer literal, e.g. A[1]
+    UpperBound,  // the upper bound of the dimension's subrange, e.g. A[maxK]
+    General,     // any other expression
+  };
+  Kind kind = Kind::General;
+  std::string var;     // IndexVar: which equation loop variable
+  int64_t offset = 0;  // IndexVar: subscript is var + offset
+  int64_t constant = 0;  // Constant: the literal value
+  const Expr* expr = nullptr;  // the (elaborated) subscript expression
+
+  [[nodiscard]] std::string display() const;
+};
+
+/// One reference to a dimensioned data item inside an equation RHS,
+/// with one classified subscript per flattened dimension (implicit
+/// trailing dimensions have been elaborated by sema).
+struct ArrayRefInfo {
+  std::string array;
+  const IndexExpr* expr = nullptr;
+  std::vector<SubscriptInfo> subs;
+};
+
+/// One loop dimension of an equation: the index variable, the subrange
+/// it iterates over, and which flattened dimension of the target (LHS)
+/// array it writes.
+struct LoopDim {
+  std::string var;
+  const Type* range = nullptr;
+  size_t lhs_dim = 0;
+};
+
+/// One LHS subscript position of the target array.
+struct LhsSubscript {
+  bool is_index_var = false;
+  std::string var;             // when is_index_var
+  const Expr* fixed = nullptr; // otherwise: the fixed slice expression
+};
+
+/// A fully analysed equation. After elaboration the RHS is scalar-typed;
+/// all implicit dimensions have been made explicit.
+struct CheckedEquation {
+  size_t id = 0;                  // 0-based equation index
+  std::string display_name;      // "eq.1", "eq.2", ...
+  size_t target = 0;             // index into CheckedModule::data
+  std::vector<LhsSubscript> lhs_subs;  // one per target dimension
+  std::vector<LoopDim> loop_dims;
+  ExprPtr rhs;                   // elaborated copy of the AST RHS
+  std::vector<ArrayRefInfo> array_refs;
+  std::vector<std::string> scalar_refs;  // scalar data items read anywhere
+  SourceLoc loc;
+};
+
+/// The result of semantic analysis: data items, checked equations, the
+/// type table that owns all resolved types, and the original AST.
+struct CheckedModule {
+  std::string name;
+  TypeTable types;
+  std::vector<DataItem> data;
+  std::vector<CheckedEquation> equations;
+  std::map<std::string, const Type*, std::less<>> named_types;
+  ModuleAst ast;
+
+  [[nodiscard]] const DataItem* find_data(std::string_view name) const;
+  [[nodiscard]] size_t data_index(std::string_view name) const;  // throws
+  [[nodiscard]] const Type* find_type(std::string_view name) const;
+};
+
+/// Semantic analysis: resolves types (two-pass, so parameter declarations
+/// may reference subrange types declared later, as in the paper's Figure
+/// 1), elaborates implicit dimensions, classifies subscripts, and type
+/// checks every equation.
+class Sema {
+ public:
+  explicit Sema(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Analyse one module; returns nullopt (with diagnostics) on error.
+  std::optional<CheckedModule> check(ModuleAst module);
+
+ private:
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace ps

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace ps {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  // Keywords (PS keywords are case-insensitive, like Pascal's).
+  KwModule,
+  KwType,
+  KwVar,
+  KwDefine,
+  KwEnd,
+  KwArray,
+  KwOf,
+  KwRecord,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwOr,
+  KwAnd,
+  KwNot,
+  KwDiv,
+  KwMod,
+  KwInt,
+  KwReal,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  DotDot,
+  Equal,
+  NotEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Error,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;       // identifier spelling / literal text
+  int64_t int_value = 0;  // IntLiteral
+  double real_value = 0;  // RealLiteral
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace ps

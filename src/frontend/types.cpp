@@ -1,0 +1,147 @@
+#include "frontend/types.hpp"
+
+#include <sstream>
+
+namespace ps {
+
+std::string Type::display() const {
+  if (!name.empty()) return name;
+  switch (kind) {
+    case TypeKind::Int:
+      return "int";
+    case TypeKind::Real:
+      return "real";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::Subrange:
+      return to_string(*lo) + " .. " + to_string(*hi);
+    case TypeKind::Array: {
+      std::ostringstream os;
+      os << "array [";
+      for (size_t i = 0; i < dims.size(); ++i) {
+        if (i) os << ", ";
+        os << dims[i]->display();
+      }
+      os << "] of " << elem->display();
+      return os.str();
+    }
+    case TypeKind::Record: {
+      std::ostringstream os;
+      os << "record ";
+      for (const auto& [fname, ftype] : fields)
+        os << fname << ": " << ftype->display() << "; ";
+      os << "end";
+      return os.str();
+    }
+    case TypeKind::Enum: {
+      std::ostringstream os;
+      os << "(";
+      for (size_t i = 0; i < enumerators.size(); ++i) {
+        if (i) os << ", ";
+        os << enumerators[i];
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+bool types_equal(const Type& a, const Type& b) {
+  if (&a == &b) return true;
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case TypeKind::Int:
+    case TypeKind::Real:
+    case TypeKind::Bool:
+      return true;
+    case TypeKind::Subrange:
+      return expr_equal(*a.lo, *b.lo) && expr_equal(*a.hi, *b.hi);
+    case TypeKind::Array: {
+      if (a.dims.size() != b.dims.size()) return false;
+      for (size_t i = 0; i < a.dims.size(); ++i)
+        if (!types_equal(*a.dims[i], *b.dims[i])) return false;
+      return types_equal(*a.elem, *b.elem);
+    }
+    case TypeKind::Record: {
+      if (a.fields.size() != b.fields.size()) return false;
+      for (size_t i = 0; i < a.fields.size(); ++i) {
+        if (a.fields[i].first != b.fields[i].first) return false;
+        if (!types_equal(*a.fields[i].second, *b.fields[i].second))
+          return false;
+      }
+      return true;
+    }
+    case TypeKind::Enum:
+      return a.enumerators == b.enumerators;
+  }
+  return false;
+}
+
+bool type_assignable(const Type& to, const Type& from) {
+  // Subranges are freely interchangeable with int (bounds are a
+  // declaration aid, not a checked constraint, as in the paper's usage).
+  auto collapses_int = [](const Type& t) {
+    return t.kind == TypeKind::Int || t.kind == TypeKind::Subrange;
+  };
+  if (collapses_int(to) && collapses_int(from)) return true;
+  if (to.kind == TypeKind::Real &&
+      (collapses_int(from) || from.kind == TypeKind::Real))
+    return true;
+  if (to.kind == TypeKind::Array && from.kind == TypeKind::Array) {
+    FlattenedType ft = flatten_type(to);
+    FlattenedType ff = flatten_type(from);
+    if (ft.dims.size() != ff.dims.size()) return false;
+    // Dimensions must agree in *extent expression*; element types must be
+    // assignable.
+    for (size_t i = 0; i < ft.dims.size(); ++i) {
+      const Type& d1 = *ft.dims[i];
+      const Type& d2 = *ff.dims[i];
+      if (!expr_equal(*d1.lo, *d2.lo) || !expr_equal(*d1.hi, *d2.hi))
+        return false;
+    }
+    return type_assignable(*ft.elem, *ff.elem);
+  }
+  return types_equal(to, from);
+}
+
+TypeTable::TypeTable() {
+  auto make_prim = [&](TypeKind kind, std::string name) {
+    auto t = std::make_unique<Type>();
+    t->kind = kind;
+    t->name = std::move(name);
+    storage_.push_back(std::move(t));
+    return storage_.back().get();
+  };
+  int_ = make_prim(TypeKind::Int, "int");
+  real_ = make_prim(TypeKind::Real, "real");
+  bool_ = make_prim(TypeKind::Bool, "bool");
+}
+
+Type* TypeTable::create() {
+  storage_.push_back(std::make_unique<Type>());
+  return storage_.back().get();
+}
+
+const Type* TypeTable::make_subrange(const Expr& lo, const Expr& hi,
+                                     std::string name) {
+  Type* t = create();
+  t->kind = TypeKind::Subrange;
+  t->name = std::move(name);
+  t->lo = lo.clone();
+  t->hi = hi.clone();
+  return t;
+}
+
+FlattenedType flatten_type(const Type& t) {
+  FlattenedType out;
+  const Type* cur = &t;
+  while (cur->kind == TypeKind::Array) {
+    out.dims.insert(out.dims.end(), cur->dims.begin(), cur->dims.end());
+    cur = cur->elem;
+  }
+  out.elem = cur;
+  return out;
+}
+
+}  // namespace ps

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace ps {
+
+enum class TypeKind { Int, Real, Bool, Subrange, Array, Record, Enum };
+
+/// A resolved PS type. Types are owned by a TypeTable and referred to by
+/// raw pointer everywhere else; pointer identity is not significant
+/// (structural equality via `types_equal`).
+struct Type {
+  TypeKind kind = TypeKind::Int;
+  std::string name;  // declared name; empty for anonymous types
+
+  // Subrange: bounds are expressions over module parameters/constants
+  // (e.g. 0 .. M+1). `base` is the underlying scalar type (always Int in
+  // this implementation).
+  ExprPtr lo;
+  ExprPtr hi;
+
+  // Array.
+  std::vector<const Type*> dims;  // each a Subrange
+  const Type* elem = nullptr;
+
+  // Record.
+  std::vector<std::pair<std::string, const Type*>> fields;
+
+  // Enum.
+  std::vector<std::string> enumerators;
+
+  [[nodiscard]] bool is_scalar() const {
+    return kind == TypeKind::Int || kind == TypeKind::Real ||
+           kind == TypeKind::Bool || kind == TypeKind::Subrange ||
+           kind == TypeKind::Enum;
+  }
+  [[nodiscard]] bool is_numeric() const {
+    return kind == TypeKind::Int || kind == TypeKind::Real ||
+           kind == TypeKind::Subrange;
+  }
+  /// The scalar kind after collapsing subranges to Int.
+  [[nodiscard]] TypeKind scalar_kind() const {
+    return kind == TypeKind::Subrange ? TypeKind::Int : kind;
+  }
+
+  [[nodiscard]] std::string display() const;
+};
+
+/// Structural equality: subranges compare their bound expressions,
+/// arrays their dimensions and element types, records their fields.
+[[nodiscard]] bool types_equal(const Type& a, const Type& b);
+
+/// True when a value of `from` may appear where `to` is expected
+/// (equality modulo subrange-to-int collapse, plus int -> real widening).
+[[nodiscard]] bool type_assignable(const Type& to, const Type& from);
+
+/// Owns all Type instances for one checked module.
+class TypeTable {
+ public:
+  TypeTable();
+
+  const Type* int_type() const { return int_; }
+  const Type* real_type() const { return real_; }
+  const Type* bool_type() const { return bool_; }
+
+  /// Create a fresh type owned by this table.
+  Type* create();
+
+  /// Create an anonymous subrange lo .. hi (expressions are cloned).
+  const Type* make_subrange(const Expr& lo, const Expr& hi,
+                            std::string name = "");
+
+  [[nodiscard]] size_t size() const { return storage_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Type>> storage_;
+  const Type* int_ = nullptr;
+  const Type* real_ = nullptr;
+  const Type* bool_ = nullptr;
+};
+
+/// Flatten nested arrays: `array [K] of array [I, J] of real` has
+/// flattened dimensions (K, I, J) and scalar element `real`.
+struct FlattenedType {
+  std::vector<const Type*> dims;  // subranges, outermost first
+  const Type* elem = nullptr;     // scalar (or record) element type
+};
+[[nodiscard]] FlattenedType flatten_type(const Type& t);
+
+}  // namespace ps

@@ -1,0 +1,267 @@
+#include <algorithm>
+#include "graph/depgraph.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/dot_writer.hpp"
+#include "support/strings.hpp"
+
+namespace ps {
+
+uint32_t DepGraph::add_node(DepNode node) {
+  node.id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  out_.emplace_back();
+  in_.emplace_back();
+  return nodes_.back().id;
+}
+
+uint32_t DepGraph::add_edge(DepEdge edge) {
+  edge.id = static_cast<uint32_t>(edges_.size());
+  out_[edge.src].push_back(edge.id);
+  in_[edge.dst].push_back(edge.id);
+  edges_.push_back(std::move(edge));
+  return edges_.back().id;
+}
+
+uint32_t DepGraph::data_node(std::string_view name) const {
+  for (const auto& n : nodes_)
+    if (n.kind == DepNodeKind::Data && n.name == name) return n.id;
+  throw std::out_of_range("no data node named " + std::string(name));
+}
+
+uint32_t DepGraph::equation_node(size_t eq_index) const {
+  for (const auto& n : nodes_)
+    if (n.kind == DepNodeKind::Equation && n.sema_index == eq_index)
+      return n.id;
+  throw std::out_of_range("no equation node with index " +
+                          std::to_string(eq_index));
+}
+
+const CheckedEquation& DepGraph::equation_of(const DepNode& n) const {
+  return module_->equations[n.sema_index];
+}
+
+const DataItem& DepGraph::data_of(const DepNode& n) const {
+  return module_->data[n.sema_index];
+}
+
+DepGraph DepGraph::build(const CheckedModule& module) {
+  DepGraph g;
+  g.module_ = &module;
+
+  // Data nodes, in declaration order (inputs, outputs, locals).
+  std::map<std::string, uint32_t, std::less<>> data_ids;
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    const DataItem& item = module.data[i];
+    DepNode n;
+    n.kind = DepNodeKind::Data;
+    n.name = item.name;
+    n.sema_index = i;
+    for (const Type* dim : item.dims)
+      n.dims.push_back(DimLabel{dim->name, dim});
+    data_ids.emplace(item.name, g.add_node(std::move(n)));
+  }
+
+  // Equation nodes; dimensions are the loop dimensions.
+  std::vector<uint32_t> eq_ids(module.equations.size());
+  for (size_t i = 0; i < module.equations.size(); ++i) {
+    const CheckedEquation& eq = module.equations[i];
+    DepNode n;
+    n.kind = DepNodeKind::Equation;
+    n.name = eq.display_name;
+    n.sema_index = i;
+    for (const LoopDim& dim : eq.loop_dims)
+      n.dims.push_back(DimLabel{dim.var, dim.range});
+    eq_ids[i] = g.add_node(std::move(n));
+  }
+
+  auto loop_dim_index = [](const CheckedEquation& eq,
+                           std::string_view var) -> int {
+    for (size_t d = 0; d < eq.loop_dims.size(); ++d)
+      if (eq.loop_dims[d].var == var) return static_cast<int>(d);
+    return -1;
+  };
+
+  for (size_t i = 0; i < module.equations.size(); ++i) {
+    const CheckedEquation& eq = module.equations[i];
+    uint32_t eq_id = eq_ids[i];
+
+    // Array uses: one edge per reference, labelled per source dimension.
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      DepEdge e;
+      e.src = data_ids.at(ref.array);
+      e.dst = eq_id;
+      e.kind = DepEdgeKind::Data;
+      e.ref = &ref;
+      for (const SubscriptInfo& sub : ref.subs) {
+        EdgeLabel label;
+        label.kind = sub.kind;
+        label.offset = sub.offset;
+        label.display = sub.display();
+        if (sub.kind == SubscriptInfo::Kind::IndexVar)
+          label.target_dim = loop_dim_index(eq, sub.var);
+        e.labels.push_back(std::move(label));
+      }
+      g.add_edge(std::move(e));
+    }
+
+    // Scalar uses.
+    for (const std::string& name : eq.scalar_refs) {
+      DepEdge e;
+      e.src = data_ids.at(name);
+      e.dst = eq_id;
+      e.kind = DepEdgeKind::Data;
+      g.add_edge(std::move(e));
+    }
+
+    // Definition edge: equation -> defined variable.
+    {
+      DepEdge e;
+      e.src = eq_id;
+      e.dst = data_ids.at(module.data[eq.target].name);
+      e.kind = DepEdgeKind::Data;
+      e.is_definition = true;
+      g.add_edge(std::move(e));
+    }
+
+    // Bound edges from scalars used in the equation's loop subranges.
+    std::vector<std::string> loop_bound_deps;
+    for (const LoopDim& dim : eq.loop_dims) {
+      // Re-use sema's collector indirectly: bounds are expressions; walk
+      // them through the data table.
+      std::vector<std::string> names;
+      for (const Expr* bound : {dim.range->lo.get(), dim.range->hi.get()}) {
+        if (bound == nullptr) continue;
+        // Collect names appearing in the bound expression.
+        std::vector<const Expr*> stack{bound};
+        while (!stack.empty()) {
+          const Expr* cur = stack.back();
+          stack.pop_back();
+          switch (cur->kind) {
+            case ExprKind::Name: {
+              const auto& nm = static_cast<const NameExpr&>(*cur).name;
+              const DataItem* item = module.find_data(nm);
+              if (item != nullptr && item->is_scalar()) names.push_back(nm);
+              break;
+            }
+            case ExprKind::Unary:
+              stack.push_back(
+                  static_cast<const UnaryExpr&>(*cur).operand.get());
+              break;
+            case ExprKind::Binary: {
+              const auto& b = static_cast<const BinaryExpr&>(*cur);
+              stack.push_back(b.lhs.get());
+              stack.push_back(b.rhs.get());
+              break;
+            }
+            default:
+              break;
+          }
+        }
+      }
+      for (const auto& nm : names) {
+        if (std::find(loop_bound_deps.begin(), loop_bound_deps.end(), nm) ==
+            loop_bound_deps.end())
+          loop_bound_deps.push_back(nm);
+      }
+    }
+    for (const auto& nm : loop_bound_deps) {
+      // Avoid duplicating an existing scalar-use edge.
+      if (std::find(eq.scalar_refs.begin(), eq.scalar_refs.end(), nm) !=
+          eq.scalar_refs.end())
+        continue;
+      DepEdge e;
+      e.src = data_ids.at(nm);
+      e.dst = eq_id;
+      e.kind = DepEdgeKind::Bound;
+      g.add_edge(std::move(e));
+    }
+  }
+
+  // Hierarchical edges: one child node per record field (paper section
+  // 3.1; they "do not concern us further" for scheduling -- field nodes
+  // are leaves the scheduler treats as lone data nodes).
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    const DataItem& item = module.data[i];
+    if (item.elem == nullptr || item.elem->kind != TypeKind::Record)
+      continue;
+    for (const auto& [fname, ftype] : item.elem->fields) {
+      DepNode child;
+      child.kind = DepNodeKind::Data;
+      child.name = item.name + "." + fname;
+      child.sema_index = i;
+      child.is_record_field = true;
+      uint32_t child_id = g.add_node(std::move(child));
+      DepEdge e;
+      e.src = data_ids.at(item.name);
+      e.dst = child_id;
+      e.kind = DepEdgeKind::Hierarchical;
+      g.add_edge(std::move(e));
+    }
+  }
+
+  // Subrange-bound edges between data items (paper: "a data dependency
+  // edge is drawn from M to InitialA, to A, and to NewA, since the bounds
+  // of these arrays depend on M").
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    const DataItem& item = module.data[i];
+    for (const std::string& dep : item.bound_deps) {
+      DepEdge e;
+      e.src = data_ids.at(dep);
+      e.dst = data_ids.at(item.name);
+      e.kind = DepEdgeKind::Bound;
+      g.add_edge(std::move(e));
+    }
+  }
+
+  return g;
+}
+
+std::string DepGraph::to_dot() const {
+  DotWriter dot("depgraph");
+  for (const auto& n : nodes_) {
+    std::string label = n.name;
+    if (!n.dims.empty()) {
+      std::vector<std::string> ds;
+      ds.reserve(n.dims.size());
+      for (const auto& d : n.dims)
+        ds.push_back(d.var.empty() ? std::string("_") : d.var);
+      label += "[" + join(ds, ",") + "]";
+    }
+    dot.add_node("n" + std::to_string(n.id), label,
+                 n.kind == DepNodeKind::Data ? "ellipse" : "box");
+  }
+  for (const auto& e : edges_) {
+    std::vector<std::string> parts;
+    for (const auto& l : e.labels) parts.push_back(l.display);
+    std::string style;
+    if (e.kind == DepEdgeKind::Bound) style = "dashed";
+    if (e.kind == DepEdgeKind::Hierarchical) style = "dotted";
+    dot.add_edge("n" + std::to_string(e.src), "n" + std::to_string(e.dst),
+                 join(parts, ", "), style);
+  }
+  return dot.render();
+}
+
+std::string DepGraph::summary() const {
+  std::ostringstream os;
+  os << "nodes: " << nodes_.size() << ", edges: " << edges_.size() << '\n';
+  for (const auto& e : edges_) {
+    os << "  " << nodes_[e.src].name << " -> " << nodes_[e.dst].name;
+    if (e.kind == DepEdgeKind::Bound) os << "  [bound]";
+    if (e.kind == DepEdgeKind::Hierarchical) os << "  [field]";
+    if (e.is_definition) os << "  [defines]";
+    if (!e.labels.empty()) {
+      std::vector<std::string> parts;
+      for (const auto& l : e.labels) parts.push_back(l.display);
+      os << "  [" << join(parts, ", ") << "]";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/sema.hpp"
+
+namespace ps {
+
+// ---------------------------------------------------------------------------
+// Dependency graph (paper section 3.1)
+// ---------------------------------------------------------------------------
+//
+// Nodes are the data items and equations of a module; a directed edge runs
+// from node i to node j when data produced in i is used in j. Besides
+// plain data edges there are subrange-bound edges (e.g. M -> InitialA,
+// because InitialA's bounds depend on M) and hierarchical edges between a
+// record-typed data item and one materialised node per field ("used to
+// show the relationship between the fields of a record and the record
+// itself" -- they do not influence scheduling). Each node carries one
+// label per dimension; each data edge from an array carries one label per
+// source dimension describing the subscript expression used (Figure 2).
+
+enum class DepNodeKind { Data, Equation };
+enum class DepEdgeKind { Data, Bound, Hierarchical };
+
+/// Node label: one per dimension of the node (paper: "a node label for
+/// each dimension"). For equation nodes these are the loop dimensions;
+/// for data nodes, the declared (flattened) dimensions.
+struct DimLabel {
+  std::string var;            // loop variable (equations) or subrange name
+  const Type* range = nullptr;  // subrange of the dimension
+};
+
+/// Edge label for one source dimension (Figure 2): the position of this
+/// source subscript in the target equation's loop dimensions, the
+/// subscript-expression class, and the offset for "I - constant".
+struct EdgeLabel {
+  SubscriptInfo::Kind kind = SubscriptInfo::Kind::General;
+  int target_dim = -1;  // index into the target equation's loop dims, or -1
+  int64_t offset = 0;   // subscript is var + offset (IndexVar only)
+  std::string display;  // source text of the subscript, for printing
+};
+
+struct DepNode {
+  uint32_t id = 0;
+  DepNodeKind kind = DepNodeKind::Data;
+  std::string name;      // data item name, "item.field", or "eq.N"
+  size_t sema_index = 0; // into CheckedModule::data or ::equations
+  bool is_record_field = false;  // materialised field of a record item
+  std::vector<DimLabel> dims;
+
+  [[nodiscard]] bool is_data() const { return kind == DepNodeKind::Data; }
+};
+
+struct DepEdge {
+  uint32_t id = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  DepEdgeKind kind = DepEdgeKind::Data;
+  /// One label per source dimension for data edges whose source is an
+  /// array used in the target equation; empty for scalar/bound/def edges.
+  std::vector<EdgeLabel> labels;
+  /// The analysed reference this edge came from (array uses only).
+  const ArrayRefInfo* ref = nullptr;
+  /// True for the equation -> defined-variable edge.
+  bool is_definition = false;
+};
+
+/// The dependency graph of one checked module.
+class DepGraph {
+ public:
+  /// Build the graph for a checked module (paper section 3.1). The module
+  /// must outlive the graph.
+  static DepGraph build(const CheckedModule& module);
+
+  [[nodiscard]] const CheckedModule& module() const { return *module_; }
+  [[nodiscard]] const std::vector<DepNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+
+  [[nodiscard]] const DepNode& node(uint32_t id) const { return nodes_[id]; }
+  [[nodiscard]] const DepEdge& edge(uint32_t id) const { return edges_[id]; }
+
+  /// Out-edge / in-edge ids of a node.
+  [[nodiscard]] const std::vector<uint32_t>& out_edges(uint32_t node) const {
+    return out_[node];
+  }
+  [[nodiscard]] const std::vector<uint32_t>& in_edges(uint32_t node) const {
+    return in_[node];
+  }
+
+  /// Node id of a data item / equation (throws when absent).
+  [[nodiscard]] uint32_t data_node(std::string_view name) const;
+  [[nodiscard]] uint32_t equation_node(size_t eq_index) const;
+
+  /// The checked equation behind an equation node.
+  [[nodiscard]] const CheckedEquation& equation_of(const DepNode& n) const;
+  /// The data item behind a data node.
+  [[nodiscard]] const DataItem& data_of(const DepNode& n) const;
+
+  /// Graphviz DOT rendering (reproduces the paper's Figure 3 layout
+  /// information: solid data edges, dashed bound edges, edge labels show
+  /// the subscript expressions).
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Human-readable inventory used by bench_fig3.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  uint32_t add_node(DepNode node);
+  uint32_t add_edge(DepEdge edge);
+
+  const CheckedModule* module_ = nullptr;
+  std::vector<DepNode> nodes_;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+};
+
+}  // namespace ps

@@ -1,0 +1,114 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace ps {
+
+namespace {
+
+constexpr uint32_t kUnvisited = UINT32_MAX;
+
+struct Frame {
+  uint32_t node;
+  size_t next_child;
+};
+
+}  // namespace
+
+SccResult compute_sccs(const std::vector<std::vector<uint32_t>>& adj) {
+  const size_t n = adj.size();
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<Frame> frames;
+  uint32_t next_index = 0;
+
+  std::vector<std::vector<uint32_t>> raw_components;
+
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    frames.push_back(Frame{start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      uint32_t u = frame.node;
+      if (frame.next_child < adj[u].size()) {
+        uint32_t v = adj[u][frame.next_child++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back(Frame{v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // All children explored: maybe pop a component, then retreat.
+      if (lowlink[u] == index[u]) {
+        std::vector<uint32_t> comp;
+        while (true) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+          if (w == u) break;
+        }
+        std::sort(comp.begin(), comp.end());
+        raw_components.push_back(std::move(comp));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        uint32_t parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+
+  // Map node -> raw component.
+  std::vector<uint32_t> raw_of(n, kUnvisited);
+  for (uint32_t c = 0; c < raw_components.size(); ++c)
+    for (uint32_t v : raw_components[c]) raw_of[v] = c;
+
+  // Deterministic topological order of the condensation: Kahn's algorithm
+  // with a min-heap keyed on the smallest node id in each component.
+  size_t num_comp = raw_components.size();
+  std::vector<std::set<uint32_t>> succ(num_comp);
+  std::vector<uint32_t> in_degree(num_comp, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : adj[u]) {
+      uint32_t cu = raw_of[u];
+      uint32_t cv = raw_of[v];
+      if (cu != cv && succ[cu].insert(cv).second) ++in_degree[cv];
+    }
+  }
+  auto key = [&](uint32_t c) { return raw_components[c].front(); };
+  auto cmp = [&](uint32_t a, uint32_t b) { return key(a) > key(b); };
+  std::priority_queue<uint32_t, std::vector<uint32_t>, decltype(cmp)> ready(
+      cmp);
+  for (uint32_t c = 0; c < num_comp; ++c)
+    if (in_degree[c] == 0) ready.push(c);
+
+  while (!ready.empty()) {
+    uint32_t c = ready.top();
+    ready.pop();
+    uint32_t ordered_id = static_cast<uint32_t>(result.components.size());
+    for (uint32_t v : raw_components[c]) result.component_of[v] = ordered_id;
+    result.components.push_back(std::move(raw_components[c]));
+    for (uint32_t s : succ[c])
+      if (--in_degree[s] == 0) ready.push(s);
+  }
+
+  return result;
+}
+
+}  // namespace ps

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps {
+
+/// Result of maximally-strongly-connected-component (MSCC) analysis.
+struct SccResult {
+  /// Components in dependence (topological) order: if any edge runs from
+  /// component a to component b (a != b), then a appears before b.
+  /// Ties are broken by smallest member node id, which makes the order
+  /// deterministic and matches the paper's Figure 5 numbering.
+  std::vector<std::vector<uint32_t>> components;
+  /// component_of[node] = index into `components`.
+  std::vector<uint32_t> component_of;
+
+  [[nodiscard]] size_t size() const { return components.size(); }
+};
+
+/// Compute the MSCCs of a directed graph given as an adjacency list
+/// (adj[u] = successors of u). Implemented as an iterative Tarjan so very
+/// deep graphs in the property tests cannot overflow the call stack,
+/// followed by a deterministic Kahn topological sort of the condensation.
+[[nodiscard]] SccResult compute_sccs(
+    const std::vector<std::vector<uint32_t>>& adj);
+
+}  // namespace ps

@@ -1,0 +1,378 @@
+#include "runtime/bytecode.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+enum class Kind { Int, Real, Bool };
+
+Kind kind_of(const Expr& e) {
+  if (e.type == nullptr)
+    throw std::runtime_error(
+        "bytecode: expression lacks a type annotation (run sema first)");
+  switch (e.type->scalar_kind()) {
+    case TypeKind::Real:
+      return Kind::Real;
+    case TypeKind::Bool:
+      return Kind::Bool;
+    default:
+      return Kind::Int;
+  }
+}
+
+class Compiler {
+ public:
+  Compiler(const CheckedModule& module, const BcLayout& layout)
+      : module_(module), layout_(layout) {
+    for (const auto& [name, type] : module_.named_types) {
+      if (type->kind != TypeKind::Enum) continue;
+      for (size_t ord = 0; ord < type->enumerators.size(); ++ord)
+        enums_[type->enumerators[ord]] = static_cast<int64_t>(ord);
+    }
+  }
+
+  BcProgram run(const Expr& expr) {
+    Kind kind = compile(expr);
+    emit(BcOp::Halt);
+    program_.result_real = kind == Kind::Real;
+    return std::move(program_);
+  }
+
+ private:
+  int32_t pc() const { return static_cast<int32_t>(program_.code.size()); }
+
+  BcInstr& emit(BcOp op, int32_t a = 0, int32_t b = 0) {
+    program_.code.push_back(BcInstr{op, a, b, 0, 0});
+    track(op, b);
+    return program_.code.back();
+  }
+
+  /// Conservative stack bound: count every push. The VM stack grows
+  /// dynamically; this only sizes the initial reservation.
+  void track(BcOp op, int32_t) {
+    switch (op) {
+      case BcOp::PushInt:
+      case BcOp::PushReal:
+      case BcOp::LoadVar:
+      case BcOp::LoadScalarI:
+      case BcOp::LoadScalarD:
+      case BcOp::LoadArrayI:
+      case BcOp::LoadArrayD:
+        ++depth_;
+        if (depth_ > static_cast<int64_t>(program_.max_stack))
+          program_.max_stack = static_cast<size_t>(depth_);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void push_int(int64_t value) {
+    emit(BcOp::PushInt).imm = value;
+  }
+  void push_real(double value) {
+    emit(BcOp::PushReal).dimm = value;
+  }
+
+  /// Compile `e`, then convert to `want` if necessary.
+  void compile_as(const Expr& e, Kind want) {
+    Kind got = compile(e);
+    if (got == Kind::Int && want == Kind::Real) emit(BcOp::IntToReal);
+  }
+
+  Kind compile(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        push_int(static_cast<const IntLitExpr&>(e).value);
+        return Kind::Int;
+      case ExprKind::RealLit:
+        push_real(static_cast<const RealLitExpr&>(e).value);
+        return Kind::Real;
+      case ExprKind::BoolLit:
+        push_int(static_cast<const BoolLitExpr&>(e).value ? 1 : 0);
+        return Kind::Bool;
+      case ExprKind::Name:
+        return compile_name(static_cast<const NameExpr&>(e));
+      case ExprKind::Index:
+        return compile_index(static_cast<const IndexExpr&>(e));
+      case ExprKind::Field:
+        throw std::runtime_error(
+            "bytecode: record fields are not supported");
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        Kind k = compile(*u.operand);
+        if (u.op == UnaryOp::Not) {
+          emit(BcOp::NotB);
+          return Kind::Bool;
+        }
+        emit(k == Kind::Real ? BcOp::NegD : BcOp::NegI);
+        return k;
+      }
+      case ExprKind::Binary:
+        return compile_binary(static_cast<const BinaryExpr&>(e));
+      case ExprKind::If:
+        return compile_if(static_cast<const IfExpr&>(e));
+      case ExprKind::Call:
+        return compile_call(static_cast<const CallExpr&>(e));
+    }
+    throw std::runtime_error("bytecode: unknown expression kind");
+  }
+
+  Kind compile_name(const NameExpr& e) {
+    const DataItem* item = module_.find_data(e.name);
+    // A name that is a scalar data item AND could be a loop variable is
+    // resolved as a loop variable first, mirroring sema's scope rules --
+    // but sema rejects such shadowing at declaration time, so the data
+    // item test is safe here.
+    if (item != nullptr && item->is_scalar()) {
+      int32_t slot = layout_.scalar_slot[module_.data_index(e.name)];
+      if (kind_of(e) == Kind::Real) {
+        emit(BcOp::LoadScalarD, slot);
+        return Kind::Real;
+      }
+      emit(BcOp::LoadScalarI, slot);
+      return kind_of(e);
+    }
+    auto en = enums_.find(e.name);
+    if (en != enums_.end()) {
+      push_int(en->second);
+      return Kind::Int;
+    }
+    // Loop variable.
+    int32_t var = -1;
+    for (size_t i = 0; i < program_.var_names.size(); ++i)
+      if (program_.var_names[i] == e.name) var = static_cast<int32_t>(i);
+    if (var < 0) {
+      var = static_cast<int32_t>(program_.var_names.size());
+      program_.var_names.push_back(e.name);
+    }
+    emit(BcOp::LoadVar, var);
+    return Kind::Int;
+  }
+
+  Kind compile_index(const IndexExpr& e) {
+    if (e.base->kind != ExprKind::Name)
+      throw std::runtime_error("bytecode: unsupported subscripted base");
+    const auto& name = static_cast<const NameExpr&>(*e.base).name;
+    const DataItem* item = module_.find_data(name);
+    if (item == nullptr || item->rank() != e.subs.size())
+      throw std::runtime_error("bytecode: bad array reference to '" + name +
+                               "'");
+    for (const auto& sub : e.subs) {
+      Kind k = compile(*sub);
+      if (k != Kind::Int)
+        throw std::runtime_error("bytecode: non-integer subscript");
+    }
+    int32_t slot = layout_.array_slot[module_.data_index(name)];
+    bool real = item->elem->scalar_kind() == TypeKind::Real;
+    emit(real ? BcOp::LoadArrayD : BcOp::LoadArrayI, slot,
+         static_cast<int32_t>(e.subs.size()));
+    return real ? Kind::Real : Kind::Int;
+  }
+
+  Kind compile_binary(const BinaryExpr& e) {
+    switch (e.op) {
+      case BinaryOp::And: {
+        // lhs && rhs with short circuit.
+        compile(*e.lhs);
+        size_t jz_at = program_.code.size();
+        emit(BcOp::JumpIfFalse);
+        compile(*e.rhs);
+        size_t jend_at = program_.code.size();
+        emit(BcOp::Jump);
+        program_.code[jz_at].a = pc();
+        push_int(0);
+        program_.code[jend_at].a = pc();
+        return Kind::Bool;
+      }
+      case BinaryOp::Or: {
+        compile(*e.lhs);
+        size_t jz_at = program_.code.size();
+        emit(BcOp::JumpIfFalse);
+        push_int(1);
+        size_t jend_at = program_.code.size();
+        emit(BcOp::Jump);
+        program_.code[jz_at].a = pc();
+        compile(*e.rhs);
+        program_.code[jend_at].a = pc();
+        return Kind::Bool;
+      }
+      default:
+        break;
+    }
+
+    Kind lk = kind_of(*e.lhs);
+    Kind rk = kind_of(*e.rhs);
+    bool real = lk == Kind::Real || rk == Kind::Real || e.op == BinaryOp::Div;
+    Kind want = real ? Kind::Real : Kind::Int;
+    compile_as(*e.lhs, want);
+    compile_as(*e.rhs, want);
+    switch (e.op) {
+      case BinaryOp::Add: emit(real ? BcOp::AddD : BcOp::AddI); break;
+      case BinaryOp::Sub: emit(real ? BcOp::SubD : BcOp::SubI); break;
+      case BinaryOp::Mul: emit(real ? BcOp::MulD : BcOp::MulI); break;
+      case BinaryOp::Div: emit(BcOp::DivD); break;
+      case BinaryOp::IntDiv: emit(BcOp::DivI); break;
+      case BinaryOp::Mod: emit(BcOp::ModI); break;
+      case BinaryOp::Eq: emit(real ? BcOp::CmpEqD : BcOp::CmpEqI); break;
+      case BinaryOp::Ne: emit(real ? BcOp::CmpNeD : BcOp::CmpNeI); break;
+      case BinaryOp::Lt: emit(real ? BcOp::CmpLtD : BcOp::CmpLtI); break;
+      case BinaryOp::Le: emit(real ? BcOp::CmpLeD : BcOp::CmpLeI); break;
+      case BinaryOp::Gt: emit(real ? BcOp::CmpGtD : BcOp::CmpGtI); break;
+      case BinaryOp::Ge: emit(real ? BcOp::CmpGeD : BcOp::CmpGeI); break;
+      default:
+        throw std::runtime_error("bytecode: unexpected operator");
+    }
+    switch (e.op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+        return want;
+      case BinaryOp::Div:
+        return Kind::Real;
+      case BinaryOp::IntDiv:
+      case BinaryOp::Mod:
+        return Kind::Int;
+      default:
+        return Kind::Bool;
+    }
+  }
+
+  Kind compile_if(const IfExpr& e) {
+    Kind tk = kind_of(*e.then_expr);
+    Kind ek = kind_of(*e.else_expr);
+    Kind want = (tk == Kind::Real || ek == Kind::Real) ? Kind::Real
+                : (tk == Kind::Bool ? Kind::Bool : Kind::Int);
+    compile(*e.cond);
+    size_t jz_at = program_.code.size();
+    emit(BcOp::JumpIfFalse);
+    compile_as(*e.then_expr, want);
+    size_t jend_at = program_.code.size();
+    emit(BcOp::Jump);
+    program_.code[jz_at].a = pc();
+    compile_as(*e.else_expr, want);
+    program_.code[jend_at].a = pc();
+    return want;
+  }
+
+  Kind compile_call(const CallExpr& e) {
+    auto unary_real = [&](BcOp op) {
+      compile_as(*e.args[0], Kind::Real);
+      emit(op);
+      return Kind::Real;
+    };
+    if (e.callee == "sqrt") return unary_real(BcOp::Sqrt);
+    if (e.callee == "sin") return unary_real(BcOp::Sin);
+    if (e.callee == "cos") return unary_real(BcOp::Cos);
+    if (e.callee == "exp") return unary_real(BcOp::Exp);
+    if (e.callee == "ln") return unary_real(BcOp::Ln);
+    if (e.callee == "floor") {
+      compile_as(*e.args[0], Kind::Real);
+      emit(BcOp::FloorD);
+      return Kind::Int;
+    }
+    if (e.callee == "ceil") {
+      compile_as(*e.args[0], Kind::Real);
+      emit(BcOp::CeilD);
+      return Kind::Int;
+    }
+    if (e.callee == "abs") {
+      Kind k = compile(*e.args[0]);
+      emit(k == Kind::Real ? BcOp::AbsD : BcOp::AbsI);
+      return k;
+    }
+    if (e.callee == "min" || e.callee == "max") {
+      Kind a = kind_of(*e.args[0]);
+      Kind b = kind_of(*e.args[1]);
+      bool real = a == Kind::Real || b == Kind::Real;
+      Kind want = real ? Kind::Real : Kind::Int;
+      compile_as(*e.args[0], want);
+      compile_as(*e.args[1], want);
+      if (e.callee == "min")
+        emit(real ? BcOp::MinD : BcOp::MinI);
+      else
+        emit(real ? BcOp::MaxD : BcOp::MaxI);
+      return want;
+    }
+    throw std::runtime_error("bytecode: unknown intrinsic '" + e.callee +
+                             "'");
+  }
+
+  const CheckedModule& module_;
+  const BcLayout& layout_;
+  BcProgram program_;
+  int64_t depth_ = 0;
+  std::map<std::string, int64_t, std::less<>> enums_;
+};
+
+}  // namespace
+
+BcLayout BcLayout::for_module(const CheckedModule& module) {
+  BcLayout layout;
+  layout.scalar_slot.assign(module.data.size(), -1);
+  layout.array_slot.assign(module.data.size(), -1);
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    if (module.data[i].is_scalar())
+      layout.scalar_slot[i] = layout.scalar_count++;
+    else
+      layout.array_slot[i] = layout.array_count++;
+  }
+  return layout;
+}
+
+BcProgram compile_expr(const Expr& expr, const CheckedModule& module,
+                       const BcLayout& layout) {
+  Compiler compiler(module, layout);
+  return compiler.run(expr);
+}
+
+std::string BcProgram::disassemble() const {
+  static const char* const names[] = {
+      "PushInt",   "PushReal",  "LoadVar",   "LoadScalarI", "LoadScalarD",
+      "LoadArrayI", "LoadArrayD", "IntToReal", "AddI",       "SubI",
+      "MulI",      "DivI",      "ModI",      "NegI",        "AddD",
+      "SubD",      "MulD",      "DivD",      "NegD",        "CmpEqI",
+      "CmpNeI",    "CmpLtI",    "CmpLeI",    "CmpGtI",      "CmpGeI",
+      "CmpEqD",    "CmpNeD",    "CmpLtD",    "CmpLeD",      "CmpGtD",
+      "CmpGeD",    "NotB",      "JumpIfFalse", "Jump",      "AbsI",
+      "AbsD",      "MinI",      "MaxI",      "MinD",        "MaxD",
+      "Sqrt",      "Sin",       "Cos",       "Exp",         "Ln",
+      "FloorD",    "CeilD",     "Halt",
+  };
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const BcInstr& instr = code[i];
+    os << i << ": " << names[static_cast<size_t>(instr.op)];
+    switch (instr.op) {
+      case BcOp::PushInt:
+        os << ' ' << instr.imm;
+        break;
+      case BcOp::PushReal:
+        os << ' ' << instr.dimm;
+        break;
+      case BcOp::LoadVar:
+        os << ' ' << var_names[static_cast<size_t>(instr.a)];
+        break;
+      case BcOp::LoadScalarI:
+      case BcOp::LoadScalarD:
+      case BcOp::JumpIfFalse:
+      case BcOp::Jump:
+        os << ' ' << instr.a;
+        break;
+      case BcOp::LoadArrayI:
+      case BcOp::LoadArrayD:
+        os << " slot=" << instr.a << " rank=" << instr.b;
+        break;
+      default:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ps

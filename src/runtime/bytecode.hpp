@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/sema.hpp"
+
+namespace ps {
+
+/// Stack bytecode for PS expressions.
+///
+/// The tree-walking evaluator costs a virtual dispatch, a tag check and
+/// often a map lookup per AST node; for the stencil equations the benches
+/// execute millions of times that dominates runtime. Sema's type
+/// annotations let us compile each equation once into statically typed
+/// stack code (no runtime tags): integer and real operations are separate
+/// opcodes, conversions are explicit, and scalar/array operands are
+/// pre-resolved to dense slot indices.
+enum class BcOp : uint8_t {
+  PushInt,    // imm
+  PushReal,   // dimm
+  LoadVar,    // a = index into the program's variable-name table
+  LoadScalarI,  // a = scalar slot
+  LoadScalarD,
+  LoadArrayI,  // a = array slot, b = rank; pops rank ints, pushes int
+  LoadArrayD,  //                                      ... pushes double
+  IntToReal,
+  AddI, SubI, MulI, DivI, ModI, NegI,
+  AddD, SubD, MulD, DivD, NegD,
+  CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+  CmpEqD, CmpNeD, CmpLtD, CmpLeD, CmpGtD, CmpGeD,
+  NotB,
+  JumpIfFalse,  // a = absolute target pc; pops condition
+  Jump,         // a = absolute target pc
+  AbsI, AbsD, MinI, MaxI, MinD, MaxD,
+  Sqrt, Sin, Cos, Exp, Ln, FloorD, CeilD,
+  Halt,
+};
+
+struct BcInstr {
+  BcOp op;
+  int32_t a = 0;
+  int32_t b = 0;
+  int64_t imm = 0;
+  double dimm = 0;
+};
+
+/// One compiled expression. `result_real` records whether the value left
+/// on the stack is a double (else an int64, with booleans as 0/1).
+struct BcProgram {
+  std::vector<BcInstr> code;
+  std::vector<std::string> var_names;  // LoadVar operands
+  bool result_real = false;
+  size_t max_stack = 0;
+
+  [[nodiscard]] std::string disassemble() const;
+};
+
+/// Slot assignment shared by all programs of one module: scalar data
+/// items and arrays are numbered by their position in CheckedModule::data.
+struct BcLayout {
+  /// data index -> scalar slot (or -1); scalar slot count.
+  std::vector<int32_t> scalar_slot;
+  std::vector<int32_t> array_slot;
+  int32_t scalar_count = 0;
+  int32_t array_count = 0;
+
+  static BcLayout for_module(const CheckedModule& module);
+};
+
+/// Compile one (elaborated, type-annotated) expression. Throws
+/// std::runtime_error on unsupported constructs (record fields).
+[[nodiscard]] BcProgram compile_expr(const Expr& expr,
+                                     const CheckedModule& module,
+                                     const BcLayout& layout);
+
+}  // namespace ps

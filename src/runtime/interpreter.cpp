@@ -1,0 +1,756 @@
+#include "runtime/interpreter.hpp"
+
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("interpreter: " + message);
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const CheckedModule& module, const DepGraph& graph,
+                         const Flowchart& flowchart, IntEnv int_inputs,
+                         std::map<std::string, double> real_inputs,
+                         const InterpreterOptions& options)
+    : module_(module),
+      graph_(graph),
+      flowchart_(flowchart),
+      int_env_(std::move(int_inputs)),
+      real_inputs_(std::move(real_inputs)),
+      options_(options) {
+  for (const auto& [name, type] : module_.named_types) {
+    if (type->kind != TypeKind::Enum) continue;
+    for (size_t ord = 0; ord < type->enumerators.size(); ++ord)
+      enum_consts_[type->enumerators[ord]] = static_cast<int64_t>(ord);
+  }
+
+  for (const DataItem& item : module_.data) {
+    if (item.elem != nullptr && item.elem->kind == TypeKind::Record)
+      fail("record-typed data item '" + item.name + "' is not supported");
+    if (item.is_scalar()) {
+      if (item.cls == DataClass::Input) {
+        auto ri = real_inputs_.find(item.name);
+        auto ii = int_env_.find(item.name);
+        if (ri != real_inputs_.end())
+          scalars_[item.name] = RtValue::of_real(ri->second);
+        else if (ii != int_env_.end())
+          scalars_[item.name] = RtValue::of_int(ii->second);
+        else
+          fail("no value provided for scalar input '" + item.name + "'");
+      }
+      continue;
+    }
+    std::vector<int64_t> lo;
+    std::vector<int64_t> hi;
+    std::vector<int64_t> window;
+    for (size_t d = 0; d < item.dims.size(); ++d) {
+      const Type* dim = item.dims[d];
+      auto l = eval_const_int(*dim->lo, int_env_);
+      auto h = eval_const_int(*dim->hi, int_env_);
+      if (!l || !h)
+        fail("cannot evaluate bounds of '" + item.name +
+             "'; bind its parameters in int_inputs");
+      lo.push_back(*l);
+      hi.push_back(*h);
+      int64_t extent = *h - *l + 1;
+      int64_t w = extent;
+      if (options_.use_virtual_windows && options_.virtual_dims != nullptr &&
+          item.cls == DataClass::Local) {
+        auto it = options_.virtual_dims->find(item.name);
+        if (it != options_.virtual_dims->end() && d < it->second.size() &&
+            it->second[d].is_virtual)
+          w = std::min<int64_t>(extent, it->second[d].window);
+      }
+      window.push_back(w);
+    }
+    arrays_.emplace(item.name,
+                    NdArray(std::move(lo), std::move(hi), std::move(window)));
+  }
+
+  if (options_.engine == EvalEngine::Bytecode) compile_programs();
+}
+
+void Interpreter::compile_programs() {
+  layout_ = BcLayout::for_module(module_);
+  array_table_.assign(static_cast<size_t>(layout_.array_count), nullptr);
+  scalar_i_.assign(static_cast<size_t>(layout_.scalar_count), 0);
+  scalar_d_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
+  for (size_t i = 0; i < module_.data.size(); ++i) {
+    const DataItem& item = module_.data[i];
+    if (layout_.array_slot[i] >= 0)
+      array_table_[static_cast<size_t>(layout_.array_slot[i])] =
+          &arrays_.find(item.name)->second;
+    if (layout_.scalar_slot[i] >= 0) {
+      auto sc = scalars_.find(item.name);
+      if (sc != scalars_.end()) {
+        size_t slot = static_cast<size_t>(layout_.scalar_slot[i]);
+        scalar_d_[slot] = sc->second.as_real();
+        scalar_i_[slot] = sc->second.tag == RtValue::Tag::Int
+                              ? sc->second.i
+                              : static_cast<int64_t>(sc->second.as_real());
+      }
+    }
+  }
+  programs_.clear();
+  programs_.reserve(module_.equations.size());
+  for (const CheckedEquation& eq : module_.equations) {
+    EquationPrograms programs;
+    programs.rhs = compile_expr(*eq.rhs, module_, layout_);
+    for (const LhsSubscript& sub : eq.lhs_subs) {
+      if (sub.is_index_var)
+        programs.lhs_fixed.push_back(nullptr);
+      else
+        programs.lhs_fixed.push_back(std::make_unique<BcProgram>(
+            compile_expr(*sub.fixed, module_, layout_)));
+    }
+    programs_.push_back(std::move(programs));
+  }
+}
+
+void Interpreter::write_scalar(size_t data_index, RtValue value) {
+  const DataItem& item = module_.data[data_index];
+  scalars_[item.name] = value;
+  if (!layout_.scalar_slot.empty() && layout_.scalar_slot[data_index] >= 0) {
+    size_t slot = static_cast<size_t>(layout_.scalar_slot[data_index]);
+    scalar_d_[slot] = value.as_real();
+    scalar_i_[slot] = value.tag == RtValue::Tag::Int
+                          ? value.i
+                          : static_cast<int64_t>(value.as_real());
+  }
+}
+
+Interpreter::BcSlot Interpreter::run_program(const BcProgram& p,
+                                             const Frame& frame) {
+  thread_local std::vector<BcSlot> stack;
+  thread_local std::vector<int64_t> idx;
+  stack.clear();
+  if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);
+
+  constexpr size_t kMaxVars = 8;
+  int64_t vars[kMaxVars];
+  if (p.var_names.size() > kMaxVars)
+    fail("loop nest deeper than the bytecode engine supports");
+  for (size_t v = 0; v < p.var_names.size(); ++v) {
+    const int64_t* value = frame.find(p.var_names[v]);
+    if (value == nullptr)
+      fail("unbound index variable '" + p.var_names[v] + "'");
+    vars[v] = *value;
+  }
+
+  auto push_i = [&](int64_t v) {
+    BcSlot s;
+    s.i = v;
+    stack.push_back(s);
+  };
+  auto push_d = [&](double v) {
+    BcSlot s;
+    s.d = v;
+    stack.push_back(s);
+  };
+  auto pop = [&]() {
+    BcSlot s = stack.back();
+    stack.pop_back();
+    return s;
+  };
+
+  size_t pc = 0;
+  while (true) {
+    const BcInstr& instr = p.code[pc];
+    switch (instr.op) {
+      case BcOp::PushInt: push_i(instr.imm); break;
+      case BcOp::PushReal: push_d(instr.dimm); break;
+      case BcOp::LoadVar: push_i(vars[static_cast<size_t>(instr.a)]); break;
+      case BcOp::LoadScalarI:
+        push_i(scalar_i_[static_cast<size_t>(instr.a)]);
+        break;
+      case BcOp::LoadScalarD:
+        push_d(scalar_d_[static_cast<size_t>(instr.a)]);
+        break;
+      case BcOp::LoadArrayI:
+      case BcOp::LoadArrayD: {
+        size_t rank = static_cast<size_t>(instr.b);
+        idx.resize(rank);
+        for (size_t d = rank; d-- > 0;) idx[d] = pop().i;
+        NdArray* arr = array_table_[static_cast<size_t>(instr.a)];
+        if (!arr->in_bounds(idx)) fail("read outside array bounds");
+        double v = arr->at(idx);
+        if (instr.op == BcOp::LoadArrayD)
+          push_d(v);
+        else
+          push_i(static_cast<int64_t>(v));
+        break;
+      }
+      case BcOp::IntToReal: {
+        BcSlot s = pop();
+        push_d(static_cast<double>(s.i));
+        break;
+      }
+#define PS_BIN_I(OP, EXPR)                              case BcOp::OP: {                                    int64_t rhs = pop().i;                            int64_t lhs = pop().i;                            push_i(EXPR);                                     break;                                          }
+#define PS_BIN_D(OP, EXPR)                              case BcOp::OP: {                                    double rhs = pop().d;                             double lhs = pop().d;                             push_d(EXPR);                                     break;                                          }
+#define PS_CMP_D(OP, EXPR)                              case BcOp::OP: {                                    double rhs = pop().d;                             double lhs = pop().d;                             push_i(EXPR);                                     break;                                          }
+      PS_BIN_I(AddI, lhs + rhs)
+      PS_BIN_I(SubI, lhs - rhs)
+      PS_BIN_I(MulI, lhs * rhs)
+      case BcOp::DivI: {
+        int64_t rhs = pop().i;
+        int64_t lhs = pop().i;
+        if (rhs == 0) fail("'div' by zero");
+        push_i(lhs / rhs);
+        break;
+      }
+      case BcOp::ModI: {
+        int64_t rhs = pop().i;
+        int64_t lhs = pop().i;
+        if (rhs == 0) fail("'mod' by zero");
+        push_i(lhs % rhs);
+        break;
+      }
+      case BcOp::NegI: stack.back().i = -stack.back().i; break;
+      PS_BIN_D(AddD, lhs + rhs)
+      PS_BIN_D(SubD, lhs - rhs)
+      PS_BIN_D(MulD, lhs * rhs)
+      PS_BIN_D(DivD, lhs / rhs)
+      case BcOp::NegD: stack.back().d = -stack.back().d; break;
+      PS_BIN_I(CmpEqI, lhs == rhs ? 1 : 0)
+      PS_BIN_I(CmpNeI, lhs != rhs ? 1 : 0)
+      PS_BIN_I(CmpLtI, lhs < rhs ? 1 : 0)
+      PS_BIN_I(CmpLeI, lhs <= rhs ? 1 : 0)
+      PS_BIN_I(CmpGtI, lhs > rhs ? 1 : 0)
+      PS_BIN_I(CmpGeI, lhs >= rhs ? 1 : 0)
+      PS_CMP_D(CmpEqD, lhs == rhs ? 1 : 0)
+      PS_CMP_D(CmpNeD, lhs != rhs ? 1 : 0)
+      PS_CMP_D(CmpLtD, lhs < rhs ? 1 : 0)
+      PS_CMP_D(CmpLeD, lhs <= rhs ? 1 : 0)
+      PS_CMP_D(CmpGtD, lhs > rhs ? 1 : 0)
+      PS_CMP_D(CmpGeD, lhs >= rhs ? 1 : 0)
+#undef PS_BIN_I
+#undef PS_BIN_D
+#undef PS_CMP_D
+      case BcOp::NotB:
+        stack.back().i = stack.back().i == 0 ? 1 : 0;
+        break;
+      case BcOp::JumpIfFalse: {
+        int64_t cond = pop().i;
+        if (cond == 0) {
+          pc = static_cast<size_t>(instr.a);
+          continue;
+        }
+        break;
+      }
+      case BcOp::Jump:
+        pc = static_cast<size_t>(instr.a);
+        continue;
+      case BcOp::AbsI:
+        stack.back().i = stack.back().i < 0 ? -stack.back().i : stack.back().i;
+        break;
+      case BcOp::AbsD: stack.back().d = std::fabs(stack.back().d); break;
+      case BcOp::MinI: {
+        int64_t rhs = pop().i;
+        stack.back().i = std::min(stack.back().i, rhs);
+        break;
+      }
+      case BcOp::MaxI: {
+        int64_t rhs = pop().i;
+        stack.back().i = std::max(stack.back().i, rhs);
+        break;
+      }
+      case BcOp::MinD: {
+        double rhs = pop().d;
+        stack.back().d = std::min(stack.back().d, rhs);
+        break;
+      }
+      case BcOp::MaxD: {
+        double rhs = pop().d;
+        stack.back().d = std::max(stack.back().d, rhs);
+        break;
+      }
+      case BcOp::Sqrt: stack.back().d = std::sqrt(stack.back().d); break;
+      case BcOp::Sin: stack.back().d = std::sin(stack.back().d); break;
+      case BcOp::Cos: stack.back().d = std::cos(stack.back().d); break;
+      case BcOp::Exp: stack.back().d = std::exp(stack.back().d); break;
+      case BcOp::Ln: stack.back().d = std::log(stack.back().d); break;
+      case BcOp::FloorD: {
+        double v = pop().d;
+        push_i(static_cast<int64_t>(std::floor(v)));
+        break;
+      }
+      case BcOp::CeilD: {
+        double v = pop().d;
+        push_i(static_cast<int64_t>(std::ceil(v)));
+        break;
+      }
+      case BcOp::Halt:
+        return stack.back();
+    }
+    ++pc;
+  }
+}
+
+NdArray& Interpreter::array(std::string_view name) {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array named '" + std::string(name) + "'");
+  return it->second;
+}
+
+const NdArray& Interpreter::array(std::string_view name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array named '" + std::string(name) + "'");
+  return it->second;
+}
+
+double Interpreter::scalar(std::string_view name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end())
+    fail("no scalar value for '" + std::string(name) + "'");
+  return it->second.as_real();
+}
+
+size_t Interpreter::allocated_doubles() const {
+  size_t total = 0;
+  for (const auto& [name, arr] : arrays_) total += arr.allocation();
+  return total;
+}
+
+void Interpreter::reset() {
+  for (auto& [name, arr] : arrays_) {
+    const DataItem* item = module_.find_data(name);
+    if (item != nullptr && item->cls != DataClass::Input) arr.fill(0.0);
+  }
+  for (auto it = scalars_.begin(); it != scalars_.end();) {
+    const DataItem* item = module_.find_data(it->first);
+    if (item != nullptr && item->cls != DataClass::Input)
+      it = scalars_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void Interpreter::run() {
+  Frame frame;
+  exec_list(flowchart_, frame);
+}
+
+void Interpreter::exec_list(const Flowchart& steps, Frame& frame) {
+  for (const FlowStep& step : steps) exec_step(step, frame);
+}
+
+void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
+  if (step.kind == FlowStep::Kind::Equation) {
+    exec_equation(step.node, frame);
+    return;
+  }
+  const LoopLevelBounds* exact =
+      options_.exact_bounds == nullptr ? nullptr
+                                       : options_.exact_bounds->find(step.var);
+  std::optional<int64_t> lo, hi;
+  if (exact != nullptr) {
+    IntEnv env = env_with_frame(frame);
+    lo = exact->lower(env);
+    hi = exact->upper(env);
+  } else {
+    lo = eval_const_int(*step.range->lo, int_env_);
+    hi = eval_const_int(*step.range->hi, int_env_);
+    if (!lo || !hi)
+      fail("cannot evaluate bounds of loop over '" + step.var + "'");
+  }
+  if (*hi < *lo) return;
+
+  bool parallel = step.loop == LoopKind::Parallel && options_.honor_doall &&
+                  options_.pool != nullptr && *hi - *lo >= 1;
+  if (!parallel) {
+    frame.vars.emplace_back(step.var, 0);
+    for (int64_t it = *lo; it <= *hi; ++it) {
+      frame.vars.back().second = it;
+      exec_list(step.children, frame);
+    }
+    frame.vars.pop_back();
+    return;
+  }
+
+  if (options_.exact_bounds != nullptr) {
+    // Non-rectangular bounds: inner extents may depend on outer indices,
+    // so the flat-range collapse below does not apply. Instead enumerate
+    // the index tuples of the maximal perfectly nested DOALL chain
+    // sequentially (bound evaluation is trivially cheap next to the
+    // equation bodies) and self-schedule the tuple list on the pool.
+    std::vector<const FlowStep*> chain{&step};
+    const Flowchart* body = &step.children;
+    while (options_.collapse_doall && body->size() == 1 &&
+           (*body)[0].kind == FlowStep::Kind::Loop &&
+           (*body)[0].loop == LoopKind::Parallel) {
+      chain.push_back(&(*body)[0]);
+      body = &(*body)[0].children;
+    }
+    const size_t width = chain.size();
+    std::vector<int64_t> tuples;
+    {
+      IntEnv env = env_with_frame(frame);
+      enumerate_levels(chain, 0, env, tuples);
+    }
+    if (tuples.empty()) return;
+    const Flowchart& innermost = *body;
+    const int64_t total = static_cast<int64_t>(tuples.size() / width);
+
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    options_.pool->parallel_for_chunked(
+        0, total, [&](int64_t from, int64_t to) {
+          try {
+            Frame local = frame;  // private index bindings per chunk
+            size_t base = local.vars.size();
+            for (const FlowStep* level : chain)
+              local.vars.emplace_back(level->var, 0);
+            for (int64_t t = from; t < to; ++t) {
+              for (size_t d = 0; d < width; ++d)
+                local.vars[base + d].second =
+                    tuples[static_cast<size_t>(t) * width + d];
+              exec_list(innermost, local);
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+          }
+        });
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  // Collapse a maximal chain of perfectly nested DOALL loops (whose
+  // bounds do not depend on the outer indices) into one flat parallel
+  // range, so e.g. DOALL I' (DOALL J') over an 8 x 98 hyperplane slab
+  // exposes 784-way parallelism rather than 8-way.
+  struct Level {
+    const FlowStep* loop;
+    int64_t lo;
+    int64_t extent;
+  };
+  std::vector<Level> levels{{&step, *lo, *hi - *lo + 1}};
+  const Flowchart* body = &step.children;
+  while (options_.collapse_doall && body->size() == 1 && (*body)[0].kind == FlowStep::Kind::Loop &&
+         (*body)[0].loop == LoopKind::Parallel) {
+    const FlowStep& inner = (*body)[0];
+    auto ilo = eval_const_int(*inner.range->lo, int_env_);
+    auto ihi = eval_const_int(*inner.range->hi, int_env_);
+    if (!ilo || !ihi) break;  // bounds depend on an enclosing index
+    if (*ihi < *ilo) {
+      // The collapsed nest is empty.
+      return;
+    }
+    levels.push_back(Level{&inner, *ilo, *ihi - *ilo + 1});
+    body = &inner.children;
+  }
+  int64_t total = 1;
+  for (const Level& level : levels) total *= level.extent;
+  const Flowchart& innermost = *body;
+
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  options_.pool->parallel_for_chunked(
+      0, total, [&](int64_t from, int64_t to) {
+        try {
+          Frame local = frame;  // private index bindings per chunk
+          size_t base = local.vars.size();
+          for (const Level& level : levels)
+            local.vars.emplace_back(level.loop->var, 0);
+          for (int64_t flat = from; flat < to; ++flat) {
+            int64_t rest = flat;
+            for (size_t d = levels.size(); d-- > 0;) {
+              local.vars[base + d].second =
+                  levels[d].lo + rest % levels[d].extent;
+              rest /= levels[d].extent;
+            }
+            exec_list(innermost, local);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+  if (error) std::rethrow_exception(error);
+}
+
+IntEnv Interpreter::env_with_frame(const Frame& frame) const {
+  IntEnv env = int_env_;
+  for (const auto& [var, value] : frame.vars) env[std::string(var)] = value;
+  return env;
+}
+
+void Interpreter::enumerate_levels(const std::vector<const FlowStep*>& chain,
+                                   size_t level, IntEnv& env,
+                                   std::vector<int64_t>& tuples) const {
+  if (level == chain.size()) {
+    for (const FlowStep* step : chain)
+      tuples.push_back(env.at(step->var));
+    return;
+  }
+  const FlowStep& step = *chain[level];
+  const LoopLevelBounds* exact =
+      options_.exact_bounds == nullptr ? nullptr
+                                       : options_.exact_bounds->find(step.var);
+  int64_t lo = 0;
+  int64_t hi = -1;
+  if (exact != nullptr) {
+    lo = exact->lower(env);
+    hi = exact->upper(env);
+  } else {
+    auto rlo = eval_const_int(*step.range->lo, int_env_);
+    auto rhi = eval_const_int(*step.range->hi, int_env_);
+    if (!rlo || !rhi)
+      fail("cannot evaluate bounds of loop over '" + step.var + "'");
+    lo = *rlo;
+    hi = *rhi;
+  }
+  for (int64_t it = lo; it <= hi; ++it) {
+    env[step.var] = it;
+    enumerate_levels(chain, level + 1, env, tuples);
+  }
+  env.erase(step.var);
+}
+
+void Interpreter::exec_equation(uint32_t node, Frame& frame) {
+  const CheckedEquation& eq = graph_.equation_of(graph_.node(node));
+  const DataItem& target = module_.data[eq.target];
+
+  if (options_.engine == EvalEngine::Bytecode) {
+    const EquationPrograms& programs = programs_[eq.id];
+    BcSlot result = run_program(programs.rhs, frame);
+    double value = programs.rhs.result_real
+                       ? result.d
+                       : static_cast<double>(result.i);
+    if (target.is_scalar()) {
+      write_scalar(eq.target, programs.rhs.result_real
+                                  ? RtValue::of_real(result.d)
+                                  : RtValue::of_int(result.i));
+      return;
+    }
+    std::vector<int64_t> idx;
+    idx.reserve(eq.lhs_subs.size());
+    for (size_t p = 0; p < eq.lhs_subs.size(); ++p) {
+      const LhsSubscript& sub = eq.lhs_subs[p];
+      if (sub.is_index_var) {
+        const int64_t* v = frame.find(sub.var);
+        if (v == nullptr)
+          fail(eq.display_name + ": unbound index variable '" + sub.var +
+               "'");
+        idx.push_back(*v);
+      } else {
+        BcSlot s = run_program(*programs.lhs_fixed[p], frame);
+        idx.push_back(programs.lhs_fixed[p]->result_real
+                          ? static_cast<int64_t>(s.d)
+                          : s.i);
+      }
+    }
+    NdArray& arr = arrays_.find(target.name)->second;
+    if (!arr.in_bounds(idx))
+      fail(eq.display_name + ": write outside the bounds of '" +
+           target.name + "'");
+    arr.set(idx, value);
+    return;
+  }
+
+  RtValue value = eval(*eq.rhs, frame);
+
+  if (target.is_scalar()) {
+    write_scalar(eq.target, value);
+    return;
+  }
+
+  std::vector<int64_t> idx;
+  idx.reserve(eq.lhs_subs.size());
+  for (const LhsSubscript& sub : eq.lhs_subs) {
+    if (sub.is_index_var) {
+      const int64_t* v = frame.find(sub.var);
+      if (v == nullptr)
+        fail(eq.display_name + ": unbound index variable '" + sub.var + "'");
+      idx.push_back(*v);
+    } else {
+      idx.push_back(eval_int(*sub.fixed, frame));
+    }
+  }
+  NdArray& arr = arrays_.find(target.name)->second;
+  if (!arr.in_bounds(idx))
+    fail(eq.display_name + ": write outside the bounds of '" + target.name +
+         "'");
+  arr.set(idx, value.as_real());
+}
+
+int64_t Interpreter::eval_int(const Expr& e, const Frame& frame) {
+  RtValue v = eval(e, frame);
+  switch (v.tag) {
+    case RtValue::Tag::Int:
+      return v.i;
+    case RtValue::Tag::Real: {
+      double r = std::round(v.d);
+      if (r != v.d) fail("non-integer subscript value");
+      return static_cast<int64_t>(r);
+    }
+    case RtValue::Tag::Bool:
+      fail("boolean used as integer");
+  }
+  return 0;
+}
+
+Interpreter::RtValue Interpreter::eval(const Expr& e, const Frame& frame) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return RtValue::of_int(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::RealLit:
+      return RtValue::of_real(static_cast<const RealLitExpr&>(e).value);
+    case ExprKind::BoolLit:
+      return RtValue::of_bool(static_cast<const BoolLitExpr&>(e).value);
+    case ExprKind::Name: {
+      const auto& name = static_cast<const NameExpr&>(e).name;
+      if (const int64_t* v = frame.find(name)) return RtValue::of_int(*v);
+      auto sc = scalars_.find(name);
+      if (sc != scalars_.end()) return sc->second;
+      auto en = enum_consts_.find(name);
+      if (en != enum_consts_.end()) return RtValue::of_int(en->second);
+      fail("no value for name '" + name + "'");
+    }
+    case ExprKind::Index: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      if (ix.base->kind != ExprKind::Name)
+        fail("unsupported subscripted expression");
+      const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+      auto it = arrays_.find(name);
+      if (it == arrays_.end()) fail("no array named '" + name + "'");
+      std::vector<int64_t> idx;
+      idx.reserve(ix.subs.size());
+      for (const auto& sub : ix.subs) idx.push_back(eval_int(*sub, frame));
+      if (!it->second.in_bounds(idx))
+        fail("read outside the bounds of '" + name + "'");
+      double v = it->second.at(idx);
+      const DataItem* item = module_.find_data(name);
+      if (item != nullptr && item->elem->scalar_kind() == TypeKind::Int)
+        return RtValue::of_int(static_cast<int64_t>(v));
+      return RtValue::of_real(v);
+    }
+    case ExprKind::Field:
+      fail("record fields are not supported by the interpreter");
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      RtValue v = eval(*u.operand, frame);
+      if (u.op == UnaryOp::Neg) {
+        if (v.tag == RtValue::Tag::Int) return RtValue::of_int(-v.i);
+        return RtValue::of_real(-v.as_real());
+      }
+      return RtValue::of_bool(!v.b);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinaryOp::And: {
+          RtValue l = eval(*b.lhs, frame);
+          if (!l.b) return RtValue::of_bool(false);
+          return eval(*b.rhs, frame);
+        }
+        case BinaryOp::Or: {
+          RtValue l = eval(*b.lhs, frame);
+          if (l.b) return RtValue::of_bool(true);
+          return eval(*b.rhs, frame);
+        }
+        default:
+          break;
+      }
+      RtValue l = eval(*b.lhs, frame);
+      RtValue r = eval(*b.rhs, frame);
+      bool both_int =
+          l.tag == RtValue::Tag::Int && r.tag == RtValue::Tag::Int;
+      switch (b.op) {
+        case BinaryOp::Add:
+          return both_int ? RtValue::of_int(l.i + r.i)
+                          : RtValue::of_real(l.as_real() + r.as_real());
+        case BinaryOp::Sub:
+          return both_int ? RtValue::of_int(l.i - r.i)
+                          : RtValue::of_real(l.as_real() - r.as_real());
+        case BinaryOp::Mul:
+          return both_int ? RtValue::of_int(l.i * r.i)
+                          : RtValue::of_real(l.as_real() * r.as_real());
+        case BinaryOp::Div:
+          return RtValue::of_real(l.as_real() / r.as_real());
+        case BinaryOp::IntDiv:
+          if (!both_int || r.i == 0) fail("bad 'div' operands");
+          return RtValue::of_int(l.i / r.i);
+        case BinaryOp::Mod:
+          if (!both_int || r.i == 0) fail("bad 'mod' operands");
+          return RtValue::of_int(l.i % r.i);
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge: {
+          if (both_int) {
+            switch (b.op) {
+              case BinaryOp::Eq: return RtValue::of_bool(l.i == r.i);
+              case BinaryOp::Ne: return RtValue::of_bool(l.i != r.i);
+              case BinaryOp::Lt: return RtValue::of_bool(l.i < r.i);
+              case BinaryOp::Le: return RtValue::of_bool(l.i <= r.i);
+              case BinaryOp::Gt: return RtValue::of_bool(l.i > r.i);
+              default: return RtValue::of_bool(l.i >= r.i);
+            }
+          }
+          double a = l.as_real();
+          double c = r.as_real();
+          switch (b.op) {
+            case BinaryOp::Eq: return RtValue::of_bool(a == c);
+            case BinaryOp::Ne: return RtValue::of_bool(a != c);
+            case BinaryOp::Lt: return RtValue::of_bool(a < c);
+            case BinaryOp::Le: return RtValue::of_bool(a <= c);
+            case BinaryOp::Gt: return RtValue::of_bool(a > c);
+            default: return RtValue::of_bool(a >= c);
+          }
+        }
+        default:
+          fail("unsupported binary operator");
+      }
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      RtValue c = eval(*i.cond, frame);
+      return eval(c.b ? *i.then_expr : *i.else_expr, frame);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      auto arg = [&](size_t k) { return eval(*c.args[k], frame); };
+      if (c.callee == "abs") {
+        RtValue v = arg(0);
+        if (v.tag == RtValue::Tag::Int)
+          return RtValue::of_int(v.i < 0 ? -v.i : v.i);
+        return RtValue::of_real(std::fabs(v.as_real()));
+      }
+      if (c.callee == "min" || c.callee == "max") {
+        RtValue a = arg(0);
+        RtValue b = arg(1);
+        bool both_int =
+            a.tag == RtValue::Tag::Int && b.tag == RtValue::Tag::Int;
+        bool take_min = c.callee == "min";
+        if (both_int)
+          return RtValue::of_int(take_min ? std::min(a.i, b.i)
+                                          : std::max(a.i, b.i));
+        return RtValue::of_real(take_min
+                                    ? std::min(a.as_real(), b.as_real())
+                                    : std::max(a.as_real(), b.as_real()));
+      }
+      if (c.callee == "sqrt") return RtValue::of_real(std::sqrt(arg(0).as_real()));
+      if (c.callee == "sin") return RtValue::of_real(std::sin(arg(0).as_real()));
+      if (c.callee == "cos") return RtValue::of_real(std::cos(arg(0).as_real()));
+      if (c.callee == "exp") return RtValue::of_real(std::exp(arg(0).as_real()));
+      if (c.callee == "ln") return RtValue::of_real(std::log(arg(0).as_real()));
+      if (c.callee == "floor")
+        return RtValue::of_int(static_cast<int64_t>(std::floor(arg(0).as_real())));
+      if (c.callee == "ceil")
+        return RtValue::of_int(static_cast<int64_t>(std::ceil(arg(0).as_real())));
+      fail("unknown intrinsic '" + c.callee + "'");
+    }
+  }
+  fail("unreachable expression kind");
+}
+
+}  // namespace ps

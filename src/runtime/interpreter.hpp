@@ -1,0 +1,168 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/const_eval.hpp"
+#include "core/flowchart.hpp"
+#include "core/scheduler.hpp"
+#include "graph/depgraph.hpp"
+#include "runtime/bytecode.hpp"
+#include "runtime/ndarray.hpp"
+#include "runtime/thread_pool.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+enum class EvalEngine {
+  /// Equations compiled to typed stack bytecode (default; ~4-6x faster).
+  Bytecode,
+  /// Direct AST evaluation; kept as the semantic reference and
+  /// cross-checked against the bytecode engine in the tests.
+  TreeWalk,
+};
+
+struct InterpreterOptions {
+  /// Worker pool for DOALL loops; nullptr executes everything
+  /// sequentially.
+  ThreadPool* pool = nullptr;
+  EvalEngine engine = EvalEngine::Bytecode;
+  /// Collapse perfectly nested DOALL loops into one flat parallel range
+  /// (exposes hyperplane-slab parallelism); disabled by the ablation
+  /// bench.
+  bool collapse_doall = true;
+  /// When false, DOALL loops run as ordinary DO loops even with a pool --
+  /// the sequential baseline for the speedup benches.
+  bool honor_doall = true;
+  /// Allocate windowed storage for dimensions the (sound) virtual-
+  /// dimension analysis marked virtual (section 3.4).
+  bool use_virtual_windows = false;
+  const std::map<std::string, std::vector<VirtualDim>>* virtual_dims = nullptr;
+  /// Exact (in general non-rectangular) loop bounds from the polyhedral
+  /// projection of the transformed iteration domain (Lamport [10]).
+  /// Loops whose variable has a level here use these bounds instead of
+  /// the rectangular subrange; inner levels may depend on outer indices,
+  /// so the guarded bounding-box scan of the rewritten module shrinks to
+  /// exactly the image points. Must outlive the interpreter.
+  const LoopNestBounds* exact_bounds = nullptr;
+};
+
+/// Executes a scheduled PS module: walks the flowchart, running DO loops
+/// sequentially and DOALL loops on the thread pool, evaluating each
+/// equation instance over N-d double storage. This plays the role of the
+/// procedural multiprocessor program the paper's compiler emits C for --
+/// it lets us both verify that generated schedules compute the right
+/// values and measure the parallel speedup the DOALL annotations promise.
+class Interpreter {
+ public:
+  /// `int_inputs` must bind every scalar integer parameter used in array
+  /// bounds (e.g. M, maxK). `real_inputs` binds real scalar parameters.
+  Interpreter(const CheckedModule& module, const DepGraph& graph,
+              const Flowchart& flowchart, IntEnv int_inputs,
+              std::map<std::string, double> real_inputs = {},
+              const InterpreterOptions& options = {});
+
+  /// Input/output/local array storage (inputs are written by the caller
+  /// before run(); outputs read after).
+  [[nodiscard]] NdArray& array(std::string_view name);
+  [[nodiscard]] const NdArray& array(std::string_view name) const;
+
+  /// Scalar value of a (computed or input) data item.
+  [[nodiscard]] double scalar(std::string_view name) const;
+
+  /// Execute the flowchart once. Throws std::runtime_error on evaluation
+  /// failures (records, unbound names, out-of-range subscripts).
+  void run();
+
+  /// Zero all non-input storage so the instance can be re-run.
+  void reset();
+
+  /// Bytes of array storage allocated (used by the memory benches).
+  [[nodiscard]] size_t allocated_doubles() const;
+
+ private:
+  struct Frame {
+    std::vector<std::pair<std::string_view, int64_t>> vars;
+    [[nodiscard]] const int64_t* find(std::string_view name) const {
+      for (const auto& [v, value] : vars)
+        if (v == name) return &value;
+      return nullptr;
+    }
+  };
+
+  struct RtValue {
+    enum class Tag { Int, Real, Bool } tag = Tag::Real;
+    int64_t i = 0;
+    double d = 0;
+    bool b = false;
+
+    [[nodiscard]] double as_real() const {
+      switch (tag) {
+        case Tag::Int:
+          return static_cast<double>(i);
+        case Tag::Bool:
+          return b ? 1.0 : 0.0;
+        case Tag::Real:
+          break;
+      }
+      return d;
+    }
+    static RtValue of_int(int64_t v) { return {Tag::Int, v, 0, false}; }
+    static RtValue of_real(double v) { return {Tag::Real, 0, v, false}; }
+    static RtValue of_bool(bool v) { return {Tag::Bool, 0, 0, v}; }
+  };
+
+  void exec_list(const Flowchart& steps, Frame& frame);
+  void exec_step(const FlowStep& step, Frame& frame);
+  /// int_env_ plus the frame's loop-index bindings, for evaluating exact
+  /// (outer-index-dependent) loop bounds.
+  [[nodiscard]] IntEnv env_with_frame(const Frame& frame) const;
+  /// Append the index tuples of a perfectly nested DOALL chain to
+  /// `tuples` (chain.size() values per tuple), respecting exact bounds.
+  void enumerate_levels(const std::vector<const FlowStep*>& chain,
+                        size_t level, IntEnv& env,
+                        std::vector<int64_t>& tuples) const;
+  void exec_equation(uint32_t node, Frame& frame);
+  RtValue eval(const Expr& e, const Frame& frame);
+  int64_t eval_int(const Expr& e, const Frame& frame);
+
+  // -- bytecode engine --------------------------------------------------
+  struct BcSlot {
+    union {
+      int64_t i;
+      double d;
+    };
+  };
+  struct EquationPrograms {
+    BcProgram rhs;
+    /// One program per fixed LHS subscript position (index-variable
+    /// positions are null).
+    std::vector<std::unique_ptr<BcProgram>> lhs_fixed;
+  };
+  void compile_programs();
+  BcSlot run_program(const BcProgram& program, const Frame& frame);
+  void write_scalar(size_t data_index, RtValue value);
+
+  const CheckedModule& module_;
+  const DepGraph& graph_;
+  const Flowchart& flowchart_;
+  IntEnv int_env_;
+  std::map<std::string, double> real_inputs_;
+  InterpreterOptions options_;
+
+  std::map<std::string, NdArray, std::less<>> arrays_;
+  std::map<std::string, RtValue, std::less<>> scalars_;
+  std::map<std::string, int64_t, std::less<>> enum_consts_;
+
+  // Bytecode state (populated when options_.engine == Bytecode).
+  BcLayout layout_;
+  std::vector<EquationPrograms> programs_;     // by equation index
+  std::vector<NdArray*> array_table_;          // by array slot
+  std::vector<int64_t> scalar_i_;              // by scalar slot
+  std::vector<double> scalar_d_;
+};
+
+}  // namespace ps

@@ -1,0 +1,58 @@
+#include "runtime/ndarray.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ps {
+
+NdArray::NdArray(std::vector<int64_t> lo, std::vector<int64_t> hi,
+                 std::vector<int64_t> window)
+    : lo_(std::move(lo)), hi_(std::move(hi)), window_(std::move(window)) {
+  if (lo_.size() != hi_.size() || lo_.size() != window_.size())
+    throw std::invalid_argument("NdArray: rank mismatch");
+  size_t phys = 1;
+  logical_size_ = 1;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    int64_t extent = hi_[d] - lo_[d] + 1;
+    if (extent < 0) extent = 0;
+    if (window_[d] <= 0 || window_[d] > extent) window_[d] = extent;
+    if (window_[d] < extent) windowed_ = true;
+    phys *= static_cast<size_t>(window_[d]);
+    logical_size_ *= static_cast<size_t>(extent);
+  }
+  stride_.assign(lo_.size(), 1);
+  for (size_t d = lo_.size(); d-- > 1;)
+    stride_[d - 1] = stride_[d] * window_[d];
+  data_.assign(phys, 0.0);
+}
+
+NdArray NdArray::full(std::vector<int64_t> lo, std::vector<int64_t> hi) {
+  std::vector<int64_t> window(lo.size(), 0);
+  for (size_t d = 0; d < lo.size(); ++d) window[d] = hi[d] - lo[d] + 1;
+  return NdArray(std::move(lo), std::move(hi), std::move(window));
+}
+
+size_t NdArray::offset(std::span<const int64_t> idx) const {
+  assert(idx.size() == lo_.size());
+  size_t off = 0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    int64_t rel = idx[d] - lo_[d];
+    assert(rel >= 0 && idx[d] <= hi_[d]);
+    if (window_[d] < hi_[d] - lo_[d] + 1) rel %= window_[d];
+    off += static_cast<size_t>(rel) * static_cast<size_t>(stride_[d]);
+  }
+  return off;
+}
+
+bool NdArray::in_bounds(std::span<const int64_t> idx) const {
+  if (idx.size() != lo_.size()) return false;
+  for (size_t d = 0; d < lo_.size(); ++d)
+    if (idx[d] < lo_[d] || idx[d] > hi_[d]) return false;
+  return true;
+}
+
+void NdArray::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+}  // namespace ps

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ps {
+
+/// Row-major N-dimensional array of doubles with per-dimension lower
+/// bounds and optional memory windows.
+///
+/// A dimension with window w < extent stores only w slices; logical index
+/// i maps to slice (i - lo) mod w. This realises the paper's "virtual
+/// dimension": for the relaxation's A with window 2, slices K and K-1
+/// share storage with slices K-2, K-4, ... (section 3.4).
+class NdArray {
+ public:
+  NdArray() = default;
+
+  /// `lo[d]..hi[d]` are the logical bounds; `window[d]` is the physical
+  /// slice count (pass extent for a fully allocated dimension).
+  NdArray(std::vector<int64_t> lo, std::vector<int64_t> hi,
+          std::vector<int64_t> window);
+
+  /// Fully allocated array.
+  static NdArray full(std::vector<int64_t> lo, std::vector<int64_t> hi);
+
+  [[nodiscard]] size_t rank() const { return lo_.size(); }
+  [[nodiscard]] int64_t lo(size_t d) const { return lo_[d]; }
+  [[nodiscard]] int64_t hi(size_t d) const { return hi_[d]; }
+  [[nodiscard]] int64_t extent(size_t d) const { return hi_[d] - lo_[d] + 1; }
+  [[nodiscard]] int64_t window(size_t d) const { return window_[d]; }
+  [[nodiscard]] bool windowed() const { return windowed_; }
+
+  /// Number of doubles actually allocated.
+  [[nodiscard]] size_t allocation() const { return data_.size(); }
+  /// Number of doubles a full allocation would need.
+  [[nodiscard]] size_t logical_size() const { return logical_size_; }
+
+  [[nodiscard]] double at(std::span<const int64_t> idx) const {
+    return data_[offset(idx)];
+  }
+  void set(std::span<const int64_t> idx, double value) {
+    data_[offset(idx)] = value;
+  }
+
+  /// In-bounds check against the logical bounds.
+  [[nodiscard]] bool in_bounds(std::span<const int64_t> idx) const;
+
+  [[nodiscard]] std::span<double> raw() { return data_; }
+  [[nodiscard]] std::span<const double> raw() const { return data_; }
+
+  void fill(double value);
+
+  [[nodiscard]] size_t offset(std::span<const int64_t> idx) const;
+
+ private:
+  std::vector<int64_t> lo_;
+  std::vector<int64_t> hi_;
+  std::vector<int64_t> window_;
+  std::vector<int64_t> stride_;
+  std::vector<double> data_;
+  size_t logical_size_ = 0;
+  bool windowed_ = false;
+};
+
+}  // namespace ps

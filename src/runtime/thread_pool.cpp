@@ -1,0 +1,120 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ps {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : hw;
+  }
+  // The caller is one of the `threads` lanes.
+  size_t workers = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stopping_ || (current_ != nullptr && generation_ != seen);
+      });
+      if (stopping_) return;
+      seen = generation_;
+      batch = current_;
+      batch->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    work_on(*batch);
+    if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // The lock pairs this notification with the caller's done_ wait:
+      // without it the notify can land in the window between the
+      // caller's predicate evaluation (which still saw active == 1) and
+      // its atomic unlock-and-sleep -- a lost wakeup that leaves the
+      // caller blocked forever on an already-finished batch.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  while (true) {
+    int64_t from = batch.next.fetch_add(batch.chunk, std::memory_order_relaxed);
+    if (from >= batch.end) return;
+    int64_t to = std::min(batch.end, from + batch.chunk);
+    (*batch.body)(from, to);
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  int64_t n = end - begin;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (in_parallel_ || workers_.empty() || n == 1) {
+      lock.unlock();
+      body(begin, end);  // nested or trivial: run inline
+      return;
+    }
+    in_parallel_ = true;
+  }
+
+  Batch batch;
+  batch.begin = begin;
+  batch.end = end;
+  // Aim for ~4 chunks per lane so dynamic self-scheduling can balance.
+  int64_t lanes = static_cast<int64_t>(size());
+  batch.chunk = std::max<int64_t>(1, n / (lanes * 4));
+  batch.body = &body;
+  batch.next.store(begin, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  work_on(batch);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return batch.active.load(std::memory_order_acquire) == 0 &&
+             batch.next.load(std::memory_order_relaxed) >= batch.end;
+    });
+    current_ = nullptr;
+    in_parallel_ = false;
+  }
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end,
+                              const std::function<void(int64_t)>& body) {
+  parallel_for_chunked(begin, end, [&](int64_t from, int64_t to) {
+    for (int64_t i = from; i < to; ++i) body(i);
+  });
+}
+
+}  // namespace ps

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ps {
+
+/// A fixed-size worker pool executing chunked parallel-for loops. This is
+/// the MIMD substrate the paper's DOALL annotations target: one
+/// parallel_for call per DOALL loop instance, with dynamic chunk
+/// self-scheduling so irregular bodies (wavefront guards) balance.
+///
+/// The calling thread participates in the work, so a pool of size 1
+/// degenerates to a plain sequential loop with no synchronisation cost
+/// beyond two atomic operations.
+class ThreadPool {
+ public:
+  /// Create `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread.
+  [[nodiscard]] size_t size() const { return workers_.size() + 1; }
+
+  /// Run `body(i)` for every i in [begin, end). Blocks until all
+  /// iterations complete. Safe to call from one thread at a time; nested
+  /// calls from inside a body run sequentially inline.
+  void parallel_for(int64_t begin, int64_t end,
+                    const std::function<void(int64_t)>& body);
+
+  /// Chunked variant: `body(chunk_begin, chunk_end)`.
+  void parallel_for_chunked(int64_t begin, int64_t end,
+                            const std::function<void(int64_t, int64_t)>& body);
+
+  /// A process-wide pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  struct Batch {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t chunk = 1;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::atomic<int64_t> next{0};
+    std::atomic<size_t> active{0};
+  };
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* current_ = nullptr;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  bool in_parallel_ = false;
+};
+
+}  // namespace ps

@@ -1,0 +1,534 @@
+#include "runtime/wavefront.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("wavefront: " + message);
+}
+
+/// A scalar runtime value with the same promotion rules as the
+/// flowchart interpreter (cross-checked in the tests).
+struct Val {
+  enum class Tag { Int, Real, Bool } tag = Tag::Real;
+  int64_t i = 0;
+  double d = 0;
+  bool b = false;
+
+  [[nodiscard]] double as_real() const {
+    switch (tag) {
+      case Tag::Int:
+        return static_cast<double>(i);
+      case Tag::Bool:
+        return b ? 1.0 : 0.0;
+      case Tag::Real:
+        break;
+    }
+    return d;
+  }
+  static Val of_int(int64_t v) { return {Tag::Int, v, 0, false}; }
+  static Val of_real(double v) { return {Tag::Real, 0, v, false}; }
+  static Val of_bool(bool v) { return {Tag::Bool, 0, 0, v}; }
+};
+
+/// Evaluation context: loop-variable bindings, scalar parameters and
+/// array storage. Read-only during a hyperplane, so safe to share
+/// across the pool workers.
+struct EvalCtx {
+  const std::vector<std::pair<std::string_view, int64_t>>* vars = nullptr;
+  const IntEnv* ints = nullptr;
+  const std::map<std::string, double>* reals = nullptr;
+  std::map<std::string, NdArray, std::less<>>* arrays = nullptr;
+  const CheckedModule* module = nullptr;
+};
+
+Val eval(const Expr& e, const EvalCtx& ctx);
+
+int64_t eval_int(const Expr& e, const EvalCtx& ctx) {
+  Val v = eval(e, ctx);
+  if (v.tag == Val::Tag::Int) return v.i;
+  if (v.tag == Val::Tag::Real && v.d == std::floor(v.d))
+    return static_cast<int64_t>(v.d);
+  fail("expected an integer subscript");
+}
+
+Val eval(const Expr& e, const EvalCtx& ctx) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return Val::of_int(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::RealLit:
+      return Val::of_real(static_cast<const RealLitExpr&>(e).value);
+    case ExprKind::BoolLit:
+      return Val::of_bool(static_cast<const BoolLitExpr&>(e).value);
+    case ExprKind::Name: {
+      const auto& name = static_cast<const NameExpr&>(e).name;
+      if (ctx.vars != nullptr)
+        for (const auto& [v, value] : *ctx.vars)
+          if (v == name) return Val::of_int(value);
+      if (auto it = ctx.ints->find(name); it != ctx.ints->end())
+        return Val::of_int(it->second);
+      if (auto it = ctx.reals->find(name); it != ctx.reals->end())
+        return Val::of_real(it->second);
+      fail("no value for name '" + name + "'");
+    }
+    case ExprKind::Index: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      if (ix.base->kind != ExprKind::Name)
+        fail("unsupported subscripted expression");
+      const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+      auto it = ctx.arrays->find(name);
+      if (it == ctx.arrays->end()) fail("no array named '" + name + "'");
+      std::vector<int64_t> idx;
+      idx.reserve(ix.subs.size());
+      for (const auto& sub : ix.subs) idx.push_back(eval_int(*sub, ctx));
+      if (!it->second.in_bounds(idx))
+        fail("read outside the bounds of '" + name + "'");
+      double v = it->second.at(idx);
+      const DataItem* item = ctx.module->find_data(name);
+      if (item != nullptr && item->elem->scalar_kind() == TypeKind::Int)
+        return Val::of_int(static_cast<int64_t>(v));
+      return Val::of_real(v);
+    }
+    case ExprKind::Field:
+      fail("record fields are not supported by the wavefront runner");
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      Val v = eval(*u.operand, ctx);
+      if (u.op == UnaryOp::Neg) {
+        if (v.tag == Val::Tag::Int) return Val::of_int(-v.i);
+        return Val::of_real(-v.as_real());
+      }
+      return Val::of_bool(!v.b);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if (b.op == BinaryOp::And) {
+        Val l = eval(*b.lhs, ctx);
+        if (!l.b) return Val::of_bool(false);
+        return eval(*b.rhs, ctx);
+      }
+      if (b.op == BinaryOp::Or) {
+        Val l = eval(*b.lhs, ctx);
+        if (l.b) return Val::of_bool(true);
+        return eval(*b.rhs, ctx);
+      }
+      Val l = eval(*b.lhs, ctx);
+      Val r = eval(*b.rhs, ctx);
+      bool both_int = l.tag == Val::Tag::Int && r.tag == Val::Tag::Int;
+      switch (b.op) {
+        case BinaryOp::Add:
+          return both_int ? Val::of_int(l.i + r.i)
+                          : Val::of_real(l.as_real() + r.as_real());
+        case BinaryOp::Sub:
+          return both_int ? Val::of_int(l.i - r.i)
+                          : Val::of_real(l.as_real() - r.as_real());
+        case BinaryOp::Mul:
+          return both_int ? Val::of_int(l.i * r.i)
+                          : Val::of_real(l.as_real() * r.as_real());
+        case BinaryOp::Div:
+          return Val::of_real(l.as_real() / r.as_real());
+        case BinaryOp::IntDiv:
+          if (!both_int || r.i == 0) fail("bad 'div' operands");
+          return Val::of_int(l.i / r.i);
+        case BinaryOp::Mod:
+          if (!both_int || r.i == 0) fail("bad 'mod' operands");
+          return Val::of_int(l.i % r.i);
+        default: {
+          if (both_int) {
+            switch (b.op) {
+              case BinaryOp::Eq: return Val::of_bool(l.i == r.i);
+              case BinaryOp::Ne: return Val::of_bool(l.i != r.i);
+              case BinaryOp::Lt: return Val::of_bool(l.i < r.i);
+              case BinaryOp::Le: return Val::of_bool(l.i <= r.i);
+              case BinaryOp::Gt: return Val::of_bool(l.i > r.i);
+              case BinaryOp::Ge: return Val::of_bool(l.i >= r.i);
+              default: fail("unsupported binary operator");
+            }
+          }
+          double a = l.as_real();
+          double c = r.as_real();
+          switch (b.op) {
+            case BinaryOp::Eq: return Val::of_bool(a == c);
+            case BinaryOp::Ne: return Val::of_bool(a != c);
+            case BinaryOp::Lt: return Val::of_bool(a < c);
+            case BinaryOp::Le: return Val::of_bool(a <= c);
+            case BinaryOp::Gt: return Val::of_bool(a > c);
+            case BinaryOp::Ge: return Val::of_bool(a >= c);
+            default: fail("unsupported binary operator");
+          }
+        }
+      }
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      Val c = eval(*i.cond, ctx);
+      return eval(c.b ? *i.then_expr : *i.else_expr, ctx);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      auto arg = [&](size_t k) { return eval(*c.args[k], ctx); };
+      if (c.callee == "abs") {
+        Val v = arg(0);
+        if (v.tag == Val::Tag::Int) return Val::of_int(v.i < 0 ? -v.i : v.i);
+        return Val::of_real(std::fabs(v.as_real()));
+      }
+      if (c.callee == "min" || c.callee == "max") {
+        Val a = arg(0);
+        Val b = arg(1);
+        bool both_int = a.tag == Val::Tag::Int && b.tag == Val::Tag::Int;
+        bool take_min = c.callee == "min";
+        if (both_int)
+          return Val::of_int(take_min ? std::min(a.i, b.i)
+                                      : std::max(a.i, b.i));
+        return Val::of_real(take_min ? std::min(a.as_real(), b.as_real())
+                                     : std::max(a.as_real(), b.as_real()));
+      }
+      if (c.callee == "sqrt") return Val::of_real(std::sqrt(arg(0).as_real()));
+      if (c.callee == "sin") return Val::of_real(std::sin(arg(0).as_real()));
+      if (c.callee == "cos") return Val::of_real(std::cos(arg(0).as_real()));
+      if (c.callee == "exp") return Val::of_real(std::exp(arg(0).as_real()));
+      if (c.callee == "ln") return Val::of_real(std::log(arg(0).as_real()));
+      fail("unknown intrinsic '" + c.callee + "'");
+    }
+  }
+  fail("unreachable expression kind");
+}
+
+/// Invoke `fn` for every point of the rectangular box [lo, hi] in
+/// lexicographic order; a rank-0 box has exactly one (empty) point.
+void for_each_box_point(const std::vector<int64_t>& lo,
+                        const std::vector<int64_t>& hi,
+                        const std::function<void(const std::vector<int64_t>&)>&
+                            fn) {
+  for (size_t d = 0; d < lo.size(); ++d)
+    if (hi[d] < lo[d]) return;  // empty box
+  std::vector<int64_t> vals = lo;
+  while (true) {
+    fn(vals);
+    size_t d = vals.size();
+    while (true) {
+      if (d == 0) return;
+      --d;
+      if (++vals[d] <= hi[d]) break;
+      vals[d] = lo[d];
+    }
+  }
+}
+
+}  // namespace
+
+WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
+                                 const HyperplaneTransform& transform,
+                                 const LoopNestBounds& nest,
+                                 IntEnv int_inputs,
+                                 std::map<std::string, double> real_inputs,
+                                 WavefrontOptions options)
+    : module_(transformed),
+      transform_(transform),
+      nest_(nest),
+      int_env_(std::move(int_inputs)),
+      real_inputs_(std::move(real_inputs)),
+      options_(options),
+      new_array_(transform.array + "'") {
+  const DataItem* item = module_.find_data(new_array_);
+  if (item == nullptr)
+    fail("module has no transformed array '" + new_array_ + "'");
+  if (item->rank() != transform_.dims())
+    fail("rank of '" + new_array_ + "' does not match the transform");
+  if (nest_.levels.size() != transform_.dims())
+    fail("exact-bounds nest does not match the transform");
+  for (size_t r = 0; r < transform_.dims(); ++r)
+    if (nest_.levels[r].var != transform_.new_vars[r])
+      fail("exact-bounds nest is not in transformed-variable order");
+
+  // Classify the equations: the single recurrence defining A', the
+  // consumers reading it, and everything else ("pre" work).
+  size_t target_index = module_.data_index(new_array_);
+  bool found_recurrence = false;
+  for (const CheckedEquation& eq : module_.equations) {
+    if (eq.target == target_index) {
+      if (found_recurrence)
+        fail("more than one equation defines '" + new_array_ + "'");
+      recurrence_ = eq.id;
+      found_recurrence = true;
+      continue;
+    }
+    bool reads = std::any_of(
+        eq.array_refs.begin(), eq.array_refs.end(),
+        [&](const ArrayRefInfo& ref) { return ref.array == new_array_; });
+    (reads ? consumers_ : pre_).push_back(eq.id);
+  }
+  if (!found_recurrence)
+    fail("module has no recurrence defining '" + new_array_ + "'");
+
+  const CheckedEquation& rec = module_.equations[recurrence_];
+  if (rec.loop_dims.size() != transform_.dims())
+    fail("recurrence does not loop over every transformed dimension");
+  for (size_t d = 0; d < rec.loop_dims.size(); ++d)
+    if (rec.loop_dims[d].var != transform_.new_vars[d])
+      fail("recurrence loop order differs from the transform");
+
+  // Window: 1 + the largest backward offset of a self-reference in the
+  // hyperplane dimension (the paper derives 3 for the relaxation:
+  // references K'-1 and K'-2).
+  int64_t max_back = 0;
+  for (const ArrayRefInfo& ref : rec.array_refs) {
+    if (ref.array != new_array_) continue;
+    const SubscriptInfo& first = ref.subs.front();
+    if (first.kind != SubscriptInfo::Kind::IndexVar ||
+        first.var != transform_.new_vars[0] || first.offset > 0)
+      fail("self-reference outside the hyperplane-offset form");
+    max_back = std::max(max_back, -first.offset);
+  }
+  window_ = options_.window > 0 ? options_.window : max_back + 1;
+  if (window_ <= max_back)
+    fail("window " + std::to_string(window_) +
+         " is smaller than the recurrence depth " +
+         std::to_string(max_back + 1));
+
+  // Allocate storage: the transformed array windowed in its hyperplane
+  // dimension, everything else in full.
+  for (const DataItem& d : module_.data) {
+    if (d.is_scalar()) {
+      if (d.cls != DataClass::Input)
+        fail("computed scalars are not supported by the wavefront runner");
+      continue;
+    }
+    if (d.elem != nullptr && d.elem->kind == TypeKind::Record)
+      fail("record-typed data item '" + d.name + "' is not supported");
+    std::vector<int64_t> lo(d.rank());
+    std::vector<int64_t> hi(d.rank());
+    std::vector<int64_t> win(d.rank());
+    for (size_t dim = 0; dim < d.rank(); ++dim) {
+      auto l = eval_const_int(*d.dims[dim]->lo, int_env_);
+      auto h = eval_const_int(*d.dims[dim]->hi, int_env_);
+      if (!l || !h) fail("cannot evaluate bounds of '" + d.name + "'");
+      lo[dim] = *l;
+      hi[dim] = *h;
+      win[dim] = *h - *l + 1;
+    }
+    if (d.name == new_array_) win[0] = std::min(window_, win[0]);
+    arrays_.emplace(d.name, NdArray(std::move(lo), std::move(hi),
+                                    std::move(win)));
+  }
+}
+
+NdArray& WavefrontRunner::array(std::string_view name) {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array named '" + std::string(name) + "'");
+  return it->second;
+}
+
+const NdArray& WavefrontRunner::array(std::string_view name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) fail("no array named '" + std::string(name) + "'");
+  return it->second;
+}
+
+size_t WavefrontRunner::allocated_doubles() const {
+  size_t total = 0;
+  for (const auto& [name, arr] : arrays_) total += arr.allocation();
+  return total;
+}
+
+void WavefrontRunner::eval_equation_instance(
+    const CheckedEquation& eq, const std::vector<int64_t>& loop_vals) {
+  std::vector<std::pair<std::string_view, int64_t>> vars;
+  vars.reserve(eq.loop_dims.size());
+  for (size_t d = 0; d < eq.loop_dims.size(); ++d)
+    vars.emplace_back(eq.loop_dims[d].var, loop_vals[d]);
+
+  EvalCtx ctx{&vars, &int_env_, &real_inputs_, &arrays_, &module_};
+  double value = eval(*eq.rhs, ctx).as_real();
+
+  const DataItem& target = module_.data[eq.target];
+  std::vector<int64_t> idx(target.rank());
+  for (size_t d = 0; d < target.rank(); ++d) {
+    const LhsSubscript& sub = eq.lhs_subs[d];
+    if (sub.is_index_var) {
+      auto it = std::find_if(vars.begin(), vars.end(), [&](const auto& p) {
+        return p.first == sub.var;
+      });
+      if (it == vars.end()) fail("unbound LHS index '" + sub.var + "'");
+      idx[d] = it->second;
+    } else {
+      idx[d] = eval_int(*sub.fixed, ctx);
+    }
+  }
+  NdArray& arr = arrays_.at(target.name);
+  if (!arr.in_bounds(idx))
+    fail("write outside the bounds of '" + target.name + "'");
+  arr.set(idx, value);
+}
+
+void WavefrontRunner::execute_pre_equations() {
+  for (size_t id : pre_) {
+    const CheckedEquation& eq = module_.equations[id];
+    // Rectangular loop domain straight from the declared subranges.
+    std::vector<int64_t> lo(eq.loop_dims.size());
+    std::vector<int64_t> hi(eq.loop_dims.size());
+    for (size_t d = 0; d < eq.loop_dims.size(); ++d) {
+      auto l = eval_const_int(*eq.loop_dims[d].range->lo, int_env_);
+      auto h = eval_const_int(*eq.loop_dims[d].range->hi, int_env_);
+      if (!l || !h) fail("cannot evaluate pre-equation bounds");
+      lo[d] = *l;
+      hi[d] = *h;
+    }
+    for_each_box_point(lo, hi, [&](const std::vector<int64_t>& vals) {
+      eval_equation_instance(eq, vals);
+    });
+  }
+}
+
+void WavefrontRunner::build_consumer_buckets() {
+  for (size_t id : consumers_) {
+    const CheckedEquation& eq = module_.equations[id];
+    // The hyperplane coordinate each A'-read hits, as an affine form of
+    // the consumer's loop variables.
+    std::vector<AffineForm> reads;
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array != new_array_) continue;
+      auto form = affine_from_expr(*ref.subs.front().expr);
+      if (!form)
+        fail("consumer reads '" + new_array_ +
+             "' at a non-affine hyperplane subscript");
+      reads.push_back(std::move(*form));
+    }
+
+    std::vector<int64_t> lo(eq.loop_dims.size());
+    std::vector<int64_t> hi(eq.loop_dims.size());
+    for (size_t d = 0; d < eq.loop_dims.size(); ++d) {
+      auto l = eval_const_int(*eq.loop_dims[d].range->lo, int_env_);
+      auto h = eval_const_int(*eq.loop_dims[d].range->hi, int_env_);
+      if (!l || !h) fail("cannot evaluate consumer bounds");
+      lo[d] = *l;
+      hi[d] = *h;
+    }
+
+    for_each_box_point(lo, hi, [&](const std::vector<int64_t>& vals) {
+      IntEnv env = int_env_;
+      for (size_t d = 0; d < vals.size(); ++d)
+        env[eq.loop_dims[d].var] = vals[d];
+      int64_t newest = std::numeric_limits<int64_t>::min();
+      int64_t oldest = std::numeric_limits<int64_t>::max();
+      for (const AffineForm& form : reads) {
+        auto v = form.evaluate(env);
+        if (!v || !v->is_integer()) fail("non-integer hyperplane subscript");
+        newest = std::max(newest, v->as_integer());
+        oldest = std::min(oldest, v->as_integer());
+      }
+      if (newest - oldest >= window_)
+        fail("consumer instance spans " +
+             std::to_string(newest - oldest + 1) +
+             " hyperplane slices, more than the window");
+      buckets_[newest].push_back(ConsumerInstance{id, vals});
+    });
+  }
+}
+
+void WavefrontRunner::execute_hyperplane(int64_t t) {
+  const CheckedEquation& rec = module_.equations[recurrence_];
+  const size_t n = transform_.dims();
+
+  // Enumerate the points of this hyperplane from the exact inner
+  // bounds (levels 1..n-1 of the nest, with the hyperplane coordinate
+  // fixed).
+  std::vector<int64_t> points;  // (n-1) coordinates per point
+  IntEnv env = int_env_;
+  env[nest_.levels[0].var] = t;
+  std::vector<int64_t> current(n - 1);
+  auto enumerate = [&](auto&& self, size_t level) -> void {
+    if (level == n) {
+      points.insert(points.end(), current.begin(), current.end());
+      return;
+    }
+    const LoopLevelBounds& bounds = nest_.levels[level];
+    int64_t lo = bounds.lower(env);
+    int64_t hi = bounds.upper(env);
+    for (int64_t it = lo; it <= hi; ++it) {
+      env[bounds.var] = it;
+      current[level - 1] = it;
+      self(self, level + 1);
+    }
+    env.erase(bounds.var);
+  };
+  enumerate(enumerate, 1);
+
+  const int64_t count = static_cast<int64_t>(points.size() / (n - 1));
+  stats_.points += count;
+
+  auto run_point = [&](int64_t p) {
+    std::vector<int64_t> vals(n);
+    vals[0] = t;
+    for (size_t d = 1; d < n; ++d)
+      vals[d] = points[static_cast<size_t>(p) * (n - 1) + d - 1];
+    eval_equation_instance(rec, vals);
+  };
+
+  if (options_.pool != nullptr && count > 1) {
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    options_.pool->parallel_for_chunked(0, count, [&](int64_t from,
+                                                      int64_t to) {
+      try {
+        for (int64_t p = from; p < to; ++p) run_point(p);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+    if (error) std::rethrow_exception(error);
+  } else {
+    for (int64_t p = 0; p < count; ++p) run_point(p);
+  }
+}
+
+void WavefrontRunner::flush_bucket(int64_t t) {
+  auto it = buckets_.find(t);
+  if (it == buckets_.end()) return;
+  for (const ConsumerInstance& inst : it->second) {
+    eval_equation_instance(module_.equations[inst.equation], inst.loop_vals);
+    ++stats_.flushed;
+  }
+  buckets_.erase(it);
+}
+
+void WavefrontRunner::run() {
+  stats_ = {};
+  buckets_.clear();
+  execute_pre_equations();
+  build_consumer_buckets();
+
+  IntEnv env = int_env_;
+  int64_t t_lo = nest_.levels[0].lower(env);
+  int64_t t_hi = nest_.levels[0].upper(env);
+  // Flush anything scheduled before the first hyperplane (reads of
+  // slices the recurrence never writes read zero-initialised storage,
+  // matching the rectangular interpreter's zero fill).
+  for (auto it = buckets_.begin();
+       it != buckets_.end() && it->first < t_lo;) {
+    int64_t t = it->first;
+    ++it;
+    flush_bucket(t);
+  }
+  for (int64_t t = t_lo; t <= t_hi; ++t) {
+    execute_hyperplane(t);
+    ++stats_.hyperplanes;
+    flush_bucket(t);  // unrotate: the slice is still live in the window
+  }
+  // Anything left (reads beyond the last hyperplane) is a bug in the
+  // bucket construction -- the image bounds cover every written slice.
+  if (!buckets_.empty())
+    fail("unflushed consumer instances remain after the last hyperplane");
+}
+
+}  // namespace ps

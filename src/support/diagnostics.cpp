@@ -1,0 +1,77 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ps {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::set_source(std::string_view source,
+                                  std::string file_name) {
+  source_ = std::string(source);
+  file_name_ = std::move(file_name);
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  add(Severity::Note, loc, std::move(message));
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  add(Severity::Warning, loc, std::move(message));
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  add(Severity::Error, loc, std::move(message));
+}
+
+void DiagnosticEngine::add(Severity severity, SourceLoc loc,
+                           std::string message) {
+  if (severity == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+std::vector<std::string> DiagnosticEngine::messages(Severity severity) const {
+  std::vector<std::string> out;
+  for (const auto& d : diags_) {
+    if (d.severity == severity) out.push_back(d.message);
+  }
+  return out;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << file_name_;
+    if (d.loc.valid()) os << ':' << d.loc.line << ':' << d.loc.column;
+    os << ": " << severity_name(d.severity) << ": " << d.message << '\n';
+    if (d.loc.valid() && !source_.empty()) {
+      // Find the start of the offending line.
+      size_t begin = d.loc.offset < source_.size() ? d.loc.offset : 0;
+      while (begin > 0 && source_[begin - 1] != '\n') --begin;
+      size_t end = begin;
+      while (end < source_.size() && source_[end] != '\n') ++end;
+      os << "  " << source_.substr(begin, end - begin) << '\n';
+      os << "  ";
+      for (uint32_t i = 1; i < d.loc.column; ++i) os << ' ';
+      os << "^\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ps

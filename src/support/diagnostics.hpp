@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace ps {
+
+enum class Severity { Note, Warning, Error };
+
+/// One compiler diagnostic: severity, location and message text.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics emitted by any compiler phase.
+///
+/// The engine never throws and never prints on its own; callers inspect
+/// `has_errors()` after a phase and render with `render()` when needed.
+class DiagnosticEngine {
+ public:
+  DiagnosticEngine() = default;
+
+  /// Attach the source buffer so rendered diagnostics can quote the
+  /// offending line. Optional; rendering degrades gracefully without it.
+  void set_source(std::string_view source, std::string file_name = "<input>");
+
+  void note(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// Render all diagnostics as "file:line:col: severity: message" lines,
+  /// each followed by the quoted source line and a caret when the source
+  /// buffer is available.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: messages of all diagnostics of the given severity.
+  [[nodiscard]] std::vector<std::string> messages(Severity severity) const;
+
+  void clear();
+
+ private:
+  void add(Severity severity, SourceLoc loc, std::string message);
+
+  std::vector<Diagnostic> diags_;
+  std::string source_;
+  std::string file_name_ = "<input>";
+  size_t error_count_ = 0;
+};
+
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
+}  // namespace ps

@@ -1,0 +1,53 @@
+#include "support/dot_writer.hpp"
+
+#include <sstream>
+
+namespace ps {
+
+DotWriter::DotWriter(std::string graph_name) : name_(std::move(graph_name)) {}
+
+std::string DotWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void DotWriter::add_node(const std::string& id, const std::string& label,
+                         const std::string& shape) {
+  std::ostringstream os;
+  os << "  \"" << escape(id) << "\" [label=\"" << escape(label)
+     << "\", shape=" << shape << "];";
+  lines_.push_back(os.str());
+}
+
+void DotWriter::add_edge(const std::string& from, const std::string& to,
+                         const std::string& label, const std::string& style) {
+  std::ostringstream os;
+  os << "  \"" << escape(from) << "\" -> \"" << escape(to) << "\"";
+  bool open = false;
+  auto attr = [&](const std::string& key, const std::string& value) {
+    if (value.empty()) return;
+    os << (open ? ", " : " [");
+    open = true;
+    os << key << "=\"" << escape(value) << "\"";
+  };
+  attr("label", label);
+  attr("style", style);
+  if (open) os << "]";
+  os << ";";
+  lines_.push_back(os.str());
+}
+
+std::string DotWriter::render() const {
+  std::ostringstream os;
+  os << "digraph " << name_ << " {\n";
+  for (const auto& line : lines_) os << line << '\n';
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ps {
+
+/// Emits Graphviz DOT text for dependency-graph visualisation
+/// (reproduction of the paper's Figure 3).
+class DotWriter {
+ public:
+  explicit DotWriter(std::string graph_name = "G");
+
+  /// Add a node with an id, display label and optional shape.
+  void add_node(const std::string& id, const std::string& label,
+                const std::string& shape = "ellipse");
+
+  /// Add a directed edge with an optional label and style.
+  void add_edge(const std::string& from, const std::string& to,
+                const std::string& label = "",
+                const std::string& style = "");
+
+  [[nodiscard]] std::string render() const;
+
+  /// Escape a string for use inside a DOT double-quoted literal.
+  static std::string escape(const std::string& s);
+
+ private:
+  std::string name_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace ps

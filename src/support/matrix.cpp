@@ -1,0 +1,231 @@
+#include "support/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ps {
+
+IntMatrix::IntMatrix(
+    std::initializer_list<std::initializer_list<int64_t>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_)
+      throw std::invalid_argument("IntMatrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+IntMatrix IntMatrix::identity(size_t n) {
+  IntMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+std::vector<int64_t> IntMatrix::row(size_t r) const {
+  std::vector<int64_t> out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = at(r, c);
+  return out;
+}
+
+void IntMatrix::set_row(size_t r, const std::vector<int64_t>& values) {
+  if (values.size() != cols_)
+    throw std::invalid_argument("IntMatrix::set_row: size mismatch");
+  for (size_t c = 0; c < cols_; ++c) at(r, c) = values[c];
+}
+
+IntMatrix IntMatrix::multiply(const IntMatrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("IntMatrix::multiply: dimension mismatch");
+  IntMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t k = 0; k < cols_; ++k) {
+      int64_t v = at(i, k);
+      if (v == 0) continue;
+      for (size_t j = 0; j < other.cols_; ++j)
+        out.at(i, j) += v * other.at(k, j);
+    }
+  return out;
+}
+
+std::vector<int64_t> IntMatrix::apply(const std::vector<int64_t>& vec) const {
+  if (vec.size() != cols_)
+    throw std::invalid_argument("IntMatrix::apply: dimension mismatch");
+  std::vector<int64_t> out(rows_, 0);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out[i] += at(i, j) * vec[j];
+  return out;
+}
+
+Rational IntMatrix::determinant() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("IntMatrix::determinant: not square");
+  size_t n = rows_;
+  std::vector<Rational> work(n * n);
+  for (size_t i = 0; i < n * n; ++i) work[i] = Rational(data_[i]);
+  auto w = [&](size_t r, size_t c) -> Rational& { return work[r * n + c]; };
+
+  Rational det(1);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && w(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) return Rational(0);
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(w(pivot, c), w(col, c));
+      det = -det;
+    }
+    det *= w(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      if (w(r, col).is_zero()) continue;
+      Rational factor = w(r, col) / w(col, col);
+      for (size_t c = col; c < n; ++c) w(r, c) -= factor * w(col, c);
+    }
+  }
+  return det;
+}
+
+std::optional<IntMatrix> IntMatrix::integer_inverse() const {
+  if (rows_ != cols_) return std::nullopt;
+  size_t n = rows_;
+  // Gauss-Jordan over rationals on [A | I].
+  std::vector<Rational> work(n * 2 * n);
+  auto w = [&](size_t r, size_t c) -> Rational& { return work[r * 2 * n + c]; };
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) w(r, c) = Rational(at(r, c));
+    w(r, n + r) = Rational(1);
+  }
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && w(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col)
+      for (size_t c = 0; c < 2 * n; ++c) std::swap(w(pivot, c), w(col, c));
+    Rational inv = Rational(1) / w(col, col);
+    for (size_t c = 0; c < 2 * n; ++c) w(col, c) *= inv;
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col || w(r, col).is_zero()) continue;
+      Rational factor = w(r, col);
+      for (size_t c = 0; c < 2 * n; ++c) w(r, c) -= factor * w(col, c);
+    }
+  }
+  IntMatrix out(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) {
+      if (!w(r, n + c).is_integer()) return std::nullopt;
+      out.at(r, c) = w(r, n + c).as_integer();
+    }
+  return out;
+}
+
+std::string IntMatrix::to_string() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << at(r, c);
+    }
+    os << "]";
+    os << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+int64_t vector_gcd(const std::vector<int64_t>& values) {
+  int64_t g = 0;
+  for (int64_t v : values) g = std::gcd(g, v < 0 ? -v : v);
+  return g;
+}
+
+int64_t dot(const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("dot: size mismatch");
+  int64_t s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+namespace {
+
+/// Column-reduce `a` to (1, 0, ..., 0) with unimodular column operations,
+/// mirroring each operation on `v` (initially identity). On return
+/// a_original * v == e1, so v^-1 has first row a_original.
+std::optional<IntMatrix> gcd_completion(std::vector<int64_t> a) {
+  size_t n = a.size();
+  IntMatrix v = IntMatrix::identity(n);
+  auto col_sub = [&](size_t target, size_t source, int64_t q) {
+    // column[target] -= q * column[source]
+    a[target] -= q * a[source];
+    for (size_t r = 0; r < n; ++r) v.at(r, target) -= q * v.at(r, source);
+  };
+  auto col_swap = [&](size_t i, size_t j) {
+    std::swap(a[i], a[j]);
+    for (size_t r = 0; r < n; ++r) std::swap(v.at(r, i), v.at(r, j));
+  };
+  auto col_negate = [&](size_t i) {
+    a[i] = -a[i];
+    for (size_t r = 0; r < n; ++r) v.at(r, i) = -v.at(r, i);
+  };
+
+  while (true) {
+    // Find the nonzero entry of smallest magnitude.
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] == 0) continue;
+      if (best == n || std::abs(a[i]) < std::abs(a[best])) best = i;
+    }
+    if (best == n) return std::nullopt;  // all-zero vector
+    bool others = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == best || a[i] == 0) continue;
+      others = true;
+      int64_t q = a[i] / a[best];
+      col_sub(i, best, q);
+    }
+    if (!others) {
+      if (std::abs(a[best]) != 1) return std::nullopt;  // gcd != 1
+      if (a[best] < 0) col_negate(best);
+      if (best != 0) col_swap(best, 0);
+      break;
+    }
+  }
+  return v.integer_inverse();
+}
+
+}  // namespace
+
+std::optional<IntMatrix> unimodular_completion(
+    const std::vector<int64_t>& first_row) {
+  size_t n = first_row.size();
+  if (n == 0 || vector_gcd(first_row) != 1) return std::nullopt;
+
+  // Lamport-style completion: omit the last coordinate whose coefficient
+  // is +-1 and use unit-vector rows for the rest. The determinant of the
+  // resulting matrix is +-first_row[omit], hence unimodular.
+  size_t omit = n;
+  for (size_t i = 0; i < n; ++i)
+    if (first_row[i] == 1 || first_row[i] == -1) omit = i;
+  if (omit != n) {
+    IntMatrix m(n, n);
+    m.set_row(0, first_row);
+    size_t r = 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == omit) continue;
+      m.at(r, i) = 1;
+      ++r;
+    }
+    assert(m.is_unimodular());
+    return m;
+  }
+
+  auto m = gcd_completion(first_row);
+  assert(!m || m->is_unimodular());
+  return m;
+}
+
+}  // namespace ps

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace ps {
+
+/// A small dense integer matrix used for affine loop transformations.
+/// Sizes are tiny (loop-nest depth, at most ~8), so everything is done
+/// exactly: determinants via rational Gaussian elimination, inverses via
+/// Gauss-Jordan over Rational.
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+  IntMatrix(std::initializer_list<std::initializer_list<int64_t>> init);
+
+  static IntMatrix identity(size_t n);
+
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+
+  int64_t& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] int64_t at(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::vector<int64_t> row(size_t r) const;
+  void set_row(size_t r, const std::vector<int64_t>& values);
+
+  /// Matrix * matrix product; dimensions must agree.
+  [[nodiscard]] IntMatrix multiply(const IntMatrix& other) const;
+
+  /// Matrix * column-vector product.
+  [[nodiscard]] std::vector<int64_t> apply(
+      const std::vector<int64_t>& vec) const;
+
+  /// Exact determinant (square matrices only).
+  [[nodiscard]] Rational determinant() const;
+
+  /// Exact inverse if it exists and is integral (|det| = 1 guarantees
+  /// this); nullopt when singular or non-integral.
+  [[nodiscard]] std::optional<IntMatrix> integer_inverse() const;
+
+  [[nodiscard]] bool is_unimodular() const {
+    if (rows_ != cols_) return false;
+    Rational d = determinant();
+    return d == Rational(1) || d == Rational(-1);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const IntMatrix&, const IntMatrix&) = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int64_t> data_;
+};
+
+/// Greatest common divisor of a vector (gcd of absolute values; 0 for an
+/// empty or all-zero vector).
+[[nodiscard]] int64_t vector_gcd(const std::vector<int64_t>& values);
+
+/// Dot product of two equally sized integer vectors.
+[[nodiscard]] int64_t dot(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b);
+
+/// Complete the primitive row vector `first_row` (gcd of entries must be 1)
+/// to an n x n unimodular matrix whose first row is `first_row`.
+///
+/// Strategy (matching the paper / Lamport [10]): if some coefficient
+/// `first_row[j]` is +-1, use unit-vector rows for all coordinates except
+/// `j` -- this reproduces the paper's choice K'=2K+I+J, I'=K, J'=I for
+/// coefficients (2,1,1). Otherwise fall back to an extended-gcd column
+/// reduction that works for any primitive vector.
+/// Returns nullopt when gcd(first_row) != 1.
+[[nodiscard]] std::optional<IntMatrix> unimodular_completion(
+    const std::vector<int64_t>& first_row);
+
+}  // namespace ps

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace ps {
+
+/// An exact rational number over int64, always stored in lowest terms
+/// with a positive denominator. Used by the hyperplane transform for
+/// exact matrix inversion of unimodular coordinate changes.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(int64_t value) : num_(value) {}  // NOLINT(google-explicit-constructor)
+  Rational(int64_t num, int64_t den) : num_(num), den_(den) { normalize(); }
+
+  [[nodiscard]] constexpr int64_t num() const { return num_; }
+  [[nodiscard]] constexpr int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  /// The integer value; throws if not an integer.
+  [[nodiscard]] int64_t as_integer() const {
+    if (den_ != 1) throw std::domain_error("Rational is not an integer");
+    return num_;
+  }
+
+  [[nodiscard]] double as_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.num_, a.den_ * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational division by zero");
+    return Rational(a.num_ * b.den_, a.den_ * b.num_);
+  }
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return a.num_ * b.den_ < b.num_ * a.den_;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  void normalize() {
+    if (den_ == 0) throw std::domain_error("Rational with zero denominator");
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  int64_t num_ = 0;
+  int64_t den_ = 1;
+};
+
+}  // namespace ps

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ps {
+
+/// A position in a PS source buffer. Lines and columns are 1-based;
+/// offset is the 0-based byte offset into the buffer.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+  uint32_t offset = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace ps

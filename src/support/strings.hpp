@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps {
+
+/// Join elements with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Split on a single-character separator; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// ASCII case-insensitive equality (PS keywords are case-insensitive,
+/// following its Pascal heritage).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Repeat `unit` `n` times.
+[[nodiscard]] std::string repeat(std::string_view unit, size_t n);
+
+}  // namespace ps

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ps {
+
+/// A minimal fixed-width text table renderer, used by the bench binaries
+/// to print the paper's figure/table reproductions (e.g. Figure 5's
+/// component table) in a stable, diffable format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   Component | Node(s)  | Flowchart
+  ///   ----------+----------+----------
+  ///   1         | InitialA | (null)
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ps

@@ -1,0 +1,138 @@
+#include "transform/ast_builder.hpp"
+
+namespace ps {
+
+namespace {
+
+bool is_int_lit(const Expr& e, int64_t* value = nullptr) {
+  if (e.kind != ExprKind::IntLit) return false;
+  if (value != nullptr) *value = static_cast<const IntLitExpr&>(e).value;
+  return true;
+}
+
+}  // namespace
+
+ExprPtr mk_int(int64_t value) { return std::make_unique<IntLitExpr>(value); }
+
+ExprPtr mk_name(std::string name) {
+  return std::make_unique<NameExpr>(std::move(name));
+}
+
+ExprPtr mk_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr mk_add(ExprPtr lhs, ExprPtr rhs) {
+  int64_t a = 0;
+  int64_t b = 0;
+  if (is_int_lit(*lhs, &a) && is_int_lit(*rhs, &b)) return mk_int(a + b);
+  if (is_int_lit(*rhs, &b) && b == 0) return lhs;
+  if (is_int_lit(*lhs, &a) && a == 0) return rhs;
+  // Fold `x + (-c)` into `x - c` for readability.
+  if (is_int_lit(*rhs, &b) && b < 0)
+    return mk_binary(BinaryOp::Sub, std::move(lhs), mk_int(-b));
+  return mk_binary(BinaryOp::Add, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr mk_sub(ExprPtr lhs, ExprPtr rhs) {
+  int64_t a = 0;
+  int64_t b = 0;
+  if (is_int_lit(*lhs, &a) && is_int_lit(*rhs, &b)) return mk_int(a - b);
+  if (is_int_lit(*rhs, &b) && b == 0) return lhs;
+  if (is_int_lit(*rhs, &b) && b < 0)
+    return mk_binary(BinaryOp::Add, std::move(lhs), mk_int(-b));
+  return mk_binary(BinaryOp::Sub, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr mk_mul(int64_t coef, ExprPtr operand) {
+  int64_t v = 0;
+  if (is_int_lit(*operand, &v)) return mk_int(coef * v);
+  if (coef == 0) return mk_int(0);
+  if (coef == 1) return operand;
+  if (coef == -1)
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(operand));
+  return mk_binary(BinaryOp::Mul, mk_int(coef), std::move(operand));
+}
+
+ExprPtr mk_if(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  return std::make_unique<IfExpr>(std::move(cond), std::move(then_e),
+                                  std::move(else_e));
+}
+
+ExprPtr mk_and(ExprPtr lhs, ExprPtr rhs) {
+  if (!lhs) return rhs;
+  if (!rhs) return lhs;
+  return mk_binary(BinaryOp::And, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr mk_affine(const std::vector<AffineTerm>& terms, int64_t constant) {
+  ExprPtr expr;
+  for (const AffineTerm& term : terms) {
+    if (term.coef == 0) continue;
+    if (!expr) {
+      expr = mk_mul(term.coef, mk_name(term.var));
+    } else if (term.coef > 0) {
+      expr = mk_add(std::move(expr), mk_mul(term.coef, mk_name(term.var)));
+    } else {
+      expr = mk_sub(std::move(expr), mk_mul(-term.coef, mk_name(term.var)));
+    }
+  }
+  if (!expr) return mk_int(constant);
+  if (constant > 0) return mk_add(std::move(expr), mk_int(constant));
+  if (constant < 0) return mk_sub(std::move(expr), mk_int(-constant));
+  return expr;
+}
+
+ExprPtr substitute(
+    const Expr& e,
+    const std::vector<std::pair<std::string, const Expr*>>& subst) {
+  switch (e.kind) {
+    case ExprKind::Name: {
+      const auto& name = static_cast<const NameExpr&>(e).name;
+      for (const auto& [var, repl] : subst)
+        if (var == name) return repl->clone();
+      return e.clone();
+    }
+    case ExprKind::Index: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      std::vector<ExprPtr> subs;
+      subs.reserve(ix.subs.size());
+      for (const auto& s : ix.subs) subs.push_back(substitute(*s, subst));
+      // Base names are data items, never index variables.
+      return std::make_unique<IndexExpr>(ix.base->clone(), std::move(subs),
+                                         e.loc);
+    }
+    case ExprKind::Field: {
+      const auto& f = static_cast<const FieldExpr&>(e);
+      return std::make_unique<FieldExpr>(substitute(*f.base, subst), f.field,
+                                         e.loc);
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(u.op, substitute(*u.operand, subst),
+                                         e.loc);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(b.op, substitute(*b.lhs, subst),
+                                          substitute(*b.rhs, subst), e.loc);
+    }
+    case ExprKind::If: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      return std::make_unique<IfExpr>(substitute(*i.cond, subst),
+                                      substitute(*i.then_expr, subst),
+                                      substitute(*i.else_expr, subst), e.loc);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(c.args.size());
+      for (const auto& a : c.args) args.push_back(substitute(*a, subst));
+      return std::make_unique<CallExpr>(c.callee, std::move(args), e.loc);
+    }
+    default:
+      return e.clone();
+  }
+}
+
+}  // namespace ps

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace ps {
+
+// Small expression-building helpers used by the hyperplane rewrite to
+// construct PS surface syntax. All builders fold integer constants so the
+// generated equations read like the paper's ("A'[K' - 2, I' - 1, J']",
+// not "A'[K' + -2 + 0, ...]").
+
+[[nodiscard]] ExprPtr mk_int(int64_t value);
+[[nodiscard]] ExprPtr mk_name(std::string name);
+[[nodiscard]] ExprPtr mk_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr mk_add(ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr mk_sub(ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr mk_mul(int64_t coef, ExprPtr operand);
+[[nodiscard]] ExprPtr mk_if(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+
+/// Conjunction; nullptr operands are treated as `true` and dropped.
+[[nodiscard]] ExprPtr mk_and(ExprPtr lhs, ExprPtr rhs);
+
+/// One linear term of an affine expression.
+struct AffineTerm {
+  int64_t coef = 0;
+  std::string var;
+};
+
+/// Build `sum(coef_i * var_i) + constant` with pretty folding:
+/// coefficient 1 emits the bare variable, -1 emits a subtraction, zero
+/// terms vanish; an all-zero expression is the literal constant.
+[[nodiscard]] ExprPtr mk_affine(const std::vector<AffineTerm>& terms,
+                                int64_t constant);
+
+/// Deep-copy `e`, replacing every NameExpr whose name appears in `subst`
+/// with a clone of the mapped expression.
+[[nodiscard]] ExprPtr substitute(const Expr& e,
+                                 const std::vector<std::pair<std::string,
+                                                             const Expr*>>&
+                                     subst);
+
+}  // namespace ps

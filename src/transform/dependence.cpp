@@ -1,0 +1,115 @@
+#include "transform/dependence.hpp"
+
+#include <algorithm>
+
+namespace ps {
+
+std::optional<DependenceSet> extract_dependences(const CheckedModule& module,
+                                                 const std::string& array,
+                                                 DiagnosticEngine& diags) {
+  const DataItem* item = module.find_data(array);
+  if (item == nullptr) {
+    diags.error({}, "no data item named '" + array + "'");
+    return std::nullopt;
+  }
+  size_t n = item->rank();
+  if (n == 0) {
+    diags.error(item->loc, "'" + array + "' is scalar; nothing to transform");
+    return std::nullopt;
+  }
+
+  DependenceSet out;
+  out.array = array;
+  out.vars.assign(n, "");
+
+  for (const CheckedEquation& eq : module.equations) {
+    if (module.data[eq.target].name != array) continue;
+
+    // Map array dimension -> this equation's loop variable.
+    std::vector<std::string> dim_var(n, "");
+    for (const LoopDim& dim : eq.loop_dims) dim_var[dim.lhs_dim] = dim.var;
+
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array != array) continue;
+      std::vector<int64_t> d(n, 0);
+      bool nonzero = false;
+      for (size_t p = 0; p < n; ++p) {
+        const SubscriptInfo& sub = ref.subs[p];
+        if (sub.kind != SubscriptInfo::Kind::IndexVar) {
+          diags.error(eq.loc,
+                      eq.display_name + ": self-reference to '" + array +
+                          "' uses non-constant-offset subscript '" +
+                          sub.display() + "' in dimension " +
+                          std::to_string(p + 1) +
+                          "; the hyperplane method does not apply");
+          return std::nullopt;
+        }
+        if (dim_var[p].empty() || sub.var != dim_var[p]) {
+          diags.error(eq.loc, eq.display_name + ": self-reference to '" +
+                                  array + "' uses index variable '" + sub.var +
+                                  "' at an inconsistent position");
+          return std::nullopt;
+        }
+        d[p] = -sub.offset;  // write x reads x + offset, so d = -offset
+        if (d[p] != 0) nonzero = true;
+      }
+      if (!nonzero) {
+        diags.error(eq.loc, eq.display_name + ": '" + array +
+                                "' depends on itself at the same indices");
+        return std::nullopt;
+      }
+      if (std::find(out.vectors.begin(), out.vectors.end(), d) ==
+          out.vectors.end())
+        out.vectors.push_back(std::move(d));
+    }
+
+    // Record the loop variables of the recursive equation (any defining
+    // equation that loops over every dimension).
+    bool full = std::all_of(dim_var.begin(), dim_var.end(),
+                            [](const std::string& v) { return !v.empty(); });
+    if (full) {
+      for (size_t p = 0; p < n; ++p)
+        if (out.vars[p].empty()) out.vars[p] = dim_var[p];
+    }
+  }
+
+  if (out.vectors.empty()) {
+    diags.error(item->loc, "'" + array + "' has no self-dependences; the "
+                           "schedule is already parallel");
+    return std::nullopt;
+  }
+  for (size_t p = 0; p < n; ++p) {
+    if (out.vars[p].empty()) {
+      // Fall back to the dimension's subrange name.
+      out.vars[p] = item->dims[p]->name.empty()
+                        ? "d" + std::to_string(p + 1)
+                        : item->dims[p]->name;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> transform_candidates(const CheckedModule& module) {
+  std::vector<std::string> out;
+  for (const DataItem& item : module.data) {
+    if (item.cls != DataClass::Local || item.rank() == 0) continue;
+    // Does some defining equation reference the item itself with a
+    // constant offset that is not confined to the first dimension?
+    bool candidate = false;
+    for (const CheckedEquation& eq : module.equations) {
+      if (module.data[eq.target].name != item.name) continue;
+      for (const ArrayRefInfo& ref : eq.array_refs) {
+        if (ref.array != item.name) continue;
+        for (size_t p = 1; p < ref.subs.size(); ++p) {
+          const SubscriptInfo& sub = ref.subs[p];
+          if (sub.kind == SubscriptInfo::Kind::IndexVar && sub.offset != 0)
+            candidate = true;
+        }
+      }
+    }
+    if (candidate) out.push_back(item.name);
+  }
+  return out;
+}
+
+}  // namespace ps

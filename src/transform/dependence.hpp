@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/sema.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ps {
+
+/// The constant-offset self-dependences of one recursively defined array
+/// (paper section 4): for each reference A[x - d] inside an equation
+/// defining A[x], the dependence vector d (in array-dimension order).
+struct DependenceSet {
+  std::string array;
+  /// Index variable of each array dimension (taken from the recursive
+  /// defining equation), e.g. (K, I, J).
+  std::vector<std::string> vars;
+  /// One vector per self-reference; d[p] = write index - read index in
+  /// dimension p. The relaxation of Equation 2 yields
+  /// (1,0,0) (0,0,1) (0,1,0) (1,0,-1) (1,-1,0).
+  std::vector<std::vector<int64_t>> vectors;
+
+  [[nodiscard]] size_t dims() const { return vars.size(); }
+};
+
+/// Extract the self-dependence vectors of `array` from its defining
+/// equations. Fails (with a diagnostic) when a self-reference is not in
+/// constant-offset form or sits at an inconsistent position -- such
+/// recurrences are outside the scope of the paper's transformation.
+[[nodiscard]] std::optional<DependenceSet> extract_dependences(
+    const CheckedModule& module, const std::string& array,
+    DiagnosticEngine& diags);
+
+/// Arrays worth attempting to transform: local arrays with at least one
+/// self-dependence that forces an iterative inner loop (some dependence
+/// vector has a nonzero component besides the first schedulable one).
+[[nodiscard]] std::vector<std::string> transform_candidates(
+    const CheckedModule& module);
+
+}  // namespace ps

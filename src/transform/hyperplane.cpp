@@ -1,0 +1,50 @@
+#include "transform/hyperplane.hpp"
+
+#include <sstream>
+
+namespace ps {
+
+std::string HyperplaneTransform::describe() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < dims(); ++r) {
+    if (r) os << "; ";
+    os << new_vars[r] << " = ";
+    bool first = true;
+    for (size_t c = 0; c < dims(); ++c) {
+      int64_t v = T.at(r, c);
+      if (v == 0) continue;
+      if (!first)
+        os << (v > 0 ? " + " : " - ");
+      else if (v < 0)
+        os << "-";
+      int64_t mag = v < 0 ? -v : v;
+      if (mag != 1) os << mag;
+      os << old_vars[c];
+      first = false;
+    }
+    if (first) os << "0";
+  }
+  return os.str();
+}
+
+std::optional<HyperplaneTransform> find_hyperplane(
+    const DependenceSet& deps, const TimeFunctionOptions& options) {
+  auto time = solve_time_function(deps.vectors, options);
+  if (!time) return std::nullopt;
+
+  auto completion = unimodular_completion(*time);
+  if (!completion) return std::nullopt;
+  auto inverse = completion->integer_inverse();
+  if (!inverse) return std::nullopt;
+
+  HyperplaneTransform out;
+  out.array = deps.array;
+  out.old_vars = deps.vars;
+  for (const auto& v : deps.vars) out.new_vars.push_back(v + "'");
+  out.time = std::move(*time);
+  out.T = std::move(*completion);
+  out.T_inv = std::move(*inverse);
+  return out;
+}
+
+}  // namespace ps

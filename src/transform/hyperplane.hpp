@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/matrix.hpp"
+#include "transform/dependence.hpp"
+#include "transform/time_function.hpp"
+
+namespace ps {
+
+/// A complete hyperplane coordinate change (paper section 4): the time
+/// function as the first row of a unimodular matrix T, together with its
+/// exact integer inverse. For the revised relaxation,
+///   T = [[2,1,1],[1,0,0],[0,1,0]]  (K' = 2K+I+J, I' = K, J' = I)
+///   T_inv rows give K = I', I = J', J = K' - 2I' - J'.
+struct HyperplaneTransform {
+  std::string array;
+  std::vector<std::string> old_vars;  // (K, I, J)
+  std::vector<std::string> new_vars;  // (K', I', J')
+  std::vector<int64_t> time;          // first row of T
+  IntMatrix T;
+  IntMatrix T_inv;
+
+  [[nodiscard]] size_t dims() const { return old_vars.size(); }
+
+  /// Human-readable description: "K' = 2K + I + J; I' = K; J' = I".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Derive the transform for a dependence set: solve the dependence
+/// inequalities for the least time function, complete it to a unimodular
+/// matrix, and invert. New variable names are the old names primed.
+/// Returns nullopt when no linear schedule exists.
+[[nodiscard]] std::optional<HyperplaneTransform> find_hyperplane(
+    const DependenceSet& deps, const TimeFunctionOptions& options = {});
+
+}  // namespace ps

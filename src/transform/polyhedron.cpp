@@ -1,0 +1,489 @@
+#include "transform/polyhedron.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+namespace ps {
+
+namespace {
+
+/// Floor division with sign-correct rounding for negative numerators.
+int64_t floor_div(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t ceil_div(int64_t a, int64_t b) { return -floor_div(-a, b); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AffineForm
+// ---------------------------------------------------------------------------
+
+Rational AffineForm::coeff(std::string_view var) const {
+  auto it = coeffs.find(std::string(var));
+  return it == coeffs.end() ? Rational(0) : it->second;
+}
+
+void AffineForm::add_term(const std::string& var, Rational c) {
+  if (c.is_zero()) return;
+  auto [it, inserted] = coeffs.emplace(var, c);
+  if (!inserted) {
+    it->second += c;
+    if (it->second.is_zero()) coeffs.erase(it);
+  }
+}
+
+AffineForm AffineForm::plus(const AffineForm& other) const {
+  AffineForm out = *this;
+  out.constant += other.constant;
+  for (const auto& [v, c] : other.coeffs) out.add_term(v, c);
+  return out;
+}
+
+AffineForm AffineForm::minus(const AffineForm& other) const {
+  AffineForm out = *this;
+  out.constant -= other.constant;
+  for (const auto& [v, c] : other.coeffs) out.add_term(v, -c);
+  return out;
+}
+
+AffineForm AffineForm::scaled(Rational factor) const {
+  AffineForm out;
+  if (factor.is_zero()) return out;
+  out.constant = constant * factor;
+  for (const auto& [v, c] : coeffs) out.coeffs.emplace(v, c * factor);
+  return out;
+}
+
+void AffineForm::normalize() {
+  for (auto it = coeffs.begin(); it != coeffs.end();) {
+    if (it->second.is_zero())
+      it = coeffs.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool AffineForm::is_constant() const {
+  return std::all_of(coeffs.begin(), coeffs.end(),
+                     [](const auto& p) { return p.second.is_zero(); });
+}
+
+std::optional<Rational> AffineForm::evaluate(const IntEnv& env) const {
+  Rational total = constant;
+  for (const auto& [v, c] : coeffs) {
+    if (c.is_zero()) continue;
+    auto it = env.find(v);
+    if (it == env.end()) return std::nullopt;
+    total += c * Rational(it->second);
+  }
+  return total;
+}
+
+std::string AffineForm::to_string() const {
+  std::string out;
+  for (const auto& [v, c] : coeffs) {
+    if (c.is_zero()) continue;
+    if (out.empty()) {
+      if (c == Rational(1))
+        out = v;
+      else if (c == Rational(-1))
+        out = "-" + v;
+      else
+        out = c.to_string() + "*" + v;
+    } else {
+      Rational a = c;
+      out += (a > Rational(0)) ? " + " : " - ";
+      if (a < Rational(0)) a = -a;
+      if (a == Rational(1))
+        out += v;
+      else
+        out += a.to_string() + "*" + v;
+    }
+  }
+  if (out.empty()) return constant.to_string();
+  if (constant > Rational(0)) out += " + " + constant.to_string();
+  if (constant < Rational(0)) out += " - " + (-constant).to_string();
+  return out;
+}
+
+std::optional<AffineForm> affine_from_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      AffineForm f;
+      f.constant = Rational(static_cast<const IntLitExpr&>(e).value);
+      return f;
+    }
+    case ExprKind::Name: {
+      AffineForm f;
+      f.add_term(static_cast<const NameExpr&>(e).name, Rational(1));
+      return f;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op != UnaryOp::Neg) return std::nullopt;
+      auto inner = affine_from_expr(*u.operand);
+      if (!inner) return std::nullopt;
+      return inner->scaled(Rational(-1));
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto lhs = affine_from_expr(*b.lhs);
+      auto rhs = affine_from_expr(*b.rhs);
+      if (!lhs || !rhs) return std::nullopt;
+      switch (b.op) {
+        case BinaryOp::Add:
+          return lhs->plus(*rhs);
+        case BinaryOp::Sub:
+          return lhs->minus(*rhs);
+        case BinaryOp::Mul:
+          if (lhs->is_constant()) return rhs->scaled(lhs->constant);
+          if (rhs->is_constant()) return lhs->scaled(rhs->constant);
+          return std::nullopt;
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Polyhedron
+// ---------------------------------------------------------------------------
+
+void Polyhedron::add_ge(AffineForm f) {
+  f.normalize();
+  constraints.push_back(std::move(f));
+}
+
+void Polyhedron::add_lower(const AffineForm& f, const AffineForm& lo) {
+  add_ge(f.minus(lo));
+}
+
+void Polyhedron::add_upper(const AffineForm& f, const AffineForm& hi) {
+  add_ge(hi.minus(f));
+}
+
+bool Polyhedron::contains(const IntEnv& env) const {
+  for (const AffineForm& c : constraints) {
+    auto value = c.evaluate(env);
+    if (!value || *value < Rational(0)) return false;
+  }
+  return true;
+}
+
+std::string Polyhedron::to_string() const {
+  std::string out;
+  for (const AffineForm& c : constraints) {
+    if (!out.empty()) out += "\n";
+    out += c.to_string() + " >= 0";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BoundTerm / LoopLevelBounds / LoopNestBounds
+// ---------------------------------------------------------------------------
+
+int64_t BoundTerm::numerator(const IntEnv& env) const {
+  int64_t total = constant;
+  for (const auto& [v, c] : coeffs) {
+    auto it = env.find(v);
+    if (it == env.end())
+      throw std::runtime_error("BoundTerm: unbound variable '" + v + "'");
+    total += c * it->second;
+  }
+  return total;
+}
+
+int64_t BoundTerm::eval_lower(const IntEnv& env) const {
+  return ceil_div(numerator(env), divisor);
+}
+
+int64_t BoundTerm::eval_upper(const IntEnv& env) const {
+  return floor_div(numerator(env), divisor);
+}
+
+std::string BoundTerm::to_string(bool upper) const {
+  AffineForm f;
+  f.constant = Rational(constant);
+  for (const auto& [v, c] : coeffs) f.add_term(v, Rational(c));
+  std::string body = f.to_string();
+  if (divisor == 1) return body;
+  return std::string(upper ? "floor" : "ceil") + "((" + body + ")/" +
+         std::to_string(divisor) + ")";
+}
+
+int64_t LoopLevelBounds::lower(const IntEnv& env) const {
+  int64_t best = std::numeric_limits<int64_t>::min();
+  for (const BoundTerm& t : lowers) best = std::max(best, t.eval_lower(env));
+  return best;
+}
+
+int64_t LoopLevelBounds::upper(const IntEnv& env) const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (const BoundTerm& t : uppers) best = std::min(best, t.eval_upper(env));
+  return best;
+}
+
+std::string LoopLevelBounds::to_string() const {
+  std::string lo;
+  for (const BoundTerm& t : lowers) {
+    if (!lo.empty()) lo += ", ";
+    lo += t.to_string(false);
+  }
+  std::string hi;
+  for (const BoundTerm& t : uppers) {
+    if (!hi.empty()) hi += ", ";
+    hi += t.to_string(true);
+  }
+  if (lowers.size() > 1) lo = "max(" + lo + ")";
+  if (uppers.size() > 1) hi = "min(" + hi + ")";
+  return var + " = " + (lo.empty() ? "-inf" : lo) + " .. " +
+         (hi.empty() ? "+inf" : hi);
+}
+
+const LoopLevelBounds* LoopNestBounds::find(std::string_view var) const {
+  for (const LoopLevelBounds& level : levels)
+    if (level.var == var) return &level;
+  return nullptr;
+}
+
+std::string LoopNestBounds::to_string() const {
+  std::string out;
+  for (const LoopLevelBounds& level : levels) {
+    if (!out.empty()) out += "\n";
+    out += level.to_string();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fourier-Motzkin elimination
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Convert the rational inequality  var >= (-rest)/a  (lower, a > 0) or
+/// var <= rest/b  (upper, b > 0) into an integer BoundTerm. `numer` is
+/// the affine numerator; `denom` the positive rational denominator.
+std::optional<BoundTerm> make_bound(const AffineForm& numer, Rational denom) {
+  // Scale so the numerator has integer coefficients and the divisor is a
+  // positive integer: multiply numerator and denominator by the lcm of
+  // all coefficient denominators.
+  int64_t lcm = denom.den();
+  for (const auto& [v, c] : numer.coeffs)
+    lcm = std::lcm(lcm, c.den());
+  lcm = std::lcm(lcm, numer.constant.den());
+
+  BoundTerm term;
+  Rational scaled_div = denom * Rational(lcm);
+  if (!scaled_div.is_integer() || scaled_div.as_integer() <= 0)
+    return std::nullopt;
+  term.divisor = scaled_div.as_integer();
+  Rational c0 = numer.constant * Rational(lcm);
+  if (!c0.is_integer()) return std::nullopt;
+  term.constant = c0.as_integer();
+  for (const auto& [v, c] : numer.coeffs) {
+    Rational s = c * Rational(lcm);
+    if (!s.is_integer()) return std::nullopt;
+    if (s.as_integer() != 0) term.coeffs.emplace_back(v, s.as_integer());
+  }
+
+  // Reduce by the gcd of every coefficient and the divisor (ceil/floor
+  // of a scaled fraction is unchanged when everything shares a factor).
+  int64_t g = term.divisor;
+  g = std::gcd(g, term.constant);
+  for (const auto& [v, c] : term.coeffs) g = std::gcd(g, c);
+  if (g > 1) {
+    term.divisor /= g;
+    term.constant /= g;
+    for (auto& [v, c] : term.coeffs) c /= g;
+  }
+  std::sort(term.coeffs.begin(), term.coeffs.end());
+  return term;
+}
+
+void dedupe_bounds(std::vector<BoundTerm>& terms, bool upper) {
+  // Exact duplicates, then dominance between terms with identical
+  // coefficient vectors and divisor: for lowers keep the larger
+  // constant, for uppers the smaller.
+  std::sort(terms.begin(), terms.end(),
+            [](const BoundTerm& a, const BoundTerm& b) {
+              return std::tie(a.coeffs, a.divisor, a.constant) <
+                     std::tie(b.coeffs, b.divisor, b.constant);
+            });
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  std::vector<BoundTerm> kept;
+  for (BoundTerm& t : terms) {
+    if (!kept.empty() && kept.back().coeffs == t.coeffs &&
+        kept.back().divisor == t.divisor) {
+      // Same linear part: one constant dominates.
+      if (upper)
+        kept.back().constant = std::min(kept.back().constant, t.constant);
+      else
+        kept.back().constant = std::max(kept.back().constant, t.constant);
+    } else {
+      kept.push_back(std::move(t));
+    }
+  }
+  terms = std::move(kept);
+}
+
+}  // namespace
+
+std::optional<LoopNestBounds> fourier_motzkin_bounds(
+    const Polyhedron& p, const std::vector<std::string>& loop_order) {
+  LoopNestBounds nest;
+  nest.levels.resize(loop_order.size());
+  for (size_t i = 0; i < loop_order.size(); ++i)
+    nest.levels[i].var = loop_order[i];
+
+  std::vector<AffineForm> work = p.constraints;
+
+  // Eliminate innermost first; the constraints that mention the variable
+  // become its bounds, the cross combinations survive to outer levels.
+  for (size_t level = loop_order.size(); level-- > 0;) {
+    const std::string& var = loop_order[level];
+    std::vector<std::pair<AffineForm, Rational>> lowers;  // var >= numer/den
+    std::vector<std::pair<AffineForm, Rational>> uppers;  // var <= numer/den
+    std::vector<AffineForm> rest;
+
+    for (AffineForm& c : work) {
+      Rational a = c.coeff(var);
+      if (a.is_zero()) {
+        rest.push_back(std::move(c));
+        continue;
+      }
+      AffineForm r = c;  // c = a*var + r with r's var-term removed
+      r.coeffs.erase(var);
+      if (a > Rational(0)) {
+        // a*var + r >= 0  =>  var >= (-r)/a
+        lowers.emplace_back(r.scaled(Rational(-1)), a);
+      } else {
+        // a*var + r >= 0  =>  var <= r/(-a)
+        uppers.emplace_back(std::move(r), -a);
+      }
+    }
+
+    for (const auto& [numer, den] : lowers) {
+      auto term = make_bound(numer, den);
+      if (!term) return std::nullopt;
+      nest.levels[level].lowers.push_back(std::move(*term));
+    }
+    for (const auto& [numer, den] : uppers) {
+      auto term = make_bound(numer, den);
+      if (!term) return std::nullopt;
+      nest.levels[level].uppers.push_back(std::move(*term));
+    }
+    dedupe_bounds(nest.levels[level].lowers, /*upper=*/false);
+    dedupe_bounds(nest.levels[level].uppers, /*upper=*/true);
+
+    // Cross combinations:  lo_num/lo_den <= var <= up_num/up_den  implies
+    // up_den*lo_num <= lo_den*up_num, i.e. lo_den*up_num - up_den*lo_num >= 0.
+    for (const auto& [lo_num, lo_den] : lowers) {
+      for (const auto& [up_num, up_den] : uppers) {
+        AffineForm combined =
+            up_num.scaled(lo_den).minus(lo_num.scaled(up_den));
+        combined.normalize();
+        if (combined.is_constant()) {
+          if (combined.constant < Rational(0)) return std::nullopt;  // empty
+          continue;  // tautology
+        }
+        rest.push_back(std::move(combined));
+      }
+    }
+    work = std::move(rest);
+  }
+
+  // Whatever is left mentions only symbolic parameters.
+  for (const AffineForm& c : work) {
+    if (c.is_constant()) {
+      if (c.constant < Rational(0)) return std::nullopt;
+      continue;
+    }
+    nest.preconditions.push_back(c.to_string() + " >= 0");
+  }
+  std::sort(nest.preconditions.begin(), nest.preconditions.end());
+  nest.preconditions.erase(
+      std::unique(nest.preconditions.begin(), nest.preconditions.end()),
+      nest.preconditions.end());
+  return nest;
+}
+
+// ---------------------------------------------------------------------------
+// Transformed iteration domain
+// ---------------------------------------------------------------------------
+
+std::optional<Polyhedron> transformed_domain(
+    const CheckedModule& module, const HyperplaneTransform& transform) {
+  const DataItem* item = module.find_data(transform.array);
+  if (item == nullptr || item->rank() != transform.dims()) return std::nullopt;
+
+  Polyhedron poly;
+  for (size_t j = 0; j < transform.dims(); ++j) {
+    const Type* range = item->dims[j];
+    if (range == nullptr || range->lo == nullptr || range->hi == nullptr)
+      return std::nullopt;
+    auto lo = affine_from_expr(*range->lo);
+    auto hi = affine_from_expr(*range->hi);
+    if (!lo || !hi) return std::nullopt;
+
+    // old_j expressed over the new variables: sum_r T_inv[j][r] * new_r.
+    AffineForm old_j;
+    for (size_t r = 0; r < transform.dims(); ++r)
+      old_j.add_term(transform.new_vars[r],
+                     Rational(transform.T_inv.at(j, r)));
+
+    poly.add_lower(old_j, *lo);
+    poly.add_upper(old_j, *hi);
+  }
+  return poly;
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void scan_level(const LoopNestBounds& nest, size_t level, IntEnv& env,
+                const std::function<void(const IntEnv&)>& body) {
+  if (level == nest.levels.size()) {
+    body(env);
+    return;
+  }
+  const LoopLevelBounds& bounds = nest.levels[level];
+  int64_t lo = bounds.lower(env);
+  int64_t hi = bounds.upper(env);
+  for (int64_t it = lo; it <= hi; ++it) {
+    env[bounds.var] = it;
+    scan_level(nest, level + 1, env, body);
+  }
+  env.erase(bounds.var);
+}
+
+}  // namespace
+
+void scan_loop_nest(const LoopNestBounds& nest, const IntEnv& params,
+                    const std::function<void(const IntEnv&)>& body) {
+  IntEnv env = params;
+  scan_level(nest, 0, env, body);
+}
+
+int64_t count_loop_nest_points(const LoopNestBounds& nest,
+                               const IntEnv& params) {
+  int64_t count = 0;
+  scan_loop_nest(nest, params, [&count](const IntEnv&) { ++count; });
+  return count;
+}
+
+}  // namespace ps

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/const_eval.hpp"
+#include "frontend/sema.hpp"
+#include "support/rational.hpp"
+#include "transform/hyperplane.hpp"
+
+namespace ps {
+
+/// A rational affine form  constant + sum coeffs[v] * v  over named
+/// variables (loop indices and symbolic module parameters such as M or
+/// maxK). The exact-bounds machinery below works with these forms; all
+/// arithmetic is exact.
+struct AffineForm {
+  Rational constant;
+  std::map<std::string, Rational> coeffs;
+
+  [[nodiscard]] Rational coeff(std::string_view var) const;
+  void add_term(const std::string& var, Rational c);
+
+  [[nodiscard]] AffineForm plus(const AffineForm& other) const;
+  [[nodiscard]] AffineForm minus(const AffineForm& other) const;
+  [[nodiscard]] AffineForm scaled(Rational factor) const;
+
+  /// Drop zero coefficients.
+  void normalize();
+
+  [[nodiscard]] bool is_constant() const;
+
+  /// Exact evaluation over an integer environment; nullopt when a
+  /// variable is unbound.
+  [[nodiscard]] std::optional<Rational> evaluate(const IntEnv& env) const;
+
+  /// Human-readable rendering, e.g. "2*K' - J' + 1".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Translate a PS bound expression (over integer parameters, e.g.
+/// "2*maxK + 2*M + 2") into an affine form. Handles literals, names,
+/// unary minus, +, -, and multiplication by a constant side. Returns
+/// nullopt for non-affine expressions.
+[[nodiscard]] std::optional<AffineForm> affine_from_expr(const Expr& e);
+
+/// A conjunction of affine inequalities, each stored as  form >= 0.
+struct Polyhedron {
+  std::vector<AffineForm> constraints;
+
+  /// Add  f >= 0.
+  void add_ge(AffineForm f);
+  /// Add  lo <= f  (i.e. f - lo >= 0).
+  void add_lower(const AffineForm& f, const AffineForm& lo);
+  /// Add  f <= hi  (i.e. hi - f >= 0).
+  void add_upper(const AffineForm& f, const AffineForm& hi);
+
+  /// True when `env` (binding every variable) satisfies all constraints.
+  [[nodiscard]] bool contains(const IntEnv& env) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One integer loop bound produced by Fourier-Motzkin elimination:
+///   var >= ceil( (constant + sum coeffs*outer) / divisor )   (lower)
+///   var <= floor( (constant + sum coeffs*outer) / divisor )  (upper)
+/// `divisor` is always positive; `coeffs` reference outer loop variables
+/// and symbolic parameters only.
+struct BoundTerm {
+  int64_t divisor = 1;
+  int64_t constant = 0;
+  std::vector<std::pair<std::string, int64_t>> coeffs;
+
+  [[nodiscard]] int64_t numerator(const IntEnv& env) const;
+  [[nodiscard]] int64_t eval_lower(const IntEnv& env) const;  // ceil div
+  [[nodiscard]] int64_t eval_upper(const IntEnv& env) const;  // floor div
+
+  /// Rendering for reports: "ceil((M - K' + 2)/2)" / plain affine text
+  /// when divisor == 1.
+  [[nodiscard]] std::string to_string(bool upper) const;
+
+  friend bool operator==(const BoundTerm&, const BoundTerm&) = default;
+};
+
+/// Exact bounds of one loop level: the max over `lowers` and min over
+/// `uppers`. An empty iteration space at runtime simply yields
+/// lower() > upper().
+struct LoopLevelBounds {
+  std::string var;
+  std::vector<BoundTerm> lowers;
+  std::vector<BoundTerm> uppers;
+
+  [[nodiscard]] int64_t lower(const IntEnv& env) const;
+  [[nodiscard]] int64_t upper(const IntEnv& env) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The exact (in general non-rectangular) loop nest scanning the integer
+/// points of a polyhedron in a fixed variable order, outermost first --
+/// Lamport's method [10], which the paper cites for exactly this code-
+/// generation step. Level k's bounds reference symbolic parameters and
+/// the indices of levels 0..k-1 only.
+struct LoopNestBounds {
+  std::vector<LoopLevelBounds> levels;
+  /// Constraints mentioning only symbolic parameters (preconditions of a
+  /// non-empty space); recorded for reports, not enforced per iteration.
+  std::vector<std::string> preconditions;
+
+  [[nodiscard]] const LoopLevelBounds* find(std::string_view var) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Project `p` onto nested loop bounds for `loop_order` (outermost
+/// first) by exact Fourier-Motzkin elimination, innermost variable
+/// first. Any other variable appearing in the constraints is treated as
+/// a symbolic parameter available at every level.
+///
+/// Scanning the resulting nest visits *exactly* the integer points of
+/// `p`: constraints over a prefix of the order survive elimination and
+/// are enforced at the deepest prefix level, so no in-body guard is
+/// needed. (Projection can over-approximate a level's range only in
+/// directions where some inner range becomes empty -- those outer values
+/// execute zero iterations, preserving exactness.)
+///
+/// Returns nullopt when a constraint is detected infeasible at constant
+/// level (the polyhedron is empty for every parameter value).
+[[nodiscard]] std::optional<LoopNestBounds> fourier_motzkin_bounds(
+    const Polyhedron& p, const std::vector<std::string>& loop_order);
+
+/// The image of the transformed array's original index box under the
+/// hyperplane coordinate change: constraints  lo_j <= (T^-1 x')_j <= hi_j
+/// over the new variables, with the original subrange bounds kept
+/// symbolic in the module parameters. Returns nullopt when a bound
+/// expression is not affine in the parameters.
+[[nodiscard]] std::optional<Polyhedron> transformed_domain(
+    const CheckedModule& module, const HyperplaneTransform& transform);
+
+/// Enumerate every integer point of `nest` given parameter values,
+/// invoking `body` with an environment binding all loop variables (and
+/// containing `params`). Iterates in lexicographic loop order. Used by
+/// the property tests and the windowed wavefront executor.
+void scan_loop_nest(const LoopNestBounds& nest, const IntEnv& params,
+                    const std::function<void(const IntEnv&)>& body);
+
+/// Number of integer points (scan_loop_nest with a counter).
+[[nodiscard]] int64_t count_loop_nest_points(const LoopNestBounds& nest,
+                                             const IntEnv& params);
+
+}  // namespace ps

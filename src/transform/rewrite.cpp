@@ -1,0 +1,413 @@
+#include "transform/rewrite.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "transform/ast_builder.hpp"
+
+namespace ps {
+
+namespace {
+
+/// Build the parse-level type expression for a resolved scalar type.
+TypeExprPtr scalar_type_expr(const Type& t, DiagnosticEngine& diags,
+                             SourceLoc loc) {
+  auto node = std::make_unique<TypeExprNode>();
+  node->loc = loc;
+  switch (t.kind) {
+    case TypeKind::Int:
+      node->kind = TypeExprKind::Int;
+      return node;
+    case TypeKind::Real:
+      node->kind = TypeExprKind::Real;
+      return node;
+    case TypeKind::Bool:
+      node->kind = TypeExprKind::Bool;
+      return node;
+    default:
+      if (!t.name.empty()) {
+        node->kind = TypeExprKind::Named;
+        node->name = t.name;
+        return node;
+      }
+      diags.error(loc, "hyperplane rewrite: unsupported element type '" +
+                           t.display() + "'");
+      return nullptr;
+  }
+}
+
+VarDeclAst clone_var_decl(const VarDeclAst& d) {
+  VarDeclAst out;
+  out.names = d.names;
+  out.type = d.type->clone();
+  out.loc = d.loc;
+  return out;
+}
+
+TypeDeclAst clone_type_decl(const TypeDeclAst& d) {
+  TypeDeclAst out;
+  out.names = d.names;
+  out.type = d.type->clone();
+  out.loc = d.loc;
+  return out;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const CheckedModule& module, const HyperplaneTransform& transform,
+           DiagnosticEngine& diags)
+      : module_(module), h_(transform), diags_(diags) {}
+
+  std::optional<ModuleAst> run(const std::string& suffix) {
+    item_ = module_.find_data(h_.array);
+    if (item_ == nullptr || item_->rank() != h_.dims()) {
+      diags_.error({}, "hyperplane rewrite: transform does not match '" +
+                           h_.array + "'");
+      return std::nullopt;
+    }
+    n_ = h_.dims();
+    new_array_ = h_.array + "'";
+
+    // Old coordinates expressed in the new ones: old_j = sum_r
+    // T_inv[j][r] * new_r (K = I', I = J', J = K' - 2I' - J').
+    for (size_t j = 0; j < n_; ++j) {
+      std::vector<AffineTerm> terms;
+      for (size_t r = 0; r < n_; ++r)
+        terms.push_back(AffineTerm{h_.T_inv.at(j, r), h_.new_vars[r]});
+      inverse_.push_back(mk_affine(terms, 0));
+    }
+    for (size_t j = 0; j < n_; ++j)
+      subst_.emplace_back(h_.old_vars[j], inverse_[j].get());
+
+    ModuleAst out;
+    out.name = module_.ast.name + suffix;
+    out.loc = module_.ast.loc;
+    for (const auto& p : module_.ast.params)
+      out.params.push_back(clone_var_decl(p));
+    for (const auto& r : module_.ast.results)
+      out.results.push_back(clone_var_decl(r));
+    for (const auto& t : module_.ast.type_decls)
+      out.type_decls.push_back(clone_type_decl(t));
+
+    // New subrange types bounding the image of the original index box.
+    for (size_t r = 0; r < n_; ++r) {
+      if (module_.find_type(h_.new_vars[r]) != nullptr ||
+          module_.find_data(h_.new_vars[r]) != nullptr) {
+        diags_.error({}, "hyperplane rewrite: name '" + h_.new_vars[r] +
+                             "' already exists in the module");
+        return std::nullopt;
+      }
+      TypeDeclAst decl;
+      decl.names = {h_.new_vars[r]};
+      decl.type = std::make_unique<TypeExprNode>();
+      decl.type->kind = TypeExprKind::Subrange;
+      decl.type->lo = image_bound(r, /*upper=*/false);
+      decl.type->hi = image_bound(r, /*upper=*/true);
+      out.type_decls.push_back(std::move(decl));
+    }
+
+    // Locals: drop the transformed array, add A'.
+    for (const auto& l : module_.ast.locals) {
+      VarDeclAst copy = clone_var_decl(l);
+      copy.names.erase(
+          std::remove(copy.names.begin(), copy.names.end(), h_.array),
+          copy.names.end());
+      if (!copy.names.empty()) out.locals.push_back(std::move(copy));
+    }
+    {
+      VarDeclAst decl;
+      decl.names = {new_array_};
+      auto arr = std::make_unique<TypeExprNode>();
+      arr->kind = TypeExprKind::Array;
+      for (size_t r = 0; r < n_; ++r) {
+        auto dim = std::make_unique<TypeExprNode>();
+        dim->kind = TypeExprKind::Named;
+        dim->name = h_.new_vars[r];
+        arr->dims.push_back(std::move(dim));
+      }
+      arr->elem = scalar_type_expr(*item_->elem, diags_, item_->loc);
+      if (!arr->elem) return std::nullopt;
+      decl.type = std::move(arr);
+      out.locals.push_back(std::move(decl));
+    }
+
+    // Equations.
+    ExprPtr combined = zero_of(*item_->elem);
+    if (!combined) return std::nullopt;
+    bool have_region = false;
+    // Regions are tried in equation order; build the if-chain from the
+    // last region outwards so the first equation is tested first.
+    for (size_t i = module_.equations.size(); i-- > 0;) {
+      const CheckedEquation& eq = module_.equations[i];
+      if (module_.data[eq.target].name != h_.array) continue;
+      // Substitution is by variable name, so every defining equation must
+      // use the transform's index variables for the dimensions it loops.
+      for (const LoopDim& dim : eq.loop_dims) {
+        if (dim.lhs_dim < n_ && dim.var != h_.old_vars[dim.lhs_dim]) {
+          diags_.error(eq.loc, "hyperplane rewrite: " + eq.display_name +
+                                   " names dimension " +
+                                   std::to_string(dim.lhs_dim + 1) + " '" +
+                                   dim.var + "' but the transform uses '" +
+                                   h_.old_vars[dim.lhs_dim] + "'");
+          return std::nullopt;
+        }
+      }
+      ref_info_.clear();
+      for (const ArrayRefInfo& ref : eq.array_refs)
+        ref_info_.emplace(static_cast<const Expr*>(ref.expr), &ref);
+      ExprPtr body = rewrite(*eq.rhs, /*in_defining=*/true, &eq);
+      if (!body) return std::nullopt;
+      combined = mk_if(region_guard(eq), std::move(body), std::move(combined));
+      have_region = true;
+    }
+    if (!have_region) {
+      diags_.error({}, "hyperplane rewrite: '" + h_.array +
+                           "' has no defining equations");
+      return std::nullopt;
+    }
+
+    for (const CheckedEquation& eq : module_.equations) {
+      if (module_.data[eq.target].name == h_.array) continue;
+      ref_info_.clear();
+      for (const ArrayRefInfo& ref : eq.array_refs)
+        ref_info_.emplace(static_cast<const Expr*>(ref.expr), &ref);
+      EquationAst ast_eq;
+      ast_eq.loc = eq.loc;
+      ast_eq.lhs_name = module_.data[eq.target].name;
+      for (const LhsSubscript& sub : eq.lhs_subs) {
+        if (sub.is_index_var)
+          ast_eq.lhs_subs.push_back(mk_name(sub.var));
+        else
+          ast_eq.lhs_subs.push_back(sub.fixed->clone());
+      }
+      ast_eq.rhs = rewrite(*eq.rhs, /*in_defining=*/false, &eq);
+      if (!ast_eq.rhs) return std::nullopt;
+      out.equations.push_back(std::move(ast_eq));
+    }
+
+    {
+      EquationAst ast_eq;
+      ast_eq.lhs_name = new_array_;
+      for (size_t r = 0; r < n_; ++r)
+        ast_eq.lhs_subs.push_back(mk_name(h_.new_vars[r]));
+      ast_eq.rhs = std::move(combined);
+      out.equations.push_back(std::move(ast_eq));
+    }
+
+    return out;
+  }
+
+ private:
+  /// Lower/upper bound expression of image coordinate r over the box
+  /// spanned by the array's dimension subranges: pick each dimension's lo
+  /// or hi according to the sign of T[r][c].
+  ExprPtr image_bound(size_t r, bool upper) {
+    ExprPtr sum;
+    for (size_t c = 0; c < n_; ++c) {
+      int64_t coef = h_.T.at(r, c);
+      if (coef == 0) continue;
+      const Type* dim = item_->dims[c];
+      bool take_hi = (coef > 0) == upper;
+      ExprPtr bound = (take_hi ? dim->hi : dim->lo)->clone();
+      ExprPtr term = mk_mul(coef, std::move(bound));
+      sum = sum ? mk_add(std::move(sum), std::move(term)) : std::move(term);
+    }
+    return sum ? std::move(sum) : mk_int(0);
+  }
+
+  ExprPtr zero_of(const Type& elem) {
+    switch (elem.kind) {
+      case TypeKind::Real:
+        return std::make_unique<RealLitExpr>(0.0);
+      case TypeKind::Int:
+      case TypeKind::Subrange:
+        return mk_int(0);
+      case TypeKind::Bool:
+        return std::make_unique<BoolLitExpr>(false);
+      default:
+        diags_.error(item_->loc,
+                     "hyperplane rewrite: no neutral element for type '" +
+                         elem.display() + "'");
+        return nullptr;
+    }
+  }
+
+  /// The region of the bounding box covered by one defining equation:
+  /// fixed slices become equalities, looped dimensions become range
+  /// checks, all over the pulled-back old coordinates.
+  ExprPtr region_guard(const CheckedEquation& eq) {
+    ExprPtr guard;
+    for (size_t p = 0; p < eq.lhs_subs.size(); ++p) {
+      const LhsSubscript& sub = eq.lhs_subs[p];
+      if (sub.is_index_var) {
+        const LoopDim* dim = nullptr;
+        for (const LoopDim& d : eq.loop_dims)
+          if (d.lhs_dim == p) dim = &d;
+        if (dim == nullptr) continue;
+        guard = mk_and(std::move(guard),
+                       mk_binary(BinaryOp::Ge, inverse_[p]->clone(),
+                                 dim->range->lo->clone()));
+        guard = mk_and(std::move(guard),
+                       mk_binary(BinaryOp::Le, inverse_[p]->clone(),
+                                 dim->range->hi->clone()));
+      } else {
+        guard = mk_and(std::move(guard),
+                       mk_binary(BinaryOp::Eq, inverse_[p]->clone(),
+                                 sub.fixed->clone()));
+      }
+    }
+    if (!guard) guard = std::make_unique<BoolLitExpr>(true);
+    return guard;
+  }
+
+  /// Rewrite an (elaborated) expression. Inside a defining equation the
+  /// old index variables are substituted with their T^-1 images; in every
+  /// equation, references to the transformed array are redirected to A'.
+  ExprPtr rewrite(const Expr& e, bool in_defining,
+                  const CheckedEquation* eq) {
+    switch (e.kind) {
+      case ExprKind::Name: {
+        const auto& name = static_cast<const NameExpr&>(e).name;
+        if (in_defining) {
+          for (size_t j = 0; j < n_; ++j)
+            if (h_.old_vars[j] == name) return inverse_[j]->clone();
+        }
+        return e.clone();
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        bool is_target =
+            ix.base->kind == ExprKind::Name &&
+            static_cast<const NameExpr&>(*ix.base).name == h_.array;
+        if (is_target) return rewrite_target_ref(ix, in_defining, eq);
+        std::vector<ExprPtr> subs;
+        for (const auto& s : ix.subs) {
+          ExprPtr rs = rewrite(*s, in_defining, eq);
+          if (!rs) return nullptr;
+          subs.push_back(std::move(rs));
+        }
+        return std::make_unique<IndexExpr>(ix.base->clone(), std::move(subs),
+                                           e.loc);
+      }
+      case ExprKind::Field: {
+        const auto& f = static_cast<const FieldExpr&>(e);
+        ExprPtr base = rewrite(*f.base, in_defining, eq);
+        if (!base) return nullptr;
+        return std::make_unique<FieldExpr>(std::move(base), f.field, e.loc);
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        ExprPtr operand = rewrite(*u.operand, in_defining, eq);
+        if (!operand) return nullptr;
+        return std::make_unique<UnaryExpr>(u.op, std::move(operand), e.loc);
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        ExprPtr lhs = rewrite(*b.lhs, in_defining, eq);
+        ExprPtr rhs = rewrite(*b.rhs, in_defining, eq);
+        if (!lhs || !rhs) return nullptr;
+        return std::make_unique<BinaryExpr>(b.op, std::move(lhs),
+                                            std::move(rhs), e.loc);
+      }
+      case ExprKind::If: {
+        const auto& i = static_cast<const IfExpr&>(e);
+        ExprPtr c = rewrite(*i.cond, in_defining, eq);
+        ExprPtr t = rewrite(*i.then_expr, in_defining, eq);
+        ExprPtr el = rewrite(*i.else_expr, in_defining, eq);
+        if (!c || !t || !el) return nullptr;
+        return std::make_unique<IfExpr>(std::move(c), std::move(t),
+                                        std::move(el), e.loc);
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const CallExpr&>(e);
+        std::vector<ExprPtr> args;
+        for (const auto& a : call.args) {
+          ExprPtr ra = rewrite(*a, in_defining, eq);
+          if (!ra) return nullptr;
+          args.push_back(std::move(ra));
+        }
+        return std::make_unique<CallExpr>(call.callee, std::move(args), e.loc);
+      }
+      default:
+        return e.clone();
+    }
+  }
+
+  /// Redirect a reference A[e_0..e_{n-1}] to A'. Constant-offset
+  /// self-references inside a defining equation rewrite directly to
+  /// A'[x' + T.o] (the paper's simplified form); anything else applies T
+  /// to the (rewritten) subscript expressions.
+  ExprPtr rewrite_target_ref(const IndexExpr& ix, bool in_defining,
+                             const CheckedEquation* eq) {
+    if (in_defining && eq != nullptr) {
+      auto it = ref_info_.find(static_cast<const Expr*>(&ix));
+      if (it != ref_info_.end() && offset_form(*it->second, *eq)) {
+        std::vector<int64_t> o(n_);
+        for (size_t p = 0; p < n_; ++p) o[p] = it->second->subs[p].offset;
+        std::vector<int64_t> to = h_.T.apply(o);
+        std::vector<ExprPtr> subs;
+        for (size_t r = 0; r < n_; ++r)
+          subs.push_back(
+              mk_affine({AffineTerm{1, h_.new_vars[r]}}, to[r]));
+        return std::make_unique<IndexExpr>(mk_name(new_array_),
+                                           std::move(subs), ix.loc);
+      }
+    }
+    // General form: new subscript r = sum_c T[r][c] * e_c.
+    std::vector<ExprPtr> rewritten;
+    for (const auto& s : ix.subs) {
+      ExprPtr rs = rewrite(*s, in_defining, eq);
+      if (!rs) return nullptr;
+      rewritten.push_back(std::move(rs));
+    }
+    std::vector<ExprPtr> subs;
+    for (size_t r = 0; r < n_; ++r) {
+      ExprPtr sum;
+      for (size_t c = 0; c < n_; ++c) {
+        int64_t coef = h_.T.at(r, c);
+        if (coef == 0) continue;
+        ExprPtr term = mk_mul(coef, rewritten[c]->clone());
+        sum = sum ? mk_add(std::move(sum), std::move(term)) : std::move(term);
+      }
+      subs.push_back(sum ? std::move(sum) : mk_int(0));
+    }
+    return std::make_unique<IndexExpr>(mk_name(new_array_), std::move(subs),
+                                       ix.loc);
+  }
+
+  /// Is this self-reference in pure constant-offset form, with each
+  /// subscript using the loop variable of its own dimension?
+  bool offset_form(const ArrayRefInfo& ref, const CheckedEquation& eq) const {
+    std::vector<std::string> dim_var(n_);
+    for (const LoopDim& dim : eq.loop_dims)
+      if (dim.lhs_dim < n_) dim_var[dim.lhs_dim] = dim.var;
+    for (size_t p = 0; p < n_; ++p) {
+      const SubscriptInfo& sub = ref.subs[p];
+      if (sub.kind != SubscriptInfo::Kind::IndexVar) return false;
+      if (dim_var[p].empty() || sub.var != dim_var[p]) return false;
+    }
+    return true;
+  }
+
+  const CheckedModule& module_;
+  const HyperplaneTransform& h_;
+  DiagnosticEngine& diags_;
+  const DataItem* item_ = nullptr;
+  size_t n_ = 0;
+  std::string new_array_;
+  std::vector<ExprPtr> inverse_;
+  std::vector<std::pair<std::string, const Expr*>> subst_;
+  std::map<const Expr*, const ArrayRefInfo*> ref_info_;
+};
+
+}  // namespace
+
+std::optional<ModuleAst> hyperplane_rewrite(const CheckedModule& module,
+                                            const HyperplaneTransform& transform,
+                                            DiagnosticEngine& diags,
+                                            std::string new_module_suffix) {
+  Rewriter rewriter(module, transform, diags);
+  return rewriter.run(new_module_suffix);
+}
+
+}  // namespace ps

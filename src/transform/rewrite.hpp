@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "frontend/sema.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/hyperplane.hpp"
+
+namespace ps {
+
+/// Rewrite `module` so that the recursively defined array named by the
+/// transform is replaced by its hyperplane-skewed image A' (paper
+/// section 4). The result is a new PS module AST that can be re-analysed
+/// and scheduled with the unchanged pipeline; on the revised relaxation
+/// the rescheduled module has an outer iterative loop over hyperplanes
+/// and parallel inner loops -- the same shape as the paper's Figure 6.
+///
+/// Construction (the paper's "flag arrays which have undergone this
+/// transformation" code-generation alternative, realised at the source
+/// level):
+///  * new subrange types for the transformed coordinates, bounding the
+///    image of the original index box (e.g. K' = 2 .. 2*maxK + 2*M + 2);
+///  * a local array A' over those subranges;
+///  * one combined equation defining A'[K',I',J']: the defining equations
+///    of A become guarded regions (guards are the original slice/range
+///    constraints pulled back through T^-1); self-references in
+///    constant-offset form rewrite to A'[x' + T.o] ("by simplification"
+///    in the paper: A'[K'-1, I', J'-1] etc.); everything else has the old
+///    index variables substituted with their T^-1 images (K = I', I = J',
+///    J = K' - 2I' - J'); points of the bounding box outside the image of
+///    the original domain take a neutral zero;
+///  * every other equation's reference to A is redirected to A' by
+///    applying T to its subscript expressions.
+///
+/// Returns nullopt (with diagnostics) for unsupported shapes (record
+/// elements, anonymous element types).
+[[nodiscard]] std::optional<ModuleAst> hyperplane_rewrite(
+    const CheckedModule& module, const HyperplaneTransform& transform,
+    DiagnosticEngine& diags, std::string new_module_suffix = "_h");
+
+}  // namespace ps

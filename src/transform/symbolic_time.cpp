@@ -1,0 +1,272 @@
+#include "transform/symbolic_time.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+std::vector<int64_t> SymbolicDependence::instantiate(
+    const std::map<std::string, int64_t>& values) const {
+  std::vector<int64_t> out = constant;
+  for (const auto& [sym, coeffs] : symbol_coeffs) {
+    int64_t v = values.at(sym);
+    for (size_t p = 0; p < out.size(); ++p) out[p] += coeffs[p] * v;
+  }
+  return out;
+}
+
+std::string SymbolicDependence::to_string() const {
+  std::string out = "(";
+  for (size_t p = 0; p < constant.size(); ++p) {
+    if (p > 0) out += ", ";
+    std::string comp = std::to_string(constant[p]);
+    for (const auto& [sym, coeffs] : symbol_coeffs) {
+      if (coeffs[p] == 0) continue;
+      if (coeffs[p] > 0)
+        comp += " + " + (coeffs[p] == 1 ? sym
+                                        : std::to_string(coeffs[p]) + sym);
+      else
+        comp += " - " + (coeffs[p] == -1 ? sym
+                                         : std::to_string(-coeffs[p]) + sym);
+    }
+    out += comp;
+  }
+  return out + ")";
+}
+
+bool satisfies_symbolic(const std::vector<int64_t>& coeffs,
+                        const std::vector<SymbolicDependence>& dependences) {
+  for (const SymbolicDependence& d : dependences) {
+    if (d.dims() != coeffs.size()) return false;
+    // a . coeffs[s] >= 0 for each symbol (otherwise a large m_s drives
+    // the dot product below 1).
+    int64_t corner = 0;
+    for (size_t p = 0; p < coeffs.size(); ++p)
+      corner += coeffs[p] * d.constant[p];
+    for (const auto& [sym, sc] : d.symbol_coeffs) {
+      int64_t dot = 0;
+      for (size_t p = 0; p < coeffs.size(); ++p) dot += coeffs[p] * sc[p];
+      if (dot < 0) return false;
+      corner += dot;  // m_s = 1 contributes one copy
+    }
+    if (corner < 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Branch-and-bound over [-bound, bound]^n, minimising sum |a| with a
+/// lexicographic tie-break, exactly as the plain solver -- but against
+/// two constraint families: the m = 1 corner vectors must reach >= 1
+/// and every per-symbol coefficient vector must reach >= 0.
+struct SymbolicSearch {
+  struct Constraint {
+    std::vector<int64_t> vec;
+    int64_t min_value = 1;
+  };
+
+  std::vector<Constraint> constraints;
+  int64_t bound;
+  size_t n;
+  std::vector<int64_t> current;
+  std::vector<int64_t> partial;
+  std::vector<std::vector<int64_t>> tail_mass;
+  int64_t current_cost = 0;
+
+  std::optional<std::vector<int64_t>> best;
+  int64_t best_cost = 0;
+
+  SymbolicSearch(std::vector<Constraint> cs, int64_t b, size_t dims)
+      : constraints(std::move(cs)), bound(b), n(dims) {
+    current.assign(n, 0);
+    partial.assign(constraints.size(), 0);
+    tail_mass.assign(constraints.size(), std::vector<int64_t>(n + 1, 0));
+    for (size_t i = 0; i < constraints.size(); ++i)
+      for (size_t k = n; k-- > 0;)
+        tail_mass[i][k] =
+            tail_mass[i][k + 1] + bound * std::abs(constraints[i].vec[k]);
+  }
+
+  bool better_than_best(int64_t cost) const {
+    if (!best) return true;
+    if (cost != best_cost) return cost < best_cost;
+    return current < *best;
+  }
+
+  void dfs(size_t k) {
+    if (best && current_cost > best_cost) return;
+    if (k == n) {
+      for (size_t i = 0; i < constraints.size(); ++i)
+        if (partial[i] < constraints[i].min_value) return;
+      if (better_than_best(current_cost)) {
+        best = current;
+        best_cost = current_cost;
+      }
+      return;
+    }
+    for (size_t i = 0; i < constraints.size(); ++i)
+      if (partial[i] + tail_mass[i][k] < constraints[i].min_value) return;
+
+    for (int64_t mag = 0; mag <= bound; ++mag) {
+      for (int sign : {+1, -1}) {
+        if (mag == 0 && sign < 0) continue;
+        int64_t v = sign * mag;
+        current[k] = v;
+        current_cost += mag;
+        for (size_t i = 0; i < constraints.size(); ++i)
+          partial[i] += v * constraints[i].vec[k];
+        dfs(k + 1);
+        for (size_t i = 0; i < constraints.size(); ++i)
+          partial[i] -= v * constraints[i].vec[k];
+        current_cost -= mag;
+        current[k] = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int64_t>> solve_time_function_symbolic(
+    const std::vector<SymbolicDependence>& dependences,
+    const TimeFunctionOptions& options) {
+  if (dependences.empty()) return std::nullopt;
+  size_t n = dependences.front().dims();
+  std::vector<SymbolicSearch::Constraint> constraints;
+  for (const SymbolicDependence& d : dependences) {
+    if (d.dims() != n) return std::nullopt;
+    SymbolicSearch::Constraint corner;
+    corner.vec = d.constant;
+    corner.min_value = 1;
+    for (const auto& [sym, sc] : d.symbol_coeffs) {
+      if (sc.size() != n) return std::nullopt;
+      for (size_t p = 0; p < n; ++p) corner.vec[p] += sc[p];
+      constraints.push_back(SymbolicSearch::Constraint{sc, 0});
+    }
+    constraints.push_back(std::move(corner));
+  }
+
+  SymbolicSearch search(std::move(constraints), options.bound, n);
+  search.dfs(0);
+  return search.best;
+}
+
+std::optional<SymbolicDependenceSet> extract_symbolic_dependences(
+    const CheckedModule& module, const std::string& array,
+    const std::vector<std::string>& positive_params,
+    DiagnosticEngine& diags) {
+  const DataItem* item = module.find_data(array);
+  if (item == nullptr) {
+    diags.error({}, "no data item named '" + array + "'");
+    return std::nullopt;
+  }
+  size_t n = item->rank();
+  if (n == 0) {
+    diags.error(item->loc, "'" + array + "' is scalar; nothing to transform");
+    return std::nullopt;
+  }
+
+  auto is_symbol = [&](const std::string& name) {
+    return std::find(positive_params.begin(), positive_params.end(), name) !=
+           positive_params.end();
+  };
+
+  SymbolicDependenceSet out;
+  out.array = array;
+  out.vars.assign(n, "");
+  out.symbols = positive_params;
+
+  for (const CheckedEquation& eq : module.equations) {
+    if (module.data[eq.target].name != array) continue;
+    std::vector<std::string> dim_var(n, "");
+    for (const LoopDim& dim : eq.loop_dims) dim_var[dim.lhs_dim] = dim.var;
+
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array != array) continue;
+      SymbolicDependence d;
+      d.constant.assign(n, 0);
+      bool nonzero = false;
+      for (size_t p = 0; p < n; ++p) {
+        const SubscriptInfo& sub = ref.subs[p];
+        if (dim_var[p].empty()) {
+          diags.error(eq.loc, eq.display_name + ": dimension " +
+                                  std::to_string(p + 1) + " of '" + array +
+                                  "' has no loop variable");
+          return std::nullopt;
+        }
+        if (sub.kind == SubscriptInfo::Kind::IndexVar) {
+          if (sub.var != dim_var[p]) {
+            diags.error(eq.loc, eq.display_name +
+                                    ": self-reference uses index '" +
+                                    sub.var + "' at an inconsistent position");
+            return std::nullopt;
+          }
+          d.constant[p] = -sub.offset;
+          if (sub.offset != 0) nonzero = true;
+          continue;
+        }
+        // General subscript: must be affine with unit coefficient on
+        // the dimension's own variable and symbols/constants otherwise.
+        auto form = sub.expr == nullptr ? std::nullopt
+                                        : affine_from_expr(*sub.expr);
+        if (!form || form->coeff(dim_var[p]) != Rational(1)) {
+          diags.error(eq.loc, eq.display_name + ": self-reference subscript '" +
+                                  sub.display() +
+                                  "' is outside the symbolic-offset fragment");
+          return std::nullopt;
+        }
+        if (!form->constant.is_integer()) {
+          diags.error(eq.loc, eq.display_name + ": non-integer offset");
+          return std::nullopt;
+        }
+        d.constant[p] = -form->constant.as_integer();
+        if (d.constant[p] != 0) nonzero = true;
+        for (const auto& [name, coeff] : form->coeffs) {
+          if (name == dim_var[p]) continue;
+          if (!is_symbol(name)) {
+            diags.error(eq.loc,
+                        eq.display_name + ": subscript mentions '" + name +
+                            "', which is not a declared positive parameter");
+            return std::nullopt;
+          }
+          if (!coeff.is_integer()) {
+            diags.error(eq.loc, eq.display_name + ": non-integer symbolic "
+                                                  "coefficient");
+            return std::nullopt;
+          }
+          auto [it, inserted] =
+              d.symbol_coeffs.try_emplace(name, std::vector<int64_t>(n, 0));
+          it->second[p] = -coeff.as_integer();
+          nonzero = true;
+        }
+      }
+      if (!nonzero) {
+        diags.error(eq.loc, eq.display_name + ": '" + array +
+                                "' depends on itself at the same indices");
+        return std::nullopt;
+      }
+      out.vectors.push_back(std::move(d));
+    }
+
+    bool full = std::all_of(dim_var.begin(), dim_var.end(),
+                            [](const std::string& v) { return !v.empty(); });
+    if (full)
+      for (size_t p = 0; p < n; ++p)
+        if (out.vars[p].empty()) out.vars[p] = dim_var[p];
+  }
+
+  if (out.vectors.empty()) {
+    diags.error(item->loc, "'" + array + "' has no self-dependences");
+    return std::nullopt;
+  }
+  for (size_t p = 0; p < n; ++p)
+    if (out.vars[p].empty())
+      out.vars[p] = item->dims[p]->name.empty() ? "d" + std::to_string(p + 1)
+                                                : item->dims[p]->name;
+  return out;
+}
+
+}  // namespace ps

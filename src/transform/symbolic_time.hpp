@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/sema.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/time_function.hpp"
+
+namespace ps {
+
+/// A dependence vector with symbolic components (the extension of the
+/// hyperplane method to "certain forms of symbolic offsets in recursive
+/// equations" the paper cites as [14], Myers & Gokhale, "Parallel
+/// Scheduling of Recursively Defined Arrays"):
+///
+///   d = constant + sum_s coeffs[s] * m_s,
+///
+/// one integer coefficient vector per symbolic parameter m_s, each m_s
+/// assumed to be a positive integer (m_s >= 1). The relaxation's plain
+/// vectors are the special case with no symbols.
+struct SymbolicDependence {
+  std::vector<int64_t> constant;
+  std::map<std::string, std::vector<int64_t>> symbol_coeffs;
+
+  [[nodiscard]] size_t dims() const { return constant.size(); }
+
+  /// The plain vector for concrete symbol values.
+  [[nodiscard]] std::vector<int64_t> instantiate(
+      const std::map<std::string, int64_t>& values) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A set of symbolic self-dependences of one array.
+struct SymbolicDependenceSet {
+  std::string array;
+  std::vector<std::string> vars;
+  std::vector<std::string> symbols;  // parameters assumed >= 1
+  std::vector<SymbolicDependence> vectors;
+
+  [[nodiscard]] size_t dims() const { return vars.size(); }
+};
+
+/// True when `coeffs` satisfies a . d >= 1 for EVERY admissible symbol
+/// assignment (all m_s >= 1). By linearity this holds iff
+///   a . coeffs[s] >= 0 for every symbol s, and
+///   a . (constant + sum_s coeffs[s]) >= 1      (the m_s = 1 corner).
+[[nodiscard]] bool satisfies_symbolic(
+    const std::vector<int64_t>& coeffs,
+    const std::vector<SymbolicDependence>& dependences);
+
+/// Least time function valid for every admissible symbol value:
+/// minimise sum |a_i|, ties broken lexicographically -- the same
+/// ordering as solve_time_function, to which this degenerates when no
+/// dependence carries symbols. Returns nullopt when infeasible (e.g. a
+/// symbol pushes some dependence arbitrarily far negative in every
+/// admissible direction).
+[[nodiscard]] std::optional<std::vector<int64_t>> solve_time_function_symbolic(
+    const std::vector<SymbolicDependence>& dependences,
+    const TimeFunctionOptions& options = {});
+
+/// Extract the self-dependences of `array`, accepting subscripts that
+/// are affine in the dimension's own loop variable and the given
+/// positive parameters: `A[K-1, I+b]` yields d = (1, -b). Subscripts
+/// must still sit at consistent positions with unit self-coefficient;
+/// `positive_params` lists the module parameters assumed >= 1. Fails
+/// with diagnostics outside this fragment.
+[[nodiscard]] std::optional<SymbolicDependenceSet>
+extract_symbolic_dependences(const CheckedModule& module,
+                             const std::string& array,
+                             const std::vector<std::string>& positive_params,
+                             DiagnosticEngine& diags);
+
+}  // namespace ps

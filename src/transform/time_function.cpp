@@ -1,0 +1,108 @@
+#include "transform/time_function.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ps {
+
+bool satisfies_dependences(
+    const std::vector<int64_t>& coeffs,
+    const std::vector<std::vector<int64_t>>& dependences) {
+  for (const auto& d : dependences) {
+    if (d.size() != coeffs.size()) return false;
+    int64_t dot = 0;
+    for (size_t i = 0; i < d.size(); ++i) dot += coeffs[i] * d[i];
+    if (dot < 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct Search {
+  const std::vector<std::vector<int64_t>>& deps;
+  int64_t bound;
+  size_t n;
+  std::vector<int64_t> current;
+  std::vector<int64_t> partial_dot;  // per dependence
+  std::vector<int64_t> tail_cap;     // max remaining |d| mass per dependence
+  int64_t current_cost = 0;
+
+  std::optional<std::vector<int64_t>> best;
+  int64_t best_cost = 0;
+
+  Search(const std::vector<std::vector<int64_t>>& d, int64_t b, size_t dims)
+      : deps(d), bound(b), n(dims) {
+    current.assign(n, 0);
+    partial_dot.assign(deps.size(), 0);
+  }
+
+  /// tail_mass[i][k] = bound * sum_{j >= k} |deps[i][j]|: the largest
+  /// amount the unassigned coefficients can still contribute.
+  std::vector<std::vector<int64_t>> tail_mass;
+  void precompute() {
+    tail_mass.assign(deps.size(), std::vector<int64_t>(n + 1, 0));
+    for (size_t i = 0; i < deps.size(); ++i)
+      for (size_t k = n; k-- > 0;)
+        tail_mass[i][k] =
+            tail_mass[i][k + 1] + bound * std::abs(deps[i][k]);
+  }
+
+  bool better_than_best(int64_t cost) const {
+    if (!best) return true;
+    if (cost != best_cost) return cost < best_cost;
+    return current < *best;  // lexicographic tie-break
+  }
+
+  void dfs(size_t k) {
+    if (best && current_cost > best_cost) return;
+    if (k == n) {
+      for (int64_t dot : partial_dot)
+        if (dot < 1) return;
+      if (better_than_best(current_cost)) {
+        best = current;
+        best_cost = current_cost;
+      }
+      return;
+    }
+    // Feasibility prune: every dependence must still be able to reach 1.
+    for (size_t i = 0; i < deps.size(); ++i)
+      if (partial_dot[i] + tail_mass[i][k] < 1) return;
+
+    // Try values by increasing magnitude so cheap solutions are found
+    // early and the cost prune bites.
+    for (int64_t mag = 0; mag <= bound; ++mag) {
+      for (int sign : {+1, -1}) {
+        if (mag == 0 && sign < 0) continue;
+        int64_t v = sign * mag;
+        current[k] = v;
+        current_cost += mag;
+        for (size_t i = 0; i < deps.size(); ++i)
+          partial_dot[i] += v * deps[i][k];
+        dfs(k + 1);
+        for (size_t i = 0; i < deps.size(); ++i)
+          partial_dot[i] -= v * deps[i][k];
+        current_cost -= mag;
+        current[k] = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int64_t>> solve_time_function(
+    const std::vector<std::vector<int64_t>>& dependences,
+    const TimeFunctionOptions& options) {
+  if (dependences.empty()) return std::nullopt;
+  size_t n = dependences.front().size();
+  for (const auto& d : dependences)
+    if (d.size() != n) return std::nullopt;
+
+  Search search(dependences, options.bound, n);
+  search.precompute();
+  search.dfs(0);
+  return search.best;
+}
+
+}  // namespace ps

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ps {
+
+/// Solve the paper's dependence inequalities (section 4): find integer
+/// coefficients a with a . d >= 1 for every dependence vector d (the
+/// strict integer form of "time of A[x] comes after time of A[x - d]").
+///
+/// "Least" is interpreted as in the paper's example (a=2, b=c=1 for the
+/// revised relaxation): minimise the sum of absolute coefficient values,
+/// breaking ties by lexicographically smallest coefficient vector. The
+/// search is a depth-first branch and bound over [-bound, bound]^n with a
+/// feasibility prune per dependence; default bound 16 is far beyond
+/// anything loop nests of depth <= 8 need.
+///
+/// Returns nullopt when the system is infeasible (e.g. a dependence and
+/// its negation both present -- no linear schedule exists).
+struct TimeFunctionOptions {
+  int64_t bound = 16;
+};
+
+[[nodiscard]] std::optional<std::vector<int64_t>> solve_time_function(
+    const std::vector<std::vector<int64_t>>& dependences,
+    const TimeFunctionOptions& options = {});
+
+/// True when `coeffs` satisfies every dependence inequality.
+[[nodiscard]] bool satisfies_dependences(
+    const std::vector<int64_t>& coeffs,
+    const std::vector<std::vector<int64_t>>& dependences);
+
+}  // namespace ps

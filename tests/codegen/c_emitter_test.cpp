@@ -1,0 +1,94 @@
+#include "codegen/c_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(CEmitter, IdentifierSanitisation) {
+  EXPECT_EQ(c_identifier("newA"), "newA");
+  EXPECT_EQ(c_identifier("A'"), "A_p");
+  EXPECT_EQ(c_identifier("K'"), "K_p");
+  EXPECT_EQ(c_identifier("1bad"), "v_1bad");
+}
+
+TEST(CEmitter, RelaxationSignatureAndAnnotations) {
+  auto result = compile_or_die(kRelaxationSource);
+  const std::string& code = result.primary->c_code;
+  EXPECT_NE(code.find("void Relaxation(const double* InitialA, long M, "
+                      "long maxK, double* newA)"),
+            std::string::npos)
+      << code;
+  // Loop annotations, as the paper requires.
+  EXPECT_NE(code.find("/* DO K */"), std::string::npos);
+  EXPECT_NE(code.find("/* DOALL I */"), std::string::npos);
+  EXPECT_NE(code.find("#pragma omp parallel for"), std::string::npos);
+  // Local A is allocated and freed.
+  EXPECT_NE(code.find("calloc"), std::string::npos);
+  EXPECT_NE(code.find("free(A);"), std::string::npos);
+}
+
+TEST(CEmitter, VirtualWindowReflectedInAllocation) {
+  auto result = compile_or_die(kRelaxationSource);
+  const std::string& code = result.primary->c_code;
+  // Dimension 1 of A is windowed with 2 slices and indexed modulo the
+  // window.
+  EXPECT_NE(code.find("dimension 1 is virtual with window 2"),
+            std::string::npos)
+      << code;
+  EXPECT_NE(code.find("% A_p1"), std::string::npos);
+}
+
+TEST(CEmitter, NoWindowsWhenDisabled) {
+  CompileOptions options;
+  options.use_virtual_windows = false;
+  auto result = compile_or_die(kRelaxationSource, options);
+  EXPECT_EQ(result.primary->c_code.find("virtual with window"),
+            std::string::npos);
+  EXPECT_EQ(result.primary->c_code.find("% A_p1"), std::string::npos);
+}
+
+TEST(CEmitter, OpenMpOptional) {
+  CompileOptions options;
+  options.emit_openmp = false;
+  auto result = compile_or_die(kRelaxationSource, options);
+  EXPECT_EQ(result.primary->c_code.find("#pragma"), std::string::npos);
+  // Annototation comments stay.
+  EXPECT_NE(result.primary->c_code.find("/* DOALL I */"), std::string::npos);
+}
+
+TEST(CEmitter, RealDivisionForcedToDouble) {
+  auto result = compile_or_die(kRelaxationSource);
+  EXPECT_NE(result.primary->c_code.find("/ (double)(4)"), std::string::npos)
+      << result.primary->c_code;
+}
+
+TEST(CEmitter, ScalarOutputsThroughPointer) {
+  auto result = compile_or_die(R"(
+M: module (x: real): [y: real];
+define y = x * 2.0;
+end M;
+)");
+  const std::string& code = result.primary->c_code;
+  EXPECT_NE(code.find("void M(double x, double* y)"), std::string::npos);
+  EXPECT_NE(code.find("*y = x * 2"), std::string::npos);
+}
+
+TEST(CEmitter, TransformedModuleUsesSanitisedNames) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  ASSERT_TRUE(result.transformed.has_value());
+  const std::string& code = result.transformed->c_code;
+  // Primed names (A', K') become valid C identifiers.
+  EXPECT_NE(code.find("A_p"), std::string::npos);
+  EXPECT_NE(code.find("for (long K_p"), std::string::npos) << code;
+}
+
+}  // namespace
+}  // namespace ps

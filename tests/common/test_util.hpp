@@ -1,0 +1,28 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "driver/compiler.hpp"
+
+namespace ps::testutil {
+
+/// Compile `source` through the full pipeline and assert success.
+inline CompileResult compile_or_die(std::string_view source,
+                                    CompileOptions options = {}) {
+  Compiler compiler(options);
+  CompileResult result = compiler.compile(source);
+  EXPECT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_TRUE(result.primary.has_value()) << result.diagnostics;
+  return result;
+}
+
+/// One-line flowchart of the full schedule.
+inline std::string schedule_line(const CompiledModule& stage) {
+  return flowchart_to_line(stage.schedule.flowchart, *stage.graph);
+}
+
+}  // namespace ps::testutil

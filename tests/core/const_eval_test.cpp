@@ -1,0 +1,77 @@
+#include "core/const_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace ps {
+namespace {
+
+ExprPtr parse(std::string_view src) {
+  DiagnosticEngine diags;
+  Parser parser(src, diags);
+  ExprPtr e = parser.parse_expression_only();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return e;
+}
+
+TEST(ConstEval, Arithmetic) {
+  IntEnv env{{"M", 6}, {"K", 3}};
+  EXPECT_EQ(eval_const_int(*parse("2 * M + 1"), env), 13);
+  EXPECT_EQ(eval_const_int(*parse("K - 1"), env), 2);
+  EXPECT_EQ(eval_const_int(*parse("-K"), env), -3);
+  EXPECT_EQ(eval_const_int(*parse("M div 4"), env), 1);
+  EXPECT_EQ(eval_const_int(*parse("M mod 4"), env), 2);
+  EXPECT_EQ(eval_const_int(*parse("abs(1 - M)"), env), 5);
+  EXPECT_EQ(eval_const_int(*parse("min(M, K) + max(M, K)"), env), 9);
+}
+
+TEST(ConstEval, UnknownNameIsNullopt) {
+  IntEnv env;
+  EXPECT_FALSE(eval_const_int(*parse("M + 1"), env).has_value());
+  EXPECT_FALSE(eval_const_int(*parse("x div 0"), env).has_value());
+}
+
+TEST(ConstEval, DivisionByZeroIsNullopt) {
+  IntEnv env{{"z", 0}};
+  EXPECT_FALSE(eval_const_int(*parse("1 div z"), env).has_value());
+  EXPECT_FALSE(eval_const_int(*parse("1 mod z"), env).has_value());
+}
+
+TEST(ConstEval, Booleans) {
+  IntEnv env{{"I", 0}, {"M", 6}};
+  EXPECT_EQ(eval_const_bool(*parse("I = 0"), env), true);
+  EXPECT_EQ(eval_const_bool(*parse("I = 0 or I = M + 1"), env), true);
+  EXPECT_EQ(eval_const_bool(*parse("I > 0 and I < M"), env), false);
+  EXPECT_EQ(eval_const_bool(*parse("not (I = 0)"), env), false);
+  EXPECT_EQ(eval_const_bool(*parse("I <> 0"), env), false);
+  EXPECT_EQ(eval_const_bool(*parse("I <= 0"), env), true);
+  EXPECT_EQ(eval_const_bool(*parse("I >= 1"), env), false);
+}
+
+TEST(ConstEval, ShortCircuitToleratesUnknownSide) {
+  IntEnv env{{"I", 0}};
+  // "I = 0 or <unknown>" is true regardless of the unknown side.
+  EXPECT_EQ(eval_const_bool(*parse("I = 0 or zz = 1"), env), true);
+  EXPECT_EQ(eval_const_bool(*parse("I = 1 and zz = 1"), env), false);
+  // Both unknown: nullopt.
+  EXPECT_FALSE(eval_const_bool(*parse("zz = 1 or ww = 2"), env).has_value());
+}
+
+TEST(ConstEval, IfExpression) {
+  IntEnv env{{"I", 5}, {"M", 6}};
+  EXPECT_EQ(eval_const_int(*parse("if I < M then 1 else 2"), env), 1);
+  EXPECT_EQ(eval_const_bool(*parse("if I < M then I = 5 else false"), env),
+            true);
+  EXPECT_FALSE(
+      eval_const_int(*parse("if zz = 0 then 1 else 2"), env).has_value());
+}
+
+TEST(ConstEval, RealLiteralsAreNotInts) {
+  IntEnv env;
+  EXPECT_FALSE(eval_const_int(*parse("1.5"), env).has_value());
+  EXPECT_FALSE(eval_const_int(*parse("1 + 2.0"), env).has_value());
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,77 @@
+#include "core/flowchart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(Flowchart, DescriptorConstructors) {
+  FlowStep eq = FlowStep::equation(7);
+  EXPECT_EQ(eq.kind, FlowStep::Kind::Equation);
+  EXPECT_EQ(eq.node, 7u);
+
+  Flowchart children;
+  children.push_back(FlowStep::equation(7));
+  FlowStep loop =
+      FlowStep::make_loop("K", nullptr, LoopKind::Iterative,
+                          std::move(children));
+  EXPECT_EQ(loop.kind, FlowStep::Kind::Loop);
+  EXPECT_EQ(loop.var, "K");
+  EXPECT_EQ(loop.loop, LoopKind::Iterative);
+  ASSERT_EQ(loop.children.size(), 1u);
+}
+
+TEST(Flowchart, LoopKindNames) {
+  EXPECT_EQ(loop_kind_name(LoopKind::Iterative), "DO");
+  EXPECT_EQ(loop_kind_name(LoopKind::Parallel), "DOALL");
+}
+
+TEST(Flowchart, MultilineRenderingMatchesFigure6Layout) {
+  auto result = compile_or_die(kRelaxationSource);
+  std::string text = flowchart_to_string(result.primary->schedule.flowchart,
+                                         *result.primary->graph);
+  // Figure 6's indentation structure.
+  EXPECT_NE(text.find("DOALL I (\n  DOALL J (\n    eq.1\n  )\n)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("DO K (\n  DOALL I (\n    DOALL J (\n      eq.3"),
+            std::string::npos);
+}
+
+TEST(Flowchart, LineRenderingAndNullFlowchart) {
+  auto result = compile_or_die(kRelaxationSource);
+  const DepGraph& graph = *result.primary->graph;
+  EXPECT_EQ(flowchart_to_line({}, graph), "(null)");
+  Flowchart single;
+  single.push_back(FlowStep::equation(graph.equation_node(0)));
+  EXPECT_EQ(flowchart_to_line(single, graph), "eq.1");
+}
+
+TEST(Flowchart, CountsAndDepth) {
+  auto result = compile_or_die(kRelaxationSource);
+  const Flowchart& chart = result.primary->schedule.flowchart;
+  EXPECT_EQ(flowchart_equation_count(chart), 3u);
+  EXPECT_EQ(flowchart_depth(chart), 3u);
+  EXPECT_EQ(flowchart_depth({}), 0u);
+  Flowchart flat;
+  flat.push_back(FlowStep::equation(0));
+  EXPECT_EQ(flowchart_depth(flat), 0u);
+  EXPECT_EQ(flowchart_equation_count(flat), 1u);
+}
+
+TEST(Flowchart, StepsAreCopyable) {
+  auto result = compile_or_die(kRelaxationSource);
+  Flowchart copy = result.primary->schedule.flowchart;
+  EXPECT_EQ(flowchart_equation_count(copy), 3u);
+  copy.clear();
+  EXPECT_EQ(flowchart_equation_count(result.primary->schedule.flowchart),
+            3u);
+}
+
+}  // namespace
+}  // namespace ps

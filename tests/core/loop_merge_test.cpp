@@ -1,0 +1,245 @@
+#include "core/loop_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "core/validator.hpp"
+#include "runtime/interpreter.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(LoopMerge, FusesPointwiseChain) {
+  CompileOptions options;
+  options.merge_loops = true;
+  auto result = compile_or_die(kPointwiseChainSource, options);
+  // Four DOALL I nests collapse into one.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (eq.1; eq.2; eq.3; eq.4)");
+  EXPECT_EQ(result.primary->merge_stats.merged, 3u);
+
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  IntEnv{{"N", 10}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(LoopMerge, RefusesOffsetDependenceInParallelLoop) {
+  CompileOptions options;
+  options.merge_loops = true;
+  // b reads a[I-1]: fusing the two DOALL I loops would race.
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n;
+var a: array [I] of real;
+define
+  a[I] = x[I] * 2.0;
+  y[I] = if I = 0 then a[I] else a[I-1];
+end M;
+)",
+                               options);
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (eq.1); DOALL I (eq.2)");
+  EXPECT_EQ(result.primary->merge_stats.merged, 0u);
+}
+
+TEST(LoopMerge, RelaxationScheduleUnchanged) {
+  CompileOptions options;
+  options.merge_loops = true;
+  auto result = compile_or_die(kRelaxationSource, options);
+  // Adjacent loops iterate the same I subrange but the middle component
+  // is a DO K nest, so nothing fuses at top level.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (DOALL J (eq.1)); "
+            "DO K (DOALL I (DOALL J (eq.3))); "
+            "DOALL I (DOALL J (eq.2))");
+}
+
+TEST(LoopMerge, FusesNestedLoops) {
+  CompileOptions options;
+  options.merge_loops = true;
+  auto result = compile_or_die(R"(
+M: module (x: array[I, J] of real; n: int): [y: array[I, J] of real];
+type I = 0 .. n; J = 0 .. n;
+var a: array [I, J] of real;
+define
+  a[I, J] = x[I, J] + 1.0;
+  y[I, J] = a[I, J] * 2.0;
+end M;
+)",
+                               options);
+  // Outer I loops fuse, then the inner J loops become adjacent and fuse
+  // too.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (DOALL J (eq.1; eq.2))");
+  EXPECT_EQ(result.primary->merge_stats.merged, 2u);
+
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  IntEnv{{"N", 6}, {"n", 6}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(LoopMerge, IterativeLoopsFuseWithBackwardOffsets) {
+  CompileOptions options;
+  options.merge_loops = true;
+  // Two adjacent DO T nests; the second body reads u at identity T and
+  // its own v at T-1 -- legal in a fused iterative loop.
+  auto result = compile_or_die(R"(
+M: module (n: int; s: int): [y: array[X] of real];
+type T = 1 .. s; X = 0 .. n;
+var u: array [T] of array [X] of real;
+    v: array [T] of array [X] of real;
+define
+  u[T, X] = if T = 1 then 1.0 else u[T-1, X] + 1.0;
+  v[T, X] = if T = 1 then 2.0 else v[T-1, X] + u[T, X];
+  y[X] = v[s, X];
+end M;
+)",
+                               options);
+  // The T loops fuse, then the newly adjacent DOALL X loops fuse too.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DO T (DOALL X (eq.1; eq.2)); DOALL X (eq.3)");
+  EXPECT_EQ(result.primary->merge_stats.merged, 2u);
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  IntEnv{{"n", 5}, {"s", 4}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+
+// ---------------------------------------------------------------------------
+// Reordering fusion (merge_loops_reordered)
+// ---------------------------------------------------------------------------
+
+constexpr const char* kInterleavedChains = R"(
+M: module (x: array[I] of real; p: array[J] of real; n: int; m: int):
+  [y: array[I] of real; q: array[J] of real];
+type I = 0 .. n; J = 0 .. m;
+var a: array[I] of real;
+define
+  a[I] = x[I] + 1.0;
+  q[J] = p[J] * 2.0;
+  y[I] = a[I] * 3.0;
+end M;
+)";
+
+TEST(LoopMergeReorder, SlidesPastUnrelatedLoopToFuse) {
+  // The scheduler interleaves the two I chains with the J loop:
+  //   DOALL I (eq.1); DOALL J (eq.2); DOALL I (eq.3).
+  // Plain adjacency cannot fuse the I loops; the reordering prepass
+  // moves eq.3's loop up (it only depends on eq.1) and fuses.
+  CompileOptions plain;
+  plain.merge_loops = false;
+  auto unmerged = compile_or_die(kInterleavedChains, plain);
+  EXPECT_EQ(testutil::schedule_line(*unmerged.primary),
+            "DOALL I (eq.1); DOALL J (eq.2); DOALL I (eq.3)");
+
+  MergeStats adjacency_stats;
+  Flowchart adjacency = merge_loops(
+      Flowchart(unmerged.primary->schedule.flowchart),
+      *unmerged.primary->graph, &adjacency_stats);
+  EXPECT_EQ(adjacency_stats.merged, 0u);  // nothing adjacent to fuse
+
+  CompileOptions options;
+  options.merge_loops = true;  // the driver uses the reordering pass
+  auto result = compile_or_die(kInterleavedChains, options);
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (eq.1; eq.3); DOALL J (eq.2)");
+  EXPECT_EQ(result.primary->merge_stats.merged, 1u);
+  EXPECT_EQ(result.primary->merge_stats.moved, 1u);
+
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  IntEnv{{"n", 6}, {"m", 4}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(LoopMergeReorder, NeverMovesPastAProducer) {
+  // eq.3 reads both a (eq.1) and b (eq.2), so it cannot slide above the
+  // J loop even though the variables would match eq.1's loop.
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n; J = 0 .. n;
+var a: array[I] of real;  b: array[J] of real;
+define
+  a[I] = x[I] + 1.0;
+  b[J] = a[J] * 2.0;
+  y[I] = a[I] + b[I];
+end M;
+)");
+  MergeStats stats;
+  Flowchart merged = merge_loops_reordered(
+      Flowchart(result.primary->schedule.flowchart), *result.primary->graph,
+      &stats);
+  EXPECT_EQ(stats.moved, 0u);
+  auto report =
+      validate_schedule(*result.primary->module, *result.primary->graph,
+                        merged, IntEnv{{"n", 5}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(LoopMergeReorder, ResultsUnchangedByReorderedFusion) {
+  // Semantics check: interpret the module with and without the
+  // reordering pass; outputs must agree exactly.
+  CompileOptions options;
+  options.merge_loops = true;
+  auto merged = compile_or_die(kInterleavedChains, options);
+  auto plain = compile_or_die(kInterleavedChains);
+
+  const int64_t n = 9;
+  const int64_t m = 5;
+  auto run = [&](const CompiledModule& stage) {
+    Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                       IntEnv{{"n", n}, {"m", m}});
+    NdArray& x = interp.array("x");
+    for (int64_t i = 0; i <= n; ++i)
+      x.set(std::vector<int64_t>{i}, static_cast<double>(i * i % 7));
+    NdArray& p = interp.array("p");
+    for (int64_t j = 0; j <= m; ++j)
+      p.set(std::vector<int64_t>{j}, static_cast<double>(j + 1));
+    interp.run();
+    std::vector<double> out;
+    for (int64_t i = 0; i <= n; ++i)
+      out.push_back(interp.array("y").at(std::vector<int64_t>{i}));
+    for (int64_t j = 0; j <= m; ++j)
+      out.push_back(interp.array("q").at(std::vector<int64_t>{j}));
+    return out;
+  };
+  EXPECT_EQ(run(*merged.primary), run(*plain.primary));
+}
+
+TEST(LoopMergeReorder, IncompatibleAnnotationsDoNotAttractMoves) {
+  // eq.1 is an iterative DO T recurrence; eq.3 is a DOALL T consumer.
+  // DO vs DOALL must not fuse, and nothing useful can move.
+  auto result = compile_or_die(R"(
+M: module (x: array[T] of real; s: int): [y: array[T] of real];
+type T = 1 .. s; J = 1 .. s;
+var u: array [T] of real;  w: array [J] of real;
+define
+  u[T] = if T = 1 then x[1] else u[T-1] + x[T];
+  w[J] = x[J] * 2.0;
+  y[T] = u[T] + 1.0;
+end M;
+)");
+  MergeStats stats;
+  Flowchart merged = merge_loops_reordered(
+      Flowchart(result.primary->schedule.flowchart), *result.primary->graph,
+      &stats);
+  EXPECT_EQ(stats.merged, 0u);
+  auto report =
+      validate_schedule(*result.primary->module, *result.primary->graph,
+                        merged, IntEnv{{"s", 5}});
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+}  // namespace
+}  // namespace ps
+

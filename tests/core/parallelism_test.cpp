@@ -1,0 +1,122 @@
+#include "core/parallelism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(Parallelism, JacobiScheduleSpanIsSweepCount) {
+  auto result = compile_or_die(kRelaxationSource);
+  const int64_t m = 8;
+  const int64_t sweeps = 5;
+  auto report = analyze_parallelism(result.primary->schedule.flowchart,
+                                    IntEnv{{"M", m}, {"maxK", sweeps}});
+  // eq.1 and eq.2 are (M+2)^2 DOALL instances each (span 1); eq.3 runs
+  // maxK-1 sequential sweeps of a (M+2)^2 DOALL.
+  int64_t grid = (m + 2) * (m + 2);
+  EXPECT_EQ(report.work, grid * 2 + (sweeps - 1) * grid);
+  EXPECT_EQ(report.span, 1 + 1 + (sweeps - 1));
+  EXPECT_GT(report.average_parallelism(), static_cast<double>(grid) / 2);
+}
+
+TEST(Parallelism, GaussSeidelScheduleIsFullySequential) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  const int64_t m = 6;
+  const int64_t sweeps = 4;
+  auto report = analyze_parallelism(result.primary->schedule.flowchart,
+                                    IntEnv{{"M", m}, {"maxK", sweeps}});
+  int64_t grid = (m + 2) * (m + 2);
+  // The recurrence contributes span == work (DO K (DO I (DO J))).
+  EXPECT_EQ(report.work, grid * 2 + (sweeps - 1) * grid);
+  EXPECT_EQ(report.span, 1 + 1 + (sweeps - 1) * grid);
+  EXPECT_LT(report.average_parallelism(), 3.0);
+}
+
+TEST(Parallelism, HyperplaneTransformShrinksTheSpanToTheTimeRange) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  const int64_t m = 16;
+  const int64_t sweeps = 10;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  auto before = analyze_parallelism(result.primary->schedule.flowchart,
+                                    params);
+  auto after =
+      analyze_parallelism(result.transformed->schedule.flowchart, params,
+                          &*result.exact_nest);
+
+  // Identical useful work (the exact bounds scan only the image; the
+  // original eq.1 plane reappears as the pulled-back K = 1 region of
+  // the combined recurrence).
+  EXPECT_EQ(after.work, before.work);
+  // Span: the recurrence collapses to one step per hyperplane,
+  // t = 2 .. 2*maxK + 2M + 2, plus one step for the newA copy (eq.1 is
+  // folded into the combined recurrence).
+  int64_t hyperplanes = 2 * sweeps + 2 * m + 1;
+  EXPECT_EQ(after.span, hyperplanes + 1);
+  EXPECT_LT(after.span, before.span / 4);
+  EXPECT_GT(after.average_parallelism(), 4.0);
+}
+
+TEST(Parallelism, ExactBoundsAvoidTheBoundingBoxWork) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  const int64_t m = 12;
+  const int64_t sweeps = 8;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  // Without the exact nest the transformed schedule iterates the
+  // rectangular bounding box -- more work than the original program.
+  auto bbox = analyze_parallelism(result.transformed->schedule.flowchart,
+                                  params);
+  auto exact = analyze_parallelism(result.transformed->schedule.flowchart,
+                                   params, &*result.exact_nest);
+  int64_t grid = (m + 2) * (m + 2);
+  int64_t image = sweeps * grid;  // recurrence points incl. the K=1 plane
+  EXPECT_EQ(exact.work, image + grid);
+  EXPECT_GT(bbox.work, exact.work * 2);  // the ~2 + 2maxK/M blow-up
+  // Same span: the extra bounding-box points sit on existing
+  // hyperplanes.
+  EXPECT_EQ(bbox.span, exact.span);
+}
+
+TEST(Parallelism, EmptyLoopsCostNothing) {
+  auto result = compile_or_die(kRelaxationSource);
+  // maxK = 1: the recurrence range 2..1 is empty.
+  auto report = analyze_parallelism(result.primary->schedule.flowchart,
+                                    IntEnv{{"M", 4}, {"maxK", 1}});
+  int64_t grid = 6 * 6;
+  EXPECT_EQ(report.work, 2 * grid);
+  EXPECT_EQ(report.span, 2);
+}
+
+TEST(Parallelism, BarrierCountMatchesParallelLoopRuns) {
+  auto result = compile_or_die(kRelaxationSource);
+  const int64_t sweeps = 5;
+  auto report = analyze_parallelism(result.primary->schedule.flowchart,
+                                    IntEnv{{"M", 4}, {"maxK", sweeps}});
+  // One barrier per outermost DOALL execution: eq.1's nest, eq.2's
+  // nest, and one per recurrence sweep. Inner DOALL J loops add one
+  // barrier per enclosing I iteration.
+  EXPECT_GT(report.barriers, sweeps - 1);
+  EXPECT_LT(report.barriers, (sweeps + 2) * 7);
+}
+
+TEST(Parallelism, ThrowsOnUnboundParameters) {
+  auto result = compile_or_die(kRelaxationSource);
+  EXPECT_THROW(
+      analyze_parallelism(result.primary->schedule.flowchart, IntEnv{}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ps

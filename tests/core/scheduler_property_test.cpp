@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "../common/test_util.hpp"
+#include "core/validator.hpp"
+
+namespace ps {
+namespace {
+
+/// Generates random but well-formed PS modules: a pipeline of stages,
+/// each either a pointwise map over earlier arrays or a time recurrence
+/// with a random (guarded) stencil, optionally Gauss-Seidel style with
+/// same-step backward neighbours. Every generated module must schedule,
+/// and every schedule must pass the concrete validator -- the core
+/// soundness property of the paper's algorithm.
+class ModuleGenerator {
+ public:
+  explicit ModuleGenerator(uint32_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    int stages = pick(1, 4);
+    for (int i = 0; i < stages; ++i) kinds_.push_back(chance(0.6));
+    std::ostringstream os;
+    os << "Gen: module (x: array[X] of real; n: int; s: int):\n"
+       << "  [y: array[X] of real];\n"
+       << "type T = 1 .. s; X = 0 .. n;\n"
+       << "var\n";
+    for (int i = 0; i < stages; ++i) {
+      if (recurrence_stage(i))
+        os << "  a" << i << ": array [T] of array [X] of real;\n";
+      else
+        os << "  a" << i << ": array [X] of real;\n";
+    }
+    os << "define\n";
+    for (int i = 0; i < stages; ++i) emit_stage(os, i);
+    os << "  y[X] = " << read_of(stages - 1, "X") << ";\n";
+    os << "end Gen;\n";
+    return os.str();
+  }
+
+ private:
+  int pick(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+  bool recurrence_stage(int i) { return kinds_.at(static_cast<size_t>(i)); }
+
+  /// Reference to stage i's value at position expr (last time step for
+  /// recurrences).
+  std::string read_of(int i, const std::string& at) {
+    if (recurrence_stage(i)) return "a" + std::to_string(i) + "[s, " + at + "]";
+    return "a" + std::to_string(i) + "[" + at + "]";
+  }
+
+  void emit_stage(std::ostringstream& os, int i) {
+    bool rec = recurrence_stage(i);
+    std::string name = "a" + std::to_string(i);
+    std::string prev_at_x =
+        i == 0 ? "x[X]" : read_of(i - 1, "X");
+    if (!rec) {
+      os << "  " << name << "[X] = " << prev_at_x << " * 0.5 + "
+         << std::to_string(i) << ".0;\n";
+      return;
+    }
+    // Recurrence over T with a guarded spatial stencil. With probability
+    // 1/2 add a same-step backward neighbour (Gauss-Seidel flavour),
+    // which forces DO X.
+    int radius = pick(0, 2);
+    bool same_step = chance(0.5);
+    os << "  " << name << "[T, X] = if T = 1 then " << prev_at_x << "\n";
+    os << "    else if X < " << std::max(radius, same_step ? 1 : 0)
+       << " or X > n - " << radius << " then " << name << "[T-1, X]\n";
+    os << "    else (" << name << "[T-1, X]";
+    for (int r = 1; r <= radius; ++r) {
+      os << " + " << name << "[T-1, X-" << r << "]";
+      os << " + " << name << "[T-1, X+" << r << "]";
+    }
+    if (same_step) os << " + " << name << "[T, X-1]";
+    os << ") / " << (1 + 2 * radius + (same_step ? 1 : 0)) << ";\n";
+  }
+
+  std::mt19937 rng_;
+  std::vector<bool> kinds_;
+};
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SchedulerPropertyTest, EveryScheduleValidates) {
+  ModuleGenerator gen(GetParam());
+  std::string source = gen.generate();
+  SCOPED_TRACE(source);
+
+  Compiler compiler;
+  CompileResult result = compiler.compile(source);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+
+  std::mt19937 rng(GetParam() * 7919 + 13);
+  IntEnv params{{"n", std::uniform_int_distribution<int64_t>(4, 9)(rng)},
+                {"s", std::uniform_int_distribution<int64_t>(2, 5)(rng)}};
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart, params);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST_P(SchedulerPropertyTest, MergedSchedulesStillValidate) {
+  ModuleGenerator gen(GetParam() + 1000);
+  std::string source = gen.generate();
+  SCOPED_TRACE(source);
+
+  CompileOptions options;
+  options.merge_loops = true;
+  Compiler compiler(options);
+  CompileResult result = compiler.compile(source);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+
+  IntEnv params{{"n", 7}, {"s", 4}};
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart, params);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST_P(SchedulerPropertyTest, SameStepNeighbourForcesIterativeX) {
+  // Deterministic instance of the generator's Gauss-Seidel flavour: the
+  // X loop of a recurrence with a same-step neighbour must be DO, and
+  // without it DOALL.
+  std::string with_neighbour = R"(
+Gen: module (x: array[X] of real; n: int; s: int): [y: array[X] of real];
+type T = 1 .. s; X = 0 .. n;
+var a0: array [T] of array [X] of real;
+define
+  a0[T, X] = if T = 1 then x[X]
+             else if X < 1 then a0[T-1, X]
+             else a0[T-1, X] + a0[T, X-1];
+  y[X] = a0[s, X];
+end Gen;
+)";
+  auto result = testutil::compile_or_die(with_neighbour);
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DO T (DO X (eq.1)); DOALL X (eq.2)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Range(0u, 30u));
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,192 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(Scheduler, Figure5ComponentTable) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CompiledModule& stage = *result.primary;
+  const auto& comps = stage.schedule.components;
+
+  // Seven MSCCs, as in Figure 5.
+  ASSERT_EQ(comps.size(), 7u);
+
+  auto names = [&](size_t i) {
+    std::string out;
+    for (size_t j = 0; j < comps[i].nodes.size(); ++j) {
+      if (j) out += ", ";
+      out += stage.graph->node(comps[i].nodes[j]).name;
+    }
+    return out;
+  };
+  auto chart = [&](size_t i) {
+    return flowchart_to_line(comps[i].flowchart, *stage.graph);
+  };
+
+  // Scalars and inputs first (M precedes InitialA because InitialA's
+  // bounds depend on M), then eq.1, the recursive component, eq.2, newA.
+  EXPECT_EQ(names(0), "M");
+  EXPECT_EQ(chart(0), "(null)");
+  EXPECT_EQ(names(1), "InitialA");
+  EXPECT_EQ(names(2), "maxK");
+  EXPECT_EQ(names(3), "eq.1");
+  EXPECT_EQ(chart(3), "DOALL I (DOALL J (eq.1))");
+  EXPECT_EQ(names(4), "A, eq.3");
+  EXPECT_EQ(chart(4), "DO K (DOALL I (DOALL J (eq.3)))");
+  EXPECT_EQ(names(5), "eq.2");
+  EXPECT_EQ(chart(5), "DOALL I (DOALL J (eq.2))");
+  EXPECT_EQ(names(6), "newA");
+  EXPECT_EQ(chart(6), "(null)");
+}
+
+TEST(Scheduler, Figure6JacobiFlowchart) {
+  auto result = compile_or_die(kRelaxationSource);
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (DOALL J (eq.1)); "
+            "DO K (DOALL I (DOALL J (eq.3))); "
+            "DOALL I (DOALL J (eq.2))");
+  EXPECT_EQ(flowchart_equation_count(result.primary->schedule.flowchart), 3u);
+  EXPECT_EQ(flowchart_depth(result.primary->schedule.flowchart), 3u);
+}
+
+TEST(Scheduler, Figure7GaussSeidelAllIterative) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  // Deleting the K-1 edges leaves the two recursive edges (J-1 and I-1 at
+  // identity K), so the I and J loops must be iterative.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (DOALL J (eq.1)); "
+            "DO K (DO I (DO J (eq.3))); "
+            "DOALL I (DOALL J (eq.2))");
+}
+
+TEST(Scheduler, DimensionChoiceSkipsIneligible) {
+  // The first dimension S cannot be scheduled first because of the "S +
+  // 1" subscript (step 3); the algorithm falls through to T, exactly as
+  // the paper's walkthrough skips I and J for component 5.
+  auto result = compile_or_die(R"(
+M: module (x: array[S, T] of real; n: int): [y: array[S, T] of real];
+type S = 0 .. n; T = 0 .. n;
+var a: array [S, T] of real;
+define
+  a[S, T] = if T = 0 then x[S, T]
+            else if S = n then a[S, T-1]
+            else a[S+1, T-1];
+  y[S, T] = a[S, T];
+end M;
+)");
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DO T (DOALL S (eq.1)); DOALL S (DOALL T (eq.2))");
+}
+
+TEST(Scheduler, InconsistentPositionFails) {
+  // Footnote of the paper: A[K,J] = A[I,J-1] + A[J,I] -- the subscripts I
+  // and J are not in a consistent position, so scheduling must fail.
+  Compiler compiler;
+  auto result = compiler.compile(R"(
+M: module (n: int): [y: array[I, J] of real];
+type I = 0 .. n; J = 0 .. n;
+var a: array [I, J] of real;
+define
+  a[I, J] = if I = 0 or J = 0 then 1.0 else a[I, J-1] + a[J-1, I];
+  y[I, J] = a[I, J];
+end M;
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics.find("cannot be scheduled"),
+            std::string::npos);
+}
+
+TEST(Scheduler, UnschedulableRecurrenceReportsStep2a) {
+  // x[I] depends on x[n - I]: general subscript, no dimension eligible.
+  Compiler compiler;
+  auto result = compiler.compile(R"(
+M: module (n: int): [y: array[I] of real];
+type I = 0 .. n;
+var a: array [I] of real;
+define
+  a[I] = if I = 0 then 1.0 else a[n - I];
+  y[I] = a[I];
+end M;
+)");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Scheduler, ScalarEquationsAreBareDescriptors) {
+  auto result = compile_or_die(R"(
+M: module (x: real): [y: real; z: real];
+define
+  y = x * 2.0;
+  z = y + 1.0;
+end M;
+)");
+  EXPECT_EQ(testutil::schedule_line(*result.primary), "eq.1; eq.2");
+}
+
+TEST(Scheduler, ChainOfUsesOrderedTopologically) {
+  auto result = compile_or_die(kPointwiseChainSource);
+  // a before b before c before y.
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DOALL I (eq.1); DOALL I (eq.2); DOALL I (eq.3); DOALL I (eq.4)");
+}
+
+TEST(Scheduler, ForwardOffsetMakesLoopRunnableBackwards) {
+  // a[I] = a[I+1]: "I + constant" makes dimension I ineligible, and there
+  // is no other dimension -- the algorithm (correctly, per the paper)
+  // rejects it even though reversing the loop would work.
+  Compiler compiler;
+  auto result = compiler.compile(R"(
+M: module (n: int): [y: array[I] of real];
+type I = 0 .. n;
+var a: array [I] of real;
+define
+  a[I] = if I = n then 1.0 else a[I+1];
+  y[I] = a[I];
+end M;
+)");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Scheduler, MutuallyRecursiveEquationsShareLoops) {
+  auto result = compile_or_die(R"(
+M: module (n: int; s: int): [y: array[T, I] of real];
+type T = 1 .. s; I = 0 .. n;
+var a: array [T, I] of real;
+    b: array [T, I] of real;
+define
+  a[T, I] = if T = 1 then 1.0 else b[T-1, I];
+  b[T, I] = if T = 1 then 2.0 else a[T-1, I] + b[T-1, I];
+  y[T, I] = a[T, I] + b[T, I];
+end M;
+)");
+  // a and b sit in one MSCC: the T loop is shared and iterative. Inside
+  // it the two equations get separate DOALL I loops -- the paper notes
+  // its algorithm does not combine non-recursively-related equations
+  // that depend on the same subscripts (that is the loop-merge pass).
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DO T (DOALL I (eq.1); DOALL I (eq.2)); "
+            "DOALL T (DOALL I (eq.3))");
+}
+
+TEST(Scheduler, TwoDimensionalWavefrontNeedsBothIterative) {
+  auto result = compile_or_die(R"(
+M: module (n: int): [y: array[I, J] of real];
+type I = 0 .. n; J = 0 .. n;
+var a: array [I, J] of real;
+define
+  a[I, J] = if I = 0 or J = 0 then 1.0 else a[I-1, J] + a[I, J-1];
+  y[I, J] = a[I, J];
+end M;
+)");
+  EXPECT_EQ(testutil::schedule_line(*result.primary),
+            "DO I (DO J (eq.1)); DOALL I (DOALL J (eq.2))");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,137 @@
+#include "core/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+IntEnv small_params() { return IntEnv{{"M", 4}, {"maxK", 4}}; }
+
+TEST(Validator, AcceptsJacobiSchedule) {
+  auto result = compile_or_die(kRelaxationSource);
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  small_params());
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_GT(report.instances, 0u);
+  EXPECT_GT(report.reads, 0u);
+}
+
+TEST(Validator, AcceptsGaussSeidelSchedule) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  small_params());
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(Validator, RejectsParallelisedGaussSeidel) {
+  // Force the Gauss-Seidel I and J loops to DOALL: the validator must
+  // detect the cross-iteration races the scheduler avoided.
+  auto result = compile_or_die(kGaussSeidelSource);
+  Flowchart broken = result.primary->schedule.flowchart;  // copy? Flowchart
+  // Flowchart holds unique structure by value; rebuild with all loops
+  // parallel.
+  struct Rewriter {
+    static void parallelise(Flowchart& steps) {
+      for (auto& step : steps) {
+        if (step.kind == FlowStep::Kind::Loop) {
+          step.loop = LoopKind::Parallel;
+          parallelise(step.children);
+        }
+      }
+    }
+  };
+  Rewriter::parallelise(broken);
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph, broken,
+                                  small_params());
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues[0].find("races"), std::string::npos);
+}
+
+TEST(Validator, RejectsReversedComponentOrder) {
+  auto result = compile_or_die(kRelaxationSource);
+  Flowchart reversed;
+  const Flowchart& good = result.primary->schedule.flowchart;
+  for (size_t i = good.size(); i-- > 0;) {
+    // Deep-copy by re-walking (FlowStep is copyable).
+    reversed.push_back(good[i]);
+  }
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph, reversed,
+                                  small_params());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, RejectsInnerLoopFlippedToParallel) {
+  // Jacobi with DO K flipped to DOALL K: K-1 reads race.
+  auto result = compile_or_die(kRelaxationSource);
+  Flowchart chart = result.primary->schedule.flowchart;
+  ASSERT_EQ(chart[1].kind, FlowStep::Kind::Loop);
+  chart[1].loop = LoopKind::Parallel;
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph, chart,
+                                  small_params());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, DetectsMissingOutputCoverage) {
+  auto result = compile_or_die(kRelaxationSource);
+  Flowchart chart = result.primary->schedule.flowchart;
+  chart.pop_back();  // drop eq.2, newA never written
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph, chart,
+                                  small_params());
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const auto& issue : report.issues)
+    if (issue.find("newA") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, DetectsDoubleWrite) {
+  auto result = compile_or_die(kRelaxationSource);
+  Flowchart chart = result.primary->schedule.flowchart;
+  chart.push_back(chart.front());  // run eq.1 twice
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph, chart,
+                                  small_params());
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const auto& issue : report.issues)
+    if (issue.find("more than once") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, AcceptsTransformedModule) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  ASSERT_TRUE(result.transformed.has_value()) << result.diagnostics;
+  auto report = validate_schedule(*result.transformed->module,
+                                  *result.transformed->graph,
+                                  result.transformed->schedule.flowchart,
+                                  small_params());
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(Validator, UnboundParameterReported) {
+  auto result = compile_or_die(kRelaxationSource);
+  auto report = validate_schedule(*result.primary->module,
+                                  *result.primary->graph,
+                                  result.primary->schedule.flowchart,
+                                  IntEnv{{"M", 4}});  // maxK missing
+  EXPECT_FALSE(report.ok);
+}
+
+}  // namespace
+}  // namespace ps

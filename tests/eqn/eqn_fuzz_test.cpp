@@ -1,0 +1,90 @@
+// Robustness: the equation front end must turn arbitrary garbage into
+// diagnostics, never crashes or hangs -- same contract as the PS
+// front-end fuzzer.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "eqn/translate.hpp"
+
+namespace ps::eqn {
+namespace {
+
+constexpr const char* kSeedText = R"EQ(
+module Relaxation;
+param InitialA : real[0..M+1, 0..M+1];
+param M : int;
+param maxK : int;
+result newA = A^{maxK};
+A^{1}_{i,j} = InitialA_{i,j}
+  for i in 0..M+1, j in 0..M+1;
+A^{k}_{i,j} = \frac{A^{k-1}_{i,j-1} + A^{k-1}_{i+1,j}}{2}
+  otherwise
+  for k in 2..maxK, i in 0..M+1, j in 0..M+1;
+)EQ";
+
+/// Feed a buffer through parse + translate; the only acceptable
+/// outcomes are success or clean diagnostics.
+void must_not_crash(const std::string& text) {
+  DiagnosticEngine diags;
+  auto module = equations_to_ps(text, diags);
+  if (!module) {
+    EXPECT_TRUE(diags.has_errors()) << text;
+  }
+}
+
+TEST(EqnFuzz, SingleCharacterDeletions) {
+  std::string seed = kSeedText;
+  for (size_t i = 0; i < seed.size(); i += 3) {
+    std::string mutated = seed;
+    mutated.erase(i, 1);
+    must_not_crash(mutated);
+  }
+}
+
+TEST(EqnFuzz, SingleCharacterSubstitutions) {
+  const char replacements[] = {'^', '_', '{', '}', ';', '\\', '%', '0'};
+  std::string seed = kSeedText;
+  for (size_t i = 0; i < seed.size(); i += 5) {
+    for (char r : replacements) {
+      std::string mutated = seed;
+      mutated[i] = r;
+      must_not_crash(mutated);
+    }
+  }
+}
+
+TEST(EqnFuzz, Truncations) {
+  std::string seed = kSeedText;
+  for (size_t len = 0; len < seed.size(); len += 7)
+    must_not_crash(seed.substr(0, len));
+}
+
+class EqnFuzzRandom : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EqnFuzzRandom, TokenSoup) {
+  std::mt19937 rng(GetParam());
+  const char* atoms[] = {"module", "param",  "result", "for",   "in",
+                         "if",     "otherwise", "A",   "^{",    "_{",
+                         "}",      "\\frac",  "\\lor", "..",    "=",
+                         "+",      "-",       "/",     ";",     ":",
+                         "real",   "int",     "[",     "]",     "(",
+                         ")",      "0",       "42",    "0.5",   ",",
+                         "i",      "%",       "\\",    "<",     ">="};
+  std::uniform_int_distribution<size_t> pick(0, std::size(atoms) - 1);
+  std::uniform_int_distribution<int> len(1, 120);
+  std::string text;
+  int tokens = len(rng);
+  for (int t = 0; t < tokens; ++t) {
+    text += atoms[pick(rng)];
+    text += (rng() % 4 == 0) ? "\n" : " ";
+  }
+  must_not_crash(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqnFuzzRandom, ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace ps::eqn

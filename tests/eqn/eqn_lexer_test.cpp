@@ -1,0 +1,114 @@
+#include "eqn/eqn_lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps::eqn {
+namespace {
+
+std::vector<EqnToken> lex(std::string_view text) {
+  DiagnosticEngine diags;
+  EqnLexer lexer(text, diags);
+  auto tokens = lexer.lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return tokens;
+}
+
+std::vector<EqnTokKind> kinds(std::string_view text) {
+  std::vector<EqnTokKind> out;
+  for (const EqnToken& t : lex(text)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(EqnLexer, ScriptsAndBraces) {
+  auto toks = lex("A^{k-1}_{i,j-1}");
+  ASSERT_GE(toks.size(), 13u);
+  EXPECT_EQ(toks[0].kind, EqnTokKind::Identifier);
+  EXPECT_EQ(toks[0].text, "A");
+  EXPECT_EQ(toks[1].kind, EqnTokKind::Caret);
+  EXPECT_EQ(toks[2].kind, EqnTokKind::LBrace);
+  EXPECT_EQ(toks[3].text, "k");
+  EXPECT_EQ(toks[4].kind, EqnTokKind::Minus);
+  EXPECT_EQ(toks[5].kind, EqnTokKind::IntLit);
+  EXPECT_EQ(toks[5].int_value, 1);
+  EXPECT_EQ(toks[6].kind, EqnTokKind::RBrace);
+  EXPECT_EQ(toks[7].kind, EqnTokKind::Underscore);
+}
+
+TEST(EqnLexer, CommandsDropTheBackslash) {
+  auto toks = lex(R"(\frac \lor \le \cdot)");
+  ASSERT_EQ(toks.size(), 5u);  // four commands + EOF
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(toks[i].kind, EqnTokKind::Command);
+  EXPECT_EQ(toks[0].text, "frac");
+  EXPECT_EQ(toks[1].text, "lor");
+  EXPECT_EQ(toks[2].text, "le");
+  EXPECT_EQ(toks[3].text, "cdot");
+}
+
+TEST(EqnLexer, KeywordsVersusIdentifiers) {
+  auto toks = lex("module m; for k in 2..maxK otherwise");
+  EXPECT_EQ(toks[0].kind, EqnTokKind::KwModule);
+  EXPECT_EQ(toks[1].kind, EqnTokKind::Identifier);
+  EXPECT_EQ(toks[2].kind, EqnTokKind::Semicolon);
+  EXPECT_EQ(toks[3].kind, EqnTokKind::KwFor);
+  EXPECT_EQ(toks[4].kind, EqnTokKind::Identifier);
+  EXPECT_EQ(toks[5].kind, EqnTokKind::KwIn);
+  EXPECT_EQ(toks[6].kind, EqnTokKind::IntLit);
+  EXPECT_EQ(toks[7].kind, EqnTokKind::DotDot);
+  EXPECT_EQ(toks[8].kind, EqnTokKind::Identifier);
+  EXPECT_EQ(toks[9].kind, EqnTokKind::KwOtherwise);
+}
+
+TEST(EqnLexer, NumbersIntRealAndRanges) {
+  auto toks = lex("4 0.25 0..M");
+  EXPECT_EQ(toks[0].kind, EqnTokKind::IntLit);
+  EXPECT_EQ(toks[0].int_value, 4);
+  EXPECT_EQ(toks[1].kind, EqnTokKind::RealLit);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 0.25);
+  // "0..M" must lex as 0, .., M -- not a real literal.
+  EXPECT_EQ(toks[2].kind, EqnTokKind::IntLit);
+  EXPECT_EQ(toks[3].kind, EqnTokKind::DotDot);
+  EXPECT_EQ(toks[4].kind, EqnTokKind::Identifier);
+}
+
+TEST(EqnLexer, RelationalOperators) {
+  EXPECT_EQ(kinds("< <= > >= <> ="),
+            (std::vector<EqnTokKind>{
+                EqnTokKind::Less, EqnTokKind::LessEq, EqnTokKind::Greater,
+                EqnTokKind::GreaterEq, EqnTokKind::NotEq, EqnTokKind::Equal,
+                EqnTokKind::EndOfFile}));
+}
+
+TEST(EqnLexer, TexCommentsRunToEndOfLine) {
+  auto toks = lex("a % this is ignored ^ _ {\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(EqnLexer, PrimedIdentifiers) {
+  auto toks = lex("A' k'");
+  EXPECT_EQ(toks[0].text, "A'");
+  EXPECT_EQ(toks[1].text, "k'");
+}
+
+TEST(EqnLexer, ErrorsOnStrayCharactersButRecovers) {
+  DiagnosticEngine diags;
+  EqnLexer lexer("a ? b", diags);
+  auto toks = lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 3u);  // a, b, EOF -- '?' reported and skipped
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(EqnLexer, LocationsTrackLinesAndColumns) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+}  // namespace
+}  // namespace ps::eqn

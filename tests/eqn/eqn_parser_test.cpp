@@ -1,0 +1,182 @@
+#include "eqn/eqn_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps::eqn {
+namespace {
+
+constexpr const char* kRelaxationEqn = R"EQ(
+% Equation (1) of the paper, as a TeX-flavoured equation file.
+module Relaxation;
+param InitialA : real[0..M+1, 0..M+1];
+param M : int;
+param maxK : int;
+result newA = A^{maxK};
+
+A^{1}_{i,j} = InitialA_{i,j}
+  for i in 0..M+1, j in 0..M+1;
+
+A^{k}_{i,j} = A^{k-1}_{i,j}
+  if i = 0 \lor j = 0 \lor i = M+1 \lor j = M+1
+  for k in 2..maxK, i in 0..M+1, j in 0..M+1;
+
+A^{k}_{i,j} = \frac{A^{k-1}_{i,j-1} + A^{k-1}_{i-1,j}
+                    + A^{k-1}_{i,j+1} + A^{k-1}_{i+1,j}}{4}
+  otherwise
+  for k in 2..maxK, i in 0..M+1, j in 0..M+1;
+)EQ";
+
+std::optional<EqnModule> parse(std::string_view text) {
+  DiagnosticEngine diags;
+  EqnParser parser(text, diags);
+  auto module = parser.parse_module();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return module;
+}
+
+TEST(EqnParser, ParsesTheRelaxationFile) {
+  auto module = parse(kRelaxationEqn);
+  ASSERT_TRUE(module.has_value());
+  EXPECT_EQ(module->name, "Relaxation");
+  ASSERT_EQ(module->params.size(), 3u);
+  EXPECT_EQ(module->params[0].name, "InitialA");
+  EXPECT_EQ(module->params[0].dims.size(), 2u);
+  EXPECT_FALSE(module->params[0].is_int);
+  EXPECT_TRUE(module->params[1].is_int);
+  ASSERT_EQ(module->results.size(), 1u);
+  EXPECT_EQ(module->results[0].name, "newA");
+  EXPECT_EQ(module->results[0].ref.name, "A");
+  EXPECT_EQ(module->results[0].ref.supers.size(), 1u);
+  ASSERT_EQ(module->clauses.size(), 3u);
+}
+
+TEST(EqnParser, ScriptsBecomeSuperAndSubscripts) {
+  auto module = parse(kRelaxationEqn);
+  const EqnClause& init = module->clauses[0];
+  EXPECT_EQ(init.lhs.name, "A");
+  ASSERT_EQ(init.lhs.supers.size(), 1u);
+  EXPECT_EQ(init.lhs.supers[0]->kind, ExprKind::IntLit);
+  ASSERT_EQ(init.lhs.subs.size(), 2u);
+  EXPECT_EQ(to_string(*init.lhs.subs[0]), "i");
+  EXPECT_EQ(init.lhs.rank(), 3u);
+}
+
+TEST(EqnParser, GuardAndOtherwiseAndBindings) {
+  auto module = parse(kRelaxationEqn);
+  const EqnClause& boundary = module->clauses[1];
+  ASSERT_NE(boundary.guard, nullptr);
+  EXPECT_FALSE(boundary.otherwise);
+  EXPECT_EQ(to_string(*boundary.guard),
+            "i = 0 or j = 0 or i = M + 1 or j = M + 1");
+  ASSERT_EQ(boundary.bindings.size(), 3u);
+  EXPECT_EQ(boundary.bindings[0].var, "k");
+  EXPECT_EQ(to_string(*boundary.bindings[0].lo), "2");
+  EXPECT_EQ(to_string(*boundary.bindings[0].hi), "maxK");
+
+  const EqnClause& interior = module->clauses[2];
+  EXPECT_EQ(interior.guard, nullptr);
+  EXPECT_TRUE(interior.otherwise);
+}
+
+TEST(EqnParser, FracBecomesDivision) {
+  auto module = parse(kRelaxationEqn);
+  const EqnClause& interior = module->clauses[2];
+  ASSERT_EQ(interior.rhs->kind, ExprKind::Binary);
+  const auto& div = static_cast<const BinaryExpr&>(*interior.rhs);
+  EXPECT_EQ(div.op, BinaryOp::Div);
+  EXPECT_EQ(to_string(*div.rhs), "4");
+  // Scripts concatenate superscripts-then-subscripts inside references.
+  EXPECT_NE(to_string(*div.lhs).find("A[k - 1, i, j - 1]"),
+            std::string::npos)
+      << to_string(*div.lhs);
+}
+
+TEST(EqnParser, ShortScriptsWithoutBraces) {
+  auto module = parse(
+      "module m; param n : int; result r = B^n;\n"
+      "B^k_i = B^{k-1}_i for k in 2..n, i in 0..n;\n"
+      "B^1_i = 0.0 for i in 0..n;");
+  ASSERT_TRUE(module.has_value());
+  EXPECT_EQ(module->clauses[0].lhs.supers.size(), 1u);
+  EXPECT_EQ(to_string(*module->clauses[0].lhs.supers[0]), "k");
+  EXPECT_EQ(to_string(*module->clauses[0].lhs.subs[0]), "i");
+}
+
+TEST(EqnParser, CdotAndTimesMultiply) {
+  auto module = parse(
+      "module m; param n : int; result r = B^n;\n"
+      "B^k_i = 2 \\cdot B^{k-1}_i \\times 3 for k in 2..n, i in 0..n;\n"
+      "B^1_i = 1.0 for i in 0..n;");
+  ASSERT_TRUE(module.has_value());
+  EXPECT_EQ(to_string(*module->clauses[0].rhs), "2 * B[k - 1, i] * 3");
+}
+
+TEST(EqnParser, TexRelationalCommandsInGuards) {
+  auto module = parse(
+      "module m; param n : int; result r = B^n;\n"
+      "B^k_i = 0.0 if i \\le 1 \\land k \\ge 2 for k in 2..n, i in 0..n;\n"
+      "B^k_i = 1.0 otherwise for k in 2..n, i in 0..n;\n"
+      "B^1_i = 1.0 for i in 0..n;");
+  ASSERT_TRUE(module.has_value());
+  EXPECT_EQ(to_string(*module->clauses[0].guard), "i <= 1 and k >= 2");
+}
+
+TEST(EqnParser, IntrinsicCalls) {
+  auto module = parse(
+      "module m; param n : int; result r = B^n;\n"
+      "B^k_i = max(B^{k-1}_i, abs(B^{k-1}_i)) for k in 2..n, i in 0..n;\n"
+      "B^1_i = \\sqrt{2} for i in 0..n;");
+  ASSERT_TRUE(module.has_value());
+  EXPECT_EQ(to_string(*module->clauses[0].rhs),
+            "max(B[k - 1, i], abs(B[k - 1, i]))");
+  EXPECT_EQ(to_string(*module->clauses[1].rhs), "sqrt(2)");
+}
+
+// -- error paths ------------------------------------------------------------
+
+void expect_error(std::string_view text, std::string_view needle) {
+  DiagnosticEngine diags;
+  EqnParser parser(text, diags);
+  auto module = parser.parse_module();
+  EXPECT_FALSE(module.has_value());
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render().find(needle), std::string::npos)
+      << diags.render();
+}
+
+TEST(EqnParserErrors, MissingModuleHeader) {
+  expect_error("param x : int;", "expected 'module'");
+}
+
+TEST(EqnParserErrors, MissingSemicolonAfterEquation) {
+  expect_error(
+      "module m; param n : int; result r = B^n;\n"
+      "B^1_i = 0.0 for i in 0..n",
+      "expected ';'");
+}
+
+TEST(EqnParserErrors, UnknownCommand) {
+  expect_error(
+      "module m; param n : int; result r = B^n;\n"
+      "B^1_i = \\mystery{2} for i in 0..n;",
+      "unknown TeX command");
+}
+
+TEST(EqnParserErrors, ModuleWithoutResult) {
+  expect_error("module m; param n : int;\nB^1_i = 0.0 for i in 0..n;",
+               "has no result");
+}
+
+TEST(EqnParserErrors, ModuleWithoutEquations) {
+  expect_error("module m; param n : int; result r = B^n;", "has no equations");
+}
+
+TEST(EqnParserErrors, BadBindingRange) {
+  expect_error(
+      "module m; param n : int; result r = B^n;\n"
+      "B^1_i = 0.0 for i in 0;",
+      "expected '..'");
+}
+
+}  // namespace
+}  // namespace ps::eqn

@@ -1,0 +1,72 @@
+// Robustness: the front end must never crash, hang or silently accept
+// malformed input -- random token soup, truncations of valid programs,
+// and adversarial deletions all have to come back with diagnostics (or,
+// if parse/check succeeds, the result must survive the whole pipeline).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* const kFragments[] = {
+      "module", "define", "end",  "type", "var",  "array", "of",  "if",
+      "then",   "else",   "A",    "I",    "J",    "K",     "M",   "maxK",
+      "(",      ")",      "[",    "]",    ",",    ";",     ":",   "=",
+      "..",     "+",      "-",    "*",    "/",    "0",     "1",   "42",
+      "3.5",    "<",      ">",    "<>",   "<=",   ">=",    "and", "or",
+      "not",    "real",   "int",  "bool", "(*",   "*)",    ".",   "'",
+  };
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
+  std::uniform_int_distribution<size_t> len(1, 120);
+  std::string soup;
+  size_t count = len(rng);
+  for (size_t i = 0; i < count; ++i) {
+    soup += kFragments[pick(rng)];
+    soup += ' ';
+  }
+  Compiler compiler;
+  CompileResult result = compiler.compile(soup);
+  if (!result.ok) {
+    EXPECT_FALSE(result.diagnostics.empty()) << soup;
+  }
+}
+
+TEST_P(FuzzTest, TruncationsOfFigure1AreRejectedCleanly) {
+  std::string full = kRelaxationSource;
+  std::mt19937 rng(GetParam() * 31 + 5);
+  std::uniform_int_distribution<size_t> cut(1, full.size() - 1);
+  std::string truncated = full.substr(0, cut(rng));
+  Compiler compiler;
+  CompileResult result = compiler.compile(truncated);
+  // A strict prefix of the module can never be a complete module.
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST_P(FuzzTest, SingleCharacterDeletionNeverCrashes) {
+  std::string full = kRelaxationSource;
+  std::mt19937 rng(GetParam() * 17 + 3);
+  std::uniform_int_distribution<size_t> at(0, full.size() - 1);
+  std::string mutated = full;
+  mutated.erase(at(rng), 1);
+  Compiler compiler;
+  CompileResult result = compiler.compile(mutated);
+  if (!result.ok) {
+    EXPECT_FALSE(result.diagnostics.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0u, 40u));
+
+}  // namespace
+}  // namespace ps

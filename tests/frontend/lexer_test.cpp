@@ -1,0 +1,115 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine* diags = nullptr) {
+  DiagnosticEngine local;
+  DiagnosticEngine& d = diags != nullptr ? *diags : local;
+  Lexer lexer(src, d);
+  return lexer.lex_all();
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = lex("MODULE Define tYpe VAR end");
+  ASSERT_EQ(toks.size(), 6u);  // includes EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::KwModule);
+  EXPECT_EQ(toks[1].kind, TokenKind::KwDefine);
+  EXPECT_EQ(toks[2].kind, TokenKind::KwType);
+  EXPECT_EQ(toks[3].kind, TokenKind::KwVar);
+  EXPECT_EQ(toks[4].kind, TokenKind::KwEnd);
+}
+
+TEST(Lexer, IdentifiersKeepSpelling) {
+  auto toks = lex("InitialA maxK newA A' _tmp");
+  EXPECT_EQ(toks[0].text, "InitialA");
+  EXPECT_EQ(toks[1].text, "maxK");
+  EXPECT_EQ(toks[2].text, "newA");
+  EXPECT_EQ(toks[3].text, "A'");  // primed identifiers, as in the paper
+  EXPECT_EQ(toks[4].text, "_tmp");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(toks[i].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  auto toks = lex("42 3.5 1e3 2.5e-2 7");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 0.025);
+  EXPECT_EQ(toks[4].int_value, 7);
+}
+
+TEST(Lexer, DotDotDoesNotEatIntoReal) {
+  // "0..5" must lex as 0 .. 5, not 0. then .5.
+  auto toks = lex("0..M+1");
+  EXPECT_EQ(toks[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[1].kind, TokenKind::DotDot);
+  EXPECT_EQ(toks[2].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[3].kind, TokenKind::Plus);
+  EXPECT_EQ(toks[4].kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto toks = lex("( ) [ ] , ; : . = <> < <= > >= + - * /");
+  std::vector<TokenKind> expected = {
+      TokenKind::LParen,   TokenKind::RParen,    TokenKind::LBracket,
+      TokenKind::RBracket, TokenKind::Comma,     TokenKind::Semicolon,
+      TokenKind::Colon,    TokenKind::Dot,       TokenKind::Equal,
+      TokenKind::NotEqual, TokenKind::Less,      TokenKind::LessEqual,
+      TokenKind::Greater,  TokenKind::GreaterEqual, TokenKind::Plus,
+      TokenKind::Minus,    TokenKind::Star,      TokenKind::Slash,
+  };
+  ASSERT_GE(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+}
+
+TEST(Lexer, CommentsAreSkippedAndNest) {
+  auto toks = lex("a (* comment (* nested *) still *) b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, PragmaCommentFromFigure1) {
+  auto toks = lex("(*$m+v+x+t-*) Relaxation");
+  EXPECT_EQ(toks[0].text, "Relaxation");
+}
+
+TEST(Lexer, UnterminatedCommentDiagnosed) {
+  DiagnosticEngine diags;
+  lex("a (* never closed", &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnexpectedCharacterDiagnosed) {
+  DiagnosticEngine diags;
+  auto toks = lex("a # b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(toks[1].kind, TokenKind::Error);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, EofIsSticky) {
+  DiagnosticEngine diags;
+  Lexer lexer("x", diags);
+  EXPECT_EQ(lexer.next().kind, TokenKind::Identifier);
+  EXPECT_EQ(lexer.next().kind, TokenKind::EndOfFile);
+  EXPECT_EQ(lexer.next().kind, TokenKind::EndOfFile);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,181 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+ExprPtr parse_expr(std::string_view src) {
+  DiagnosticEngine diags;
+  Parser parser(src, diags);
+  ExprPtr e = parser.parse_expression_only();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return e;
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  EXPECT_EQ(to_string(*parse_expr("1 + 2 * 3")), "1 + 2 * 3");
+  EXPECT_EQ(to_string(*parse_expr("(1 + 2) * 3")), "(1 + 2) * 3");
+  EXPECT_EQ(to_string(*parse_expr("a - b - c")), "a - b - c");
+  // '-' is left associative: (a-b)-c, so a-(b-c) needs parens.
+  auto e = parse_expr("a - (b - c)");
+  EXPECT_EQ(to_string(*e), "a - (b - c)");
+}
+
+TEST(Parser, BooleanPrecedence) {
+  // 'or' binds loosest, then 'and', then comparisons.
+  auto e = parse_expr("I = 0 or J = 0 and K = 0");
+  ASSERT_EQ(e->kind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<BinaryExpr&>(*e).op, BinaryOp::Or);
+}
+
+TEST(Parser, IfExpression) {
+  auto e = parse_expr("if a < b then a else b");
+  ASSERT_EQ(e->kind, ExprKind::If);
+  const auto& i = static_cast<IfExpr&>(*e);
+  EXPECT_EQ(i.cond->kind, ExprKind::Binary);
+  EXPECT_EQ(i.then_expr->kind, ExprKind::Name);
+}
+
+TEST(Parser, SubscriptsAndCalls) {
+  auto e = parse_expr("A[K-1, I, J+1] + max(x, y)");
+  ASSERT_EQ(e->kind, ExprKind::Binary);
+  const auto& b = static_cast<BinaryExpr&>(*e);
+  ASSERT_EQ(b.lhs->kind, ExprKind::Index);
+  EXPECT_EQ(static_cast<IndexExpr&>(*b.lhs).subs.size(), 3u);
+  ASSERT_EQ(b.rhs->kind, ExprKind::Call);
+  EXPECT_EQ(static_cast<CallExpr&>(*b.rhs).callee, "max");
+}
+
+TEST(Parser, FieldAccess) {
+  auto e = parse_expr("p[I].x");
+  ASSERT_EQ(e->kind, ExprKind::Field);
+  EXPECT_EQ(static_cast<FieldExpr&>(*e).field, "x");
+}
+
+TEST(Parser, Figure1ModuleParses) {
+  DiagnosticEngine diags;
+  Parser parser(kRelaxationSource, diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value()) << diags.render();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_EQ(module->name, "Relaxation");
+  ASSERT_EQ(module->params.size(), 3u);
+  EXPECT_EQ(module->params[0].names, (std::vector<std::string>{"InitialA"}));
+  ASSERT_EQ(module->results.size(), 1u);
+  EXPECT_EQ(module->results[0].names, (std::vector<std::string>{"newA"}));
+  // "I, J = 0 .. M+1" declares two types in one declaration.
+  ASSERT_EQ(module->type_decls.size(), 2u);
+  EXPECT_EQ(module->type_decls[0].names,
+            (std::vector<std::string>{"I", "J"}));
+  ASSERT_EQ(module->locals.size(), 1u);
+  ASSERT_EQ(module->equations.size(), 3u);
+  EXPECT_EQ(module->equations[0].lhs_name, "A");
+  EXPECT_EQ(module->equations[0].lhs_subs.size(), 1u);
+  EXPECT_EQ(module->equations[2].lhs_subs.size(), 3u);
+}
+
+TEST(Parser, NestedArrayType) {
+  DiagnosticEngine diags;
+  Parser parser(R"(
+M: module (n: int): [y: array[0..n] of real];
+var z: array [1 .. 3] of array [0..n, 0..n] of real;
+define
+  y = z[1, 0];
+  z[1] = y;
+end M;
+)",
+                diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value());
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_EQ(module->locals[0].type->kind, TypeExprKind::Array);
+}
+
+TEST(Parser, RecordAndEnumTypes) {
+  DiagnosticEngine diags;
+  Parser parser(R"(
+M: module (n: int): [y: real];
+type
+  Color = (red, green, blue);
+  Point = record x, y: real; tag: Color; end;
+define
+  y = 1.0;
+end M;
+)",
+                diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value());
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  EXPECT_EQ(module->type_decls[0].type->kind, TypeExprKind::Enum);
+  EXPECT_EQ(module->type_decls[0].type->enumerators.size(), 3u);
+  EXPECT_EQ(module->type_decls[1].type->kind, TypeExprKind::Record);
+  EXPECT_EQ(module->type_decls[1].type->fields.size(), 3u);
+}
+
+TEST(Parser, ErrorRecoveryAtSemicolon) {
+  DiagnosticEngine diags;
+  Parser parser(R"(
+M: module (n: int): [y: real; z: real];
+define
+  y = ) bad syntax ;
+  z = 2.0;
+end M;
+)",
+                diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value());
+  EXPECT_TRUE(diags.has_errors());
+  // The good equation after the bad one is still parsed.
+  ASSERT_EQ(module->equations.size(), 1u);
+  EXPECT_EQ(module->equations[0].lhs_name, "z");
+}
+
+TEST(Parser, TrailerNameMismatchWarns) {
+  DiagnosticEngine diags;
+  Parser parser("M: module (n: int): [y: real]; define y = 1.0; end Other;",
+                diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value());
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.messages(Severity::Warning).size(), 1u);
+}
+
+TEST(Parser, RoundTripThroughToSource) {
+  DiagnosticEngine diags;
+  Parser parser(kRelaxationSource, diags);
+  auto module = parser.parse_module();
+  ASSERT_TRUE(module.has_value());
+  std::string printed = to_source(*module);
+
+  DiagnosticEngine diags2;
+  Parser parser2(printed, diags2);
+  auto module2 = parser2.parse_module();
+  ASSERT_TRUE(module2.has_value()) << diags2.render() << printed;
+  EXPECT_FALSE(diags2.has_errors()) << diags2.render();
+  // Second print is a fixed point.
+  EXPECT_EQ(to_source(*module2), printed);
+  EXPECT_EQ(module2->equations.size(), module->equations.size());
+  for (size_t i = 0; i < module->equations.size(); ++i)
+    EXPECT_TRUE(expr_equal(*module2->equations[i].rhs,
+                           *module->equations[i].rhs))
+        << "equation " << i;
+}
+
+TEST(Parser, ProgramWithTwoModules) {
+  DiagnosticEngine diags;
+  Parser parser(R"(
+A: module (n: int): [y: real]; define y = 1.0; end A;
+B: module (n: int): [y: real]; define y = 2.0; end B;
+)",
+                diags);
+  ProgramAst program = parser.parse_program();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  ASSERT_EQ(program.modules.size(), 2u);
+  EXPECT_EQ(program.modules[1].name, "B");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,149 @@
+#include "graph/depgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "driver/paper_modules.hpp"
+#include "frontend/parser.hpp"
+
+namespace ps {
+namespace {
+
+struct Fixture {
+  DiagnosticEngine diags;
+  std::unique_ptr<CheckedModule> module;
+  std::unique_ptr<DepGraph> graph;
+
+  explicit Fixture(const char* src) {
+    Parser parser(src, diags);
+    auto ast = parser.parse_module();
+    EXPECT_TRUE(ast.has_value()) << diags.render();
+    Sema sema(diags);
+    auto checked = sema.check(std::move(*ast));
+    EXPECT_TRUE(checked.has_value()) << diags.render();
+    module = std::make_unique<CheckedModule>(std::move(*checked));
+    graph = std::make_unique<DepGraph>(DepGraph::build(*module));
+  }
+
+  /// All (src, dst) name pairs with the given kind filter.
+  std::multiset<std::pair<std::string, std::string>> edge_pairs(
+      std::optional<DepEdgeKind> kind = std::nullopt) const {
+    std::multiset<std::pair<std::string, std::string>> out;
+    for (const auto& e : graph->edges()) {
+      if (kind && e.kind != *kind) continue;
+      out.emplace(graph->node(e.src).name, graph->node(e.dst).name);
+    }
+    return out;
+  }
+};
+
+TEST(DepGraph, Figure3NodeInventory) {
+  Fixture f(kRelaxationSource);
+  // 5 data items + 3 equations.
+  ASSERT_EQ(f.graph->nodes().size(), 8u);
+  EXPECT_EQ(f.graph->node(f.graph->data_node("A")).dims.size(), 3u);
+  EXPECT_EQ(f.graph->node(f.graph->equation_node(2)).dims.size(), 3u);
+  EXPECT_EQ(f.graph->node(f.graph->equation_node(0)).name, "eq.1");
+}
+
+TEST(DepGraph, Figure3DataEdges) {
+  Fixture f(kRelaxationSource);
+  auto data = f.edge_pairs(DepEdgeKind::Data);
+  // Producer -> consumer edges.
+  EXPECT_EQ(data.count({"InitialA", "eq.1"}), 1u);
+  EXPECT_EQ(data.count({"eq.1", "A"}), 1u);       // definition
+  EXPECT_EQ(data.count({"A", "eq.3"}), 5u);       // five references
+  EXPECT_EQ(data.count({"eq.3", "A"}), 1u);       // definition
+  EXPECT_EQ(data.count({"A", "eq.2"}), 1u);
+  EXPECT_EQ(data.count({"eq.2", "newA"}), 1u);
+  EXPECT_EQ(data.count({"M", "eq.3"}), 1u);       // guard uses M
+  EXPECT_EQ(data.count({"maxK", "eq.2"}), 1u);    // subscript uses maxK
+}
+
+TEST(DepGraph, Figure3BoundEdges) {
+  Fixture f(kRelaxationSource);
+  auto bound = f.edge_pairs(DepEdgeKind::Bound);
+  // Paper: "a data dependency edge is drawn from M to InitialA, to A, and
+  // to NewA ... from maxK to A for the same reason".
+  EXPECT_EQ(bound.count({"M", "InitialA"}), 1u);
+  EXPECT_EQ(bound.count({"M", "A"}), 1u);
+  EXPECT_EQ(bound.count({"M", "newA"}), 1u);
+  EXPECT_EQ(bound.count({"maxK", "A"}), 1u);
+  // Loop-bound edges to equations whose subranges use the scalars.
+  EXPECT_EQ(bound.count({"maxK", "eq.3"}), 1u);
+}
+
+TEST(DepGraph, EdgeLabelsCarrySubscriptClasses) {
+  Fixture f(kRelaxationSource);
+  uint32_t a = f.graph->data_node("A");
+  uint32_t eq3 = f.graph->equation_node(2);
+  size_t use_edges = 0;
+  for (const auto& e : f.graph->edges()) {
+    if (e.src != a || e.dst != eq3 || e.ref == nullptr) continue;
+    ++use_edges;
+    ASSERT_EQ(e.labels.size(), 3u);
+    EXPECT_EQ(e.labels[0].kind, SubscriptInfo::Kind::IndexVar);
+    EXPECT_EQ(e.labels[0].offset, -1);
+    EXPECT_EQ(e.labels[0].target_dim, 0);  // position in target
+  }
+  EXPECT_EQ(use_edges, 5u);
+}
+
+TEST(DepGraph, UpperBoundLabelOnEq2) {
+  Fixture f(kRelaxationSource);
+  uint32_t a = f.graph->data_node("A");
+  uint32_t eq2 = f.graph->equation_node(1);
+  bool found = false;
+  for (const auto& e : f.graph->edges()) {
+    if (e.src != a || e.dst != eq2 || e.ref == nullptr) continue;
+    found = true;
+    EXPECT_EQ(e.labels[0].kind, SubscriptInfo::Kind::UpperBound);
+    EXPECT_EQ(e.labels[1].kind, SubscriptInfo::Kind::IndexVar);
+    EXPECT_EQ(e.labels[1].target_dim, 0);
+    EXPECT_EQ(e.labels[2].target_dim, 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DepGraph, DefinitionEdgesFlagged) {
+  Fixture f(kRelaxationSource);
+  size_t defs = 0;
+  for (const auto& e : f.graph->edges())
+    if (e.is_definition) ++defs;
+  EXPECT_EQ(defs, 3u);  // one per equation
+}
+
+TEST(DepGraph, AdjacencyListsConsistent) {
+  Fixture f(kRelaxationSource);
+  size_t total_out = 0;
+  size_t total_in = 0;
+  for (const auto& n : f.graph->nodes()) {
+    total_out += f.graph->out_edges(n.id).size();
+    total_in += f.graph->in_edges(n.id).size();
+    for (uint32_t e : f.graph->out_edges(n.id))
+      EXPECT_EQ(f.graph->edge(e).src, n.id);
+    for (uint32_t e : f.graph->in_edges(n.id))
+      EXPECT_EQ(f.graph->edge(e).dst, n.id);
+  }
+  EXPECT_EQ(total_out, f.graph->edges().size());
+  EXPECT_EQ(total_in, f.graph->edges().size());
+}
+
+TEST(DepGraph, DotExportMentionsAllNodes) {
+  Fixture f(kRelaxationSource);
+  std::string dot = f.graph->to_dot();
+  EXPECT_NE(dot.find("A[_,I,J]"), std::string::npos);
+  EXPECT_NE(dot.find("eq.3"), std::string::npos);
+  EXPECT_NE(dot.find("K - 1"), std::string::npos);
+  EXPECT_NE(dot.find("style=\"dashed\""), std::string::npos);  // bound edges
+}
+
+TEST(DepGraph, LookupThrowsForUnknown) {
+  Fixture f(kRelaxationSource);
+  EXPECT_THROW((void)f.graph->data_node("nope"), std::out_of_range);
+  EXPECT_THROW((void)f.graph->equation_node(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,79 @@
+// Hierarchical edges (paper section 3.1): a record-typed data item gets
+// one materialised node per field, connected by Hierarchical edges that
+// the scheduler ignores ("they do not concern us further").
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "frontend/parser.hpp"
+#include "graph/depgraph.hpp"
+
+namespace ps {
+namespace {
+
+TEST(Hierarchical, FieldNodesAndEdgesMaterialised) {
+  DiagnosticEngine diags;
+  Parser parser(R"(
+M: module (src: Particle): [q: Particle];
+type
+  Particle = record m: real; v: real; end;
+define
+  q = src;
+end M;
+)",
+                diags);
+  auto ast = parser.parse_module();
+  ASSERT_TRUE(ast.has_value()) << diags.render();
+  Sema sema(diags);
+  auto module = sema.check(std::move(*ast));
+  ASSERT_TRUE(module.has_value()) << diags.render();
+  DepGraph graph = DepGraph::build(*module);
+
+  // Two field children for each of src and q.
+  size_t field_nodes = 0;
+  for (const auto& n : graph.nodes())
+    if (n.is_record_field) ++field_nodes;
+  EXPECT_EQ(field_nodes, 4u);
+  EXPECT_NO_THROW((void)graph.data_node("src.m"));
+  EXPECT_NO_THROW((void)graph.data_node("q.v"));
+
+  size_t hier_edges = 0;
+  for (const auto& e : graph.edges()) {
+    if (e.kind != DepEdgeKind::Hierarchical) continue;
+    ++hier_edges;
+    EXPECT_TRUE(graph.node(e.dst).is_record_field);
+    EXPECT_FALSE(graph.node(e.src).is_record_field);
+  }
+  EXPECT_EQ(hier_edges, 4u);
+
+  // The DOT export styles them dotted; the summary tags them.
+  EXPECT_NE(graph.to_dot().find("style=\"dotted\""), std::string::npos);
+  EXPECT_NE(graph.summary().find("[field]"), std::string::npos);
+}
+
+TEST(Hierarchical, FieldNodesDoNotDisturbScheduling) {
+  auto result = testutil::compile_or_die(R"(
+M: module (src: P): [sum: real];
+type
+  P = record a: real; b: real; end;
+var
+  copy: P;
+define
+  copy = src;
+  sum = src.a + src.b;
+end M;
+)");
+  // Record copy and field reads schedule as plain scalar equations; the
+  // field nodes contribute nothing.
+  EXPECT_EQ(testutil::schedule_line(*result.primary), "eq.1; eq.2");
+}
+
+TEST(Hierarchical, NoFieldNodesWithoutRecords) {
+  auto result = testutil::compile_or_die(
+      "M: module (x: real): [y: real]; define y = x; end M;");
+  for (const auto& n : result.primary->graph->nodes())
+    EXPECT_FALSE(n.is_record_field);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,139 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace ps {
+namespace {
+
+using Adj = std::vector<std::vector<uint32_t>>;
+
+TEST(Scc, EmptyGraph) {
+  SccResult r = compute_sccs({});
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Scc, Singletons) {
+  Adj adj(3);
+  adj[0] = {1};
+  adj[1] = {2};
+  SccResult r = compute_sccs(adj);
+  ASSERT_EQ(r.size(), 3u);
+  // Topological order: 0 before 1 before 2.
+  EXPECT_EQ(r.components[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(r.components[1], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(r.components[2], (std::vector<uint32_t>{2}));
+}
+
+TEST(Scc, SimpleCycle) {
+  Adj adj(4);
+  adj[0] = {1};
+  adj[1] = {2};
+  adj[2] = {1, 3};
+  SccResult r = compute_sccs(adj);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.components[1], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(r.component_of[1], r.component_of[2]);
+  EXPECT_LT(r.component_of[0], r.component_of[1]);
+  EXPECT_LT(r.component_of[1], r.component_of[3]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  Adj adj(2);
+  adj[0] = {0, 1};
+  SccResult r = compute_sccs(adj);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.components[0], (std::vector<uint32_t>{0}));
+}
+
+TEST(Scc, DeterministicTieBreakBySmallestNode) {
+  // Three independent nodes: order must be 0, 1, 2 regardless of DFS.
+  Adj adj(3);
+  SccResult r = compute_sccs(adj);
+  EXPECT_EQ(r.components[0].front(), 0u);
+  EXPECT_EQ(r.components[1].front(), 1u);
+  EXPECT_EQ(r.components[2].front(), 2u);
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  constexpr size_t n = 200000;
+  Adj adj(n);
+  for (size_t i = 0; i + 1 < n; ++i)
+    adj[i] = {static_cast<uint32_t>(i + 1)};
+  SccResult r = compute_sccs(adj);
+  EXPECT_EQ(r.size(), n);
+  EXPECT_EQ(r.component_of[0], 0u);
+  EXPECT_EQ(r.component_of[n - 1], n - 1);
+}
+
+class SccPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SccPropertyTest, RandomGraphInvariants) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<size_t> size_dist(1, 60);
+  size_t n = size_dist(rng);
+  std::uniform_int_distribution<uint32_t> node(0, static_cast<uint32_t>(n - 1));
+  std::uniform_int_distribution<size_t> edges_dist(0, 3 * n);
+
+  Adj adj(n);
+  size_t m = edges_dist(rng);
+  for (size_t i = 0; i < m; ++i) adj[node(rng)].push_back(node(rng));
+
+  SccResult r = compute_sccs(adj);
+
+  // Partition: every node in exactly one component.
+  std::vector<int> seen(n, 0);
+  for (const auto& comp : r.components)
+    for (uint32_t v : comp) ++seen[v];
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(seen[v], 1) << "node " << v;
+    EXPECT_EQ(r.component_of[v],
+              [&] {
+                for (uint32_t c = 0; c < r.components.size(); ++c)
+                  for (uint32_t w : r.components[c])
+                    if (w == v) return c;
+                return UINT32_MAX;
+              }());
+  }
+
+  // Topological property of the condensation.
+  for (uint32_t u = 0; u < n; ++u)
+    for (uint32_t v : adj[u])
+      EXPECT_LE(r.component_of[u], r.component_of[v])
+          << u << " -> " << v;
+
+  // Mutual reachability within components; maximality across.
+  auto reachable = [&](uint32_t from) {
+    std::vector<bool> vis(n, false);
+    std::vector<uint32_t> stack{from};
+    vis[from] = true;
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      for (uint32_t v : adj[u]) {
+        if (!vis[v]) {
+          vis[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    return vis;
+  };
+  std::vector<std::vector<bool>> reach(n);
+  for (uint32_t v = 0; v < n; ++v) reach[v] = reachable(v);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      bool same = u == v || (reach[u][v] && reach[v][u]);
+      EXPECT_EQ(same, r.component_of[u] == r.component_of[v])
+          << "nodes " << u << ", " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccPropertyTest,
+                         ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace ps

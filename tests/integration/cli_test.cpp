@@ -1,0 +1,108 @@
+// Smoke tests for the psc command-line driver.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+std::string psc_binary() {
+  // Tests run from build/tests; the driver sits in build/src/driver.
+  return std::string(PSC_BINARY);
+}
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+};
+
+CliResult run_psc(const std::string& args, const char* source) {
+  std::string dir = ::testing::TempDir();
+  std::string input = dir + "/cli_input.ps";
+  {
+    std::ofstream f(input);
+    f << source;
+  }
+  std::string out_file = dir + "/cli_out.txt";
+  std::string cmd =
+      psc_binary() + " " + args + " " + input + " > " + out_file + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  std::ifstream f(out_file);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return CliResult{WEXITSTATUS(rc), os.str()};
+}
+
+TEST(Cli, DefaultPrintsSchedule) {
+  CliResult r = run_psc("", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("DO K ("), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("DOALL I ("), std::string::npos);
+}
+
+TEST(Cli, ComponentsTable) {
+  CliResult r = run_psc("--components", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("A, eq.3"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("(null)"), std::string::npos);
+}
+
+TEST(Cli, HyperplaneReportsTransform) {
+  CliResult r = run_psc("--hyperplane", kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("K' = 2K + I + J; I' = K; J' = I"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("DOALL I' ("), std::string::npos);
+}
+
+TEST(Cli, ExactPrintsLamportBounds) {
+  CliResult r = run_psc("--exact", kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("exact loop bounds (Lamport)"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("K' = 2 .. 2*M + 2*maxK + 2"), std::string::npos);
+  EXPECT_NE(r.out.find("min(floor((K')/2), maxK)"), std::string::npos);
+}
+
+TEST(Cli, ExactEmitsNonRectangularC) {
+  CliResult r = run_psc("--exact --c", kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("psc_ceil_div"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("_hi ="), std::string::npos);
+}
+
+TEST(Cli, EmitsC) {
+  CliResult r = run_psc("--c", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("void Relaxation("), std::string::npos);
+  EXPECT_NE(r.out.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(Cli, DotOutput) {
+  CliResult r = run_psc("--dot", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+}
+
+TEST(Cli, BadInputFailsWithDiagnostics) {
+  CliResult r = run_psc("", "this is not a module");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.out.find("error"), std::string::npos) << r.out;
+}
+
+TEST(Cli, MissingFileFails) {
+  std::string cmd = psc_binary() + " /nonexistent.ps > /dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_NE(WEXITSTATUS(rc), 0);
+}
+
+}  // namespace
+}  // namespace ps

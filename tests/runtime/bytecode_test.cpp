@@ -1,0 +1,192 @@
+#include "runtime/bytecode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(Bytecode, LayoutAssignsDenseSlots) {
+  auto result = compile_or_die(kRelaxationSource);
+  BcLayout layout = BcLayout::for_module(*result.primary->module);
+  // InitialA, newA, A are arrays; M, maxK scalars.
+  EXPECT_EQ(layout.array_count, 3);
+  EXPECT_EQ(layout.scalar_count, 2);
+  size_t arrays = 0;
+  size_t scalars = 0;
+  for (size_t i = 0; i < layout.array_slot.size(); ++i) {
+    if (layout.array_slot[i] >= 0) ++arrays;
+    if (layout.scalar_slot[i] >= 0) ++scalars;
+    EXPECT_TRUE((layout.array_slot[i] >= 0) != (layout.scalar_slot[i] >= 0));
+  }
+  EXPECT_EQ(arrays, 3u);
+  EXPECT_EQ(scalars, 2u);
+}
+
+TEST(Bytecode, CompilesRelaxationEquations) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  for (const CheckedEquation& eq : module.equations) {
+    BcProgram program = compile_expr(*eq.rhs, module, layout);
+    EXPECT_FALSE(program.code.empty());
+    EXPECT_EQ(program.code.back().op, BcOp::Halt);
+    EXPECT_TRUE(program.result_real);  // all equations produce reals
+    EXPECT_GT(program.max_stack, 0u);
+    // The disassembly round-trips every instruction without crashing.
+    EXPECT_FALSE(program.disassemble().empty());
+  }
+}
+
+TEST(Bytecode, Eq3UsesTypedStencilOps) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram program =
+      compile_expr(*module.equations[2].rhs, module, layout);
+  std::string dis = program.disassemble();
+  EXPECT_NE(dis.find("LoadArrayD"), std::string::npos);
+  EXPECT_NE(dis.find("AddD"), std::string::npos);   // stencil sum
+  EXPECT_NE(dis.find("CmpEqI"), std::string::npos); // boundary guards
+  EXPECT_NE(dis.find("JumpIfFalse"), std::string::npos);
+  // PS '/' divides in double even with the integer literal 4.
+  EXPECT_NE(dis.find("DivD"), std::string::npos);
+  EXPECT_NE(dis.find("IntToReal"), std::string::npos);
+}
+
+/// Run a module under both engines and compare all outputs bit-for-bit.
+void expect_engines_agree(const char* source, IntEnv params,
+                          std::map<std::string, double> reals = {}) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(source, options);
+  std::vector<const CompiledModule*> stages{result.primary.operator->()};
+  if (result.transformed) stages.push_back(result.transformed.operator->());
+
+  for (const CompiledModule* stage : stages) {
+    InterpreterOptions tree;
+    tree.engine = EvalEngine::TreeWalk;
+    InterpreterOptions bc;
+    bc.engine = EvalEngine::Bytecode;
+    Interpreter a(*stage->module, *stage->graph, stage->schedule.flowchart,
+                  params, reals, tree);
+    Interpreter b(*stage->module, *stage->graph, stage->schedule.flowchart,
+                  params, reals, bc);
+    for (auto* interp : {&a, &b}) {
+      for (const DataItem& item : stage->module->data) {
+        if (item.cls != DataClass::Input || item.is_scalar()) continue;
+        auto span = interp->array(item.name).raw();
+        for (size_t i = 0; i < span.size(); ++i)
+          span[i] = std::cos(static_cast<double>(i) * 0.11) * 3.0;
+      }
+    }
+    a.run();
+    b.run();
+    for (const DataItem& item : stage->module->data) {
+      if (item.is_scalar() || item.cls == DataClass::Input) continue;
+      auto sa = a.array(item.name).raw();
+      auto sb = b.array(item.name).raw();
+      ASSERT_EQ(sa.size(), sb.size());
+      for (size_t i = 0; i < sa.size(); ++i)
+        ASSERT_EQ(sa[i], sb[i])
+            << stage->module->name << " " << item.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Bytecode, EnginesAgreeOnRelaxation) {
+  expect_engines_agree(kRelaxationSource, IntEnv{{"M", 6}, {"maxK", 5}});
+}
+
+TEST(Bytecode, EnginesAgreeOnGaussSeidelAndItsTransform) {
+  expect_engines_agree(kGaussSeidelSource, IntEnv{{"M", 6}, {"maxK", 5}});
+}
+
+TEST(Bytecode, EnginesAgreeOnHeat1d) {
+  expect_engines_agree(kHeat1dSource, IntEnv{{"N", 10}, {"steps", 6}},
+                       {{"r", 0.21}});
+}
+
+TEST(Bytecode, EnginesAgreeOnChain) {
+  expect_engines_agree(kPointwiseChainSource, IntEnv{{"N", 16}});
+}
+
+TEST(Bytecode, ShortCircuitSemantics) {
+  // The right operand of 'and'/'or' must not be evaluated when the left
+  // decides: an out-of-bounds read guards behind I > 0.
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n;
+define
+  y[I] = if I > 0 and x[I - 1] > 0.0 then 1.0
+         else if I = n or x[I + 1] > 0.5 then 2.0 else 0.0;
+end M;
+)");
+  const CompiledModule& stage = *result.primary;
+  InterpreterOptions options;
+  options.engine = EvalEngine::Bytecode;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"n", 4}}, {}, options);
+  auto span = interp.array("x").raw();
+  for (size_t i = 0; i < span.size(); ++i) span[i] = 1.0;
+  // If short-circuiting were broken, I = 0 would read x[-1] and throw.
+  EXPECT_NO_THROW(interp.run());
+  EXPECT_DOUBLE_EQ(interp.array("y").at(std::vector<int64_t>{0}), 2.0);
+  EXPECT_DOUBLE_EQ(interp.array("y").at(std::vector<int64_t>{3}), 1.0);
+}
+
+TEST(Bytecode, IntegerArithmetic) {
+  auto result = compile_or_die(R"(
+M: module (k: int): [a: int; b: int; c: int];
+define
+  a = (k div 3) * 3 + (k mod 3);
+  b = min(k, 10) + max(k, 10) - abs(0 - k);
+  c = floor(2.7) + ceil(2.1);
+end M;
+)");
+  const CompiledModule& stage = *result.primary;
+  InterpreterOptions options;
+  options.engine = EvalEngine::Bytecode;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"k", 17}}, {}, options);
+  interp.run();
+  EXPECT_DOUBLE_EQ(interp.scalar("a"), 17.0);
+  EXPECT_DOUBLE_EQ(interp.scalar("b"), 10.0 + 17.0 - 17.0);
+  EXPECT_DOUBLE_EQ(interp.scalar("c"), 2.0 + 3.0);
+}
+
+TEST(Bytecode, CollapseAblationAgrees) {
+  CompileOptions copts;
+  copts.apply_hyperplane = true;
+  auto result = compile_or_die(kGaussSeidelSource, copts);
+  ASSERT_TRUE(result.transformed.has_value());
+  const CompiledModule& stage = *result.transformed;
+  ThreadPool pool(6);
+  IntEnv params{{"M", 8}, {"maxK", 6}};
+
+  auto run_with = [&](bool collapse) {
+    InterpreterOptions options;
+    options.pool = &pool;
+    options.collapse_doall = collapse;
+    Interpreter interp(*stage.module, *stage.graph,
+                       stage.schedule.flowchart, params, {}, options);
+    auto span = interp.array("InitialA").raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = static_cast<double>(i % 13);
+    interp.run();
+    double sum = 0;
+    for (double v : interp.array("newA").raw()) sum += v;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_with(true), run_with(false));
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,182 @@
+#include "runtime/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+/// Hand-written Jacobi reference for the Figure 1 module.
+std::vector<std::vector<double>> reference_jacobi(
+    std::vector<std::vector<double>> grid, int64_t sweeps) {
+  size_t n = grid.size();
+  for (int64_t k = 2; k <= sweeps; ++k) {
+    auto prev = grid;
+    for (size_t i = 1; i + 1 < n; ++i)
+      for (size_t j = 1; j + 1 < n; ++j)
+        grid[i][j] = (prev[i][j - 1] + prev[i - 1][j] + prev[i][j + 1] +
+                      prev[i + 1][j]) /
+                     4.0;
+  }
+  return grid;
+}
+
+TEST(Interpreter, JacobiMatchesReference) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CompiledModule& stage = *result.primary;
+  int64_t m = 6;
+  int64_t sweeps = 5;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"M", m}, {"maxK", sweeps}});
+
+  std::vector<std::vector<double>> grid(
+      static_cast<size_t>(m + 2), std::vector<double>(static_cast<size_t>(m + 2)));
+  NdArray& in = interp.array("InitialA");
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      double v = std::cos(static_cast<double>(i * 3 + j));
+      grid[static_cast<size_t>(i)][static_cast<size_t>(j)] = v;
+      in.set(std::vector<int64_t>{i, j}, v);
+    }
+
+  interp.run();
+  auto expected = reference_jacobi(grid, sweeps);
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j)
+      EXPECT_NEAR(interp.array("newA").at(std::vector<int64_t>{i, j}),
+                  expected[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                  1e-12)
+          << i << "," << j;
+}
+
+TEST(Interpreter, ParallelMatchesSequential) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CompiledModule& stage = *result.primary;
+  IntEnv params{{"M", 16}, {"maxK", 6}};
+
+  ThreadPool pool(8);
+  InterpreterOptions par;
+  par.pool = &pool;
+  Interpreter parallel(*stage.module, *stage.graph, stage.schedule.flowchart,
+                       params, {}, par);
+  Interpreter sequential(*stage.module, *stage.graph,
+                         stage.schedule.flowchart, params);
+
+  for (auto* interp : {&parallel, &sequential}) {
+    NdArray& in = interp->array("InitialA");
+    for (int64_t i = 0; i <= 17; ++i)
+      for (int64_t j = 0; j <= 17; ++j)
+        in.set(std::vector<int64_t>{i, j},
+               static_cast<double>((i * 31 + j * 17) % 23));
+  }
+  parallel.run();
+  sequential.run();
+  for (int64_t i = 0; i <= 17; ++i)
+    for (int64_t j = 0; j <= 17; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_DOUBLE_EQ(parallel.array("newA").at(idx),
+                       sequential.array("newA").at(idx));
+    }
+}
+
+TEST(Interpreter, HonorDoallFalseIsSequentialBaseline) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CompiledModule& stage = *result.primary;
+  ThreadPool pool(4);
+  InterpreterOptions opt;
+  opt.pool = &pool;
+  opt.honor_doall = false;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"M", 4}, {"maxK", 3}}, {}, opt);
+  interp.array("InitialA").fill(1.0);
+  interp.run();
+  // All-ones grid is a fixed point of the interior average.
+  EXPECT_DOUBLE_EQ(interp.array("newA").at(std::vector<int64_t>{2, 2}), 1.0);
+}
+
+TEST(Interpreter, ScalarEquationsAndIntrinsics) {
+  auto result = compile_or_die(R"(
+M: module (x: real; k: int): [y: real; j: int; b: bool];
+define
+  y = sqrt(abs(x)) + max(x, 2.0) * 2.0;
+  j = min(k, 3) + (k div 2) - (k mod 3) + floor(1.9) + ceil(0.1);
+  b = (x < 0.0) or (k = 7 and true);
+end M;
+)");
+  const CompiledModule& stage = *result.primary;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"k", 7}}, {{"x", -4.0}});
+  interp.run();
+  EXPECT_DOUBLE_EQ(interp.scalar("y"), 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(interp.scalar("j"), 3 + 3 - 1 + 1 + 1);
+  EXPECT_DOUBLE_EQ(interp.scalar("b"), 1.0);
+}
+
+TEST(Interpreter, EnumsAndIntArrays) {
+  auto result = compile_or_die(R"(
+M: module (n: int): [y: array[I] of int];
+type I = 0 .. n; Color = (red, green, blue);
+var c: Color;
+define
+  c = blue;
+  y[I] = if c = blue then I * 2 else 0;
+end M;
+)");
+  const CompiledModule& stage = *result.primary;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"n", 4}});
+  interp.run();
+  for (int64_t i = 0; i <= 4; ++i)
+    EXPECT_DOUBLE_EQ(interp.array("y").at(std::vector<int64_t>{i}),
+                     static_cast<double>(i * 2));
+}
+
+TEST(Interpreter, MissingScalarInputThrows) {
+  auto result = compile_or_die(kRelaxationSource);
+  const CompiledModule& stage = *result.primary;
+  EXPECT_THROW(Interpreter(*stage.module, *stage.graph,
+                           stage.schedule.flowchart, IntEnv{{"M", 4}}),
+               std::runtime_error);
+}
+
+TEST(Interpreter, ResetAllowsRerun) {
+  auto result = compile_or_die(kHeat1dSource);
+  const CompiledModule& stage = *result.primary;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"N", 8}, {"steps", 4}}, {{"r", 0.25}});
+  NdArray& in = interp.array("u0");
+  for (int64_t x = 0; x <= 9; ++x)
+    in.set(std::vector<int64_t>{x}, x == 5 ? 100.0 : 0.0);
+  interp.run();
+  double first = interp.array("uOut").at(std::vector<int64_t>{5});
+  interp.reset();
+  interp.run();
+  EXPECT_DOUBLE_EQ(interp.array("uOut").at(std::vector<int64_t>{5}), first);
+  EXPECT_LT(first, 100.0);  // heat spread out
+  EXPECT_GT(first, 0.0);
+}
+
+TEST(Interpreter, Heat1dConservesHeatAwayFromBoundary) {
+  auto result = compile_or_die(kHeat1dSource);
+  const CompiledModule& stage = *result.primary;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"N", 20}, {"steps", 3}}, {{"r", 0.2}});
+  NdArray& in = interp.array("u0");
+  for (int64_t x = 0; x <= 21; ++x)
+    in.set(std::vector<int64_t>{x}, x == 10 ? 60.0 : 0.0);
+  interp.run();
+  double total = 0;
+  for (int64_t x = 1; x <= 20; ++x)
+    total += interp.array("uOut").at(std::vector<int64_t>{x});
+  EXPECT_NEAR(total, 60.0, 1e-9);  // diffusion conserves the interior sum
+}
+
+}  // namespace
+}  // namespace ps

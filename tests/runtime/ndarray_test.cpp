@@ -1,0 +1,83 @@
+#include "runtime/ndarray.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+TEST(NdArray, FullAllocationRoundTrip) {
+  NdArray a = NdArray::full({0, 0}, {3, 4});
+  EXPECT_EQ(a.rank(), 2u);
+  EXPECT_EQ(a.allocation(), 20u);
+  EXPECT_EQ(a.logical_size(), 20u);
+  EXPECT_FALSE(a.windowed());
+  double v = 0;
+  for (int64_t i = 0; i <= 3; ++i)
+    for (int64_t j = 0; j <= 4; ++j)
+      a.set(std::vector<int64_t>{i, j}, v++);
+  v = 0;
+  for (int64_t i = 0; i <= 3; ++i)
+    for (int64_t j = 0; j <= 4; ++j)
+      EXPECT_EQ(a.at(std::vector<int64_t>{i, j}), v++);
+}
+
+TEST(NdArray, NonZeroLowerBounds) {
+  NdArray a = NdArray::full({1, -2}, {3, 2});
+  EXPECT_EQ(a.extent(0), 3);
+  EXPECT_EQ(a.extent(1), 5);
+  a.set(std::vector<int64_t>{1, -2}, 7.0);
+  a.set(std::vector<int64_t>{3, 2}, 9.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{1, -2}), 7.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{3, 2}), 9.0);
+}
+
+TEST(NdArray, WindowedDimensionSharesSlices) {
+  // Window 2 over a 1..5 dimension: slices k and k-2 share storage.
+  NdArray a({1, 0}, {5, 3}, {2, 4});
+  EXPECT_TRUE(a.windowed());
+  EXPECT_EQ(a.allocation(), 2u * 4);
+  EXPECT_EQ(a.logical_size(), 5u * 4);
+  a.set(std::vector<int64_t>{1, 0}, 1.0);
+  a.set(std::vector<int64_t>{2, 0}, 2.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{1, 0}), 1.0);
+  // Writing slice 3 overwrites slice 1's storage.
+  a.set(std::vector<int64_t>{3, 0}, 3.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{1, 0}), 3.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{2, 0}), 2.0);
+}
+
+TEST(NdArray, WindowLargerThanExtentClamps) {
+  NdArray a({0}, {2}, {10});
+  EXPECT_FALSE(a.windowed());
+  EXPECT_EQ(a.allocation(), 3u);
+}
+
+TEST(NdArray, InBounds) {
+  NdArray a = NdArray::full({0}, {4});
+  EXPECT_TRUE(a.in_bounds(std::vector<int64_t>{0}));
+  EXPECT_TRUE(a.in_bounds(std::vector<int64_t>{4}));
+  EXPECT_FALSE(a.in_bounds(std::vector<int64_t>{5}));
+  EXPECT_FALSE(a.in_bounds(std::vector<int64_t>{-1}));
+  EXPECT_FALSE(a.in_bounds(std::vector<int64_t>{0, 0}));
+}
+
+TEST(NdArray, FillAndRaw) {
+  NdArray a = NdArray::full({0}, {9});
+  a.fill(2.5);
+  for (double v : a.raw()) EXPECT_EQ(v, 2.5);
+}
+
+TEST(NdArray, ScalarRankZero) {
+  NdArray a = NdArray::full({}, {});
+  EXPECT_EQ(a.rank(), 0u);
+  EXPECT_EQ(a.allocation(), 1u);
+  a.set(std::vector<int64_t>{}, 42.0);
+  EXPECT_EQ(a.at(std::vector<int64_t>{}), 42.0);
+}
+
+TEST(NdArray, RankMismatchThrows) {
+  EXPECT_THROW(NdArray({0}, {1, 2}, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ps

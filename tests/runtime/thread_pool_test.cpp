@@ -1,0 +1,116 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <numeric>
+#include <vector>
+
+namespace ps {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, [&](int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(5, 6, [&](int64_t i) {
+    EXPECT_EQ(i, 5);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(0, 10, [&](int64_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // sequential and ordered
+}
+
+TEST(ThreadPool, ChunkedVariantSeesDisjointChunks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.parallel_for_chunked(0, 10000, [&](int64_t from, int64_t to) {
+    EXPECT_LT(from, to);
+    total += to - from;
+  });
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(0, 64, [&](int64_t i) {
+    pool.parallel_for(0, 64, [&](int64_t j) {
+      ++hits[static_cast<size_t>(i * 64 + j)];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 200; ++round)
+    pool.parallel_for(0, 100, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 200 * 4950);
+}
+
+TEST(ThreadPool, ActuallyUsesMultipleThreads) {
+  ThreadPool pool(4);
+  // Chunks sleep long enough that a lone thread cannot drain the batch
+  // before the workers wake; retry to keep the test robust on loaded
+  // machines.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    std::set<std::thread::id> ids;
+    std::mutex m;
+    pool.parallel_for_chunked(0, 64, [&](int64_t, int64_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::lock_guard<std::mutex> lock(m);
+      ids.insert(std::this_thread::get_id());
+    });
+    if (ids.size() >= 2) return;
+  }
+  FAIL() << "pool never used a second thread in five attempts";
+}
+
+TEST(ThreadPool, RapidSmallBatchesNeverLoseCompletionWakeups) {
+  // Regression test for a lost-wakeup race: the last worker notified
+  // done_ without holding the pool mutex, so the notification could
+  // land between the caller's predicate evaluation (active still 1)
+  // and its unlock-and-sleep -- deadlocking the caller on a batch that
+  // had already finished. Tiny ranges issued back to back maximise the
+  // window; before the fix this test hung within seconds.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 20000; ++round) {
+    pool.parallel_for_chunked(0, 3, [&](int64_t from, int64_t to) {
+      total.fetch_add(to - from, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 60000);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ps

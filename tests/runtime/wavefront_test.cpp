@@ -1,0 +1,314 @@
+#include "runtime/wavefront.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+CompileResult compile_exact_gs() {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  return compile_or_die(kGaussSeidelSource, options);
+}
+
+void fill_input(NdArray& in, int64_t m) {
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j)
+      in.set(std::vector<int64_t>{i, j},
+             std::cos(static_cast<double>(i * 5 + j)));
+}
+
+/// newA from the untransformed Gauss-Seidel module, the semantic
+/// reference for everything below.
+NdArray reference_newA(const CompileResult& result, int64_t m,
+                       int64_t sweeps) {
+  const CompiledModule& stage = *result.primary;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     IntEnv{{"M", m}, {"maxK", sweeps}});
+  fill_input(interp.array("InitialA"), m);
+  interp.run();
+  return interp.array("newA");
+}
+
+// ---------------------------------------------------------------------------
+// Compiler plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ExactBounds, CompilerProducesTheNest) {
+  auto result = compile_exact_gs();
+  ASSERT_TRUE(result.exact_nest.has_value());
+  ASSERT_EQ(result.exact_nest->levels.size(), 3u);
+  EXPECT_EQ(result.exact_nest->levels[0].var, "K'");
+  EXPECT_EQ(result.exact_nest->levels[1].var, "I'");
+  EXPECT_EQ(result.exact_nest->levels[2].var, "J'");
+}
+
+TEST(ExactBounds, TransformedCUsesNonRectangularBounds) {
+  auto result = compile_exact_gs();
+  ASSERT_TRUE(result.transformed.has_value());
+  const std::string& code = result.transformed->c_code;
+  EXPECT_NE(code.find("psc_ceil_div"), std::string::npos) << code;
+  EXPECT_NE(code.find("psc_floor_div"), std::string::npos);
+  EXPECT_NE(code.find("_lo ="), std::string::npos);
+  EXPECT_NE(code.find("_hi ="), std::string::npos);
+  // The primary (untransformed) module keeps plain subrange loops.
+  EXPECT_EQ(result.primary->c_code.find("psc_ceil_div"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exact-bounds interpreter vs guarded bounding-box interpreter
+// ---------------------------------------------------------------------------
+
+TEST(ExactBounds, InterpreterMatchesGuardedExecution) {
+  auto result = compile_exact_gs();
+  const CompiledModule& t = *result.transformed;
+  const int64_t m = 9;
+  const int64_t sweeps = 7;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  Interpreter guarded(*t.module, *t.graph, t.schedule.flowchart, params);
+  InterpreterOptions exact_opts;
+  exact_opts.exact_bounds = &*result.exact_nest;
+  Interpreter exact(*t.module, *t.graph, t.schedule.flowchart, params, {},
+                    exact_opts);
+
+  fill_input(guarded.array("InitialA"), m);
+  fill_input(exact.array("InitialA"), m);
+  guarded.run();
+  exact.run();
+
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(exact.array("newA").at(idx), guarded.array("newA").at(idx))
+          << i << "," << j;
+    }
+}
+
+TEST(ExactBounds, ParallelExactInterpreterMatchesSequential) {
+  auto result = compile_exact_gs();
+  const CompiledModule& t = *result.transformed;
+  const int64_t m = 12;
+  IntEnv params{{"M", m}, {"maxK", 6}};
+
+  ThreadPool pool(6);
+  InterpreterOptions par;
+  par.exact_bounds = &*result.exact_nest;
+  par.pool = &pool;
+  InterpreterOptions seq;
+  seq.exact_bounds = &*result.exact_nest;
+
+  Interpreter parallel(*t.module, *t.graph, t.schedule.flowchart, params, {},
+                       par);
+  Interpreter sequential(*t.module, *t.graph, t.schedule.flowchart, params,
+                         {}, seq);
+  fill_input(parallel.array("InitialA"), m);
+  fill_input(sequential.array("InitialA"), m);
+  parallel.run();
+  sequential.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(parallel.array("newA").at(idx),
+                sequential.array("newA").at(idx));
+    }
+}
+
+TEST(ExactBounds, MatchesTheUntransformedModule) {
+  auto result = compile_exact_gs();
+  const CompiledModule& t = *result.transformed;
+  const int64_t m = 8;
+  const int64_t sweeps = 5;
+  NdArray expected = reference_newA(result, m, sweeps);
+
+  InterpreterOptions opts;
+  opts.exact_bounds = &*result.exact_nest;
+  Interpreter exact(*t.module, *t.graph, t.schedule.flowchart,
+                    IntEnv{{"M", m}, {"maxK", sweeps}}, {}, opts);
+  fill_input(exact.array("InitialA"), m);
+  exact.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_NEAR(exact.array("newA").at(idx), expected.at(idx), 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The windowed wavefront runner (rotate/unrotate)
+// ---------------------------------------------------------------------------
+
+TEST(Wavefront, MatchesTheUntransformedModule) {
+  auto result = compile_exact_gs();
+  const int64_t m = 10;
+  const int64_t sweeps = 6;
+  NdArray expected = reference_newA(result, m, sweeps);
+
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}});
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_NEAR(runner.array("newA").at(idx), expected.at(idx), 1e-12)
+          << i << "," << j;
+    }
+}
+
+TEST(Wavefront, DerivesThePaperWindowOfThree) {
+  auto result = compile_exact_gs();
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest, IntEnv{{"M", 6}, {"maxK", 4}});
+  EXPECT_EQ(runner.window(), 3);  // references K'-1 and K'-2
+}
+
+TEST(Wavefront, WindowedAllocationIsThreeSlices) {
+  auto result = compile_exact_gs();
+  const int64_t m = 16;
+  const int64_t sweeps = 32;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}});
+  // A' keeps 3 x maxK x (M+2) doubles -- the paper's "3 x maxK x M"
+  // allocation (its M elides the padded boundary).
+  const NdArray& aprime = runner.array("A'");
+  EXPECT_EQ(aprime.allocation(),
+            static_cast<size_t>(3 * sweeps * (m + 2)));
+  // Versus the full transformed box (2maxK+2M+1) x maxK x (M+2).
+  EXPECT_LT(aprime.allocation(), aprime.logical_size() / 10);
+}
+
+TEST(Wavefront, StatsCountImagePointsAndHyperplanes) {
+  auto result = compile_exact_gs();
+  const int64_t m = 6;
+  const int64_t sweeps = 5;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}});
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  // Exactly the image lattice: maxK * (M+2)^2 recurrence points over
+  // hyperplanes t = 2 .. 2maxK + 2M + 2.
+  EXPECT_EQ(runner.stats().points, sweeps * (m + 2) * (m + 2));
+  EXPECT_EQ(runner.stats().hyperplanes, 2 * sweeps + 2 * m + 2 - 2 + 1);
+  // One flush per newA element.
+  EXPECT_EQ(runner.stats().flushed, (m + 2) * (m + 2));
+}
+
+TEST(Wavefront, ParallelPoolMatchesSequential) {
+  auto result = compile_exact_gs();
+  const int64_t m = 14;
+  const int64_t sweeps = 9;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  ThreadPool pool(8);
+  WavefrontOptions par;
+  par.pool = &pool;
+  WavefrontRunner parallel(*result.transformed->module, *result.transform,
+                           *result.exact_nest, params, {}, par);
+  WavefrontRunner sequential(*result.transformed->module, *result.transform,
+                             *result.exact_nest, params);
+  fill_input(parallel.array("InitialA"), m);
+  fill_input(sequential.array("InitialA"), m);
+  parallel.run();
+  sequential.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(parallel.array("newA").at(idx),
+                sequential.array("newA").at(idx));
+    }
+}
+
+TEST(Wavefront, OversizedWindowStillCorrect) {
+  auto result = compile_exact_gs();
+  const int64_t m = 7;
+  const int64_t sweeps = 4;
+  NdArray expected = reference_newA(result, m, sweeps);
+
+  WavefrontOptions options;
+  options.window = 5;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_NEAR(runner.array("newA").at(idx), expected.at(idx), 1e-12);
+    }
+}
+
+TEST(Wavefront, RejectsWindowSmallerThanRecurrenceDepth) {
+  auto result = compile_exact_gs();
+  WavefrontOptions options;
+  options.window = 2;  // recurrence reaches K'-2: needs 3
+  EXPECT_THROW(WavefrontRunner(*result.transformed->module,
+                               *result.transform, *result.exact_nest,
+                               IntEnv{{"M", 4}, {"maxK", 3}}, {}, options),
+               std::runtime_error);
+}
+
+TEST(Wavefront, RerunIsDeterministic) {
+  auto result = compile_exact_gs();
+  const int64_t m = 5;
+  const int64_t sweeps = 3;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}});
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  NdArray first = runner.array("newA");
+  runner.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(runner.array("newA").at(idx), first.at(idx));
+    }
+}
+
+/// Exhaustive parameter sweep: wavefront == reference for every small
+/// (M, maxK) combination, sequential and pooled.
+class WavefrontSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(WavefrontSweep, MatchesReference) {
+  auto [m, sweeps] = GetParam();
+  auto result = compile_exact_gs();
+  NdArray expected = reference_newA(result, m, sweeps);
+
+  ThreadPool pool(4);
+  WavefrontOptions options;
+  options.pool = &pool;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_NEAR(runner.array("newA").at(idx), expected.at(idx), 1e-12)
+          << "M=" << m << " maxK=" << sweeps << " at " << i << "," << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrids, WavefrontSweep,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 5, 8),
+                       ::testing::Values<int64_t>(1, 2, 3, 6)));
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,67 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+TEST(Diagnostics, StartsClean) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 0u);
+  EXPECT_TRUE(diags.render().empty());
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine diags;
+  diags.note({1, 1, 0}, "fyi");
+  diags.warning({1, 2, 1}, "hm");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({2, 1, 10}, "bad");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesSeverityAndLocation) {
+  DiagnosticEngine diags;
+  diags.error({3, 7, 0}, "unexpected thing");
+  std::string text = diags.render();
+  EXPECT_NE(text.find("3:7"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("unexpected thing"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderQuotesSourceLineWithCaret) {
+  DiagnosticEngine diags;
+  std::string src = "line one\nline two\n";
+  diags.set_source(src, "test.ps");
+  // Error at "two" (line 2, column 6, offset 14).
+  diags.error({2, 6, 14}, "boom");
+  std::string text = diags.render();
+  EXPECT_NE(text.find("test.ps:2:6"), std::string::npos);
+  EXPECT_NE(text.find("line two"), std::string::npos);
+  EXPECT_NE(text.find("^"), std::string::npos);
+}
+
+TEST(Diagnostics, MessagesFilterBySeverity) {
+  DiagnosticEngine diags;
+  diags.warning({}, "w1");
+  diags.error({}, "e1");
+  diags.warning({}, "w2");
+  auto warnings = diags.messages(Severity::Warning);
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_EQ(warnings[0], "w1");
+  EXPECT_EQ(warnings[1], "w2");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({}, "e");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace ps

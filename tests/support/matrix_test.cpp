@@ -1,0 +1,115 @@
+#include "support/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ps {
+namespace {
+
+TEST(IntMatrix, IdentityAndMultiply) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix i = IntMatrix::identity(2);
+  EXPECT_EQ(a.multiply(i), a);
+  EXPECT_EQ(i.multiply(a), a);
+  IntMatrix b{{0, 1}, {1, 0}};
+  IntMatrix ab = a.multiply(b);
+  EXPECT_EQ(ab.at(0, 0), 2);
+  EXPECT_EQ(ab.at(0, 1), 1);
+  EXPECT_EQ(ab.at(1, 0), 4);
+  EXPECT_EQ(ab.at(1, 1), 3);
+}
+
+TEST(IntMatrix, Apply) {
+  IntMatrix t{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}};
+  std::vector<int64_t> v{3, 4, 5};
+  auto out = t.apply(v);
+  EXPECT_EQ(out, (std::vector<int64_t>{15, 3, 4}));
+}
+
+TEST(IntMatrix, DeterminantOfPaperTransform) {
+  // K' = 2K + I + J, I' = K, J' = I  (paper section 4).
+  IntMatrix t{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_EQ(t.determinant(), Rational(1));
+  EXPECT_TRUE(t.is_unimodular());
+}
+
+TEST(IntMatrix, SingularDeterminant) {
+  IntMatrix t{{1, 2}, {2, 4}};
+  EXPECT_EQ(t.determinant(), Rational(0));
+  EXPECT_FALSE(t.integer_inverse().has_value());
+}
+
+TEST(IntMatrix, IntegerInverseOfPaperTransform) {
+  IntMatrix t{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}};
+  auto inv = t.integer_inverse();
+  ASSERT_TRUE(inv.has_value());
+  // K = I', I = J', J = K' - 2I' - J'.
+  IntMatrix expected{{0, 1, 0}, {0, 0, 1}, {1, -2, -1}};
+  EXPECT_EQ(*inv, expected);
+  EXPECT_EQ(t.multiply(*inv), IntMatrix::identity(3));
+}
+
+TEST(IntMatrix, NonIntegralInverseRejected) {
+  IntMatrix t{{2, 0}, {0, 1}};  // det 2: inverse has 1/2
+  EXPECT_FALSE(t.integer_inverse().has_value());
+}
+
+TEST(VectorOps, GcdAndDot) {
+  EXPECT_EQ(vector_gcd({4, -6, 8}), 2);
+  EXPECT_EQ(vector_gcd({0, 0}), 0);
+  EXPECT_EQ(vector_gcd({}), 0);
+  EXPECT_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_THROW((void)dot({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(UnimodularCompletion, PaperVector) {
+  auto m = unimodular_completion({2, 1, 1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->row(0), (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_TRUE(m->is_unimodular());
+  // Lamport's unit-vector completion omits the last +-1 coordinate,
+  // giving exactly the paper's I' = K, J' = I.
+  EXPECT_EQ(m->row(1), (std::vector<int64_t>{1, 0, 0}));
+  EXPECT_EQ(m->row(2), (std::vector<int64_t>{0, 1, 0}));
+}
+
+TEST(UnimodularCompletion, RejectsNonPrimitive) {
+  EXPECT_FALSE(unimodular_completion({2, 4}).has_value());
+  EXPECT_FALSE(unimodular_completion({0, 0}).has_value());
+  EXPECT_FALSE(unimodular_completion({}).has_value());
+}
+
+TEST(UnimodularCompletion, GcdFallbackWhenNoUnitCoefficient) {
+  // gcd(2, 3) = 1 but no +-1 entry: exercises the extended-gcd path.
+  auto m = unimodular_completion({2, 3});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->row(0), (std::vector<int64_t>{2, 3}));
+  EXPECT_TRUE(m->is_unimodular());
+  ASSERT_TRUE(m->integer_inverse().has_value());
+}
+
+TEST(UnimodularCompletion, RandomPrimitiveVectors) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int64_t> coef(-9, 9);
+  std::uniform_int_distribution<size_t> dims(1, 5);
+  size_t produced = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t n = dims(rng);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) x = coef(rng);
+    if (vector_gcd(v) != 1) continue;
+    ++produced;
+    auto m = unimodular_completion(v);
+    ASSERT_TRUE(m.has_value()) << "trial " << trial;
+    EXPECT_EQ(m->row(0), v);
+    EXPECT_TRUE(m->is_unimodular());
+    auto inv = m->integer_inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(m->multiply(*inv), IntMatrix::identity(n));
+  }
+  EXPECT_GT(produced, 100u);  // the filter should not starve the test
+}
+
+}  // namespace
+}  // namespace ps

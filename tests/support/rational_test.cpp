@@ -1,0 +1,67 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+TEST(Rational, NormalisesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+  Rational zero(0, 17);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2);
+  Rational b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7), Rational(7));
+}
+
+TEST(Rational, IntegerDetection) {
+  EXPECT_TRUE(Rational(8, 4).is_integer());
+  EXPECT_EQ(Rational(8, 4).as_integer(), 2);
+  EXPECT_FALSE(Rational(1, 2).is_integer());
+  EXPECT_THROW((void)Rational(1, 2).as_integer(), std::domain_error);
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_EQ(Rational(-4, 6).to_string(), "-2/3");
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 2);
+  EXPECT_EQ(r, Rational(1));
+  r *= Rational(3, 4);
+  EXPECT_EQ(r, Rational(3, 4));
+  r -= Rational(1, 4);
+  EXPECT_EQ(r, Rational(1, 2));
+  r /= Rational(1, 2);
+  EXPECT_EQ(r, Rational(1));
+}
+
+}  // namespace
+}  // namespace ps

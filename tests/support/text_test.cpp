@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "support/dot_writer.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace ps {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Component", "Node(s)", "Flowchart"});
+  table.add_row({"1", "InitialA", "(null)"});
+  table.add_row({"5", "A, eq.3", "DO K (DOALL I (DOALL J (eq.3)))"});
+  std::string text = table.render();
+  EXPECT_NE(text.find("Component | Node(s)  | Flowchart"), std::string::npos);
+  EXPECT_NE(text.find("----------+-"), std::string::npos);
+  EXPECT_NE(text.find("5         | A, eq.3  | DO K"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsRaggedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(DotWriter, RendersNodesAndEdges) {
+  DotWriter dot("g");
+  dot.add_node("n0", "A[K,I,J]");
+  dot.add_node("n1", "eq.3", "box");
+  dot.add_edge("n0", "n1", "K - 1");
+  dot.add_edge("n1", "n0", "", "dashed");
+  std::string text = dot.render();
+  EXPECT_NE(text.find("digraph g {"), std::string::npos);
+  EXPECT_NE(text.find("\"n0\" [label=\"A[K,I,J]\", shape=ellipse];"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"n0\" -> \"n1\" [label=\"K - 1\"];"),
+            std::string::npos);
+  EXPECT_NE(text.find("style=\"dashed\""), std::string::npos);
+}
+
+TEST(DotWriter, EscapesQuotes) {
+  EXPECT_EQ(DotWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_TRUE(iequals("Module", "mOdUlE"));
+  EXPECT_FALSE(iequals("mod", "mode"));
+  EXPECT_EQ(to_lower("MaxK"), "maxk");
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,79 @@
+#include "transform/ast_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+TEST(AstBuilder, ConstantFolding) {
+  EXPECT_EQ(to_string(*mk_add(mk_int(2), mk_int(3))), "5");
+  EXPECT_EQ(to_string(*mk_sub(mk_int(2), mk_int(5))), "-3");
+  EXPECT_EQ(to_string(*mk_mul(4, mk_int(3))), "12");
+  EXPECT_EQ(to_string(*mk_mul(0, mk_name("x"))), "0");
+}
+
+TEST(AstBuilder, IdentityFolding) {
+  EXPECT_EQ(to_string(*mk_add(mk_name("x"), mk_int(0))), "x");
+  EXPECT_EQ(to_string(*mk_add(mk_int(0), mk_name("x"))), "x");
+  EXPECT_EQ(to_string(*mk_sub(mk_name("x"), mk_int(0))), "x");
+  EXPECT_EQ(to_string(*mk_mul(1, mk_name("x"))), "x");
+  EXPECT_EQ(to_string(*mk_mul(-1, mk_name("x"))), "-x");
+}
+
+TEST(AstBuilder, NegativeConstantsBecomeSubtraction) {
+  // "K' + -2" must print as "K' - 2" (the paper's A'[K' - 2, ...]).
+  EXPECT_EQ(to_string(*mk_add(mk_name("K'"), mk_int(-2))), "K' - 2");
+  EXPECT_EQ(to_string(*mk_sub(mk_name("K'"), mk_int(-2))), "K' + 2");
+}
+
+TEST(AstBuilder, AffineExpressions) {
+  // The paper's inverse J = K' - 2I' - J'.
+  EXPECT_EQ(to_string(*mk_affine(
+                {{1, "K'"}, {-2, "I'"}, {-1, "J'"}}, 0)),
+            "K' - 2 * I' - J'");
+  EXPECT_EQ(to_string(*mk_affine({{2, "K"}, {1, "I"}, {1, "J"}}, 0)),
+            "2 * K + I + J");
+  EXPECT_EQ(to_string(*mk_affine({{1, "K'"}}, -1)), "K' - 1");
+  EXPECT_EQ(to_string(*mk_affine({{0, "K"}}, 7)), "7");
+  EXPECT_EQ(to_string(*mk_affine({}, 0)), "0");
+}
+
+TEST(AstBuilder, AndChainDropsNull) {
+  ExprPtr a = mk_binary(BinaryOp::Eq, mk_name("I"), mk_int(0));
+  ExprPtr chained = mk_and(nullptr, std::move(a));
+  EXPECT_EQ(to_string(*chained), "I = 0");
+  ExprPtr b = mk_binary(BinaryOp::Eq, mk_name("J"), mk_int(0));
+  chained = mk_and(std::move(chained), std::move(b));
+  EXPECT_EQ(to_string(*chained), "I = 0 and J = 0");
+}
+
+TEST(AstBuilder, SubstituteReplacesNames) {
+  // (K - 1) + A[K, I]  with K -> I' becomes (I' - 1) + A[I', I].
+  ExprPtr expr = mk_add(
+      mk_sub(mk_name("K"), mk_int(1)),
+      std::make_unique<IndexExpr>(
+          mk_name("A"),
+          [] {
+            std::vector<ExprPtr> subs;
+            subs.push_back(mk_name("K"));
+            subs.push_back(mk_name("I"));
+            return subs;
+          }()));
+  ExprPtr repl = mk_name("I'");
+  std::vector<std::pair<std::string, const Expr*>> subst{{"K", repl.get()}};
+  ExprPtr out = substitute(*expr, subst);
+  EXPECT_EQ(to_string(*out), "I' - 1 + A[I', I]");
+  // Array base names are not substituted.
+  std::vector<std::pair<std::string, const Expr*>> subst2{{"A", repl.get()}};
+  ExprPtr out2 = substitute(*expr, subst2);
+  EXPECT_EQ(to_string(*out2), "K - 1 + A[K, I]");
+}
+
+TEST(AstBuilder, IfBuilder) {
+  ExprPtr e = mk_if(mk_binary(BinaryOp::Lt, mk_name("a"), mk_name("b")),
+                    mk_int(1), mk_int(2));
+  EXPECT_EQ(to_string(*e), "if a < b then 1 else 2");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,64 @@
+#include "transform/hyperplane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps {
+namespace {
+
+DependenceSet paper_deps() {
+  DependenceSet deps;
+  deps.array = "A";
+  deps.vars = {"K", "I", "J"};
+  deps.vectors = {{1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 0, -1}, {1, -1, 0}};
+  return deps;
+}
+
+TEST(Hyperplane, PaperTransform) {
+  auto h = find_hyperplane(paper_deps());
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->time, (std::vector<int64_t>{2, 1, 1}));
+  // T = [[2,1,1],[1,0,0],[0,1,0]]: K' = 2K+I+J, I' = K, J' = I.
+  EXPECT_EQ(h->T, (IntMatrix{{2, 1, 1}, {1, 0, 0}, {0, 1, 0}}));
+  EXPECT_EQ(h->T_inv, (IntMatrix{{0, 1, 0}, {0, 0, 1}, {1, -2, -1}}));
+  EXPECT_EQ(h->new_vars, (std::vector<std::string>{"K'", "I'", "J'"}));
+  EXPECT_EQ(h->describe(), "K' = 2K + I + J; I' = K; J' = I");
+}
+
+TEST(Hyperplane, TransformedDependencesAreLexicographicallyForward) {
+  auto h = find_hyperplane(paper_deps());
+  ASSERT_TRUE(h.has_value());
+  for (const auto& d : paper_deps().vectors) {
+    auto td = h->T.apply(d);
+    // First component is the time distance: strictly positive.
+    EXPECT_GE(td[0], 1) << "dependence got slower than one hyperplane";
+  }
+}
+
+TEST(Hyperplane, InverseRoundTrips) {
+  auto h = find_hyperplane(paper_deps());
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->T.multiply(h->T_inv), IntMatrix::identity(3));
+  EXPECT_EQ(h->T_inv.multiply(h->T), IntMatrix::identity(3));
+}
+
+TEST(Hyperplane, InfeasibleReturnsNull) {
+  DependenceSet deps;
+  deps.array = "A";
+  deps.vars = {"I", "J"};
+  deps.vectors = {{1, -1}, {-1, 1}};
+  EXPECT_FALSE(find_hyperplane(deps).has_value());
+}
+
+TEST(Hyperplane, WavefrontTwoDim) {
+  DependenceSet deps;
+  deps.array = "a";
+  deps.vars = {"I", "J"};
+  deps.vectors = {{1, 0}, {0, 1}};
+  auto h = find_hyperplane(deps);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->time, (std::vector<int64_t>{1, 1}));
+  EXPECT_TRUE(h->T.is_unimodular());
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,96 @@
+#include "transform/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+TEST(Dependence, GaussSeidelVectors) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  DiagnosticEngine diags;
+  auto deps = extract_dependences(*result.primary->module, "A", diags);
+  ASSERT_TRUE(deps.has_value()) << diags.render();
+  EXPECT_EQ(deps->array, "A");
+  EXPECT_EQ(deps->vars, (std::vector<std::string>{"K", "I", "J"}));
+  // d = write - read: A[K-1,I,J] -> (1,0,0); A[K,I,J-1] -> (0,0,1);
+  // A[K,I-1,J] -> (0,1,0); A[K-1,I,J+1] -> (1,0,-1);
+  // A[K-1,I+1,J] -> (1,-1,0).
+  ASSERT_EQ(deps->vectors.size(), 5u);
+  EXPECT_EQ(deps->vectors[0], (std::vector<int64_t>{1, 0, 0}));
+  EXPECT_EQ(deps->vectors[1], (std::vector<int64_t>{0, 0, 1}));
+  EXPECT_EQ(deps->vectors[2], (std::vector<int64_t>{0, 1, 0}));
+  EXPECT_EQ(deps->vectors[3], (std::vector<int64_t>{1, 0, -1}));
+  EXPECT_EQ(deps->vectors[4], (std::vector<int64_t>{1, -1, 0}));
+}
+
+TEST(Dependence, JacobiVectorsDeduplicated) {
+  auto result = compile_or_die(kRelaxationSource);
+  DiagnosticEngine diags;
+  auto deps = extract_dependences(*result.primary->module, "A", diags);
+  ASSERT_TRUE(deps.has_value()) << diags.render();
+  // Five references but (1,0,0) appears once.
+  EXPECT_EQ(deps->vectors.size(), 5u);
+  for (const auto& d : deps->vectors) EXPECT_EQ(d[0], 1);
+}
+
+TEST(Dependence, CandidatesFindGaussSeidelArray) {
+  auto jacobi = compile_or_die(kRelaxationSource);
+  auto gs = compile_or_die(kGaussSeidelSource);
+  // Both have non-first-dimension offsets (the Jacobi J+1/I+1 neighbours
+  // count too), so both list A.
+  EXPECT_EQ(transform_candidates(*jacobi.primary->module),
+            (std::vector<std::string>{"A"}));
+  EXPECT_EQ(transform_candidates(*gs.primary->module),
+            (std::vector<std::string>{"A"}));
+}
+
+TEST(Dependence, NoCandidatesForPointwiseChain) {
+  auto result = compile_or_die(kPointwiseChainSource);
+  EXPECT_TRUE(transform_candidates(*result.primary->module).empty());
+}
+
+TEST(Dependence, UnknownArrayDiagnosed) {
+  auto result = compile_or_die(kRelaxationSource);
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      extract_dependences(*result.primary->module, "nope", diags).has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Dependence, GeneralSubscriptRejected) {
+  // a[0] is a constant subscript: not constant-offset form. (The
+  // scheduler rejects this module too, so go through sema directly.)
+  DiagnosticEngine diags;
+  Parser parser(R"(
+M: module (n: int): [y: array[I] of real];
+type I = 0 .. n;
+var a: array [I] of real;
+define
+  a[I] = if I = 0 then 1.0 else a[I - 1] * a[0];
+  y[I] = a[I];
+end M;
+)",
+                diags);
+  auto ast = parser.parse_module();
+  ASSERT_TRUE(ast.has_value());
+  Sema sema(diags);
+  auto module = sema.check(std::move(*ast));
+  ASSERT_TRUE(module.has_value()) << diags.render();
+  EXPECT_FALSE(extract_dependences(*module, "a", diags).has_value());
+  EXPECT_NE(diags.render().find("non-constant-offset"), std::string::npos);
+}
+
+TEST(Dependence, NoSelfReferenceDiagnosed) {
+  auto result = compile_or_die(kPointwiseChainSource);
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      extract_dependences(*result.primary->module, "a", diags).has_value());
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,430 @@
+#include "transform/polyhedron.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+AffineForm affine(Rational constant,
+                  std::vector<std::pair<std::string, Rational>> terms) {
+  AffineForm f;
+  f.constant = constant;
+  for (auto& [v, c] : terms) f.add_term(v, c);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// AffineForm
+// ---------------------------------------------------------------------------
+
+TEST(AffineForm, ArithmeticAndNormalisation) {
+  AffineForm a = affine(1, {{"x", 2}, {"y", -1}});
+  AffineForm b = affine(-3, {{"x", -2}, {"z", 5}});
+  AffineForm sum = a.plus(b);
+  EXPECT_EQ(sum.constant, Rational(-2));
+  EXPECT_EQ(sum.coeff("x"), Rational(0));  // cancelled and erased
+  EXPECT_EQ(sum.coeffs.count("x"), 0u);
+  EXPECT_EQ(sum.coeff("y"), Rational(-1));
+  EXPECT_EQ(sum.coeff("z"), Rational(5));
+
+  AffineForm diff = a.minus(a);
+  EXPECT_TRUE(diff.is_constant());
+  EXPECT_EQ(diff.constant, Rational(0));
+
+  AffineForm scaled = a.scaled(Rational(1, 2));
+  EXPECT_EQ(scaled.coeff("x"), Rational(1));
+  EXPECT_EQ(scaled.coeff("y"), Rational(-1, 2));
+}
+
+TEST(AffineForm, EvaluateNeedsAllVariables) {
+  AffineForm f = affine(4, {{"x", 3}});
+  IntEnv env{{"x", 5}};
+  EXPECT_EQ(f.evaluate(env), Rational(19));
+  EXPECT_EQ(affine(0, {{"w", 1}}).evaluate(env), std::nullopt);
+}
+
+TEST(AffineForm, ToStringReadable) {
+  EXPECT_EQ(affine(1, {{"x", 2}, {"y", -1}}).to_string(), "2*x - y + 1");
+  EXPECT_EQ(affine(0, {}).to_string(), "0");
+  EXPECT_EQ(affine(-2, {{"x", -1}}).to_string(), "-x - 2");
+}
+
+TEST(AffineForm, FromExprHandlesAffineShapes) {
+  // 2*maxK + 2*M + 2
+  auto two = std::make_unique<IntLitExpr>(2);
+  auto expr = std::make_unique<BinaryExpr>(
+      BinaryOp::Add,
+      std::make_unique<BinaryExpr>(
+          BinaryOp::Add,
+          std::make_unique<BinaryExpr>(BinaryOp::Mul,
+                                       std::make_unique<IntLitExpr>(2),
+                                       std::make_unique<NameExpr>("maxK")),
+          std::make_unique<BinaryExpr>(BinaryOp::Mul,
+                                       std::make_unique<NameExpr>("M"),
+                                       std::make_unique<IntLitExpr>(2))),
+      std::move(two));
+  auto f = affine_from_expr(*expr);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeff("maxK"), Rational(2));
+  EXPECT_EQ(f->coeff("M"), Rational(2));
+  EXPECT_EQ(f->constant, Rational(2));
+}
+
+TEST(AffineForm, FromExprRejectsNonAffine) {
+  auto product = std::make_unique<BinaryExpr>(
+      BinaryOp::Mul, std::make_unique<NameExpr>("x"),
+      std::make_unique<NameExpr>("y"));
+  EXPECT_EQ(affine_from_expr(*product), std::nullopt);
+  auto division = std::make_unique<BinaryExpr>(
+      BinaryOp::Div, std::make_unique<NameExpr>("x"),
+      std::make_unique<IntLitExpr>(2));
+  EXPECT_EQ(affine_from_expr(*division), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// BoundTerm rounding
+// ---------------------------------------------------------------------------
+
+TEST(BoundTerm, CeilAndFloorDivisionAreSignCorrect) {
+  BoundTerm t;
+  t.divisor = 3;
+  t.constant = -7;
+  IntEnv env;
+  EXPECT_EQ(t.eval_lower(env), -2);  // ceil(-7/3)
+  EXPECT_EQ(t.eval_upper(env), -3);  // floor(-7/3)
+  t.constant = 7;
+  EXPECT_EQ(t.eval_lower(env), 3);  // ceil(7/3)
+  EXPECT_EQ(t.eval_upper(env), 2);  // floor(7/3)
+  t.constant = 6;
+  EXPECT_EQ(t.eval_lower(env), 2);
+  EXPECT_EQ(t.eval_upper(env), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Fourier-Motzkin on simple shapes
+// ---------------------------------------------------------------------------
+
+Polyhedron box2d(int64_t x_lo, int64_t x_hi, int64_t y_lo, int64_t y_hi) {
+  Polyhedron p;
+  p.add_ge(affine(-x_lo, {{"x", 1}}));
+  p.add_ge(affine(x_hi, {{"x", -1}}));
+  p.add_ge(affine(-y_lo, {{"y", 1}}));
+  p.add_ge(affine(y_hi, {{"y", -1}}));
+  return p;
+}
+
+TEST(FourierMotzkin, RectangularBoxGivesConstantBounds) {
+  auto nest = fourier_motzkin_bounds(box2d(0, 9, -2, 4), {"x", "y"});
+  ASSERT_TRUE(nest.has_value());
+  ASSERT_EQ(nest->levels.size(), 2u);
+  IntEnv env;
+  EXPECT_EQ(nest->levels[0].lower(env), 0);
+  EXPECT_EQ(nest->levels[0].upper(env), 9);
+  env["x"] = 3;
+  EXPECT_EQ(nest->levels[1].lower(env), -2);
+  EXPECT_EQ(nest->levels[1].upper(env), 4);
+  EXPECT_EQ(count_loop_nest_points(*nest, {}), 10 * 7);
+}
+
+TEST(FourierMotzkin, TriangleInnerBoundsDependOnOuter) {
+  // x >= 0, y >= 0, x + y <= 10.
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 1}}));
+  p.add_ge(affine(0, {{"y", 1}}));
+  p.add_ge(affine(10, {{"x", -1}, {"y", -1}}));
+  auto nest = fourier_motzkin_bounds(p, {"x", "y"});
+  ASSERT_TRUE(nest.has_value());
+  IntEnv env{{"x", 4}};
+  EXPECT_EQ(nest->levels[1].upper(env), 6);
+  EXPECT_EQ(count_loop_nest_points(*nest, {}), 11 * 12 / 2);  // 66 lattice pts
+}
+
+TEST(FourierMotzkin, DivisorBoundsRoundInward) {
+  // 0 <= 2x <= 11  =>  x in 0..5.
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 2}}));
+  p.add_ge(affine(11, {{"x", -2}}));
+  auto nest = fourier_motzkin_bounds(p, {"x"});
+  ASSERT_TRUE(nest.has_value());
+  IntEnv env;
+  EXPECT_EQ(nest->levels[0].lower(env), 0);
+  EXPECT_EQ(nest->levels[0].upper(env), 5);
+}
+
+TEST(FourierMotzkin, DetectsConstantInfeasibility) {
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 1}}));    // x >= 0
+  p.add_ge(affine(-1, {{"x", -1}}));  // x <= -1
+  EXPECT_EQ(fourier_motzkin_bounds(p, {"x"}), std::nullopt);
+}
+
+TEST(FourierMotzkin, SymbolicParametersSurviveAsPreconditions) {
+  // 1 <= x <= N: bounds reference N; the combination 1 <= N becomes a
+  // precondition.
+  Polyhedron p;
+  p.add_ge(affine(-1, {{"x", 1}}));
+  p.add_ge(affine(0, {{"x", -1}, {"N", 1}}));
+  auto nest = fourier_motzkin_bounds(p, {"x"});
+  ASSERT_TRUE(nest.has_value());
+  ASSERT_EQ(nest->preconditions.size(), 1u);
+  EXPECT_EQ(nest->preconditions[0], "N - 1 >= 0");
+  IntEnv env{{"N", 7}};
+  EXPECT_EQ(nest->levels[0].lower(env), 1);
+  EXPECT_EQ(nest->levels[0].upper(env), 7);
+}
+
+TEST(FourierMotzkin, RedundantBoundsAreDeduplicated) {
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 1}}));   // x >= 0
+  p.add_ge(affine(2, {{"x", 1}}));   // x >= -2 (dominated)
+  p.add_ge(affine(9, {{"x", -1}}));  // x <= 9
+  p.add_ge(affine(9, {{"x", -1}}));  // duplicate
+  auto nest = fourier_motzkin_bounds(p, {"x"});
+  ASSERT_TRUE(nest.has_value());
+  EXPECT_EQ(nest->levels[0].lowers.size(), 1u);
+  EXPECT_EQ(nest->levels[0].uppers.size(), 1u);
+  EXPECT_EQ(nest->levels[0].lowers[0].constant, 0);
+}
+
+TEST(FourierMotzkin, EmptyInnerRangesExecuteZeroIterations) {
+  // A diagonal strip: 0 <= x <= 4, x <= y <= x - 1 + z with z = 0 at
+  // runtime gives an empty y range everywhere; the scan must visit no
+  // points rather than fail.
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 1}}));
+  p.add_ge(affine(4, {{"x", -1}}));
+  p.add_ge(affine(0, {{"y", 1}, {"x", -1}}));
+  p.add_ge(affine(-1, {{"y", -1}, {"x", 1}, {"z", 1}}));
+  auto nest = fourier_motzkin_bounds(p, {"x", "y"});
+  ASSERT_TRUE(nest.has_value());
+  EXPECT_EQ(count_loop_nest_points(*nest, {{"z", 0}}), 0);
+  EXPECT_EQ(count_loop_nest_points(*nest, {{"z", 3}}), 5 * 3);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's transformed relaxation domain
+// ---------------------------------------------------------------------------
+
+TEST(TransformedDomain, GaussSeidelImageBoundsMatchSection4) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  ASSERT_TRUE(result.transform.has_value());
+  ASSERT_TRUE(result.primary.has_value());
+
+  auto domain = transformed_domain(*result.primary->module, *result.transform);
+  ASSERT_TRUE(domain.has_value());
+  auto nest = fourier_motzkin_bounds(
+      *domain, {result.transform->new_vars[0], result.transform->new_vars[1],
+                result.transform->new_vars[2]});
+  ASSERT_TRUE(nest.has_value());
+
+  // K' = 2K + I + J over K in 1..maxK, I,J in 0..M+1 spans
+  // 2 .. 2*maxK + 2M + 2.
+  IntEnv params{{"M", 6}, {"maxK", 5}};
+  EXPECT_EQ(nest->levels[0].lower(params), 2);
+  EXPECT_EQ(nest->levels[0].upper(params), 2 * 5 + 2 * 6 + 2);
+
+  // The number of scanned points is exactly the box volume: the
+  // transform is unimodular, so the image has the same lattice count.
+  int64_t expected = 5 * 8 * 8;  // maxK * (M+2)^2
+  EXPECT_EQ(count_loop_nest_points(*nest, params), expected);
+
+  // The bounding-box scan the guarded rewrite uses is strictly larger.
+  int64_t bbox = (2 * 5 + 2 * 6 + 2 - 2 + 1) * 5 * 8;
+  EXPECT_GT(bbox, expected);
+}
+
+TEST(TransformedDomain, EveryScannedPointPullsBackIntoTheBox) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  auto domain = transformed_domain(*result.primary->module, *result.transform);
+  ASSERT_TRUE(domain.has_value());
+  const auto& h = *result.transform;
+  auto nest = fourier_motzkin_bounds(
+      *domain, {h.new_vars[0], h.new_vars[1], h.new_vars[2]});
+  ASSERT_TRUE(nest.has_value());
+
+  IntEnv params{{"M", 4}, {"maxK", 3}};
+  std::set<std::vector<int64_t>> originals;
+  scan_loop_nest(*nest, params, [&](const IntEnv& env) {
+    std::vector<int64_t> x_new(3);
+    for (size_t r = 0; r < 3; ++r) x_new[r] = env.at(h.new_vars[r]);
+    std::vector<int64_t> x_old = h.T_inv.apply(x_new);
+    EXPECT_GE(x_old[0], 1);
+    EXPECT_LE(x_old[0], 3);
+    for (size_t d = 1; d < 3; ++d) {
+      EXPECT_GE(x_old[d], 0);
+      EXPECT_LE(x_old[d], 5);
+    }
+    EXPECT_TRUE(originals.insert(x_old).second) << "duplicate point";
+  });
+  EXPECT_EQ(originals.size(), 3u * 6 * 6);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: FM scan == brute-force image scan for random unimodular
+// transforms of random boxes.
+// ---------------------------------------------------------------------------
+
+class FourierMotzkinProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FourierMotzkinProperty, ScansExactlyTheImageLattice) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> lo_dist(-3, 2);
+  std::uniform_int_distribution<int64_t> extent_dist(1, 5);
+  std::uniform_int_distribution<int> shear_dist(-2, 2);
+  const size_t n = 3;
+
+  // Random unimodular T: start from the identity and apply random row
+  // shears (det stays 1 throughout).
+  IntMatrix T = IntMatrix::identity(n);
+  for (int step = 0; step < 6; ++step) {
+    size_t i = rng() % n;
+    size_t j = rng() % n;
+    if (i == j) continue;
+    int64_t k = shear_dist(rng);
+    for (size_t c = 0; c < n; ++c) T.at(i, c) += k * T.at(j, c);
+  }
+  ASSERT_TRUE(T.is_unimodular());
+  auto T_inv = T.integer_inverse();
+  ASSERT_TRUE(T_inv.has_value());
+
+  std::vector<int64_t> lo(n), hi(n);
+  for (size_t d = 0; d < n; ++d) {
+    lo[d] = lo_dist(rng);
+    hi[d] = lo[d] + extent_dist(rng);
+  }
+
+  // Constraints over new coordinates y: lo <= T_inv y <= hi.
+  std::vector<std::string> vars{"u", "v", "w"};
+  Polyhedron p;
+  for (size_t j = 0; j < n; ++j) {
+    AffineForm old_j;
+    for (size_t r = 0; r < n; ++r)
+      old_j.add_term(vars[r], Rational(T_inv->at(j, r)));
+    p.add_lower(old_j, affine(Rational(lo[j]), {}));
+    p.add_upper(old_j, affine(Rational(hi[j]), {}));
+  }
+  auto nest = fourier_motzkin_bounds(p, vars);
+  ASSERT_TRUE(nest.has_value());
+
+  // Brute force: image of every box point under T.
+  std::set<std::vector<int64_t>> image;
+  for (int64_t a = lo[0]; a <= hi[0]; ++a)
+    for (int64_t b = lo[1]; b <= hi[1]; ++b)
+      for (int64_t c = lo[2]; c <= hi[2]; ++c)
+        image.insert(T.apply({a, b, c}));
+
+  std::set<std::vector<int64_t>> scanned;
+  scan_loop_nest(*nest, {}, [&](const IntEnv& env) {
+    std::vector<int64_t> y(n);
+    for (size_t r = 0; r < n; ++r) y[r] = env.at(vars[r]);
+    EXPECT_TRUE(scanned.insert(y).second) << "duplicate scan point";
+  });
+  EXPECT_EQ(scanned, image);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourierMotzkinProperty,
+                         ::testing::Range(1u, 33u));
+
+/// The same property in four dimensions (deeper elimination chains and
+/// more cross-combination constraints).
+class FourierMotzkin4D : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FourierMotzkin4D, ScansExactlyTheImageLattice) {
+  std::mt19937 rng(GetParam() * 7919u);
+  std::uniform_int_distribution<int64_t> lo_dist(-2, 1);
+  std::uniform_int_distribution<int64_t> extent_dist(1, 3);
+  std::uniform_int_distribution<int> shear_dist(-1, 2);
+  const size_t n = 4;
+
+  IntMatrix T = IntMatrix::identity(n);
+  for (int step = 0; step < 8; ++step) {
+    size_t i = rng() % n;
+    size_t j = rng() % n;
+    if (i == j) continue;
+    int64_t k = shear_dist(rng);
+    for (size_t c = 0; c < n; ++c) T.at(i, c) += k * T.at(j, c);
+  }
+  ASSERT_TRUE(T.is_unimodular());
+  auto T_inv = T.integer_inverse();
+  ASSERT_TRUE(T_inv.has_value());
+
+  std::vector<int64_t> lo(n), hi(n);
+  for (size_t d = 0; d < n; ++d) {
+    lo[d] = lo_dist(rng);
+    hi[d] = lo[d] + extent_dist(rng);
+  }
+
+  std::vector<std::string> vars{"p", "q", "r", "s"};
+  Polyhedron poly;
+  for (size_t j = 0; j < n; ++j) {
+    AffineForm old_j;
+    for (size_t c = 0; c < n; ++c)
+      old_j.add_term(vars[c], Rational(T_inv->at(j, c)));
+    poly.add_lower(old_j, affine(Rational(lo[j]), {}));
+    poly.add_upper(old_j, affine(Rational(hi[j]), {}));
+  }
+  auto nest = fourier_motzkin_bounds(poly, vars);
+  ASSERT_TRUE(nest.has_value());
+
+  std::set<std::vector<int64_t>> image;
+  for (int64_t a = lo[0]; a <= hi[0]; ++a)
+    for (int64_t b = lo[1]; b <= hi[1]; ++b)
+      for (int64_t c = lo[2]; c <= hi[2]; ++c)
+        for (int64_t d = lo[3]; d <= hi[3]; ++d)
+          image.insert(T.apply({a, b, c, d}));
+
+  std::set<std::vector<int64_t>> scanned;
+  scan_loop_nest(*nest, {}, [&](const IntEnv& env) {
+    std::vector<int64_t> y(n);
+    for (size_t c = 0; c < n; ++c) y[c] = env.at(vars[c]);
+    EXPECT_TRUE(scanned.insert(y).second) << "duplicate scan point";
+  });
+  EXPECT_EQ(scanned, image);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourierMotzkin4D, ::testing::Range(1u, 17u));
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+TEST(LoopNestBounds, RenderingMentionsCeilFloorOnlyWhenDividing) {
+  Polyhedron p;
+  p.add_ge(affine(0, {{"x", 2}}));
+  p.add_ge(affine(9, {{"x", -1}}));
+  auto nest = fourier_motzkin_bounds(p, {"x"});
+  ASSERT_TRUE(nest.has_value());
+  std::string text = nest->to_string();
+  EXPECT_NE(text.find("x = 0 .. 9"), std::string::npos) << text;
+
+  Polyhedron q;
+  q.add_ge(affine(-1, {{"x", 3}, {"N", -1}}));  // 3x >= N + 1
+  q.add_ge(affine(20, {{"x", -1}}));
+  auto qnest = fourier_motzkin_bounds(q, {"x"});
+  ASSERT_TRUE(qnest.has_value());
+  EXPECT_NE(qnest->to_string().find("ceil((N + 1)/3)"), std::string::npos)
+      << qnest->to_string();
+}
+
+TEST(LoopNestBounds, FindLocatesLevelsByName) {
+  auto nest = fourier_motzkin_bounds(box2d(0, 1, 0, 1), {"x", "y"});
+  ASSERT_TRUE(nest.has_value());
+  EXPECT_NE(nest->find("x"), nullptr);
+  EXPECT_NE(nest->find("y"), nullptr);
+  EXPECT_EQ(nest->find("z"), nullptr);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,156 @@
+#include "transform/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+CompileResult transformed_gs() {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  return compile_or_die(kGaussSeidelSource, options);
+}
+
+TEST(Rewrite, ProducesPaperRecurrence) {
+  auto result = transformed_gs();
+  ASSERT_TRUE(result.transformed.has_value()) << result.diagnostics;
+  const std::string& src = result.transformed->source;
+  // The simplified recurrence of section 4 ("otherwise by
+  // simplification"): interior neighbours at hyperplane K'-1.
+  EXPECT_NE(src.find("A'[K' - 1, I', J']"), std::string::npos) << src;
+  EXPECT_NE(src.find("A'[K' - 1, I', J' - 1]"), std::string::npos);
+  EXPECT_NE(src.find("A'[K' - 1, I' - 1, J']"), std::string::npos);
+  EXPECT_NE(src.find("A'[K' - 1, I' - 1, J' + 1]"), std::string::npos);
+  // Boundary carry-over at K'-2.
+  EXPECT_NE(src.find("A'[K' - 2, I' - 1, J']"), std::string::npos);
+  // Pulled-back boundary conditions: J = K' - 2I' - J'.
+  EXPECT_NE(src.find("K' - 2 * I' - J'"), std::string::npos);
+}
+
+TEST(Rewrite, NewSubrangesBoundTheImage) {
+  auto result = transformed_gs();
+  const std::string& src = result.transformed->source;
+  // K' spans [2*1+0+0, 2*maxK + (M+1) + (M+1)]; I' = K in 1..maxK;
+  // J' = I in 0..M+1.
+  EXPECT_NE(src.find("K' = 2 .. 2 * maxK + (M + 1) + (M + 1)"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("I' = 1 .. maxK"), std::string::npos);
+  EXPECT_NE(src.find("J' = 0 .. M + 1"), std::string::npos);
+}
+
+TEST(Rewrite, OtherEquationsRedirectedThroughT) {
+  auto result = transformed_gs();
+  const std::string& src = result.transformed->source;
+  // newA = A[maxK] becomes A'[2*maxK + I + J, maxK, I].
+  EXPECT_NE(src.find("newA[I, J] = A'[2 * maxK + I + J, maxK, I]"),
+            std::string::npos)
+      << src;
+}
+
+TEST(Rewrite, TransformedScheduleMatchesFigure6Shape) {
+  auto result = transformed_gs();
+  // Outer iteration over hyperplanes, inner loops parallel -- the same
+  // shape as the Jacobi schedule of Figure 6.
+  std::string line = testutil::schedule_line(*result.transformed);
+  EXPECT_NE(line.find("DO K' (DOALL I' (DOALL J' ("), std::string::npos)
+      << line;
+  // And the untransformed module really was fully iterative.
+  std::string orig = testutil::schedule_line(*result.primary);
+  EXPECT_NE(orig.find("DO K (DO I (DO J (eq.3)))"), std::string::npos);
+}
+
+TEST(Rewrite, TransformedResultsMatchOriginal) {
+  auto result = transformed_gs();
+  IntEnv params{{"M", 5}, {"maxK", 4}};
+
+  Interpreter original(*result.primary->module, *result.primary->graph,
+                       result.primary->schedule.flowchart, params);
+  Interpreter transformed(*result.transformed->module,
+                          *result.transformed->graph,
+                          result.transformed->schedule.flowchart, params);
+
+  for (auto* interp : {&original, &transformed}) {
+    NdArray& in = interp->array("InitialA");
+    for (int64_t i = 0; i <= 6; ++i)
+      for (int64_t j = 0; j <= 6; ++j)
+        in.set(std::vector<int64_t>{i, j},
+               std::sin(static_cast<double>(i * 7 + j)) * 10.0);
+  }
+  original.run();
+  transformed.run();
+
+  for (int64_t i = 0; i <= 6; ++i)
+    for (int64_t j = 0; j <= 6; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_NEAR(original.array("newA").at(idx),
+                  transformed.array("newA").at(idx), 1e-12)
+          << "element " << i << "," << j;
+    }
+}
+
+TEST(Rewrite, HeatEquationTransformsToo) {
+  // 1-D Gauss-Seidel-style smoothing: u[T,X] = f(u[T,X-1], u[T-1,...]).
+  const char* src = R"(
+GS1: module (u0: array[X] of real; n: int; s: int): [out: array[X] of real];
+type X = 0 .. n; T = 2 .. s;
+var u: array [1 .. s] of array [X] of real;
+define
+  u[1] = u0;
+  out = u[s];
+  u[T, X] = if X = 0 then u[T-1, X]
+            else (u[T, X-1] + u[T-1, X]) / 2;
+end GS1;
+)";
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(src, options);
+  ASSERT_TRUE(result.transform.has_value()) << result.diagnostics;
+  // deps (1,0) and (0,1): time function T+X.
+  EXPECT_EQ(result.transform->time, (std::vector<int64_t>{1, 1}));
+  ASSERT_TRUE(result.transformed.has_value());
+
+  IntEnv params{{"n", 8}, {"s", 5}};
+  Interpreter original(*result.primary->module, *result.primary->graph,
+                       result.primary->schedule.flowchart, params);
+  Interpreter transformed(*result.transformed->module,
+                          *result.transformed->graph,
+                          result.transformed->schedule.flowchart, params);
+  for (auto* interp : {&original, &transformed}) {
+    NdArray& in = interp->array("u0");
+    for (int64_t x = 0; x <= 8; ++x)
+      in.set(std::vector<int64_t>{x}, static_cast<double>(x * x % 7));
+  }
+  original.run();
+  transformed.run();
+  for (int64_t x = 0; x <= 8; ++x) {
+    std::vector<int64_t> idx{x};
+    EXPECT_NEAR(original.array("out").at(idx),
+                transformed.array("out").at(idx), 1e-12);
+  }
+}
+
+TEST(Rewrite, NameCollisionDiagnosed) {
+  // A module that already declares K' must be rejected.
+  auto result = compile_or_die(kGaussSeidelSource);
+  DiagnosticEngine diags;
+  auto deps = extract_dependences(*result.primary->module, "A", diags);
+  ASSERT_TRUE(deps.has_value());
+  deps->vars = {"I", "I", "I"};  // forces new vars I', I', I' -- collision
+  auto h = find_hyperplane(*deps);
+  ASSERT_TRUE(h.has_value());
+  auto rewritten = hyperplane_rewrite(*result.primary->module, *h, diags);
+  EXPECT_FALSE(rewritten.has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace ps

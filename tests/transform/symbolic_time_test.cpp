@@ -1,0 +1,196 @@
+#include "transform/symbolic_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../common/test_util.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+SymbolicDependence dep(std::vector<int64_t> constant,
+                       std::map<std::string, std::vector<int64_t>> symbols =
+                           {}) {
+  SymbolicDependence d;
+  d.constant = std::move(constant);
+  d.symbol_coeffs = std::move(symbols);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicTime, DegeneratesToThePlainSolverWithoutSymbols) {
+  // The paper's revised relaxation: five constant vectors, least
+  // solution (2, 1, 1).
+  std::vector<SymbolicDependence> deps{
+      dep({1, 0, 0}), dep({0, 0, 1}), dep({0, 1, 0}),
+      dep({1, 0, -1}), dep({1, -1, 0})};
+  auto a = solve_time_function_symbolic(deps);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_TRUE(satisfies_symbolic(*a, deps));
+}
+
+TEST(SymbolicTime, SymbolicShiftNeedsOuterDimensionOnly) {
+  // A[K, I] reads A[K-1, I+b] with b >= 1 symbolic: d = (1, -b).
+  std::vector<SymbolicDependence> deps{
+      dep({1, 0}, {{"b", {0, -1}}}),
+  };
+  auto a = solve_time_function_symbolic(deps);
+  ASSERT_TRUE(a.has_value());
+  // a . (0,-1) >= 0 forces a2 <= 0. Two schedules have cost 1:
+  // t = K (compute sweep by sweep) and t = -I (sweep right to left --
+  // legal because the read is at the larger index I + b). The solver's
+  // lexicographic tie-break picks (0, -1).
+  EXPECT_EQ(*a, (std::vector<int64_t>{0, -1}));
+  EXPECT_TRUE(satisfies_symbolic({1, 0}, deps));  // t = K also valid
+}
+
+TEST(SymbolicTime, SymbolWithPositiveCoefficientHelps) {
+  // d = (0, b): legal schedules need a2 >= 0 and a2 >= 1 at b = 1.
+  std::vector<SymbolicDependence> deps{dep({0, 0}, {{"b", {0, 1}}})};
+  auto a = solve_time_function_symbolic(deps);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(SymbolicTime, InfeasibleWhenSymbolPointsBothWays) {
+  // d1 = (0, b), d2 = (0, -b): a2 must be >= 0 and <= 0, and the
+  // corners need a2 >= 1 and -a2 >= 1 -- impossible.
+  std::vector<SymbolicDependence> deps{dep({0, 0}, {{"b", {0, 1}}}),
+                                       dep({0, 0}, {{"b", {0, -1}}})};
+  EXPECT_EQ(solve_time_function_symbolic(deps), std::nullopt);
+}
+
+TEST(SymbolicTime, MultipleSymbolsInOneDependence) {
+  // d = (1, -b, c) with b, c >= 1.
+  std::vector<SymbolicDependence> deps{
+      dep({1, 0, 0}, {{"b", {0, -1, 0}}, {"c", {0, 0, 1}}})};
+  auto a = solve_time_function_symbolic(deps);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(satisfies_symbolic(*a, deps));
+  // Cost-1 schedules include (1,0,0) and (0,-1,0); the lexicographic
+  // tie-break picks the latter.
+  EXPECT_EQ(*a, (std::vector<int64_t>{0, -1, 0}));
+  EXPECT_TRUE(satisfies_symbolic({1, 0, 0}, deps));
+}
+
+TEST(SymbolicTime, SatisfiesSymbolicRejectsNegativeSymbolDirections) {
+  std::vector<SymbolicDependence> deps{dep({2, 0}, {{"b", {0, -1}}})};
+  // a = (1, 1): corner (2,-1) dot = 1 >= 1, but the symbol row (0,-1)
+  // dots to -1 -- large b breaks it.
+  EXPECT_FALSE(satisfies_symbolic({1, 1}, deps));
+  EXPECT_TRUE(satisfies_symbolic({1, 0}, deps));
+  EXPECT_TRUE(satisfies_symbolic({1, -1}, deps));
+}
+
+/// Property: a symbolic solution instantiates to a valid plain time
+/// function for every concrete symbol value in 1..5.
+class SymbolicInstantiation : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SymbolicInstantiation, SolutionValidForConcreteSymbols) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> coeff(-1, 1);
+  std::uniform_int_distribution<int64_t> constant(-2, 2);
+
+  std::vector<SymbolicDependence> deps;
+  for (int i = 0; i < 3; ++i) {
+    SymbolicDependence d;
+    d.constant = {constant(rng) + 2, constant(rng), constant(rng)};
+    d.symbol_coeffs["b"] = {0, coeff(rng), coeff(rng)};
+    deps.push_back(std::move(d));
+  }
+  auto a = solve_time_function_symbolic(deps);
+  if (!a) GTEST_SKIP() << "instance infeasible";
+  ASSERT_TRUE(satisfies_symbolic(*a, deps));
+  for (int64_t b = 1; b <= 5; ++b) {
+    std::vector<std::vector<int64_t>> plain;
+    for (const SymbolicDependence& d : deps)
+      plain.push_back(d.instantiate({{"b", b}}));
+    EXPECT_TRUE(satisfies_dependences(*a, plain)) << "b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicInstantiation,
+                         ::testing::Range(1u, 25u));
+
+// ---------------------------------------------------------------------------
+// Extraction from PS modules
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSymbolicShift = R"PS(
+Shift: module (init: array[I] of real; n: int; b: int):
+  [y: array[I] of real];
+type
+  I = 0 .. n;  K = 2 .. n;
+var
+  X: array [1 .. n] of array [I] of real;
+define
+  X[1] = init;
+  y = X[n];
+  X[K, I] = if I + b <= n then X[K - 1, I + b] + 1.0 else 0.0;
+end Shift;
+)PS";
+
+TEST(SymbolicExtraction, ShiftRecurrenceYieldsSymbolicVector) {
+  auto result = compile_or_die(kSymbolicShift);
+  DiagnosticEngine diags;
+  auto deps = extract_symbolic_dependences(*result.primary->module, "X",
+                                           {"b"}, diags);
+  ASSERT_TRUE(deps.has_value()) << diags.render();
+  EXPECT_EQ(deps->vars, (std::vector<std::string>{"K", "I"}));
+  ASSERT_EQ(deps->vectors.size(), 1u);
+  EXPECT_EQ(deps->vectors[0].constant, (std::vector<int64_t>{1, 0}));
+  ASSERT_TRUE(deps->vectors[0].symbol_coeffs.count("b"));
+  EXPECT_EQ(deps->vectors[0].symbol_coeffs.at("b"),
+            (std::vector<int64_t>{0, -1}));
+  EXPECT_EQ(deps->vectors[0].to_string(), "(1, 0 - b)");
+
+  auto a = solve_time_function_symbolic(deps->vectors);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(satisfies_symbolic(*a, deps->vectors));
+  EXPECT_EQ(*a, (std::vector<int64_t>{0, -1}));
+}
+
+TEST(SymbolicExtraction, PlainOffsetsStillWork) {
+  auto result = compile_or_die(kSymbolicShift);
+  DiagnosticEngine diags;
+  // No symbols declared: A[K-1, I+b] has 'b' outside the fragment.
+  auto deps = extract_symbolic_dependences(*result.primary->module, "X", {},
+                                           diags);
+  EXPECT_FALSE(deps.has_value());
+  EXPECT_NE(diags.render().find("not a declared positive parameter"),
+            std::string::npos)
+      << diags.render();
+}
+
+constexpr const char* kCoupledSubscripts = R"PS(
+Bad: module (n: int): [y: array[I] of real];
+type
+  I = 0 .. n;  K = 2 .. n;
+var
+  X: array [1 .. n] of array [I] of real;
+define
+  X[1, I] = 0.0;
+  y = X[n];
+  X[K, I] = X[K - 1, 2 * I] + 1.0;
+end Bad;
+)PS";
+
+TEST(SymbolicExtraction, RejectsNonUnitSelfCoefficient) {
+  auto result = compile_or_die(kCoupledSubscripts);
+  DiagnosticEngine diags;
+  auto deps = extract_symbolic_dependences(*result.primary->module, "X",
+                                           {"n"}, diags);
+  EXPECT_FALSE(deps.has_value());
+  EXPECT_NE(diags.render().find("outside the symbolic-offset fragment"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,136 @@
+#include "transform/time_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <random>
+
+namespace ps {
+namespace {
+
+TEST(TimeFunction, PaperExample) {
+  // Section 4's five dependence inequalities:
+  //   a > 0, c > 0, b > 0, a > c, a > b  =>  least a=2, b=c=1.
+  std::vector<std::vector<int64_t>> deps = {
+      {1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 0, -1}, {1, -1, 0}};
+  auto t = solve_time_function(deps);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_TRUE(satisfies_dependences(*t, deps));
+}
+
+TEST(TimeFunction, JacobiNeedsOnlyFirstDim) {
+  // Jacobi dependences: all have +1 in K, anything in I/J.
+  std::vector<std::vector<int64_t>> deps = {
+      {1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 0, -1}, {1, -1, 0}};
+  auto t = solve_time_function(deps);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, (std::vector<int64_t>{1, 0, 0}));
+}
+
+TEST(TimeFunction, PureWavefront) {
+  // a[I,J] = a[I-1,J] + a[I,J-1]: deps (1,0) and (0,1); least is (1,1).
+  std::vector<std::vector<int64_t>> deps = {{1, 0}, {0, 1}};
+  auto t = solve_time_function(deps);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, (std::vector<int64_t>{1, 1}));
+}
+
+TEST(TimeFunction, InfeasibleOppositeDependences) {
+  std::vector<std::vector<int64_t>> deps = {{1, -1}, {-1, 1}};
+  EXPECT_FALSE(solve_time_function(deps).has_value());
+}
+
+TEST(TimeFunction, ZeroVectorInfeasible) {
+  std::vector<std::vector<int64_t>> deps = {{0, 0}};
+  EXPECT_FALSE(solve_time_function(deps).has_value());
+}
+
+TEST(TimeFunction, NegativeCoefficientWhenNeeded) {
+  // Single dependence (1, -2): both (1,0) and (0,-1) have |.|-sum 1; the
+  // lexicographic tie-break picks (0,-1).
+  std::vector<std::vector<int64_t>> deps = {{1, -2}};
+  auto t = solve_time_function(deps);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, (std::vector<int64_t>{0, -1}));
+  EXPECT_TRUE(satisfies_dependences(*t, deps));
+  // Force a negative coefficient: (0,-1) requires b <= -1.
+  deps = {{0, -1}};
+  t = solve_time_function(deps);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, (std::vector<int64_t>{0, -1}));
+}
+
+TEST(TimeFunction, EmptyInputRejected) {
+  EXPECT_FALSE(solve_time_function({}).has_value());
+  EXPECT_FALSE(
+      solve_time_function({{1, 0}, {1}}).has_value());  // ragged
+}
+
+TEST(TimeFunction, SatisfiesHelper) {
+  EXPECT_TRUE(satisfies_dependences({2, 1, 1}, {{1, 0, -1}}));
+  EXPECT_FALSE(satisfies_dependences({1, 1, 1}, {{1, 0, -1}}));
+  EXPECT_FALSE(satisfies_dependences({1, 1}, {{1, 0, -1}}));  // size
+}
+
+class TimeFunctionPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TimeFunctionPropertyTest, MatchesBruteForceOptimum) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> dims(1, 3);
+  std::uniform_int_distribution<int> count(1, 5);
+  std::uniform_int_distribution<int64_t> comp(-2, 2);
+
+  size_t n = static_cast<size_t>(dims(rng));
+  std::vector<std::vector<int64_t>> deps;
+  int m = count(rng);
+  for (int i = 0; i < m; ++i) {
+    std::vector<int64_t> d(n);
+    for (auto& v : d) v = comp(rng);
+    deps.push_back(std::move(d));
+  }
+
+  TimeFunctionOptions options;
+  options.bound = 8;
+  auto got = solve_time_function(deps, options);
+
+  // Brute force over the same box: find min (sum |a|, lex) feasible.
+  std::optional<std::vector<int64_t>> best;
+  int64_t best_cost = 0;
+  std::vector<int64_t> a(n, 0);
+  auto cost = [&](const std::vector<int64_t>& v) {
+    int64_t s = 0;
+    for (int64_t x : v) s += x < 0 ? -x : x;
+    return s;
+  };
+  std::function<void(size_t)> enumerate = [&](size_t k) {
+    if (k == n) {
+      if (!satisfies_dependences(a, deps)) return;
+      int64_t c = cost(a);
+      if (!best || c < best_cost || (c == best_cost && a < *best)) {
+        best = a;
+        best_cost = c;
+      }
+      return;
+    }
+    for (int64_t v = -8; v <= 8; ++v) {
+      a[k] = v;
+      enumerate(k + 1);
+    }
+    a[k] = 0;
+  };
+  enumerate(0);
+
+  ASSERT_EQ(got.has_value(), best.has_value());
+  if (got) {
+    EXPECT_TRUE(satisfies_dependences(*got, deps));
+    EXPECT_EQ(*got, *best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeFunctionPropertyTest,
+                         ::testing::Range(0u, 40u));
+
+}  // namespace
+}  // namespace ps
