@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -267,12 +269,17 @@ void BM_ExactNestScan(benchmark::State& state) {
 BENCHMARK(BM_ExactNestScan)->Arg(32)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
+// args: {M, engine} with engine 0 = shared bytecode core, 1 = tree-walk
+// reference -- the ratio is the payoff of compiling the recurrence once
+// instead of re-walking its AST at every wavefront point.
 void BM_WavefrontRunner(benchmark::State& state) {
   auto result = compile_exact();
   const long m = state.range(0);
   ps::ThreadPool pool;
   ps::WavefrontOptions opts;
   opts.pool = &pool;
+  opts.engine = state.range(1) == 0 ? ps::EvalEngine::Bytecode
+                                    : ps::EvalEngine::TreeWalk;
   for (auto _ : state) {
     ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
                              *result.exact_nest,
@@ -282,16 +289,17 @@ void BM_WavefrontRunner(benchmark::State& state) {
     benchmark::DoNotOptimize(wave.stats().points);
   }
 }
-BENCHMARK(BM_WavefrontRunner)->Arg(64)->Arg(128)
+BENCHMARK(BM_WavefrontRunner)
+    ->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_point_counts();
-  print_interpreter_table();
-  print_compiled_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_point_counts();
+    print_interpreter_table();
+    print_compiled_table();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

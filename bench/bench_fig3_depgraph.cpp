@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -64,8 +66,8 @@ BENCHMARK(BM_SccScaling)->Range(64, 65536)->Complexity(benchmark::oN);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_figure();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

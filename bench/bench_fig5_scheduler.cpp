@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 #include <sstream>
 
@@ -87,8 +89,8 @@ BENCHMARK(BM_ScheduleSyntheticChain)->Range(4, 256)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figures();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_figures();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

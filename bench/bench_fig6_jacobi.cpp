@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -67,8 +69,8 @@ BENCHMARK(BM_JacobiSchedule)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_figure();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -105,8 +107,8 @@ BENCHMARK(BM_GaussSeidelHyperplane)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_figure();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

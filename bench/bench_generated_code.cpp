@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -161,8 +163,8 @@ BENCHMARK(BM_EmitC)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_openmp_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_openmp_table();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

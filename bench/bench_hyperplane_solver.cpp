@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 #include <random>
 
@@ -91,8 +93,8 @@ BENCHMARK(BM_GcdCompletionFallback);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_derivation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_derivation();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "bench_common.hpp"
 
 namespace {
@@ -63,4 +65,6 @@ BENCHMARK(BM_CollapseAblationWavefront)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

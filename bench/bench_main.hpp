@@ -1,0 +1,50 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ps::bench {
+
+/// True when a bare `--json` was passed: the benchmark JSON report goes
+/// to stdout, so mains must suppress their narrative printf output to
+/// keep the stream parseable.
+inline bool json_to_stdout(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  return false;
+}
+
+/// Run the registered benchmarks, translating the repo-standard
+/// `--json[=FILE]` flag into Google Benchmark's native reporter options:
+/// `--json` streams the JSON report to stdout, `--json=FILE` writes it
+/// to FILE while keeping the console report. This is how perf
+/// trajectories get recorded as BENCH_*.json files across PRs.
+inline int run_benchmarks(int argc, char** argv) {
+  std::vector<std::string> translated;
+  translated.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      translated.push_back("--benchmark_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      translated.push_back("--benchmark_out=" + arg.substr(7));
+      translated.push_back("--benchmark_out_format=json");
+    } else {
+      translated.push_back(std::move(arg));
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(translated.size() + 1);
+  for (std::string& arg : translated) args.push_back(arg.data());
+  args.push_back(nullptr);
+  int count = static_cast<int>(translated.size());
+  benchmark::Initialize(&count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ps::bench

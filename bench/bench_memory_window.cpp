@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -78,8 +80,8 @@ BENCHMARK(BM_JacobiStorage)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_table();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -113,8 +115,8 @@ BENCHMARK(BM_EqnFrontendFullPipeline)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_work_span_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    print_work_span_table();
+  }
+  return ps::bench::run_benchmarks(argc, argv);
 }

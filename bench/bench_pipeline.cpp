@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include <cstdio>
 #include <sstream>
 
@@ -99,4 +101,6 @@ BENCHMARK(BM_LoopMergeAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

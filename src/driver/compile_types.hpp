@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/loop_merge.hpp"
+#include "core/scheduler.hpp"
+#include "frontend/sema.hpp"
+#include "graph/depgraph.hpp"
+#include "transform/time_function.hpp"
+
+namespace ps {
+
+/// End-to-end compilation options.
+struct CompileOptions {
+  /// Run the loop-fusion pass on the flowchart (the paper's conclusion
+  /// lists better loop merging as ongoing work).
+  bool merge_loops = false;
+  /// Attempt the section-4 hyperplane restructuring on recursively
+  /// defined local arrays whose dependences force iterative inner loops.
+  bool apply_hyperplane = false;
+  /// With apply_hyperplane: also project the transformed iteration
+  /// domain to exact non-rectangular loop bounds (Lamport [10]) via
+  /// Fourier-Motzkin elimination, and emit the transformed module's C
+  /// with those bounds instead of the guarded bounding box. The nest is
+  /// returned in CompileResult::exact_nest for the interpreter.
+  bool exact_bounds = false;
+  /// Generate C code (deliverable of the paper's code generator phase).
+  bool emit_c_code = true;
+  bool emit_openmp = true;
+  bool use_virtual_windows = true;
+  TimeFunctionOptions solver;
+};
+
+/// One fully analysed and scheduled module.
+struct CompiledModule {
+  std::unique_ptr<CheckedModule> module;
+  std::unique_ptr<DepGraph> graph;  // refers into *module
+  ScheduleResult schedule;
+  MergeStats merge_stats;
+  std::string c_code;
+  std::string source;  // PS source text (pretty-printed for derived modules)
+};
+
+}  // namespace ps

@@ -1,112 +1,47 @@
 #include "driver/compiler.hpp"
 
+#include "driver/pass_manager.hpp"
+
 namespace ps {
 
 std::optional<CompiledModule> Compiler::analyze(ModuleAst ast,
                                                 DiagnosticEngine& diags) const {
-  CompiledModule out;
-  out.source = to_source(ast);
+  CompilationUnit unit(options_, {});
+  unit.ast = std::move(ast);
+  PassManager pipeline = PassManager::module_pipeline();
+  pipeline.run(unit);
 
-  Sema sema(diags);
-  auto checked = sema.check(std::move(ast));
-  if (!checked) return std::nullopt;
-  out.module = std::make_unique<CheckedModule>(std::move(*checked));
-
-  out.graph = std::make_unique<DepGraph>(DepGraph::build(*out.module));
-
-  Scheduler scheduler(*out.graph);
-  out.schedule = scheduler.run();
-  if (!out.schedule.ok) {
-    for (const auto& err : out.schedule.errors) diags.error({}, err);
-    return out;  // schedule failed but analysis artefacts remain useful
+  // Replay the unit's diagnostics into the caller's engine (which may
+  // carry its own source buffer and earlier diagnostics).
+  for (const Diagnostic& d : unit.diags.diagnostics()) {
+    switch (d.severity) {
+      case Severity::Note: diags.note(d.loc, d.message); break;
+      case Severity::Warning: diags.warning(d.loc, d.message); break;
+      case Severity::Error: diags.error(d.loc, d.message); break;
+    }
   }
-
-  if (options_.merge_loops)
-    out.schedule.flowchart =
-        merge_loops_reordered(std::move(out.schedule.flowchart), *out.graph,
-                              &out.merge_stats);
-
-  if (options_.emit_c_code) {
-    CodegenOptions cg;
-    cg.emit_openmp = options_.emit_openmp;
-    cg.use_virtual_windows = options_.use_virtual_windows;
-    cg.virtual_dims = &out.schedule.virtual_dims;
-    out.c_code = emit_c(*out.module, *out.graph, out.schedule.flowchart, cg);
-  }
-  return out;
+  if (unit.module == nullptr) return std::nullopt;
+  // A failed schedule still returns the analysis artefacts (with error
+  // diagnostics in `diags`), matching the historical facade behaviour.
+  return unit.take_module();
 }
 
 CompileResult Compiler::compile(std::string_view source) const {
+  CompilationUnit unit(options_, source);
+  PassManager pipeline = PassManager::default_pipeline();
+  bool ok = pipeline.run(unit);
+
   CompileResult result;
-  DiagnosticEngine diags;
-  diags.set_source(source);
+  result.ok = ok;
+  result.diagnostics = unit.diags.render() + unit.extra_diagnostics;
+  result.pass_timings = pipeline.timings();
+  if (unit.module != nullptr) result.primary = unit.take_module();
+  if (!ok) return result;
 
-  Parser parser(source, diags);
-  ProgramAst program = parser.parse_program();
-  if (diags.has_errors() || program.modules.empty()) {
-    if (program.modules.empty() && !diags.has_errors())
-      diags.error({}, "no module found in input");
-    result.diagnostics = diags.render();
-    return result;
-  }
-
-  auto primary = analyze(std::move(program.modules.front()), diags);
-  if (!primary || diags.has_errors()) {
-    result.diagnostics = diags.render();
-    if (primary) result.primary = std::move(primary);
-    return result;
-  }
-  result.primary = std::move(primary);
-  result.ok = true;
-
-  if (options_.apply_hyperplane) {
-    const CheckedModule& module = *result.primary->module;
-    for (const std::string& candidate : transform_candidates(module)) {
-      DiagnosticEngine probe;  // failures here are not fatal
-      auto deps = extract_dependences(module, candidate, probe);
-      if (!deps) continue;
-      auto transform = find_hyperplane(*deps, options_.solver);
-      if (!transform) continue;
-      auto rewritten = hyperplane_rewrite(module, *transform, probe);
-      if (!rewritten) continue;
-      DiagnosticEngine tdiags;
-      auto transformed = analyze(std::move(*rewritten), tdiags);
-      if (!transformed || tdiags.has_errors()) {
-        result.diagnostics += tdiags.render();
-        continue;
-      }
-      result.dependences = std::move(*deps);
-      result.transform = std::move(*transform);
-      result.transformed = std::move(transformed);
-
-      if (options_.exact_bounds) {
-        // Lamport-style exact scanning of the skewed domain: project the
-        // image of the original index box onto per-level loop bounds and
-        // regenerate the transformed module's C with them.
-        auto domain = transformed_domain(module, *result.transform);
-        if (domain) {
-          auto nest =
-              fourier_motzkin_bounds(*domain, result.transform->new_vars);
-          if (nest) {
-            result.exact_nest = std::move(*nest);
-            if (options_.emit_c_code) {
-              CodegenOptions cg;
-              cg.emit_openmp = options_.emit_openmp;
-              cg.use_virtual_windows = options_.use_virtual_windows;
-              cg.virtual_dims = &result.transformed->schedule.virtual_dims;
-              cg.exact_bounds = &*result.exact_nest;
-              result.transformed->c_code = emit_c(
-                  *result.transformed->module, *result.transformed->graph,
-                  result.transformed->schedule.flowchart, cg);
-            }
-          }
-        }
-      }
-      break;  // transform the first viable candidate
-    }
-  }
-
-  result.diagnostics += diags.render();
+  result.dependences = std::move(unit.dependences);
+  result.transform = std::move(unit.transform);
+  result.transformed = std::move(unit.transformed);
+  result.exact_nest = std::move(unit.exact_nest);
   return result;
 }
 

@@ -5,9 +5,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "codegen/c_emitter.hpp"
 #include "core/loop_merge.hpp"
 #include "core/scheduler.hpp"
+#include "driver/pass_manager.hpp"
 #include "frontend/parser.hpp"
 #include "frontend/sema.hpp"
 #include "graph/depgraph.hpp"
@@ -17,37 +20,6 @@
 #include "transform/rewrite.hpp"
 
 namespace ps {
-
-/// End-to-end compilation options.
-struct CompileOptions {
-  /// Run the loop-fusion pass on the flowchart (the paper's conclusion
-  /// lists better loop merging as ongoing work).
-  bool merge_loops = false;
-  /// Attempt the section-4 hyperplane restructuring on recursively
-  /// defined local arrays whose dependences force iterative inner loops.
-  bool apply_hyperplane = false;
-  /// With apply_hyperplane: also project the transformed iteration
-  /// domain to exact non-rectangular loop bounds (Lamport [10]) via
-  /// Fourier-Motzkin elimination, and emit the transformed module's C
-  /// with those bounds instead of the guarded bounding box. The nest is
-  /// returned in CompileResult::exact_nest for the interpreter.
-  bool exact_bounds = false;
-  /// Generate C code (deliverable of the paper's code generator phase).
-  bool emit_c_code = true;
-  bool emit_openmp = true;
-  bool use_virtual_windows = true;
-  TimeFunctionOptions solver;
-};
-
-/// One fully analysed and scheduled module.
-struct CompiledModule {
-  std::unique_ptr<CheckedModule> module;
-  std::unique_ptr<DepGraph> graph;  // refers into *module
-  ScheduleResult schedule;
-  MergeStats merge_stats;
-  std::string c_code;
-  std::string source;  // PS source text (pretty-printed for derived modules)
-};
 
 struct CompileResult {
   bool ok = false;
@@ -62,10 +34,16 @@ struct CompileResult {
   /// InterpreterOptions::exact_bounds / CodegenOptions::exact_bounds;
   /// stable for the lifetime of the result.
   std::optional<LoopNestBounds> exact_nest;
+  /// Per-stage wall time of the pipeline that produced this result
+  /// (psc --time-passes); one entry per pass, skipped stages included.
+  std::vector<PassTiming> pass_timings;
 };
 
-/// The psc compiler facade: parse -> sema -> dependency graph ->
-/// schedule (-> hyperplane restructure -> reschedule) -> C code.
+/// The psc compiler facade: a thin wrapper that assembles the default
+/// pass pipeline (Parse -> Sema -> DepGraph -> Schedule -> LoopMerge ->
+/// Hyperplane -> ExactBounds -> Emit) from its options and threads a
+/// CompilationUnit through it. See driver/pass_manager.hpp for the
+/// stages themselves.
 class Compiler {
  public:
   explicit Compiler(CompileOptions options = {}) : options_(options) {}
@@ -73,9 +51,17 @@ class Compiler {
   /// Compile the first module of `source`.
   [[nodiscard]] CompileResult compile(std::string_view source) const;
 
-  /// Analyse and schedule an already-parsed module.
+  /// Analyse and schedule an already-parsed module: the per-module tail
+  /// of the pipeline (Sema..Emit) on a fresh unit. Diagnostics are
+  /// replayed into `diags`.
   [[nodiscard]] std::optional<CompiledModule> analyze(
       ModuleAst ast, DiagnosticEngine& diags) const;
+
+  /// The pipeline `compile` runs, for listing and ordering checks
+  /// (psc --passes).
+  [[nodiscard]] PassManager pipeline() const {
+    return PassManager::default_pipeline();
+  }
 
   [[nodiscard]] const CompileOptions& options() const { return options_; }
 

@@ -11,6 +11,8 @@
 //     --hyperplane      apply the section-4 restructuring and report both
 //     --merge           run the loop-fusion pass
 //     --no-windows      disable virtual-dimension windowing in codegen
+//     --passes          list the pipeline stages for the given options
+//     --time-passes     print per-stage wall time after compiling
 
 #include <fstream>
 #include <iostream>
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
   bool c_code = false;
   bool source = false;
   bool schedule = false;
+  bool list_passes = false;
+  bool time_passes = false;
   std::string path;
 
   ps::CompileOptions options;
@@ -75,16 +79,39 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--merge") options.merge_loops = true;
     else if (arg == "--no-windows") options.use_virtual_windows = false;
+    else if (arg == "--passes") list_passes = true;
+    else if (arg == "--time-passes") time_passes = true;
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
                    "--source] [--hyperplane] [--exact] [--merge] "
-                   "[--no-windows] <file.ps|->\n";
+                   "[--no-windows] [--passes] [--time-passes] <file.ps|->\n";
       return 0;
     } else {
       path = arg;
     }
   }
   if (!components && !graph && !dot && !c_code && !source) schedule = true;
+
+  if (list_passes) {
+    // Show the pipeline the current options assemble, and verify its
+    // stage ordering (each pass's prerequisites must come earlier).
+    ps::Compiler compiler(options);
+    ps::PassManager pipeline = compiler.pipeline();
+    ps::CompilationUnit unit(compiler.options(), {});
+    std::cout << "pipeline:\n";
+    for (const ps::PassPlanEntry& entry : pipeline.plan(unit))
+      std::cout << "  " << entry.name
+                << (entry.enabled ? "" : "  (disabled by options)") << '\n';
+    auto violations = pipeline.check_order();
+    if (violations.empty()) {
+      std::cout << "ordering: ok\n";
+    } else {
+      for (const std::string& v : violations)
+        std::cout << "ordering violation: " << v << '\n';
+      return 1;
+    }
+    if (path.empty()) return 0;  // listing alone needs no input
+  }
   if (path.empty()) {
     std::cerr << "psc: no input file (use '-' for stdin)\n";
     return 2;
@@ -109,6 +136,8 @@ int main(int argc, char** argv) {
   ps::Compiler compiler(options);
   ps::CompileResult result = compiler.compile(text);
   if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
+  if (time_passes)
+    std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
   if (!result.ok || !result.primary) return 1;
 
   print_stage(*result.primary, components, graph, dot, c_code, source,

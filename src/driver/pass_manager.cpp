@@ -1,0 +1,327 @@
+#include "driver/pass_manager.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "driver/compiler.hpp"
+#include "frontend/ast.hpp"
+#include "support/text_table.hpp"
+
+namespace ps {
+
+CompilationUnit::CompilationUnit(const CompileOptions& options,
+                                 std::string_view source)
+    : options(&options), source(source) {
+  diags.set_source(source);
+}
+
+CompiledModule CompilationUnit::take_module() {
+  CompiledModule out;
+  out.module = std::move(module);
+  out.graph = std::move(graph);
+  out.schedule = std::move(schedule);
+  out.merge_stats = merge_stats;
+  out.c_code = std::move(c_code);
+  out.source = std::move(module_source);
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// The stages
+// ---------------------------------------------------------------------------
+
+class ParsePass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Parse"; }
+
+  void run(CompilationUnit& unit) override {
+    Parser parser(unit.source, unit.diags);
+    ProgramAst program = parser.parse_program();
+    if (program.modules.empty()) {
+      if (!unit.diags.has_errors())
+        unit.diags.error({}, "no module found in input");
+      return;
+    }
+    if (unit.diags.has_errors()) return;
+    unit.ast = std::move(program.modules.front());
+  }
+};
+
+class SemaPass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Sema"; }
+
+  void run(CompilationUnit& unit) override {
+    if (!unit.ast) {
+      unit.diags.error({}, "internal: Sema scheduled without a parsed module");
+      return;
+    }
+    unit.module_source = to_source(*unit.ast);
+    Sema sema(unit.diags);
+    auto checked = sema.check(std::move(*unit.ast));
+    unit.ast.reset();
+    if (!checked) {
+      unit.stop = true;
+      return;
+    }
+    unit.module = std::make_unique<CheckedModule>(std::move(*checked));
+  }
+};
+
+class DepGraphPass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "DepGraph"; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"Sema"};
+  }
+
+  void run(CompilationUnit& unit) override {
+    unit.graph = std::make_unique<DepGraph>(DepGraph::build(*unit.module));
+  }
+};
+
+class SchedulePass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Schedule"; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"DepGraph"};
+  }
+
+  void run(CompilationUnit& unit) override {
+    Scheduler scheduler(*unit.graph);
+    unit.schedule = scheduler.run();
+    if (!unit.schedule.ok) {
+      for (const auto& err : unit.schedule.errors) unit.diags.error({}, err);
+      // Analysis artefacts remain useful; the pipeline stops here.
+      unit.stop = true;
+    }
+  }
+};
+
+class LoopMergePass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "LoopMerge"; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"Schedule"};
+  }
+  [[nodiscard]] bool enabled(const CompilationUnit& unit) const override {
+    return unit.options->merge_loops;
+  }
+
+  void run(CompilationUnit& unit) override {
+    unit.schedule.flowchart = merge_loops_reordered(
+        std::move(unit.schedule.flowchart), *unit.graph, &unit.merge_stats);
+  }
+};
+
+class HyperplanePass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Hyperplane"; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"Schedule"};
+  }
+  [[nodiscard]] bool enabled(const CompilationUnit& unit) const override {
+    return unit.options->apply_hyperplane;
+  }
+
+  void run(CompilationUnit& unit) override {
+    const CheckedModule& module = *unit.module;
+    for (const std::string& candidate : transform_candidates(module)) {
+      DiagnosticEngine probe;  // failures here are not fatal
+      auto deps = extract_dependences(module, candidate, probe);
+      if (!deps) continue;
+      auto transform = find_hyperplane(*deps, unit.options->solver);
+      if (!transform) continue;
+      auto rewritten = hyperplane_rewrite(module, *transform, probe);
+      if (!rewritten) continue;
+
+      // The rewritten module goes through the same per-module stages as
+      // the primary one: a nested pipeline over a child unit.
+      CompilationUnit child(*unit.options, {});
+      child.ast = std::move(*rewritten);
+      PassManager nested = PassManager::module_pipeline();
+      if (!nested.run(child) || child.module == nullptr) {
+        unit.extra_diagnostics += child.diags.render();
+        continue;
+      }
+      unit.dependences = std::move(*deps);
+      unit.transform = std::move(*transform);
+      unit.transformed = child.take_module();
+      break;  // transform the first viable candidate
+    }
+  }
+};
+
+class ExactBoundsPass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "ExactBounds";
+  }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"Hyperplane"};
+  }
+  [[nodiscard]] bool enabled(const CompilationUnit& unit) const override {
+    return unit.options->apply_hyperplane && unit.options->exact_bounds;
+  }
+
+  void run(CompilationUnit& unit) override {
+    if (!unit.transform || !unit.transformed) return;  // nothing to refine
+    // Lamport-style exact scanning of the skewed domain: project the
+    // image of the original index box onto per-level loop bounds and
+    // regenerate the transformed module's C with them.
+    auto domain = transformed_domain(*unit.module, *unit.transform);
+    if (!domain) return;
+    auto nest = fourier_motzkin_bounds(*domain, unit.transform->new_vars);
+    if (!nest) return;
+    unit.exact_nest = std::move(*nest);
+    if (unit.options->emit_c_code) {
+      CodegenOptions cg;
+      cg.emit_openmp = unit.options->emit_openmp;
+      cg.use_virtual_windows = unit.options->use_virtual_windows;
+      cg.virtual_dims = &unit.transformed->schedule.virtual_dims;
+      cg.exact_bounds = &*unit.exact_nest;
+      unit.transformed->c_code =
+          emit_c(*unit.transformed->module, *unit.transformed->graph,
+                 unit.transformed->schedule.flowchart, cg);
+    }
+  }
+};
+
+class EmitPass : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Emit"; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return {"Schedule"};
+  }
+  [[nodiscard]] bool enabled(const CompilationUnit& unit) const override {
+    return unit.options->emit_c_code;
+  }
+
+  void run(CompilationUnit& unit) override {
+    CodegenOptions cg;
+    cg.emit_openmp = unit.options->emit_openmp;
+    cg.use_virtual_windows = unit.options->use_virtual_windows;
+    cg.virtual_dims = &unit.schedule.virtual_dims;
+    unit.c_code =
+        emit_c(*unit.module, *unit.graph, unit.schedule.flowchart, cg);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PassManager
+// ---------------------------------------------------------------------------
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<std::string> PassManager::check_order() const {
+  std::vector<std::string> violations;
+  for (size_t i = 0; i < passes_.size(); ++i) {
+    for (std::string_view required : passes_[i]->requires_passes()) {
+      bool satisfied = false;
+      for (size_t j = 0; j < i; ++j)
+        if (passes_[j]->name() == required) {
+          satisfied = true;
+          break;
+        }
+      if (!satisfied)
+        violations.push_back(std::string(passes_[i]->name()) +
+                             " requires " + std::string(required) +
+                             " earlier in the pipeline");
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string_view> PassManager::pass_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass->name());
+  return names;
+}
+
+std::vector<PassPlanEntry> PassManager::plan(
+    const CompilationUnit& unit) const {
+  std::vector<PassPlanEntry> entries;
+  entries.reserve(passes_.size());
+  for (const auto& pass : passes_)
+    entries.push_back({pass->name(), pass->enabled(unit)});
+  return entries;
+}
+
+bool PassManager::run(CompilationUnit& unit) {
+  timings_.clear();
+  timings_.reserve(passes_.size());
+  bool halted = false;
+  for (const auto& pass : passes_) {
+    PassTiming timing;
+    timing.name = std::string(pass->name());
+    if (!halted && pass->enabled(unit)) {
+      auto start = std::chrono::steady_clock::now();
+      pass->run(unit);
+      auto end = std::chrono::steady_clock::now();
+      timing.milliseconds =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      timing.ran = true;
+      // Early exit: a pass that diagnosed errors (or requested a stop)
+      // ends the pipeline; the remaining stages are recorded as skipped.
+      if (unit.diags.has_errors() || unit.stop) halted = true;
+    }
+    timings_.push_back(std::move(timing));
+  }
+  return !halted;
+}
+
+PassManager PassManager::module_pipeline() {
+  PassManager pm;
+  pm.add(std::make_unique<SemaPass>())
+      .add(std::make_unique<DepGraphPass>())
+      .add(std::make_unique<SchedulePass>())
+      .add(std::make_unique<LoopMergePass>())
+      .add(std::make_unique<EmitPass>());
+  return pm;
+}
+
+PassManager PassManager::default_pipeline() {
+  PassManager pm;
+  pm.add(std::make_unique<ParsePass>())
+      .add(std::make_unique<SemaPass>())
+      .add(std::make_unique<DepGraphPass>())
+      .add(std::make_unique<SchedulePass>())
+      .add(std::make_unique<LoopMergePass>())
+      .add(std::make_unique<HyperplanePass>())
+      .add(std::make_unique<ExactBoundsPass>())
+      .add(std::make_unique<EmitPass>());
+  return pm;
+}
+
+std::string format_pass_timings(const std::vector<PassTiming>& timings) {
+  TextTable table({"Pass", "Time (ms)", "Ran"});
+  double total = 0;
+  for (const PassTiming& timing : timings) {
+    char buffer[32];
+    snprintf(buffer, sizeof(buffer), "%.3f", timing.milliseconds);
+    table.add_row({timing.name, timing.ran ? buffer : "-",
+                   timing.ran ? "yes" : "no"});
+    total += timing.milliseconds;
+  }
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%.3f", total);
+  table.add_row({"total", buffer, ""});
+  return table.render();
+}
+
+}  // namespace ps

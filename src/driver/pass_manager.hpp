@@ -1,0 +1,156 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/c_emitter.hpp"
+#include "core/loop_merge.hpp"
+#include "core/scheduler.hpp"
+#include "driver/compile_types.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "graph/depgraph.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/dependence.hpp"
+#include "transform/hyperplane.hpp"
+#include "transform/polyhedron.hpp"
+#include "transform/rewrite.hpp"
+
+namespace ps {
+
+/// The state threaded through the pass pipeline: source in, analysis
+/// artefacts accumulated stage by stage, C code out. One unit describes
+/// one module's journey; the Hyperplane pass runs a nested pipeline over
+/// a second unit for the rewritten module.
+struct CompilationUnit {
+  CompilationUnit(const CompileOptions& options, std::string_view source);
+
+  const CompileOptions* options;  // never null
+  std::string_view source;        // must outlive the unit
+  DiagnosticEngine diags;
+
+  // -- Parse -------------------------------------------------------------
+  std::optional<ModuleAst> ast;
+
+  // -- Sema --------------------------------------------------------------
+  std::string module_source;  // pretty-printed PS of the module
+  std::unique_ptr<CheckedModule> module;
+
+  // -- DepGraph ----------------------------------------------------------
+  std::unique_ptr<DepGraph> graph;  // refers into *module
+
+  // -- Schedule / LoopMerge ----------------------------------------------
+  ScheduleResult schedule;
+  MergeStats merge_stats;
+
+  // -- Emit --------------------------------------------------------------
+  std::string c_code;
+
+  // -- Hyperplane / ExactBounds (top-level unit only) --------------------
+  std::optional<DependenceSet> dependences;
+  std::optional<HyperplaneTransform> transform;
+  std::optional<CompiledModule> transformed;
+  std::optional<LoopNestBounds> exact_nest;
+
+  /// Diagnostics rendered by nested pipelines (e.g. a failed analysis of
+  /// the hyperplane-rewritten module), appended to the unit's own.
+  std::string extra_diagnostics;
+
+  /// Set by a pass to halt the pipeline without emitting a diagnostic
+  /// (diagnosed errors halt it on their own).
+  bool stop = false;
+
+  /// Move the per-module artefacts out as the driver-facing result type.
+  [[nodiscard]] CompiledModule take_module();
+};
+
+/// One named compilation stage. Passes declare the stages they depend
+/// on so a pipeline's ordering can be verified statically (the
+/// `--passes` reorder check and the pass-manager tests).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Names of passes that must appear (enabled) earlier in the pipeline.
+  [[nodiscard]] virtual std::vector<std::string_view> requires_passes()
+      const {
+    return {};
+  }
+
+  /// False when the unit's options turn the stage off; skipped passes
+  /// still show up in listings and timing reports (with ran = false).
+  [[nodiscard]] virtual bool enabled(const CompilationUnit& unit) const {
+    return true;
+  }
+
+  virtual void run(CompilationUnit& unit) = 0;
+};
+
+/// Wall time and disposition of one pipeline stage.
+struct PassTiming {
+  std::string name;
+  double milliseconds = 0;
+  bool ran = false;
+};
+
+/// One row of a pipeline listing (psc --passes).
+struct PassPlanEntry {
+  std::string_view name;
+  bool enabled = false;
+};
+
+/// Runs passes in order over a CompilationUnit, recording per-stage wall
+/// time and early-exiting as soon as a pass leaves error diagnostics or
+/// sets `unit.stop`.
+class PassManager {
+ public:
+  PassManager() = default;
+
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// Verify that every pass's `requires_passes()` names a stage added
+  /// earlier; returns the violations ("X requires Y") or empty when the
+  /// ordering is valid.
+  [[nodiscard]] std::vector<std::string> check_order() const;
+
+  /// Run the pipeline. Returns true when every enabled pass ran without
+  /// leaving errors. Timings for the completed run are in `timings()`.
+  bool run(CompilationUnit& unit);
+
+  [[nodiscard]] const std::vector<PassTiming>& timings() const {
+    return timings_;
+  }
+
+  [[nodiscard]] std::vector<std::string_view> pass_names() const;
+
+  /// Which stages would run for this unit's options (psc --passes).
+  [[nodiscard]] std::vector<PassPlanEntry> plan(
+      const CompilationUnit& unit) const;
+
+  [[nodiscard]] size_t size() const { return passes_.size(); }
+
+  /// The stages `Compiler::compile` assembles from its options: Parse,
+  /// Sema, DepGraph, Schedule, LoopMerge, Hyperplane, ExactBounds, Emit.
+  [[nodiscard]] static PassManager default_pipeline();
+
+  /// The per-module tail of the pipeline (Sema..Emit), used by
+  /// `Compiler::analyze` and by the Hyperplane pass for the rewritten
+  /// module.
+  [[nodiscard]] static PassManager module_pipeline();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassTiming> timings_;
+};
+
+/// Render timings as a small right-aligned table (psc --time-passes).
+[[nodiscard]] std::string format_pass_timings(
+    const std::vector<PassTiming>& timings);
+
+}  // namespace ps

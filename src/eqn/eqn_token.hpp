@@ -1,10 +1,8 @@
 #pragma once
 
-#include <cstdint>
-#include <string>
 #include <string_view>
 
-#include "support/source_location.hpp"
+#include "support/token_base.hpp"
 
 namespace ps::eqn {
 
@@ -60,13 +58,7 @@ enum class EqnTokKind {
   DotDot,     // ..
 };
 
-struct EqnToken {
-  EqnTokKind kind = EqnTokKind::EndOfFile;
-  std::string text;   // identifier / command spelling
-  int64_t int_value = 0;
-  double real_value = 0;
-  SourceLoc loc;
-};
+using EqnToken = BasicToken<EqnTokKind>;
 
 [[nodiscard]] std::string_view eqn_tok_name(EqnTokKind kind);
 

@@ -1,10 +1,8 @@
 #pragma once
 
-#include <cstdint>
-#include <string>
 #include <string_view>
 
-#include "support/source_location.hpp"
+#include "support/token_base.hpp"
 
 namespace ps {
 
@@ -58,15 +56,7 @@ enum class TokenKind {
   Error,
 };
 
-struct Token {
-  TokenKind kind = TokenKind::EndOfFile;
-  std::string text;       // identifier spelling / literal text
-  int64_t int_value = 0;  // IntLiteral
-  double real_value = 0;  // RealLiteral
-  SourceLoc loc;
-
-  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
-};
+using Token = BasicToken<TokenKind>;
 
 [[nodiscard]] std::string_view token_kind_name(TokenKind kind);
 

@@ -1,0 +1,313 @@
+#include "runtime/eval_core.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("eval: " + message);
+}
+
+}  // namespace
+
+void EvalCore::compile(const CheckedModule& module) {
+  module_ = &module;
+  layout_ = BcLayout::for_module(module);
+  array_table_.assign(static_cast<size_t>(layout_.array_count), nullptr);
+  scalar_i_.assign(static_cast<size_t>(layout_.scalar_count), 0);
+  scalar_d_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
+
+  programs_.clear();
+  programs_.reserve(module.equations.size());
+  for (const CheckedEquation& eq : module.equations) {
+    EquationPrograms programs;
+    programs.rhs = compile_expr(*eq.rhs, module, layout_);
+    for (const LhsSubscript& sub : eq.lhs_subs) {
+      if (sub.is_index_var)
+        programs.lhs_fixed.push_back(nullptr);
+      else
+        programs.lhs_fixed.push_back(std::make_unique<BcProgram>(
+            compile_expr(*sub.fixed, module, layout_)));
+    }
+    programs_.push_back(std::move(programs));
+  }
+}
+
+void EvalCore::bind_arrays(
+    std::map<std::string, NdArray, std::less<>>& arrays) {
+  for (size_t i = 0; i < module_->data.size(); ++i) {
+    if (layout_.array_slot[i] < 0) continue;
+    auto it = arrays.find(module_->data[i].name);
+    if (it == arrays.end())
+      fail("no storage bound for array '" + module_->data[i].name + "'");
+    array_table_[static_cast<size_t>(layout_.array_slot[i])] = &it->second;
+  }
+}
+
+void EvalCore::set_scalar(size_t data_index, int64_t as_int, double as_real) {
+  if (layout_.scalar_slot.empty() || layout_.scalar_slot[data_index] < 0)
+    return;
+  size_t slot = static_cast<size_t>(layout_.scalar_slot[data_index]);
+  scalar_i_[slot] = as_int;
+  scalar_d_[slot] = as_real;
+}
+
+bool EvalCore::scalar_referenced(size_t data_index) const {
+  if (layout_.scalar_slot.empty() || layout_.scalar_slot[data_index] < 0)
+    return false;
+  int32_t slot = layout_.scalar_slot[data_index];
+  auto reads = [&](const BcProgram& p) {
+    for (const BcInstr& instr : p.code)
+      if ((instr.op == BcOp::LoadScalarI || instr.op == BcOp::LoadScalarD) &&
+          instr.a == slot)
+        return true;
+    return false;
+  };
+  for (const EquationPrograms& programs : programs_) {
+    if (reads(programs.rhs)) return true;
+    for (const auto& lhs : programs.lhs_fixed)
+      if (lhs != nullptr && reads(*lhs)) return true;
+  }
+  return false;
+}
+
+bool EvalCore::within_run_limits() const {
+  for (const EquationPrograms& programs : programs_) {
+    if (programs.rhs.var_names.size() > kMaxVars) return false;
+    for (const auto& lhs : programs.lhs_fixed)
+      if (lhs != nullptr && lhs->var_names.size() > kMaxVars) return false;
+  }
+  return true;
+}
+
+EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
+  thread_local std::vector<EvalSlot> stack;
+  thread_local std::vector<int64_t> idx;
+  stack.clear();
+  if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);
+
+  int64_t vars[kMaxVars];
+  if (p.var_names.size() > kMaxVars)
+    fail("loop nest deeper than the bytecode engine supports");
+  for (size_t v = 0; v < p.var_names.size(); ++v) {
+    const int64_t* value = frame.find(p.var_names[v]);
+    if (value == nullptr)
+      fail("unbound index variable '" + p.var_names[v] + "'");
+    vars[v] = *value;
+  }
+
+  auto push_i = [&](int64_t v) {
+    EvalSlot s;
+    s.i = v;
+    stack.push_back(s);
+  };
+  auto push_d = [&](double v) {
+    EvalSlot s;
+    s.d = v;
+    stack.push_back(s);
+  };
+  auto pop = [&]() {
+    EvalSlot s = stack.back();
+    stack.pop_back();
+    return s;
+  };
+
+  size_t pc = 0;
+  while (true) {
+    const BcInstr& instr = p.code[pc];
+    switch (instr.op) {
+      case BcOp::PushInt: push_i(instr.imm); break;
+      case BcOp::PushReal: push_d(instr.dimm); break;
+      case BcOp::LoadVar: push_i(vars[static_cast<size_t>(instr.a)]); break;
+      case BcOp::LoadScalarI:
+        push_i(scalar_i_[static_cast<size_t>(instr.a)]);
+        break;
+      case BcOp::LoadScalarD:
+        push_d(scalar_d_[static_cast<size_t>(instr.a)]);
+        break;
+      case BcOp::LoadArrayI:
+      case BcOp::LoadArrayD: {
+        size_t rank = static_cast<size_t>(instr.b);
+        idx.resize(rank);
+        for (size_t d = rank; d-- > 0;) idx[d] = pop().i;
+        NdArray* arr = array_table_[static_cast<size_t>(instr.a)];
+        if (!arr->in_bounds(idx)) fail("read outside array bounds");
+        double v = arr->at(idx);
+        if (instr.op == BcOp::LoadArrayD)
+          push_d(v);
+        else
+          push_i(static_cast<int64_t>(v));
+        break;
+      }
+      case BcOp::IntToReal: {
+        EvalSlot s = pop();
+        push_d(static_cast<double>(s.i));
+        break;
+      }
+#define PS_BIN_I(OP, EXPR)     \
+  case BcOp::OP: {             \
+    int64_t rhs = pop().i;     \
+    int64_t lhs = pop().i;     \
+    push_i(EXPR);              \
+    break;                     \
+  }
+#define PS_BIN_D(OP, EXPR)     \
+  case BcOp::OP: {             \
+    double rhs = pop().d;      \
+    double lhs = pop().d;      \
+    push_d(EXPR);              \
+    break;                     \
+  }
+#define PS_CMP_D(OP, EXPR)     \
+  case BcOp::OP: {             \
+    double rhs = pop().d;      \
+    double lhs = pop().d;      \
+    push_i(EXPR);              \
+    break;                     \
+  }
+      PS_BIN_I(AddI, lhs + rhs)
+      PS_BIN_I(SubI, lhs - rhs)
+      PS_BIN_I(MulI, lhs * rhs)
+      case BcOp::DivI: {
+        int64_t rhs = pop().i;
+        int64_t lhs = pop().i;
+        if (rhs == 0) fail("'div' by zero");
+        push_i(lhs / rhs);
+        break;
+      }
+      case BcOp::ModI: {
+        int64_t rhs = pop().i;
+        int64_t lhs = pop().i;
+        if (rhs == 0) fail("'mod' by zero");
+        push_i(lhs % rhs);
+        break;
+      }
+      case BcOp::NegI: stack.back().i = -stack.back().i; break;
+      PS_BIN_D(AddD, lhs + rhs)
+      PS_BIN_D(SubD, lhs - rhs)
+      PS_BIN_D(MulD, lhs * rhs)
+      PS_BIN_D(DivD, lhs / rhs)
+      case BcOp::NegD: stack.back().d = -stack.back().d; break;
+      PS_BIN_I(CmpEqI, lhs == rhs ? 1 : 0)
+      PS_BIN_I(CmpNeI, lhs != rhs ? 1 : 0)
+      PS_BIN_I(CmpLtI, lhs < rhs ? 1 : 0)
+      PS_BIN_I(CmpLeI, lhs <= rhs ? 1 : 0)
+      PS_BIN_I(CmpGtI, lhs > rhs ? 1 : 0)
+      PS_BIN_I(CmpGeI, lhs >= rhs ? 1 : 0)
+      PS_CMP_D(CmpEqD, lhs == rhs ? 1 : 0)
+      PS_CMP_D(CmpNeD, lhs != rhs ? 1 : 0)
+      PS_CMP_D(CmpLtD, lhs < rhs ? 1 : 0)
+      PS_CMP_D(CmpLeD, lhs <= rhs ? 1 : 0)
+      PS_CMP_D(CmpGtD, lhs > rhs ? 1 : 0)
+      PS_CMP_D(CmpGeD, lhs >= rhs ? 1 : 0)
+#undef PS_BIN_I
+#undef PS_BIN_D
+#undef PS_CMP_D
+      case BcOp::NotB:
+        stack.back().i = stack.back().i == 0 ? 1 : 0;
+        break;
+      case BcOp::JumpIfFalse: {
+        int64_t cond = pop().i;
+        if (cond == 0) {
+          pc = static_cast<size_t>(instr.a);
+          continue;
+        }
+        break;
+      }
+      case BcOp::Jump:
+        pc = static_cast<size_t>(instr.a);
+        continue;
+      case BcOp::AbsI:
+        stack.back().i = stack.back().i < 0 ? -stack.back().i : stack.back().i;
+        break;
+      case BcOp::AbsD: stack.back().d = std::fabs(stack.back().d); break;
+      case BcOp::MinI: {
+        int64_t rhs = pop().i;
+        stack.back().i = std::min(stack.back().i, rhs);
+        break;
+      }
+      case BcOp::MaxI: {
+        int64_t rhs = pop().i;
+        stack.back().i = std::max(stack.back().i, rhs);
+        break;
+      }
+      case BcOp::MinD: {
+        double rhs = pop().d;
+        stack.back().d = std::min(stack.back().d, rhs);
+        break;
+      }
+      case BcOp::MaxD: {
+        double rhs = pop().d;
+        stack.back().d = std::max(stack.back().d, rhs);
+        break;
+      }
+      case BcOp::Sqrt: stack.back().d = std::sqrt(stack.back().d); break;
+      case BcOp::Sin: stack.back().d = std::sin(stack.back().d); break;
+      case BcOp::Cos: stack.back().d = std::cos(stack.back().d); break;
+      case BcOp::Exp: stack.back().d = std::exp(stack.back().d); break;
+      case BcOp::Ln: stack.back().d = std::log(stack.back().d); break;
+      case BcOp::FloorD: {
+        double v = pop().d;
+        push_i(static_cast<int64_t>(std::floor(v)));
+        break;
+      }
+      case BcOp::CeilD: {
+        double v = pop().d;
+        push_i(static_cast<int64_t>(std::ceil(v)));
+        break;
+      }
+      case BcOp::Halt:
+        return stack.back();
+    }
+    ++pc;
+  }
+}
+
+double EvalCore::eval_rhs_real(const CheckedEquation& eq,
+                               const VarFrame& frame) const {
+  const BcProgram& rhs = programs_[eq.id].rhs;
+  EvalSlot result = run(rhs, frame);
+  return rhs.result_real ? result.d : static_cast<double>(result.i);
+}
+
+void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
+                         std::vector<int64_t>& idx) const {
+  const EquationPrograms& programs = programs_[eq.id];
+  idx.clear();
+  idx.reserve(eq.lhs_subs.size());
+  for (size_t p = 0; p < eq.lhs_subs.size(); ++p) {
+    const LhsSubscript& sub = eq.lhs_subs[p];
+    if (sub.is_index_var) {
+      const int64_t* v = frame.find(sub.var);
+      if (v == nullptr)
+        fail(eq.display_name + ": unbound index variable '" + sub.var + "'");
+      idx.push_back(*v);
+    } else {
+      EvalSlot s = run(*programs.lhs_fixed[p], frame);
+      idx.push_back(programs.lhs_fixed[p]->result_real
+                        ? static_cast<int64_t>(s.d)
+                        : s.i);
+    }
+  }
+}
+
+void EvalCore::eval_store(const CheckedEquation& eq,
+                          const VarFrame& frame) const {
+  double value = eval_rhs_real(eq, frame);
+  thread_local std::vector<int64_t> idx;
+  lhs_index(eq, frame, idx);
+  const DataItem& target = module_->data[eq.target];
+  if (layout_.array_slot[eq.target] < 0)
+    fail(eq.display_name + ": '" + target.name + "' is not an array target");
+  NdArray& arr =
+      *array_table_[static_cast<size_t>(layout_.array_slot[eq.target])];
+  if (!arr.in_bounds(idx))
+    fail(eq.display_name + ": write outside the bounds of '" + target.name +
+         "'");
+  arr.set(idx, value);
+}
+
+}  // namespace ps

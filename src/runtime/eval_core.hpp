@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "frontend/sema.hpp"
+#include "runtime/bytecode.hpp"
+#include "runtime/ndarray.hpp"
+
+namespace ps {
+
+/// Which expression evaluator a runtime engine uses.
+enum class EvalEngine {
+  /// Equations compiled to typed stack bytecode (default; ~4-6x faster).
+  Bytecode,
+  /// Direct AST evaluation; kept as the semantic reference and
+  /// cross-checked against the bytecode engine in the tests.
+  TreeWalk,
+};
+
+/// Loop-index bindings of one equation instance. The binding order is
+/// the enclosing loop order; lookups scan linearly (nests are shallow).
+struct VarFrame {
+  std::vector<std::pair<std::string_view, int64_t>> vars;
+
+  [[nodiscard]] const int64_t* find(std::string_view name) const {
+    for (const auto& [v, value] : vars)
+      if (v == name) return &value;
+    return nullptr;
+  }
+};
+
+/// One untagged stack slot of the bytecode machine; BcProgram records
+/// statically which interpretation each value has.
+union EvalSlot {
+  int64_t i;
+  double d;
+};
+
+/// The shared bytecode execution core: compiles every equation of a
+/// module against the module-wide slot layout once, binds the caller's
+/// array storage and scalar values to dense slots, and then evaluates
+/// equation instances without touching the AST.
+///
+/// Both runtime engines sit on top of this class: the flowchart
+/// `Interpreter` (rectangular schedules) and the `WavefrontRunner`
+/// (hyperplane-transformed modules with windowed storage). Evaluation
+/// (`run`, `eval_store`) is const and uses thread-local scratch, so one
+/// core instance may be shared by every worker of a thread pool as long
+/// as concurrent writes hit disjoint array cells -- exactly the DOALL
+/// guarantee both engines schedule under.
+class EvalCore {
+ public:
+  /// Per-equation compiled programs: the RHS and one program per fixed
+  /// (non-index-variable) LHS subscript position.
+  struct EquationPrograms {
+    BcProgram rhs;
+    std::vector<std::unique_ptr<BcProgram>> lhs_fixed;
+  };
+
+  EvalCore() = default;
+
+  /// Compile every equation of `module`. Throws std::runtime_error on
+  /// constructs the bytecode compiler does not support (record fields).
+  /// `module` must outlive the core.
+  void compile(const CheckedModule& module);
+
+  /// Point the array slots at the caller's storage, keyed by data-item
+  /// name. Call after compile() and again if the storage map is rebuilt
+  /// (NdArray values must not move afterwards).
+  void bind_arrays(std::map<std::string, NdArray, std::less<>>& arrays);
+
+  /// Seed one scalar slot with both integer and real interpretations.
+  /// No-op for data items without a scalar slot.
+  void set_scalar(size_t data_index, int64_t as_int, double as_real);
+
+  /// True when some compiled program reads the scalar slot of
+  /// `data_index` (used to decide whether an unbound input matters).
+  [[nodiscard]] bool scalar_referenced(size_t data_index) const;
+
+  /// run() resolves at most this many index variables per program.
+  static constexpr size_t kMaxVars = 8;
+
+  /// True when every compiled program stays within run()'s fixed
+  /// limits; callers with a fallback evaluator should check this before
+  /// committing to the bytecode path (run() throws otherwise).
+  [[nodiscard]] bool within_run_limits() const;
+
+  /// Execute one compiled program against the frame's index bindings.
+  [[nodiscard]] EvalSlot run(const BcProgram& program,
+                             const VarFrame& frame) const;
+
+  /// RHS value of equation `eq` as a double (ints promoted).
+  [[nodiscard]] double eval_rhs_real(const CheckedEquation& eq,
+                                     const VarFrame& frame) const;
+
+  /// Resolve the LHS target index tuple of `eq` into `idx`.
+  void lhs_index(const CheckedEquation& eq, const VarFrame& frame,
+                 std::vector<int64_t>& idx) const;
+
+  /// One full instance of an array-targeted equation: evaluate the RHS,
+  /// resolve the LHS subscripts and store the value (bounds-checked).
+  void eval_store(const CheckedEquation& eq, const VarFrame& frame) const;
+
+  [[nodiscard]] const EquationPrograms& programs(size_t eq_index) const {
+    return programs_[eq_index];
+  }
+  [[nodiscard]] const BcLayout& layout() const { return layout_; }
+  [[nodiscard]] bool compiled() const { return module_ != nullptr; }
+
+ private:
+  const CheckedModule* module_ = nullptr;
+  BcLayout layout_;
+  std::vector<EquationPrograms> programs_;   // by equation index
+  std::vector<NdArray*> array_table_;        // by array slot
+  std::vector<int64_t> scalar_i_;            // by scalar slot
+  std::vector<double> scalar_d_;
+};
+
+}  // namespace ps

@@ -77,219 +77,28 @@ Interpreter::Interpreter(const CheckedModule& module, const DepGraph& graph,
 }
 
 void Interpreter::compile_programs() {
-  layout_ = BcLayout::for_module(module_);
-  array_table_.assign(static_cast<size_t>(layout_.array_count), nullptr);
-  scalar_i_.assign(static_cast<size_t>(layout_.scalar_count), 0);
-  scalar_d_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
+  core_.compile(module_);
+  core_.bind_arrays(arrays_);
   for (size_t i = 0; i < module_.data.size(); ++i) {
-    const DataItem& item = module_.data[i];
-    if (layout_.array_slot[i] >= 0)
-      array_table_[static_cast<size_t>(layout_.array_slot[i])] =
-          &arrays_.find(item.name)->second;
-    if (layout_.scalar_slot[i] >= 0) {
-      auto sc = scalars_.find(item.name);
-      if (sc != scalars_.end()) {
-        size_t slot = static_cast<size_t>(layout_.scalar_slot[i]);
-        scalar_d_[slot] = sc->second.as_real();
-        scalar_i_[slot] = sc->second.tag == RtValue::Tag::Int
-                              ? sc->second.i
-                              : static_cast<int64_t>(sc->second.as_real());
-      }
-    }
-  }
-  programs_.clear();
-  programs_.reserve(module_.equations.size());
-  for (const CheckedEquation& eq : module_.equations) {
-    EquationPrograms programs;
-    programs.rhs = compile_expr(*eq.rhs, module_, layout_);
-    for (const LhsSubscript& sub : eq.lhs_subs) {
-      if (sub.is_index_var)
-        programs.lhs_fixed.push_back(nullptr);
-      else
-        programs.lhs_fixed.push_back(std::make_unique<BcProgram>(
-            compile_expr(*sub.fixed, module_, layout_)));
-    }
-    programs_.push_back(std::move(programs));
+    auto sc = scalars_.find(module_.data[i].name);
+    if (sc == scalars_.end()) continue;
+    core_.set_scalar(i,
+                     sc->second.tag == RtValue::Tag::Int
+                         ? sc->second.i
+                         : static_cast<int64_t>(sc->second.as_real()),
+                     sc->second.as_real());
   }
 }
 
 void Interpreter::write_scalar(size_t data_index, RtValue value) {
   const DataItem& item = module_.data[data_index];
   scalars_[item.name] = value;
-  if (!layout_.scalar_slot.empty() && layout_.scalar_slot[data_index] >= 0) {
-    size_t slot = static_cast<size_t>(layout_.scalar_slot[data_index]);
-    scalar_d_[slot] = value.as_real();
-    scalar_i_[slot] = value.tag == RtValue::Tag::Int
-                          ? value.i
-                          : static_cast<int64_t>(value.as_real());
-  }
-}
-
-Interpreter::BcSlot Interpreter::run_program(const BcProgram& p,
-                                             const Frame& frame) {
-  thread_local std::vector<BcSlot> stack;
-  thread_local std::vector<int64_t> idx;
-  stack.clear();
-  if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);
-
-  constexpr size_t kMaxVars = 8;
-  int64_t vars[kMaxVars];
-  if (p.var_names.size() > kMaxVars)
-    fail("loop nest deeper than the bytecode engine supports");
-  for (size_t v = 0; v < p.var_names.size(); ++v) {
-    const int64_t* value = frame.find(p.var_names[v]);
-    if (value == nullptr)
-      fail("unbound index variable '" + p.var_names[v] + "'");
-    vars[v] = *value;
-  }
-
-  auto push_i = [&](int64_t v) {
-    BcSlot s;
-    s.i = v;
-    stack.push_back(s);
-  };
-  auto push_d = [&](double v) {
-    BcSlot s;
-    s.d = v;
-    stack.push_back(s);
-  };
-  auto pop = [&]() {
-    BcSlot s = stack.back();
-    stack.pop_back();
-    return s;
-  };
-
-  size_t pc = 0;
-  while (true) {
-    const BcInstr& instr = p.code[pc];
-    switch (instr.op) {
-      case BcOp::PushInt: push_i(instr.imm); break;
-      case BcOp::PushReal: push_d(instr.dimm); break;
-      case BcOp::LoadVar: push_i(vars[static_cast<size_t>(instr.a)]); break;
-      case BcOp::LoadScalarI:
-        push_i(scalar_i_[static_cast<size_t>(instr.a)]);
-        break;
-      case BcOp::LoadScalarD:
-        push_d(scalar_d_[static_cast<size_t>(instr.a)]);
-        break;
-      case BcOp::LoadArrayI:
-      case BcOp::LoadArrayD: {
-        size_t rank = static_cast<size_t>(instr.b);
-        idx.resize(rank);
-        for (size_t d = rank; d-- > 0;) idx[d] = pop().i;
-        NdArray* arr = array_table_[static_cast<size_t>(instr.a)];
-        if (!arr->in_bounds(idx)) fail("read outside array bounds");
-        double v = arr->at(idx);
-        if (instr.op == BcOp::LoadArrayD)
-          push_d(v);
-        else
-          push_i(static_cast<int64_t>(v));
-        break;
-      }
-      case BcOp::IntToReal: {
-        BcSlot s = pop();
-        push_d(static_cast<double>(s.i));
-        break;
-      }
-#define PS_BIN_I(OP, EXPR)                              case BcOp::OP: {                                    int64_t rhs = pop().i;                            int64_t lhs = pop().i;                            push_i(EXPR);                                     break;                                          }
-#define PS_BIN_D(OP, EXPR)                              case BcOp::OP: {                                    double rhs = pop().d;                             double lhs = pop().d;                             push_d(EXPR);                                     break;                                          }
-#define PS_CMP_D(OP, EXPR)                              case BcOp::OP: {                                    double rhs = pop().d;                             double lhs = pop().d;                             push_i(EXPR);                                     break;                                          }
-      PS_BIN_I(AddI, lhs + rhs)
-      PS_BIN_I(SubI, lhs - rhs)
-      PS_BIN_I(MulI, lhs * rhs)
-      case BcOp::DivI: {
-        int64_t rhs = pop().i;
-        int64_t lhs = pop().i;
-        if (rhs == 0) fail("'div' by zero");
-        push_i(lhs / rhs);
-        break;
-      }
-      case BcOp::ModI: {
-        int64_t rhs = pop().i;
-        int64_t lhs = pop().i;
-        if (rhs == 0) fail("'mod' by zero");
-        push_i(lhs % rhs);
-        break;
-      }
-      case BcOp::NegI: stack.back().i = -stack.back().i; break;
-      PS_BIN_D(AddD, lhs + rhs)
-      PS_BIN_D(SubD, lhs - rhs)
-      PS_BIN_D(MulD, lhs * rhs)
-      PS_BIN_D(DivD, lhs / rhs)
-      case BcOp::NegD: stack.back().d = -stack.back().d; break;
-      PS_BIN_I(CmpEqI, lhs == rhs ? 1 : 0)
-      PS_BIN_I(CmpNeI, lhs != rhs ? 1 : 0)
-      PS_BIN_I(CmpLtI, lhs < rhs ? 1 : 0)
-      PS_BIN_I(CmpLeI, lhs <= rhs ? 1 : 0)
-      PS_BIN_I(CmpGtI, lhs > rhs ? 1 : 0)
-      PS_BIN_I(CmpGeI, lhs >= rhs ? 1 : 0)
-      PS_CMP_D(CmpEqD, lhs == rhs ? 1 : 0)
-      PS_CMP_D(CmpNeD, lhs != rhs ? 1 : 0)
-      PS_CMP_D(CmpLtD, lhs < rhs ? 1 : 0)
-      PS_CMP_D(CmpLeD, lhs <= rhs ? 1 : 0)
-      PS_CMP_D(CmpGtD, lhs > rhs ? 1 : 0)
-      PS_CMP_D(CmpGeD, lhs >= rhs ? 1 : 0)
-#undef PS_BIN_I
-#undef PS_BIN_D
-#undef PS_CMP_D
-      case BcOp::NotB:
-        stack.back().i = stack.back().i == 0 ? 1 : 0;
-        break;
-      case BcOp::JumpIfFalse: {
-        int64_t cond = pop().i;
-        if (cond == 0) {
-          pc = static_cast<size_t>(instr.a);
-          continue;
-        }
-        break;
-      }
-      case BcOp::Jump:
-        pc = static_cast<size_t>(instr.a);
-        continue;
-      case BcOp::AbsI:
-        stack.back().i = stack.back().i < 0 ? -stack.back().i : stack.back().i;
-        break;
-      case BcOp::AbsD: stack.back().d = std::fabs(stack.back().d); break;
-      case BcOp::MinI: {
-        int64_t rhs = pop().i;
-        stack.back().i = std::min(stack.back().i, rhs);
-        break;
-      }
-      case BcOp::MaxI: {
-        int64_t rhs = pop().i;
-        stack.back().i = std::max(stack.back().i, rhs);
-        break;
-      }
-      case BcOp::MinD: {
-        double rhs = pop().d;
-        stack.back().d = std::min(stack.back().d, rhs);
-        break;
-      }
-      case BcOp::MaxD: {
-        double rhs = pop().d;
-        stack.back().d = std::max(stack.back().d, rhs);
-        break;
-      }
-      case BcOp::Sqrt: stack.back().d = std::sqrt(stack.back().d); break;
-      case BcOp::Sin: stack.back().d = std::sin(stack.back().d); break;
-      case BcOp::Cos: stack.back().d = std::cos(stack.back().d); break;
-      case BcOp::Exp: stack.back().d = std::exp(stack.back().d); break;
-      case BcOp::Ln: stack.back().d = std::log(stack.back().d); break;
-      case BcOp::FloorD: {
-        double v = pop().d;
-        push_i(static_cast<int64_t>(std::floor(v)));
-        break;
-      }
-      case BcOp::CeilD: {
-        double v = pop().d;
-        push_i(static_cast<int64_t>(std::ceil(v)));
-        break;
-      }
-      case BcOp::Halt:
-        return stack.back();
-    }
-    ++pc;
-  }
+  if (core_.compiled())
+    core_.set_scalar(data_index,
+                     value.tag == RtValue::Tag::Int
+                         ? value.i
+                         : static_cast<int64_t>(value.as_real()),
+                     value.as_real());
 }
 
 NdArray& Interpreter::array(std::string_view name) {
@@ -518,39 +327,14 @@ void Interpreter::exec_equation(uint32_t node, Frame& frame) {
   const DataItem& target = module_.data[eq.target];
 
   if (options_.engine == EvalEngine::Bytecode) {
-    const EquationPrograms& programs = programs_[eq.id];
-    BcSlot result = run_program(programs.rhs, frame);
-    double value = programs.rhs.result_real
-                       ? result.d
-                       : static_cast<double>(result.i);
     if (target.is_scalar()) {
-      write_scalar(eq.target, programs.rhs.result_real
-                                  ? RtValue::of_real(result.d)
-                                  : RtValue::of_int(result.i));
-      return;
+      const BcProgram& rhs = core_.programs(eq.id).rhs;
+      EvalSlot result = core_.run(rhs, frame);
+      write_scalar(eq.target, rhs.result_real ? RtValue::of_real(result.d)
+                                              : RtValue::of_int(result.i));
+    } else {
+      core_.eval_store(eq, frame);
     }
-    std::vector<int64_t> idx;
-    idx.reserve(eq.lhs_subs.size());
-    for (size_t p = 0; p < eq.lhs_subs.size(); ++p) {
-      const LhsSubscript& sub = eq.lhs_subs[p];
-      if (sub.is_index_var) {
-        const int64_t* v = frame.find(sub.var);
-        if (v == nullptr)
-          fail(eq.display_name + ": unbound index variable '" + sub.var +
-               "'");
-        idx.push_back(*v);
-      } else {
-        BcSlot s = run_program(*programs.lhs_fixed[p], frame);
-        idx.push_back(programs.lhs_fixed[p]->result_real
-                          ? static_cast<int64_t>(s.d)
-                          : s.i);
-      }
-    }
-    NdArray& arr = arrays_.find(target.name)->second;
-    if (!arr.in_bounds(idx))
-      fail(eq.display_name + ": write outside the bounds of '" +
-           target.name + "'");
-    arr.set(idx, value);
     return;
   }
 

@@ -10,20 +10,12 @@
 #include "core/flowchart.hpp"
 #include "core/scheduler.hpp"
 #include "graph/depgraph.hpp"
-#include "runtime/bytecode.hpp"
+#include "runtime/eval_core.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
 #include "transform/polyhedron.hpp"
 
 namespace ps {
-
-enum class EvalEngine {
-  /// Equations compiled to typed stack bytecode (default; ~4-6x faster).
-  Bytecode,
-  /// Direct AST evaluation; kept as the semantic reference and
-  /// cross-checked against the bytecode engine in the tests.
-  TreeWalk,
-};
 
 struct InterpreterOptions {
   /// Worker pool for DOALL loops; nullptr executes everything
@@ -84,14 +76,8 @@ class Interpreter {
   [[nodiscard]] size_t allocated_doubles() const;
 
  private:
-  struct Frame {
-    std::vector<std::pair<std::string_view, int64_t>> vars;
-    [[nodiscard]] const int64_t* find(std::string_view name) const {
-      for (const auto& [v, value] : vars)
-        if (v == name) return &value;
-      return nullptr;
-    }
-  };
+  /// Loop-index bindings, shared representation with the eval core.
+  using Frame = VarFrame;
 
   struct RtValue {
     enum class Tag { Int, Real, Bool } tag = Tag::Real;
@@ -129,21 +115,8 @@ class Interpreter {
   RtValue eval(const Expr& e, const Frame& frame);
   int64_t eval_int(const Expr& e, const Frame& frame);
 
-  // -- bytecode engine --------------------------------------------------
-  struct BcSlot {
-    union {
-      int64_t i;
-      double d;
-    };
-  };
-  struct EquationPrograms {
-    BcProgram rhs;
-    /// One program per fixed LHS subscript position (index-variable
-    /// positions are null).
-    std::vector<std::unique_ptr<BcProgram>> lhs_fixed;
-  };
+  // -- bytecode engine (delegates to the shared EvalCore) ---------------
   void compile_programs();
-  BcSlot run_program(const BcProgram& program, const Frame& frame);
   void write_scalar(size_t data_index, RtValue value);
 
   const CheckedModule& module_;
@@ -158,11 +131,7 @@ class Interpreter {
   std::map<std::string, int64_t, std::less<>> enum_consts_;
 
   // Bytecode state (populated when options_.engine == Bytecode).
-  BcLayout layout_;
-  std::vector<EquationPrograms> programs_;     // by equation index
-  std::vector<NdArray*> array_table_;          // by array slot
-  std::vector<int64_t> scalar_i_;              // by scalar slot
-  std::vector<double> scalar_d_;
+  EvalCore core_;
 };
 
 }  // namespace ps

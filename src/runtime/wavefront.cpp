@@ -320,6 +320,42 @@ WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
     arrays_.emplace(d.name, NdArray(std::move(lo), std::move(hi),
                                     std::move(win)));
   }
+
+  if (options_.engine == EvalEngine::Bytecode) setup_bytecode();
+}
+
+void WavefrontRunner::setup_bytecode() {
+  // Compile every equation once against the module-wide slot layout.
+  // Modules outside the bytecode fragment (record fields, loop nests
+  // deeper than the engine's variable limit) keep the tree-walk
+  // reference evaluator instead of failing.
+  try {
+    core_.compile(module_);
+  } catch (const std::exception&) {
+    return;
+  }
+  // compile() accepts loop nests of any depth, but run() resolves at
+  // most kMaxVars index variables; commit to the bytecode path only if
+  // every program fits (else the first point would throw mid-run
+  // instead of falling back).
+  if (!core_.within_run_limits()) return;
+  core_.bind_arrays(arrays_);
+  for (size_t i = 0; i < module_.data.size(); ++i) {
+    const DataItem& item = module_.data[i];
+    if (!item.is_scalar()) continue;
+    if (auto ii = int_env_.find(item.name); ii != int_env_.end()) {
+      core_.set_scalar(i, ii->second, static_cast<double>(ii->second));
+    } else if (auto ri = real_inputs_.find(item.name);
+               ri != real_inputs_.end()) {
+      core_.set_scalar(i, static_cast<int64_t>(ri->second), ri->second);
+    } else if (core_.scalar_referenced(i)) {
+      // The tree-walk evaluator reports unbound names lazily, and only
+      // when a taken branch actually reads them; preserve that by
+      // leaving the slow path in charge of this module.
+      return;
+    }
+  }
+  use_bytecode_ = true;
 }
 
 NdArray& WavefrontRunner::array(std::string_view name) {
@@ -342,11 +378,19 @@ size_t WavefrontRunner::allocated_doubles() const {
 
 void WavefrontRunner::eval_equation_instance(
     const CheckedEquation& eq, const std::vector<int64_t>& loop_vals) {
-  std::vector<std::pair<std::string_view, int64_t>> vars;
-  vars.reserve(eq.loop_dims.size());
+  VarFrame frame;
+  frame.vars.reserve(eq.loop_dims.size());
   for (size_t d = 0; d < eq.loop_dims.size(); ++d)
-    vars.emplace_back(eq.loop_dims[d].var, loop_vals[d]);
+    frame.vars.emplace_back(eq.loop_dims[d].var, loop_vals[d]);
 
+  if (use_bytecode_) {
+    // Hot path: every recurrence point, rotate-in and consumer flush
+    // executes compiled stack code on the shared core.
+    core_.eval_store(eq, frame);
+    return;
+  }
+
+  std::vector<std::pair<std::string_view, int64_t>>& vars = frame.vars;
   EvalCtx ctx{&vars, &int_env_, &real_inputs_, &arrays_, &module_};
   double value = eval(*eq.rhs, ctx).as_real();
 

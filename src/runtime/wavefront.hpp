@@ -8,6 +8,7 @@
 
 #include "core/const_eval.hpp"
 #include "frontend/sema.hpp"
+#include "runtime/eval_core.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
 #include "transform/hyperplane.hpp"
@@ -23,6 +24,12 @@ struct WavefrontOptions {
   /// 0 derives the window from the recurrence offsets (1 + the largest
   /// backward K' offset -- 3 for the paper's relaxation).
   int64_t window = 0;
+  /// Expression evaluator for recurrence points, rotate-ins and consumer
+  /// flushes. Bytecode is the default hot path; the runner silently
+  /// falls back to the tree-walk reference when a module uses constructs
+  /// the bytecode compiler does not cover (see `engine()` for the one in
+  /// effect).
+  EvalEngine engine = EvalEngine::Bytecode;
 };
 
 struct WavefrontStats {
@@ -84,6 +91,12 @@ class WavefrontRunner {
   /// The derived (or forced) hyperplane window.
   [[nodiscard]] int64_t window() const { return window_; }
 
+  /// The evaluator actually in use (may be TreeWalk even when Bytecode
+  /// was requested, if the module falls outside the bytecode fragment).
+  [[nodiscard]] EvalEngine engine() const {
+    return use_bytecode_ ? EvalEngine::Bytecode : EvalEngine::TreeWalk;
+  }
+
  private:
   struct ConsumerInstance {
     size_t equation = 0;             // index into module.equations
@@ -94,6 +107,7 @@ class WavefrontRunner {
   void build_consumer_buckets();
   void execute_hyperplane(int64_t t);
   void flush_bucket(int64_t t);
+  void setup_bytecode();
   void eval_equation_instance(const CheckedEquation& eq,
                               const std::vector<int64_t>& loop_vals);
 
@@ -113,6 +127,11 @@ class WavefrontRunner {
   std::map<std::string, NdArray, std::less<>> arrays_;
   std::map<int64_t, std::vector<ConsumerInstance>> buckets_;
   WavefrontStats stats_;
+
+  /// Shared bytecode execution core (compiled once per runner when the
+  /// Bytecode engine is selected and the module fits the fragment).
+  EvalCore core_;
+  bool use_bytecode_ = false;
 };
 
 }  // namespace ps

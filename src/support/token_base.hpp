@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace ps {
+
+/// Shared token record for the project's lexers (the PS frontend and the
+/// TeX-flavoured EQN frontend declare different kind enums but identical
+/// payloads). Kept an aggregate so lexers can brace-initialise:
+/// `Token{kind, text, 0, 0, loc}`.
+template <typename Kind>
+struct BasicToken {
+  Kind kind{};            // value-init: both enums place EndOfFile at 0
+  std::string text;       // identifier / command spelling, literal text
+  int64_t int_value = 0;  // integer literals
+  double real_value = 0;  // real literals
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+};
+
+}  // namespace ps

@@ -1,0 +1,175 @@
+// Unit tests for the pass-pipeline compiler core: stage ordering,
+// option gating, diagnostic early-exit and per-stage timing.
+
+#include "driver/pass_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "../common/test_util.hpp"
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+std::vector<std::string> names_of(const PassManager& pm) {
+  std::vector<std::string> names;
+  for (std::string_view n : pm.pass_names()) names.emplace_back(n);
+  return names;
+}
+
+TEST(PassManager, DefaultPipelineHasThePaperPhaseStructure) {
+  PassManager pm = PassManager::default_pipeline();
+  EXPECT_EQ(names_of(pm),
+            (std::vector<std::string>{"Parse", "Sema", "DepGraph", "Schedule",
+                                      "LoopMerge", "Hyperplane", "ExactBounds",
+                                      "Emit"}));
+  EXPECT_TRUE(pm.check_order().empty());
+}
+
+TEST(PassManager, ModulePipelineIsTheSemaToEmitTail) {
+  PassManager pm = PassManager::module_pipeline();
+  EXPECT_EQ(names_of(pm),
+            (std::vector<std::string>{"Sema", "DepGraph", "Schedule",
+                                      "LoopMerge", "Emit"}));
+  EXPECT_TRUE(pm.check_order().empty());
+}
+
+/// A do-nothing pass with configurable name and prerequisites, for
+/// exercising the ordering verifier.
+class StubPass : public Pass {
+ public:
+  StubPass(std::string_view name, std::vector<std::string_view> needs)
+      : name_(name), needs_(std::move(needs)) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::vector<std::string_view> requires_passes()
+      const override {
+    return needs_;
+  }
+  void run(CompilationUnit&) override {}
+
+ private:
+  std::string_view name_;
+  std::vector<std::string_view> needs_;
+};
+
+TEST(PassManager, CheckOrderFlagsAPassBeforeItsPrerequisite) {
+  PassManager pm;
+  pm.add(std::make_unique<StubPass>("Late", std::vector<std::string_view>{
+                                                "Early"}))
+      .add(std::make_unique<StubPass>("Early",
+                                      std::vector<std::string_view>{}));
+  auto violations = pm.check_order();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("Late requires Early"), std::string::npos)
+      << violations[0];
+}
+
+TEST(PassManager, CheckOrderFlagsAMissingPrerequisite) {
+  PassManager pm;
+  pm.add(std::make_unique<StubPass>(
+      "Orphan", std::vector<std::string_view>{"Nonexistent"}));
+  EXPECT_EQ(pm.check_order().size(), 1u);
+}
+
+TEST(PassManager, PlanReflectsTheOptions) {
+  CompileOptions options;
+  options.merge_loops = true;
+  options.emit_c_code = false;
+  CompilationUnit unit(options, {});
+  PassManager pm = PassManager::default_pipeline();
+  std::map<std::string, bool> enabled;
+  for (const PassPlanEntry& entry : pm.plan(unit))
+    enabled[std::string(entry.name)] = entry.enabled;
+  EXPECT_TRUE(enabled.at("Parse"));
+  EXPECT_TRUE(enabled.at("LoopMerge"));
+  EXPECT_FALSE(enabled.at("Hyperplane"));
+  EXPECT_FALSE(enabled.at("ExactBounds"));
+  EXPECT_FALSE(enabled.at("Emit"));
+}
+
+TEST(PassManager, TimingsPopulatedForEveryStage) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  CompileResult result = compile_or_die(kGaussSeidelSource, options);
+
+  ASSERT_EQ(result.pass_timings.size(), 8u);
+  for (const PassTiming& timing : result.pass_timings) {
+    if (timing.name == "LoopMerge") {
+      EXPECT_FALSE(timing.ran);  // merge_loops off
+      continue;
+    }
+    EXPECT_TRUE(timing.ran) << timing.name;
+    EXPECT_GE(timing.milliseconds, 0.0) << timing.name;
+  }
+  // The render helper mentions every stage.
+  std::string table = format_pass_timings(result.pass_timings);
+  for (const PassTiming& timing : result.pass_timings)
+    EXPECT_NE(table.find(timing.name), std::string::npos) << table;
+}
+
+TEST(PassManager, EarlyExitStopsAfterTheDiagnosingStage) {
+  // A name that never resolves: Sema diagnoses, DepGraph..Emit must not
+  // run (and must still be listed as skipped).
+  Compiler compiler;
+  CompileResult result = compiler.compile(R"(
+Bad: module (M: int): [out: array [I] of real];
+type I = 0 .. M;
+define out[I] = nosuchname;
+end Bad;
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.diagnostics.empty());
+  ASSERT_EQ(result.pass_timings.size(), 8u);
+  std::map<std::string, bool> ran;
+  for (const PassTiming& timing : result.pass_timings)
+    ran[timing.name] = timing.ran;
+  EXPECT_TRUE(ran.at("Parse"));
+  EXPECT_TRUE(ran.at("Sema"));
+  EXPECT_FALSE(ran.at("DepGraph"));
+  EXPECT_FALSE(ran.at("Schedule"));
+  EXPECT_FALSE(ran.at("Emit"));
+}
+
+TEST(PassManager, ParseErrorsStopBeforeSema) {
+  Compiler compiler;
+  CompileResult result = compiler.compile("this is not a module");
+  EXPECT_FALSE(result.ok);
+  std::map<std::string, bool> ran;
+  for (const PassTiming& timing : result.pass_timings)
+    ran[timing.name] = timing.ran;
+  EXPECT_TRUE(ran.at("Parse"));
+  EXPECT_FALSE(ran.at("Sema"));
+}
+
+TEST(PassManager, CompilerIsAThinWrapperOverThePipeline) {
+  // The facade and a hand-assembled default pipeline agree artefact for
+  // artefact on the paper's relaxation module.
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+
+  CompileResult via_facade = compile_or_die(kGaussSeidelSource, options);
+
+  CompilationUnit unit(options, kGaussSeidelSource);
+  PassManager pm = PassManager::default_pipeline();
+  EXPECT_TRUE(pm.run(unit));
+  ASSERT_NE(unit.module, nullptr);
+  EXPECT_EQ(unit.c_code, via_facade.primary->c_code);
+  ASSERT_TRUE(unit.transformed.has_value());
+  ASSERT_TRUE(via_facade.transformed.has_value());
+  EXPECT_EQ(unit.transformed->c_code, via_facade.transformed->c_code);
+  ASSERT_TRUE(unit.exact_nest.has_value());
+  EXPECT_EQ(unit.exact_nest->to_string(),
+            via_facade.exact_nest->to_string());
+}
+
+}  // namespace
+}  // namespace ps

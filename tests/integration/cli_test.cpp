@@ -104,5 +104,34 @@ TEST(Cli, MissingFileFails) {
   EXPECT_NE(WEXITSTATUS(rc), 0);
 }
 
+TEST(Cli, PassesListsThePipeline) {
+  // --passes needs no input file: it lists the stages for the options
+  // and verifies their ordering.
+  std::string cmd = psc_binary() + " --passes --exact";
+  std::string out_file = std::string(::testing::TempDir()) + "/passes.txt";
+  int rc = std::system((cmd + " > " + out_file + " 2>&1").c_str());
+  EXPECT_EQ(WEXITSTATUS(rc), 0);
+  std::ifstream f(out_file);
+  std::ostringstream os;
+  os << f.rdbuf();
+  std::string out = os.str();
+  for (const char* stage : {"Parse", "Sema", "DepGraph", "Schedule",
+                            "Hyperplane", "ExactBounds", "Emit"})
+    EXPECT_NE(out.find(stage), std::string::npos) << out;
+  EXPECT_NE(out.find("ordering: ok"), std::string::npos) << out;
+  // LoopMerge is off without --merge.
+  EXPECT_NE(out.find("LoopMerge  (disabled by options)"), std::string::npos)
+      << out;
+}
+
+TEST(Cli, TimePassesPrintsPerStageTiming) {
+  CliResult r = run_psc("--time-passes --exact", kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("Pass"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Time (ms)"), std::string::npos);
+  EXPECT_NE(r.out.find("Hyperplane"), std::string::npos);
+  EXPECT_NE(r.out.find("total"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ps

@@ -310,5 +310,90 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 5, 8),
                        ::testing::Values<int64_t>(1, 2, 3, 6)));
 
+// ---------------------------------------------------------------------------
+// Bytecode engine vs tree-walk reference
+// ---------------------------------------------------------------------------
+
+TEST(WavefrontEngine, BytecodeIsTheDefaultOnThePaperModule) {
+  auto result = compile_exact_gs();
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest, IntEnv{{"M", 4}, {"maxK", 3}});
+  // The Gauss-Seidel module sits squarely inside the bytecode fragment,
+  // so the request must not have silently degraded to the tree walk.
+  EXPECT_EQ(runner.engine(), EvalEngine::Bytecode);
+}
+
+TEST(WavefrontEngine, TreeWalkCanBeForced) {
+  auto result = compile_exact_gs();
+  WavefrontOptions options;
+  options.engine = EvalEngine::TreeWalk;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest, IntEnv{{"M", 4}, {"maxK", 3}},
+                         {}, options);
+  EXPECT_EQ(runner.engine(), EvalEngine::TreeWalk);
+}
+
+/// Bit-exact cross-check of the two evaluators on the paper's relaxation
+/// module: same inputs, same outputs, same stats, sequential and pooled.
+TEST(WavefrontEngine, BytecodeMatchesTreeWalkBitExactly) {
+  auto result = compile_exact_gs();
+  for (auto [m, sweeps] : {std::pair<int64_t, int64_t>{1, 1},
+                           {3, 2},
+                           {7, 5},
+                           {11, 4}}) {
+    IntEnv params{{"M", m}, {"maxK", sweeps}};
+    WavefrontOptions tree;
+    tree.engine = EvalEngine::TreeWalk;
+    WavefrontRunner reference(*result.transformed->module, *result.transform,
+                              *result.exact_nest, params, {}, tree);
+    WavefrontRunner bytecode(*result.transformed->module, *result.transform,
+                             *result.exact_nest, params);
+    ASSERT_EQ(bytecode.engine(), EvalEngine::Bytecode);
+    fill_input(reference.array("InitialA"), m);
+    fill_input(bytecode.array("InitialA"), m);
+    reference.run();
+    bytecode.run();
+    EXPECT_EQ(bytecode.stats().points, reference.stats().points);
+    EXPECT_EQ(bytecode.stats().hyperplanes, reference.stats().hyperplanes);
+    EXPECT_EQ(bytecode.stats().flushed, reference.stats().flushed);
+    for (int64_t i = 0; i <= m + 1; ++i)
+      for (int64_t j = 0; j <= m + 1; ++j) {
+        std::vector<int64_t> idx{i, j};
+        // Bit-exact, not EXPECT_NEAR: both engines must perform the
+        // same double operations in the same order.
+        EXPECT_EQ(bytecode.array("newA").at(idx),
+                  reference.array("newA").at(idx))
+            << "M=" << m << " maxK=" << sweeps << " at " << i << "," << j;
+      }
+  }
+}
+
+TEST(WavefrontEngine, PooledBytecodeMatchesTreeWalk) {
+  auto result = compile_exact_gs();
+  const int64_t m = 10;
+  const int64_t sweeps = 6;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  ThreadPool pool(4);
+  WavefrontOptions tree;
+  tree.engine = EvalEngine::TreeWalk;
+  WavefrontOptions pooled;
+  pooled.pool = &pool;
+  WavefrontRunner reference(*result.transformed->module, *result.transform,
+                            *result.exact_nest, params, {}, tree);
+  WavefrontRunner bytecode(*result.transformed->module, *result.transform,
+                           *result.exact_nest, params, {}, pooled);
+  fill_input(reference.array("InitialA"), m);
+  fill_input(bytecode.array("InitialA"), m);
+  reference.run();
+  bytecode.run();
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(bytecode.array("newA").at(idx),
+                reference.array("newA").at(idx));
+    }
+}
+
 }  // namespace
 }  // namespace ps
