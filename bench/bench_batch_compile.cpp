@@ -1,0 +1,96 @@
+// Batch-compilation throughput: the whole paper corpus (replicated into
+// a realistic multi-module workload) through the BatchDriver at growing
+// job counts. The acceptance bar for the batch driver is >= 2x
+// throughput at -j 4 over -j 1 on this workload; the modules/sec
+// counter feeds the CI regression gate (BENCH_batch.json).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <string>
+#include <vector>
+
+#include "driver/batch_driver.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+/// The paper corpus replicated `copies` times: the multi-module traffic
+/// shape the ROADMAP's batch item describes (many units, repeated
+/// stencil structure).
+std::vector<ps::BatchInput> corpus_batch(size_t copies) {
+  std::vector<ps::BatchInput> inputs;
+  inputs.reserve(copies * ps::paper_corpus().size());
+  for (size_t c = 0; c < copies; ++c)
+    for (const ps::PaperModule& module : ps::paper_corpus())
+      inputs.push_back({std::string(module.name) + "#" + std::to_string(c),
+                        module.source, false});
+  return inputs;
+}
+
+void BM_BatchCompile(benchmark::State& state) {
+  const size_t jobs = static_cast<size_t>(state.range(0));
+  const std::vector<ps::BatchInput> inputs = corpus_batch(16);
+  // Steady-state service shape: the worker pool persists across
+  // batches; only the driver (and its per-batch caches) is fresh.
+  ps::ThreadPool pool(jobs);
+  size_t compiled = 0;
+  for (auto _ : state) {
+    ps::BatchOptions bopts;
+    bopts.jobs = jobs;
+    if (jobs > 1) bopts.pool = &pool;
+    ps::BatchDriver driver({}, bopts);
+    auto results = driver.compile_all(inputs);
+    benchmark::DoNotOptimize(results.data());
+    if (driver.summary().failed != 0) {
+      state.SkipWithError("batch compilation failed");
+      return;
+    }
+    compiled += results.size();
+  }
+  state.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(compiled), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchCompile)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The hyperplane pipeline over many instances of the same recurrence:
+/// with the shared solution cache one unit pays for the solve and the
+/// rest hit the memo table.
+void BM_BatchCompileHyperplane(benchmark::State& state) {
+  const bool share = state.range(0) != 0;
+  std::vector<ps::BatchInput> inputs;
+  for (size_t i = 0; i < 16; ++i)
+    inputs.push_back({"gs#" + std::to_string(i),
+                      ps::kGaussSeidelSource, false});
+  ps::CompileOptions copts;
+  copts.apply_hyperplane = true;
+  ps::ThreadPool pool(4);
+  for (auto _ : state) {
+    ps::BatchOptions bopts;
+    bopts.pool = &pool;
+    bopts.share_hyperplane_solutions = share;
+    ps::BatchDriver driver(copts, bopts);
+    auto results = driver.compile_all(inputs);
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_BatchCompileHyperplane)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""CI perf regression gate.
+
+Compares a freshly recorded Google Benchmark JSON report against the
+checked-in baseline (BENCH_*.json) and fails when any benchmark's
+throughput regressed by more than the threshold (default 15%).
+
+Throughput is taken from a rate counter (e.g. modules_per_s) when the
+benchmark reports one -- higher is better -- and falls back to
+real_time otherwise (lower is better). Benchmarks present in only one
+of the two reports are reported but do not fail the gate (they are new
+or retired, not regressed). When the baseline was recorded on
+different hardware (num_cpus mismatch in the report context),
+regressions are advisory and the gate passes with a warning: refresh
+the BENCH_*.json baselines from a run on the target runner class to
+arm it.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_batch.json \
+      --current build/bench_batch.json [--threshold 0.15]
+
+Exit status: 0 when no benchmark regressed beyond the threshold,
+1 otherwise, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read benchmark report {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def load_benchmarks(report):
+    """name -> (metric, higher_is_better)."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # compare raw runs only; aggregates duplicate them
+        name = bench.get("name")
+        if not name:
+            continue
+        rate = None
+        for key, value in bench.items():
+            # Rate counters appear as plain numeric fields; the repo's
+            # convention names them *_per_s.
+            if key.endswith("_per_s") and isinstance(value, (int, float)):
+                rate = float(value)
+                break
+        if rate is not None:
+            out[name] = (rate, True)
+        elif isinstance(bench.get("real_time"), (int, float)):
+            out[name] = (float(bench["real_time"]), False)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly recorded report to check")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--force-absolute", action="store_true",
+                        help="fail on regressions even when the baseline "
+                             "was recorded on different hardware")
+    args = parser.parse_args()
+
+    baseline_report = load_report(args.baseline)
+    current_report = load_report(args.current)
+    baseline = load_benchmarks(baseline_report)
+    current = load_benchmarks(current_report)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    # Absolute timings only mean something on comparable hardware. When
+    # the recording machine differs from this one (different core
+    # count), regressions are reported but do not fail the gate -- the
+    # baseline needs re-recording on this runner class instead.
+    base_cpus = baseline_report.get("context", {}).get("num_cpus")
+    cur_cpus = current_report.get("context", {}).get("num_cpus")
+    comparable = base_cpus == cur_cpus or args.force_absolute
+    if not comparable:
+        print(f"warning: baseline hardware (num_cpus={base_cpus}) differs "
+              f"from this machine (num_cpus={cur_cpus}); regressions are "
+              "advisory only -- re-record the baseline on this runner "
+              "class to arm the gate (--force-absolute overrides)")
+
+    failures = []
+    for name, (base_value, higher_is_better) in sorted(baseline.items()):
+        if name not in current:
+            print(f"note: {name} missing from current report (retired?)")
+            continue
+        cur_value, _ = current[name]
+        if base_value <= 0:
+            continue
+        if higher_is_better:
+            change = (cur_value - base_value) / base_value
+            regressed = change < -args.threshold
+            direction = "throughput"
+        else:
+            change = (base_value - cur_value) / base_value
+            regressed = change < -args.threshold
+            direction = "time"
+        status = "FAIL" if regressed else "ok"
+        print(f"{status:>4}  {name}: {direction} change "
+              f"{change * 100:+.1f}% (baseline {base_value:.3f}, "
+              f"current {cur_value:.3f})")
+        if regressed:
+            failures.append(name)
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name} is new (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for name in failures:
+            print(f"  {name}", file=sys.stderr)
+        if not comparable:
+            print("not failing: baseline is from different hardware "
+                  "(see warning above)")
+            return 0
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+#include "driver/batch_driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "eqn/translate.hpp"
+#include "frontend/ast.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/text_table.hpp"
+
+namespace ps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string format_ms(double ms) {
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // RFC 8259: control characters must be escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          snprintf(buffer, sizeof(buffer), "\\u%04x",
+                   static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchDriver::BatchDriver(CompileOptions compile_options,
+                         BatchOptions batch_options)
+    : compile_options_(compile_options), batch_options_(batch_options) {}
+
+CompileResult BatchDriver::compile_unit(const BatchInput& input) {
+  HyperplaneCache* cache = batch_options_.share_hyperplane_solutions
+                               ? &hyperplane_cache_
+                               : nullptr;
+  Compiler compiler(compile_options_);
+  if (!input.is_eqn) return compiler.compile(input.source, input.name, cache);
+
+  // EQN front end: translate the equation module to a PS AST, then run
+  // its pretty-printed source through the ordinary pipeline.
+  DiagnosticEngine eqn_diags;
+  eqn_diags.set_source(input.source, input.name);
+  auto ast = eqn::equations_to_ps(input.source, eqn_diags);
+  if (!ast) {
+    CompileResult failed;
+    failed.ok = false;
+    failed.diagnostics = eqn_diags.render();
+    return failed;
+  }
+  // Locations in any further diagnostics refer to the translated PS
+  // text (the user never wrote PS), so say so in the label.
+  std::string ps_source = to_source(*ast);
+  return compiler.compile(ps_source, input.name + " (translated PS)", cache);
+}
+
+std::vector<BatchUnitResult> BatchDriver::compile_all(
+    const std::vector<BatchInput>& inputs) {
+  summary_ = BatchSummary{};
+  summary_.total = inputs.size();
+  size_t jobs = batch_options_.jobs;
+  if (batch_options_.pool != nullptr) {
+    jobs = batch_options_.pool->size();
+  } else if (jobs == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 4 : hw;
+  }
+  // Report the parallelism that actually runs: single-unit (or -j 1)
+  // batches take the sequential path whatever was requested.
+  if (jobs <= 1 || inputs.size() <= 1) jobs = 1;
+  summary_.jobs = jobs;
+
+  // Results are indexed by input position: whatever order the workers
+  // claim units in, output order (and every merge below) is the input
+  // order -- the determinism contract.
+  std::vector<BatchUnitResult> results(inputs.size());
+  // The cache (and interner) outlive individual batches in a reused
+  // driver; the summary reports this call's delta, not lifetime totals.
+  size_t hits_before = hyperplane_cache_.hits();
+  size_t misses_before = hyperplane_cache_.misses();
+  Clock::time_point batch_start = Clock::now();
+
+  auto run_one = [&](int64_t i) {
+    const BatchInput& input = inputs[static_cast<size_t>(i)];
+    BatchUnitResult& out = results[static_cast<size_t>(i)];
+    Clock::time_point start = Clock::now();
+    out.name = input.name;
+    try {
+      out.result = compile_unit(input);
+    } catch (const std::exception& e) {
+      // A throwing unit (e.g. an internal limit) fails alone; its
+      // neighbours keep compiling.
+      out.result = CompileResult{};
+      out.result.ok = false;
+      out.result.diagnostics =
+          input.name + ": error: internal: " + e.what() + "\n";
+    }
+    out.milliseconds = ms_since(start);
+    if (out.result.primary) {
+      // Fold this unit's spellings into the batch-wide symbol table;
+      // the report prints module names from the interned storage.
+      out.module_symbol = symbols_.intern(out.result.primary->module->name);
+      for (const DataItem& item : out.result.primary->module->data)
+        symbols_.intern(item.name);
+    }
+  };
+
+  if (jobs <= 1 || inputs.size() <= 1) {
+    for (size_t i = 0; i < inputs.size(); ++i)
+      run_one(static_cast<int64_t>(i));
+  } else if (batch_options_.pool != nullptr) {
+    // One coarse task per unit, chunk size 1, so a unit with an
+    // expensive solve never holds up queued neighbours.
+    batch_options_.pool->parallel_tasks(static_cast<int64_t>(inputs.size()),
+                                        run_one);
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_tasks(static_cast<int64_t>(inputs.size()), run_one);
+  }
+
+  summary_.wall_ms = ms_since(batch_start);
+  for (const BatchUnitResult& unit : results) {
+    if (unit.result.ok)
+      ++summary_.succeeded;
+    else
+      ++summary_.failed;
+    summary_.cpu_ms += unit.milliseconds;
+    // Aggregate per-pass timings position-wise (every unit runs the
+    // same default pipeline; EQN-translation failures have no timings).
+    for (size_t p = 0; p < unit.result.pass_timings.size(); ++p) {
+      const PassTiming& timing = unit.result.pass_timings[p];
+      if (p >= summary_.aggregate_timings.size()) {
+        PassTiming fresh;
+        fresh.name = timing.name;
+        summary_.aggregate_timings.push_back(std::move(fresh));
+      }
+      PassTiming& total = summary_.aggregate_timings[p];
+      total.milliseconds += timing.milliseconds;
+      total.ran = total.ran || timing.ran;
+    }
+  }
+  summary_.hyperplane_hits = hyperplane_cache_.hits() - hits_before;
+  summary_.hyperplane_misses = hyperplane_cache_.misses() - misses_before;
+  summary_.distinct_symbols = symbols_.size();
+  return results;
+}
+
+std::string BatchDriver::merged_diagnostics(
+    const std::vector<BatchUnitResult>& results) {
+  std::string merged;
+  for (const BatchUnitResult& unit : results)
+    merged += unit.result.diagnostics;
+  return merged;
+}
+
+std::string BatchDriver::format_report(
+    const std::vector<BatchUnitResult>& results, const BatchSummary& summary) {
+  TextTable table({"Unit", "Module", "Status", "Time (ms)"});
+  for (const BatchUnitResult& unit : results) {
+    std::string module = unit.module_symbol.empty()
+                             ? "-"
+                             : std::string(unit.module_symbol);
+    table.add_row({unit.name, module, unit.result.ok ? "ok" : "failed",
+                   format_ms(unit.milliseconds)});
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << summary.succeeded << "/" << summary.total << " units succeeded, -j "
+     << summary.jobs << ", wall " << format_ms(summary.wall_ms)
+     << " ms, cpu " << format_ms(summary.cpu_ms) << " ms\n";
+  os << "hyperplane cache: " << summary.hyperplane_hits << " hits, "
+     << summary.hyperplane_misses << " misses; interned symbols: "
+     << summary.distinct_symbols << "\n";
+  if (!summary.aggregate_timings.empty())
+    os << "aggregate pass times:\n"
+       << format_pass_timings(summary.aggregate_timings);
+  return os.str();
+}
+
+std::string BatchDriver::report_json(
+    const std::vector<BatchUnitResult>& results, const BatchSummary& summary) {
+  std::ostringstream os;
+  os << "{\n  \"summary\": {\"total\": " << summary.total
+     << ", \"succeeded\": " << summary.succeeded
+     << ", \"failed\": " << summary.failed << ", \"jobs\": " << summary.jobs
+     << ", \"wall_ms\": " << format_ms(summary.wall_ms)
+     << ", \"cpu_ms\": " << format_ms(summary.cpu_ms)
+     << ", \"hyperplane_hits\": " << summary.hyperplane_hits
+     << ", \"hyperplane_misses\": " << summary.hyperplane_misses
+     << ", \"distinct_symbols\": " << summary.distinct_symbols << "},\n";
+  os << "  \"units\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BatchUnitResult& unit = results[i];
+    os << "    {\"name\": \"" << json_escape(unit.name) << "\", \"ok\": "
+       << (unit.result.ok ? "true" : "false")
+       << ", \"ms\": " << format_ms(unit.milliseconds) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"passes\": [\n";
+  for (size_t p = 0; p < summary.aggregate_timings.size(); ++p) {
+    const PassTiming& timing = summary.aggregate_timings[p];
+    os << "    {\"name\": \"" << json_escape(timing.name) << "\", \"ms\": "
+       << format_ms(timing.milliseconds) << "}"
+       << (p + 1 < summary.aggregate_timings.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/interner.hpp"
+#include "transform/hyperplane.hpp"
+
+namespace ps {
+
+/// One input of a batch compilation.
+struct BatchInput {
+  std::string name;    // display name, usually the file path
+  std::string source;  // PS source text (EQN text when is_eqn)
+  /// Translate TeX-style equation input (.eqn) to PS before compiling.
+  bool is_eqn = false;
+};
+
+/// The outcome of one unit: the same CompileResult the single-module
+/// facade produces (byte-identical C, diagnostics, timings), plus the
+/// unit's wall time inside the batch.
+struct BatchUnitResult {
+  std::string name;
+  CompileResult result;
+  double milliseconds = 0;
+  /// The unit's module name as a view into the driver's shared symbol
+  /// table (empty for failed units). Valid while the driver lives.
+  std::string_view module_symbol;
+};
+
+struct BatchOptions {
+  /// Total parallelism (workers including the calling thread); 1 runs
+  /// strictly sequentially with no pool, 0 uses the hardware count.
+  /// Ignored when `pool` is set.
+  size_t jobs = 1;
+  /// Reuse an existing worker pool instead of spawning one per
+  /// compile_all call -- the steady-state shape for a long-lived service
+  /// (and the batch bench), where thread creation would otherwise
+  /// dominate small batches.
+  ThreadPool* pool = nullptr;
+  /// Share one HyperplaneCache across every unit of the batch, so
+  /// identical dependence sets solve their time function once.
+  bool share_hyperplane_solutions = true;
+};
+
+/// Whole-batch statistics, filled by compile_all.
+struct BatchSummary {
+  size_t total = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  size_t jobs = 1;
+  double wall_ms = 0;  // batch wall time
+  double cpu_ms = 0;   // sum of per-unit pipeline times
+  size_t hyperplane_hits = 0;
+  size_t hyperplane_misses = 0;
+  /// Distinct module/data-item spellings in the driver's shared symbol
+  /// table. Unlike the cache hit/miss deltas above, this is the table's
+  /// size -- cumulative across batches when a driver is reused, since
+  /// vocabulary is a property of the table, not of one call.
+  size_t distinct_symbols = 0;
+  /// Per-pass wall time summed over every unit, in pipeline order
+  /// (aggregate psc --time-passes).
+  std::vector<PassTiming> aggregate_timings;
+};
+
+/// Compiles N compilation units concurrently on the runtime thread
+/// pool: each unit's pass pipeline is one coarse task claimed from the
+/// pool's shared work queue (dynamic self-scheduling, so a unit with an
+/// expensive Hyperplane solve never serialises its neighbours), with
+/// read-only state shared across workers -- the memoised hyperplane
+/// solutions and the interned symbol table.
+///
+/// Determinism contract: results come back in input order; each unit's
+/// CompileResult (emitted C, rendered diagnostics, artefacts) is
+/// byte-identical to what Compiler::compile produces for the same
+/// source sequentially, at any job count. Units are isolated: a unit
+/// that fails (diagnostics or an internal error) never affects its
+/// neighbours' output.
+class BatchDriver {
+ public:
+  explicit BatchDriver(CompileOptions compile_options = {},
+                       BatchOptions batch_options = {});
+
+  /// Compile every input; the result vector parallels `inputs`.
+  [[nodiscard]] std::vector<BatchUnitResult> compile_all(
+      const std::vector<BatchInput>& inputs);
+
+  /// Statistics of the last compile_all call.
+  [[nodiscard]] const BatchSummary& summary() const { return summary_; }
+
+  [[nodiscard]] const HyperplaneCache& hyperplane_cache() const {
+    return hyperplane_cache_;
+  }
+  [[nodiscard]] const StringInterner& symbols() const { return symbols_; }
+
+  /// Per-unit diagnostics concatenated in input order (empty when every
+  /// unit was clean) -- the deterministic merge of the per-unit sinks.
+  [[nodiscard]] static std::string merged_diagnostics(
+      const std::vector<BatchUnitResult>& results);
+
+  /// Human-readable batch report: one row per unit plus summary lines
+  /// (psc --batch-report).
+  [[nodiscard]] static std::string format_report(
+      const std::vector<BatchUnitResult>& results,
+      const BatchSummary& summary);
+
+  /// Machine-readable report (psc --batch-report --json).
+  [[nodiscard]] static std::string report_json(
+      const std::vector<BatchUnitResult>& results,
+      const BatchSummary& summary);
+
+ private:
+  CompileResult compile_unit(const BatchInput& input);
+
+  CompileOptions compile_options_;
+  BatchOptions batch_options_;
+  HyperplaneCache hyperplane_cache_;
+  StringInterner symbols_;
+  BatchSummary summary_;
+};
+
+}  // namespace ps

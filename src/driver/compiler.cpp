@@ -26,8 +26,11 @@ std::optional<CompiledModule> Compiler::analyze(ModuleAst ast,
   return unit.take_module();
 }
 
-CompileResult Compiler::compile(std::string_view source) const {
-  CompilationUnit unit(options_, source);
+CompileResult Compiler::compile(std::string_view source,
+                                std::string file_name,
+                                HyperplaneCache* hyperplane_cache) const {
+  CompilationUnit unit(options_, source, std::move(file_name));
+  unit.hyperplane_cache = hyperplane_cache;
   PassManager pipeline = PassManager::default_pipeline();
   bool ok = pipeline.run(unit);
 

@@ -48,8 +48,14 @@ class Compiler {
  public:
   explicit Compiler(CompileOptions options = {}) : options_(options) {}
 
-  /// Compile the first module of `source`.
-  [[nodiscard]] CompileResult compile(std::string_view source) const;
+  /// Compile the first module of `source`. `file_name` labels rendered
+  /// diagnostics; `hyperplane_cache` (optional) memoises hyperplane
+  /// solutions across compiles -- the batch driver passes its shared
+  /// cache here. A cache hit returns exactly what solving again would,
+  /// so results are byte-identical with or without one.
+  [[nodiscard]] CompileResult compile(
+      std::string_view source, std::string file_name = "<input>",
+      HyperplaneCache* hyperplane_cache = nullptr) const;
 
   /// Analyse and schedule an already-parsed module: the per-module tail
   /// of the pipeline (Sema..Emit) on a fresh unit. Diagnostics are

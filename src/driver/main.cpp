@@ -1,7 +1,7 @@
 // psc: command-line front end for the PS compiler reproduction.
 //
 // Usage:
-//   psc [options] <file.ps | ->
+//   psc [options] <file.ps | file.eqn | -> [more files...]
 //     --schedule        print the flowchart (default)
 //     --components      print the MSCC table (paper Figure 5)
 //     --graph           print the dependency-graph inventory
@@ -13,23 +13,47 @@
 //     --no-windows      disable virtual-dimension windowing in codegen
 //     --passes          list the pipeline stages for the given options
 //     --time-passes     print per-stage wall time after compiling
+//
+//   Batch compilation (several inputs, or --corpus):
+//     -j N              compile units on N workers (default 1; 0 = all cores)
+//     --batch-report    print the per-unit batch table and summary
+//     --json            with --batch-report: emit the report as JSON
+//     --corpus          compile the built-in paper corpus as a batch
+//
+// With more than one input the driver routes everything through the
+// BatchDriver: per-unit output and diagnostics are identical to the
+// corresponding single-file runs at any -j, printed in input order with
+// a "== name ==" separator.
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "driver/batch_driver.hpp"
 #include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
 #include "support/text_table.hpp"
 
 namespace {
 
-void print_stage(const ps::CompiledModule& stage, bool components, bool graph,
-                 bool dot, bool c_code, bool source, bool schedule) {
-  if (source) std::cout << stage.source << '\n';
-  if (graph) std::cout << stage.graph->summary() << '\n';
-  if (dot) std::cout << stage.graph->to_dot() << '\n';
-  if (components) {
+struct OutputFlags {
+  bool components = false;
+  bool graph = false;
+  bool dot = false;
+  bool c_code = false;
+  bool source = false;
+  bool schedule = false;
+};
+
+void print_stage(const ps::CompiledModule& stage, const OutputFlags& flags) {
+  if (flags.source) std::cout << stage.source << '\n';
+  if (flags.graph) std::cout << stage.graph->summary() << '\n';
+  if (flags.dot) std::cout << stage.graph->to_dot() << '\n';
+  if (flags.components) {
     ps::TextTable table({"Component", "Node(s)", "Flowchart"});
     for (size_t i = 0; i < stage.schedule.components.size(); ++i) {
       const auto& comp = stage.schedule.components[i];
@@ -43,35 +67,83 @@ void print_stage(const ps::CompiledModule& stage, bool components, bool graph,
     }
     std::cout << table.render() << '\n';
   }
-  if (schedule)
+  if (flags.schedule)
     std::cout << ps::flowchart_to_string(stage.schedule.flowchart,
                                          *stage.graph)
               << '\n';
-  if (c_code) std::cout << stage.c_code << '\n';
+  if (flags.c_code) std::cout << stage.c_code << '\n';
+}
+
+/// Print one unit's compiled artefacts exactly as the single-file path
+/// would.
+void print_result(const ps::CompileResult& result, const OutputFlags& flags) {
+  if (!result.primary) return;
+  print_stage(*result.primary, flags);
+  if (result.transform) {
+    std::cout << "-- hyperplane transform on '" << result.transform->array
+              << "': " << result.transform->describe() << "\n\n";
+    if (result.exact_nest)
+      std::cout << "-- exact loop bounds (Lamport):\n"
+                << result.exact_nest->to_string() << "\n\n";
+    if (result.transformed) print_stage(*result.transformed, flags);
+  }
+}
+
+bool read_file(const std::string& path, std::string& text) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  text = buffer.str();
+  return true;
+}
+
+bool has_suffix(const std::string& path, const char* suffix) {
+  std::string s = suffix;
+  return path.size() >= s.size() &&
+         path.compare(path.size() - s.size(), s.size(), s) == 0;
+}
+
+/// Parse a -j worker count: a non-negative decimal integer (0 = all
+/// cores), capped to something a machine could plausibly have.
+bool parse_jobs(const std::string& text, size_t& jobs) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  if (value < 0 || value > 4096) return false;
+  jobs = static_cast<size_t>(value);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool components = false;
-  bool graph = false;
-  bool dot = false;
-  bool c_code = false;
-  bool source = false;
-  bool schedule = false;
+  OutputFlags flags;
   bool list_passes = false;
   bool time_passes = false;
-  std::string path;
+  bool batch_report = false;
+  bool json = false;
+  bool corpus = false;
+  size_t jobs = 1;
+  std::vector<std::string> paths;
 
   ps::CompileOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--components") components = true;
-    else if (arg == "--graph") graph = true;
-    else if (arg == "--dot") dot = true;
-    else if (arg == "--c") c_code = true;
-    else if (arg == "--source") source = true;
-    else if (arg == "--schedule") schedule = true;
+    if (arg == "--components") flags.components = true;
+    else if (arg == "--graph") flags.graph = true;
+    else if (arg == "--dot") flags.dot = true;
+    else if (arg == "--c") flags.c_code = true;
+    else if (arg == "--source") flags.source = true;
+    else if (arg == "--schedule") flags.schedule = true;
     else if (arg == "--hyperplane") options.apply_hyperplane = true;
     else if (arg == "--exact") {
       options.apply_hyperplane = true;
@@ -81,16 +153,40 @@ int main(int argc, char** argv) {
     else if (arg == "--no-windows") options.use_virtual_windows = false;
     else if (arg == "--passes") list_passes = true;
     else if (arg == "--time-passes") time_passes = true;
+    else if (arg == "--batch-report") batch_report = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--corpus") corpus = true;
+    else if (arg == "-j") {
+      if (i + 1 >= argc || !parse_jobs(argv[i + 1], jobs)) {
+        std::cerr << "psc: -j needs a worker count (0 = all cores)\n";
+        return 2;
+      }
+      ++i;
+    }
+    else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      if (!parse_jobs(arg.substr(2), jobs)) {
+        std::cerr << "psc: bad worker count in '" << arg << "'\n";
+        return 2;
+      }
+    }
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
                    "--source] [--hyperplane] [--exact] [--merge] "
-                   "[--no-windows] [--passes] [--time-passes] <file.ps|->\n";
+                   "[--no-windows] [--passes] [--time-passes] "
+                   "[-j N] [--batch-report] [--json] [--corpus] "
+                   "<file.ps|file.eqn|-> [more files...]\n";
       return 0;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
-  if (!components && !graph && !dot && !c_code && !source) schedule = true;
+  if (!flags.components && !flags.graph && !flags.dot && !flags.c_code &&
+      !flags.source)
+    flags.schedule = true;
+  if (json && !batch_report) {
+    std::cerr << "psc: --json requires --batch-report\n";
+    return 2;
+  }
 
   if (list_passes) {
     // Show the pipeline the current options assemble, and verify its
@@ -110,48 +206,77 @@ int main(int argc, char** argv) {
         std::cout << "ordering violation: " << v << '\n';
       return 1;
     }
-    if (path.empty()) return 0;  // listing alone needs no input
+    if (paths.empty() && !corpus) return 0;  // listing alone needs no input
   }
-  if (path.empty()) {
+  if (paths.empty() && !corpus) {
     std::cerr << "psc: no input file (use '-' for stdin)\n";
     return 2;
   }
 
-  std::string text;
-  if (path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
+  // Assemble the batch inputs: files in command-line order, then the
+  // built-in corpus when requested.
+  std::vector<ps::BatchInput> inputs;
+  for (const std::string& path : paths) {
+    ps::BatchInput input;
+    input.name = path == "-" ? "<stdin>" : path;
+    input.is_eqn = has_suffix(path, ".eqn");
+    if (!read_file(path, input.source)) {
       std::cerr << "psc: cannot open '" << path << "'\n";
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
+    inputs.push_back(std::move(input));
+  }
+  if (corpus)
+    for (const ps::PaperModule& module : ps::paper_corpus())
+      inputs.push_back(ps::BatchInput{module.name, module.source, false});
+
+  const bool batch = inputs.size() > 1 || corpus || batch_report;
+
+  if (!batch) {
+    // Single-module path: identical to the historical driver. EQN files
+    // reuse the batch driver's translate-then-compile for one unit.
+    ps::CompileResult result;
+    if (inputs[0].is_eqn) {
+      ps::BatchDriver driver(options);
+      auto results = driver.compile_all(inputs);
+      result = std::move(results[0].result);
+    } else {
+      result = ps::Compiler(options).compile(inputs[0].source, inputs[0].name);
+    }
+    if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
+    if (time_passes)
+      std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
+    if (!result.ok || !result.primary) return 1;
+    print_result(result, flags);
+    return 0;
   }
 
-  ps::Compiler compiler(options);
-  ps::CompileResult result = compiler.compile(text);
-  if (!result.diagnostics.empty()) std::cerr << result.diagnostics;
-  if (time_passes)
-    std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
-  if (!result.ok || !result.primary) return 1;
+  ps::BatchOptions batch_options;
+  batch_options.jobs = jobs;
+  ps::BatchDriver driver(options, batch_options);
+  std::vector<ps::BatchUnitResult> results = driver.compile_all(inputs);
 
-  print_stage(*result.primary, components, graph, dot, c_code, source,
-              schedule);
+  // Deterministic merge: diagnostics in input order on stderr, per-unit
+  // artefacts in input order on stdout.
+  std::string diagnostics = ps::BatchDriver::merged_diagnostics(results);
+  if (!diagnostics.empty()) std::cerr << diagnostics;
 
-  if (result.transform) {
-    std::cout << "-- hyperplane transform on '" << result.transform->array
-              << "': " << result.transform->describe() << "\n\n";
-    if (result.exact_nest)
-      std::cout << "-- exact loop bounds (Lamport):\n"
-                << result.exact_nest->to_string() << "\n\n";
-    if (result.transformed)
-      print_stage(*result.transformed, components, graph, dot, c_code, source,
-                  schedule);
+  if (batch_report) {
+    if (json)
+      std::cout << ps::BatchDriver::report_json(results, driver.summary());
+    else
+      std::cout << ps::BatchDriver::format_report(results, driver.summary());
+  } else {
+    for (const ps::BatchUnitResult& unit : results) {
+      std::cout << "== " << unit.name << " ==\n";
+      print_result(unit.result, flags);
+    }
   }
-  return 0;
+  // The report already embeds the aggregate table; only print it here
+  // for the per-unit output mode.
+  if (time_passes && !batch_report)
+    std::cout << ps::format_pass_timings(driver.summary().aggregate_timings)
+              << '\n';
+
+  return driver.summary().failed == 0 ? 0 : 1;
 }

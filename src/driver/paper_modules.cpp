@@ -89,4 +89,14 @@ define
 end Chain;
 )PS";
 
+const std::vector<PaperModule>& paper_corpus() {
+  static const std::vector<PaperModule> corpus = {
+      {"jacobi", kRelaxationSource},
+      {"gauss-seidel", kGaussSeidelSource},
+      {"heat1d", kHeat1dSource},
+      {"chain", kPointwiseChainSource},
+  };
+  return corpus;
+}
+
 }  // namespace ps

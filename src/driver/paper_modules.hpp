@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 namespace ps {
 
 /// The paper's Figure 1: the Jacobi-style relaxation module (Equation 1
@@ -20,5 +22,16 @@ extern const char* const kHeat1dSource;
 /// A chain of element-wise array equations over the same subranges; the
 /// loop-fusion pass collapses its four DOALL nests into one.
 extern const char* const kPointwiseChainSource;
+
+/// One named module of the paper corpus.
+struct PaperModule {
+  const char* name;    // short display name ("jacobi", "gauss-seidel"...)
+  const char* source;  // PS source text
+};
+
+/// Every built-in paper module, in a fixed order -- the corpus the batch
+/// driver compiles in one invocation (psc --corpus) and the workload of
+/// the batch-compilation bench and the differential test harness.
+[[nodiscard]] const std::vector<PaperModule>& paper_corpus();
 
 }  // namespace ps

@@ -11,9 +11,10 @@
 namespace ps {
 
 CompilationUnit::CompilationUnit(const CompileOptions& options,
-                                 std::string_view source)
+                                 std::string_view source,
+                                 std::string file_name)
     : options(&options), source(source) {
-  diags.set_source(source);
+  diags.set_source(source, std::move(file_name));
 }
 
 CompiledModule CompilationUnit::take_module() {
@@ -137,7 +138,10 @@ class HyperplanePass : public Pass {
       DiagnosticEngine probe;  // failures here are not fatal
       auto deps = extract_dependences(module, candidate, probe);
       if (!deps) continue;
-      auto transform = find_hyperplane(*deps, unit.options->solver);
+      auto transform =
+          unit.hyperplane_cache != nullptr
+              ? unit.hyperplane_cache->find(*deps, unit.options->solver)
+              : find_hyperplane(*deps, unit.options->solver);
       if (!transform) continue;
       auto rewritten = hyperplane_rewrite(module, *transform, probe);
       if (!rewritten) continue;

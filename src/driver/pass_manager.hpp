@@ -27,7 +27,8 @@ namespace ps {
 /// one module's journey; the Hyperplane pass runs a nested pipeline over
 /// a second unit for the rewritten module.
 struct CompilationUnit {
-  CompilationUnit(const CompileOptions& options, std::string_view source);
+  CompilationUnit(const CompileOptions& options, std::string_view source,
+                  std::string file_name = "<input>");
 
   const CompileOptions* options;  // never null
   std::string_view source;        // must outlive the unit
@@ -59,6 +60,11 @@ struct CompilationUnit {
   /// Diagnostics rendered by nested pipelines (e.g. a failed analysis of
   /// the hyperplane-rewritten module), appended to the unit's own.
   std::string extra_diagnostics;
+
+  /// Shared memo table for hyperplane solutions, set by the batch driver
+  /// so units with identical dependence sets solve once. Optional; null
+  /// means solve directly (the single-module path).
+  HyperplaneCache* hyperplane_cache = nullptr;
 
   /// Set by a pass to halt the pipeline without emitting a diagnostic
   /// (diagnosed errors halt it on their own).

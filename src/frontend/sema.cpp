@@ -126,14 +126,10 @@ class Checker {
         }
         return it->second;
       }
-      case TypeExprKind::Subrange: {
-        Type* t = out_.types.create();
-        t->kind = TypeKind::Subrange;
-        t->name = declared_name;
-        t->lo = node.lo->clone();
-        t->hi = node.hi->clone();
-        return t;
-      }
+      case TypeExprKind::Subrange:
+        // Anonymous subranges (inline `1 .. maxK` dimension bounds) are
+        // interned by the table: structurally equal bounds share one Type.
+        return out_.types.make_subrange(*node.lo, *node.hi, declared_name);
       case TypeExprKind::Array: {
         Type* t = out_.types.create();
         t->kind = TypeKind::Array;

@@ -125,11 +125,19 @@ Type* TypeTable::create() {
 
 const Type* TypeTable::make_subrange(const Expr& lo, const Expr& hi,
                                      std::string name) {
+  if (name.empty()) {
+    for (const Type* existing : anon_subranges_)
+      if (expr_equal(*existing->lo, lo) && expr_equal(*existing->hi, hi)) {
+        ++intern_hits_;
+        return existing;
+      }
+  }
   Type* t = create();
   t->kind = TypeKind::Subrange;
   t->name = std::move(name);
   t->lo = lo.clone();
   t->hi = hi.clone();
+  if (t->name.empty()) anon_subranges_.push_back(t);
   return t;
 }
 

@@ -72,13 +72,23 @@ class TypeTable {
   Type* create();
 
   /// Create an anonymous subrange lo .. hi (expressions are cloned).
+  /// Anonymous subranges are interned: a structurally equal anonymous
+  /// subrange created earlier is returned instead of a fresh one, so
+  /// the table stays small when sema elaborates the same implicit
+  /// dimension many times. Named subranges are always fresh (the name
+  /// participates in display()).
   const Type* make_subrange(const Expr& lo, const Expr& hi,
                             std::string name = "");
 
   [[nodiscard]] size_t size() const { return storage_.size(); }
 
+  /// How many make_subrange calls were satisfied from the intern list.
+  [[nodiscard]] size_t subrange_intern_hits() const { return intern_hits_; }
+
  private:
   std::vector<std::unique_ptr<Type>> storage_;
+  std::vector<const Type*> anon_subranges_;  // intern list
+  size_t intern_hits_ = 0;
   const Type* int_ = nullptr;
   const Type* real_ = nullptr;
   const Type* bool_ = nullptr;

@@ -1,6 +1,9 @@
 #include "runtime/bytecode.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -328,6 +331,168 @@ BcProgram compile_expr(const Expr& expr, const CheckedModule& module,
                        const BcLayout& layout) {
   Compiler compiler(module, layout);
   return compiler.run(expr);
+}
+
+namespace {
+
+bool is_push(const BcInstr& instr) {
+  return instr.op == BcOp::PushInt || instr.op == BcOp::PushReal;
+}
+
+/// True when some jump lands strictly inside (start, start + span):
+/// folding would delete its target.
+bool jump_lands_inside(const std::vector<BcInstr>& code, size_t start,
+                       size_t span) {
+  for (const BcInstr& instr : code) {
+    if (instr.op != BcOp::Jump && instr.op != BcOp::JumpIfFalse) continue;
+    size_t target = static_cast<size_t>(instr.a);
+    if (target > start && target < start + span) return true;
+  }
+  return false;
+}
+
+/// Replace `span` instructions at `start` with the single `folded`
+/// push, remapping every jump target past the span.
+void splice(BcProgram& program, size_t start, size_t span, BcInstr folded) {
+  std::vector<BcInstr>& code = program.code;
+  code[start] = folded;
+  code.erase(code.begin() + static_cast<int64_t>(start + 1),
+             code.begin() + static_cast<int64_t>(start + span));
+  int32_t shrink = static_cast<int32_t>(span - 1);
+  for (BcInstr& instr : code) {
+    if (instr.op != BcOp::Jump && instr.op != BcOp::JumpIfFalse) continue;
+    if (instr.a >= static_cast<int32_t>(start + span)) instr.a -= shrink;
+  }
+}
+
+BcInstr make_push_int(int64_t value) {
+  BcInstr instr{BcOp::PushInt, 0, 0, 0, 0};
+  instr.imm = value;
+  return instr;
+}
+
+BcInstr make_push_real(double value) {
+  BcInstr instr{BcOp::PushReal, 0, 0, 0, 0};
+  instr.dimm = value;
+  return instr;
+}
+
+/// Evaluate `op` over two literal pushes; nullopt when not a foldable
+/// combination (wrong literal kinds, or div/mod by zero).
+std::optional<BcInstr> fold_binary(BcOp op, const BcInstr& lhs,
+                                   const BcInstr& rhs) {
+  bool ints = lhs.op == BcOp::PushInt && rhs.op == BcOp::PushInt;
+  bool reals = lhs.op == BcOp::PushReal && rhs.op == BcOp::PushReal;
+  int64_t li = lhs.imm, ri = rhs.imm;
+  double ld = lhs.dimm, rd = rhs.dimm;
+  switch (op) {
+    case BcOp::AddI: if (ints) return make_push_int(li + ri); break;
+    case BcOp::SubI: if (ints) return make_push_int(li - ri); break;
+    case BcOp::MulI: if (ints) return make_push_int(li * ri); break;
+    case BcOp::DivI:
+      if (ints && ri != 0) return make_push_int(li / ri);
+      break;
+    case BcOp::ModI:
+      if (ints && ri != 0) return make_push_int(li % ri);
+      break;
+    case BcOp::MinI: if (ints) return make_push_int(std::min(li, ri)); break;
+    case BcOp::MaxI: if (ints) return make_push_int(std::max(li, ri)); break;
+    case BcOp::CmpEqI: if (ints) return make_push_int(li == ri ? 1 : 0); break;
+    case BcOp::CmpNeI: if (ints) return make_push_int(li != ri ? 1 : 0); break;
+    case BcOp::CmpLtI: if (ints) return make_push_int(li < ri ? 1 : 0); break;
+    case BcOp::CmpLeI: if (ints) return make_push_int(li <= ri ? 1 : 0); break;
+    case BcOp::CmpGtI: if (ints) return make_push_int(li > ri ? 1 : 0); break;
+    case BcOp::CmpGeI: if (ints) return make_push_int(li >= ri ? 1 : 0); break;
+    case BcOp::AddD: if (reals) return make_push_real(ld + rd); break;
+    case BcOp::SubD: if (reals) return make_push_real(ld - rd); break;
+    case BcOp::MulD: if (reals) return make_push_real(ld * rd); break;
+    case BcOp::DivD: if (reals) return make_push_real(ld / rd); break;
+    case BcOp::MinD: if (reals) return make_push_real(std::min(ld, rd)); break;
+    case BcOp::MaxD: if (reals) return make_push_real(std::max(ld, rd)); break;
+    case BcOp::CmpEqD: if (reals) return make_push_int(ld == rd ? 1 : 0); break;
+    case BcOp::CmpNeD: if (reals) return make_push_int(ld != rd ? 1 : 0); break;
+    case BcOp::CmpLtD: if (reals) return make_push_int(ld < rd ? 1 : 0); break;
+    case BcOp::CmpLeD: if (reals) return make_push_int(ld <= rd ? 1 : 0); break;
+    case BcOp::CmpGtD: if (reals) return make_push_int(ld > rd ? 1 : 0); break;
+    case BcOp::CmpGeD: if (reals) return make_push_int(ld >= rd ? 1 : 0); break;
+    default: break;
+  }
+  return std::nullopt;
+}
+
+/// Evaluate a unary op over one literal push; the maths calls are the
+/// very ones the VM executes, so folding is bit-identical.
+std::optional<BcInstr> fold_unary(BcOp op, const BcInstr& operand) {
+  bool is_int = operand.op == BcOp::PushInt;
+  int64_t i = operand.imm;
+  double d = operand.dimm;
+  switch (op) {
+    case BcOp::NegI: if (is_int) return make_push_int(-i); break;
+    case BcOp::AbsI: if (is_int) return make_push_int(i < 0 ? -i : i); break;
+    case BcOp::NotB: if (is_int) return make_push_int(i == 0 ? 1 : 0); break;
+    case BcOp::IntToReal:
+      if (is_int) return make_push_real(static_cast<double>(i));
+      break;
+    case BcOp::NegD: if (!is_int) return make_push_real(-d); break;
+    case BcOp::AbsD: if (!is_int) return make_push_real(std::fabs(d)); break;
+    case BcOp::Sqrt: if (!is_int) return make_push_real(std::sqrt(d)); break;
+    case BcOp::Sin: if (!is_int) return make_push_real(std::sin(d)); break;
+    case BcOp::Cos: if (!is_int) return make_push_real(std::cos(d)); break;
+    case BcOp::Exp: if (!is_int) return make_push_real(std::exp(d)); break;
+    case BcOp::Ln: if (!is_int) return make_push_real(std::log(d)); break;
+    case BcOp::FloorD:
+      if (!is_int)
+        return make_push_int(static_cast<int64_t>(std::floor(d)));
+      break;
+    case BcOp::CeilD:
+      if (!is_int) return make_push_int(static_cast<int64_t>(std::ceil(d)));
+      break;
+    default: break;
+  }
+  return std::nullopt;
+}
+
+/// One left-to-right folding sweep; true when anything changed. After a
+/// splice the scan resumes one instruction back (the new push may itself
+/// be an operand of the previous window) instead of restarting, so a
+/// whole constant subtree collapses in a single sweep.
+bool fold_sweep(BcProgram& program) {
+  std::vector<BcInstr>& code = program.code;
+  bool changed = false;
+  size_t i = 0;
+  while (i < code.size()) {
+    // push push binop -> push
+    if (i + 2 < code.size() && is_push(code[i]) && is_push(code[i + 1]) &&
+        !jump_lands_inside(code, i, 3)) {
+      if (auto folded = fold_binary(code[i + 2].op, code[i], code[i + 1])) {
+        splice(program, i, 3, *folded);
+        changed = true;
+        i = i > 0 ? i - 1 : 0;
+        continue;
+      }
+    }
+    // push unaryop -> push
+    if (i + 1 < code.size() && is_push(code[i]) &&
+        !jump_lands_inside(code, i, 2)) {
+      if (auto folded = fold_unary(code[i + 1].op, code[i])) {
+        splice(program, i, 2, *folded);
+        changed = true;
+        i = i > 0 ? i - 1 : 0;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return changed;
+}
+
+}  // namespace
+
+size_t fold_constants(BcProgram& program) {
+  size_t before = program.code.size();
+  while (fold_sweep(program)) {
+  }
+  return before - program.code.size();
 }
 
 std::string BcProgram::disassemble() const {

@@ -75,4 +75,22 @@ struct BcLayout {
                                      const CheckedModule& module,
                                      const BcLayout& layout);
 
+/// Constant-fold a compiled program in place: any operation whose
+/// operands are literal pushes is evaluated at compile time and replaced
+/// with a single push (iterated to a fixpoint, so whole constant
+/// subtrees collapse -- `1 + 2 * 3` becomes `PushInt 7`). Jump targets
+/// are remapped; spans that a jump lands inside are left alone. The
+/// folded value is computed with exactly the operation the VM would
+/// execute, so results are bit-identical. `div`/`mod` by a constant zero
+/// is not folded (the runtime error is preserved).
+///
+/// EvalCore::compile applies this to every equation program -- the
+/// ROADMAP's "constant-fold subscript programs": fixed LHS subscripts
+/// and the int-literal arithmetic inside stencil RHS programs (e.g. the
+/// `IntToReal(PushInt 4)` of `/ 4`) shrink by one or more dispatches per
+/// instance on the hottest path.
+///
+/// Returns the number of instructions eliminated.
+size_t fold_constants(BcProgram& program);
+
 }  // namespace ps

@@ -25,12 +25,16 @@ void EvalCore::compile(const CheckedModule& module) {
   for (const CheckedEquation& eq : module.equations) {
     EquationPrograms programs;
     programs.rhs = compile_expr(*eq.rhs, module, layout_);
+    fold_constants(programs.rhs);
     for (const LhsSubscript& sub : eq.lhs_subs) {
-      if (sub.is_index_var)
+      if (sub.is_index_var) {
         programs.lhs_fixed.push_back(nullptr);
-      else
-        programs.lhs_fixed.push_back(std::make_unique<BcProgram>(
-            compile_expr(*sub.fixed, module, layout_)));
+      } else {
+        auto fixed = std::make_unique<BcProgram>(
+            compile_expr(*sub.fixed, module, layout_));
+        fold_constants(*fixed);
+        programs.lhs_fixed.push_back(std::move(fixed));
+      }
     }
     programs_.push_back(std::move(programs));
   }

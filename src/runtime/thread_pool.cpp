@@ -66,9 +66,8 @@ void ThreadPool::work_on(Batch& batch) {
   }
 }
 
-void ThreadPool::parallel_for_chunked(
-    int64_t begin, int64_t end,
-    const std::function<void(int64_t, int64_t)>& body) {
+void ThreadPool::run_batch(int64_t begin, int64_t end, int64_t chunk,
+                           const std::function<void(int64_t, int64_t)>& body) {
   if (begin >= end) return;
   int64_t n = end - begin;
   {
@@ -84,9 +83,7 @@ void ThreadPool::parallel_for_chunked(
   Batch batch;
   batch.begin = begin;
   batch.end = end;
-  // Aim for ~4 chunks per lane so dynamic self-scheduling can balance.
-  int64_t lanes = static_cast<int64_t>(size());
-  batch.chunk = std::max<int64_t>(1, n / (lanes * 4));
+  batch.chunk = chunk;
   batch.body = &body;
   batch.next.store(begin, std::memory_order_relaxed);
 
@@ -110,9 +107,26 @@ void ThreadPool::parallel_for_chunked(
   }
 }
 
+void ThreadPool::parallel_for_chunked(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  // Aim for ~4 chunks per lane so dynamic self-scheduling can balance.
+  int64_t n = end - begin;
+  int64_t lanes = static_cast<int64_t>(size());
+  run_batch(begin, end, std::max<int64_t>(1, n / (lanes * 4)), body);
+}
+
 void ThreadPool::parallel_for(int64_t begin, int64_t end,
                               const std::function<void(int64_t)>& body) {
   parallel_for_chunked(begin, end, [&](int64_t from, int64_t to) {
+    for (int64_t i = from; i < to; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_tasks(int64_t count,
+                                const std::function<void(int64_t)>& body) {
+  run_batch(0, count, 1, [&](int64_t from, int64_t to) {
     for (int64_t i = from; i < to; ++i) body(i);
   });
 }

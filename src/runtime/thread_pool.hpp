@@ -40,6 +40,13 @@ class ThreadPool {
   void parallel_for_chunked(int64_t begin, int64_t end,
                             const std::function<void(int64_t, int64_t)>& body);
 
+  /// Coarse-task variant: like parallel_for but with the chunk size
+  /// pinned to 1, so every index is claimed individually from the shared
+  /// work queue. Use for heavyweight, unevenly sized tasks (one
+  /// compilation unit each) where batching several behind one claim
+  /// would serialise a long task behind short ones.
+  void parallel_tasks(int64_t count, const std::function<void(int64_t)>& body);
+
   /// A process-wide pool sized to the hardware.
   static ThreadPool& global();
 
@@ -55,6 +62,8 @@ class ThreadPool {
 
   void worker_loop();
   void work_on(Batch& batch);
+  void run_batch(int64_t begin, int64_t end, int64_t chunk,
+                 const std::function<void(int64_t, int64_t)>& body);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -1,0 +1,25 @@
+#include "support/interner.hpp"
+
+namespace ps {
+
+std::string_view StringInterner::intern(std::string_view text) {
+  Shard& shard = shards_[Hash{}(text) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.strings.find(text);
+  if (it == shard.strings.end())
+    it = shard.strings.emplace(text).first;
+  // References into an unordered_set survive rehashing (node storage),
+  // so the view stays valid for the interner's lifetime.
+  return std::string_view(*it);
+}
+
+size_t StringInterner::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.strings.size();
+  }
+  return total;
+}
+
+}  // namespace ps

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ps {
+
+/// A thread-safe string interner: every distinct spelling is stored
+/// once and handed out as a stable std::string_view. The batch driver
+/// shares one interner across all workers as the batch-wide symbol
+/// table: module and data-item spellings from every unit are folded
+/// into it concurrently, so `distinct_symbols` reports the true
+/// cross-batch vocabulary (N copies of one module contribute its names
+/// once).
+///
+/// Sharded by string hash: concurrent interning of different strings
+/// rarely contends on the same mutex. Views stay valid for the lifetime
+/// of the interner (node-based storage; strings never move or vanish).
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Return the canonical view of `text`, inserting it on first sight.
+  std::string_view intern(std::string_view text);
+
+  /// Distinct strings interned so far (across all shards).
+  [[nodiscard]] size_t size() const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<std::string, Hash, Eq> strings;
+  };
+
+  static constexpr size_t kShards = 16;
+  Shard shards_[kShards];
+};
+
+}  // namespace ps

@@ -47,4 +47,54 @@ std::optional<HyperplaneTransform> find_hyperplane(
   return out;
 }
 
+std::string HyperplaneCache::key_for(const DependenceSet& deps,
+                                     const TimeFunctionOptions& options) {
+  std::ostringstream os;
+  os << deps.array << '|';
+  for (const auto& v : deps.vars) os << v << ',';
+  os << '|';
+  for (const auto& vec : deps.vectors) {
+    for (int64_t d : vec) os << d << ',';
+    os << ';';
+  }
+  os << '|' << options.bound;
+  return os.str();
+}
+
+std::optional<HyperplaneTransform> HyperplaneCache::find(
+    const DependenceSet& deps, const TimeFunctionOptions& options) {
+  std::string key = key_for(deps, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Solve outside the lock: concurrent workers may race on the same key,
+  // but find_hyperplane is pure, so whichever insert wins stores the
+  // identical value.
+  std::optional<HyperplaneTransform> solved = find_hyperplane(deps, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  entries_.emplace(std::move(key), solved);
+  return solved;
+}
+
+size_t HyperplaneCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+size_t HyperplaneCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+size_t HyperplaneCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 }  // namespace ps

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,5 +37,38 @@ struct HyperplaneTransform {
 /// Returns nullopt when no linear schedule exists.
 [[nodiscard]] std::optional<HyperplaneTransform> find_hyperplane(
     const DependenceSet& deps, const TimeFunctionOptions& options = {});
+
+/// A thread-safe memo table over find_hyperplane, shared by every
+/// worker of a batch compilation. find_hyperplane is a pure function of
+/// the dependence set and the solver options -- its branch-and-bound
+/// search is also by far the most expensive part of the Hyperplane
+/// pass -- so units whose recurrences induce the same dependence
+/// vectors (every instance of the paper corpus, every synthetic stress
+/// module sharing a stencil) pay for the search once. Negative results
+/// (no linear schedule) are cached too.
+///
+/// Determinism: the cached value is exactly what find_hyperplane
+/// returns for the key, so a cache hit is byte-for-byte equivalent to
+/// solving again.
+class HyperplaneCache {
+ public:
+  /// find_hyperplane(deps, options), memoised.
+  [[nodiscard]] std::optional<HyperplaneTransform> find(
+      const DependenceSet& deps, const TimeFunctionOptions& options);
+
+  [[nodiscard]] size_t hits() const;
+  [[nodiscard]] size_t misses() const;
+  [[nodiscard]] size_t size() const;
+
+ private:
+  /// Canonical key: vars, vectors and the solver bound.
+  static std::string key_for(const DependenceSet& deps,
+                             const TimeFunctionOptions& options);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::optional<HyperplaneTransform>> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
 
 }  // namespace ps

@@ -1,0 +1,345 @@
+#pragma once
+
+// Differential test harness: run one PS module under every execution
+// engine the repo has -- the tree-walking Interpreter, the EvalCore
+// bytecode engine, generated C compiled with the system C compiler, and
+// (for hyperplane-transformable modules) the WavefrontRunner under both
+// evaluators -- and assert bit-exact agreement on every output value.
+//
+// This promotes PR 1's ad-hoc wavefront cross-check into a reusable
+// fixture: tests/integration/differential_test.cpp drives it over the
+// whole paper corpus plus the extra example modules.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codegen/c_emitter.hpp"
+#include "core/const_eval.hpp"
+#include "driver/compiler.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/wavefront.hpp"
+#include "common/test_util.hpp"
+
+namespace ps::testutil {
+
+/// One module under differential test.
+struct DiffCase {
+  std::string name;  // tag for temp dirs and failure messages
+  std::string source;
+  IntEnv int_inputs;
+  std::map<std::string, double> real_inputs;
+  CompileOptions options{};
+};
+
+/// Deterministic input pattern. Multiples of 1/16 in a small range:
+/// every value is exactly representable, so the same fill expression in
+/// generated C produces bit-identical inputs with no libm involved.
+inline double input_value(size_t i) {
+  return static_cast<double>(static_cast<int64_t>(i % 97) - 48) * 0.0625;
+}
+
+/// The same pattern as a C expression over index variable `i`.
+inline const char* kInputValueC =
+    "(double)((long)(i % 97) - 48) * 0.0625";
+
+/// Every non-input value an engine produced, in module data order.
+struct EngineOutputs {
+  std::vector<std::pair<std::string, std::vector<double>>> arrays;
+  std::vector<std::pair<std::string, double>> scalars;
+};
+
+inline void fill_interpreter_inputs(Interpreter& interp,
+                                    const CheckedModule& module) {
+  for (const DataItem& item : module.data) {
+    if (item.cls != DataClass::Input || item.is_scalar()) continue;
+    auto span = interp.array(item.name).raw();
+    for (size_t i = 0; i < span.size(); ++i) span[i] = input_value(i);
+  }
+}
+
+/// Run the flowchart interpreter with the given evaluator engine.
+/// `outputs_only` restricts collection to Output items (the surface the
+/// generated C exposes); otherwise locals are compared too.
+inline EngineOutputs run_interpreter(const CompiledModule& stage,
+                                     const DiffCase& test_case,
+                                     EvalEngine engine,
+                                     bool outputs_only = false) {
+  InterpreterOptions options;
+  options.engine = engine;
+  Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     test_case.int_inputs, test_case.real_inputs, options);
+  fill_interpreter_inputs(interp, *stage.module);
+  interp.run();
+
+  EngineOutputs out;
+  for (const DataItem& item : stage.module->data) {
+    if (item.cls == DataClass::Input) continue;
+    if (outputs_only && item.cls != DataClass::Output) continue;
+    if (item.is_scalar()) {
+      out.scalars.emplace_back(item.name, interp.scalar(item.name));
+    } else {
+      auto span = interp.array(item.name).raw();
+      out.arrays.emplace_back(
+          item.name, std::vector<double>(span.begin(), span.end()));
+    }
+  }
+  return out;
+}
+
+/// Bitwise comparison: engines must perform the same double operations
+/// in the same order, so outputs agree to the last ulp (including
+/// signed zeroes).
+inline void expect_bitwise_equal(const EngineOutputs& expected,
+                                 const EngineOutputs& actual,
+                                 const std::string& label) {
+  ASSERT_EQ(expected.arrays.size(), actual.arrays.size()) << label;
+  for (size_t a = 0; a < expected.arrays.size(); ++a) {
+    const auto& [name, want] = expected.arrays[a];
+    const auto& [got_name, got] = actual.arrays[a];
+    EXPECT_EQ(name, got_name) << label;
+    ASSERT_EQ(want.size(), got.size()) << label << " " << name;
+    for (size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(std::bit_cast<uint64_t>(want[i]),
+                std::bit_cast<uint64_t>(got[i]))
+          << label << " " << name << "[" << i << "]: " << want[i]
+          << " != " << got[i];
+  }
+  ASSERT_EQ(expected.scalars.size(), actual.scalars.size()) << label;
+  for (size_t s = 0; s < expected.scalars.size(); ++s) {
+    EXPECT_EQ(expected.scalars[s].first, actual.scalars[s].first) << label;
+    EXPECT_EQ(std::bit_cast<uint64_t>(expected.scalars[s].second),
+              std::bit_cast<uint64_t>(actual.scalars[s].second))
+        << label << " " << expected.scalars[s].first;
+  }
+}
+
+inline bool have_cc() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+/// Total element count of a data item's flattened dimensions under the
+/// test case's integer inputs.
+inline std::optional<int64_t> element_count(const DataItem& item,
+                                            const IntEnv& env) {
+  int64_t total = 1;
+  for (const Type* dim : item.dims) {
+    auto lo = eval_const_int(*dim->lo, env);
+    auto hi = eval_const_int(*dim->hi, env);
+    if (!lo || !hi || *hi < *lo) return std::nullopt;
+    total *= *hi - *lo + 1;
+  }
+  return total;
+}
+
+/// Generate a C main() that fills the module's inputs with the shared
+/// pattern, calls the generated function, and prints every output value
+/// (%a for doubles -- exact hex floats -- and %ld for integers).
+/// Returns nullopt for module shapes the driver generator does not
+/// cover (record/bool items).
+inline std::optional<std::string> make_c_main(const CheckedModule& module,
+                                              const DiffCase& test_case) {
+  std::ostringstream os;
+  os << "#include <stdio.h>\n#include <stdlib.h>\n\n";
+
+  // Extern declaration, mirroring c_emitter's signature() exactly.
+  std::vector<std::string> params;
+  std::vector<std::string> args;
+  std::ostringstream setup;
+  std::ostringstream print;
+  for (const DataItem& item : module.data) {
+    if (item.cls == DataClass::Local) continue;
+    if (item.elem == nullptr) return std::nullopt;
+    TypeKind kind = item.elem->scalar_kind();
+    if (kind != TypeKind::Real && kind != TypeKind::Int) return std::nullopt;
+    const char* scalar_c = kind == TypeKind::Real ? "double" : "long";
+    std::string cname = c_identifier(item.name);
+    if (item.cls == DataClass::Input) {
+      if (item.is_scalar()) {
+        params.push_back(std::string(scalar_c) + " " + cname);
+        char literal[64];
+        if (kind == TypeKind::Int) {
+          auto it = test_case.int_inputs.find(item.name);
+          if (it == test_case.int_inputs.end()) return std::nullopt;
+          snprintf(literal, sizeof(literal), "%lldL",
+                   static_cast<long long>(it->second));
+        } else {
+          auto it = test_case.real_inputs.find(item.name);
+          if (it == test_case.real_inputs.end()) return std::nullopt;
+          snprintf(literal, sizeof(literal), "%a", it->second);
+        }
+        args.push_back(literal);
+      } else {
+        if (kind != TypeKind::Real) return std::nullopt;
+        params.push_back("const double* " + cname);
+        auto count = element_count(item, test_case.int_inputs);
+        if (!count) return std::nullopt;
+        setup << "  double* " << cname << " = malloc(sizeof(double) * "
+              << *count << ");\n"
+              << "  for (long i = 0; i < " << *count << "; ++i) " << cname
+              << "[i] = " << kInputValueC << ";\n";
+        args.push_back(cname);
+      }
+    } else {  // Output
+      params.push_back(std::string(scalar_c) + "* " + cname);
+      if (item.is_scalar()) {
+        setup << "  " << scalar_c << " " << cname << "_v = 0;\n";
+        args.push_back("&" + cname + "_v");
+        print << "  printf(\"" << (kind == TypeKind::Real ? "%a" : "%ld")
+              << "\\n\", " << cname << "_v);\n";
+      } else {
+        auto count = element_count(item, test_case.int_inputs);
+        if (!count) return std::nullopt;
+        setup << "  " << scalar_c << "* " << cname << " = calloc(" << *count
+              << ", sizeof(" << scalar_c << "));\n";
+        args.push_back(cname);
+        print << "  for (long i = 0; i < " << *count << "; ++i) printf(\""
+              << (kind == TypeKind::Real ? "%a" : "%ld") << "\\n\", " << cname
+              << "[i]);\n";
+      }
+    }
+  }
+
+  os << "void " << c_identifier(module.name) << "(";
+  for (size_t i = 0; i < params.size(); ++i)
+    os << (i ? ", " : "") << params[i];
+  os << ");\n\nint main(void) {\n" << setup.str() << "  "
+     << c_identifier(module.name) << "(";
+  for (size_t i = 0; i < args.size(); ++i) os << (i ? ", " : "") << args[i];
+  os << ");\n" << print.str() << "  return 0;\n}\n";
+  return os.str();
+}
+
+/// Compile the emitted module C plus the generated main with the system
+/// C compiler (-ffp-contract=off pins IEEE per-operation semantics, the
+/// same contract the interpreters follow) and return its stdout.
+inline std::optional<std::string> compile_and_run_c(
+    const std::string& module_c, const std::string& main_c,
+    const std::string& tag) {
+  std::string dir = std::string(::testing::TempDir()) + "psdiff_" + tag;
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) return std::nullopt;
+  {
+    std::ofstream mod(dir + "/module.c");
+    mod << module_c;
+    std::ofstream main_file(dir + "/main.c");
+    main_file << main_c;
+  }
+  std::string compile = "cc -O1 -std=c99 -ffp-contract=off -o " + dir +
+                        "/prog " + dir + "/module.c " + dir +
+                        "/main.c -lm 2> " + dir + "/cc.log";
+  if (std::system(compile.c_str()) != 0) {
+    std::ifstream log(dir + "/cc.log");
+    std::ostringstream err;
+    err << log.rdbuf();
+    ADD_FAILURE() << "cc failed for " << tag << ":\n" << err.str();
+    return std::nullopt;
+  }
+  if (std::system((dir + "/prog > " + dir + "/out.txt").c_str()) != 0) {
+    ADD_FAILURE() << "generated program failed for " << tag;
+    return std::nullopt;
+  }
+  std::ifstream out(dir + "/out.txt");
+  std::ostringstream text;
+  text << out.rdbuf();
+  return text.str();
+}
+
+/// Run the generated C of `stage` and parse its printed outputs back
+/// into EngineOutputs (module data order, exact hex-float round trip).
+inline std::optional<EngineOutputs> run_generated_c(
+    const CompiledModule& stage, const DiffCase& test_case,
+    const std::string& tag) {
+  auto main_c = make_c_main(*stage.module, test_case);
+  if (!main_c) return std::nullopt;
+  auto text = compile_and_run_c(stage.c_code, *main_c, tag);
+  if (!text) return std::nullopt;
+
+  std::istringstream lines(*text);
+  std::string line;
+  EngineOutputs out;
+  for (const DataItem& item : stage.module->data) {
+    if (item.cls != DataClass::Output) continue;
+    bool real = item.elem->scalar_kind() == TypeKind::Real;
+    auto next_value = [&]() -> std::optional<double> {
+      if (!std::getline(lines, line)) return std::nullopt;
+      return real ? std::strtod(line.c_str(), nullptr)
+                  : static_cast<double>(std::strtoll(line.c_str(), nullptr,
+                                                     10));
+    };
+    if (item.is_scalar()) {
+      auto value = next_value();
+      if (!value) return std::nullopt;
+      out.scalars.emplace_back(item.name, *value);
+    } else {
+      auto count = element_count(item, test_case.int_inputs);
+      if (!count) return std::nullopt;
+      std::vector<double> values;
+      values.reserve(static_cast<size_t>(*count));
+      for (int64_t i = 0; i < *count; ++i) {
+        auto value = next_value();
+        if (!value) return std::nullopt;
+        values.push_back(*value);
+      }
+      out.arrays.emplace_back(item.name, std::move(values));
+    }
+  }
+  return out;
+}
+
+/// The wavefront cross-check as a reusable fixture: compile with the
+/// hyperplane + exact-bounds pipeline and, when the module transforms,
+/// run the WavefrontRunner under both evaluators and compare all
+/// outputs (and stats) bit-exactly. Returns false when the module has
+/// no hyperplane transform (nothing to check).
+inline bool expect_wavefront_engines_agree(const DiffCase& test_case) {
+  CompileOptions options = test_case.options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(test_case.source, options);
+  if (!result.transformed || !result.exact_nest) return false;
+
+  WavefrontOptions tree;
+  tree.engine = EvalEngine::TreeWalk;
+  WavefrontRunner reference(*result.transformed->module, *result.transform,
+                            *result.exact_nest, test_case.int_inputs,
+                            test_case.real_inputs, tree);
+  WavefrontRunner bytecode(*result.transformed->module, *result.transform,
+                           *result.exact_nest, test_case.int_inputs,
+                           test_case.real_inputs);
+  for (auto* runner : {&reference, &bytecode}) {
+    for (const DataItem& item : result.transformed->module->data) {
+      if (item.cls != DataClass::Input || item.is_scalar()) continue;
+      auto span = runner->array(item.name).raw();
+      for (size_t i = 0; i < span.size(); ++i) span[i] = input_value(i);
+    }
+  }
+  reference.run();
+  bytecode.run();
+  EXPECT_EQ(reference.stats().points, bytecode.stats().points);
+  EXPECT_EQ(reference.stats().hyperplanes, bytecode.stats().hyperplanes);
+  EXPECT_EQ(reference.stats().flushed, bytecode.stats().flushed);
+  for (const DataItem& item : result.transformed->module->data) {
+    if (item.cls != DataClass::Output || item.is_scalar()) continue;
+    auto want = reference.array(item.name).raw();
+    auto got = bytecode.array(item.name).raw();
+    EXPECT_EQ(want.size(), got.size()) << item.name;
+    if (want.size() != got.size()) continue;
+    for (size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(std::bit_cast<uint64_t>(want[i]),
+                std::bit_cast<uint64_t>(got[i]))
+          << test_case.name << " " << item.name << "[" << i << "]";
+  }
+  return true;
+}
+
+}  // namespace ps::testutil

@@ -1,0 +1,378 @@
+// BatchDriver: parallel batch compilation must be deterministic --
+// byte-identical per-unit output at any job count, identical to the
+// sequential single-module facade -- with failed units isolated from
+// their neighbours and the shared caches actually shared.
+
+#include "driver/batch_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/paper_modules.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/interner.hpp"
+
+namespace ps {
+namespace {
+
+/// A small pointwise module whose literals are parameterised, so every
+/// synthetic unit is a distinct compilation with distinct emitted C.
+std::string synthetic_module(size_t index) {
+  std::string k = std::to_string(index % 7 + 1);
+  std::string name = "Synth" + std::to_string(index);
+  return name +
+         ": module (x: array[I] of real; n: int): [y: array[I] of real];\n"
+         "type I = 0 .. n;\n"
+         "var t: array [I] of real;\n"
+         "define\n"
+         "  t[I] = x[I] * " + k + ".0 + " + std::to_string(index % 11) +
+         ".0;\n"
+         "  y[I] = t[I] - x[I];\n"
+         "end " + name + ";\n";
+}
+
+std::vector<BatchInput> synthetic_batch(size_t count) {
+  std::vector<BatchInput> inputs;
+  inputs.reserve(count);
+  for (size_t i = 0; i < count; ++i)
+    inputs.push_back({"synth" + std::to_string(i) + ".ps",
+                      synthetic_module(i), false});
+  return inputs;
+}
+
+std::vector<BatchUnitResult> compile_batch(const std::vector<BatchInput>& in,
+                                           size_t jobs,
+                                           CompileOptions copts = {}) {
+  BatchOptions bopts;
+  bopts.jobs = jobs;
+  BatchDriver driver(copts, bopts);
+  return driver.compile_all(in);
+}
+
+TEST(BatchDriver, CompilesTheCorpusInOneInvocation) {
+  std::vector<BatchInput> inputs;
+  for (const PaperModule& module : paper_corpus())
+    inputs.push_back({module.name, module.source, false});
+  BatchDriver driver;
+  auto results = driver.compile_all(inputs);
+  ASSERT_EQ(results.size(), paper_corpus().size());
+  for (const BatchUnitResult& unit : results) {
+    EXPECT_TRUE(unit.result.ok) << unit.name << ": "
+                                << unit.result.diagnostics;
+    EXPECT_TRUE(unit.result.primary.has_value());
+    EXPECT_FALSE(unit.result.primary->c_code.empty());
+  }
+  EXPECT_EQ(driver.summary().total, inputs.size());
+  EXPECT_EQ(driver.summary().succeeded, inputs.size());
+  EXPECT_EQ(driver.summary().failed, 0u);
+}
+
+TEST(BatchDriver, ResultsComeBackInInputOrder) {
+  auto inputs = synthetic_batch(32);
+  auto results = compile_batch(inputs, 8);
+  ASSERT_EQ(results.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(results[i].name, inputs[i].name);
+    ASSERT_TRUE(results[i].result.primary.has_value());
+    EXPECT_EQ(results[i].result.primary->module->name,
+              "Synth" + std::to_string(i));
+  }
+}
+
+/// The determinism contract: 100+ units, identical emitted C and
+/// diagnostics at -j 1, 2 and 8, and identical to the sequential
+/// single-module facade.
+TEST(BatchDriver, StressDeterministicAcrossJobCounts) {
+  auto inputs = synthetic_batch(120);
+  auto sequential = compile_batch(inputs, 1);
+  ASSERT_EQ(sequential.size(), inputs.size());
+
+  for (size_t jobs : {2u, 8u}) {
+    auto parallel = compile_batch(inputs, jobs);
+    ASSERT_EQ(parallel.size(), sequential.size()) << "-j " << jobs;
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].result.ok, sequential[i].result.ok);
+      EXPECT_EQ(parallel[i].result.diagnostics,
+                sequential[i].result.diagnostics)
+          << "-j " << jobs << " unit " << i;
+      ASSERT_TRUE(parallel[i].result.primary.has_value());
+      EXPECT_EQ(parallel[i].result.primary->c_code,
+                sequential[i].result.primary->c_code)
+          << "-j " << jobs << " unit " << i;
+    }
+  }
+}
+
+TEST(BatchDriver, BatchUnitsMatchSingleModuleFacadeByteForByte) {
+  auto inputs = synthetic_batch(16);
+  auto batch = compile_batch(inputs, 8);
+  Compiler compiler;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    CompileResult single =
+        compiler.compile(inputs[i].source, inputs[i].name);
+    ASSERT_TRUE(single.primary.has_value());
+    ASSERT_TRUE(batch[i].result.primary.has_value());
+    EXPECT_EQ(batch[i].result.primary->c_code, single.primary->c_code);
+    EXPECT_EQ(batch[i].result.primary->source, single.primary->source);
+    EXPECT_EQ(batch[i].result.diagnostics, single.diagnostics);
+  }
+}
+
+/// A unit with a sema error fails alone: its neighbours' results are
+/// byte-identical to a batch without it.
+TEST(BatchDriver, ErroredUnitDoesNotPoisonNeighbours) {
+  auto inputs = synthetic_batch(20);
+  auto clean = compile_batch(inputs, 4);
+
+  auto poisoned = inputs;
+  BatchInput bad;
+  bad.name = "bad.ps";
+  bad.source = "Bad: module (x: array[I] of real; n: int): [y: int];\n"
+               "type I = 0 .. n;\n"
+               "define\n  y = nosuchname + 1;\nend Bad;\n";
+  poisoned.insert(poisoned.begin() + 10, bad);
+  auto results = compile_batch(poisoned, 4);
+
+  ASSERT_EQ(results.size(), inputs.size() + 1);
+  EXPECT_FALSE(results[10].result.ok);
+  EXPECT_NE(results[10].result.diagnostics.find("error"), std::string::npos)
+      << results[10].result.diagnostics;
+  // The failed unit's diagnostics carry its file name.
+  EXPECT_NE(results[10].result.diagnostics.find("bad.ps"), std::string::npos)
+      << results[10].result.diagnostics;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    size_t shifted = i < 10 ? i : i + 1;
+    EXPECT_TRUE(results[shifted].result.ok);
+    EXPECT_EQ(results[shifted].result.primary->c_code,
+              clean[i].result.primary->c_code)
+        << i;
+  }
+}
+
+TEST(BatchDriver, SummaryCountsFailures) {
+  auto inputs = synthetic_batch(6);
+  inputs[2].source = "this is not a module";
+  inputs[5].source = "neither is this";
+  BatchOptions bopts;
+  bopts.jobs = 4;
+  BatchDriver driver({}, bopts);
+  auto results = driver.compile_all(inputs);
+  EXPECT_EQ(driver.summary().total, 6u);
+  EXPECT_EQ(driver.summary().succeeded, 4u);
+  EXPECT_EQ(driver.summary().failed, 2u);
+  EXPECT_FALSE(results[2].result.ok);
+  EXPECT_FALSE(results[5].result.ok);
+}
+
+/// Diagnostics of several failing units merge in input order, not
+/// completion order.
+TEST(BatchDriver, DiagnosticsMergeDeterministically) {
+  std::vector<BatchInput> inputs;
+  for (size_t i = 0; i < 12; ++i) {
+    if (i % 3 == 0) {
+      inputs.push_back({"bad" + std::to_string(i) + ".ps",
+                        "garbage " + std::to_string(i), false});
+    } else {
+      inputs.push_back({"ok" + std::to_string(i) + ".ps",
+                        synthetic_module(i), false});
+    }
+  }
+  auto j1 = compile_batch(inputs, 1);
+  auto j8 = compile_batch(inputs, 8);
+  std::string merged1 = BatchDriver::merged_diagnostics(j1);
+  std::string merged8 = BatchDriver::merged_diagnostics(j8);
+  EXPECT_EQ(merged1, merged8);
+  // Input order: bad0 before bad3 before bad6.
+  size_t p0 = merged1.find("bad0.ps");
+  size_t p3 = merged1.find("bad3.ps");
+  size_t p6 = merged1.find("bad6.ps");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  ASSERT_NE(p6, std::string::npos);
+  EXPECT_LT(p0, p3);
+  EXPECT_LT(p3, p6);
+}
+
+/// N instances of the same recurrence share one hyperplane solution:
+/// the shared cache gets exactly one miss for the dependence set and a
+/// hit for every other unit -- with byte-identical output to solving
+/// each time.
+TEST(BatchDriver, HyperplaneSolutionsAreSharedAcrossUnits) {
+  std::vector<BatchInput> inputs;
+  for (size_t i = 0; i < 8; ++i)
+    inputs.push_back({"gs" + std::to_string(i) + ".ps", kGaussSeidelSource,
+                      false});
+  CompileOptions copts;
+  copts.apply_hyperplane = true;
+  BatchOptions bopts;
+  bopts.jobs = 4;
+  BatchDriver driver(copts, bopts);
+  auto results = driver.compile_all(inputs);
+
+  EXPECT_GE(driver.hyperplane_cache().hits() +
+                driver.hyperplane_cache().misses(),
+            8u);
+  EXPECT_GE(driver.hyperplane_cache().hits(), 1u);
+  EXPECT_LE(driver.hyperplane_cache().size(),
+            driver.hyperplane_cache().misses());
+
+  // Cache hits must not change the result: compare against the facade.
+  Compiler compiler(copts);
+  CompileResult single = compiler.compile(kGaussSeidelSource, "gs0.ps");
+  for (const BatchUnitResult& unit : results) {
+    ASSERT_TRUE(unit.result.transformed.has_value());
+    EXPECT_EQ(unit.result.transformed->c_code, single.transformed->c_code);
+    EXPECT_EQ(unit.result.transform->describe(),
+              single.transform->describe());
+  }
+  EXPECT_EQ(driver.summary().hyperplane_hits,
+            driver.hyperplane_cache().hits());
+}
+
+TEST(BatchDriver, EqnUnitsTranslateInsideTheBatch) {
+  constexpr const char* kEqn = R"EQ(
+module Relaxation;
+param InitialA : real[0..M+1, 0..M+1];
+param M : int;
+param maxK : int;
+result newA = A^{maxK};
+A^{1}_{i,j} = InitialA_{i,j}
+  for i in 0..M+1, j in 0..M+1;
+A^{k}_{i,j} = \frac{A^{k-1}_{i,j-1} + A^{k-1}_{i+1,j}}{2}
+  otherwise
+  for k in 2..maxK, i in 0..M+1, j in 0..M+1;
+)EQ";
+  std::vector<BatchInput> inputs;
+  inputs.push_back({"relax.eqn", kEqn, true});
+  inputs.push_back({"jacobi.ps", kRelaxationSource, false});
+  auto results = compile_batch(inputs, 2);
+  ASSERT_TRUE(results[0].result.ok) << results[0].result.diagnostics;
+  ASSERT_TRUE(results[0].result.primary.has_value());
+  EXPECT_EQ(results[0].result.primary->module->name, "Relaxation");
+  EXPECT_TRUE(results[1].result.ok);
+}
+
+TEST(BatchDriver, EqnTranslationFailureIsIsolated) {
+  std::vector<BatchInput> inputs;
+  inputs.push_back({"broken.eqn", "\\frac{oops", true});
+  inputs.push_back({"jacobi.ps", kRelaxationSource, false});
+  auto results = compile_batch(inputs, 2);
+  EXPECT_FALSE(results[0].result.ok);
+  EXPECT_NE(results[0].result.diagnostics.find("error"), std::string::npos);
+  EXPECT_TRUE(results[1].result.ok);
+}
+
+TEST(BatchDriver, AggregateTimingsSumEveryUnit) {
+  auto inputs = synthetic_batch(10);
+  BatchOptions bopts;
+  bopts.jobs = 2;
+  BatchDriver driver({}, bopts);
+  auto results = driver.compile_all(inputs);
+  (void)results;
+  const BatchSummary& summary = driver.summary();
+  ASSERT_FALSE(summary.aggregate_timings.empty());
+  EXPECT_EQ(summary.aggregate_timings.front().name, "Parse");
+  EXPECT_EQ(summary.aggregate_timings.back().name, "Emit");
+  EXPECT_TRUE(summary.aggregate_timings.front().ran);
+  EXPECT_GT(summary.cpu_ms, 0.0);
+  EXPECT_GT(summary.wall_ms, 0.0);
+}
+
+TEST(BatchDriver, InternsSymbolsAcrossTheBatch) {
+  // 30 copies of the same module: the shared symbol table must not grow
+  // with the unit count.
+  std::vector<BatchInput> inputs;
+  for (size_t i = 0; i < 30; ++i)
+    inputs.push_back({"copy" + std::to_string(i) + ".ps",
+                      kRelaxationSource, false});
+  BatchOptions bopts;
+  bopts.jobs = 4;
+  BatchDriver driver({}, bopts);
+  driver.compile_all(inputs);
+  // Relaxation + InitialA + M + maxK + newA + A = 6 distinct spellings.
+  EXPECT_EQ(driver.summary().distinct_symbols, 6u);
+  EXPECT_EQ(driver.symbols().size(), 6u);
+}
+
+TEST(BatchDriver, ReportTableListsEveryUnit) {
+  auto inputs = synthetic_batch(3);
+  inputs.push_back({"bad.ps", "nope", false});
+  BatchOptions bopts;
+  bopts.jobs = 2;
+  BatchDriver driver({}, bopts);
+  auto results = driver.compile_all(inputs);
+  std::string report = BatchDriver::format_report(results, driver.summary());
+  for (const BatchInput& input : inputs)
+    EXPECT_NE(report.find(input.name), std::string::npos) << report;
+  EXPECT_NE(report.find("failed"), std::string::npos);
+  EXPECT_NE(report.find("3/4 units succeeded"), std::string::npos) << report;
+  EXPECT_NE(report.find("aggregate pass times"), std::string::npos);
+}
+
+TEST(BatchDriver, JsonReportIsWellFormed) {
+  auto inputs = synthetic_batch(2);
+  BatchOptions bopts;
+  bopts.jobs = 2;
+  BatchDriver driver({}, bopts);
+  auto results = driver.compile_all(inputs);
+  std::string json = BatchDriver::report_json(results, driver.summary());
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"units\""), std::string::npos);
+  EXPECT_NE(json.find("\"synth0.ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(BatchDriver, JobsZeroMeansHardwareConcurrency) {
+  auto inputs = synthetic_batch(4);
+  BatchOptions bopts;
+  bopts.jobs = 0;
+  BatchDriver driver({}, bopts);
+  driver.compile_all(inputs);
+  EXPECT_GE(driver.summary().jobs, 1u);
+}
+
+TEST(BatchDriver, EmptyBatchIsANoOp) {
+  BatchDriver driver;
+  auto results = driver.compile_all({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(driver.summary().total, 0u);
+  EXPECT_EQ(driver.summary().succeeded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The shared string interner under concurrent interning.
+// ---------------------------------------------------------------------------
+
+TEST(StringInterner, ReturnsStableCanonicalViews) {
+  StringInterner interner;
+  std::string_view a = interner.intern("Relaxation");
+  std::string_view b = interner.intern(std::string("Relax") + "ation");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.data(), b.data());  // same canonical storage
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_NE(interner.intern("newA").data(), a.data());
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInterner, ConcurrentInterningIsRaceFree) {
+  StringInterner interner;
+  ThreadPool pool(8);
+  pool.parallel_for(0, 4000, [&](int64_t i) {
+    std::string name = "sym" + std::to_string(i % 97);
+    std::string_view view = interner.intern(name);
+    ASSERT_EQ(view, name);
+  });
+  EXPECT_EQ(interner.size(), 97u);
+}
+
+}  // namespace
+}  // namespace ps

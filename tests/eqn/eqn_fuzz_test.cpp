@@ -6,8 +6,11 @@
 
 #include <random>
 #include <string>
+#include <vector>
 
 #include "eqn/translate.hpp"
+#include "frontend/ast.hpp"
+#include "frontend/parser.hpp"
 
 namespace ps::eqn {
 namespace {
@@ -85,6 +88,168 @@ TEST_P(EqnFuzzRandom, TokenSoup) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EqnFuzzRandom, ::testing::Range(1u, 41u));
+
+// ---------------------------------------------------------------------------
+// Round-trip fuzz: seeded generation of TeX equation trees. For every
+// module the translator accepts, its PS pretty-print must reparse
+// cleanly and pretty-print to the same text again (translate -> print ->
+// reparse -> print is a fixpoint). This pins the translator's output
+// inside the PS grammar, not just "some string".
+// ---------------------------------------------------------------------------
+
+/// Generates structurally varied but mostly well-formed equation
+/// modules: 1-D or 2-D recurrence over A with a fixed base sweep,
+/// optional guarded clauses, \frac / \cdot / parenthesised arithmetic.
+class EqnTreeGenerator {
+ public:
+  explicit EqnTreeGenerator(uint32_t seed)
+      : rng_(seed), two_d_(pick(3) != 0) {}
+
+  std::string module() {
+    std::string subs = two_d_ ? "{i,j}" : "{i}";
+    std::string domain = two_d_ ? "i in 0..M+1, j in 0..M+1"
+                                : "i in 0..M+1";
+    std::string bounds = two_d_ ? "[0..M+1, 0..M+1]" : "[0..M+1]";
+    std::string text = "module Gen;\n";
+    text += "param A0 : real" + bounds + ";\n";
+    text += "param M : int;\nparam maxK : int;\n";
+    text += "result out = A^{maxK};\n";
+    text += "A^{1}_" + subs + " = " + expr(2, false) + " for " + domain +
+            ";\n";
+    int guarded = pick(3);  // 0..2 guarded clauses before the otherwise
+    for (int g = 0; g < guarded; ++g)
+      text += "A^{k}_" + subs + " = " + expr(2, true) + " if " + guard() +
+              " for k in 2..maxK, " + domain + ";\n";
+    text += "A^{k}_" + subs + " = " + expr(3, true) +
+            " otherwise for k in 2..maxK, " + domain + ";\n";
+    return text;
+  }
+
+ private:
+  int pick(int n) { return static_cast<int>(rng_() % static_cast<uint32_t>(n)); }
+
+  std::string offset_index(const char* var) {
+    switch (pick(3)) {
+      case 0: return std::string(var) + "-1";
+      case 1: return std::string(var) + "+1";
+      default: return var;
+    }
+  }
+
+  /// A reference to the recurrence array at sweep k-1 (always the
+  /// previous sweep, so the module schedules) or to the input grid.
+  std::string ref(bool recurrence) {
+    if (recurrence && pick(2) == 0) {
+      std::string idx = offset_index("i");
+      if (two_d_) idx += "," + offset_index("j");
+      return "A^{k-1}_{" + idx + "}";
+    }
+    return two_d_ ? "A0_{i,j}" : "A0_{i}";
+  }
+
+  std::string atom(bool recurrence) {
+    switch (pick(5)) {
+      case 0: return std::to_string(pick(9) + 1) + ".0";
+      case 1: return "0." + std::to_string(pick(9) + 1);
+      case 2: return std::to_string(pick(4) + 1);
+      default: return ref(recurrence);
+    }
+  }
+
+  std::string expr(int depth, bool recurrence) {
+    if (depth == 0 || pick(3) == 0) return atom(recurrence);
+    std::string lhs = expr(depth - 1, recurrence);
+    std::string rhs = expr(depth - 1, recurrence);
+    switch (pick(6)) {
+      case 0: return lhs + " + " + rhs;
+      case 1: return lhs + " - " + rhs;
+      case 2: return lhs + " * " + rhs;
+      case 3: return lhs + " \\cdot " + rhs;
+      case 4: return "\\frac{" + lhs + "}{" + rhs + "}";
+      default: return "(" + lhs + " + " + rhs + ")";
+    }
+  }
+
+  std::string guard() {
+    std::string g = comparison();
+    int extra = pick(2);
+    for (int i = 0; i < extra; ++i) g += " \\lor " + comparison();
+    return g;
+  }
+
+  std::string comparison() {
+    const char* var = (two_d_ && pick(2) == 0) ? "j" : "i";
+    switch (pick(4)) {
+      case 0: return std::string(var) + " = 0";
+      case 1: return std::string(var) + " = M+1";
+      case 2: return std::string(var) + " <= 1";
+      default: return std::string(var) + " >= M";
+    }
+  }
+
+  std::mt19937 rng_;
+  bool two_d_;
+};
+
+/// Translate, pretty-print, reparse, re-print; the two prints must be
+/// identical. Inputs the translator rejects must leave diagnostics.
+void check_round_trip(const std::string& eqn_text) {
+  DiagnosticEngine diags;
+  auto module = equations_to_ps(eqn_text, diags);
+  if (!module) {
+    EXPECT_TRUE(diags.has_errors()) << eqn_text;
+    return;
+  }
+  std::string printed = to_source(*module);
+
+  DiagnosticEngine reparse_diags;
+  reparse_diags.set_source(printed);
+  Parser parser(printed, reparse_diags);
+  ProgramAst reparsed = parser.parse_program();
+  ASSERT_FALSE(reparse_diags.has_errors())
+      << "translator output failed to reparse:\n"
+      << printed << "\n"
+      << reparse_diags.render() << "\nEQN input was:\n"
+      << eqn_text;
+  ASSERT_EQ(reparsed.modules.size(), 1u);
+
+  std::string reprinted = to_source(reparsed.modules.front());
+  EXPECT_EQ(printed, reprinted)
+      << "pretty-print is not a fixpoint for:\n"
+      << eqn_text;
+}
+
+class EqnRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EqnRoundTrip, TranslatePrintReparseFixpoint) {
+  EqnTreeGenerator generator(GetParam());
+  check_round_trip(generator.module());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqnRoundTrip, ::testing::Range(1u, 41u));
+
+/// The seed corpus module itself round-trips.
+TEST(EqnRoundTrip, SeedCorpusModule) { check_round_trip(kSeedText); }
+
+/// Mutated generator output must still never crash the round trip
+/// (either clean diagnostics or a full fixpoint).
+class EqnRoundTripMutated : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EqnRoundTripMutated, SingleCharMutationsSurvive) {
+  EqnTreeGenerator generator(GetParam());
+  std::string text = generator.module();
+  std::mt19937 rng(GetParam() * 7919u);
+  const char replacements[] = {'^', '_', '{', '}', ';', '\\', '%', '9'};
+  for (int m = 0; m < 12; ++m) {
+    std::string mutated = text;
+    mutated[rng() % mutated.size()] =
+        replacements[rng() % std::size(replacements)];
+    check_round_trip(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqnRoundTripMutated,
+                         ::testing::Range(1u, 13u));
 
 }  // namespace
 }  // namespace ps::eqn

@@ -247,6 +247,32 @@ end M;
   EXPECT_TRUE(diags.has_errors());
 }
 
+TEST(Sema, AnonymousSubrangesAreInterned) {
+  // Two vars with the same inline `1 .. s` dimension: resolve_type must
+  // hand back one shared anonymous subrange, not two structural twins.
+  DiagnosticEngine diags;
+  auto m = check(R"(
+P: module (x: array[X] of real; n: int; s: int): [y: array[X] of real];
+type X = 0 .. n;
+var a: array [1 .. s] of array [X] of real;
+    b: array [1 .. s] of array [X] of real;
+define
+  a[1] = x;
+  b[1] = x;
+  y[X] = a[s, X] + b[s, X];
+end P;
+)",
+                 &diags);
+  ASSERT_TRUE(m.has_value()) << diags.render();
+  EXPECT_GE(m->types.subrange_intern_hits(), 1u);
+  const DataItem* a = m->find_data("a");
+  const DataItem* b = m->find_data("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Pointer-identical first dimension: the interned `1 .. s`.
+  EXPECT_EQ(a->dims[0], b->dims[0]);
+}
+
 TEST(Sema, GaussSeidelChecks) {
   DiagnosticEngine diags;
   auto m = check(kGaussSeidelSource, &diags);

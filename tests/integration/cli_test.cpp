@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "driver/paper_modules.hpp"
 
@@ -122,6 +124,156 @@ TEST(Cli, PassesListsThePipeline) {
   // LoopMerge is off without --merge.
   EXPECT_NE(out.find("LoopMerge  (disabled by options)"), std::string::npos)
       << out;
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: several inputs, -j N, --batch-report, --corpus.
+// ---------------------------------------------------------------------------
+
+/// Write named sources into a fresh temp dir and run psc over them with
+/// extra args; returns exit code and combined output.
+CliResult run_psc_files(
+    const std::string& args,
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const std::string& tag) {
+  std::string dir = std::string(::testing::TempDir()) + "psc_batch_" + tag;
+  std::string mkdir = "mkdir -p " + dir;
+  EXPECT_EQ(std::system(mkdir.c_str()), 0);
+  std::string cmd = psc_binary() + " " + args;
+  for (const auto& [name, source] : files) {
+    std::ofstream f(dir + "/" + name);
+    f << source;
+    cmd += " " + dir + "/" + name;
+  }
+  std::string out_file = dir + "/out.txt";
+  int rc = std::system((cmd + " > " + out_file + " 2>&1").c_str());
+  std::ifstream f(out_file);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return CliResult{WEXITSTATUS(rc), os.str()};
+}
+
+TEST(CliBatch, MultiFileOutputIsIdenticalAcrossJobCounts) {
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"a.ps", kRelaxationSource},
+      {"b.ps", kGaussSeidelSource},
+      {"c.ps", kHeat1dSource},
+  };
+  // Same directory for both runs so the per-unit headers (which name
+  // the input paths) are comparable byte for byte.
+  CliResult j1 = run_psc_files("--c -j 1", files, "jx");
+  CliResult j8 = run_psc_files("--c -j 8", files, "jx");
+  EXPECT_EQ(j1.exit_code, 0) << j1.out;
+  EXPECT_EQ(j8.exit_code, 0);
+  // Byte-identical batch output regardless of parallelism.
+  EXPECT_EQ(j1.out, j8.out);
+  EXPECT_NE(j1.out.find("== "), std::string::npos);
+  EXPECT_NE(j1.out.find("a.ps ==\n"), std::string::npos) << j1.out;
+}
+
+TEST(CliBatch, BatchSectionsMatchSingleFileRuns) {
+  CliResult single_a = run_psc("--c", kRelaxationSource);
+  CliResult single_b = run_psc("--c", kHeat1dSource);
+  ASSERT_EQ(single_a.exit_code, 0);
+  ASSERT_EQ(single_b.exit_code, 0);
+
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"a.ps", kRelaxationSource},
+      {"b.ps", kHeat1dSource},
+  };
+  CliResult batch = run_psc_files("--c -j 4", files, "match");
+  ASSERT_EQ(batch.exit_code, 0);
+  // The batch body between the two headers is exactly the single-file
+  // output, byte for byte.
+  size_t header_b = batch.out.find("b.ps ==\n");
+  ASSERT_NE(header_b, std::string::npos);
+  size_t body_a_start = batch.out.find("==\n") + 3;
+  std::string body_a = batch.out.substr(
+      body_a_start, batch.out.rfind("== ", header_b) - body_a_start);
+  EXPECT_EQ(body_a, single_a.out);
+  std::string body_b = batch.out.substr(header_b + 8);
+  EXPECT_EQ(body_b, single_b.out);
+}
+
+TEST(CliBatch, FailedUnitIsIsolatedAndSetsExitCode) {
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"good.ps", kRelaxationSource},
+      {"bad.ps", "this is not a module"},
+  };
+  CliResult r = run_psc_files("-j 2", files, "isolate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.out.find("bad.ps"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("error"), std::string::npos);
+  // The good unit still compiled and printed its schedule.
+  EXPECT_NE(r.out.find("good.ps ==\n"), std::string::npos);
+  EXPECT_NE(r.out.find("DO K ("), std::string::npos) << r.out;
+}
+
+TEST(CliBatch, BatchReportTable) {
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"a.ps", kRelaxationSource},
+      {"b.ps", kPointwiseChainSource},
+  };
+  CliResult r = run_psc_files("--batch-report -j 2", files, "report");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("Unit"), std::string::npos);
+  EXPECT_NE(r.out.find("a.ps"), std::string::npos);
+  EXPECT_NE(r.out.find("b.ps"), std::string::npos);
+  EXPECT_NE(r.out.find("2/2 units succeeded"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("aggregate pass times"), std::string::npos);
+}
+
+TEST(CliBatch, BatchReportJson) {
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"a.ps", kRelaxationSource},
+  };
+  CliResult r = run_psc_files("--batch-report --json", files, "json");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("\"summary\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"units\""), std::string::npos);
+  EXPECT_NE(r.out.find("a.ps\""), std::string::npos) << r.out;
+}
+
+TEST(CliBatch, CorpusCompilesInOneInvocation) {
+  std::string out_file = std::string(::testing::TempDir()) + "/corpus.txt";
+  std::string cmd = psc_binary() + " --corpus --batch-report -j 4 > " +
+                    out_file + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_EQ(WEXITSTATUS(rc), 0);
+  std::ifstream f(out_file);
+  std::ostringstream os;
+  os << f.rdbuf();
+  std::string out = os.str();
+  EXPECT_NE(out.find("4/4 units succeeded"), std::string::npos) << out;
+  for (const char* name : {"jacobi", "gauss-seidel", "heat1d", "chain"})
+    EXPECT_NE(out.find(name), std::string::npos) << out;
+}
+
+TEST(CliBatch, EqnFilesAreTranslatedByExtension) {
+  constexpr const char* kEqn = R"EQ(
+module Relaxation;
+param InitialA : real[0..M+1, 0..M+1];
+param M : int;
+param maxK : int;
+result newA = A^{maxK};
+A^{1}_{i,j} = InitialA_{i,j}
+  for i in 0..M+1, j in 0..M+1;
+A^{k}_{i,j} = \frac{A^{k-1}_{i,j-1} + A^{k-1}_{i+1,j}}{2}
+  otherwise
+  for k in 2..maxK, i in 0..M+1, j in 0..M+1;
+)EQ";
+  // Single .eqn file.
+  std::vector<std::pair<std::string, std::string>> single = {
+      {"relax.eqn", kEqn}};
+  CliResult r = run_psc_files("--schedule", single, "eqn1");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("DO k ("), std::string::npos) << r.out;
+  // Mixed .ps + .eqn batch.
+  std::vector<std::pair<std::string, std::string>> mixed = {
+      {"a.ps", kRelaxationSource}, {"relax.eqn", kEqn}};
+  CliResult batch = run_psc_files("-j 2", mixed, "eqn2");
+  EXPECT_EQ(batch.exit_code, 0) << batch.out;
+  EXPECT_NE(batch.out.find("relax.eqn ==\n"), std::string::npos);
 }
 
 TEST(Cli, TimePassesPrintsPerStageTiming) {

@@ -1,0 +1,204 @@
+// Differential testing across every execution engine: for each module
+// of the paper corpus and each extra .ps example, the tree-walking
+// Interpreter, the EvalCore bytecode engine and the generated C
+// (compiled with the system C compiler) must agree bit-for-bit on every
+// output -- and the WavefrontRunner's two evaluators must agree on the
+// hyperplane-transformed modules. See tests/common/differential.hpp for
+// the harness.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/differential.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::DiffCase;
+using testutil::compile_or_die;
+
+// The extra example modules (3-D stencil, SOR, prefix sum, ping-pong,
+// triangular guard) exercise shapes the paper corpus does not: depth-4
+// nests, real scalar parameters, pure recurrences, multi-array MSCCs.
+
+constexpr const char* kJac3Source = R"(
+Jac3: module (g0: array[I,J,L] of real; M: int; maxK: int):
+  [gOut: array[I,J,L] of real];
+type I, J, L = 0 .. M+1;  K = 2 .. maxK;
+var g: array [1 .. maxK] of array [I,J,L] of real;
+define
+  g[1] = g0;
+  gOut = g[maxK];
+  g[K,I,J,L] = if I = 0 or J = 0 or L = 0
+               or I = M+1 or J = M+1 or L = M+1
+               then g[K-1,I,J,L]
+               else (g[K-1,I-1,J,L] + g[K-1,I+1,J,L]
+                    +g[K-1,I,J-1,L] + g[K-1,I,J+1,L]
+                    +g[K-1,I,J,L-1] + g[K-1,I,J,L+1]) / 6;
+end Jac3;
+)";
+
+constexpr const char* kSorSource = R"(
+Sor: module (x0: array[X] of real; n: int; s: int; omega: real):
+  [xOut: array[X] of real];
+type T = 2 .. s; X = 0 .. n;
+var x: array [1 .. s] of array [X] of real;
+define
+  x[1] = x0;
+  xOut = x[s];
+  x[T,X] = if X = 0 or X = n
+           then x[T-1,X]
+           else (1.0 - omega) * x[T-1,X]
+                + omega * (x[T-1,X-1] + x[T-1,X+1]) / 2;
+end Sor;
+)";
+
+constexpr const char* kPrefixSource = R"(
+Prefix: module (x: array[I] of real; n: int): [p: array[I] of real];
+type I = 0 .. n;
+var acc: array [I] of real;
+define
+  acc[I] = if I = 0 then x[I] else acc[I-1] + x[I];
+  p[I] = acc[I];
+end Prefix;
+)";
+
+constexpr const char* kPingPongSource = R"(
+PingPong: module (x: array[X] of real; n: int; s: int):
+  [y: array[X] of real];
+type T = 2 .. s; X = 0 .. n;
+var a: array [1 .. s] of array [X] of real;
+    b: array [1 .. s] of array [X] of real;
+define
+  a[1] = x;
+  b[1] = x;
+  a[T,X] = b[T-1,X] * 0.5 + a[T-1,X] * 0.5;
+  b[T,X] = a[T-1,X];
+  y[X] = a[s,X] + b[s,X];
+end PingPong;
+)";
+
+constexpr const char* kTriangularSource = R"(
+Tri: module (x: array[I, J] of real; n: int): [y: array[I, J] of real];
+type I = 0 .. n; J = 0 .. n;
+define
+  y[I, J] = if J > I then 0.0 else x[I, J];
+end Tri;
+)";
+
+std::vector<DiffCase> differential_corpus() {
+  std::vector<DiffCase> cases;
+  cases.push_back({"jacobi", kRelaxationSource,
+                   IntEnv{{"M", 6}, {"maxK", 5}}, {}});
+  cases.push_back({"gauss_seidel", kGaussSeidelSource,
+                   IntEnv{{"M", 6}, {"maxK", 5}}, {}});
+  cases.push_back({"heat1d", kHeat1dSource,
+                   IntEnv{{"N", 10}, {"steps", 6}}, {{"r", 0.21}}});
+  cases.push_back({"chain", kPointwiseChainSource, IntEnv{{"N", 16}}, {}});
+  cases.push_back({"jac3", kJac3Source, IntEnv{{"M", 4}, {"maxK", 3}}, {}});
+  cases.push_back({"sor", kSorSource, IntEnv{{"n", 10}, {"s", 6}},
+                   {{"omega", 1.5}}});
+  cases.push_back({"prefix", kPrefixSource, IntEnv{{"n", 9}}, {}});
+  cases.push_back({"pingpong", kPingPongSource,
+                   IntEnv{{"n", 6}, {"s", 5}}, {}});
+  cases.push_back({"tri", kTriangularSource, IntEnv{{"n", 8}}, {}});
+  return cases;
+}
+
+class Differential : public ::testing::TestWithParam<DiffCase> {};
+
+/// Engine 1 vs engine 2: tree walk and bytecode over the primary module
+/// and (where the hyperplane transform applies) the rewritten module,
+/// comparing every non-input value including locals.
+TEST_P(Differential, TreeWalkMatchesBytecode) {
+  DiffCase test_case = GetParam();
+  CompileOptions options = test_case.options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(test_case.source, options);
+
+  std::vector<const CompiledModule*> stages{result.primary.operator->()};
+  if (result.transformed) stages.push_back(result.transformed.operator->());
+  for (const CompiledModule* stage : stages) {
+    auto tree = testutil::run_interpreter(*stage, test_case,
+                                          EvalEngine::TreeWalk);
+    auto bytecode = testutil::run_interpreter(*stage, test_case,
+                                              EvalEngine::Bytecode);
+    testutil::expect_bitwise_equal(
+        tree, bytecode, test_case.name + "/" + stage->module->name);
+  }
+}
+
+/// Engine 3: the generated C, compiled with the system compiler and run
+/// on the reference grid, must reproduce the interpreter's outputs to
+/// the bit.
+TEST_P(Differential, GeneratedCMatchesInterpreter) {
+  if (!testutil::have_cc()) GTEST_SKIP() << "no system C compiler";
+  DiffCase test_case = GetParam();
+  auto result = compile_or_die(test_case.source, test_case.options);
+
+  auto interp = testutil::run_interpreter(*result.primary, test_case,
+                                          EvalEngine::Bytecode,
+                                          /*outputs_only=*/true);
+  auto c_run = testutil::run_generated_c(*result.primary, test_case,
+                                         test_case.name);
+  ASSERT_TRUE(c_run.has_value()) << test_case.name;
+  testutil::expect_bitwise_equal(interp, *c_run, test_case.name + "/C");
+}
+
+/// The hyperplane-rewritten module's generated C (with exact Lamport
+/// bounds) differentially against its own interpreter run.
+TEST_P(Differential, TransformedGeneratedCMatchesInterpreter) {
+  if (!testutil::have_cc()) GTEST_SKIP() << "no system C compiler";
+  DiffCase test_case = GetParam();
+  CompileOptions options = test_case.options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(test_case.source, options);
+  if (!result.transformed)
+    GTEST_SKIP() << test_case.name << " has no hyperplane transform";
+
+  auto interp = testutil::run_interpreter(*result.transformed, test_case,
+                                          EvalEngine::Bytecode,
+                                          /*outputs_only=*/true);
+  auto c_run = testutil::run_generated_c(*result.transformed, test_case,
+                                         test_case.name + "_h");
+  ASSERT_TRUE(c_run.has_value()) << test_case.name;
+  testutil::expect_bitwise_equal(interp, *c_run,
+                                 test_case.name + "/transformed-C");
+}
+
+/// Engine 4 (where applicable): the windowed WavefrontRunner under both
+/// of its evaluators.
+TEST_P(Differential, WavefrontEnginesAgree) {
+  DiffCase test_case = GetParam();
+  bool checked = testutil::expect_wavefront_engines_agree(test_case);
+  if (!checked)
+    GTEST_SKIP() << test_case.name << " has no hyperplane transform";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Differential, ::testing::ValuesIn(differential_corpus()),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.name;
+    });
+
+/// The corpus accessor feeds the batch driver, the bench and this
+/// harness from one list; pin its shape.
+TEST(DifferentialCorpus, PaperCorpusIsComplete) {
+  const auto& corpus = paper_corpus();
+  ASSERT_EQ(corpus.size(), 4u);
+  EXPECT_STREQ(corpus[0].name, "jacobi");
+  EXPECT_STREQ(corpus[1].name, "gauss-seidel");
+  EXPECT_STREQ(corpus[2].name, "heat1d");
+  EXPECT_STREQ(corpus[3].name, "chain");
+  for (const PaperModule& module : corpus) {
+    auto result = compile_or_die(module.source);
+    EXPECT_TRUE(result.primary.has_value()) << module.name;
+  }
+}
+
+}  // namespace
+}  // namespace ps

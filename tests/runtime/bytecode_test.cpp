@@ -162,6 +162,179 @@ end M;
   EXPECT_DOUBLE_EQ(interp.scalar("c"), 2.0 + 3.0);
 }
 
+// ---------------------------------------------------------------------------
+// Constant folding (applied by EvalCore::compile to every program).
+// ---------------------------------------------------------------------------
+
+BcInstr make_instr(BcOp op, int32_t a = 0, int64_t imm = 0, double dimm = 0) {
+  BcInstr instr{op, a, 0, imm, dimm};
+  return instr;
+}
+
+TEST(BytecodeFold, FoldsConstantSubtreesToOnePush) {
+  // 1 + 2 * 3 compiles to five instructions and folds to PushInt 7.
+  auto result = compile_or_die(R"(
+M: module (k: int): [a: int];
+define
+  a = k + (1 + 2 * 3);
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram program = compile_expr(*module.equations[0].rhs, module, layout);
+  size_t before = program.code.size();
+  size_t removed = fold_constants(program);
+  EXPECT_EQ(removed, 4u);  // PushInt 2, PushInt 3, MulI, AddI collapse
+  EXPECT_EQ(program.code.size(), before - 4);
+  std::string dis = program.disassemble();
+  EXPECT_NE(dis.find("PushInt 7"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("MulI"), std::string::npos) << dis;
+}
+
+TEST(BytecodeFold, FoldsIntrinsicsOverLiterals) {
+  auto result = compile_or_die(R"(
+M: module (k: int): [c: int];
+define
+  c = k + floor(2.7) + ceil(2.1) + min(4, 9) + abs(0 - 3);
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram program = compile_expr(*module.equations[0].rhs, module, layout);
+  fold_constants(program);
+  std::string dis = program.disassemble();
+  // floor/ceil/min/abs all evaluated at compile time; only the loads of
+  // k and the running additions remain.
+  EXPECT_EQ(dis.find("FloorD"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("CeilD"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("MinI"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("AbsI"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("PushInt 2"), std::string::npos) << dis;  // floor(2.7)
+}
+
+TEST(BytecodeFold, RelaxationStencilDropsTheIntToReal) {
+  // The `/ 4` of the stencil average compiles as PushInt 4; IntToReal.
+  // Folding turns it into PushReal 4 -- one dispatch less per instance
+  // on the hottest path of the whole corpus.
+  auto result = compile_or_die(kRelaxationSource);
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram raw = compile_expr(*module.equations[2].rhs, module, layout);
+  BcProgram folded = compile_expr(*module.equations[2].rhs, module, layout);
+  size_t removed = fold_constants(folded);
+  EXPECT_NE(raw.disassemble().find("IntToReal"), std::string::npos);
+  EXPECT_EQ(folded.disassemble().find("IntToReal"), std::string::npos)
+      << folded.disassemble();
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(folded.code.size(), raw.code.size() - 1);
+}
+
+TEST(BytecodeFold, WholeCorpusNeverGrowsAndIsIdempotent) {
+  for (const PaperModule& paper : paper_corpus()) {
+    auto result = compile_or_die(paper.source);
+    const CheckedModule& module = *result.primary->module;
+    BcLayout layout = BcLayout::for_module(module);
+    for (const CheckedEquation& eq : module.equations) {
+      BcProgram program = compile_expr(*eq.rhs, module, layout);
+      size_t before = program.code.size();
+      size_t removed = fold_constants(program);
+      EXPECT_EQ(program.code.size(), before - removed) << paper.name;
+      // A second pass finds nothing: folding reached its fixpoint.
+      EXPECT_EQ(fold_constants(program), 0u) << paper.name;
+    }
+  }
+}
+
+TEST(BytecodeFold, JumpTargetsAreRemappedAcrossASplice) {
+  // 1 ? (2 + 3) : 9 with explicit jumps: folding the constant arm must
+  // shift both targets left by two.
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 1));
+  program.code.push_back(make_instr(BcOp::JumpIfFalse, 6));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 2));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 3));
+  program.code.push_back(make_instr(BcOp::AddI));
+  program.code.push_back(make_instr(BcOp::Jump, 7));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 9));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 2;
+
+  size_t removed = fold_constants(program);
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(program.code.size(), 6u);
+  EXPECT_EQ(program.code[1].op, BcOp::JumpIfFalse);
+  EXPECT_EQ(program.code[1].a, 4);
+  EXPECT_EQ(program.code[2].op, BcOp::PushInt);
+  EXPECT_EQ(program.code[2].imm, 5);
+  EXPECT_EQ(program.code[3].op, BcOp::Jump);
+  EXPECT_EQ(program.code[3].a, 5);
+
+  // The folded program still executes correctly.
+  EvalCore core;
+  EvalSlot slot = core.run(program, VarFrame{});
+  EXPECT_EQ(slot.i, 5);
+}
+
+TEST(BytecodeFold, SpansAJumpLandsInsideAreLeftAlone) {
+  // The Push/Push/AddI window at 2..4 must not fold: position 3 is a
+  // jump target.
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 0));
+  program.code.push_back(make_instr(BcOp::JumpIfFalse, 3));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 1));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 2));
+  program.code.push_back(make_instr(BcOp::AddI));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 2;
+  EXPECT_EQ(fold_constants(program), 0u);
+  ASSERT_EQ(program.code.size(), 6u);
+}
+
+TEST(BytecodeFold, DivisionByConstantZeroIsNotFolded) {
+  // The runtime diagnostic must be preserved, not turned into a
+  // compile-time crash or a bogus value.
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 1));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 0));
+  program.code.push_back(make_instr(BcOp::DivI));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 2;
+  EXPECT_EQ(fold_constants(program), 0u);
+  EvalCore core;
+  EXPECT_THROW(core.run(program, VarFrame{}), std::runtime_error);
+}
+
+TEST(BytecodeFold, EvalCoreHandsBackFoldedPrograms) {
+  // EvalCore::compile folds every program it builds: the constant
+  // (1.0 + 2.0) and the subscript-position arithmetic 2*2 below must
+  // already be collapsed in the programs the engines execute.
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n;
+var A: array [1 .. 4] of array [I] of real;
+define
+  A[1] = x;
+  y[I] = A[1, I] * (1.0 + 2.0) + x[2 * 2];
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  EvalCore core;
+  core.compile(module);
+  std::string dis = core.programs(1).rhs.disassemble();  // the y equation
+  EXPECT_NE(dis.find("PushReal 3"), std::string::npos) << dis;
+  // No constant arithmetic left: 2 * 2 became PushInt 4.
+  EXPECT_NE(dis.find("PushInt 4"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("MulI"), std::string::npos) << dis;
+
+  // Raw compile_expr still carries the unfolded arithmetic, proving the
+  // fold happened inside EvalCore::compile.
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram raw = compile_expr(*module.equations[1].rhs, module, layout);
+  EXPECT_NE(raw.disassemble().find("MulI"), std::string::npos)
+      << raw.disassemble();
+  EXPECT_GT(raw.code.size(), core.programs(1).rhs.code.size());
+}
+
 TEST(Bytecode, CollapseAblationAgrees) {
   CompileOptions copts;
   copts.apply_hyperplane = true;
