@@ -1,0 +1,162 @@
+// Microbenchmarks for the bytecode execution core, the hot path of
+// every runtime engine in the repo:
+//
+//   * BM_BytecodeDispatch -- the Gauss-Seidel stencil RHS under the
+//     direct-threaded (computed-goto) dispatcher vs the portable
+//     switch loop; the gap is the per-instruction dispatch overhead
+//     the threaded table removes.
+//   * BM_Superinstructions -- the same program with the peephole
+//     superinstruction fusion on vs off (both direct-threaded); the
+//     gap is what fusing LoadVar+PushInt+AddI index arithmetic,
+//     compare+branch pairs and whole LoadArray subscript chains buys.
+//   * BM_DeepNestVars -- a 12-variable frame, past the 8-slot inline
+//     buffer, exercising the thread-local spill path that replaced the
+//     old hard `kMaxVars = 8` limit.
+//
+// The macro-level payoff (whole wavefront runs per engine) stays in
+// bench_exact_bounds' BM_WavefrontRunner bytecode axis.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/const_eval.hpp"
+#include "runtime/eval_core.hpp"
+
+namespace {
+
+using ps::BcDispatch;
+using ps::BcProgram;
+using ps::EvalCore;
+using ps::VarFrame;
+
+struct StencilFixture {
+  ps::CompileResult compiled;
+  std::map<std::string, ps::NdArray, std::less<>> arrays;
+  EvalCore core;
+  BcProgram unfused_rhs;  // folded but not superinstruction-fused
+
+  StencilFixture() : compiled(ps::bench::compile(ps::kGaussSeidelSource)) {
+    const ps::CheckedModule& module = *compiled.primary->module;
+    ps::IntEnv params{{"M", 64}, {"maxK", 8}};
+    for (const ps::DataItem& d : module.data) {
+      if (d.is_scalar()) continue;
+      std::vector<int64_t> lo, hi, win;
+      for (const ps::Type* dim : d.dims) {
+        lo.push_back(*ps::eval_const_int(*dim->lo, params));
+        hi.push_back(*ps::eval_const_int(*dim->hi, params));
+        win.push_back(hi.back() - lo.back() + 1);
+      }
+      arrays.emplace(d.name, ps::NdArray(std::move(lo), std::move(hi),
+                                         std::move(win)));
+    }
+    core.compile(module);
+    core.bind_arrays(arrays);
+    for (size_t i = 0; i < module.data.size(); ++i) {
+      auto it = params.find(module.data[i].name);
+      if (it != params.end())
+        core.set_scalar(i, it->second,
+                        static_cast<double>(it->second));
+    }
+    for (auto& [name, array] : arrays) {
+      auto span = array.raw();
+      for (size_t i = 0; i < span.size(); ++i)
+        span[i] = static_cast<double>(i % 23) * 0.125;
+    }
+    // Equation 3 is the stencil recurrence; rebuild its RHS without the
+    // fusion pass for the superinstruction ablation.
+    unfused_rhs = ps::compile_expr(*module.equations[2].rhs, module,
+                                   core.layout());
+    ps::fold_constants(unfused_rhs);
+  }
+
+  /// An interior point: the guard chain fails all four boundary tests
+  /// and the full four-read stencil arm executes.
+  [[nodiscard]] VarFrame interior_frame() const {
+    VarFrame frame;
+    frame.vars.emplace_back("K", 3);
+    frame.vars.emplace_back("I", 30);
+    frame.vars.emplace_back("J", 31);
+    return frame;
+  }
+};
+
+StencilFixture& fixture() {
+  static StencilFixture instance;
+  return instance;
+}
+
+// arg 0: dispatch (0 = direct-threaded, 1 = portable switch).
+void BM_BytecodeDispatch(benchmark::State& state) {
+  StencilFixture& f = fixture();
+  f.core.set_dispatch(state.range(0) == 0 ? BcDispatch::Threaded
+                                          : BcDispatch::Switch);
+  const BcProgram& rhs = f.core.programs(2).rhs;
+  VarFrame frame = f.interior_frame();
+  for (auto _ : state) {
+    ps::EvalSlot slot = f.core.run(rhs, frame);
+    benchmark::DoNotOptimize(slot.d);
+  }
+  f.core.set_dispatch(BcDispatch::Threaded);
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BytecodeDispatch)->Arg(0)->Arg(1);
+
+// arg 0: superinstruction fusion (0 = fused, 1 = unfused), both under
+// the default (threaded where available) dispatcher.
+void BM_Superinstructions(benchmark::State& state) {
+  StencilFixture& f = fixture();
+  const BcProgram& rhs =
+      state.range(0) == 0 ? f.core.programs(2).rhs : f.unfused_rhs;
+  VarFrame frame = f.interior_frame();
+  for (auto _ : state) {
+    ps::EvalSlot slot = f.core.run(rhs, frame);
+    benchmark::DoNotOptimize(slot.d);
+  }
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Superinstructions)->Arg(0)->Arg(1);
+
+// A 12-variable frame: resolves through the thread-local spill buffer
+// (the inline frame holds 8), the path that replaced the old hard
+// kMaxVars limit and its silent tree-walk fallback.
+void BM_DeepNestVars(benchmark::State& state) {
+  BcProgram program;
+  VarFrame frame;
+  const size_t vars = 12;
+  // Reserve up front: frame.vars holds string_views into var_names, so
+  // the vector must not reallocate (SSO strings move their buffers).
+  program.var_names.reserve(vars);
+  for (size_t v = 0; v < vars; ++v) {
+    std::string name = "v" + std::to_string(v);
+    program.var_names.push_back(name);
+    frame.vars.emplace_back(program.var_names.back(), // name outlives frame
+                            static_cast<int64_t>(v * 3 + 1));
+    ps::BcInstr load{ps::BcOp::LoadVar, static_cast<int32_t>(v), 0, 0, 0};
+    program.code.push_back(load);
+    if (v > 0) program.code.push_back(ps::BcInstr{ps::BcOp::AddI, 0, 0, 0, 0});
+  }
+  program.code.push_back(ps::BcInstr{ps::BcOp::Halt, 0, 0, 0, 0});
+  program.max_stack = vars;
+  EvalCore core;
+  for (auto _ : state) {
+    ps::EvalSlot slot = core.run(program, frame);
+    benchmark::DoNotOptimize(slot.i);
+  }
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DeepNestVars);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

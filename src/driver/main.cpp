@@ -13,6 +13,10 @@
 //     --no-windows      disable virtual-dimension windowing in codegen
 //     --passes          list the pipeline stages for the given options
 //     --time-passes     print per-stage wall time after compiling
+//     --verbose         report the runtime engine per module: whether the
+//                       bytecode VM covers it (or why it would fall back
+//                       to the tree walk), program sizes, folded/fused
+//                       instruction counts and the dispatch mode
 //
 //   Batch compilation (several inputs, or --corpus):
 //     -j N              compile units on N workers (default 1; 0 = all cores)
@@ -36,6 +40,7 @@
 #include "driver/batch_driver.hpp"
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
+#include "runtime/eval_core.hpp"
 #include "support/text_table.hpp"
 
 namespace {
@@ -89,6 +94,35 @@ void print_result(const ps::CompileResult& result, const OutputFlags& flags) {
   }
 }
 
+/// --verbose: per-module runtime-engine report. Compiles the module's
+/// equations to bytecode the same way the runtime engines do and prints
+/// either the program statistics (the fast path is in charge) or the
+/// reason the engines would fall back to the tree walk -- the fallback
+/// used to be silent, which hid real workloads from the fast engine.
+void print_engine_report(const ps::CompiledModule& stage) {
+  ps::EvalCore core;
+  std::cout << "-- bytecode engine [" << stage.module->name << "]: ";
+  try {
+    core.compile(*stage.module);
+  } catch (const std::exception& error) {
+    std::cout << "tree-walk fallback: " << error.what() << '\n';
+    return;
+  }
+  std::cout << "ok: " << core.total_instructions() << " instructions ("
+            << core.folded_instructions() << " folded, "
+            << core.fused_instructions() << " fused into superinstructions), "
+            << "dispatch="
+            << (ps::EvalCore::threaded_dispatch_available() ? "threaded"
+                                                            : "switch")
+            << '\n';
+}
+
+void print_engine_reports(const ps::CompileResult& result) {
+  if (!result.primary) return;
+  print_engine_report(*result.primary);
+  if (result.transformed) print_engine_report(*result.transformed);
+}
+
 bool read_file(const std::string& path, std::string& text) {
   if (path == "-") {
     std::ostringstream buffer;
@@ -129,6 +163,7 @@ int main(int argc, char** argv) {
   OutputFlags flags;
   bool list_passes = false;
   bool time_passes = false;
+  bool verbose = false;
   bool batch_report = false;
   bool json = false;
   bool corpus = false;
@@ -153,6 +188,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-windows") options.use_virtual_windows = false;
     else if (arg == "--passes") list_passes = true;
     else if (arg == "--time-passes") time_passes = true;
+    else if (arg == "--verbose") verbose = true;
     else if (arg == "--batch-report") batch_report = true;
     else if (arg == "--json") json = true;
     else if (arg == "--corpus") corpus = true;
@@ -172,7 +208,7 @@ int main(int argc, char** argv) {
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
                    "--source] [--hyperplane] [--exact] [--merge] "
-                   "[--no-windows] [--passes] [--time-passes] "
+                   "[--no-windows] [--passes] [--time-passes] [--verbose] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
                    "<file.ps|file.eqn|-> [more files...]\n";
       return 0;
@@ -248,6 +284,7 @@ int main(int argc, char** argv) {
       std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
     if (!result.ok || !result.primary) return 1;
     print_result(result, flags);
+    if (verbose) print_engine_reports(result);
     return 0;
   }
 
@@ -270,6 +307,7 @@ int main(int argc, char** argv) {
     for (const ps::BatchUnitResult& unit : results) {
       std::cout << "== " << unit.name << " ==\n";
       print_result(unit.result, flags);
+      if (verbose) print_engine_reports(unit.result);
     }
   }
   // The report already embeds the aggregate table; only print it here

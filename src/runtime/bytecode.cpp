@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -339,12 +340,34 @@ bool is_push(const BcInstr& instr) {
   return instr.op == BcOp::PushInt || instr.op == BcOp::PushReal;
 }
 
+/// Every opcode whose `a` operand is an absolute jump target -- the
+/// plain jumps plus the fused compare-and-branch superinstructions.
+/// Both the folder and the fuser must remap all of them when a splice
+/// shrinks the program.
+bool is_branch(BcOp op) {
+  switch (op) {
+    case BcOp::Jump:
+    case BcOp::JumpIfFalse:
+    case BcOp::CmpEqIJf:
+    case BcOp::CmpNeIJf:
+    case BcOp::CmpLtIJf:
+    case BcOp::CmpLeIJf:
+    case BcOp::CmpGtIJf:
+    case BcOp::CmpGeIJf:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// True when some jump lands strictly inside (start, start + span):
-/// folding would delete its target.
+/// folding would delete its target. A jump landing exactly at `start`
+/// is fine -- every span we splice is a complete unit with the same
+/// stack effect as its replacement instruction.
 bool jump_lands_inside(const std::vector<BcInstr>& code, size_t start,
                        size_t span) {
   for (const BcInstr& instr : code) {
-    if (instr.op != BcOp::Jump && instr.op != BcOp::JumpIfFalse) continue;
+    if (!is_branch(instr.op)) continue;
     size_t target = static_cast<size_t>(instr.a);
     if (target > start && target < start + span) return true;
   }
@@ -352,7 +375,7 @@ bool jump_lands_inside(const std::vector<BcInstr>& code, size_t start,
 }
 
 /// Replace `span` instructions at `start` with the single `folded`
-/// push, remapping every jump target past the span.
+/// instruction, remapping every jump target past the span.
 void splice(BcProgram& program, size_t start, size_t span, BcInstr folded) {
   std::vector<BcInstr>& code = program.code;
   code[start] = folded;
@@ -360,7 +383,7 @@ void splice(BcProgram& program, size_t start, size_t span, BcInstr folded) {
              code.begin() + static_cast<int64_t>(start + span));
   int32_t shrink = static_cast<int32_t>(span - 1);
   for (BcInstr& instr : code) {
-    if (instr.op != BcOp::Jump && instr.op != BcOp::JumpIfFalse) continue;
+    if (!is_branch(instr.op)) continue;
     if (instr.a >= static_cast<int32_t>(start + span)) instr.a -= shrink;
   }
 }
@@ -386,14 +409,22 @@ std::optional<BcInstr> fold_binary(BcOp op, const BcInstr& lhs,
   int64_t li = lhs.imm, ri = rhs.imm;
   double ld = lhs.dimm, rd = rhs.dimm;
   switch (op) {
-    case BcOp::AddI: if (ints) return make_push_int(li + ri); break;
-    case BcOp::SubI: if (ints) return make_push_int(li - ri); break;
-    case BcOp::MulI: if (ints) return make_push_int(li * ri); break;
+    // The wrapping helpers match the VM's own integer ops exactly:
+    // folding INT64 extremes at compile time must not hit signed-
+    // overflow UB where the runtime would have wrapped.
+    case BcOp::AddI: if (ints) return make_push_int(bc_wrap_add(li, ri)); break;
+    case BcOp::SubI: if (ints) return make_push_int(bc_wrap_sub(li, ri)); break;
+    case BcOp::MulI: if (ints) return make_push_int(bc_wrap_mul(li, ri)); break;
     case BcOp::DivI:
-      if (ints && ri != 0) return make_push_int(li / ri);
+      // INT64_MIN / -1 overflows; leave that single case to the VM.
+      if (ints && ri != 0 &&
+          !(li == std::numeric_limits<int64_t>::min() && ri == -1))
+        return make_push_int(li / ri);
       break;
     case BcOp::ModI:
-      if (ints && ri != 0) return make_push_int(li % ri);
+      if (ints && ri != 0 &&
+          !(li == std::numeric_limits<int64_t>::min() && ri == -1))
+        return make_push_int(li % ri);
       break;
     case BcOp::MinI: if (ints) return make_push_int(std::min(li, ri)); break;
     case BcOp::MaxI: if (ints) return make_push_int(std::max(li, ri)); break;
@@ -427,8 +458,10 @@ std::optional<BcInstr> fold_unary(BcOp op, const BcInstr& operand) {
   int64_t i = operand.imm;
   double d = operand.dimm;
   switch (op) {
-    case BcOp::NegI: if (is_int) return make_push_int(-i); break;
-    case BcOp::AbsI: if (is_int) return make_push_int(i < 0 ? -i : i); break;
+    case BcOp::NegI: if (is_int) return make_push_int(bc_wrap_neg(i)); break;
+    case BcOp::AbsI:
+      if (is_int) return make_push_int(i < 0 ? bc_wrap_neg(i) : i);
+      break;
     case BcOp::NotB: if (is_int) return make_push_int(i == 0 ? 1 : 0); break;
     case BcOp::IntToReal:
       if (is_int) return make_push_real(static_cast<double>(i));
@@ -441,11 +474,15 @@ std::optional<BcInstr> fold_unary(BcOp op, const BcInstr& operand) {
     case BcOp::Exp: if (!is_int) return make_push_real(std::exp(d)); break;
     case BcOp::Ln: if (!is_int) return make_push_real(std::log(d)); break;
     case BcOp::FloorD:
-      if (!is_int)
+      // double -> int64 is UB for NaN and out-of-range values; fold
+      // only when the result is representable, else leave the
+      // instruction for the VM (matching its behaviour exactly).
+      if (!is_int && bc_double_fits_int64(std::floor(d)))
         return make_push_int(static_cast<int64_t>(std::floor(d)));
       break;
     case BcOp::CeilD:
-      if (!is_int) return make_push_int(static_cast<int64_t>(std::ceil(d)));
+      if (!is_int && bc_double_fits_int64(std::ceil(d)))
+        return make_push_int(static_cast<int64_t>(std::ceil(d)));
       break;
     default: break;
   }
@@ -486,6 +523,96 @@ bool fold_sweep(BcProgram& program) {
   return changed;
 }
 
+/// The fused compare-and-branch for an integer compare followed by
+/// JumpIfFalse, or nullopt when `op` is not an int compare.
+std::optional<BcOp> fused_compare_branch(BcOp op) {
+  switch (op) {
+    case BcOp::CmpEqI: return BcOp::CmpEqIJf;
+    case BcOp::CmpNeI: return BcOp::CmpNeIJf;
+    case BcOp::CmpLtI: return BcOp::CmpLtIJf;
+    case BcOp::CmpLeI: return BcOp::CmpLeIJf;
+    case BcOp::CmpGtI: return BcOp::CmpGtIJf;
+    case BcOp::CmpGeI: return BcOp::CmpGeIJf;
+    default: return std::nullopt;
+  }
+}
+
+/// Subscript producers the LoadArrayVars fusion accepts: a plain
+/// variable load, or a variable plus a small constant offset. Returns
+/// the packed 16-bit (var, offset) entry, or nullopt.
+std::optional<uint64_t> packed_subscript(const BcInstr& instr) {
+  int64_t offset = 0;
+  if (instr.op == BcOp::LoadVarAddImm) {
+    offset = instr.imm;
+  } else if (instr.op != BcOp::LoadVar) {
+    return std::nullopt;
+  }
+  if (instr.a < 0 || instr.a > 0xff) return std::nullopt;
+  if (offset < -128 || offset > 127) return std::nullopt;
+  return static_cast<uint64_t>(instr.a) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(offset)) << 8);
+}
+
+/// One fusion sweep; true when anything changed. Patterns are matched
+/// left to right so the LoadVarAddImm triples collapse first and the
+/// array fusion then sees them as single subscript producers.
+bool fuse_sweep(BcProgram& program) {
+  std::vector<BcInstr>& code = program.code;
+  bool changed = false;
+  size_t i = 0;
+  while (i < code.size()) {
+    // LoadVar v; PushInt c; AddI|SubI  ->  LoadVarAddImm v, +-c
+    if (i + 2 < code.size() && code[i].op == BcOp::LoadVar &&
+        code[i + 1].op == BcOp::PushInt &&
+        (code[i + 2].op == BcOp::AddI || code[i + 2].op == BcOp::SubI) &&
+        !jump_lands_inside(code, i, 3)) {
+      BcInstr fused{BcOp::LoadVarAddImm, code[i].a, 0, 0, 0};
+      fused.imm = code[i + 2].op == BcOp::AddI ? code[i + 1].imm
+                                               : bc_wrap_neg(code[i + 1].imm);
+      splice(program, i, 3, fused);
+      changed = true;
+      continue;
+    }
+    // CmpXxI; JumpIfFalse t  ->  CmpXxIJf t
+    if (i + 1 < code.size() && code[i + 1].op == BcOp::JumpIfFalse &&
+        !jump_lands_inside(code, i, 2)) {
+      if (auto branch = fused_compare_branch(code[i].op)) {
+        splice(program, i, 2, BcInstr{*branch, code[i + 1].a, 0, 0, 0});
+        changed = true;
+        continue;
+      }
+    }
+    // rank x (LoadVar | LoadVarAddImm); LoadArray  ->  LoadArrayVars
+    if (code[i].op == BcOp::LoadArrayI || code[i].op == BcOp::LoadArrayD) {
+      size_t rank = static_cast<size_t>(code[i].b);
+      if (rank >= 1 && rank <= 4 && i >= rank &&
+          !jump_lands_inside(code, i - rank, rank + 1)) {
+        uint64_t packed = 0;
+        bool fusable = true;
+        for (size_t d = 0; d < rank && fusable; ++d) {
+          auto entry = packed_subscript(code[i - rank + d]);
+          if (entry)
+            packed |= *entry << (16 * d);
+          else
+            fusable = false;
+        }
+        if (fusable) {
+          BcInstr fused{code[i].op == BcOp::LoadArrayI ? BcOp::LoadArrayVarsI
+                                                       : BcOp::LoadArrayVarsD,
+                        code[i].a, code[i].b, 0, 0};
+          fused.imm = static_cast<int64_t>(packed);
+          splice(program, i - rank, rank + 1, fused);
+          i -= rank;
+          changed = true;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+  return changed;
+}
+
 }  // namespace
 
 size_t fold_constants(BcProgram& program) {
@@ -495,19 +622,22 @@ size_t fold_constants(BcProgram& program) {
   return before - program.code.size();
 }
 
+size_t fuse_superinstructions(BcProgram& program) {
+  size_t before = program.code.size();
+  while (fuse_sweep(program)) {
+  }
+  return before - program.code.size();
+}
+
 std::string BcProgram::disassemble() const {
+  // Generated from the same X-macro as the enum, so a new opcode cannot
+  // silently disassemble under the wrong name.
   static const char* const names[] = {
-      "PushInt",   "PushReal",  "LoadVar",   "LoadScalarI", "LoadScalarD",
-      "LoadArrayI", "LoadArrayD", "IntToReal", "AddI",       "SubI",
-      "MulI",      "DivI",      "ModI",      "NegI",        "AddD",
-      "SubD",      "MulD",      "DivD",      "NegD",        "CmpEqI",
-      "CmpNeI",    "CmpLtI",    "CmpLeI",    "CmpGtI",      "CmpGeI",
-      "CmpEqD",    "CmpNeD",    "CmpLtD",    "CmpLeD",      "CmpGtD",
-      "CmpGeD",    "NotB",      "JumpIfFalse", "Jump",      "AbsI",
-      "AbsD",      "MinI",      "MaxI",      "MinD",        "MaxD",
-      "Sqrt",      "Sin",       "Cos",       "Exp",         "Ln",
-      "FloorD",    "CeilD",     "Halt",
+#define PS_BC_NAME(name) #name,
+      PS_BC_OPCODES(PS_BC_NAME)
+#undef PS_BC_NAME
   };
+  static_assert(sizeof(names) / sizeof(names[0]) == kBcOpCount);
   std::ostringstream os;
   for (size_t i = 0; i < code.size(); ++i) {
     const BcInstr& instr = code[i];
@@ -522,16 +652,45 @@ std::string BcProgram::disassemble() const {
       case BcOp::LoadVar:
         os << ' ' << var_names[static_cast<size_t>(instr.a)];
         break;
+      case BcOp::LoadVarAddImm:
+        os << ' ' << var_names[static_cast<size_t>(instr.a)];
+        if (instr.imm >= 0) os << '+';
+        os << instr.imm;
+        break;
       case BcOp::LoadScalarI:
       case BcOp::LoadScalarD:
       case BcOp::JumpIfFalse:
       case BcOp::Jump:
+      case BcOp::CmpEqIJf:
+      case BcOp::CmpNeIJf:
+      case BcOp::CmpLtIJf:
+      case BcOp::CmpLeIJf:
+      case BcOp::CmpGtIJf:
+      case BcOp::CmpGeIJf:
         os << ' ' << instr.a;
         break;
       case BcOp::LoadArrayI:
       case BcOp::LoadArrayD:
         os << " slot=" << instr.a << " rank=" << instr.b;
         break;
+      case BcOp::LoadArrayVarsI:
+      case BcOp::LoadArrayVarsD: {
+        os << " slot=" << instr.a << " [";
+        uint64_t packed = static_cast<uint64_t>(instr.imm);
+        for (int32_t d = 0; d < instr.b; ++d) {
+          uint64_t entry = (packed >> (16 * d)) & 0xffff;
+          size_t var = entry & 0xff;
+          int64_t off = static_cast<int8_t>((entry >> 8) & 0xff);
+          if (d) os << ", ";
+          os << var_names[var];
+          if (off != 0) {
+            if (off > 0) os << '+';
+            os << off;
+          }
+        }
+        os << ']';
+        break;
+      }
       default:
         break;
     }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,26 +18,89 @@ namespace ps {
 /// stack code (no runtime tags): integer and real operations are separate
 /// opcodes, conversions are explicit, and scalar/array operands are
 /// pre-resolved to dense slot indices.
+///
+/// The opcode list is an X-macro so the enum, the disassembler's name
+/// table and the direct-threaded dispatch table in eval_core.cpp are
+/// generated from one source and cannot drift apart.
+///
+/// The ops after NotB up to Halt are *superinstructions*: fusions of the
+/// hot pairs/triples the stencil kernels execute per point, produced by
+/// fuse_superinstructions() after constant folding. The expression
+/// compiler never emits them directly.
+#define PS_BC_OPCODES(X)                                                     \
+  X(PushInt)     /* imm */                                                   \
+  X(PushReal)    /* dimm */                                                  \
+  X(LoadVar)     /* a = index into the program's variable-name table */     \
+  X(LoadScalarI) /* a = scalar slot */                                      \
+  X(LoadScalarD)                                                             \
+  X(LoadArrayI)  /* a = array slot, b = rank; pops rank ints, pushes int */ \
+  X(LoadArrayD)  /*                                      ... pushes dbl */  \
+  X(IntToReal)                                                               \
+  X(AddI) X(SubI) X(MulI) X(DivI) X(ModI) X(NegI)                            \
+  X(AddD) X(SubD) X(MulD) X(DivD) X(NegD)                                    \
+  X(CmpEqI) X(CmpNeI) X(CmpLtI) X(CmpLeI) X(CmpGtI) X(CmpGeI)                \
+  X(CmpEqD) X(CmpNeD) X(CmpLtD) X(CmpLeD) X(CmpGtD) X(CmpGeD)                \
+  X(NotB)                                                                    \
+  X(JumpIfFalse) /* a = absolute target pc; pops condition */               \
+  X(Jump)        /* a = absolute target pc */                               \
+  X(AbsI) X(AbsD) X(MinI) X(MaxI) X(MinD) X(MaxD)                            \
+  X(Sqrt) X(Sin) X(Cos) X(Exp) X(Ln) X(FloorD) X(CeilD)                      \
+  /* -- superinstructions (emitted by fuse_superinstructions only) -- */    \
+  X(LoadVarAddImm)  /* a = var index, imm = wrapping addend */              \
+  X(LoadArrayVarsI) /* a = slot, b = rank<=4, imm = packed (var,off) */     \
+  X(LoadArrayVarsD)                                                          \
+  X(CmpEqIJf) /* pops 2 ints; a = target pc taken when NOT equal */         \
+  X(CmpNeIJf) X(CmpLtIJf) X(CmpLeIJf) X(CmpGtIJf) X(CmpGeIJf)                \
+  X(Halt)
+
 enum class BcOp : uint8_t {
-  PushInt,    // imm
-  PushReal,   // dimm
-  LoadVar,    // a = index into the program's variable-name table
-  LoadScalarI,  // a = scalar slot
-  LoadScalarD,
-  LoadArrayI,  // a = array slot, b = rank; pops rank ints, pushes int
-  LoadArrayD,  //                                      ... pushes double
-  IntToReal,
-  AddI, SubI, MulI, DivI, ModI, NegI,
-  AddD, SubD, MulD, DivD, NegD,
-  CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
-  CmpEqD, CmpNeD, CmpLtD, CmpLeD, CmpGtD, CmpGeD,
-  NotB,
-  JumpIfFalse,  // a = absolute target pc; pops condition
-  Jump,         // a = absolute target pc
-  AbsI, AbsD, MinI, MaxI, MinD, MaxD,
-  Sqrt, Sin, Cos, Exp, Ln, FloorD, CeilD,
-  Halt,
+#define PS_BC_ENUMERATOR(name) name,
+  PS_BC_OPCODES(PS_BC_ENUMERATOR)
+#undef PS_BC_ENUMERATOR
 };
+
+/// Number of opcodes (sizes the direct-threaded dispatch table).
+inline constexpr size_t kBcOpCount = static_cast<size_t>(BcOp::Halt) + 1;
+
+/// Wrapping two's-complement arithmetic helpers. Signed overflow is UB
+/// in C++, so both the VM's integer ops and the constant folder compute
+/// through uint64_t: folded and unfolded programs stay bit-identical
+/// even on INT64 extremes.
+constexpr int64_t bc_wrap_add(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+constexpr int64_t bc_wrap_sub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+constexpr int64_t bc_wrap_mul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+constexpr int64_t bc_wrap_neg(int64_t a) {
+  return static_cast<int64_t>(0u - static_cast<uint64_t>(a));
+}
+
+/// True when `d` converts to int64_t without UB: finite and inside
+/// [-2^63, 2^63). NaN fails both comparisons.
+constexpr bool bc_double_fits_int64(double d) {
+  return d >= -9223372036854775808.0 && d < 9223372036854775808.0;
+}
+
+/// Defined double -> int64 conversion for the `floor`/`ceil`
+/// intrinsics: saturates out-of-range values, maps NaN to 0. A raw
+/// static_cast is UB outside the representable range (and x86 vs ARM
+/// hardware disagree), which would break the engines' bit-exactness
+/// contract; every evaluator (bytecode VM and tree walk) converts
+/// through this helper so they agree on every platform.
+constexpr int64_t bc_double_to_int64(double d) {
+  if (!(d == d)) return 0;  // NaN
+  if (!bc_double_fits_int64(d))
+    return d < 0.0 ? std::numeric_limits<int64_t>::min()
+                   : std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(d);
+}
 
 struct BcInstr {
   BcOp op;
@@ -81,8 +145,11 @@ struct BcLayout {
 /// subtrees collapse -- `1 + 2 * 3` becomes `PushInt 7`). Jump targets
 /// are remapped; spans that a jump lands inside are left alone. The
 /// folded value is computed with exactly the operation the VM would
-/// execute, so results are bit-identical. `div`/`mod` by a constant zero
-/// is not folded (the runtime error is preserved).
+/// execute (wrapping integer arithmetic included), so results are
+/// bit-identical. `div`/`mod` by a constant zero is not folded (the
+/// runtime error is preserved), and `floor`/`ceil` of a double outside
+/// the int64 range stays an instruction rather than folding through an
+/// undefined conversion.
 ///
 /// EvalCore::compile applies this to every equation program -- the
 /// ROADMAP's "constant-fold subscript programs": fixed LHS subscripts
@@ -92,5 +159,22 @@ struct BcLayout {
 ///
 /// Returns the number of instructions eliminated.
 size_t fold_constants(BcProgram& program);
+
+/// Peephole superinstruction fusion, run by EvalCore::compile after
+/// fold_constants. Replaces the stencil-kernel hot sequences with single
+/// fused opcodes (jump targets remapped exactly like the folder's
+/// splice; spans a jump lands inside are left alone):
+///
+///   LoadVar v; PushInt c; AddI|SubI          ->  LoadVarAddImm v, +-c
+///   CmpXxI; JumpIfFalse t                    ->  CmpXxIJf t
+///   <rank x LoadVar|LoadVarAddImm>; LoadArray ->  LoadArrayVars
+///
+/// The array fusion packs up to 4 (var index, signed 8-bit offset)
+/// pairs into the 64-bit immediate, so a full stencil read like
+/// `g[K-1, I, J-1]` costs one dispatch instead of four. Fused integer
+/// arithmetic wraps, matching the plain VM ops bit for bit.
+///
+/// Returns the number of instructions eliminated.
+size_t fuse_superinstructions(BcProgram& program);
 
 }  // namespace ps

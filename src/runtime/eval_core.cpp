@@ -1,7 +1,21 @@
 #include "runtime/eval_core.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+// PS_BYTECODE_THREADED is the build-level toggle (CMake option of the
+// same name); the computed-goto dispatcher additionally needs the
+// GNU address-of-label extension, so other compilers silently keep the
+// portable switch loop for both dispatch requests.
+#ifndef PS_BYTECODE_THREADED
+#define PS_BYTECODE_THREADED 1
+#endif
+#if PS_BYTECODE_THREADED && (defined(__GNUC__) || defined(__clang__))
+#define PS_BC_HAVE_THREADED 1
+#else
+#define PS_BC_HAVE_THREADED 0
+#endif
 
 namespace ps {
 
@@ -13,6 +27,10 @@ namespace {
 
 }  // namespace
 
+bool EvalCore::threaded_dispatch_available() {
+  return PS_BC_HAVE_THREADED != 0;
+}
+
 void EvalCore::compile(const CheckedModule& module) {
   module_ = &module;
   layout_ = BcLayout::for_module(module);
@@ -20,19 +38,28 @@ void EvalCore::compile(const CheckedModule& module) {
   scalar_i_.assign(static_cast<size_t>(layout_.scalar_count), 0);
   scalar_d_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
 
+  total_instructions_ = 0;
+  folded_instructions_ = 0;
+  fused_instructions_ = 0;
+  auto optimise = [&](BcProgram& program) {
+    folded_instructions_ += fold_constants(program);
+    fused_instructions_ += fuse_superinstructions(program);
+    total_instructions_ += program.code.size();
+  };
+
   programs_.clear();
   programs_.reserve(module.equations.size());
   for (const CheckedEquation& eq : module.equations) {
     EquationPrograms programs;
     programs.rhs = compile_expr(*eq.rhs, module, layout_);
-    fold_constants(programs.rhs);
+    optimise(programs.rhs);
     for (const LhsSubscript& sub : eq.lhs_subs) {
       if (sub.is_index_var) {
         programs.lhs_fixed.push_back(nullptr);
       } else {
         auto fixed = std::make_unique<BcProgram>(
             compile_expr(*sub.fixed, module, layout_));
-        fold_constants(*fixed);
+        optimise(*fixed);
         programs.lhs_fixed.push_back(std::move(fixed));
       }
     }
@@ -78,197 +105,122 @@ bool EvalCore::scalar_referenced(size_t data_index) const {
   return false;
 }
 
-bool EvalCore::within_run_limits() const {
-  for (const EquationPrograms& programs : programs_) {
-    if (programs.rhs.var_names.size() > kMaxVars) return false;
-    for (const auto& lhs : programs.lhs_fixed)
-      if (lhs != nullptr && lhs->var_names.size() > kMaxVars) return false;
-  }
-  return true;
-}
-
 EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
-  thread_local std::vector<EvalSlot> stack;
-  thread_local std::vector<int64_t> idx;
-  stack.clear();
-  if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);
-
-  int64_t vars[kMaxVars];
-  if (p.var_names.size() > kMaxVars)
-    fail("loop nest deeper than the bytecode engine supports");
-  for (size_t v = 0; v < p.var_names.size(); ++v) {
+  // Small-buffer-optimised variable frame: typical nests resolve into
+  // a stack array, arbitrarily deep nests spill to thread-local
+  // scratch. There is no depth limit any more -- the old fixed
+  // `vars[8]` made run() hard-fail (and the wavefront runner silently
+  // tree-walk) on deep loop nests.
+  constexpr size_t kInlineVars = 8;
+  int64_t inline_vars[kInlineVars];
+  int64_t* vars = inline_vars;
+  const size_t var_count = p.var_names.size();
+  if (var_count > kInlineVars) {
+    thread_local std::vector<int64_t> deep_vars;
+    if (deep_vars.size() < var_count) deep_vars.resize(var_count);
+    vars = deep_vars.data();
+  }
+  for (size_t v = 0; v < var_count; ++v) {
     const int64_t* value = frame.find(p.var_names[v]);
     if (value == nullptr)
       fail("unbound index variable '" + p.var_names[v] + "'");
     vars[v] = *value;
   }
 
-  auto push_i = [&](int64_t v) {
-    EvalSlot s;
-    s.i = v;
-    stack.push_back(s);
-  };
-  auto push_d = [&](double v) {
-    EvalSlot s;
-    s.d = v;
-    stack.push_back(s);
-  };
-  auto pop = [&]() {
-    EvalSlot s = stack.back();
-    stack.pop_back();
-    return s;
-  };
-
-  size_t pc = 0;
-  while (true) {
-    const BcInstr& instr = p.code[pc];
-    switch (instr.op) {
-      case BcOp::PushInt: push_i(instr.imm); break;
-      case BcOp::PushReal: push_d(instr.dimm); break;
-      case BcOp::LoadVar: push_i(vars[static_cast<size_t>(instr.a)]); break;
-      case BcOp::LoadScalarI:
-        push_i(scalar_i_[static_cast<size_t>(instr.a)]);
-        break;
-      case BcOp::LoadScalarD:
-        push_d(scalar_d_[static_cast<size_t>(instr.a)]);
-        break;
-      case BcOp::LoadArrayI:
-      case BcOp::LoadArrayD: {
-        size_t rank = static_cast<size_t>(instr.b);
-        idx.resize(rank);
-        for (size_t d = rank; d-- > 0;) idx[d] = pop().i;
-        NdArray* arr = array_table_[static_cast<size_t>(instr.a)];
-        if (!arr->in_bounds(idx)) fail("read outside array bounds");
-        double v = arr->at(idx);
-        if (instr.op == BcOp::LoadArrayD)
-          push_d(v);
-        else
-          push_i(static_cast<int64_t>(v));
-        break;
-      }
-      case BcOp::IntToReal: {
-        EvalSlot s = pop();
-        push_d(static_cast<double>(s.i));
-        break;
-      }
-#define PS_BIN_I(OP, EXPR)     \
-  case BcOp::OP: {             \
-    int64_t rhs = pop().i;     \
-    int64_t lhs = pop().i;     \
-    push_i(EXPR);              \
-    break;                     \
-  }
-#define PS_BIN_D(OP, EXPR)     \
-  case BcOp::OP: {             \
-    double rhs = pop().d;      \
-    double lhs = pop().d;      \
-    push_d(EXPR);              \
-    break;                     \
-  }
-#define PS_CMP_D(OP, EXPR)     \
-  case BcOp::OP: {             \
-    double rhs = pop().d;      \
-    double lhs = pop().d;      \
-    push_i(EXPR);              \
-    break;                     \
-  }
-      PS_BIN_I(AddI, lhs + rhs)
-      PS_BIN_I(SubI, lhs - rhs)
-      PS_BIN_I(MulI, lhs * rhs)
-      case BcOp::DivI: {
-        int64_t rhs = pop().i;
-        int64_t lhs = pop().i;
-        if (rhs == 0) fail("'div' by zero");
-        push_i(lhs / rhs);
-        break;
-      }
-      case BcOp::ModI: {
-        int64_t rhs = pop().i;
-        int64_t lhs = pop().i;
-        if (rhs == 0) fail("'mod' by zero");
-        push_i(lhs % rhs);
-        break;
-      }
-      case BcOp::NegI: stack.back().i = -stack.back().i; break;
-      PS_BIN_D(AddD, lhs + rhs)
-      PS_BIN_D(SubD, lhs - rhs)
-      PS_BIN_D(MulD, lhs * rhs)
-      PS_BIN_D(DivD, lhs / rhs)
-      case BcOp::NegD: stack.back().d = -stack.back().d; break;
-      PS_BIN_I(CmpEqI, lhs == rhs ? 1 : 0)
-      PS_BIN_I(CmpNeI, lhs != rhs ? 1 : 0)
-      PS_BIN_I(CmpLtI, lhs < rhs ? 1 : 0)
-      PS_BIN_I(CmpLeI, lhs <= rhs ? 1 : 0)
-      PS_BIN_I(CmpGtI, lhs > rhs ? 1 : 0)
-      PS_BIN_I(CmpGeI, lhs >= rhs ? 1 : 0)
-      PS_CMP_D(CmpEqD, lhs == rhs ? 1 : 0)
-      PS_CMP_D(CmpNeD, lhs != rhs ? 1 : 0)
-      PS_CMP_D(CmpLtD, lhs < rhs ? 1 : 0)
-      PS_CMP_D(CmpLeD, lhs <= rhs ? 1 : 0)
-      PS_CMP_D(CmpGtD, lhs > rhs ? 1 : 0)
-      PS_CMP_D(CmpGeD, lhs >= rhs ? 1 : 0)
-#undef PS_BIN_I
-#undef PS_BIN_D
-#undef PS_CMP_D
-      case BcOp::NotB:
-        stack.back().i = stack.back().i == 0 ? 1 : 0;
-        break;
-      case BcOp::JumpIfFalse: {
-        int64_t cond = pop().i;
-        if (cond == 0) {
-          pc = static_cast<size_t>(instr.a);
-          continue;
-        }
-        break;
-      }
-      case BcOp::Jump:
-        pc = static_cast<size_t>(instr.a);
-        continue;
-      case BcOp::AbsI:
-        stack.back().i = stack.back().i < 0 ? -stack.back().i : stack.back().i;
-        break;
-      case BcOp::AbsD: stack.back().d = std::fabs(stack.back().d); break;
-      case BcOp::MinI: {
-        int64_t rhs = pop().i;
-        stack.back().i = std::min(stack.back().i, rhs);
-        break;
-      }
-      case BcOp::MaxI: {
-        int64_t rhs = pop().i;
-        stack.back().i = std::max(stack.back().i, rhs);
-        break;
-      }
-      case BcOp::MinD: {
-        double rhs = pop().d;
-        stack.back().d = std::min(stack.back().d, rhs);
-        break;
-      }
-      case BcOp::MaxD: {
-        double rhs = pop().d;
-        stack.back().d = std::max(stack.back().d, rhs);
-        break;
-      }
-      case BcOp::Sqrt: stack.back().d = std::sqrt(stack.back().d); break;
-      case BcOp::Sin: stack.back().d = std::sin(stack.back().d); break;
-      case BcOp::Cos: stack.back().d = std::cos(stack.back().d); break;
-      case BcOp::Exp: stack.back().d = std::exp(stack.back().d); break;
-      case BcOp::Ln: stack.back().d = std::log(stack.back().d); break;
-      case BcOp::FloorD: {
-        double v = pop().d;
-        push_i(static_cast<int64_t>(std::floor(v)));
-        break;
-      }
-      case BcOp::CeilD: {
-        double v = pop().d;
-        push_i(static_cast<int64_t>(std::ceil(v)));
-        break;
-      }
-      case BcOp::Halt:
-        return stack.back();
-    }
-    ++pc;
-  }
+#if PS_BC_HAVE_THREADED
+  if (dispatch_ == BcDispatch::Threaded) return exec_threaded(p, vars);
+#endif
+  return exec_switch(p, vars);
 }
+
+// Shared prologue of the two dispatch loops: the evaluation stack and
+// subscript scratch (thread-local, so a shared core stays safe under
+// the pools), the push/pop helpers and the instruction pointer.
+#define PS_EXEC_PROLOGUE()                                                  \
+  thread_local std::vector<EvalSlot> stack;                                 \
+  thread_local std::vector<int64_t> idx;                                    \
+  stack.clear();                                                            \
+  if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);   \
+  auto push_i = [&](int64_t v) {                                            \
+    EvalSlot s;                                                             \
+    s.i = v;                                                                \
+    stack.push_back(s);                                                     \
+  };                                                                        \
+  auto push_d = [&](double v) {                                             \
+    EvalSlot s;                                                             \
+    s.d = v;                                                                \
+    stack.push_back(s);                                                     \
+  };                                                                        \
+  auto pop = [&]() {                                                        \
+    EvalSlot s = stack.back();                                              \
+    stack.pop_back();                                                       \
+    return s;                                                               \
+  };                                                                        \
+  const BcInstr* const base = p.code.data();                                \
+  const BcInstr* ip = base;
+
+/// Portable reference dispatcher: a switch in a loop. Kept under every
+/// compiler and cross-checked bit-exactly against the threaded loop.
+EvalSlot EvalCore::exec_switch(const BcProgram& p, const int64_t* vars) const {
+  PS_EXEC_PROLOGUE()
+#define PS_OP(name) case BcOp::name:
+#define PS_NEXT()       \
+  {                     \
+    ++ip;               \
+    break;              \
+  }
+#define PS_GOTO(target)      \
+  {                          \
+    ip = base + (target);    \
+    break;                   \
+  }
+  for (;;) {
+    switch (ip->op) {
+#include "runtime/eval_loop.inc"  // NOLINT(bugprone-suspicious-include)
+    }
+  }
+#undef PS_OP
+#undef PS_NEXT
+#undef PS_GOTO
+}
+
+/// Direct-threaded dispatcher: each handler ends by jumping straight to
+/// the next instruction's handler through a computed-goto table, so the
+/// branch predictor sees one indirect branch per *handler* rather than
+/// the single shared dispatch branch of the switch loop.
+EvalSlot EvalCore::exec_threaded(const BcProgram& p,
+                                 const int64_t* vars) const {
+#if PS_BC_HAVE_THREADED
+  // In enum order, generated from the same X-macro as BcOp.
+  static const void* const kDispatch[] = {
+#define PS_BC_LABEL(name) &&handle_##name,
+      PS_BC_OPCODES(PS_BC_LABEL)
+#undef PS_BC_LABEL
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == kBcOpCount);
+  PS_EXEC_PROLOGUE()
+#define PS_OP(name) handle_##name:
+#define PS_NEXT()                                       \
+  {                                                     \
+    ++ip;                                               \
+    goto* kDispatch[static_cast<size_t>(ip->op)];       \
+  }
+#define PS_GOTO(target)                                 \
+  {                                                     \
+    ip = base + (target);                               \
+    goto* kDispatch[static_cast<size_t>(ip->op)];       \
+  }
+  goto* kDispatch[static_cast<size_t>(ip->op)];
+#include "runtime/eval_loop.inc"  // NOLINT(bugprone-suspicious-include)
+#undef PS_OP
+#undef PS_NEXT
+#undef PS_GOTO
+#else
+  return exec_switch(p, vars);
+#endif
+}
+
+#undef PS_EXEC_PROLOGUE
 
 double EvalCore::eval_rhs_real(const CheckedEquation& eq,
                                const VarFrame& frame) const {

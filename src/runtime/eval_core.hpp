@@ -23,6 +23,17 @@ enum class EvalEngine {
   TreeWalk,
 };
 
+/// How the bytecode VM dispatches opcodes. Threaded is the default hot
+/// path (computed-goto table under GCC/Clang when the build enables
+/// PS_BYTECODE_THREADED); Switch is the portable `switch`-in-`while`
+/// loop, kept both as the fallback for other compilers and as a
+/// differential reference -- the tests cross-check the two bit-exactly.
+/// Requesting Threaded where it is not compiled in runs Switch.
+enum class BcDispatch {
+  Threaded,
+  Switch,
+};
+
 /// Loop-index bindings of one equation instance. The binding order is
 /// the enclosing loop order; lookups scan linearly (nests are shallow).
 struct VarFrame {
@@ -83,15 +94,21 @@ class EvalCore {
   /// `data_index` (used to decide whether an unbound input matters).
   [[nodiscard]] bool scalar_referenced(size_t data_index) const;
 
-  /// run() resolves at most this many index variables per program.
-  static constexpr size_t kMaxVars = 8;
+  /// Select the VM dispatch strategy for subsequent run() calls. The
+  /// default (Threaded) is the fastest available loop; Switch forces
+  /// the portable reference dispatcher.
+  void set_dispatch(BcDispatch dispatch) { dispatch_ = dispatch; }
+  [[nodiscard]] BcDispatch dispatch() const { return dispatch_; }
 
-  /// True when every compiled program stays within run()'s fixed
-  /// limits; callers with a fallback evaluator should check this before
-  /// committing to the bytecode path (run() throws otherwise).
-  [[nodiscard]] bool within_run_limits() const;
+  /// True when this build carries the computed-goto dispatcher (GCC or
+  /// Clang with the PS_BYTECODE_THREADED CMake toggle on). When false,
+  /// BcDispatch::Threaded silently executes the switch loop.
+  [[nodiscard]] static bool threaded_dispatch_available();
 
   /// Execute one compiled program against the frame's index bindings.
+  /// Programs may bind any number of index variables: frames up to 8
+  /// variables live on the VM stack frame, deeper nests spill to a
+  /// thread-local scratch buffer.
   [[nodiscard]] EvalSlot run(const BcProgram& program,
                              const VarFrame& frame) const;
 
@@ -113,13 +130,34 @@ class EvalCore {
   [[nodiscard]] const BcLayout& layout() const { return layout_; }
   [[nodiscard]] bool compiled() const { return module_ != nullptr; }
 
+  /// Compile-time statistics over all programs of the module (after
+  /// folding and fusion), for `psc --verbose` and the tests.
+  [[nodiscard]] size_t total_instructions() const {
+    return total_instructions_;
+  }
+  [[nodiscard]] size_t folded_instructions() const {
+    return folded_instructions_;
+  }
+  [[nodiscard]] size_t fused_instructions() const {
+    return fused_instructions_;
+  }
+
  private:
+  [[nodiscard]] EvalSlot exec_switch(const BcProgram& program,
+                                     const int64_t* vars) const;
+  [[nodiscard]] EvalSlot exec_threaded(const BcProgram& program,
+                                       const int64_t* vars) const;
+
   const CheckedModule* module_ = nullptr;
   BcLayout layout_;
   std::vector<EquationPrograms> programs_;   // by equation index
   std::vector<NdArray*> array_table_;        // by array slot
   std::vector<int64_t> scalar_i_;            // by scalar slot
   std::vector<double> scalar_d_;
+  BcDispatch dispatch_ = BcDispatch::Threaded;
+  size_t total_instructions_ = 0;
+  size_t folded_instructions_ = 0;
+  size_t fused_instructions_ = 0;
 };
 
 }  // namespace ps

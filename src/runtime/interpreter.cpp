@@ -78,6 +78,7 @@ Interpreter::Interpreter(const CheckedModule& module, const DepGraph& graph,
 
 void Interpreter::compile_programs() {
   core_.compile(module_);
+  core_.set_dispatch(options_.dispatch);
   core_.bind_arrays(arrays_);
   for (size_t i = 0; i < module_.data.size(); ++i) {
     auto sc = scalars_.find(module_.data[i].name);
@@ -527,10 +528,12 @@ Interpreter::RtValue Interpreter::eval(const Expr& e, const Frame& frame) {
       if (c.callee == "cos") return RtValue::of_real(std::cos(arg(0).as_real()));
       if (c.callee == "exp") return RtValue::of_real(std::exp(arg(0).as_real()));
       if (c.callee == "ln") return RtValue::of_real(std::log(arg(0).as_real()));
+      // Through the same defined conversion as the bytecode VM, so the
+      // engines agree even on NaN/out-of-range arguments.
       if (c.callee == "floor")
-        return RtValue::of_int(static_cast<int64_t>(std::floor(arg(0).as_real())));
+        return RtValue::of_int(bc_double_to_int64(std::floor(arg(0).as_real())));
       if (c.callee == "ceil")
-        return RtValue::of_int(static_cast<int64_t>(std::ceil(arg(0).as_real())));
+        return RtValue::of_int(bc_double_to_int64(std::ceil(arg(0).as_real())));
       fail("unknown intrinsic '" + c.callee + "'");
     }
   }

@@ -22,6 +22,10 @@ struct InterpreterOptions {
   /// sequentially.
   ThreadPool* pool = nullptr;
   EvalEngine engine = EvalEngine::Bytecode;
+  /// Bytecode VM dispatch strategy (Threaded = computed goto where the
+  /// build carries it, Switch = the portable reference loop; the two
+  /// are differentially tested bit-exact).
+  BcDispatch dispatch = BcDispatch::Threaded;
   /// Collapse perfectly nested DOALL loops into one flat parallel range
   /// (exposes hyperplane-slab parallelism); disabled by the ablation
   /// bench.

@@ -321,24 +321,28 @@ WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
                                     std::move(win)));
   }
 
-  if (options_.engine == EvalEngine::Bytecode) setup_bytecode();
+  if (options_.engine == EvalEngine::Bytecode) {
+    setup_bytecode();
+  } else {
+    fallback_reason_ = "tree-walk engine requested";
+    stats_.fallback_reason = fallback_reason_;
+  }
 }
 
 void WavefrontRunner::setup_bytecode() {
   // Compile every equation once against the module-wide slot layout.
-  // Modules outside the bytecode fragment (record fields, loop nests
-  // deeper than the engine's variable limit) keep the tree-walk
-  // reference evaluator instead of failing.
+  // The VM frame sizes itself to the loop nest, so there is no depth
+  // limit any more; modules genuinely outside the bytecode fragment
+  // (record fields) keep the tree-walk reference evaluator instead of
+  // failing -- and the reason is recorded rather than swallowed.
   try {
     core_.compile(module_);
-  } catch (const std::exception&) {
+  } catch (const std::exception& error) {
+    fallback_reason_ = error.what();
+    stats_.fallback_reason = fallback_reason_;
     return;
   }
-  // compile() accepts loop nests of any depth, but run() resolves at
-  // most kMaxVars index variables; commit to the bytecode path only if
-  // every program fits (else the first point would throw mid-run
-  // instead of falling back).
-  if (!core_.within_run_limits()) return;
+  core_.set_dispatch(options_.dispatch);
   core_.bind_arrays(arrays_);
   for (size_t i = 0; i < module_.data.size(); ++i) {
     const DataItem& item = module_.data[i];
@@ -352,6 +356,10 @@ void WavefrontRunner::setup_bytecode() {
       // The tree-walk evaluator reports unbound names lazily, and only
       // when a taken branch actually reads them; preserve that by
       // leaving the slow path in charge of this module.
+      fallback_reason_ =
+          "scalar input '" + item.name + "' is unbound (tree-walk resolves "
+          "names lazily; the bytecode engine would need a value up front)";
+      stats_.fallback_reason = fallback_reason_;
       return;
     }
   }
@@ -378,7 +386,11 @@ size_t WavefrontRunner::allocated_doubles() const {
 
 void WavefrontRunner::eval_equation_instance(
     const CheckedEquation& eq, const std::vector<int64_t>& loop_vals) {
-  VarFrame frame;
+  // Reused per worker: a fresh VarFrame would heap-allocate on every
+  // wavefront point, which costs more than the stencil arithmetic once
+  // the RHS itself is fused superinstructions.
+  thread_local VarFrame frame;
+  frame.vars.clear();
   frame.vars.reserve(eq.loop_dims.size());
   for (size_t d = 0; d < eq.loop_dims.size(); ++d)
     frame.vars.emplace_back(eq.loop_dims[d].var, loop_vals[d]);
@@ -511,7 +523,8 @@ void WavefrontRunner::execute_hyperplane(int64_t t) {
   stats_.points += count;
 
   auto run_point = [&](int64_t p) {
-    std::vector<int64_t> vals(n);
+    thread_local std::vector<int64_t> vals;
+    vals.resize(n);
     vals[0] = t;
     for (size_t d = 1; d < n; ++d)
       vals[d] = points[static_cast<size_t>(p) * (n - 1) + d - 1];
@@ -548,6 +561,7 @@ void WavefrontRunner::flush_bucket(int64_t t) {
 
 void WavefrontRunner::run() {
   stats_ = {};
+  stats_.fallback_reason = fallback_reason_;
   buckets_.clear();
   execute_pre_equations();
   build_consumer_buckets();

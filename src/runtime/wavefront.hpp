@@ -25,17 +25,25 @@ struct WavefrontOptions {
   /// backward K' offset -- 3 for the paper's relaxation).
   int64_t window = 0;
   /// Expression evaluator for recurrence points, rotate-ins and consumer
-  /// flushes. Bytecode is the default hot path; the runner silently
-  /// falls back to the tree-walk reference when a module uses constructs
-  /// the bytecode compiler does not cover (see `engine()` for the one in
-  /// effect).
+  /// flushes. Bytecode is the default hot path; the runner falls back to
+  /// the tree-walk reference only when a module uses constructs the
+  /// bytecode compiler genuinely does not cover (record fields, lazily
+  /// unbound scalars) -- and records why in WavefrontStats so the
+  /// fallback is observable (`engine()` reports the evaluator in
+  /// effect, `fallback_reason()` the cause).
   EvalEngine engine = EvalEngine::Bytecode;
+  /// Bytecode VM dispatch strategy (Threaded = computed goto where
+  /// compiled in, Switch = the portable reference loop).
+  BcDispatch dispatch = BcDispatch::Threaded;
 };
 
 struct WavefrontStats {
   int64_t hyperplanes = 0;  // outer time steps executed
   int64_t points = 0;       // recurrence points evaluated
   int64_t flushed = 0;      // consumer equation instances written
+  /// Why the runner is on the tree-walk evaluator; empty on the
+  /// bytecode engine. Set at construction, preserved across run()s.
+  std::string fallback_reason;
 };
 
 /// Executes a hyperplane-transformed module (the output of
@@ -97,6 +105,12 @@ class WavefrontRunner {
     return use_bytecode_ ? EvalEngine::Bytecode : EvalEngine::TreeWalk;
   }
 
+  /// Why the tree-walk evaluator is in effect (empty on bytecode).
+  /// Also recorded in stats() so batch reports can surface it.
+  [[nodiscard]] const std::string& fallback_reason() const {
+    return fallback_reason_;
+  }
+
  private:
   struct ConsumerInstance {
     size_t equation = 0;             // index into module.equations
@@ -132,6 +146,7 @@ class WavefrontRunner {
   /// Bytecode engine is selected and the module fits the fragment).
   EvalCore core_;
   bool use_bytecode_ = false;
+  std::string fallback_reason_;
 };
 
 }  // namespace ps

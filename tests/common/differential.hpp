@@ -68,15 +68,20 @@ inline void fill_interpreter_inputs(Interpreter& interp,
   }
 }
 
-/// Run the flowchart interpreter with the given evaluator engine.
+/// Run the flowchart interpreter with the given evaluator engine (and,
+/// for the bytecode engine, the given VM dispatch strategy -- threaded
+/// vs portable switch, which must agree bit-exactly).
 /// `outputs_only` restricts collection to Output items (the surface the
 /// generated C exposes); otherwise locals are compared too.
 inline EngineOutputs run_interpreter(const CompiledModule& stage,
                                      const DiffCase& test_case,
                                      EvalEngine engine,
-                                     bool outputs_only = false) {
+                                     bool outputs_only = false,
+                                     BcDispatch dispatch =
+                                         BcDispatch::Threaded) {
   InterpreterOptions options;
   options.engine = engine;
+  options.dispatch = dispatch;
   Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
                      test_case.int_inputs, test_case.real_inputs, options);
   fill_interpreter_inputs(interp, *stage.module);
@@ -296,6 +301,77 @@ inline std::optional<EngineOutputs> run_generated_c(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Input fuzzing: random IntEnv shapes as module inputs
+// ---------------------------------------------------------------------------
+
+/// Deterministic 64-bit PRNG (splitmix64) -- no <random> engine, so the
+/// fuzzed shapes are identical across platforms and standard libraries.
+struct FuzzRng {
+  uint64_t state;
+
+  explicit FuzzRng(uint64_t seed) : state(seed) {}
+
+  uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi].
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+/// Derive `count` variants of `base` with every integer input replaced
+/// by a random value in [2, 9]: big enough that no subrange collapses
+/// empty, small enough that a full engine sweep per variant stays
+/// cheap. Real inputs are left alone (shapes are integer-typed).
+inline std::vector<DiffCase> fuzz_int_env_cases(const DiffCase& base,
+                                                size_t count,
+                                                uint64_t seed) {
+  FuzzRng rng(seed);
+  std::vector<DiffCase> cases;
+  cases.reserve(count);
+  for (size_t variant = 0; variant < count; ++variant) {
+    DiffCase fuzzed = base;
+    fuzzed.name = base.name + "_fuzz" + std::to_string(variant);
+    for (auto& [name, value] : fuzzed.int_inputs) value = rng.range(2, 9);
+    cases.push_back(std::move(fuzzed));
+  }
+  return cases;
+}
+
+/// Run one fuzzed module shape through the tree-walk reference and the
+/// bytecode engine under BOTH dispatch strategies (direct-threaded and
+/// portable switch) and assert every non-input value agrees bit for
+/// bit, on the primary module and -- when the hyperplane transform
+/// applies -- on the rewritten module too.
+inline void expect_engines_agree_on_case(const DiffCase& test_case) {
+  CompileOptions options = test_case.options;
+  options.apply_hyperplane = true;
+  auto result = compile_or_die(test_case.source, options);
+
+  std::vector<const CompiledModule*> stages{result.primary.operator->()};
+  if (result.transformed) stages.push_back(result.transformed.operator->());
+  for (const CompiledModule* stage : stages) {
+    const std::string label = test_case.name + "/" + stage->module->name;
+    auto tree = run_interpreter(*stage, test_case, EvalEngine::TreeWalk);
+    auto threaded =
+        run_interpreter(*stage, test_case, EvalEngine::Bytecode,
+                        /*outputs_only=*/false, BcDispatch::Threaded);
+    auto switched =
+        run_interpreter(*stage, test_case, EvalEngine::Bytecode,
+                        /*outputs_only=*/false, BcDispatch::Switch);
+    expect_bitwise_equal(tree, threaded, label + "/threaded");
+    expect_bitwise_equal(tree, switched, label + "/switch");
+  }
+}
+
 /// The wavefront cross-check as a reusable fixture: compile with the
 /// hyperplane + exact-bounds pipeline and, when the module transforms,
 /// run the WavefrontRunner under both evaluators and compare all
@@ -316,6 +392,11 @@ inline bool expect_wavefront_engines_agree(const DiffCase& test_case) {
   WavefrontRunner bytecode(*result.transformed->module, *result.transform,
                            *result.exact_nest, test_case.int_inputs,
                            test_case.real_inputs);
+  // No silent capability cliff: every module the harness feeds through
+  // here must actually run on the requested bytecode engine (the
+  // fallback records its reason precisely so this can be asserted).
+  EXPECT_EQ(bytecode.engine(), EvalEngine::Bytecode)
+      << test_case.name << " fell back: " << bytecode.fallback_reason();
   for (auto* runner : {&reference, &bytecode}) {
     for (const DataItem& item : result.transformed->module->data) {
       if (item.cls != DataClass::Input || item.is_scalar()) continue;

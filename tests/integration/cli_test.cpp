@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,13 +28,19 @@ struct CliResult {
 };
 
 CliResult run_psc(const std::string& args, const char* source) {
+  // Unique per process and per invocation: ctest runs the CLI tests in
+  // parallel out of one TempDir, and a shared fixed file name lets one
+  // test clobber another's input mid-run.
+  static int invocation = 0;
+  std::string tag = std::to_string(getpid()) + "_" +
+                    std::to_string(invocation++);
   std::string dir = ::testing::TempDir();
-  std::string input = dir + "/cli_input.ps";
+  std::string input = dir + "/cli_input_" + tag + ".ps";
   {
     std::ofstream f(input);
     f << source;
   }
-  std::string out_file = dir + "/cli_out.txt";
+  std::string out_file = dir + "/cli_out_" + tag + ".txt";
   std::string cmd =
       psc_binary() + " " + args + " " + input + " > " + out_file + " 2>&1";
   int rc = std::system(cmd.c_str());
@@ -283,6 +291,34 @@ TEST(Cli, TimePassesPrintsPerStageTiming) {
   EXPECT_NE(r.out.find("Time (ms)"), std::string::npos);
   EXPECT_NE(r.out.find("Hyperplane"), std::string::npos);
   EXPECT_NE(r.out.find("total"), std::string::npos);
+}
+
+TEST(Cli, VerboseReportsTheRuntimeEngine) {
+  CliResult r = run_psc("--verbose --exact", kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  // One report per stage: the primary module and the transformed one.
+  EXPECT_NE(r.out.find("bytecode engine [Relaxation]: ok:"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("bytecode engine [Relaxation_h]: ok:"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("fused into superinstructions"), std::string::npos);
+  EXPECT_NE(r.out.find("dispatch="), std::string::npos);
+}
+
+TEST(Cli, VerboseReportsTreeWalkFallbacks) {
+  // Record fields are outside the bytecode fragment; --verbose must say
+  // so instead of leaving the fallback silent.
+  CliResult r = run_psc("--verbose", R"(
+M: module (p: Particle; n: int): [y: array[I] of real];
+type
+  I = 0 .. n;  Particle = record m: real; v: real; end;
+define
+  y[I] = p.m + p.v;
+end M;
+)");
+  if (r.exit_code != 0) GTEST_SKIP() << "records rejected upstream";
+  EXPECT_NE(r.out.find("tree-walk fallback"), std::string::npos) << r.out;
 }
 
 }  // namespace

@@ -179,6 +179,21 @@ TEST_P(Differential, WavefrontEnginesAgree) {
     GTEST_SKIP() << test_case.name << " has no hyperplane transform";
 }
 
+/// Input fuzzing (ROADMAP item): random IntEnv shapes as module inputs,
+/// each fuzzed shape run through the tree walk and the bytecode engine
+/// under both dispatch strategies (direct-threaded and portable
+/// switch), asserting bit-exact agreement on every non-input value.
+TEST_P(Differential, FuzzedIntEnvShapesAgreeAcrossEngines) {
+  DiffCase base = GetParam();
+  uint64_t seed = 0x9e3779b9;
+  for (char c : base.name) seed = seed * 131 + static_cast<uint64_t>(c);
+  for (const DiffCase& fuzzed :
+       testutil::fuzz_int_env_cases(base, /*count=*/4, seed)) {
+    testutil::expect_engines_agree_on_case(fuzzed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Corpus, Differential, ::testing::ValuesIn(differential_corpus()),
     [](const ::testing::TestParamInfo<DiffCase>& info) {

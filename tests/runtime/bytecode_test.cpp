@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "../common/test_util.hpp"
 #include "driver/paper_modules.hpp"
@@ -333,6 +335,275 @@ end M;
   EXPECT_NE(raw.disassemble().find("MulI"), std::string::npos)
       << raw.disassemble();
   EXPECT_GT(raw.code.size(), core.programs(1).rhs.code.size());
+}
+
+// ---------------------------------------------------------------------------
+// Wrapping integer folds (folded and unfolded programs must stay
+// bit-identical even on INT64 extremes -- the fold used to evaluate
+// with raw signed arithmetic, UB exactly where the VM wraps).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+
+/// Build `PushInt lhs; PushInt rhs; op; Halt`, fold a copy, run both
+/// through the VM and require identical results.
+void expect_fold_matches_vm(BcOp op, int64_t lhs, int64_t rhs) {
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::PushInt, 0, lhs));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, rhs));
+  program.code.push_back(make_instr(op, 0));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 2;
+
+  BcProgram folded = program;
+  ASSERT_EQ(fold_constants(folded), 2u);
+  ASSERT_EQ(folded.code.size(), 2u);
+  EXPECT_EQ(folded.code[0].op, BcOp::PushInt);
+
+  EvalCore core;
+  EXPECT_EQ(core.run(program, VarFrame{}).i, core.run(folded, VarFrame{}).i)
+      << "op " << static_cast<int>(op) << " on " << lhs << ", " << rhs;
+}
+
+TEST(BytecodeFold, IntExtremesFoldExactlyLikeTheVm) {
+  expect_fold_matches_vm(BcOp::AddI, kI64Max, 1);
+  expect_fold_matches_vm(BcOp::AddI, kI64Min, -1);
+  expect_fold_matches_vm(BcOp::SubI, kI64Min, 1);
+  expect_fold_matches_vm(BcOp::SubI, kI64Max, -1);
+  expect_fold_matches_vm(BcOp::MulI, kI64Max, 2);
+  expect_fold_matches_vm(BcOp::MulI, kI64Min, -1);
+  expect_fold_matches_vm(BcOp::MulI, kI64Max, kI64Max);
+}
+
+TEST(BytecodeFold, NegateAndAbsWrapOnInt64Min) {
+  for (BcOp op : {BcOp::NegI, BcOp::AbsI}) {
+    BcProgram program;
+    program.code.push_back(make_instr(BcOp::PushInt, 0, kI64Min));
+    program.code.push_back(make_instr(op, 0));
+    program.code.push_back(make_instr(BcOp::Halt));
+    program.max_stack = 1;
+    BcProgram folded = program;
+    ASSERT_EQ(fold_constants(folded), 1u);
+    EvalCore core;
+    // Two's-complement wrap: both negate and abs of INT64_MIN stay
+    // INT64_MIN, in the folder and in the VM alike.
+    EXPECT_EQ(core.run(folded, VarFrame{}).i, kI64Min);
+    EXPECT_EQ(core.run(program, VarFrame{}).i, kI64Min);
+  }
+}
+
+TEST(BytecodeFold, DivModOfInt64MinByMinusOneAreNotFolded) {
+  // The one case integer division overflows; the folder leaves it to
+  // the VM, which defines it as a wrapping negate (mod: zero).
+  for (BcOp op : {BcOp::DivI, BcOp::ModI}) {
+    BcProgram program;
+    program.code.push_back(make_instr(BcOp::PushInt, 0, kI64Min));
+    program.code.push_back(make_instr(BcOp::PushInt, 0, -1));
+    program.code.push_back(make_instr(op, 0));
+    program.code.push_back(make_instr(BcOp::Halt));
+    program.max_stack = 2;
+    EXPECT_EQ(fold_constants(program), 0u);
+    EvalCore core;
+    EXPECT_EQ(core.run(program, VarFrame{}).i,
+              op == BcOp::DivI ? kI64Min : 0);
+  }
+}
+
+TEST(BytecodeFold, FloorCeilOutsideInt64StayUnfolded) {
+  // A raw double -> int64 cast of NaN or out-of-range values is UB; the
+  // fold must not evaluate it at compile time. At run time the VM
+  // converts through bc_double_to_int64 (saturating, NaN -> 0), the
+  // same defined conversion the tree walk uses. In-range values fold.
+  EvalCore core;
+  for (double v : {std::nan(""), 1e300, -1e300, 9.3e18, -9.3e18}) {
+    for (BcOp op : {BcOp::FloorD, BcOp::CeilD}) {
+      BcProgram program;
+      program.code.push_back(make_instr(BcOp::PushReal, 0, 0, v));
+      program.code.push_back(make_instr(op, 0));
+      program.code.push_back(make_instr(BcOp::Halt));
+      program.max_stack = 1;
+      EXPECT_EQ(fold_constants(program), 0u) << v;
+      EXPECT_EQ(program.code[1].op, op) << v;
+      int64_t expect = v != v ? 0 : (v < 0 ? kI64Min : kI64Max);
+      EXPECT_EQ(core.run(program, VarFrame{}).i, expect) << v;
+    }
+  }
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::PushReal, 0, 0, 2.5));
+  program.code.push_back(make_instr(BcOp::CeilD, 0));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 1;
+  EXPECT_EQ(fold_constants(program), 1u);
+  EXPECT_EQ(program.code[0].op, BcOp::PushInt);
+  EXPECT_EQ(program.code[0].imm, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion (applied by EvalCore::compile after folding).
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeFuse, StencilSubscriptsFuseToLoadArrayVars) {
+  // x[I - 1] compiles as LoadVar I; PushInt 1; SubI; LoadArrayD: four
+  // dispatches. Fusion first collapses the index arithmetic into
+  // LoadVarAddImm, then folds the whole subscript chain into a single
+  // LoadArrayVars superinstruction.
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n;
+define
+  y[I] = if I = 0 then x[I] else x[I - 1] + x[I + 1];
+end M;
+)");
+  EvalCore core;
+  core.compile(*result.primary->module);
+  std::string dis = core.programs(0).rhs.disassemble();
+  EXPECT_NE(dis.find("LoadArrayVarsD"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("[I-1]"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("[I+1]"), std::string::npos) << dis;
+  // The boundary guard's compare feeds straight into the branch.
+  EXPECT_NE(dis.find("CmpEqIJf"), std::string::npos) << dis;
+  // Nothing of the unfused sequences survives.
+  EXPECT_EQ(dis.find("SubI"), std::string::npos) << dis;
+  EXPECT_EQ(dis.find("JumpIfFalse"), std::string::npos) << dis;
+  EXPECT_GT(core.fused_instructions(), 0u);
+}
+
+TEST(BytecodeFuse, GaussSeidelRecurrenceShrinksSubstantially) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram raw = compile_expr(*module.equations[2].rhs, module, layout);
+  BcProgram fused = compile_expr(*module.equations[2].rhs, module, layout);
+  fold_constants(fused);
+  size_t removed = fuse_superinstructions(fused);
+  // Each of the four 3-subscript stencil reads alone fuses 4+ instrs
+  // into one; require a sizeable overall reduction.
+  EXPECT_GE(removed, 12u) << fused.disassemble();
+  EXPECT_LT(fused.code.size(), raw.code.size() - removed + 2);
+  // The fused program still evaluates the same (engine agreement over
+  // the whole module is covered by the differential tests).
+  std::string dis = fused.disassemble();
+  EXPECT_NE(dis.find("LoadArrayVarsD"), std::string::npos) << dis;
+}
+
+TEST(BytecodeFuse, SpansAJumpLandsInsideAreNotFused) {
+  // A jump targeting the PushInt inside LoadVar;PushInt;AddI must keep
+  // the triple unfused (fusing would delete the jump target).
+  BcProgram program;
+  program.var_names.push_back("I");
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 1));
+  program.code.push_back(make_instr(BcOp::JumpIfFalse, 3));
+  program.code.push_back(make_instr(BcOp::LoadVar, 0));
+  program.code.push_back(make_instr(BcOp::PushInt, 0, 5));
+  program.code.push_back(make_instr(BcOp::AddI));
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 2;
+  BcProgram copy = program;
+  // The JumpIfFalse's own pair (PushInt cond; JumpIfFalse) is not an
+  // int compare, so only the LoadVar triple is a candidate -- and it
+  // must be skipped.
+  EXPECT_EQ(fuse_superinstructions(copy), 0u);
+}
+
+TEST(BytecodeFuse, FusedBranchTargetsAreRemappedAcrossSplices) {
+  // if I = 0 then 1 else (2 + I): the compare+branch fuses and every
+  // jump target must survive the shrinking program. Execute both
+  // versions at I = 0 and I = 7 and compare.
+  auto result = compile_or_die(R"(
+M: module (k: int): [a: array[I] of int];
+type I = 0 .. k;
+define
+  a[I] = if I = 0 then 1 else 2 + I;
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  BcLayout layout = BcLayout::for_module(module);
+  BcProgram raw = compile_expr(*module.equations[0].rhs, module, layout);
+  BcProgram fused = raw;
+  fold_constants(fused);
+  EXPECT_GT(fuse_superinstructions(fused), 0u);
+  EvalCore core;
+  for (int64_t i : {0, 7}) {
+    VarFrame frame;
+    frame.vars.emplace_back("I", i);
+    EXPECT_EQ(core.run(raw, frame).i, core.run(fused, frame).i) << i;
+  }
+}
+
+TEST(BytecodeFuse, WholeCorpusFusionIsIdempotentAndNeverGrows) {
+  for (const PaperModule& paper : paper_corpus()) {
+    auto result = compile_or_die(paper.source);
+    const CheckedModule& module = *result.primary->module;
+    BcLayout layout = BcLayout::for_module(module);
+    for (const CheckedEquation& eq : module.equations) {
+      BcProgram program = compile_expr(*eq.rhs, module, layout);
+      fold_constants(program);
+      size_t before = program.code.size();
+      size_t removed = fuse_superinstructions(program);
+      EXPECT_EQ(program.code.size(), before - removed) << paper.name;
+      EXPECT_EQ(fuse_superinstructions(program), 0u) << paper.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unbounded variable frames and the two dispatch strategies.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDeepNestSource = R"(
+Deep: module (x: array[A,B,C,D,E,F,G,H,P] of real; n: int):
+  [y: array[A,B,C,D,E,F,G,H,P] of real];
+type A, B, C, D, E, F, G, H, P = 0 .. n;
+define
+  y[A,B,C,D,E,F,G,H,P] = x[A,B,C,D,E,F,G,H,P] * 2.0
+                         + x[A,B,C,D,E,F,G,H,0];
+end Deep;
+)";
+
+TEST(Bytecode, DeepLoopNestsRunOnTheBytecodeEngine) {
+  // Nine index variables: beyond the old fixed vars[8] frame, which
+  // made run() throw and the wavefront runner silently tree-walk.
+  auto result = compile_or_die(kDeepNestSource);
+  const CheckedModule& module = *result.primary->module;
+  EvalCore core;
+  core.compile(module);
+  EXPECT_GT(core.programs(0).rhs.var_names.size(), 8u);
+  expect_engines_agree(kDeepNestSource, IntEnv{{"n", 1}});
+}
+
+TEST(Bytecode, ThreadedAndSwitchDispatchAgreeBitExactly) {
+  // The computed-goto loop and the portable switch loop must execute
+  // identical operation sequences; compare every value they produce on
+  // the corpus stencil (deeper coverage in the differential fuzz).
+  auto result = compile_or_die(kGaussSeidelSource);
+  const CompiledModule& stage = *result.primary;
+  IntEnv params{{"M", 6}, {"maxK", 5}};
+  auto run_with = [&](BcDispatch dispatch) {
+    InterpreterOptions options;
+    options.dispatch = dispatch;
+    Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
+                       params);
+    auto span = interp.array("InitialA").raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = std::cos(static_cast<double>(i) * 0.17) * 2.0;
+    interp.run();
+    auto out = interp.array("newA").raw();
+    return std::vector<double>(out.begin(), out.end());
+  };
+  auto threaded = run_with(BcDispatch::Threaded);
+  auto switched = run_with(BcDispatch::Switch);
+  ASSERT_EQ(threaded.size(), switched.size());
+  for (size_t i = 0; i < threaded.size(); ++i)
+    EXPECT_EQ(threaded[i], switched[i]) << i;
+}
+
+TEST(Bytecode, ThreadedAvailabilityMatchesTheBuildToggle) {
+#if PS_BYTECODE_THREADED && (defined(__GNUC__) || defined(__clang__))
+  EXPECT_TRUE(EvalCore::threaded_dispatch_available());
+#else
+  EXPECT_FALSE(EvalCore::threaded_dispatch_available());
+#endif
 }
 
 TEST(Bytecode, CollapseAblationAgrees) {

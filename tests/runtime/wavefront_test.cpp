@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "../common/test_util.hpp"
 #include "driver/paper_modules.hpp"
@@ -331,6 +333,69 @@ TEST(WavefrontEngine, TreeWalkCanBeForced) {
                          *result.exact_nest, IntEnv{{"M", 4}, {"maxK", 3}},
                          {}, options);
   EXPECT_EQ(runner.engine(), EvalEngine::TreeWalk);
+  // The forced fallback is observable, not silent.
+  EXPECT_EQ(runner.fallback_reason(), "tree-walk engine requested");
+}
+
+TEST(WavefrontEngine, BytecodePathReportsNoFallback) {
+  auto result = compile_exact_gs();
+  const int64_t m = 4;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest, IntEnv{{"M", m}, {"maxK", 3}});
+  EXPECT_EQ(runner.engine(), EvalEngine::Bytecode);
+  EXPECT_TRUE(runner.fallback_reason().empty()) << runner.fallback_reason();
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  // stats() carries the (empty) reason so batch reports can surface it.
+  EXPECT_TRUE(runner.stats().fallback_reason.empty());
+}
+
+TEST(WavefrontEngine, UnboundScalarFallbackRecordsItsReason) {
+  // heat1d reads the real parameter r inside the live stencil arm; the
+  // tree walk resolves names lazily, so when r is not bound the runner
+  // must fall back -- and say why, instead of silently degrading.
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(kHeat1dSource, options);
+  ASSERT_TRUE(result.transformed.has_value());
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"N", 6}, {"steps", 4}});  // r not bound
+  EXPECT_EQ(runner.engine(), EvalEngine::TreeWalk);
+  EXPECT_NE(runner.fallback_reason().find("'r' is unbound"),
+            std::string::npos)
+      << runner.fallback_reason();
+  // And with r bound, the same module runs on bytecode.
+  WavefrontRunner bound(*result.transformed->module, *result.transform,
+                        *result.exact_nest, IntEnv{{"N", 6}, {"steps", 4}},
+                        {{"r", 0.2}});
+  EXPECT_EQ(bound.engine(), EvalEngine::Bytecode);
+}
+
+TEST(WavefrontEngine, EveryTransformablePaperModuleRunsOnBytecode) {
+  // The acceptance bar for the unbounded-var VM: no paper-corpus module
+  // may fall back to the tree walk for var-count (or any other) reason.
+  for (const PaperModule& paper : paper_corpus()) {
+    CompileOptions options;
+    options.apply_hyperplane = true;
+    options.exact_bounds = true;
+    auto result = compile_or_die(paper.source, options);
+    if (!result.transformed || !result.exact_nest) continue;
+    std::map<std::string, double> reals;
+    IntEnv ints;
+    for (const DataItem& item : result.transformed->module->data) {
+      if (!item.is_scalar() || item.cls != DataClass::Input) continue;
+      if (item.elem->scalar_kind() == TypeKind::Real)
+        reals[item.name] = 0.25;
+      else
+        ints[item.name] = 4;
+    }
+    WavefrontRunner runner(*result.transformed->module, *result.transform,
+                           *result.exact_nest, ints, reals);
+    EXPECT_EQ(runner.engine(), EvalEngine::Bytecode)
+        << paper.name << " fell back: " << runner.fallback_reason();
+  }
 }
 
 /// Bit-exact cross-check of the two evaluators on the paper's relaxation
