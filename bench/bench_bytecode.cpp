@@ -124,6 +124,54 @@ void BM_Superinstructions(benchmark::State& state) {
 }
 BENCHMARK(BM_Superinstructions)->Arg(0)->Arg(1);
 
+// arg 0: windowed-addressing strength reduction in the fused array
+// reads (0 = reduced: fused bounds check + offset, wrap modulo hoisted
+// because window == extent; 1 = generic in_bounds + offset with the
+// per-dimension wrap test). The fixture's arrays are fully allocated,
+// so the gap is exactly what hoisting the modulo buys per stencil read.
+void BM_ArrayAddressing(benchmark::State& state) {
+  StencilFixture& f = fixture();
+  f.core.set_reduced_addressing(state.range(0) == 0);
+  const BcProgram& rhs = f.core.programs(2).rhs;
+  VarFrame frame = f.interior_frame();
+  for (auto _ : state) {
+    ps::EvalSlot slot = f.core.run(rhs, frame);
+    benchmark::DoNotOptimize(slot.d);
+  }
+  f.core.set_reduced_addressing(true);
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArrayAddressing)->Arg(0)->Arg(1);
+
+// arg 0: scalar quickening (0 = quickened: bound input scalars
+// rewritten to immediates and re-folded/re-fused, 1 = plain slot
+// loads). Uses a private core so the other fixtures keep the
+// unquickened programs.
+void BM_QuickenedScalars(benchmark::State& state) {
+  StencilFixture& f = fixture();
+  const ps::CheckedModule& module = *f.compiled.primary->module;
+  EvalCore core;
+  core.compile(module);
+  core.bind_arrays(f.arrays);
+  ps::IntEnv params{{"M", 64}, {"maxK", 8}};
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    auto it = params.find(module.data[i].name);
+    if (it != params.end())
+      core.set_scalar(i, it->second, static_cast<double>(it->second));
+  }
+  if (state.range(0) == 0) core.quicken_scalars();
+  const BcProgram& rhs = core.programs(2).rhs;
+  VarFrame frame = f.interior_frame();
+  for (auto _ : state) {
+    ps::EvalSlot slot = core.run(rhs, frame);
+    benchmark::DoNotOptimize(slot.d);
+  }
+  state.counters["evals_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QuickenedScalars)->Arg(0)->Arg(1);
+
 // A 12-variable frame: resolves through the thread-local spill buffer
 // (the inline frame holds 8), the path that replaced the old hard
 // kMaxVars limit and its silent tree-walk fallback.

@@ -1,0 +1,166 @@
+// Compile-service throughput: the warm-cache incremental story in
+// numbers. BM_ServiceCorpus/cold runs the whole replicated paper
+// corpus through the pass pipeline (cache disabled); /warm serves the
+// identical batch from a pre-populated artifact cache. The acceptance
+// bar for the service is >= 10x warm-over-cold on the unchanged
+// corpus; both modules/sec counters feed the CI regression gate
+// (BENCH_service.json).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "driver/paper_modules.hpp"
+#include "service/compile_service.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+std::vector<ps::BatchInput> corpus_batch(size_t copies) {
+  std::vector<ps::BatchInput> inputs;
+  inputs.reserve(copies * ps::paper_corpus().size());
+  for (size_t c = 0; c < copies; ++c)
+    for (const ps::PaperModule& module : ps::paper_corpus())
+      inputs.push_back({std::string(module.name) + "#" + std::to_string(c),
+                        module.source, false});
+  return inputs;
+}
+
+std::string bench_cache_dir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("psc_bench_" + std::string(tag) + "_" +
+                     std::to_string(getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Cold path: every unit goes through the whole pass pipeline on a warm
+/// session (cache off isolates pipeline cost, not disk cost).
+void BM_ServiceCorpusCold(benchmark::State& state) {
+  const std::vector<ps::BatchInput> inputs = corpus_batch(8);
+  ps::ServiceOptions options;
+  options.jobs = 1;
+  ps::CompileService service(options);
+  ps::ServiceRequest request;
+  request.units = inputs;
+  size_t compiled = 0;
+  for (auto _ : state) {
+    ps::ServiceResponse response = service.compile(request);
+    benchmark::DoNotOptimize(response.units.data());
+    if (response.units.size() != inputs.size()) {
+      state.SkipWithError("service compile failed");
+      return;
+    }
+    compiled += response.units.size();
+  }
+  state.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(compiled), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceCorpusCold)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Warm path: the identical batch served entirely from the disk cache
+/// (key hashing + artifact decode; the pipeline never runs). The ratio
+/// to the cold run is the incremental-recompilation win.
+void BM_ServiceCorpusWarm(benchmark::State& state) {
+  const std::vector<ps::BatchInput> inputs = corpus_batch(8);
+  ps::ServiceOptions options;
+  options.jobs = 1;
+  options.cache_dir = bench_cache_dir("warm");
+  ps::CompileService service(options);
+  ps::ServiceRequest request;
+  request.units = inputs;
+  // Populate once; every timed iteration is then all hits.
+  ps::ServiceResponse seed = service.compile(request);
+  if (seed.cache_misses != inputs.size()) {
+    state.SkipWithError("cache seed failed");
+    return;
+  }
+  size_t served = 0;
+  for (auto _ : state) {
+    ps::ServiceResponse response = service.compile(request);
+    benchmark::DoNotOptimize(response.units.data());
+    if (response.cache_hits != inputs.size()) {
+      state.SkipWithError("expected all hits");
+      return;
+    }
+    served += response.units.size();
+  }
+  state.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(options.cache_dir);
+}
+BENCHMARK(BM_ServiceCorpusWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// One incremental edit in a sea of unchanged units: the steady-state
+/// developer loop (recompile after touching one file).
+void BM_ServiceIncrementalEdit(benchmark::State& state) {
+  const std::vector<ps::BatchInput> inputs = corpus_batch(8);
+  ps::ServiceOptions options;
+  options.jobs = 1;
+  options.cache_dir = bench_cache_dir("edit");
+  ps::CompileService service(options);
+  ps::ServiceRequest request;
+  request.units = inputs;
+  (void)service.compile(request);
+  size_t generation = 0;
+  size_t served = 0;
+  for (auto _ : state) {
+    // A fresh edit each iteration so the edited unit is never cached.
+    request.units[0].source =
+        std::string(inputs[0].source) + "\n" +
+        std::string(++generation, '\n');
+    ps::ServiceResponse response = service.compile(request);
+    benchmark::DoNotOptimize(response.units.data());
+    if (response.cache_misses != 1) {
+      state.SkipWithError("expected exactly one recompile");
+      return;
+    }
+    served += response.units.size();
+  }
+  state.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(options.cache_dir);
+}
+BENCHMARK(BM_ServiceIncrementalEdit)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The wire cost of one daemon round trip payload: encode + decode of a
+/// full corpus reply (what --client pays over the in-process service).
+void BM_ServiceReplyCodec(benchmark::State& state) {
+  const std::vector<ps::BatchInput> inputs = corpus_batch(1);
+  ps::CompileService service;
+  ps::ServiceRequest request;
+  request.units = inputs;
+  ps::ServiceResponse response = service.compile(request);
+  ps::RemoteReply reply;
+  for (const ps::ServiceUnit& unit : response.units) {
+    ps::RemoteUnitResult remote;
+    remote.name = unit.name;
+    remote.artifact = *unit.artifact;
+    reply.units.push_back(std::move(remote));
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string encoded = ps::encode_compile_reply(reply);
+    bytes += encoded.size();
+    ps::RemoteReply decoded = ps::decode_compile_reply(encoded);
+    benchmark::DoNotOptimize(decoded.units.data());
+  }
+  state.counters["bytes_per_s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceReplyCodec)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

@@ -86,10 +86,18 @@ def main():
     # Absolute timings only mean something on comparable hardware. When
     # the recording machine differs from this one (different core
     # count), regressions are reported but do not fail the gate -- the
-    # baseline needs re-recording on this runner class instead.
-    base_cpus = baseline_report.get("context", {}).get("num_cpus")
-    cur_cpus = current_report.get("context", {}).get("num_cpus")
+    # baseline needs re-recording on this runner class instead. Always
+    # report both runner classes per bench file so CI logs show at a
+    # glance which baselines are armed and which need re-recording.
+    base_ctx = baseline_report.get("context", {})
+    cur_ctx = current_report.get("context", {})
+    base_cpus = base_ctx.get("num_cpus")
+    cur_cpus = cur_ctx.get("num_cpus")
     comparable = base_cpus == cur_cpus or args.force_absolute
+    print(f"{args.baseline}: baseline runner class "
+          f"num_cpus={base_cpus} @ {base_ctx.get('mhz_per_cpu', '?')} MHz; "
+          f"current num_cpus={cur_cpus} @ {cur_ctx.get('mhz_per_cpu', '?')} "
+          f"MHz -- gate {'ARMED' if comparable else 'advisory only'}")
     if not comparable:
         print(f"warning: baseline hardware (num_cpus={base_cpus}) differs "
               f"from this machine (num_cpus={cur_cpus}); regressions are "

@@ -11,6 +11,12 @@
 
 namespace ps {
 
+/// Compiler version string. Part of every artifact-cache key: bump it
+/// whenever a pass, the emitter or the diagnostics renderer changes
+/// observable output, and every previously cached artifact silently
+/// becomes a miss (never a stale hit).
+inline constexpr const char kPscVersion[] = "psc-4.0";
+
 /// End-to-end compilation options.
 struct CompileOptions {
   /// Run the loop-fusion pass on the flowchart (the paper's conclusion

@@ -24,10 +24,31 @@
 //     --json            with --batch-report: emit the report as JSON
 //     --corpus          compile the built-in paper corpus as a batch
 //
+//   Compile service (incremental recompilation and the warm daemon):
+//     --cache-dir DIR   content-hash artifact cache: unchanged units are
+//                       served from DIR instead of recompiling
+//     --cache-max-bytes N  evict least-recently-used artifacts over N bytes
+//     --spill-after N   batches over N units spill per-unit artifacts to
+//                       the cache directory instead of holding them all
+//                       in memory (needs --cache-dir)
+//     --daemon[=SOCK]   run the warm compile daemon on a unix socket
+//                       (foreground; SIGINT/SIGTERM or --stop-daemon stop it)
+//     --client[=SOCK]   send this compile to the daemon; falls back to
+//                       in-process compilation when no daemon is up
+//     --stop-daemon[=SOCK]  ask the daemon to shut down gracefully
+//
 // With more than one input the driver routes everything through the
 // BatchDriver: per-unit output and diagnostics are identical to the
 // corresponding single-file runs at any -j, printed in input order with
-// a "== name ==" separator.
+// a "== name ==" separator. The cached, daemon and in-process paths all
+// print byte-identical artifacts for the supported output flags
+// (--source, --schedule, --c); structural dumps (--graph, --dot,
+// --components), --passes, --time-passes and --batch-report always
+// compile in-process. On the service paths --verbose reports cache /
+// daemon statistics on stderr instead of the per-module engine
+// reports (those need a live CompileResult).
+
+#include <csignal>
 
 #include <cerrno>
 #include <cstdlib>
@@ -41,6 +62,8 @@
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
 #include "runtime/eval_core.hpp"
+#include "service/compile_service.hpp"
+#include "service/daemon.hpp"
 #include "support/text_table.hpp"
 
 namespace {
@@ -157,6 +180,48 @@ bool parse_jobs(const std::string& text, size_t& jobs) {
   return true;
 }
 
+/// Parse a non-negative size flag value (--cache-max-bytes, --spill-after).
+bool parse_size(const std::string& text, size_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = static_cast<size_t>(value);
+  return true;
+}
+
+// The signal handler needs a target; one foreground daemon per process.
+ps::Daemon* g_daemon = nullptr;
+
+void stop_daemon_on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+/// One unit's client-facing text, whichever path produced it.
+struct RenderedUnit {
+  std::string name;
+  bool ok = false;
+  std::string diagnostics;
+  std::string body;
+};
+
+/// Print rendered units exactly like the in-process paths: diagnostics
+/// merged in input order on stderr, bodies in input order on stdout
+/// (with the batch separator when in batch shape). Returns the exit
+/// code.
+int print_rendered_units(const std::vector<RenderedUnit>& units, bool batch) {
+  for (const RenderedUnit& unit : units)
+    if (!unit.diagnostics.empty()) std::cerr << unit.diagnostics;
+  bool all_ok = true;
+  for (const RenderedUnit& unit : units) {
+    if (batch) std::cout << "== " << unit.name << " ==\n";
+    std::cout << unit.body;
+    if (!unit.ok) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,6 +232,13 @@ int main(int argc, char** argv) {
   bool batch_report = false;
   bool json = false;
   bool corpus = false;
+  bool daemon_mode = false;
+  bool client_mode = false;
+  bool stop_daemon = false;
+  std::string socket_path;  // empty = default_daemon_socket()
+  std::string cache_dir;
+  size_t cache_max_bytes = 0;
+  size_t spill_after = 0;
   size_t jobs = 1;
   std::vector<std::string> paths;
 
@@ -192,6 +264,43 @@ int main(int argc, char** argv) {
     else if (arg == "--batch-report") batch_report = true;
     else if (arg == "--json") json = true;
     else if (arg == "--corpus") corpus = true;
+    else if (arg == "--daemon") daemon_mode = true;
+    else if (arg.rfind("--daemon=", 0) == 0) {
+      daemon_mode = true;
+      socket_path = arg.substr(9);
+    }
+    else if (arg == "--client") client_mode = true;
+    else if (arg.rfind("--client=", 0) == 0) {
+      client_mode = true;
+      socket_path = arg.substr(9);
+    }
+    else if (arg == "--stop-daemon") stop_daemon = true;
+    else if (arg.rfind("--stop-daemon=", 0) == 0) {
+      stop_daemon = true;
+      socket_path = arg.substr(14);
+    }
+    else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "psc: --cache-dir needs a directory\n";
+        return 2;
+      }
+      cache_dir = argv[++i];
+    }
+    else if (arg.rfind("--cache-dir=", 0) == 0) cache_dir = arg.substr(12);
+    else if (arg == "--cache-max-bytes") {
+      if (i + 1 >= argc || !parse_size(argv[i + 1], cache_max_bytes)) {
+        std::cerr << "psc: --cache-max-bytes needs a byte count\n";
+        return 2;
+      }
+      ++i;
+    }
+    else if (arg == "--spill-after") {
+      if (i + 1 >= argc || !parse_size(argv[i + 1], spill_after)) {
+        std::cerr << "psc: --spill-after needs a unit count\n";
+        return 2;
+      }
+      ++i;
+    }
     else if (arg == "-j") {
       if (i + 1 >= argc || !parse_jobs(argv[i + 1], jobs)) {
         std::cerr << "psc: -j needs a worker count (0 = all cores)\n";
@@ -210,6 +319,9 @@ int main(int argc, char** argv) {
                    "--source] [--hyperplane] [--exact] [--merge] "
                    "[--no-windows] [--passes] [--time-passes] [--verbose] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
+                   "[--cache-dir DIR] [--cache-max-bytes N] "
+                   "[--spill-after N] [--daemon[=SOCK]] [--client[=SOCK]] "
+                   "[--stop-daemon[=SOCK]] "
                    "<file.ps|file.eqn|-> [more files...]\n";
       return 0;
     } else {
@@ -222,6 +334,50 @@ int main(int argc, char** argv) {
   if (json && !batch_report) {
     std::cerr << "psc: --json requires --batch-report\n";
     return 2;
+  }
+  if (spill_after > 0 && cache_dir.empty()) {
+    std::cerr << "psc: --spill-after needs --cache-dir (artifacts spill "
+                 "into the cache directory)\n";
+    return 2;
+  }
+
+  if (stop_daemon) {
+    ps::DaemonClient client;
+    std::string sock =
+        socket_path.empty() ? ps::default_daemon_socket() : socket_path;
+    if (!client.connect(sock) || !client.shutdown()) {
+      std::cerr << "psc: no daemon listening on " << sock << '\n';
+      return 1;
+    }
+    std::cerr << "psc: daemon on " << sock << " stopped\n";
+    return 0;
+  }
+
+  if (daemon_mode) {
+    // Foreground warm daemon: the worker pool, hyperplane/interner
+    // caches and the artifact cache live for the whole serve() loop.
+    // Compile options come from each client's request, not from this
+    // command line.
+    ps::DaemonOptions daemon_options;
+    daemon_options.socket_path = socket_path;
+    daemon_options.service.jobs = jobs;
+    daemon_options.service.cache_dir = cache_dir;
+    daemon_options.service.cache_max_bytes = cache_max_bytes;
+    daemon_options.service.spill_after = spill_after;
+    ps::Daemon daemon(daemon_options);
+    if (!daemon.start()) {
+      std::cerr << "psc: " << daemon.error() << '\n';
+      return 1;
+    }
+    g_daemon = &daemon;
+    std::signal(SIGINT, stop_daemon_on_signal);
+    std::signal(SIGTERM, stop_daemon_on_signal);
+    std::cerr << "psc: daemon listening on " << daemon.socket_path() << '\n';
+    daemon.serve();
+    std::cerr << "psc: daemon stopped (" << daemon.service().describe_stats()
+              << ")\n";
+    g_daemon = nullptr;
+    return 0;
   }
 
   if (list_passes) {
@@ -267,6 +423,82 @@ int main(int argc, char** argv) {
       inputs.push_back(ps::BatchInput{module.name, module.source, false});
 
   const bool batch = inputs.size() > 1 || corpus || batch_report;
+
+  // The service path (daemon client or the one-shot disk cache) serves
+  // stored artifacts, which carry the printable output surface: source,
+  // schedule, C. Structural dumps and the report modes re-derive state
+  // from a live CompileResult, so they always compile in-process.
+  const bool service_renderable = !flags.components && !flags.graph &&
+                                  !flags.dot && !list_passes &&
+                                  !time_passes && !batch_report;
+  if ((client_mode || !cache_dir.empty()) && service_renderable) {
+    ps::RenderFlags render_flags;
+    render_flags.source = flags.source;
+    render_flags.schedule = flags.schedule;
+    render_flags.c_code = flags.c_code;
+    ps::ServiceRequest request;
+    request.options = options;
+    request.units = inputs;
+
+    if (client_mode) {
+      ps::DaemonClient client;
+      std::string sock =
+          socket_path.empty() ? ps::default_daemon_socket() : socket_path;
+      if (client.connect(sock)) {
+        std::optional<ps::RemoteReply> reply = client.compile(request);
+        if (reply) {
+          std::vector<RenderedUnit> rendered;
+          rendered.reserve(reply->units.size());
+          for (const ps::RemoteUnitResult& unit : reply->units)
+            rendered.push_back({unit.name, unit.artifact.ok,
+                                unit.artifact.diagnostics,
+                                ps::render_artifact(unit.artifact,
+                                                    render_flags)});
+          if (verbose)
+            std::cerr << "psc: daemon on " << sock << ": "
+                      << reply->cache_hits << " cache hits, "
+                      << reply->cache_misses << " compiled, -j "
+                      << reply->jobs << '\n';
+          return print_rendered_units(rendered, batch);
+        }
+        // Daemon refused (version mismatch) or the connection broke
+        // mid-request: nothing has been printed yet, so compiling
+        // in-process below is safe and gives the user their output.
+        std::cerr << "psc: " << client.error()
+                  << "; compiling in-process\n";
+      } else {
+        // No daemon up: fall through to the in-process service (when a
+        // cache directory was given) or the plain driver below.
+        std::cerr << "psc: no daemon on " << sock
+                  << "; compiling in-process\n";
+      }
+    }
+
+    if (!cache_dir.empty()) {
+      ps::ServiceOptions service_options;
+      service_options.jobs = jobs;
+      service_options.cache_dir = cache_dir;
+      service_options.cache_max_bytes = cache_max_bytes;
+      service_options.spill_after = spill_after;
+      ps::CompileService service(service_options);
+      ps::ServiceResponse response = service.compile(request);
+      std::vector<RenderedUnit> rendered;
+      rendered.reserve(response.units.size());
+      for (const ps::ServiceUnit& unit : response.units) {
+        std::optional<ps::UnitArtifact> artifact = service.artifact(unit);
+        if (!artifact) {
+          std::cerr << "psc: artifact for '" << unit.name
+                    << "' evicted before printing (raise "
+                       "--cache-max-bytes)\n";
+          return 1;
+        }
+        rendered.push_back({unit.name, artifact->ok, artifact->diagnostics,
+                            ps::render_artifact(*artifact, render_flags)});
+      }
+      if (verbose) std::cerr << "psc: " << service.describe_stats() << '\n';
+      return print_rendered_units(rendered, batch);
+    }
+  }
 
   if (!batch) {
     // Single-module path: identical to the historical driver. EQN files

@@ -37,10 +37,12 @@ void EvalCore::compile(const CheckedModule& module) {
   array_table_.assign(static_cast<size_t>(layout_.array_count), nullptr);
   scalar_i_.assign(static_cast<size_t>(layout_.scalar_count), 0);
   scalar_d_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
+  scalar_bound_.assign(static_cast<size_t>(layout_.scalar_count), 0);
 
   total_instructions_ = 0;
   folded_instructions_ = 0;
   fused_instructions_ = 0;
+  quickened_instructions_ = 0;
   auto optimise = [&](BcProgram& program) {
     folded_instructions_ += fold_constants(program);
     fused_instructions_ += fuse_superinstructions(program);
@@ -84,6 +86,56 @@ void EvalCore::set_scalar(size_t data_index, int64_t as_int, double as_real) {
   size_t slot = static_cast<size_t>(layout_.scalar_slot[data_index]);
   scalar_i_[slot] = as_int;
   scalar_d_[slot] = as_real;
+  scalar_bound_[slot] = 1;
+}
+
+size_t EvalCore::quicken_scalars() {
+  if (module_ == nullptr) return 0;
+  // A slot is quickenable when its value is pinned for the whole run:
+  // bound up front and never the target of an equation (the engines
+  // write equation-target scalars mid-run via set_scalar, which must
+  // keep taking effect).
+  std::vector<uint8_t> quickenable(scalar_bound_);
+  for (const CheckedEquation& eq : module_->equations) {
+    int32_t slot = layout_.scalar_slot[eq.target];
+    if (slot >= 0) quickenable[static_cast<size_t>(slot)] = 0;
+  }
+
+  size_t rewritten = 0;
+  total_instructions_ = 0;
+  auto quicken = [&](BcProgram& program) {
+    bool changed = false;
+    for (BcInstr& instr : program.code) {
+      if (instr.op != BcOp::LoadScalarI && instr.op != BcOp::LoadScalarD)
+        continue;
+      size_t slot = static_cast<size_t>(instr.a);
+      if (!quickenable[slot]) continue;
+      if (instr.op == BcOp::LoadScalarI) {
+        instr.op = BcOp::PushInt;
+        instr.imm = scalar_i_[slot];
+      } else {
+        instr.op = BcOp::PushReal;
+        instr.dimm = scalar_d_[slot];
+      }
+      instr.a = 0;
+      ++rewritten;
+      changed = true;
+    }
+    // The new immediates open folding opportunities (e.g. `M + 1` in a
+    // boundary guard) which in turn feed the superinstruction fuser.
+    if (changed) {
+      folded_instructions_ += fold_constants(program);
+      fused_instructions_ += fuse_superinstructions(program);
+    }
+    total_instructions_ += program.code.size();
+  };
+  for (EquationPrograms& programs : programs_) {
+    quicken(programs.rhs);
+    for (auto& lhs : programs.lhs_fixed)
+      if (lhs != nullptr) quicken(*lhs);
+  }
+  quickened_instructions_ += rewritten;
+  return rewritten;
 }
 
 bool EvalCore::scalar_referenced(size_t data_index) const {

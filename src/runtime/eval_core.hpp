@@ -90,6 +90,32 @@ class EvalCore {
   /// No-op for data items without a scalar slot.
   void set_scalar(size_t data_index, int64_t as_int, double as_real);
 
+  /// Quicken scalar loads against bound slots: every LoadScalarI/D
+  /// whose data item can never change during a run (it is not the
+  /// target of any equation) and whose slot was bound via set_scalar
+  /// is rewritten into the equivalent immediate push, and constant
+  /// folding plus superinstruction fusion re-run over the rewritten
+  /// programs. Repeated scalar reads then skip the slot indirection
+  /// entirely, and guards like `I = M+1` collapse to literal compares
+  /// that fold or fuse. The pushed immediates are exactly the bound
+  /// values, so results stay bit-identical to the unquickened program.
+  ///
+  /// Call once, after binding every input scalar. set_scalar on a
+  /// quickened slot no longer affects compiled programs (equation-
+  /// target scalars are never quickened, so the engines' mid-run
+  /// scalar writes keep working), and scalar_referenced() reports the
+  /// post-quickening programs. Returns the number of scalar loads
+  /// rewritten.
+  size_t quicken_scalars();
+
+  /// Toggle the strength-reduced addressing of the fused array reads
+  /// (LoadArrayVars): when on (the default) and an array has no
+  /// windowed dimension, bounds check and offset fuse into one pass
+  /// with no wrap modulo. Off forces the generic path -- the bench's
+  /// ablation axis.
+  void set_reduced_addressing(bool on) { reduce_addressing_ = on; }
+  [[nodiscard]] bool reduced_addressing() const { return reduce_addressing_; }
+
   /// True when some compiled program reads the scalar slot of
   /// `data_index` (used to decide whether an unbound input matters).
   [[nodiscard]] bool scalar_referenced(size_t data_index) const;
@@ -141,6 +167,9 @@ class EvalCore {
   [[nodiscard]] size_t fused_instructions() const {
     return fused_instructions_;
   }
+  [[nodiscard]] size_t quickened_instructions() const {
+    return quickened_instructions_;
+  }
 
  private:
   [[nodiscard]] EvalSlot exec_switch(const BcProgram& program,
@@ -154,10 +183,13 @@ class EvalCore {
   std::vector<NdArray*> array_table_;        // by array slot
   std::vector<int64_t> scalar_i_;            // by scalar slot
   std::vector<double> scalar_d_;
+  std::vector<uint8_t> scalar_bound_;        // by scalar slot (set_scalar)
   BcDispatch dispatch_ = BcDispatch::Threaded;
+  bool reduce_addressing_ = true;
   size_t total_instructions_ = 0;
   size_t folded_instructions_ = 0;
   size_t fused_instructions_ = 0;
+  size_t quickened_instructions_ = 0;
 };
 
 }  // namespace ps

@@ -89,6 +89,9 @@ void Interpreter::compile_programs() {
                          : static_cast<int64_t>(sc->second.as_real()),
                      sc->second.as_real());
   }
+  // Input scalars are pinned for the run; specialise their loads away
+  // (equation-target scalars stay slot reads so write_scalar works).
+  core_.quicken_scalars();
 }
 
 void Interpreter::write_scalar(size_t data_index, RtValue value) {

@@ -48,6 +48,29 @@ class NdArray {
   /// In-bounds check against the logical bounds.
   [[nodiscard]] bool in_bounds(std::span<const int64_t> idx) const;
 
+  /// Strength-reduced addressing for fully allocated arrays: one pass
+  /// over the dimensions fusing the bounds check with the row-major
+  /// offset, with the wrap modulo hoisted out entirely (it can never
+  /// fire when every window equals its extent). Returns false when
+  /// `idx` is outside the logical bounds. Only meaningful when
+  /// !windowed(); a windowed dimension needs offset()'s modulo.
+  [[nodiscard]] bool offset_unwindowed(std::span<const int64_t> idx,
+                                       size_t& off) const {
+    if (idx.size() != lo_.size()) return false;
+    size_t o = 0;
+    for (size_t d = 0; d < lo_.size(); ++d) {
+      // Range-check before subtracting: bytecode subscripts are
+      // arbitrary wrapped int64s, and `idx[d] - lo_[d]` on an extreme
+      // value would signed-overflow (UB) and could slip past the
+      // bounds test into a wild read.
+      if (idx[d] < lo_[d] || idx[d] > hi_[d]) return false;
+      o += static_cast<size_t>(idx[d] - lo_[d]) *
+           static_cast<size_t>(stride_[d]);
+    }
+    off = o;
+    return true;
+  }
+
   [[nodiscard]] std::span<double> raw() { return data_; }
   [[nodiscard]] std::span<const double> raw() const { return data_; }
 

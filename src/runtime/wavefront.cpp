@@ -363,6 +363,10 @@ void WavefrontRunner::setup_bytecode() {
       return;
     }
   }
+  // Every referenced scalar is now bound (or we fell back above), and
+  // the wavefront fragment has no scalar-target equations -- quicken
+  // the parameter loads into immediates before the hot point loop.
+  core_.quicken_scalars();
   use_bytecode_ = true;
 }
 

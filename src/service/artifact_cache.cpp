@@ -1,0 +1,199 @@
+#include "service/artifact_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ps {
+
+namespace {
+
+/// Leading bytes of every artifact file; a file that does not start
+/// with this is not ours (or is a torn write) and reads as a miss.
+constexpr char kMagic[] = "PSART1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(ArtifactCacheOptions options)
+    : options_(std::move(options)) {}
+
+std::string ArtifactCache::options_fingerprint(const CompileOptions& options) {
+  std::ostringstream os;
+  os << "merge=" << options.merge_loops
+     << ";hyperplane=" << options.apply_hyperplane
+     << ";exact=" << options.exact_bounds << ";c=" << options.emit_c_code
+     << ";openmp=" << options.emit_openmp
+     << ";windows=" << options.use_virtual_windows
+     << ";solver_bound=" << options.solver.bound;
+  return os.str();
+}
+
+std::string ArtifactCache::key(const BatchInput& input,
+                               const CompileOptions& options) const {
+  // Each variable-length field is length-prefixed before hashing, so
+  // (name="a", source="bc") can never collide with ("ab", "c").
+  WireWriter writer;
+  writer.str(options_.version);
+  writer.str(options_fingerprint(options));
+  writer.str(input.name);
+  writer.u8(input.is_eqn ? 1 : 0);
+  writer.str(input.source);
+  return sha256_hex(writer.bytes());
+}
+
+std::string ArtifactCache::path_for(const std::string& key) const {
+  return options_.dir + "/" + key + ".art";
+}
+
+std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
+  std::string path = path_for(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  try {
+    if (bytes.size() < kMagicLen ||
+        bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0)
+      throw WireError("bad artifact magic");
+    WireReader reader(
+        std::string_view(bytes).substr(kMagicLen));
+    UnitArtifact artifact = read_artifact(reader);
+    reader.expect_end();
+    // Refresh the timestamp so eviction is least-recently-used, not
+    // first-written (best effort; a failure only skews eviction order).
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return artifact;
+  } catch (const WireError&) {
+    // Truncated or corrupt: remove the bad entry so it cannot keep
+    // wasting probes, and recompile. Never serve a questionable hit.
+    std::error_code ec;
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt;
+    ++stats_.misses;
+    if (dir_bytes_ >= 0)
+      dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(bytes.size()));
+    return std::nullopt;
+  }
+}
+
+bool ArtifactCache::store(const std::string& key,
+                          const UnitArtifact& artifact) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+
+  WireWriter writer;
+  write_artifact(writer, artifact);
+
+  // Temp file + rename: concurrent readers (other clients, another
+  // daemon on the same directory) either see the old state or the
+  // complete new file, never a prefix.
+  std::string path = path_for(key);
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+    out.write(writer.bytes().data(),
+              static_cast<std::streamsize>(writer.bytes().size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    if (dir_bytes_ >= 0)
+      dir_bytes_ += static_cast<int64_t>(kMagicLen + writer.bytes().size());
+    over_budget = options_.max_bytes > 0 &&
+                  (dir_bytes_ < 0 ||
+                   dir_bytes_ > static_cast<int64_t>(options_.max_bytes));
+  }
+  if (over_budget) evict_over_budget(path);
+  return true;
+}
+
+void ArtifactCache::evict_over_budget(const std::string& keep_path) {
+  struct Entry {
+    fs::path path;
+    uintmax_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(options_.dir, ec)) {
+    if (item.path().extension() != ".art") continue;
+    std::error_code item_ec;
+    uintmax_t size = item.file_size(item_ec);
+    if (item_ec) continue;
+    fs::file_time_type mtime = item.last_write_time(item_ec);
+    if (item_ec) continue;
+    total += size;
+    entries.push_back({item.path(), size, mtime});
+  }
+  if (total > options_.max_bytes) {
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+      return a.mtime < b.mtime;
+    });
+    size_t evicted = 0;
+    for (const Entry& entry : entries) {
+      if (total <= options_.max_bytes) break;
+      // Never evict the artifact just stored: a cache smaller than one
+      // entry would otherwise thrash and spilled units would vanish.
+      if (entry.path == fs::path(keep_path)) continue;
+      std::error_code remove_ec;
+      if (fs::remove(entry.path, remove_ec)) {
+        total -= std::min(total, entry.size);
+        ++evicted;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += evicted;
+    dir_bytes_ = static_cast<int64_t>(total);
+    return;
+  }
+  // Under budget after all: remember the measured total so the next
+  // stores can account incrementally instead of rescanning.
+  std::lock_guard<std::mutex> lock(mutex_);
+  dir_bytes_ = static_cast<int64_t>(total);
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ps

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "driver/batch_driver.hpp"
+#include "driver/compile_types.hpp"
+
+namespace ps {
+
+/// The printable artefacts of one pipeline stage (primary or
+/// hyperplane-transformed module) -- everything the client-facing
+/// render paths need, with no live AST behind it.
+struct StageArtifact {
+  std::string source;    // pretty-printed PS (psc --source)
+  std::string schedule;  // flowchart text (psc --schedule, the default)
+  std::string c_code;    // generated C (psc --c)
+};
+
+/// The cached result of compiling one unit: the compile service's unit
+/// of storage and the daemon protocol's unit of transfer. Rendering
+/// one of these for any supported flag set is byte-identical to what a
+/// cold one-shot psc run prints -- that is the cache's correctness
+/// contract, enforced by the service tests.
+struct UnitArtifact {
+  bool ok = false;
+  std::string diagnostics;  // rendered, labelled with the unit name
+  std::string module_name;  // empty for failed units
+  StageArtifact primary;
+  bool has_transform = false;
+  std::string transform_array;  // hyperplane candidate array
+  std::string transform_desc;   // HyperplaneTransform::describe()
+  std::string exact_nest;       // Lamport bounds text (may be empty)
+  StageArtifact transformed;    // meaningful when has_transform
+  double compile_ms = 0;        // pipeline wall time of the original compile
+};
+
+struct ArtifactCacheOptions {
+  /// Cache directory; created on first store. Must be non-empty.
+  std::string dir;
+  /// Evict least-recently-used artifacts once the directory exceeds
+  /// this many bytes (0 = unlimited).
+  size_t max_bytes = 0;
+  /// Compiler version folded into every key (tests inject fake
+  /// versions to prove a version bump invalidates).
+  std::string version = kPscVersion;
+};
+
+struct ArtifactCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t stores = 0;
+  size_t evictions = 0;
+  /// Unreadable entries (truncated, bad magic, decode failure): each
+  /// counts as a miss too, and the bad file is removed so it cannot
+  /// keep wasting probes.
+  size_t corrupt = 0;
+};
+
+/// A content-addressed on-disk artifact cache. Keys are
+/// SHA-256(compiler version, compile-options fingerprint, unit name,
+/// eqn flag, source bytes); values are serialised UnitArtifacts in
+/// `<dir>/<hex key>.art`. A hit bypasses the whole pass pipeline; any
+/// doubt (missing file, truncation, corruption, version skew) is a
+/// miss that recompiles -- the cache can serve stale bytes only if
+/// SHA-256 collides.
+///
+/// Writes go through a temp file + atomic rename, so concurrent
+/// clients (or a daemon racing a one-shot psc) never observe a
+/// half-written artifact. Thread-safe.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(ArtifactCacheOptions options);
+
+  /// The cache key of one compilation unit under `options`.
+  [[nodiscard]] std::string key(const BatchInput& input,
+                                const CompileOptions& options) const;
+
+  /// Load the artifact stored under `key`; nullopt (and a recorded
+  /// miss) when absent or unreadable.
+  [[nodiscard]] std::optional<UnitArtifact> load(const std::string& key);
+
+  /// Store `artifact` under `key`. Returns false when the directory or
+  /// file cannot be written (the caller keeps its in-memory copy).
+  bool store(const std::string& key, const UnitArtifact& artifact);
+
+  /// Canonical serialisation of every CompileOptions field that can
+  /// change compile output; part of the key.
+  [[nodiscard]] static std::string options_fingerprint(
+      const CompileOptions& options);
+
+  [[nodiscard]] ArtifactCacheStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+  [[nodiscard]] const std::string& version() const {
+    return options_.version;
+  }
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  void evict_over_budget(const std::string& keep_path);
+
+  ArtifactCacheOptions options_;
+  mutable std::mutex mutex_;
+  ArtifactCacheStats stats_;
+  /// Running estimate of the directory's .art bytes (-1 = not yet
+  /// scanned). Maintained incrementally so a store only pays the full
+  /// directory walk when the budget is actually exceeded, not on
+  /// every write of a large spill batch.
+  int64_t dir_bytes_ = -1;
+};
+
+}  // namespace ps

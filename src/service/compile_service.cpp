@@ -1,0 +1,226 @@
+#include "service/compile_service.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/flowchart.hpp"
+
+namespace ps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+StageArtifact stage_artifact(const CompiledModule& stage) {
+  StageArtifact out;
+  out.source = stage.source;
+  out.schedule = flowchart_to_string(stage.schedule.flowchart, *stage.graph);
+  out.c_code = stage.c_code;
+  return out;
+}
+
+}  // namespace
+
+UnitArtifact artifact_from_result(const BatchUnitResult& unit) {
+  UnitArtifact artifact;
+  artifact.ok = unit.result.ok;
+  artifact.diagnostics = unit.result.diagnostics;
+  artifact.module_name = std::string(unit.module_symbol);
+  artifact.compile_ms = unit.milliseconds;
+  if (unit.result.primary)
+    artifact.primary = stage_artifact(*unit.result.primary);
+  if (unit.result.transform && unit.result.transformed) {
+    artifact.has_transform = true;
+    artifact.transform_array = unit.result.transform->array;
+    artifact.transform_desc = unit.result.transform->describe();
+    if (unit.result.exact_nest)
+      artifact.exact_nest = unit.result.exact_nest->to_string();
+    artifact.transformed = stage_artifact(*unit.result.transformed);
+  }
+  return artifact;
+}
+
+std::string render_artifact(const UnitArtifact& artifact,
+                            const RenderFlags& flags) {
+  // Field by field the same text (and the same order: source, schedule,
+  // C) main.cpp's print_stage/print_result writes for a fresh
+  // CompileResult -- the byte-identity contract of the cached path.
+  std::string out;
+  auto render_stage = [&](const StageArtifact& stage) {
+    if (flags.source) out += stage.source + "\n";
+    if (flags.schedule) out += stage.schedule + "\n";
+    if (flags.c_code) out += stage.c_code + "\n";
+  };
+  if (!artifact.ok) return out;
+  render_stage(artifact.primary);
+  if (artifact.has_transform) {
+    out += "-- hyperplane transform on '" + artifact.transform_array +
+           "': " + artifact.transform_desc + "\n\n";
+    if (!artifact.exact_nest.empty())
+      out += "-- exact loop bounds (Lamport):\n" + artifact.exact_nest +
+             "\n\n";
+    render_stage(artifact.transformed);
+  }
+  return out;
+}
+
+CompileService::CompileService(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.jobs) {
+  if (!options_.cache_dir.empty()) {
+    ArtifactCacheOptions cache_options;
+    cache_options.dir = options_.cache_dir;
+    cache_options.max_bytes = options_.cache_max_bytes;
+    cache_options.version = options_.version;
+    cache_ = std::make_unique<ArtifactCache>(std::move(cache_options));
+  }
+}
+
+BatchDriver& CompileService::driver_for(const CompileOptions& options) {
+  // One warm driver per distinct option set: the hyperplane cache only
+  // memoises solutions valid under one solver configuration, and the
+  // symbol table may as well shard the same way. Requests with the
+  // usual handful of flag combinations reuse a handful of drivers.
+  std::string fingerprint = ArtifactCache::options_fingerprint(options);
+  auto it = drivers_.find(fingerprint);
+  if (it == drivers_.end()) {
+    BatchOptions batch_options;
+    batch_options.pool = &pool_;
+    it = drivers_
+             .emplace(std::move(fingerprint),
+                      std::make_unique<BatchDriver>(options, batch_options))
+             .first;
+  }
+  return *it->second;
+}
+
+ServiceResponse CompileService::compile(const ServiceRequest& request) {
+  // One request at a time: concurrent daemon clients serialise here, so
+  // they can never interleave inside a BatchDriver (whose compile_all
+  // is single-caller) and responses stay deterministic.
+  std::lock_guard<std::mutex> lock(mutex_);
+  Clock::time_point start = Clock::now();
+
+  ServiceResponse response;
+  response.jobs = pool_.size();
+  response.units.resize(request.units.size());
+
+  const bool spill = cache_ != nullptr && options_.spill_after > 0 &&
+                     request.units.size() > options_.spill_after;
+
+  // Probe the cache first: every hit is a unit the pass pipeline never
+  // sees. Under spill, hits are validated (decoded, then dropped) so
+  // the response never accumulates whole-batch artifact text.
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    const BatchInput& input = request.units[i];
+    ServiceUnit& unit = response.units[i];
+    unit.name = input.name;
+    if (cache_ == nullptr) {
+      missing.push_back(i);
+      continue;
+    }
+    Clock::time_point probe = Clock::now();
+    unit.key = cache_->key(input, request.options);
+    std::optional<UnitArtifact> artifact = cache_->load(unit.key);
+    if (!artifact) {
+      missing.push_back(i);
+      continue;
+    }
+    unit.ok = artifact->ok;
+    unit.cache_hit = true;
+    unit.milliseconds = ms_since(probe);
+    if (spill) {
+      unit.spilled = true;
+    } else {
+      unit.artifact =
+          std::make_shared<const UnitArtifact>(std::move(*artifact));
+    }
+    ++response.cache_hits;
+  }
+
+  // Compile the misses on the warm driver. Under spill the misses go
+  // through in chunks of spill_after: each chunk's artifacts are stored
+  // to the cache directory and released before the next chunk compiles,
+  // so peak memory is bounded by the chunk, not the batch.
+  if (!missing.empty()) {
+    BatchDriver& driver = driver_for(request.options);
+    size_t chunk_size = spill ? options_.spill_after : missing.size();
+    for (size_t begin = 0; begin < missing.size(); begin += chunk_size) {
+      size_t end = std::min(begin + chunk_size, missing.size());
+      std::vector<BatchInput> inputs;
+      inputs.reserve(end - begin);
+      for (size_t m = begin; m < end; ++m)
+        inputs.push_back(request.units[missing[m]]);
+      std::vector<BatchUnitResult> results = driver.compile_all(inputs);
+      for (size_t m = begin; m < end; ++m) {
+        ServiceUnit& unit = response.units[missing[m]];
+        BatchUnitResult& result = results[m - begin];
+        UnitArtifact artifact = artifact_from_result(result);
+        unit.ok = artifact.ok;
+        unit.milliseconds = result.milliseconds;
+        bool stored =
+            cache_ != nullptr && cache_->store(unit.key, artifact);
+        // Spilling drops the in-memory copy, so it is only safe when
+        // the disk write actually landed: a full disk must degrade to
+        // higher memory use, not to losing a finished compile.
+        if (spill && stored)
+          unit.spilled = true;
+        else
+          unit.artifact =
+              std::make_shared<const UnitArtifact>(std::move(artifact));
+      }
+    }
+    response.cache_misses = missing.size();
+  }
+
+  for (const ServiceUnit& unit : response.units)
+    if (unit.spilled) ++response.spilled;
+  response.wall_ms = ms_since(start);
+
+  ++stats_.requests;
+  stats_.units += request.units.size();
+  stats_.compiled += response.cache_misses;
+  stats_.cache_hits += response.cache_hits;
+  stats_.cache_misses += response.cache_misses;
+  stats_.spilled += response.spilled;
+  return response;
+}
+
+std::optional<UnitArtifact> CompileService::artifact(
+    const ServiceUnit& unit) const {
+  if (unit.artifact != nullptr) return *unit.artifact;
+  if (cache_ == nullptr || unit.key.empty()) return std::nullopt;
+  return cache_->load(unit.key);
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ArtifactCacheStats CompileService::cache_stats() const {
+  if (cache_ == nullptr) return {};
+  return cache_->stats();
+}
+
+std::string CompileService::describe_stats() const {
+  ServiceStats stats = this->stats();
+  std::ostringstream os;
+  os << "service: " << stats.requests << " requests, " << stats.units
+     << " units (" << stats.cache_hits << " cache hits, " << stats.compiled
+     << " compiled, " << stats.spilled << " spilled)";
+  if (cache_ != nullptr) {
+    ArtifactCacheStats cache = cache_->stats();
+    os << "; artifact cache: " << cache.hits << " hits, " << cache.misses
+       << " misses, " << cache.stores << " stores, " << cache.evictions
+       << " evicted, " << cache.corrupt << " corrupt";
+  }
+  return os.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/batch_driver.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/artifact_cache.hpp"
+
+namespace ps {
+
+/// One compile request: N units under one set of compile options (the
+/// shape a daemon client sends, and what `psc --cache-dir` routes its
+/// command line through).
+struct ServiceRequest {
+  CompileOptions options;
+  std::vector<BatchInput> units;
+  /// The requesting compiler's version. The daemon refuses requests
+  /// from a different build: a stale daemon silently serving output
+  /// from an older pipeline would break the byte-identity contract
+  /// (the client falls back to in-process compilation instead).
+  std::string client_version = kPscVersion;
+};
+
+struct ServiceUnit {
+  std::string name;
+  bool ok = false;
+  bool cache_hit = false;
+  /// The artifact lives only in the cache directory (oversized batch);
+  /// fetch it with CompileService::artifact().
+  bool spilled = false;
+  std::string key;  // artifact-cache key; empty when the cache is off
+  double milliseconds = 0;  // this request's cost (lookup or compile)
+  std::shared_ptr<const UnitArtifact> artifact;  // null when spilled
+};
+
+/// One response, units in request order.
+struct ServiceResponse {
+  std::vector<ServiceUnit> units;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;  // units that went through the pipeline
+  size_t spilled = 0;
+  size_t jobs = 1;
+  double wall_ms = 0;
+};
+
+/// Lifetime statistics of one service session.
+struct ServiceStats {
+  size_t requests = 0;
+  size_t units = 0;
+  size_t compiled = 0;  // pipeline runs (cache misses or cache off)
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t spilled = 0;
+};
+
+struct ServiceOptions {
+  /// Worker count of the warm pool (like psc -j: 0 = all cores). The
+  /// pool is created once and reused by every request.
+  size_t jobs = 1;
+  /// Artifact-cache directory; empty disables the disk cache (every
+  /// unit compiles, nothing spills).
+  std::string cache_dir;
+  size_t cache_max_bytes = 0;  // see ArtifactCacheOptions::max_bytes
+  /// Batches with more units than this spill per-unit artifacts to the
+  /// cache directory instead of holding them all in memory (0 = never
+  /// spill). Requires cache_dir.
+  size_t spill_after = 0;
+  /// Version folded into cache keys (tests override).
+  std::string version = kPscVersion;
+};
+
+/// A warm compile session: the long-lived object behind the daemon
+/// (and behind `psc --cache-dir` for one-shot incremental builds). It
+/// owns the worker pool, the per-option-set BatchDrivers -- and with
+/// them the memoised hyperplane solutions and the interned symbol
+/// table, which stay warm across requests -- plus the content-hash
+/// artifact cache that lets an unchanged unit skip the pass pipeline
+/// entirely.
+///
+/// Determinism contract, inherited from BatchDriver and extended to
+/// the cache: a unit's artifact is byte-identical whether it was
+/// compiled cold, compiled warm, or served from the cache, at any job
+/// count. compile() is thread-safe (concurrent daemon clients
+/// serialise on one session).
+class CompileService {
+ public:
+  explicit CompileService(ServiceOptions options = {});
+
+  /// Compile (or fetch) every unit of `request`.
+  [[nodiscard]] ServiceResponse compile(const ServiceRequest& request);
+
+  /// The artifact of `unit`, reloading spilled ones from the cache
+  /// directory. nullopt only when a spilled artifact was evicted
+  /// under us (configure spill_after together with an adequate
+  /// cache_max_bytes).
+  [[nodiscard]] std::optional<UnitArtifact> artifact(
+      const ServiceUnit& unit) const;
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ArtifactCacheStats cache_stats() const;
+  [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+  /// One-line session summary (daemon logs, psc --verbose).
+  [[nodiscard]] std::string describe_stats() const;
+
+ private:
+  BatchDriver& driver_for(const CompileOptions& options);
+
+  ServiceOptions options_;
+  ThreadPool pool_;
+  /// One warm BatchDriver (hyperplane cache + symbol table) per
+  /// distinct option fingerprint seen on this session.
+  std::map<std::string, std::unique_ptr<BatchDriver>> drivers_;
+  std::unique_ptr<ArtifactCache> cache_;
+  ServiceStats stats_;
+  mutable std::mutex mutex_;
+};
+
+/// Build the cacheable artifact bundle from one batch unit result
+/// (renders the schedule/source/C text the client paths print).
+[[nodiscard]] UnitArtifact artifact_from_result(const BatchUnitResult& unit);
+
+/// Flags of the psc output surface an artifact can reproduce.
+struct RenderFlags {
+  bool source = false;
+  bool schedule = false;
+  bool c_code = false;
+};
+
+/// Render `artifact` exactly as a one-shot `psc` run with the same
+/// flags prints a successful unit to stdout (diagnostics are not
+/// included; they go to stderr, in unit order).
+[[nodiscard]] std::string render_artifact(const UnitArtifact& artifact,
+                                          const RenderFlags& flags);
+
+}  // namespace ps

@@ -1,0 +1,360 @@
+#include "service/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace ps {
+
+namespace {
+
+/// Fill a sockaddr_un for `path`; false when the path does not fit
+/// (sun_path is ~108 bytes).
+bool make_address(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// True when a daemon is actually accepting on `path` (distinguishes a
+/// live daemon from a stale socket file left behind by a crash).
+bool socket_is_live(const std::string& path) {
+  sockaddr_un addr;
+  if (!make_address(path, addr)) return false;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  bool live =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
+}
+
+}  // namespace
+
+std::string default_daemon_socket() {
+  if (const char* runtime_dir = std::getenv("XDG_RUNTIME_DIR");
+      runtime_dir != nullptr && runtime_dir[0] != '\0')
+    return std::string(runtime_dir) + "/psc-daemon.sock";
+  return "/tmp/psc-daemon-" + std::to_string(::getuid()) + ".sock";
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      socket_path_(options_.socket_path.empty() ? default_daemon_socket()
+                                                : options_.socket_path),
+      service_(options_.service) {}
+
+Daemon::~Daemon() {
+  request_stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  for (ClientThread& client : clients_)
+    if (client.thread.joinable()) client.thread.join();
+}
+
+void Daemon::reap_finished_clients() {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  for (size_t i = 0; i < clients_.size();) {
+    if (clients_[i].done->load()) {
+      clients_[i].thread.join();
+      clients_[i] = std::move(clients_.back());
+      clients_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Daemon::start() {
+  sockaddr_un addr;
+  if (!make_address(socket_path_, addr)) {
+    error_ = "socket path too long: " + socket_path_;
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno == EADDRINUSE) {
+      // Either a live daemon (refuse: two daemons on one socket would
+      // steal each other's clients) or a stale file from a crash
+      // (reclaim it). The probe-unlink-rebind sequence runs under an
+      // exclusive flock on a sibling lock file, so two daemons racing
+      // to reclaim the same stale path cannot both unlink-and-bind
+      // (the loser would silently orphan the winner's fresh socket).
+      std::string lock_path = socket_path_ + ".lock";
+      int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0600);
+      if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+      bool reclaimed = false;
+      if (!socket_is_live(socket_path_)) {
+        ::unlink(socket_path_.c_str());
+        reclaimed = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+      }
+      int bind_errno = errno;
+      if (lock_fd >= 0) ::close(lock_fd);  // releases the flock
+      if (!reclaimed) {
+        error_ = socket_is_live(socket_path_)
+                     ? "a daemon is already listening on " + socket_path_
+                     : std::string("bind: ") + std::strerror(bind_errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+      }
+    } else {
+      error_ = std::string("bind: ") + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Daemon::serve() {
+  if (listen_fd_ < 0) return;
+  while (!stop_.load()) {
+    // Poll with a short timeout so request_stop() (and the Shutdown
+    // handler, which sets the same flag) is noticed promptly without
+    // busy-waiting in accept().
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Socket timeouts so a client that stalls mid-frame (crash between
+    // the length header and the payload, or never draining a reply)
+    // cannot pin its thread in read_all/write_all forever -- the drain
+    // join at shutdown must always complete. Between frames the poll
+    // loop handles idleness; these only fire mid-frame.
+    timeval timeout{10, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    // Join whatever finished before adding the next thread, so the
+    // live set tracks concurrent clients, not lifetime clients.
+    reap_finished_clients();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, client, done] {
+      handle_client(client);
+      done->store(true);
+    });
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    clients_.push_back({std::move(thread), std::move(done)});
+  }
+  // Drain: join every client before tearing the socket down, so a
+  // shutdown acknowledges in-flight compiles instead of severing them.
+  std::vector<ClientThread> clients;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    clients.swap(clients_);
+  }
+  for (ClientThread& client : clients)
+    if (client.thread.joinable()) client.thread.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+void Daemon::handle_client(int fd) {
+  while (!stop_.load()) {
+    // Wait for readability with a timeout instead of blocking in
+    // read_frame: an idle connection must notice shutdown too, or it
+    // would pin serve()'s final join forever.
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    std::optional<std::string> payload = read_frame(fd);
+    if (!payload) break;  // EOF or a torn frame: the client is gone
+    if (!handle_message(fd, *payload)) break;
+  }
+  ::close(fd);
+}
+
+bool Daemon::handle_message(int fd, const std::string& payload) {
+  try {
+    switch (peek_kind(payload)) {
+      case MsgKind::Ping:
+        return write_frame(fd, encode_simple(MsgKind::Pong));
+      case MsgKind::Shutdown:
+        // Acknowledge first, then stop the accept loop; other clients'
+        // in-flight requests still drain in serve().
+        write_frame(fd, encode_simple(MsgKind::ShutdownAck));
+        stop_.store(true);
+        return false;
+      case MsgKind::CompileRequest: {
+        ServiceRequest request = decode_compile_request(payload);
+        // A client built from a different compiler version must not be
+        // served: this daemon's pipeline would produce that build's
+        // output, not the client's, silently breaking the byte-identity
+        // contract. The client falls back to in-process compilation.
+        if (request.client_version != service_.options().version) {
+          return write_frame(
+              fd, encode_simple(MsgKind::Error,
+                                "version mismatch: daemon is " +
+                                    service_.options().version +
+                                    ", client is " + request.client_version));
+        }
+        ServiceResponse response = service_.compile(request);
+        RemoteReply reply;
+        reply.cache_hits = response.cache_hits;
+        reply.cache_misses = response.cache_misses;
+        reply.jobs = response.jobs;
+        reply.wall_ms = response.wall_ms;
+        reply.units.reserve(response.units.size());
+        for (const ServiceUnit& unit : response.units) {
+          RemoteUnitResult remote;
+          remote.name = unit.name;
+          remote.cache_hit = unit.cache_hit;
+          remote.milliseconds = unit.milliseconds;
+          // Spilled artifacts reload from the cache directory here;
+          // the wire always carries the full artifact.
+          std::optional<UnitArtifact> artifact = service_.artifact(unit);
+          if (!artifact) {
+            return write_frame(
+                fd, encode_simple(MsgKind::Error,
+                                  "artifact for '" + unit.name +
+                                      "' evicted before reply"));
+          }
+          remote.artifact = std::move(*artifact);
+          reply.units.push_back(std::move(remote));
+        }
+        return write_frame(fd, encode_compile_reply(reply));
+      }
+      default:
+        return write_frame(
+            fd, encode_simple(MsgKind::Error, "unexpected message kind"));
+    }
+  } catch (const WireError& error) {
+    // Malformed frame: answer with the error and drop this client;
+    // everyone else is unaffected.
+    write_frame(fd, encode_simple(MsgKind::Error, error.what()));
+    return false;
+  } catch (const std::exception& error) {
+    write_frame(fd, encode_simple(MsgKind::Error,
+                                  std::string("internal: ") + error.what()));
+    return true;  // the service survived; keep the connection
+  }
+}
+
+// -- client -----------------------------------------------------------------
+
+bool DaemonClient::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr;
+  if (!make_address(socket_path, addr)) {
+    error_ = "socket path too long: " + socket_path;
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void DaemonClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::string> DaemonClient::round_trip(
+    const std::string& request) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  if (!write_frame(fd_, request)) {
+    error_ = "connection lost while sending";
+    close();
+    return std::nullopt;
+  }
+  std::optional<std::string> reply = read_frame(fd_);
+  if (!reply) {
+    error_ = "connection lost while waiting for reply";
+    close();
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<RemoteReply> DaemonClient::compile(
+    const ServiceRequest& request) {
+  std::optional<std::string> reply =
+      round_trip(encode_compile_request(request));
+  if (!reply) return std::nullopt;
+  try {
+    if (peek_kind(*reply) == MsgKind::Error) {
+      error_ = "daemon error: " + decode_error(*reply);
+      return std::nullopt;
+    }
+    return decode_compile_reply(*reply);
+  } catch (const WireError& error) {
+    error_ = std::string("bad reply: ") + error.what();
+    return std::nullopt;
+  }
+}
+
+bool DaemonClient::ping() {
+  std::optional<std::string> reply = round_trip(encode_simple(MsgKind::Ping));
+  if (!reply) return false;
+  try {
+    return peek_kind(*reply) == MsgKind::Pong;
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+bool DaemonClient::shutdown() {
+  std::optional<std::string> reply =
+      round_trip(encode_simple(MsgKind::Shutdown));
+  if (!reply) return false;
+  try {
+    return peek_kind(*reply) == MsgKind::ShutdownAck;
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+}  // namespace ps

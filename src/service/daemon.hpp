@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/compile_service.hpp"
+#include "service/protocol.hpp"
+
+namespace ps {
+
+/// The per-user default daemon socket: $XDG_RUNTIME_DIR/psc-daemon.sock
+/// when the runtime dir exists, /tmp/psc-daemon-<uid>.sock otherwise.
+[[nodiscard]] std::string default_daemon_socket();
+
+struct DaemonOptions {
+  /// Unix-domain socket path; empty uses default_daemon_socket().
+  std::string socket_path;
+  ServiceOptions service;
+};
+
+/// The warm compile daemon behind `psc --daemon`: one long-lived
+/// CompileService (worker pool, hyperplane/interner caches and the
+/// artifact cache all stay warm across invocations) served over a
+/// unix-domain socket with the length-prefixed framing protocol.
+///
+/// Each accepted client runs on its own thread, so a client streaming
+/// a huge batch never blocks a neighbour's ping; compile requests
+/// themselves serialise inside CompileService, which is what keeps
+/// concurrent clients isolated (one client's units can never interleave
+/// into another's batch). A malformed frame gets an Error reply and
+/// closes only that client's connection; the daemon stays up.
+///
+/// Lifecycle: start() binds and listens (refusing to double-bind a
+/// live daemon, reclaiming a stale socket file left by a crash);
+/// serve() accepts until a Shutdown message or request_stop(), then
+/// joins every client thread and removes the socket file.
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind and listen on the socket. False when another daemon is live
+  /// on the path or the socket cannot be created -- see error().
+  [[nodiscard]] bool start();
+
+  /// Accept-and-serve until Shutdown or request_stop(). Blocks; run on
+  /// a dedicated thread when the caller needs to keep working.
+  void serve();
+
+  /// Ask the accept loop to exit (signal handlers, tests). Safe from
+  /// any thread; serve() notices within its poll interval.
+  void request_stop() { stop_.store(true); }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] CompileService& service() { return service_; }
+
+ private:
+  void handle_client(int fd);
+  /// Serve one decoded message; returns false when the connection
+  /// should close (shutdown, EOF-provoking error).
+  bool handle_message(int fd, const std::string& payload);
+
+  /// One accepted connection: the serving thread plus a completion
+  /// flag so the accept loop can reap finished threads as it goes (a
+  /// long-lived daemon must not accumulate one joinable thread per
+  /// client it ever served).
+  struct ClientThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  void reap_finished_clients();
+
+  DaemonOptions options_;
+  std::string socket_path_;
+  std::string error_;
+  CompileService service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex clients_mutex_;
+  std::vector<ClientThread> clients_;
+};
+
+/// Client half of the daemon protocol: what `psc --client` speaks. One
+/// connection per object; compile()/ping()/shutdown() frame a request
+/// and block for the reply.
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+  ~DaemonClient() { close(); }
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Connect to a daemon socket. False when nothing is listening --
+  /// the CLI falls back to in-process compilation on that path.
+  [[nodiscard]] bool connect(const std::string& socket_path);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Round-trip one compile request. nullopt on connection loss or a
+  /// daemon-side Error reply (see error()).
+  [[nodiscard]] std::optional<RemoteReply> compile(
+      const ServiceRequest& request);
+
+  /// Liveness probe: true when the daemon answered Pong.
+  [[nodiscard]] bool ping();
+
+  /// Graceful shutdown; true when the daemon acknowledged.
+  bool shutdown();
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> round_trip(
+      const std::string& request);
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace ps

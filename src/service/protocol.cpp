@@ -1,0 +1,297 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace ps {
+
+void WireWriter::f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+void WireReader::need(size_t n) const {
+  if (data_.size() - pos_ < n) throw WireError("truncated wire data");
+}
+
+uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t WireReader::u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  uint32_t len = u32();
+  if (len > kMaxFrameBytes) throw WireError("overlong string");
+  need(len);
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+void WireReader::expect_end() const {
+  if (!at_end()) throw WireError("trailing bytes after message");
+}
+
+// -- artifact serialisation -------------------------------------------------
+
+namespace {
+
+void write_stage(WireWriter& writer, const StageArtifact& stage) {
+  writer.str(stage.source);
+  writer.str(stage.schedule);
+  writer.str(stage.c_code);
+}
+
+StageArtifact read_stage(WireReader& reader) {
+  StageArtifact stage;
+  stage.source = reader.str();
+  stage.schedule = reader.str();
+  stage.c_code = reader.str();
+  return stage;
+}
+
+}  // namespace
+
+void write_artifact(WireWriter& writer, const UnitArtifact& artifact) {
+  writer.u8(artifact.ok ? 1 : 0);
+  writer.str(artifact.diagnostics);
+  writer.str(artifact.module_name);
+  write_stage(writer, artifact.primary);
+  writer.u8(artifact.has_transform ? 1 : 0);
+  if (artifact.has_transform) {
+    writer.str(artifact.transform_array);
+    writer.str(artifact.transform_desc);
+    writer.str(artifact.exact_nest);
+    write_stage(writer, artifact.transformed);
+  }
+  writer.f64(artifact.compile_ms);
+}
+
+UnitArtifact read_artifact(WireReader& reader) {
+  UnitArtifact artifact;
+  artifact.ok = reader.u8() != 0;
+  artifact.diagnostics = reader.str();
+  artifact.module_name = reader.str();
+  artifact.primary = read_stage(reader);
+  artifact.has_transform = reader.u8() != 0;
+  if (artifact.has_transform) {
+    artifact.transform_array = reader.str();
+    artifact.transform_desc = reader.str();
+    artifact.exact_nest = reader.str();
+    artifact.transformed = read_stage(reader);
+  }
+  artifact.compile_ms = reader.f64();
+  return artifact;
+}
+
+// -- compile options --------------------------------------------------------
+
+void write_options(WireWriter& writer, const CompileOptions& options) {
+  uint32_t flags = 0;
+  if (options.merge_loops) flags |= 1u << 0;
+  if (options.apply_hyperplane) flags |= 1u << 1;
+  if (options.exact_bounds) flags |= 1u << 2;
+  if (options.emit_c_code) flags |= 1u << 3;
+  if (options.emit_openmp) flags |= 1u << 4;
+  if (options.use_virtual_windows) flags |= 1u << 5;
+  writer.u32(flags);
+  writer.u64(static_cast<uint64_t>(options.solver.bound));
+}
+
+CompileOptions read_options(WireReader& reader) {
+  uint32_t flags = reader.u32();
+  CompileOptions options;
+  options.merge_loops = (flags & (1u << 0)) != 0;
+  options.apply_hyperplane = (flags & (1u << 1)) != 0;
+  options.exact_bounds = (flags & (1u << 2)) != 0;
+  options.emit_c_code = (flags & (1u << 3)) != 0;
+  options.emit_openmp = (flags & (1u << 4)) != 0;
+  options.use_virtual_windows = (flags & (1u << 5)) != 0;
+  options.solver.bound = static_cast<int64_t>(reader.u64());
+  return options;
+}
+
+// -- messages ---------------------------------------------------------------
+
+std::string encode_compile_request(const ServiceRequest& request) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::CompileRequest));
+  writer.str(request.client_version);
+  write_options(writer, request.options);
+  writer.u32(static_cast<uint32_t>(request.units.size()));
+  for (const BatchInput& unit : request.units) {
+    writer.str(unit.name);
+    writer.u8(unit.is_eqn ? 1 : 0);
+    writer.str(unit.source);
+  }
+  return writer.take();
+}
+
+ServiceRequest decode_compile_request(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::CompileRequest))
+    throw WireError("not a compile request");
+  ServiceRequest request;
+  request.client_version = reader.str();
+  request.options = read_options(reader);
+  uint32_t count = reader.u32();
+  // No reserve(count): the count is attacker-supplied wire data, and a
+  // tiny frame claiming 2^32 units must not trigger a giant upfront
+  // allocation -- push_back grows geometrically and the reader throws
+  // on the first unit the payload cannot actually back.
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchInput unit;
+    unit.name = reader.str();
+    unit.is_eqn = reader.u8() != 0;
+    unit.source = reader.str();
+    request.units.push_back(std::move(unit));
+  }
+  reader.expect_end();
+  return request;
+}
+
+std::string encode_compile_reply(const RemoteReply& reply) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::CompileReply));
+  writer.u64(reply.cache_hits);
+  writer.u64(reply.cache_misses);
+  writer.u64(reply.jobs);
+  writer.f64(reply.wall_ms);
+  writer.u32(static_cast<uint32_t>(reply.units.size()));
+  for (const RemoteUnitResult& unit : reply.units) {
+    writer.str(unit.name);
+    writer.u8(unit.cache_hit ? 1 : 0);
+    writer.f64(unit.milliseconds);
+    write_artifact(writer, unit.artifact);
+  }
+  return writer.take();
+}
+
+RemoteReply decode_compile_reply(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::CompileReply))
+    throw WireError("not a compile reply");
+  RemoteReply reply;
+  reply.cache_hits = reader.u64();
+  reply.cache_misses = reader.u64();
+  reply.jobs = reader.u64();
+  reply.wall_ms = reader.f64();
+  uint32_t count = reader.u32();
+  // Like decode_compile_request: never reserve a wire-supplied count.
+  for (uint32_t i = 0; i < count; ++i) {
+    RemoteUnitResult unit;
+    unit.name = reader.str();
+    unit.cache_hit = reader.u8() != 0;
+    unit.milliseconds = reader.f64();
+    unit.artifact = read_artifact(reader);
+    reply.units.push_back(std::move(unit));
+  }
+  reader.expect_end();
+  return reply;
+}
+
+std::string encode_simple(MsgKind kind, std::string_view text) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(kind));
+  if (kind == MsgKind::Error) writer.str(text);
+  return writer.take();
+}
+
+MsgKind peek_kind(std::string_view payload) {
+  if (payload.empty()) throw WireError("empty message");
+  return static_cast<MsgKind>(static_cast<uint8_t>(payload[0]));
+}
+
+std::string decode_error(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::Error))
+    throw WireError("not an error message");
+  std::string text = reader.str();
+  reader.expect_end();
+  return text;
+}
+
+// -- framing ----------------------------------------------------------------
+
+namespace {
+
+bool write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    // MSG_NOSIGNAL: a client that disconnected mid-reply must surface
+    // as EPIPE on this call, not SIGPIPE the whole daemon. Frames also
+    // travel over pipes in the tests, where send() is ENOTSOCK --
+    // fall through to plain write() there.
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  char header[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  return write_all(fd, header, 4) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  char header[4];
+  if (!read_all(fd, header, 4)) return std::nullopt;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  if (len > kMaxFrameBytes) return std::nullopt;
+  std::string payload(len, '\0');
+  if (len > 0 && !read_all(fd, payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace ps

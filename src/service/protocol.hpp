@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/compile_service.hpp"
+
+namespace ps {
+
+/// Malformed wire data (truncated frame, bad magic, overlong string).
+/// Every decoder throws this instead of reading past the end; the
+/// daemon answers with an error frame, the cache treats the entry as
+/// corrupt and recompiles.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian encoder for the framing protocol and the
+/// artifact file format (one serialiser, so a cached artifact and a
+/// daemon reply cannot drift apart).
+class WireWriter {
+ public:
+  void u8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void f64(double v);
+  void str(std::string_view text) {
+    // The length prefix is 32-bit; encoding a >4 GiB string would
+    // silently wrap it into a corrupt-by-construction record that
+    // round-trips as WireError forever. Fail at write time instead.
+    if (text.size() > UINT32_MAX) throw WireError("string too long to encode");
+    u32(static_cast<uint32_t>(text.size()));
+    out_.append(text.data(), text.size());
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder; throws WireError on any
+/// attempt to read past the payload.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  /// Throw unless the whole payload was consumed (trailing garbage
+  /// means the frame was not what the decoder thought it was).
+  void expect_end() const;
+
+ private:
+  void need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// -- artifact serialisation (cache files and daemon replies) ----------------
+
+void write_artifact(WireWriter& writer, const UnitArtifact& artifact);
+[[nodiscard]] UnitArtifact read_artifact(WireReader& reader);
+
+// -- compile options --------------------------------------------------------
+
+void write_options(WireWriter& writer, const CompileOptions& options);
+[[nodiscard]] CompileOptions read_options(WireReader& reader);
+
+// -- messages ---------------------------------------------------------------
+
+enum class MsgKind : uint8_t {
+  CompileRequest = 1,
+  CompileReply = 2,
+  Ping = 3,
+  Pong = 4,
+  Shutdown = 5,
+  ShutdownAck = 6,
+  Error = 7,  // payload: one string (the daemon-side error text)
+};
+
+/// One unit of a daemon reply: the artifact plus this request's
+/// cache/timing metadata.
+struct RemoteUnitResult {
+  std::string name;
+  bool cache_hit = false;
+  double milliseconds = 0;
+  UnitArtifact artifact;
+};
+
+struct RemoteReply {
+  std::vector<RemoteUnitResult> units;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t jobs = 1;
+  double wall_ms = 0;
+};
+
+[[nodiscard]] std::string encode_compile_request(const ServiceRequest& request);
+[[nodiscard]] ServiceRequest decode_compile_request(std::string_view payload);
+[[nodiscard]] std::string encode_compile_reply(const RemoteReply& reply);
+[[nodiscard]] RemoteReply decode_compile_reply(std::string_view payload);
+/// Kind-only messages (Ping/Pong/Shutdown/ShutdownAck) and Error.
+[[nodiscard]] std::string encode_simple(MsgKind kind,
+                                        std::string_view text = {});
+/// The message kind of an encoded payload (first byte).
+[[nodiscard]] MsgKind peek_kind(std::string_view payload);
+/// The string payload of an Error message.
+[[nodiscard]] std::string decode_error(std::string_view payload);
+
+// -- framing ----------------------------------------------------------------
+
+/// Frames are a 4-byte little-endian payload length followed by the
+/// payload. Refuse anything bigger than this (a daemon must not be
+/// OOM-able by one bogus length prefix).
+inline constexpr size_t kMaxFrameBytes = size_t{1} << 30;
+
+/// Write one frame to `fd`, retrying partial writes. False on error.
+bool write_frame(int fd, std::string_view payload);
+
+/// Read one frame from `fd`. nullopt on EOF, error, or an oversized /
+/// truncated frame.
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+}  // namespace ps

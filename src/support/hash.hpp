@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ps {
+
+/// Streaming SHA-256. The artifact cache addresses compiled units by
+/// content hash -- hash(compiler version, compile options, unit name,
+/// source bytes) -- so the digest must be collision-resistant across
+/// millions of cached units, not merely well-distributed the way a
+/// table hash is. Self-contained (no external crypto dependency);
+/// FIPS 180-4 test vectors are pinned in tests/support/hash_test.cpp.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, size_t len);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  /// Finalise and return the 32-byte digest. The object must be reset()
+  /// before further updates.
+  [[nodiscard]] std::array<uint8_t, 32> digest();
+
+  /// Finalise and return the digest as 64 lowercase hex characters.
+  [[nodiscard]] std::string hex_digest();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+/// One-shot convenience: 64-char lowercase hex SHA-256 of `text`.
+[[nodiscard]] std::string sha256_hex(std::string_view text);
+
+}  // namespace ps

@@ -40,6 +40,10 @@ struct DiffCase {
   IntEnv int_inputs;
   std::map<std::string, double> real_inputs;
   CompileOptions options{};
+  /// Fill pattern for array inputs, indexed by flat element position;
+  /// nullptr uses the default input_value ramp. The content fuzzer
+  /// swaps in patterns of IEEE edge values here.
+  double (*input_fill)(size_t) = nullptr;
 };
 
 /// Deterministic input pattern. Multiples of 1/16 in a small range:
@@ -60,11 +64,13 @@ struct EngineOutputs {
 };
 
 inline void fill_interpreter_inputs(Interpreter& interp,
-                                    const CheckedModule& module) {
+                                    const CheckedModule& module,
+                                    double (*fill)(size_t) = nullptr) {
+  if (fill == nullptr) fill = input_value;
   for (const DataItem& item : module.data) {
     if (item.cls != DataClass::Input || item.is_scalar()) continue;
     auto span = interp.array(item.name).raw();
-    for (size_t i = 0; i < span.size(); ++i) span[i] = input_value(i);
+    for (size_t i = 0; i < span.size(); ++i) span[i] = fill(i);
   }
 }
 
@@ -84,7 +90,7 @@ inline EngineOutputs run_interpreter(const CompiledModule& stage,
   options.dispatch = dispatch;
   Interpreter interp(*stage.module, *stage.graph, stage.schedule.flowchart,
                      test_case.int_inputs, test_case.real_inputs, options);
-  fill_interpreter_inputs(interp, *stage.module);
+  fill_interpreter_inputs(interp, *stage.module, test_case.input_fill);
   interp.run();
 
   EngineOutputs out;
@@ -341,6 +347,64 @@ inline std::vector<DiffCase> fuzz_int_env_cases(const DiffCase& base,
     DiffCase fuzzed = base;
     fuzzed.name = base.name + "_fuzz" + std::to_string(variant);
     for (auto& [name, value] : fuzzed.int_inputs) value = rng.range(2, 9);
+    cases.push_back(std::move(fuzzed));
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Content fuzzing: IEEE edge values as array inputs
+// ---------------------------------------------------------------------------
+
+/// One IEEE edge value chosen by (seed, index) through splitmix64 --
+/// denormals, signed zeroes and huge magnitudes mixed with ordinary
+/// exactly-representable values so real data keeps flowing through the
+/// stencils. Deterministic across platforms and standard libraries.
+inline double content_edge_value(uint64_t seed, size_t index) {
+  FuzzRng rng(seed ^ (static_cast<uint64_t>(index) * 0xd1b54a32d192ed03ull));
+  uint64_t roll = rng.next();
+  double sign = (roll & 1) ? -1.0 : 1.0;
+  switch ((roll >> 1) % 8) {
+    case 0: return sign * 0.0;                       // signed zeroes
+    case 1: return sign * 4.9406564584124654e-324;   // min subnormal
+    case 2: return sign * 2.2250738585072009e-308;   // max subnormal
+    case 3: return sign * 1e308;                     // near-overflow
+    case 4: return sign * 1.7976931348623157e+308;   // DBL_MAX
+    case 5: return sign * 6.103515625e-05;           // exact 2^-14
+    default:
+      // Ordinary ramp values (multiples of 1/16, exactly representable).
+      return sign * static_cast<double>(roll % 97) * 0.0625;
+  }
+}
+
+/// The content patterns as plain function pointers (DiffCase must stay
+/// a trivially copyable test parameter, so no capturing lambdas).
+template <uint64_t Seed>
+inline double content_pattern(size_t index) {
+  return content_edge_value(Seed, index);
+}
+
+/// Derive `count` (at most 6) variants of `base` whose array inputs
+/// are filled with IEEE edge-value patterns instead of the smooth
+/// ramp: denormals, signed zeroes and huge magnitudes stress the value
+/// paths shape fuzzing never reaches (gradual underflow, -0.0
+/// propagation, overflow to infinity, inf - inf NaNs). Shapes are left
+/// alone -- fuzz_int_env_cases covers those.
+inline std::vector<DiffCase> fuzz_array_content_cases(const DiffCase& base,
+                                                      size_t count) {
+  static constexpr double (*kPatterns[])(size_t) = {
+      content_pattern<0x243f6a8885a308d3ull>, content_pattern<0x13198a2e03707344ull>,
+      content_pattern<0xa4093822299f31d0ull>, content_pattern<0x082efa98ec4e6c89ull>,
+      content_pattern<0x452821e638d01377ull>, content_pattern<0xbe5466cf34e90c6cull>,
+  };
+  constexpr size_t kPatternCount = sizeof(kPatterns) / sizeof(kPatterns[0]);
+  std::vector<DiffCase> cases;
+  cases.reserve(std::min(count, kPatternCount));
+  for (size_t variant = 0; variant < count && variant < kPatternCount;
+       ++variant) {
+    DiffCase fuzzed = base;
+    fuzzed.name = base.name + "_content" + std::to_string(variant);
+    fuzzed.input_fill = kPatterns[variant];
     cases.push_back(std::move(fuzzed));
   }
   return cases;

@@ -284,6 +284,165 @@ A^{k}_{i,j} = \frac{A^{k-1}_{i,j-1} + A^{k-1}_{i+1,j}}{2}
   EXPECT_NE(batch.out.find("relax.eqn ==\n"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Compile service: --cache-dir, --client fallback, daemon lifecycle.
+// ---------------------------------------------------------------------------
+
+/// Run psc over an already-written input path (no per-invocation file
+/// renaming -- the artifact-cache key includes the unit name, so cache
+/// tests need a stable path across runs).
+CliResult run_psc_on(const std::string& args, const std::string& input,
+                     const std::string& tag) {
+  std::string out_file = std::string(::testing::TempDir()) +
+                         "psc_svc_out_" + tag + ".txt";
+  std::string cmd =
+      psc_binary() + " " + args + " " + input + " > " + out_file + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  std::ifstream f(out_file);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return CliResult{WEXITSTATUS(rc), os.str()};
+}
+
+/// Drop the service's "psc: ..." stderr notices, keeping the artifact
+/// text (the byte-identity surface).
+std::string strip_psc_lines(const std::string& text) {
+  std::istringstream in(text);
+  std::string out, line;
+  while (std::getline(in, line))
+    if (line.rfind("psc:", 0) != 0) out += line + "\n";
+  return out;
+}
+
+TEST(CliService, CacheDirSecondRunIsByteIdenticalAndHits) {
+  static int counter = 0;
+  std::string tag = std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  std::string dir = std::string(::testing::TempDir());
+  std::string cache = dir + "psc_cli_cache_" + tag;
+  std::string input = dir + "psc_cli_in_" + tag + ".ps";
+  {
+    std::ofstream f(input);
+    f << kGaussSeidelSource;
+  }
+  std::string flags = "--c --hyperplane --cache-dir " + cache + " --verbose";
+  CliResult plain = run_psc_on("--c --hyperplane", input, tag + "p");
+  CliResult cold = run_psc_on(flags, input, tag + "c");
+  CliResult warm = run_psc_on(flags, input, tag + "w");
+  ASSERT_EQ(cold.exit_code, 0) << cold.out;
+  ASSERT_EQ(warm.exit_code, 0) << warm.out;
+  EXPECT_NE(cold.out.find("1 misses"), std::string::npos) << cold.out;
+  EXPECT_NE(cold.out.find("void Relaxation"), std::string::npos);
+  EXPECT_NE(warm.out.find("1 hits"), std::string::npos) << warm.out;
+  EXPECT_NE(warm.out.find("0 compiled"), std::string::npos) << warm.out;
+  // Minus the stats notice, cold, warm and plain are byte-identical.
+  EXPECT_EQ(strip_psc_lines(cold.out), plain.out);
+  EXPECT_EQ(strip_psc_lines(warm.out), plain.out);
+}
+
+TEST(CliService, EditedFileRecompilesThroughTheCache) {
+  static int counter = 0;
+  std::string tag = std::to_string(getpid()) + "_e" +
+                    std::to_string(counter++);
+  std::string dir = std::string(::testing::TempDir());
+  std::string cache = dir + "psc_cli_cache_" + tag;
+  std::string input = dir + "psc_cli_in_" + tag + ".ps";
+  std::string flags = "--c --cache-dir " + cache + " --verbose";
+  {
+    std::ofstream f(input);
+    f << kRelaxationSource;
+  }
+  CliResult first = run_psc_on(flags, input, tag + "1");
+  ASSERT_EQ(first.exit_code, 0) << first.out;
+  // Edit the source (append a blank line -- semantics unchanged, bytes
+  // changed): the next run must recompile, and its output must equal a
+  // fresh compile of the edited file.
+  {
+    std::ofstream f(input, std::ios::app);
+    f << "\n";
+  }
+  CliResult edited = run_psc_on(flags, input, tag + "2");
+  ASSERT_EQ(edited.exit_code, 0) << edited.out;
+  EXPECT_NE(edited.out.find("1 misses"), std::string::npos) << edited.out;
+  CliResult reference = run_psc_on("--c", input, tag + "3");
+  EXPECT_EQ(strip_psc_lines(edited.out), reference.out);
+  // And the edited version is now cached too.
+  CliResult warm = run_psc_on(flags, input, tag + "4");
+  EXPECT_NE(warm.out.find("1 hits"), std::string::npos) << warm.out;
+  EXPECT_EQ(strip_psc_lines(warm.out), reference.out);
+}
+
+TEST(CliService, ClientWithoutDaemonFallsBackInProcess) {
+  CliResult plain = run_psc("--c", kRelaxationSource);
+  CliResult client = run_psc("--client=/tmp/psc_no_such_daemon.sock --c",
+                             kRelaxationSource);
+  EXPECT_EQ(client.exit_code, 0) << client.out;
+  EXPECT_NE(client.out.find("no daemon"), std::string::npos) << client.out;
+  // Minus the fallback notice, output matches the plain run.
+  std::string body = client.out;
+  size_t notice_end = body.find('\n');
+  ASSERT_NE(notice_end, std::string::npos);
+  EXPECT_EQ(body.substr(notice_end + 1), plain.out);
+}
+
+TEST(CliService, SpillAfterWithoutCacheDirIsAUsageError) {
+  CliResult r = run_psc("--spill-after 2", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.out.find("--cache-dir"), std::string::npos) << r.out;
+}
+
+TEST(CliService, StopDaemonWithoutDaemonFails) {
+  std::string cmd = psc_binary() +
+                    " --stop-daemon=/tmp/psc_no_such_daemon.sock "
+                    "> /dev/null 2>&1";
+  EXPECT_NE(WEXITSTATUS(std::system(cmd.c_str())), 0);
+}
+
+TEST(CliService, DaemonLifecycleEndToEnd) {
+  static int counter = 0;
+  std::string tag = std::to_string(getpid()) + std::to_string(counter++);
+  std::string sock = "/tmp/psc_cli_d_" + tag + ".sock";
+  std::string cache = std::string(::testing::TempDir()) + "psc_cli_dc_" + tag;
+  std::string log = std::string(::testing::TempDir()) + "psc_cli_dlog_" +
+                    tag + ".txt";
+
+  // Start the daemon in the background, wait for the socket.
+  std::string start = psc_binary() + " --daemon=" + sock + " --cache-dir " +
+                      cache + " -j 2 > " + log + " 2>&1 &";
+  ASSERT_EQ(std::system(start.c_str()), 0);
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    std::string probe = "test -S " + sock;
+    up = std::system(probe.c_str()) == 0;
+    if (!up) usleep(100 * 1000);
+  }
+  ASSERT_TRUE(up) << "daemon never bound " << sock;
+
+  // A client compile through the daemon matches the plain run.
+  CliResult plain = run_psc("--c", kGaussSeidelSource);
+  CliResult via_daemon = run_psc("--client=" + sock + " --c",
+                                 kGaussSeidelSource);
+  EXPECT_EQ(via_daemon.exit_code, 0) << via_daemon.out;
+  EXPECT_EQ(via_daemon.out, plain.out);
+
+  // Warm second compile of the same source: also identical.
+  CliResult warm = run_psc("--client=" + sock + " --c", kGaussSeidelSource);
+  EXPECT_EQ(warm.out, plain.out);
+
+  // Graceful stop.
+  std::string stop = psc_binary() + " --stop-daemon=" + sock +
+                     " > /dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(stop.c_str())), 0);
+  // The daemon exits and removes its socket.
+  bool gone = false;
+  for (int i = 0; i < 100 && !gone; ++i) {
+    std::string probe = "test -S " + sock;
+    gone = std::system(probe.c_str()) != 0;
+    if (!gone) usleep(100 * 1000);
+  }
+  EXPECT_TRUE(gone);
+}
+
 TEST(Cli, TimePassesPrintsPerStageTiming) {
   CliResult r = run_psc("--time-passes --exact", kGaussSeidelSource);
   EXPECT_EQ(r.exit_code, 0) << r.out;

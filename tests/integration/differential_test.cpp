@@ -194,6 +194,22 @@ TEST_P(Differential, FuzzedIntEnvShapesAgreeAcrossEngines) {
   }
 }
 
+/// Content fuzzing (ROADMAP item, grown from the shape fuzzer): the
+/// same module shapes but with IEEE edge values -- denormals, signed
+/// zeroes, huge magnitudes -- as array contents, run through the tree
+/// walk and the bytecode engine under both dispatch strategies.
+/// Gradual underflow, -0.0 propagation and overflow to infinity must
+/// not depend on which evaluator (or which dispatcher) executed the
+/// arithmetic.
+TEST_P(Differential, FuzzedArrayContentsAgreeAcrossEngines) {
+  DiffCase base = GetParam();
+  for (const DiffCase& fuzzed :
+       testutil::fuzz_array_content_cases(base, /*count=*/3)) {
+    testutil::expect_engines_agree_on_case(fuzzed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Corpus, Differential, ::testing::ValuesIn(differential_corpus()),
     [](const ::testing::TestParamInfo<DiffCase>& info) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "../common/test_util.hpp"
 #include "driver/paper_modules.hpp"
@@ -630,6 +632,226 @@ TEST(Bytecode, CollapseAblationAgrees) {
     return sum;
   };
   EXPECT_DOUBLE_EQ(run_with(true), run_with(false));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar quickening and strength-reduced array addressing
+// ---------------------------------------------------------------------------
+
+/// The Gauss-Seidel stencil with both parameters bound: quickening must
+/// erase every scalar load and collapse the boundary guards.
+TEST(BytecodeQuicken, BoundInputScalarsBecomeImmediates) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  const CheckedModule& module = *result.primary->module;
+  EvalCore core;
+  core.compile(module);
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    if (module.data[i].name == "M") core.set_scalar(i, 6, 6.0);
+    if (module.data[i].name == "maxK") core.set_scalar(i, 5, 5.0);
+  }
+  size_t before = core.total_instructions();
+  size_t rewritten = core.quicken_scalars();
+  EXPECT_GT(rewritten, 0u);
+  EXPECT_GT(core.quickened_instructions(), 0u);
+  // Re-folding `M + 1` and friends shrinks the programs overall.
+  EXPECT_LT(core.total_instructions(), before);
+  for (size_t eq = 0; eq < module.equations.size(); ++eq) {
+    std::string dis = core.programs(eq).rhs.disassemble();
+    EXPECT_EQ(dis.find("LoadScalar"), std::string::npos) << dis;
+  }
+}
+
+TEST(BytecodeQuicken, UnboundAndEquationTargetScalarsKeepTheirLoads) {
+  // `k` is bound and quickenable; `y` is an equation target (written
+  // mid-run via set_scalar) and must keep its slot load even though a
+  // value was seeded; `u` stays unbound and must keep its load too.
+  auto result = compile_or_die(R"(
+M: module (k: int; u: int): [y: int; z: int];
+define
+  y = k + 1;
+  z = y + u;
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  EvalCore core;
+  core.compile(module);
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    if (module.data[i].name == "k") core.set_scalar(i, 41, 41.0);
+    if (module.data[i].name == "y") core.set_scalar(i, 0, 0.0);
+  }
+  core.quicken_scalars();
+  // y = k + 1 folded all the way to a constant...
+  std::string y_dis = core.programs(0).rhs.disassemble();
+  EXPECT_NE(y_dis.find("PushInt 42"), std::string::npos) << y_dis;
+  // ...but z still loads both y (target) and u (unbound).
+  std::string z_dis = core.programs(1).rhs.disassemble();
+  EXPECT_NE(z_dis.find("LoadScalar"), std::string::npos) << z_dis;
+  size_t loads = 0;
+  for (const BcInstr& instr : core.programs(1).rhs.code)
+    if (instr.op == BcOp::LoadScalarI) ++loads;
+  EXPECT_EQ(loads, 2u);
+}
+
+TEST(BytecodeQuicken, QuickenedRunMatchesUnquickenedBitForBit) {
+  auto result = compile_or_die(kGaussSeidelSource);
+  const CheckedModule& module = *result.primary->module;
+  IntEnv params{{"M", 5}, {"maxK", 4}};
+  std::map<std::string, NdArray, std::less<>> arrays;
+  for (const DataItem& d : module.data) {
+    if (d.is_scalar()) continue;
+    std::vector<int64_t> lo, hi, win;
+    for (const Type* dim : d.dims) {
+      lo.push_back(*eval_const_int(*dim->lo, params));
+      hi.push_back(*eval_const_int(*dim->hi, params));
+      win.push_back(hi.back() - lo.back() + 1);
+    }
+    arrays.emplace(d.name,
+                   NdArray(std::move(lo), std::move(hi), std::move(win)));
+  }
+  for (auto& [name, arr] : arrays) {
+    auto span = arr.raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = static_cast<double>(i % 17) * 0.0625;
+  }
+  auto make_core = [&](bool quicken) {
+    auto core = std::make_unique<EvalCore>();
+    core->compile(module);
+    core->bind_arrays(arrays);
+    for (size_t i = 0; i < module.data.size(); ++i) {
+      auto it = params.find(module.data[i].name);
+      if (it != params.end())
+        core->set_scalar(i, it->second, static_cast<double>(it->second));
+    }
+    if (quicken) core->quicken_scalars();
+    return core;
+  };
+  auto plain = make_core(false);
+  auto quick = make_core(true);
+  for (int64_t k = 2; k <= 4; ++k)
+    for (int64_t i = 0; i <= 6; ++i)
+      for (int64_t j = 0; j <= 6; ++j) {
+        VarFrame frame;
+        frame.vars.emplace_back("K", k);
+        frame.vars.emplace_back("I", i);
+        frame.vars.emplace_back("J", j);
+        EvalSlot a = plain->run(plain->programs(2).rhs, frame);
+        EvalSlot b = quick->run(quick->programs(2).rhs, frame);
+        EXPECT_EQ(std::bit_cast<uint64_t>(a.d), std::bit_cast<uint64_t>(b.d))
+            << "K=" << k << " I=" << i << " J=" << j;
+      }
+}
+
+TEST(BytecodeAddressing, ReducedAndGenericPathsAgreeOnWindowedArrays) {
+  // A windowed array must keep the modulo path: the reduced-addressing
+  // toggle only short-circuits arrays whose windows equal their
+  // extents, so windowed reads are identical either way.
+  auto result = compile_or_die(kRelaxationSource);
+  const CheckedModule& module = *result.primary->module;
+  IntEnv params{{"M", 4}, {"maxK", 6}};
+  std::map<std::string, NdArray, std::less<>> arrays;
+  for (const DataItem& d : module.data) {
+    if (d.is_scalar()) continue;
+    std::vector<int64_t> lo, hi, win;
+    for (const Type* dim : d.dims) {
+      lo.push_back(*eval_const_int(*dim->lo, params));
+      hi.push_back(*eval_const_int(*dim->hi, params));
+      win.push_back(hi.back() - lo.back() + 1);
+    }
+    // Window the A array's K dimension to 2 slices (the paper's
+    // virtual dimension); leave the others fully allocated.
+    if (d.name == "A") win[0] = 2;
+    arrays.emplace(d.name,
+                   NdArray(std::move(lo), std::move(hi), std::move(win)));
+  }
+  ASSERT_TRUE(arrays.at("A").windowed());
+  for (auto& [name, arr] : arrays) {
+    auto span = arr.raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = static_cast<double>(i % 11) * 0.25;
+  }
+  EvalCore core;
+  core.compile(module);
+  core.bind_arrays(arrays);
+  for (size_t i = 0; i < module.data.size(); ++i) {
+    auto it = params.find(module.data[i].name);
+    if (it != params.end())
+      core.set_scalar(i, it->second, static_cast<double>(it->second));
+  }
+  // The stencil RHS reads the windowed A and, under the guard, the
+  // fully allocated InitialA -- both paths in one program.
+  for (int64_t k = 2; k <= 6; ++k)
+    for (int64_t i = 0; i <= 5; ++i)
+      for (int64_t j = 0; j <= 5; ++j) {
+        VarFrame frame;
+        frame.vars.emplace_back("K", k);
+        frame.vars.emplace_back("I", i);
+        frame.vars.emplace_back("J", j);
+        core.set_reduced_addressing(true);
+        EvalSlot fast = core.run(core.programs(2).rhs, frame);
+        core.set_reduced_addressing(false);
+        EvalSlot generic = core.run(core.programs(2).rhs, frame);
+        EXPECT_EQ(std::bit_cast<uint64_t>(fast.d),
+                  std::bit_cast<uint64_t>(generic.d))
+            << "K=" << k << " I=" << i << " J=" << j;
+      }
+}
+
+TEST(BytecodeAddressing, ReducedPathStillBoundsChecks) {
+  // offset_unwindowed fuses the bounds check into the offset pass; an
+  // out-of-range fused read must still throw, not read wild memory.
+  NdArray arr = NdArray::full({0, 0}, {3, 3});
+  size_t off = 0;
+  EXPECT_TRUE(arr.offset_unwindowed(std::vector<int64_t>{3, 3}, off));
+  EXPECT_EQ(off, 15u);
+  EXPECT_FALSE(arr.offset_unwindowed(std::vector<int64_t>{4, 0}, off));
+  EXPECT_FALSE(arr.offset_unwindowed(std::vector<int64_t>{0, -1}, off));
+  // Extreme subscripts (bytecode arithmetic wraps, so any int64 can
+  // reach a read): must reject cleanly, never signed-overflow the
+  // relative offset into a bounds-check bypass.
+  EXPECT_FALSE(arr.offset_unwindowed(
+      std::vector<int64_t>{std::numeric_limits<int64_t>::min(), 0}, off));
+  EXPECT_FALSE(arr.offset_unwindowed(
+      std::vector<int64_t>{std::numeric_limits<int64_t>::max(), 0}, off));
+  NdArray shifted = NdArray::full({2, 2}, {5, 5});
+  EXPECT_FALSE(shifted.offset_unwindowed(
+      std::vector<int64_t>{std::numeric_limits<int64_t>::min() + 1, 2}, off));
+  EXPECT_TRUE(shifted.offset_unwindowed(std::vector<int64_t>{2, 2}, off));
+  EXPECT_EQ(off, 0u);
+  // Rank mismatch is a clean rejection too.
+  EXPECT_FALSE(arr.offset_unwindowed(std::vector<int64_t>{1}, off));
+
+  BcProgram program;
+  program.code.push_back(make_instr(BcOp::LoadVar, 0));
+  program.var_names.push_back("i");
+  BcInstr read{BcOp::LoadArrayVarsI, 0, 1, 0, 0};
+  read.imm = 0;  // subscript = var 0 + offset 0
+  // Build via the fuser's packing convention: rank 1, var 0, offset 0.
+  program.code.clear();
+  program.code.push_back(read);
+  program.code.push_back(make_instr(BcOp::Halt));
+  program.max_stack = 1;
+
+  std::map<std::string, NdArray, std::less<>> arrays;
+  auto result = compile_or_die(R"(
+M: module (x: array[I] of int; n: int): [y: array[I] of int];
+type I = 0 .. n;
+define
+  y[I] = x[I];
+end M;
+)");
+  const CheckedModule& module = *result.primary->module;
+  EvalCore core;
+  core.compile(module);
+  IntEnv params{{"n", 3}};
+  arrays.emplace("x", NdArray::full({0}, {3}));
+  arrays.emplace("y", NdArray::full({0}, {3}));
+  core.bind_arrays(arrays);
+  VarFrame ok_frame;
+  ok_frame.vars.emplace_back("i", 2);
+  EXPECT_NO_THROW(core.run(program, ok_frame));
+  VarFrame bad_frame;
+  bad_frame.vars.emplace_back("i", 7);
+  EXPECT_THROW(core.run(program, bad_frame), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// The content-addressed on-disk artifact cache: key derivation,
+// store/load round trips, and the invalidation edges -- option changes,
+// compiler-version bumps, truncated or corrupt files -- that must
+// recompile, never crash and never serve stale artifacts.
+
+#include "service/artifact_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/paper_modules.hpp"
+#include "service/protocol.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ps {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = std::string(::testing::TempDir()) + "psc_cache_" + tag +
+                    "_" + std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+ArtifactCache make_cache(const std::string& dir, size_t max_bytes = 0,
+                         const std::string& version = kPscVersion) {
+  ArtifactCacheOptions options;
+  options.dir = dir;
+  options.max_bytes = max_bytes;
+  options.version = version;
+  return ArtifactCache(std::move(options));
+}
+
+UnitArtifact sample_artifact(const std::string& tag = "body") {
+  UnitArtifact artifact;
+  artifact.ok = true;
+  artifact.module_name = "M";
+  artifact.primary = {"source " + tag, "schedule " + tag, "c " + tag};
+  artifact.compile_ms = 1.0;
+  return artifact;
+}
+
+BatchInput sample_input() {
+  return BatchInput{"relax.ps", kRelaxationSource, false};
+}
+
+TEST(ArtifactCache, StoreThenLoadRoundTrips) {
+  ArtifactCache cache = make_cache(fresh_dir("roundtrip"));
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  EXPECT_EQ(key.size(), 64u);  // sha256 hex
+
+  EXPECT_FALSE(cache.load(key).has_value());  // cold: miss
+  EXPECT_TRUE(cache.store(key, sample_artifact()));
+  std::optional<UnitArtifact> loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->primary.source, "source body");
+  EXPECT_EQ(loaded->primary.schedule, "schedule body");
+  EXPECT_EQ(loaded->primary.c_code, "c body");
+
+  ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+}
+
+TEST(ArtifactCache, KeyDependsOnEveryIngredient) {
+  ArtifactCache cache = make_cache(fresh_dir("keys"));
+  BatchInput input = sample_input();
+  CompileOptions options;
+  std::string base = cache.key(input, options);
+
+  // Source bytes.
+  BatchInput edited = input;
+  edited.source = std::string(kRelaxationSource) + "\n";
+  EXPECT_NE(cache.key(edited, options), base);
+
+  // Unit name.
+  BatchInput renamed = input;
+  renamed.name = "other.ps";
+  EXPECT_NE(cache.key(renamed, options), base);
+
+  // EQN flag (same bytes, different front end).
+  BatchInput eqn = input;
+  eqn.is_eqn = true;
+  EXPECT_NE(cache.key(eqn, options), base);
+
+  // Every output-changing compile option.
+  for (int bit = 0; bit < 6; ++bit) {
+    CompileOptions changed = options;
+    switch (bit) {
+      case 0: changed.merge_loops = !changed.merge_loops; break;
+      case 1: changed.apply_hyperplane = !changed.apply_hyperplane; break;
+      case 2: changed.exact_bounds = !changed.exact_bounds; break;
+      case 3: changed.emit_c_code = !changed.emit_c_code; break;
+      case 4: changed.emit_openmp = !changed.emit_openmp; break;
+      case 5:
+        changed.use_virtual_windows = !changed.use_virtual_windows;
+        break;
+    }
+    EXPECT_NE(cache.key(input, changed), base) << "option bit " << bit;
+  }
+  CompileOptions solver = options;
+  solver.solver.bound += 1;
+  EXPECT_NE(cache.key(input, solver), base);
+
+  // Compiler version: a bump invalidates the whole cache.
+  ArtifactCache bumped =
+      make_cache(fresh_dir("keys2"), 0, "psc-next");
+  EXPECT_NE(bumped.key(input, options), base);
+}
+
+TEST(ArtifactCache, VersionBumpMissesOldEntries) {
+  std::string dir = fresh_dir("version");
+  BatchInput input = sample_input();
+  std::string old_key;
+  {
+    ArtifactCache cache = make_cache(dir, 0, "psc-old");
+    old_key = cache.key(input, CompileOptions{});
+    ASSERT_TRUE(cache.store(old_key, sample_artifact()));
+  }
+  // Same directory, new compiler version: the old artifact is simply
+  // unreachable (different key), never served.
+  ArtifactCache cache = make_cache(dir, 0, "psc-new");
+  std::string new_key = cache.key(input, CompileOptions{});
+  EXPECT_NE(new_key, old_key);
+  EXPECT_FALSE(cache.load(new_key).has_value());
+}
+
+TEST(ArtifactCache, TruncatedFileIsAMissAndIsRemoved) {
+  std::string dir = fresh_dir("truncated");
+  ArtifactCache cache = make_cache(dir);
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  ASSERT_TRUE(cache.store(key, sample_artifact()));
+
+  // Truncate the stored file mid-payload.
+  std::string path = dir + "/" + key + ".art";
+  ASSERT_TRUE(fs::exists(path));
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  // The bad entry was deleted so it cannot keep wasting probes.
+  EXPECT_FALSE(fs::exists(path));
+  // And a fresh store over the same key works.
+  EXPECT_TRUE(cache.store(key, sample_artifact()));
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(ArtifactCache, GarbageFileIsAMissNotACrash) {
+  std::string dir = fresh_dir("garbage");
+  ArtifactCache cache = make_cache(dir);
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir + "/" + key + ".art", std::ios::binary);
+    out << "PSART1\n\xff\xff\xff\xff not a real artifact";
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+
+  // Bad magic entirely.
+  {
+    std::ofstream out(dir + "/" + key + ".art", std::ios::binary);
+    out << "ELF\x7f whatever";
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
+TEST(ArtifactCache, TrailingBytesAreCorrupt) {
+  std::string dir = fresh_dir("trailing");
+  ArtifactCache cache = make_cache(dir);
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  ASSERT_TRUE(cache.store(key, sample_artifact()));
+  {
+    std::ofstream out(dir + "/" + key + ".art",
+                      std::ios::binary | std::ios::app);
+    out << "junk appended after a valid artifact";
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST(ArtifactCache, EvictionKeepsTheBudgetAndTheNewestEntry) {
+  std::string dir = fresh_dir("evict");
+  // Budget of ~2 artifacts: storing several must evict the oldest.
+  UnitArtifact big = sample_artifact();
+  big.primary.c_code = std::string(4096, 'x');
+  WireWriter writer;
+  write_artifact(writer, big);
+  size_t entry_size = writer.bytes().size() + 8;
+  ArtifactCache cache = make_cache(dir, 2 * entry_size + 16);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5; ++i) {
+    BatchInput input{"unit" + std::to_string(i) + ".ps", "source", false};
+    std::string key = cache.key(input, CompileOptions{});
+    ASSERT_TRUE(cache.store(key, big));
+    keys.push_back(key);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The most recent store always survives (a cache smaller than one
+  // entry must not thrash away what was just written).
+  EXPECT_TRUE(cache.load(keys.back()).has_value());
+  // Directory stayed within budget (pre-eviction peak is one entry over).
+  uintmax_t total = 0;
+  for (const auto& item : fs::directory_iterator(dir))
+    if (item.path().extension() == ".art") total += item.file_size();
+  EXPECT_LE(total, 2 * entry_size + 16 + entry_size);
+}
+
+TEST(ArtifactCache, ConcurrentStoresAndLoadsAreSafe) {
+  std::string dir = fresh_dir("concurrent");
+  ArtifactCache cache = make_cache(dir);
+  // Hammer one key from several threads: readers must only ever see a
+  // complete artifact (temp file + rename) or a miss, never a torn one.
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  std::vector<std::thread> threads;
+  std::atomic<int> torn{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        if (t % 2 == 0) {
+          cache.store(key, sample_artifact("writer" + std::to_string(t)));
+        } else {
+          std::optional<UnitArtifact> got = cache.load(key);
+          if (got && got->primary.source.rfind("source writer", 0) != 0)
+            ++torn;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+}  // namespace
+}  // namespace ps

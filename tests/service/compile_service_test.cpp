@@ -1,0 +1,353 @@
+// CompileService: the warm session behind the daemon and `psc
+// --cache-dir`. The correctness bar is byte-identity -- a unit's
+// artifact must be the same whether it was compiled cold by the plain
+// Compiler, compiled warm on a reused session, or served from the
+// disk cache -- plus the incremental behaviours: edits recompile,
+// unchanged units hit, oversized batches spill.
+
+#include "service/compile_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flowchart.hpp"
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ps {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = std::string(::testing::TempDir()) + "psc_service_" + tag +
+                    "_" + std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+ServiceOptions cached_options(const std::string& dir, size_t jobs = 1) {
+  ServiceOptions options;
+  options.jobs = jobs;
+  options.cache_dir = dir;
+  return options;
+}
+
+std::vector<BatchInput> corpus_inputs() {
+  std::vector<BatchInput> inputs;
+  for (const PaperModule& module : paper_corpus())
+    inputs.push_back({module.name, module.source, false});
+  return inputs;
+}
+
+/// The reference artifact: a cold one-shot compile through the plain
+/// Compiler facade, rendered the same way the service renders.
+UnitArtifact cold_artifact(const BatchInput& input,
+                           const CompileOptions& options) {
+  BatchUnitResult unit;
+  unit.name = input.name;
+  unit.result = Compiler(options).compile(input.source, input.name);
+  if (unit.result.primary) unit.module_symbol = unit.result.primary->module->name;
+  return artifact_from_result(unit);
+}
+
+void expect_artifacts_identical(const UnitArtifact& a, const UnitArtifact& b,
+                                const std::string& label) {
+  EXPECT_EQ(a.ok, b.ok) << label;
+  EXPECT_EQ(a.diagnostics, b.diagnostics) << label;
+  EXPECT_EQ(a.module_name, b.module_name) << label;
+  EXPECT_EQ(a.primary.source, b.primary.source) << label;
+  EXPECT_EQ(a.primary.schedule, b.primary.schedule) << label;
+  EXPECT_EQ(a.primary.c_code, b.primary.c_code) << label;
+  EXPECT_EQ(a.has_transform, b.has_transform) << label;
+  EXPECT_EQ(a.transform_array, b.transform_array) << label;
+  EXPECT_EQ(a.transform_desc, b.transform_desc) << label;
+  EXPECT_EQ(a.exact_nest, b.exact_nest) << label;
+  EXPECT_EQ(a.transformed.source, b.transformed.source) << label;
+  EXPECT_EQ(a.transformed.schedule, b.transformed.schedule) << label;
+  EXPECT_EQ(a.transformed.c_code, b.transformed.c_code) << label;
+}
+
+TEST(CompileService, WarmRecompileHitsAndStaysByteIdentical) {
+  CompileService service(cached_options(fresh_dir("warm")));
+  ServiceRequest request;
+  request.units = corpus_inputs();
+
+  ServiceResponse cold = service.compile(request);
+  ASSERT_EQ(cold.units.size(), request.units.size());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, request.units.size());
+
+  ServiceResponse warm = service.compile(request);
+  EXPECT_EQ(warm.cache_hits, request.units.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+
+  // Acceptance bar: every corpus module's cached artifact is identical
+  // to a cold one-shot compile.
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    EXPECT_TRUE(warm.units[i].cache_hit);
+    std::optional<UnitArtifact> served = service.artifact(warm.units[i]);
+    ASSERT_TRUE(served.has_value());
+    expect_artifacts_identical(
+        *served, cold_artifact(request.units[i], request.options),
+        request.units[i].name);
+  }
+}
+
+TEST(CompileService, HitsSurviveServiceRestart) {
+  std::string dir = fresh_dir("restart");
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  {
+    CompileService service(cached_options(dir));
+    (void)service.compile(request);
+  }
+  // A new session over the same directory: the disk cache is the
+  // persistence layer, not the session.
+  CompileService service(cached_options(dir));
+  ServiceResponse warm = service.compile(request);
+  EXPECT_EQ(warm.cache_hits, request.units.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+}
+
+TEST(CompileService, EditedSourceRecompilesOnlyThatUnit) {
+  CompileService service(cached_options(fresh_dir("edit")));
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  (void)service.compile(request);
+
+  // Edit one unit (append whitespace -- semantics unchanged, bytes
+  // changed: still a different key, still a recompile).
+  request.units[1].source = std::string(request.units[1].source) + "\n";
+  ServiceResponse response = service.compile(request);
+  EXPECT_EQ(response.cache_hits, request.units.size() - 1);
+  EXPECT_EQ(response.cache_misses, 1u);
+  EXPECT_FALSE(response.units[1].cache_hit);
+  EXPECT_TRUE(response.units[0].cache_hit);
+
+  // The edited unit's fresh artifact matches its own cold compile.
+  std::optional<UnitArtifact> artifact = service.artifact(response.units[1]);
+  ASSERT_TRUE(artifact.has_value());
+  expect_artifacts_identical(
+      *artifact, cold_artifact(request.units[1], request.options), "edited");
+}
+
+TEST(CompileService, OptionChangeIsACacheMiss) {
+  CompileService service(cached_options(fresh_dir("options")));
+  ServiceRequest request;
+  request.units = {{"gs.ps", kGaussSeidelSource, false}};
+  (void)service.compile(request);
+
+  ServiceRequest transformed = request;
+  transformed.options.apply_hyperplane = true;
+  ServiceResponse response = service.compile(transformed);
+  EXPECT_EQ(response.cache_hits, 0u);
+  EXPECT_EQ(response.cache_misses, 1u);
+  std::optional<UnitArtifact> artifact = service.artifact(response.units[0]);
+  ASSERT_TRUE(artifact.has_value());
+  EXPECT_TRUE(artifact->has_transform);
+  expect_artifacts_identical(
+      *artifact, cold_artifact(transformed.units[0], transformed.options),
+      "hyperplane");
+
+  // And the original options still hit their own entry.
+  ServiceResponse original = service.compile(request);
+  EXPECT_EQ(original.cache_hits, 1u);
+}
+
+TEST(CompileService, VersionBumpInvalidatesEverything) {
+  std::string dir = fresh_dir("version");
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  {
+    ServiceOptions options = cached_options(dir);
+    options.version = "psc-test-1";
+    CompileService service(options);
+    (void)service.compile(request);
+  }
+  ServiceOptions options = cached_options(dir);
+  options.version = "psc-test-2";
+  CompileService service(options);
+  ServiceResponse response = service.compile(request);
+  EXPECT_EQ(response.cache_hits, 0u);
+  EXPECT_EQ(response.cache_misses, request.units.size());
+}
+
+TEST(CompileService, FailedUnitsAreCachedWithDiagnostics) {
+  CompileService service(cached_options(fresh_dir("failed")));
+  ServiceRequest request;
+  request.units = {{"bad.ps", "this is not a module", false},
+                   {"good.ps", kRelaxationSource, false}};
+  ServiceResponse cold = service.compile(request);
+  EXPECT_FALSE(cold.units[0].ok);
+  EXPECT_TRUE(cold.units[1].ok);
+
+  ServiceResponse warm = service.compile(request);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_FALSE(warm.units[0].ok);
+  std::optional<UnitArtifact> bad = service.artifact(warm.units[0]);
+  ASSERT_TRUE(bad.has_value());
+  // The cached diagnostics replay exactly what the cold compile said.
+  expect_artifacts_identical(
+      *bad, cold_artifact(request.units[0], request.options), "bad.ps");
+  EXPECT_NE(bad->diagnostics.find("error"), std::string::npos);
+}
+
+TEST(CompileService, NoCacheDirMeansEveryUnitCompiles) {
+  CompileService service;  // defaults: no cache
+  EXPECT_FALSE(service.cache_enabled());
+  ServiceRequest request;
+  request.units = {{"relax.ps", kRelaxationSource, false}};
+  ServiceResponse first = service.compile(request);
+  ServiceResponse second = service.compile(request);
+  EXPECT_EQ(first.cache_hits + second.cache_hits, 0u);
+  EXPECT_EQ(second.cache_misses, 1u);
+  // Artifacts are still produced in memory.
+  ASSERT_NE(second.units[0].artifact, nullptr);
+  EXPECT_TRUE(second.units[0].ok);
+}
+
+TEST(CompileService, OversizedBatchSpillsToDisk) {
+  ServiceOptions options = cached_options(fresh_dir("spill"));
+  options.spill_after = 2;
+  CompileService service(options);
+
+  ServiceRequest request;
+  request.units = corpus_inputs();  // 4 units > spill_after
+  ASSERT_GT(request.units.size(), 2u);
+  ServiceResponse response = service.compile(request);
+  EXPECT_EQ(response.spilled, request.units.size());
+  for (const ServiceUnit& unit : response.units) {
+    // Spilled: no in-memory artifact, but the response still knows the
+    // outcome, and the artifact reloads on demand from the cache dir.
+    EXPECT_TRUE(unit.spilled);
+    EXPECT_EQ(unit.artifact, nullptr);
+    EXPECT_TRUE(unit.ok);
+    std::optional<UnitArtifact> artifact = service.artifact(unit);
+    ASSERT_TRUE(artifact.has_value());
+    EXPECT_FALSE(artifact->primary.c_code.empty());
+  }
+  // Warm pass over the oversized batch: hits, still spilled shape.
+  ServiceResponse warm = service.compile(request);
+  EXPECT_EQ(warm.cache_hits, request.units.size());
+  EXPECT_EQ(warm.spilled, request.units.size());
+
+  // Spilled artifacts are byte-identical to cold compiles too.
+  std::optional<UnitArtifact> artifact = service.artifact(warm.units[0]);
+  ASSERT_TRUE(artifact.has_value());
+  expect_artifacts_identical(
+      *artifact, cold_artifact(request.units[0], request.options),
+      "spilled");
+}
+
+TEST(CompileService, WarmDriverOutputMatchesAtAnyJobCount) {
+  // The warm-path determinism contract across -j: same artifacts from
+  // a 1-worker and a 4-worker session, cache disabled so both compile.
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  ServiceOptions sequential;
+  sequential.jobs = 1;
+  ServiceOptions parallel;
+  parallel.jobs = 4;
+  CompileService service_seq(sequential);
+  CompileService service_par(parallel);
+  ServiceResponse seq = service_seq.compile(request);
+  ServiceResponse par = service_par.compile(request);
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    ASSERT_NE(seq.units[i].artifact, nullptr);
+    ASSERT_NE(par.units[i].artifact, nullptr);
+    expect_artifacts_identical(*seq.units[i].artifact,
+                               *par.units[i].artifact,
+                               request.units[i].name);
+  }
+}
+
+TEST(CompileService, StatsAccumulateAcrossRequests) {
+  CompileService service(cached_options(fresh_dir("stats")));
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  (void)service.compile(request);
+  (void)service.compile(request);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.units, 2 * request.units.size());
+  EXPECT_EQ(stats.compiled, request.units.size());
+  EXPECT_EQ(stats.cache_hits, request.units.size());
+  EXPECT_EQ(stats.cache_misses, request.units.size());
+
+  std::string described = service.describe_stats();
+  EXPECT_NE(described.find("2 requests"), std::string::npos) << described;
+  EXPECT_NE(described.find("artifact cache"), std::string::npos);
+}
+
+TEST(CompileService, ConcurrentRequestsSerialiseSafely) {
+  // Several client threads on one session (the daemon shape): every
+  // thread must get complete, correct responses.
+  CompileService service(cached_options(fresh_dir("threads"), 2));
+  ServiceRequest request;
+  request.units = corpus_inputs();
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        ServiceResponse response = service.compile(request);
+        if (response.units.size() != request.units.size()) ++bad;
+        for (const ServiceUnit& unit : response.units)
+          if (!unit.ok) ++bad;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(service.stats().requests, 12u);
+}
+
+TEST(CompileService, RenderMatchesEveryFlagCombination) {
+  // render_artifact against the exact strings a CompiledModule carries.
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  BatchInput input{"gs.ps", kGaussSeidelSource, false};
+  CompileResult result = Compiler(options).compile(input.source, input.name);
+  ASSERT_TRUE(result.ok);
+  BatchUnitResult unit;
+  unit.name = input.name;
+  unit.result = Compiler(options).compile(input.source, input.name);
+  unit.module_symbol = unit.result.primary->module->name;
+  UnitArtifact artifact = artifact_from_result(unit);
+
+  RenderFlags schedule_only;
+  schedule_only.schedule = true;
+  std::string rendered = render_artifact(artifact, schedule_only);
+  std::string expected =
+      flowchart_to_string(result.primary->schedule.flowchart,
+                          *result.primary->graph) +
+      "\n" + "-- hyperplane transform on '" + result.transform->array +
+      "': " + result.transform->describe() + "\n\n" +
+      "-- exact loop bounds (Lamport):\n" + result.exact_nest->to_string() +
+      "\n\n" +
+      flowchart_to_string(result.transformed->schedule.flowchart,
+                          *result.transformed->graph) +
+      "\n";
+  EXPECT_EQ(rendered, expected);
+
+  RenderFlags c_only;
+  c_only.c_code = true;
+  std::string c_rendered = render_artifact(artifact, c_only);
+  EXPECT_NE(c_rendered.find(result.primary->c_code), std::string::npos);
+  EXPECT_NE(c_rendered.find(result.transformed->c_code), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps

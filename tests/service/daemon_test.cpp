@@ -1,0 +1,296 @@
+// The warm compile daemon over its unix-domain socket: lifecycle,
+// request/reply fidelity, concurrent clients on one daemon, and
+// resilience to malformed frames.
+
+#include "service/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "driver/paper_modules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ps {
+namespace {
+
+std::string fresh_socket(const std::string& tag) {
+  static int counter = 0;
+  // Keep it short: sun_path caps at ~108 bytes and TempDir can be long.
+  std::string path = "/tmp/psc_t_" + std::to_string(getpid()) + "_" + tag +
+                     std::to_string(counter++) + ".sock";
+  ::unlink(path.c_str());
+  return path;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = std::string(::testing::TempDir()) + "psc_daemon_" + tag +
+                    "_" + std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A daemon on its own thread; stops and joins on destruction.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(DaemonOptions options) : daemon_(options) {
+    started_ = daemon_.start();
+    if (started_) thread_ = std::thread([this] { daemon_.serve(); });
+  }
+  ~DaemonFixture() {
+    daemon_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] Daemon& daemon() { return daemon_; }
+
+ private:
+  Daemon daemon_;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+ServiceRequest corpus_request() {
+  ServiceRequest request;
+  for (const PaperModule& module : paper_corpus())
+    request.units.push_back({module.name, module.source, false});
+  return request;
+}
+
+TEST(Daemon, PingPongAndGracefulShutdown) {
+  std::string sock = fresh_socket("ping");
+  DaemonOptions options;
+  options.socket_path = sock;
+  auto fixture = std::make_unique<DaemonFixture>(options);
+  ASSERT_TRUE(fixture->started()) << fixture->daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(sock)) << client.error();
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.shutdown());
+  fixture.reset();  // serve() must have returned; join completes
+  // The socket file is removed on shutdown.
+  EXPECT_FALSE(fs::exists(sock));
+}
+
+TEST(Daemon, CompileReplyMatchesColdOneShot) {
+  std::string sock = fresh_socket("compile");
+  DaemonOptions options;
+  options.socket_path = sock;
+  options.service.cache_dir = fresh_dir("compile");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(sock));
+  ServiceRequest request = corpus_request();
+
+  std::optional<RemoteReply> cold = client.compile(request);
+  ASSERT_TRUE(cold.has_value()) << client.error();
+  ASSERT_EQ(cold->units.size(), request.units.size());
+  EXPECT_EQ(cold->cache_hits, 0u);
+
+  // Daemon-path artifacts are byte-identical to a cold in-process
+  // compile of the same unit.
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    CompileResult reference = Compiler(request.options)
+                                  .compile(request.units[i].source,
+                                           request.units[i].name);
+    const UnitArtifact& remote = cold->units[i].artifact;
+    EXPECT_EQ(remote.ok, reference.ok);
+    EXPECT_EQ(remote.diagnostics, reference.diagnostics);
+    EXPECT_EQ(remote.primary.c_code, reference.primary->c_code);
+    EXPECT_EQ(remote.primary.source, reference.primary->source);
+  }
+
+  // Second request on the same warm daemon: all hits, same bytes.
+  std::optional<RemoteReply> warm = client.compile(request);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->cache_hits, request.units.size());
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    EXPECT_TRUE(warm->units[i].cache_hit);
+    EXPECT_EQ(warm->units[i].artifact.primary.c_code,
+              cold->units[i].artifact.primary.c_code);
+    EXPECT_EQ(warm->units[i].artifact.primary.schedule,
+              cold->units[i].artifact.primary.schedule);
+  }
+}
+
+TEST(Daemon, ConcurrentClientsGetCorrectIsolatedReplies) {
+  std::string sock = fresh_socket("concurrent");
+  DaemonOptions options;
+  options.socket_path = sock;
+  options.service.cache_dir = fresh_dir("concurrent");
+  options.service.jobs = 2;
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  // Each client sends a different single-unit request repeatedly; the
+  // replies must always be for that client's unit (no cross-talk) and
+  // always complete.
+  const std::vector<PaperModule>& corpus = paper_corpus();
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const PaperModule& module = corpus[c % corpus.size()];
+      DaemonClient client;
+      if (!client.connect(sock)) {
+        ++bad;
+        return;
+      }
+      ServiceRequest request;
+      request.units.push_back({module.name, module.source, false});
+      for (int i = 0; i < 5; ++i) {
+        std::optional<RemoteReply> reply = client.compile(request);
+        if (!reply || reply->units.size() != 1 ||
+            reply->units[0].name != module.name ||
+            !reply->units[0].artifact.ok)
+          ++bad;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(fixture.daemon().service().stats().requests, 20u);
+}
+
+TEST(Daemon, MalformedFrameGetsErrorReplyAndDaemonSurvives) {
+  std::string sock = fresh_socket("malformed");
+  DaemonOptions options;
+  options.socket_path = sock;
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  // Hand-roll a client that frames garbage bytes.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // MsgKind::CompileRequest byte followed by truncated junk.
+  std::string junk("\x01junkjunk", 9);
+  ASSERT_TRUE(write_frame(fd, junk));
+  std::optional<std::string> reply = read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(peek_kind(*reply), MsgKind::Error);
+  ::close(fd);
+
+  // The daemon is still alive and serving.
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(sock));
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(Daemon, RefusesToDoubleBindALiveSocket) {
+  std::string sock = fresh_socket("double");
+  DaemonOptions options;
+  options.socket_path = sock;
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  Daemon second((DaemonOptions{sock, {}}));
+  EXPECT_FALSE(second.start());
+  EXPECT_NE(second.error().find("already listening"), std::string::npos)
+      << second.error();
+}
+
+TEST(Daemon, ReclaimsAStaleSocketFile) {
+  std::string sock = fresh_socket("stale");
+  {
+    // Simulate a crash: bind then abandon without unlinking.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    ::close(fd);  // file stays behind, nobody listens
+  }
+  ASSERT_TRUE(fs::exists(sock));
+  DaemonOptions options;
+  options.socket_path = sock;
+  DaemonFixture fixture(options);
+  EXPECT_TRUE(fixture.started()) << fixture.daemon().error();
+  DaemonClient client;
+  EXPECT_TRUE(client.connect(sock));
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(Daemon, RefusesAClientFromADifferentCompilerVersion) {
+  std::string sock = fresh_socket("version");
+  DaemonOptions options;
+  options.socket_path = sock;
+  options.service.version = "psc-daemon-build";
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(sock));
+  ServiceRequest request;
+  request.units.push_back({"a.ps", kRelaxationSource, false});
+  // request.client_version defaults to this build's kPscVersion, which
+  // differs from the daemon's: the daemon must refuse (the CLI then
+  // compiles in-process) rather than serve another build's output.
+  EXPECT_FALSE(client.compile(request).has_value());
+  EXPECT_NE(client.error().find("version mismatch"), std::string::npos)
+      << client.error();
+  // The connection survives the refusal.
+  EXPECT_TRUE(client.ping());
+  // A matching version is served.
+  request.client_version = "psc-daemon-build";
+  EXPECT_TRUE(client.compile(request).has_value()) << client.error();
+}
+
+TEST(DaemonClient, ConnectToNothingFailsCleanly) {
+  DaemonClient client;
+  EXPECT_FALSE(client.connect("/tmp/psc_nonexistent_daemon.sock"));
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.ping());
+  ServiceRequest request;
+  request.units.push_back({"a.ps", kRelaxationSource, false});
+  EXPECT_FALSE(client.compile(request).has_value());
+}
+
+TEST(Daemon, ShutdownDrainsOtherClientsInFlight) {
+  std::string sock = fresh_socket("drain");
+  DaemonOptions options;
+  options.socket_path = sock;
+  options.service.cache_dir = fresh_dir("drain");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  // One client keeps an idle connection open; a second one shuts the
+  // daemon down. serve() must still return (the idle client's thread
+  // notices the stop flag) -- the fixture destructor would hang
+  // otherwise, which is the real assertion here.
+  DaemonClient idle;
+  ASSERT_TRUE(idle.connect(sock));
+  EXPECT_TRUE(idle.ping());
+
+  DaemonClient killer;
+  ASSERT_TRUE(killer.connect(sock));
+  EXPECT_TRUE(killer.shutdown());
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,241 @@
+// Wire-format tests: the framing protocol and the artifact
+// serialisation shared by the daemon and the on-disk cache.
+
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "driver/paper_modules.hpp"
+
+namespace ps {
+namespace {
+
+UnitArtifact sample_artifact() {
+  UnitArtifact artifact;
+  artifact.ok = true;
+  artifact.diagnostics = "warn: something\n";
+  artifact.module_name = "Relaxation";
+  artifact.primary = {"src text", "DO K (...)\n", "void Relaxation() {}\n"};
+  artifact.has_transform = true;
+  artifact.transform_array = "A";
+  artifact.transform_desc = "K' = 2K + I + J";
+  artifact.exact_nest = "K' = 2 .. 2*M";
+  artifact.transformed = {"src'", "DOALL I' (...)\n", "void R_h() {}\n"};
+  artifact.compile_ms = 12.5;
+  return artifact;
+}
+
+void expect_same(const UnitArtifact& a, const UnitArtifact& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.diagnostics, b.diagnostics);
+  EXPECT_EQ(a.module_name, b.module_name);
+  EXPECT_EQ(a.primary.source, b.primary.source);
+  EXPECT_EQ(a.primary.schedule, b.primary.schedule);
+  EXPECT_EQ(a.primary.c_code, b.primary.c_code);
+  EXPECT_EQ(a.has_transform, b.has_transform);
+  EXPECT_EQ(a.transform_array, b.transform_array);
+  EXPECT_EQ(a.transform_desc, b.transform_desc);
+  EXPECT_EQ(a.exact_nest, b.exact_nest);
+  EXPECT_EQ(a.transformed.source, b.transformed.source);
+  EXPECT_EQ(a.transformed.schedule, b.transformed.schedule);
+  EXPECT_EQ(a.transformed.c_code, b.transformed.c_code);
+  EXPECT_DOUBLE_EQ(a.compile_ms, b.compile_ms);
+}
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter writer;
+  writer.u8(0xab);
+  writer.u32(0xdeadbeefu);
+  writer.u64(0x0123456789abcdefull);
+  writer.f64(-0.0);
+  writer.f64(std::nan(""));
+  writer.str("hello");
+  writer.str("");
+
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  // Bit-exact doubles: -0.0 and the NaN payload survive the wire.
+  EXPECT_EQ(std::signbit(reader.f64()), true);
+  EXPECT_TRUE(std::isnan(reader.f64()));
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(Wire, TruncatedReadsThrow) {
+  WireWriter writer;
+  writer.u32(7);
+  WireReader reader(writer.bytes());
+  EXPECT_THROW(reader.u64(), WireError);
+
+  // A string whose length prefix promises more bytes than exist.
+  WireWriter liar;
+  liar.u32(1000);
+  WireReader liar_reader(liar.bytes());
+  EXPECT_THROW(liar_reader.str(), WireError);
+}
+
+TEST(Wire, TrailingBytesAreAnError) {
+  WireWriter writer;
+  writer.u8(1);
+  writer.u8(2);
+  WireReader reader(writer.bytes());
+  (void)reader.u8();
+  EXPECT_THROW(reader.expect_end(), WireError);
+}
+
+TEST(Wire, ArtifactRoundTrip) {
+  UnitArtifact artifact = sample_artifact();
+  WireWriter writer;
+  write_artifact(writer, artifact);
+  WireReader reader(writer.bytes());
+  UnitArtifact decoded = read_artifact(reader);
+  EXPECT_TRUE(reader.at_end());
+  expect_same(artifact, decoded);
+}
+
+TEST(Wire, FailedUnitArtifactRoundTrip) {
+  UnitArtifact artifact;
+  artifact.ok = false;
+  artifact.diagnostics = "bad.ps:1: error: expected module\n";
+  WireWriter writer;
+  write_artifact(writer, artifact);
+  WireReader reader(writer.bytes());
+  expect_same(artifact, read_artifact(reader));
+}
+
+TEST(Wire, OptionsRoundTripAllFlagCombinations) {
+  for (unsigned bits = 0; bits < 64; ++bits) {
+    CompileOptions options;
+    options.merge_loops = bits & 1;
+    options.apply_hyperplane = bits & 2;
+    options.exact_bounds = bits & 4;
+    options.emit_c_code = bits & 8;
+    options.emit_openmp = bits & 16;
+    options.use_virtual_windows = bits & 32;
+    options.solver.bound = static_cast<int>(bits) + 3;
+    WireWriter writer;
+    write_options(writer, options);
+    WireReader reader(writer.bytes());
+    CompileOptions decoded = read_options(reader);
+    EXPECT_EQ(decoded.merge_loops, options.merge_loops);
+    EXPECT_EQ(decoded.apply_hyperplane, options.apply_hyperplane);
+    EXPECT_EQ(decoded.exact_bounds, options.exact_bounds);
+    EXPECT_EQ(decoded.emit_c_code, options.emit_c_code);
+    EXPECT_EQ(decoded.emit_openmp, options.emit_openmp);
+    EXPECT_EQ(decoded.use_virtual_windows, options.use_virtual_windows);
+    EXPECT_EQ(decoded.solver.bound, options.solver.bound);
+  }
+}
+
+TEST(Wire, CompileRequestRoundTrip) {
+  ServiceRequest request;
+  request.options.apply_hyperplane = true;
+  request.units.push_back({"a.ps", kRelaxationSource, false});
+  request.units.push_back({"b.eqn", "module X; ...", true});
+
+  ServiceRequest decoded =
+      decode_compile_request(encode_compile_request(request));
+  EXPECT_EQ(decoded.client_version, kPscVersion);
+  ASSERT_EQ(decoded.units.size(), 2u);
+  EXPECT_EQ(decoded.units[0].name, "a.ps");
+  EXPECT_EQ(decoded.units[0].source, kRelaxationSource);
+  EXPECT_FALSE(decoded.units[0].is_eqn);
+  EXPECT_TRUE(decoded.units[1].is_eqn);
+  EXPECT_TRUE(decoded.options.apply_hyperplane);
+}
+
+TEST(Wire, CompileReplyRoundTrip) {
+  RemoteReply reply;
+  reply.cache_hits = 3;
+  reply.cache_misses = 1;
+  reply.jobs = 4;
+  reply.wall_ms = 7.25;
+  RemoteUnitResult unit;
+  unit.name = "a.ps";
+  unit.cache_hit = true;
+  unit.milliseconds = 0.5;
+  unit.artifact = sample_artifact();
+  reply.units.push_back(unit);
+
+  RemoteReply decoded = decode_compile_reply(encode_compile_reply(reply));
+  EXPECT_EQ(decoded.cache_hits, 3u);
+  EXPECT_EQ(decoded.cache_misses, 1u);
+  EXPECT_EQ(decoded.jobs, 4u);
+  EXPECT_DOUBLE_EQ(decoded.wall_ms, 7.25);
+  ASSERT_EQ(decoded.units.size(), 1u);
+  EXPECT_EQ(decoded.units[0].name, "a.ps");
+  EXPECT_TRUE(decoded.units[0].cache_hit);
+  expect_same(decoded.units[0].artifact, reply.units[0].artifact);
+}
+
+TEST(Wire, MessageKindsAndErrors) {
+  EXPECT_EQ(peek_kind(encode_simple(MsgKind::Ping)), MsgKind::Ping);
+  EXPECT_EQ(peek_kind(encode_simple(MsgKind::Shutdown)), MsgKind::Shutdown);
+  std::string error = encode_simple(MsgKind::Error, "boom");
+  EXPECT_EQ(peek_kind(error), MsgKind::Error);
+  EXPECT_EQ(decode_error(error), "boom");
+  EXPECT_THROW(peek_kind(""), WireError);
+  EXPECT_THROW(decode_compile_request(encode_simple(MsgKind::Ping)),
+               WireError);
+}
+
+TEST(Wire, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string payload = encode_simple(MsgKind::Error, "hello frame");
+  // Writer thread: pipes have finite capacity, so write concurrently.
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(fds[1], payload));
+    EXPECT_TRUE(write_frame(fds[1], ""));  // empty frames are legal
+    close(fds[1]);
+  });
+  std::optional<std::string> first = read_frame(fds[0]);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, payload);
+  std::optional<std::string> second = read_frame(fds[0]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->size(), 0u);
+  // EOF after the writer closed: clean nullopt, not a hang or throw.
+  EXPECT_FALSE(read_frame(fds[0]).has_value());
+  writer.join();
+  close(fds[0]);
+}
+
+TEST(Wire, TruncatedFrameIsRejected) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Length prefix promises 100 bytes; only 3 arrive before EOF.
+  char header[4] = {100, 0, 0, 0};
+  ASSERT_EQ(write(fds[1], header, 4), 4);
+  ASSERT_EQ(write(fds[1], "abc", 3), 3);
+  close(fds[1]);
+  EXPECT_FALSE(read_frame(fds[0]).has_value());
+  close(fds[0]);
+}
+
+TEST(Wire, OversizedFrameIsRefusedNotAllocated) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // 4 GiB length prefix: must be rejected from the header alone (a
+  // daemon must not be OOM-able by one bogus length).
+  unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(write(fds[1], header, 4), 4);
+  close(fds[1]);
+  EXPECT_FALSE(read_frame(fds[0]).has_value());
+  close(fds[0]);
+  // And the writer refuses symmetric oversize.
+  // (kMaxFrameBytes itself is fine; one past it is not encodable.)
+}
+
+}  // namespace
+}  // namespace ps

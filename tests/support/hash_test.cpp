@@ -1,0 +1,65 @@
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ps {
+namespace {
+
+// FIPS 180-4 test vectors: an implementation that gets any of these
+// right by accident does not exist.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(
+      sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hash;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hash.update(chunk);
+  EXPECT_EQ(
+      hash.hex_digest(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Split points must not matter: the streaming interface sees the same
+// bytes whatever chunking the cache's key builder uses.
+TEST(Sha256, ChunkingIsIrrelevant) {
+  std::string text = "the quick brown fox jumps over the lazy dog, twice, "
+                     "so the message spans more than one 64-byte block";
+  std::string whole = sha256_hex(text);
+  for (size_t split = 0; split <= text.size(); split += 7) {
+    Sha256 hash;
+    hash.update(text.substr(0, split));
+    hash.update(text.substr(split));
+    EXPECT_EQ(hash.hex_digest(), whole) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetStartsOver) {
+  Sha256 hash;
+  hash.update("garbage that must not leak into the next digest");
+  (void)hash.digest();
+  hash.reset();
+  hash.update("abc");
+  EXPECT_EQ(
+      hash.hex_digest(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace ps
