@@ -98,8 +98,9 @@ void BM_BytecodeDispatch(benchmark::State& state) {
                                           : BcDispatch::Switch);
   const BcProgram& rhs = f.core.programs(2).rhs;
   VarFrame frame = f.interior_frame();
+  ps::EvalScratch scratch;
   for (auto _ : state) {
-    ps::EvalSlot slot = f.core.run(rhs, frame);
+    ps::EvalSlot slot = f.core.run(rhs, frame, scratch);
     benchmark::DoNotOptimize(slot.d);
   }
   f.core.set_dispatch(BcDispatch::Threaded);
@@ -115,8 +116,9 @@ void BM_Superinstructions(benchmark::State& state) {
   const BcProgram& rhs =
       state.range(0) == 0 ? f.core.programs(2).rhs : f.unfused_rhs;
   VarFrame frame = f.interior_frame();
+  ps::EvalScratch scratch;
   for (auto _ : state) {
-    ps::EvalSlot slot = f.core.run(rhs, frame);
+    ps::EvalSlot slot = f.core.run(rhs, frame, scratch);
     benchmark::DoNotOptimize(slot.d);
   }
   state.counters["evals_per_s"] = benchmark::Counter(
@@ -134,8 +136,9 @@ void BM_ArrayAddressing(benchmark::State& state) {
   f.core.set_reduced_addressing(state.range(0) == 0);
   const BcProgram& rhs = f.core.programs(2).rhs;
   VarFrame frame = f.interior_frame();
+  ps::EvalScratch scratch;
   for (auto _ : state) {
-    ps::EvalSlot slot = f.core.run(rhs, frame);
+    ps::EvalSlot slot = f.core.run(rhs, frame, scratch);
     benchmark::DoNotOptimize(slot.d);
   }
   f.core.set_reduced_addressing(true);
@@ -163,8 +166,9 @@ void BM_QuickenedScalars(benchmark::State& state) {
   if (state.range(0) == 0) core.quicken_scalars();
   const BcProgram& rhs = core.programs(2).rhs;
   VarFrame frame = f.interior_frame();
+  ps::EvalScratch scratch;
   for (auto _ : state) {
-    ps::EvalSlot slot = core.run(rhs, frame);
+    ps::EvalSlot slot = core.run(rhs, frame, scratch);
     benchmark::DoNotOptimize(slot.d);
   }
   state.counters["evals_per_s"] = benchmark::Counter(
@@ -194,8 +198,9 @@ void BM_DeepNestVars(benchmark::State& state) {
   program.code.push_back(ps::BcInstr{ps::BcOp::Halt, 0, 0, 0, 0});
   program.max_stack = vars;
   EvalCore core;
+  ps::EvalScratch scratch;
   for (auto _ : state) {
-    ps::EvalSlot slot = core.run(program, frame);
+    ps::EvalSlot slot = core.run(program, frame, scratch);
     benchmark::DoNotOptimize(slot.i);
   }
   state.counters["evals_per_s"] = benchmark::Counter(

@@ -239,59 +239,10 @@ void print_compiled_table() {
          " work -- the dominant term in the recorded honest negative)\n\n");
 }
 
-// ---------------------------------------------------------------------------
-// Microbenchmarks
-// ---------------------------------------------------------------------------
-
-void BM_FourierMotzkinGaussSeidel(benchmark::State& state) {
-  auto result = compile_exact();
-  auto domain =
-      ps::transformed_domain(*result.primary->module, *result.transform);
-  for (auto _ : state) {
-    auto nest =
-        ps::fourier_motzkin_bounds(*domain, result.transform->new_vars);
-    benchmark::DoNotOptimize(nest.has_value());
-  }
-}
-BENCHMARK(BM_FourierMotzkinGaussSeidel)->Unit(benchmark::kMicrosecond);
-
-void BM_ExactNestScan(benchmark::State& state) {
-  auto result = compile_exact();
-  ps::IntEnv params{{"M", state.range(0)}, {"maxK", 32}};
-  for (auto _ : state) {
-    int64_t points = ps::count_loop_nest_points(*result.exact_nest, params);
-    benchmark::DoNotOptimize(points);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          ps::count_loop_nest_points(*result.exact_nest,
-                                                     params));
-}
-BENCHMARK(BM_ExactNestScan)->Arg(32)->Arg(64)->Arg(128)
-    ->Unit(benchmark::kMillisecond);
-
-// args: {M, engine} with engine 0 = shared bytecode core, 1 = tree-walk
-// reference -- the ratio is the payoff of compiling the recurrence once
-// instead of re-walking its AST at every wavefront point.
-void BM_WavefrontRunner(benchmark::State& state) {
-  auto result = compile_exact();
-  const long m = state.range(0);
-  ps::ThreadPool pool;
-  ps::WavefrontOptions opts;
-  opts.pool = &pool;
-  opts.engine = state.range(1) == 0 ? ps::EvalEngine::Bytecode
-                                    : ps::EvalEngine::TreeWalk;
-  for (auto _ : state) {
-    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
-                             *result.exact_nest,
-                             ps::IntEnv{{"M", m}, {"maxK", 32}}, {}, opts);
-    fill(wave.array("InitialA"), m);
-    wave.run();
-    benchmark::DoNotOptimize(wave.stats().points);
-  }
-}
-BENCHMARK(BM_WavefrontRunner)
-    ->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1})
-    ->Unit(benchmark::kMillisecond);
+// The microbenchmarks that used to live here (BM_FourierMotzkin*,
+// BM_ExactNestScan, BM_WavefrontRunner) moved to bench_wavefront.cpp,
+// which records BENCH_wavefront.json; this binary keeps the A4
+// experiment tables.
 
 }  // namespace
 

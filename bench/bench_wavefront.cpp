@@ -1,0 +1,198 @@
+// The wavefront engine's perf surface, recorded as BENCH_wavefront.json
+// and gated by scripts/check_bench_regression.py:
+//
+//   * BM_FourierMotzkinGaussSeidel / BM_ExactNestScan: the exact-bounds
+//     machinery the schedule layer is built on;
+//   * BM_WavefrontRunner {M, engine}: the historical end-to-end axis
+//     (0 = shared bytecode core, 1 = tree-walk reference);
+//   * BM_WavefrontBackend {M, backend}: the backend layer head to head
+//     (0 = sequential, 1 = pooled-chunked, 2 = sharded);
+//   * BM_WavefrontStreamingMemory: the streaming-memory axis on a
+//     consumer-heavy module -- the peak_bucket_instances counters prove
+//     the consumer stream's live set is bounded by one hyperplane, not
+//     the module total the old eager buckets held.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "runtime/wavefront.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace {
+
+using ps::bench::compile;
+
+ps::CompileResult compile_exact(const char* source = ps::kGaussSeidelSource) {
+  ps::CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  return compile(source, options);
+}
+
+void fill(ps::NdArray& in, long m) {
+  for (long i = 0; i <= m + 1; ++i)
+    for (long j = 0; j <= m + 1; ++j)
+      in.set(std::vector<int64_t>{i, j},
+             static_cast<double>((i * 13 + j) % 17));
+}
+
+void BM_FourierMotzkinGaussSeidel(benchmark::State& state) {
+  auto result = compile_exact();
+  auto domain =
+      ps::transformed_domain(*result.primary->module, *result.transform);
+  for (auto _ : state) {
+    auto nest =
+        ps::fourier_motzkin_bounds(*domain, result.transform->new_vars);
+    benchmark::DoNotOptimize(nest.has_value());
+  }
+}
+BENCHMARK(BM_FourierMotzkinGaussSeidel)->Unit(benchmark::kMicrosecond);
+
+void BM_ExactNestScan(benchmark::State& state) {
+  auto result = compile_exact();
+  ps::IntEnv params{{"M", state.range(0)}, {"maxK", 32}};
+  for (auto _ : state) {
+    int64_t points = ps::count_loop_nest_points(*result.exact_nest, params);
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ps::count_loop_nest_points(*result.exact_nest,
+                                                     params));
+}
+BENCHMARK(BM_ExactNestScan)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// args: {M, engine} with engine 0 = shared bytecode core, 1 = tree-walk
+// reference -- the ratio is the payoff of compiling the recurrence once
+// instead of re-walking its AST at every wavefront point.
+void BM_WavefrontRunner(benchmark::State& state) {
+  auto result = compile_exact();
+  const long m = state.range(0);
+  ps::ThreadPool pool;
+  ps::WavefrontOptions opts;
+  opts.pool = &pool;
+  opts.engine = state.range(1) == 0 ? ps::EvalEngine::Bytecode
+                                    : ps::EvalEngine::TreeWalk;
+  for (auto _ : state) {
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", m}, {"maxK", 32}}, {}, opts);
+    fill(wave.array("InitialA"), m);
+    wave.run();
+    benchmark::DoNotOptimize(wave.stats().points);
+  }
+}
+BENCHMARK(BM_WavefrontRunner)
+    ->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// args: {M, backend} with 0 = sequential (no pool), 1 = pooled-chunked
+// (dynamic chunk self-scheduling), 2 = sharded (static point stripes on
+// per-worker contexts). All three are bit-exact; the axis records what
+// the scheduling strategy itself costs or buys per hyperplane.
+void BM_WavefrontBackend(benchmark::State& state) {
+  auto result = compile_exact();
+  const long m = state.range(0);
+  ps::ThreadPool pool;
+  ps::WavefrontOptions opts;
+  switch (state.range(1)) {
+    case 0:
+      opts.backend = ps::WavefrontBackend::Sequential;
+      break;
+    case 1:
+      opts.pool = &pool;
+      opts.backend = ps::WavefrontBackend::PooledChunked;
+      break;
+    default:
+      opts.pool = &pool;
+      opts.backend = ps::WavefrontBackend::Sharded;
+      break;
+  }
+  for (auto _ : state) {
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", m}, {"maxK", 32}}, {}, opts);
+    fill(wave.array("InitialA"), m);
+    wave.run();
+    benchmark::DoNotOptimize(wave.stats().points);
+  }
+}
+BENCHMARK(BM_WavefrontBackend)
+    ->Args({96, 0})->Args({96, 1})->Args({96, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// A consumer-heavy Gauss-Seidel: three output equations read the
+/// recurrence array at distinct affine slices, so the old eager bucket
+/// map held every one of their instances live before the first point
+/// ran. The counters record the streaming bound instead.
+constexpr const char* kConsumerHeavySource = R"PS(
+Heavy: module (InitialA: array[I,J] of real; M: int; maxK: int):
+  [newA: array [I, J] of real; diag: array [I] of real;
+   edge: array [J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+define
+  A[1] = InitialA;
+  newA = A[maxK];
+  diag[I] = A[maxK, I, I];
+  edge[J] = A[maxK, 1, J];
+  A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+             then A[K-1,I,J]
+             else ( A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+end Heavy;
+)PS";
+
+// The streaming-memory axis: wall time of the consumer-heavy module,
+// with counters proving the live-set bound -- peak_bucket_instances
+// (max consumer instances streamed for one hyperplane) versus
+// total_flushed (what the eager buckets used to hold live at once).
+void BM_WavefrontStreamingMemory(benchmark::State& state) {
+  auto result = compile_exact(kConsumerHeavySource);
+  const long m = state.range(0);
+  int64_t peak = 0;
+  int64_t flushed = 0;
+  for (auto _ : state) {
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", m}, {"maxK", 16}});
+    fill(wave.array("InitialA"), m);
+    wave.run();
+    peak = wave.stats().peak_bucket_instances;
+    flushed = wave.stats().flushed;
+    benchmark::DoNotOptimize(peak);
+  }
+  state.counters["peak_bucket_instances"] =
+      benchmark::Counter(static_cast<double>(peak));
+  state.counters["total_flushed"] =
+      benchmark::Counter(static_cast<double>(flushed));
+}
+BENCHMARK(BM_WavefrontStreamingMemory)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    auto heavy = compile_exact(kConsumerHeavySource);
+    ps::WavefrontRunner wave(*heavy.transformed->module, *heavy.transform,
+                             *heavy.exact_nest,
+                             ps::IntEnv{{"M", 96}, {"maxK", 16}});
+    fill(wave.array("InitialA"), 96);
+    wave.run();
+    printf("=== streaming consumer memory (M=96, maxK=16) ===\n");
+    printf("backend: %s\n", wave.stats().backend.c_str());
+    printf("peak live consumer instances (one hyperplane): %lld\n",
+           static_cast<long long>(wave.stats().peak_bucket_instances));
+    printf("total consumer instances (eager buckets held all of these): "
+           "%lld\n\n",
+           static_cast<long long>(wave.stats().flushed));
+  }
+  return ps::bench::run_benchmarks(argc, argv);
+}

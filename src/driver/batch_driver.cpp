@@ -9,6 +9,7 @@
 #include "eqn/translate.hpp"
 #include "frontend/ast.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/report_format.hpp"
 #include "support/text_table.hpp"
 
 namespace ps {
@@ -22,36 +23,9 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-std::string format_ms(double ms) {
-  char buffer[32];
-  snprintf(buffer, sizeof(buffer), "%.3f", ms);
-  return buffer;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        // RFC 8259: control characters must be escaped.
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          snprintf(buffer, sizeof(buffer), "\\u%04x",
-                   static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out += c;
-        }
-        break;
-    }
-  }
-  return out;
-}
+/// format_ms / json_escape moved to support/report_format.hpp, shared
+/// with the compile service's cached-report renderer.
+std::string format_ms(double ms) { return format_ms_fixed(ms); }
 
 }  // namespace
 

@@ -16,7 +16,14 @@
 //     --verbose         report the runtime engine per module: whether the
 //                       bytecode VM covers it (or why it would fall back
 //                       to the tree walk), program sizes, folded/fused
-//                       instruction counts and the dispatch mode
+//                       instruction counts and the dispatch mode; for
+//                       hyperplane-transformed modules also the wavefront
+//                       execution backend in effect
+//     --wavefront-backend=K  execution backend of the wavefront runtime
+//                       for transformed modules: auto (default), sequential,
+//                       pooled (chunk self-scheduling on the worker pool) or
+//                       sharded (static point striping with per-worker
+//                       contexts); reported by --verbose
 //
 //   Batch compilation (several inputs, or --corpus):
 //     -j N              compile units on N workers (default 1; 0 = all cores)
@@ -42,8 +49,10 @@
 // corresponding single-file runs at any -j, printed in input order with
 // a "== name ==" separator. The cached, daemon and in-process paths all
 // print byte-identical artifacts for the supported output flags
-// (--source, --schedule, --c); structural dumps (--graph, --dot,
-// --components), --passes, --time-passes and --batch-report always
+// (--source, --schedule, --c); --batch-report (text and --json) is
+// served from cached artifact metadata on the service paths, so a
+// fully warm report costs cache probes, not compiles. Structural dumps
+// (--graph, --dot, --components), --passes and --time-passes always
 // compile in-process. On the service paths --verbose reports cache /
 // daemon statistics on stderr instead of the per-module engine
 // reports (those need a live CompileResult).
@@ -62,6 +71,7 @@
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
 #include "runtime/eval_core.hpp"
+#include "runtime/wavefront_backend.hpp"
 #include "service/compile_service.hpp"
 #include "service/daemon.hpp"
 #include "support/text_table.hpp"
@@ -140,10 +150,26 @@ void print_engine_report(const ps::CompiledModule& stage) {
             << '\n';
 }
 
-void print_engine_reports(const ps::CompileResult& result) {
+/// --verbose: the wavefront execution backend a transformed module
+/// would run under (--wavefront-backend selects it; Auto resolves from
+/// whether the caller hands the runner a worker pool).
+void print_wavefront_backend_report(const ps::CompiledModule& stage,
+                                    ps::WavefrontBackend backend) {
+  std::cout << "-- wavefront backend [" << stage.module->name
+            << "]: " << ps::wavefront_backend_name(backend);
+  if (backend == ps::WavefrontBackend::Auto)
+    std::cout << " (pooled with a worker pool, sequential without)";
+  std::cout << ", streaming consumer flushes, O(window) storage\n";
+}
+
+void print_engine_reports(const ps::CompileResult& result,
+                          ps::WavefrontBackend wavefront_backend) {
   if (!result.primary) return;
   print_engine_report(*result.primary);
-  if (result.transformed) print_engine_report(*result.transformed);
+  if (result.transformed) {
+    print_engine_report(*result.transformed);
+    print_wavefront_backend_report(*result.transformed, wavefront_backend);
+  }
 }
 
 bool read_file(const std::string& path, std::string& text) {
@@ -222,6 +248,23 @@ int print_rendered_units(const std::vector<RenderedUnit>& units, bool batch) {
   return all_ok ? 0 : 1;
 }
 
+/// --batch-report on a service path: diagnostics in input order on
+/// stderr (like every other path), then the report built from artifact
+/// metadata -- no compile happened for cache hits. Returns the exit
+/// code.
+int print_service_report(const std::vector<ps::ServiceReportRow>& rows,
+                         const ps::ServiceReportSummary& summary,
+                         const std::vector<std::string>& diagnostics,
+                         bool json) {
+  for (const std::string& diagnostic : diagnostics)
+    if (!diagnostic.empty()) std::cerr << diagnostic;
+  std::cout << (json ? ps::service_report_json(rows, summary)
+                     : ps::format_service_report(rows, summary));
+  for (const ps::ServiceReportRow& row : rows)
+    if (!row.ok) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +283,7 @@ int main(int argc, char** argv) {
   size_t cache_max_bytes = 0;
   size_t spill_after = 0;
   size_t jobs = 1;
+  ps::WavefrontBackend wavefront_backend = ps::WavefrontBackend::Auto;
   std::vector<std::string> paths;
 
   ps::CompileOptions options;
@@ -261,6 +305,15 @@ int main(int argc, char** argv) {
     else if (arg == "--passes") list_passes = true;
     else if (arg == "--time-passes") time_passes = true;
     else if (arg == "--verbose") verbose = true;
+    else if (arg.rfind("--wavefront-backend=", 0) == 0) {
+      auto parsed = ps::parse_wavefront_backend(arg.substr(20));
+      if (!parsed) {
+        std::cerr << "psc: unknown wavefront backend '" << arg.substr(20)
+                  << "' (use auto, sequential, pooled or sharded)\n";
+        return 2;
+      }
+      wavefront_backend = *parsed;
+    }
     else if (arg == "--batch-report") batch_report = true;
     else if (arg == "--json") json = true;
     else if (arg == "--corpus") corpus = true;
@@ -318,6 +371,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
                    "--source] [--hyperplane] [--exact] [--merge] "
                    "[--no-windows] [--passes] [--time-passes] [--verbose] "
+                   "[--wavefront-backend=auto|sequential|pooled|sharded] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
                    "[--cache-dir DIR] [--cache-max-bytes N] "
                    "[--spill-after N] [--daemon[=SOCK]] [--client[=SOCK]] "
@@ -425,12 +479,12 @@ int main(int argc, char** argv) {
   const bool batch = inputs.size() > 1 || corpus || batch_report;
 
   // The service path (daemon client or the one-shot disk cache) serves
-  // stored artifacts, which carry the printable output surface: source,
-  // schedule, C. Structural dumps and the report modes re-derive state
-  // from a live CompileResult, so they always compile in-process.
+  // stored artifacts, which carry the printable output surface (source,
+  // schedule, C) plus the metadata --batch-report needs. Structural
+  // dumps and --passes/--time-passes re-derive state from a live
+  // CompileResult, so they always compile in-process.
   const bool service_renderable = !flags.components && !flags.graph &&
-                                  !flags.dot && !list_passes &&
-                                  !time_passes && !batch_report;
+                                  !flags.dot && !list_passes && !time_passes;
   if ((client_mode || !cache_dir.empty()) && service_renderable) {
     ps::RenderFlags render_flags;
     render_flags.source = flags.source;
@@ -447,6 +501,26 @@ int main(int argc, char** argv) {
       if (client.connect(sock)) {
         std::optional<ps::RemoteReply> reply = client.compile(request);
         if (reply) {
+          if (verbose)
+            std::cerr << "psc: daemon on " << sock << ": "
+                      << reply->cache_hits << " cache hits, "
+                      << reply->cache_misses << " compiled, -j "
+                      << reply->jobs << '\n';
+          if (batch_report) {
+            std::vector<ps::ServiceReportRow> rows;
+            std::vector<std::string> diagnostics;
+            rows.reserve(reply->units.size());
+            for (const ps::RemoteUnitResult& unit : reply->units) {
+              rows.push_back({unit.name, unit.artifact.module_name,
+                              unit.artifact.ok, unit.cache_hit,
+                              unit.milliseconds});
+              diagnostics.push_back(unit.artifact.diagnostics);
+            }
+            ps::ServiceReportSummary summary{reply->jobs, reply->wall_ms,
+                                             reply->cache_hits,
+                                             reply->cache_misses};
+            return print_service_report(rows, summary, diagnostics, json);
+          }
           std::vector<RenderedUnit> rendered;
           rendered.reserve(reply->units.size());
           for (const ps::RemoteUnitResult& unit : reply->units)
@@ -454,11 +528,6 @@ int main(int argc, char** argv) {
                                 unit.artifact.diagnostics,
                                 ps::render_artifact(unit.artifact,
                                                     render_flags)});
-          if (verbose)
-            std::cerr << "psc: daemon on " << sock << ": "
-                      << reply->cache_hits << " cache hits, "
-                      << reply->cache_misses << " compiled, -j "
-                      << reply->jobs << '\n';
           return print_rendered_units(rendered, batch);
         }
         // Daemon refused (version mismatch) or the connection broke
@@ -482,6 +551,33 @@ int main(int argc, char** argv) {
       service_options.spill_after = spill_after;
       ps::CompileService service(service_options);
       ps::ServiceResponse response = service.compile(request);
+      if (batch_report) {
+        std::vector<ps::ServiceReportRow> rows;
+        std::vector<std::string> diagnostics;
+        rows.reserve(response.units.size());
+        for (const ps::ServiceUnit& unit : response.units) {
+          rows.push_back({unit.name, unit.module_name, unit.ok,
+                          unit.cache_hit, unit.milliseconds});
+          // Diagnostics live in the artifact. Read in-memory ones in
+          // place (no whole-artifact copy just for one string); only
+          // spilled units reload from the cache directory (report
+          // mode, not the hot path).
+          if (unit.artifact != nullptr) {
+            diagnostics.push_back(unit.artifact->diagnostics);
+          } else {
+            std::optional<ps::UnitArtifact> artifact =
+                service.artifact(unit);
+            diagnostics.push_back(artifact ? artifact->diagnostics
+                                           : std::string());
+          }
+        }
+        ps::ServiceReportSummary summary{response.jobs, response.wall_ms,
+                                         response.cache_hits,
+                                         response.cache_misses};
+        if (verbose)
+          std::cerr << "psc: " << service.describe_stats() << '\n';
+        return print_service_report(rows, summary, diagnostics, json);
+      }
       std::vector<RenderedUnit> rendered;
       rendered.reserve(response.units.size());
       for (const ps::ServiceUnit& unit : response.units) {
@@ -516,7 +612,7 @@ int main(int argc, char** argv) {
       std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
     if (!result.ok || !result.primary) return 1;
     print_result(result, flags);
-    if (verbose) print_engine_reports(result);
+    if (verbose) print_engine_reports(result, wavefront_backend);
     return 0;
   }
 
@@ -539,7 +635,7 @@ int main(int argc, char** argv) {
     for (const ps::BatchUnitResult& unit : results) {
       std::cout << "== " << unit.name << " ==\n";
       print_result(unit.result, flags);
-      if (verbose) print_engine_reports(unit.result);
+      if (verbose) print_engine_reports(unit.result, wavefront_backend);
     }
   }
   // The report already embeds the aggregate table; only print it here

@@ -1,0 +1,313 @@
+#include "runtime/consumer_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("wavefront: " + message);
+}
+
+int64_t rat_floor(const Rational& r) {
+  int64_t q = r.num() / r.den();  // den() is always positive
+  if (r.num() % r.den() != 0 && r.num() < 0) --q;
+  return q;
+}
+
+int64_t rat_ceil(const Rational& r) { return -rat_floor(-r); }
+
+}  // namespace
+
+/// Enumerates, in lexicographic loop order, the box tuples v with
+/// form(v) == t: an odometer over the free dimensions with the pivot
+/// dimension solved exactly. Because the pivot is the *last* dimension
+/// with a nonzero coefficient, dimensions after it are free with zero
+/// coefficient, so for a fixed prefix the pivot value is fixed -- the
+/// emission order is exactly the lexicographic order of the full
+/// tuples, which is what keeps the stream byte-compatible with the old
+/// eager buckets.
+class ConsumerStream::FormCursor {
+ public:
+  FormCursor(const Consumer& consumer, size_t form, int64_t t)
+      : consumer_(&consumer), form_(&consumer.forms[form]), t_(t) {
+    const size_t dims = consumer.lo.size();
+    vals_.resize(dims);
+    if (consumer.empty_box) {
+      exhausted_ = true;
+      return;
+    }
+    if (form_->pivot < 0 && form_->c0 != Rational(t)) {
+      exhausted_ = true;  // constant form off this hyperplane
+      return;
+    }
+    for (size_t d = 0; d < dims; ++d) vals_[d] = consumer.lo[d];
+  }
+
+  /// Advance to the next tuple with form(vals) == t; false when done.
+  bool next() {
+    if (exhausted_) return false;
+    while (true) {
+      if (started_) {
+        if (!advance_free()) return false;
+      } else {
+        started_ = true;
+      }
+      if (solve_pivot()) return true;
+    }
+  }
+
+  [[nodiscard]] const std::vector<int64_t>& vals() const { return vals_; }
+
+ private:
+  /// Odometer step over every non-pivot dimension (lexicographic).
+  bool advance_free() {
+    const int pivot = form_->pivot;
+    size_t d = vals_.size();
+    while (true) {
+      if (d == 0) {
+        exhausted_ = true;
+        return false;
+      }
+      --d;
+      if (static_cast<int>(d) == pivot) continue;
+      if (vals_[d] < consumer_->hi[d]) {
+        ++vals_[d];
+        // Reset the free dimensions inside d to their lower corner.
+        for (size_t inner = d + 1; inner < vals_.size(); ++inner)
+          if (static_cast<int>(inner) != pivot)
+            vals_[inner] = consumer_->lo[inner];
+        return true;
+      }
+      vals_[d] = consumer_->lo[d];
+    }
+  }
+
+  /// Solve the pivot dimension for form(vals) == t; false when the
+  /// solution is fractional or outside the pivot's range (this free
+  /// combination contributes no instance). Constant forms (pivot < 0)
+  /// match every tuple -- the constructor already checked c0 == t.
+  bool solve_pivot() {
+    const int pivot = form_->pivot;
+    if (pivot < 0) return true;
+    Rational rest = Rational(t_) - form_->c0;
+    for (size_t d = 0; d < vals_.size(); ++d) {
+      if (static_cast<int>(d) == pivot) continue;
+      if (!form_->coeffs[d].is_zero())
+        rest -= form_->coeffs[d] * Rational(vals_[d]);
+    }
+    Rational v = rest / form_->coeffs[static_cast<size_t>(pivot)];
+    if (!v.is_integer()) return false;
+    int64_t value = v.as_integer();
+    if (value < consumer_->lo[static_cast<size_t>(pivot)] ||
+        value > consumer_->hi[static_cast<size_t>(pivot)])
+      return false;
+    vals_[static_cast<size_t>(pivot)] = value;
+    return true;
+  }
+
+  const Consumer* consumer_;
+  const Form* form_;
+  int64_t t_;
+  std::vector<int64_t> vals_;
+  bool started_ = false;
+  bool exhausted_ = false;
+};
+
+ConsumerStream::ConsumerStream(const CheckedModule& module,
+                               const std::vector<size_t>& consumers,
+                               const std::string& array, int64_t window,
+                               const IntEnv& params)
+    : array_(array), window_(window) {
+  consumers_.reserve(consumers.size());
+  for (size_t id : consumers) {
+    const CheckedEquation& eq = module.equations[id];
+    Consumer consumer;
+    consumer.id = id;
+
+    const size_t dims = eq.loop_dims.size();
+    consumer.lo.resize(dims);
+    consumer.hi.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      auto l = eval_const_int(*eq.loop_dims[d].range->lo, params);
+      auto h = eval_const_int(*eq.loop_dims[d].range->hi, params);
+      if (!l || !h) fail("cannot evaluate consumer bounds");
+      consumer.lo[d] = *l;
+      consumer.hi[d] = *h;
+      if (*h < *l) consumer.empty_box = true;
+    }
+
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array != array_) continue;
+      auto affine = affine_from_expr(*ref.subs.front().expr);
+      if (!affine)
+        fail("consumer reads '" + array_ +
+             "' at a non-affine hyperplane subscript");
+      Form form;
+      form.c0 = affine->constant;
+      form.coeffs.assign(dims, Rational(0));
+      for (const auto& [name, coeff] : affine->coeffs) {
+        bool is_loop_var = false;
+        for (size_t d = 0; d < dims; ++d) {
+          if (eq.loop_dims[d].var == name) {
+            form.coeffs[d] = coeff;
+            is_loop_var = true;
+            break;
+          }
+        }
+        if (is_loop_var) continue;
+        auto it = params.find(name);
+        // Same contract as the eager buckets: a subscript over an
+        // unbound name cannot resolve to an integer hyperplane.
+        if (it == params.end()) fail("non-integer hyperplane subscript");
+        form.c0 += coeff * Rational(it->second);
+      }
+      // The pivot is the *last* loop dimension with a nonzero
+      // coefficient; dimensions after it are free in this form.
+      for (size_t d = dims; d-- > 0;) {
+        if (!form.coeffs[d].is_zero()) {
+          form.pivot = static_cast<int>(d);
+          break;
+        }
+      }
+      // Integer coefficients guarantee every instance lands on an
+      // integer hyperplane, so the per-instance check in accept() can
+      // never be silently bypassed by pivot solving (a fractional
+      // coefficient would make solve_pivot *skip* the instances the
+      // eager scan used to fail on). affine_from_expr cannot produce
+      // fractional coefficients today; keep the loud error if that
+      // ever changes.
+      bool integral = form.c0.is_integer();
+      for (const Rational& coeff : form.coeffs)
+        if (!coeff.is_integer()) integral = false;
+      if (!integral) fail("non-integer hyperplane subscript");
+      consumer.forms.push_back(std::move(form));
+    }
+
+    if (!consumer.empty_box && !consumer.forms.empty()) {
+      // Conservative hyperplane range: every instance's landing slice
+      // t(v) = max_k form_k(v) satisfies
+      //   max_k (min over the box of form_k) <= t(v) <= max_k (max ...).
+      bool first = true;
+      Rational t_min_r;
+      Rational t_max_r;
+      for (const Form& form : consumer.forms) {
+        Rational box_min = form.c0;
+        Rational box_max = form.c0;
+        for (size_t d = 0; d < dims; ++d) {
+          const Rational& c = form.coeffs[d];
+          if (c.is_zero()) continue;
+          Rational at_lo = c * Rational(consumer.lo[d]);
+          Rational at_hi = c * Rational(consumer.hi[d]);
+          box_min += std::min(at_lo, at_hi);
+          box_max += std::max(at_lo, at_hi);
+        }
+        if (first || box_min > t_min_r) t_min_r = box_min;
+        if (first || box_max > t_max_r) t_max_r = box_max;
+        first = false;
+      }
+      consumer.t_min = rat_ceil(t_min_r);
+      consumer.t_max = rat_floor(t_max_r);
+      if (consumer.t_min <= consumer.t_max) {
+        if (min_t_ > max_t_) {
+          min_t_ = consumer.t_min;
+          max_t_ = consumer.t_max;
+        } else {
+          min_t_ = std::min(min_t_, consumer.t_min);
+          max_t_ = std::max(max_t_, consumer.t_max);
+        }
+      }
+    }
+    consumers_.push_back(std::move(consumer));
+  }
+}
+
+bool ConsumerStream::accept(const Consumer& consumer, size_t k,
+                            const std::vector<int64_t>& vals,
+                            int64_t t) const {
+  int64_t newest = t;  // form k evaluates to t by construction
+  int64_t oldest = t;
+  size_t first_at_t = k;
+  for (size_t j = 0; j < consumer.forms.size(); ++j) {
+    const Form& form = consumer.forms[j];
+    Rational value = form.c0;
+    for (size_t d = 0; d < vals.size(); ++d)
+      if (!form.coeffs[d].is_zero())
+        value += form.coeffs[d] * Rational(vals[d]);
+    if (!value.is_integer()) fail("non-integer hyperplane subscript");
+    int64_t slice = value.as_integer();
+    if (slice > t) return false;  // lands on a later hyperplane
+    if (slice == t && j < first_at_t) first_at_t = j;
+    newest = std::max(newest, slice);
+    oldest = std::min(oldest, slice);
+  }
+  if (newest - oldest >= window_)
+    fail("consumer instance spans " + std::to_string(newest - oldest + 1) +
+         " hyperplane slices, more than the window");
+  // Dedupe: the instance is emitted by the first form achieving t.
+  return first_at_t == k;
+}
+
+int64_t ConsumerStream::stream_consumer(
+    const Consumer& consumer, int64_t t,
+    const std::function<void(size_t, const std::vector<int64_t>&)>& fn)
+    const {
+  // One pre-filtered lexicographic stream per form, k-way merged. The
+  // accept() dedupe makes the streams disjoint, so equal-tuple merge
+  // collisions cannot happen.
+  const size_t form_count = consumer.forms.size();
+  std::vector<FormCursor> cursors;
+  cursors.reserve(form_count);
+  std::vector<bool> active(form_count, false);
+  for (size_t k = 0; k < form_count; ++k) {
+    cursors.emplace_back(consumer, k, t);
+    while (cursors[k].next()) {
+      if (accept(consumer, k, cursors[k].vals(), t)) {
+        active[k] = true;
+        break;
+      }
+    }
+  }
+
+  int64_t emitted = 0;
+  while (true) {
+    int best = -1;
+    for (size_t k = 0; k < form_count; ++k) {
+      if (!active[k]) continue;
+      if (best < 0 ||
+          cursors[k].vals() < cursors[static_cast<size_t>(best)].vals())
+        best = static_cast<int>(k);
+    }
+    if (best < 0) break;
+    size_t k = static_cast<size_t>(best);
+    fn(consumer.id, cursors[k].vals());
+    ++emitted;
+    active[k] = false;
+    while (cursors[k].next()) {
+      if (accept(consumer, k, cursors[k].vals(), t)) {
+        active[k] = true;
+        break;
+      }
+    }
+  }
+  return emitted;
+}
+
+int64_t ConsumerStream::for_hyperplane(
+    int64_t t,
+    const std::function<void(size_t, const std::vector<int64_t>&)>& fn)
+    const {
+  int64_t total = 0;
+  for (const Consumer& consumer : consumers_) {
+    if (consumer.empty_box || consumer.forms.empty()) continue;
+    if (t < consumer.t_min || t > consumer.t_max) continue;
+    total += stream_consumer(consumer, t, fn);
+  }
+  return total;
+}
+
+}  // namespace ps

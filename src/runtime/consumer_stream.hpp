@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/const_eval.hpp"
+#include "frontend/sema.hpp"
+#include "support/rational.hpp"
+
+namespace ps {
+
+/// Consumer-stream layer of the wavefront engine: yields the consumer
+/// equation instances whose newest A'-read lands on hyperplane t, on
+/// demand, in exactly the order the old eager bucket map held them
+/// (equation order first, lexicographic loop order within an equation).
+///
+/// Construction precomputes only the per-equation affine forms of the
+/// hyperplane subscripts and the rectangular loop bounds -- O(equations)
+/// state. Enumerating hyperplane t then *solves* each affine form for
+/// its pivot dimension instead of scanning the whole consumer box, so
+/// nothing is ever materialised: peak live instances drop from
+/// O(consumers in the module) to O(instances on one hyperplane), the
+/// memory bound WavefrontStats::peak_bucket_instances records.
+class ConsumerStream {
+ public:
+  /// `consumers` are equation indices of `module` reading `array`; the
+  /// hyperplane coordinate of each read is its first subscript. Throws
+  /// std::runtime_error for non-affine hyperplane subscripts or
+  /// unevaluable consumer bounds (same contract as the old eager
+  /// bucket construction).
+  ConsumerStream(const CheckedModule& module,
+                 const std::vector<size_t>& consumers,
+                 const std::string& array, int64_t window,
+                 const IntEnv& params);
+
+  /// Conservative inclusive range of hyperplanes any instance can land
+  /// on; min_t() > max_t() when there are no instances at all.
+  [[nodiscard]] int64_t min_t() const { return min_t_; }
+  [[nodiscard]] int64_t max_t() const { return max_t_; }
+
+  /// Invoke `fn(equation_index, loop_vals)` for every instance landing
+  /// on hyperplane `t`, in eager-bucket order; returns the instance
+  /// count. Throws when an instance spans more hyperplane slices than
+  /// the window (it could never be flushed from live storage) or a
+  /// hyperplane subscript evaluates non-integer.
+  int64_t for_hyperplane(
+      int64_t t,
+      const std::function<void(size_t, const std::vector<int64_t>&)>& fn)
+      const;
+
+ private:
+  /// One A'-read's hyperplane subscript as an affine form split into a
+  /// constant (literals + parameter terms folded under `params`) and
+  /// per-loop-dimension coefficients.
+  struct Form {
+    Rational c0;
+    std::vector<Rational> coeffs;
+    /// Last loop dimension with a nonzero coefficient (-1: constant
+    /// form). Solving this dimension enumerates {v : form(v) = t}.
+    int pivot = -1;
+  };
+
+  struct Consumer {
+    size_t id = 0;
+    std::vector<int64_t> lo;  // rectangular loop bounds, per dimension
+    std::vector<int64_t> hi;
+    std::vector<Form> forms;  // one per A'-read, reference order
+    bool empty_box = false;
+    int64_t t_min = 0;  // conservative hyperplane range of instances
+    int64_t t_max = -1;
+  };
+
+  class FormCursor;
+
+  /// Evaluate every form at `vals`; true when the instance belongs to
+  /// hyperplane `t` via form `k` (newest == t, k is the first form
+  /// achieving it). Throws on non-integer subscripts and window spans.
+  bool accept(const Consumer& consumer, size_t k,
+              const std::vector<int64_t>& vals, int64_t t) const;
+
+  int64_t stream_consumer(
+      const Consumer& consumer, int64_t t,
+      const std::function<void(size_t, const std::vector<int64_t>&)>& fn)
+      const;
+
+  std::string array_;
+  int64_t window_ = 0;
+  std::vector<Consumer> consumers_;
+  int64_t min_t_ = 0;
+  int64_t max_t_ = -1;
+};
+
+}  // namespace ps

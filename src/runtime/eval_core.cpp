@@ -157,9 +157,10 @@ bool EvalCore::scalar_referenced(size_t data_index) const {
   return false;
 }
 
-EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
+EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame,
+                       EvalScratch& scratch) const {
   // Small-buffer-optimised variable frame: typical nests resolve into
-  // a stack array, arbitrarily deep nests spill to thread-local
+  // a stack array, arbitrarily deep nests spill into the caller's
   // scratch. There is no depth limit any more -- the old fixed
   // `vars[8]` made run() hard-fail (and the wavefront runner silently
   // tree-walk) on deep loop nests.
@@ -168,9 +169,9 @@ EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
   int64_t* vars = inline_vars;
   const size_t var_count = p.var_names.size();
   if (var_count > kInlineVars) {
-    thread_local std::vector<int64_t> deep_vars;
-    if (deep_vars.size() < var_count) deep_vars.resize(var_count);
-    vars = deep_vars.data();
+    if (scratch.deep_vars.size() < var_count)
+      scratch.deep_vars.resize(var_count);
+    vars = scratch.deep_vars.data();
   }
   for (size_t v = 0; v < var_count; ++v) {
     const int64_t* value = frame.find(p.var_names[v]);
@@ -180,17 +181,19 @@ EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
   }
 
 #if PS_BC_HAVE_THREADED
-  if (dispatch_ == BcDispatch::Threaded) return exec_threaded(p, vars);
+  if (dispatch_ == BcDispatch::Threaded)
+    return exec_threaded(p, vars, scratch);
 #endif
-  return exec_switch(p, vars);
+  return exec_switch(p, vars, scratch);
 }
 
 // Shared prologue of the two dispatch loops: the evaluation stack and
-// subscript scratch (thread-local, so a shared core stays safe under
-// the pools), the push/pop helpers and the instruction pointer.
+// subscript scratch (bound from the caller's EvalScratch, so a shared
+// core stays safe under the pools -- every worker brings its own), the
+// push/pop helpers and the instruction pointer.
 #define PS_EXEC_PROLOGUE()                                                  \
-  thread_local std::vector<EvalSlot> stack;                                 \
-  thread_local std::vector<int64_t> idx;                                    \
+  std::vector<EvalSlot>& stack = scratch.stack;                             \
+  std::vector<int64_t>& idx = scratch.idx;                                  \
   stack.clear();                                                            \
   if (stack.capacity() < p.max_stack + 4) stack.reserve(p.max_stack + 4);   \
   auto push_i = [&](int64_t v) {                                            \
@@ -213,7 +216,8 @@ EvalSlot EvalCore::run(const BcProgram& p, const VarFrame& frame) const {
 
 /// Portable reference dispatcher: a switch in a loop. Kept under every
 /// compiler and cross-checked bit-exactly against the threaded loop.
-EvalSlot EvalCore::exec_switch(const BcProgram& p, const int64_t* vars) const {
+EvalSlot EvalCore::exec_switch(const BcProgram& p, const int64_t* vars,
+                               EvalScratch& scratch) const {
   PS_EXEC_PROLOGUE()
 #define PS_OP(name) case BcOp::name:
 #define PS_NEXT()       \
@@ -240,8 +244,8 @@ EvalSlot EvalCore::exec_switch(const BcProgram& p, const int64_t* vars) const {
 /// the next instruction's handler through a computed-goto table, so the
 /// branch predictor sees one indirect branch per *handler* rather than
 /// the single shared dispatch branch of the switch loop.
-EvalSlot EvalCore::exec_threaded(const BcProgram& p,
-                                 const int64_t* vars) const {
+EvalSlot EvalCore::exec_threaded(const BcProgram& p, const int64_t* vars,
+                                 EvalScratch& scratch) const {
 #if PS_BC_HAVE_THREADED
   // In enum order, generated from the same X-macro as BcOp.
   static const void* const kDispatch[] = {
@@ -268,21 +272,22 @@ EvalSlot EvalCore::exec_threaded(const BcProgram& p,
 #undef PS_NEXT
 #undef PS_GOTO
 #else
-  return exec_switch(p, vars);
+  return exec_switch(p, vars, scratch);
 #endif
 }
 
 #undef PS_EXEC_PROLOGUE
 
 double EvalCore::eval_rhs_real(const CheckedEquation& eq,
-                               const VarFrame& frame) const {
+                               const VarFrame& frame,
+                               EvalScratch& scratch) const {
   const BcProgram& rhs = programs_[eq.id].rhs;
-  EvalSlot result = run(rhs, frame);
+  EvalSlot result = run(rhs, frame, scratch);
   return rhs.result_real ? result.d : static_cast<double>(result.i);
 }
 
 void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
-                         std::vector<int64_t>& idx) const {
+                         EvalScratch& scratch, std::vector<int64_t>& idx) const {
   const EquationPrograms& programs = programs_[eq.id];
   idx.clear();
   idx.reserve(eq.lhs_subs.size());
@@ -294,7 +299,7 @@ void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
         fail(eq.display_name + ": unbound index variable '" + sub.var + "'");
       idx.push_back(*v);
     } else {
-      EvalSlot s = run(*programs.lhs_fixed[p], frame);
+      EvalSlot s = run(*programs.lhs_fixed[p], frame, scratch);
       idx.push_back(programs.lhs_fixed[p]->result_real
                         ? static_cast<int64_t>(s.d)
                         : s.i);
@@ -302,11 +307,11 @@ void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
   }
 }
 
-void EvalCore::eval_store(const CheckedEquation& eq,
-                          const VarFrame& frame) const {
-  double value = eval_rhs_real(eq, frame);
-  thread_local std::vector<int64_t> idx;
-  lhs_index(eq, frame, idx);
+void EvalCore::eval_store(const CheckedEquation& eq, const VarFrame& frame,
+                          EvalScratch& scratch) const {
+  double value = eval_rhs_real(eq, frame, scratch);
+  std::vector<int64_t>& idx = scratch.lhs_idx;
+  lhs_index(eq, frame, scratch, idx);
   const DataItem& target = module_->data[eq.target];
   if (layout_.array_slot[eq.target] < 0)
     fail(eq.display_name + ": '" + target.name + "' is not an array target");

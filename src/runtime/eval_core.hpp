@@ -53,6 +53,24 @@ union EvalSlot {
   double d;
 };
 
+/// Per-worker mutable scratch of the bytecode VM: the evaluation stack,
+/// the subscript buffer and the spill area for frames deeper than the
+/// inline slots. Callers own one per execution context (the engines
+/// keep one per worker / shard) and pass it into run()/eval_store().
+///
+/// This used to be thread_local inside the VM, which silently coupled
+/// every engine instance that happened to share an OS thread -- two
+/// concurrent runners (say, two daemon clients driving wavefront
+/// executions) could alias each other's scratch. Explicit contexts
+/// make the ownership visible and the engines testably independent.
+struct EvalScratch {
+  std::vector<EvalSlot> stack;
+  std::vector<int64_t> idx;        // array-subscript scratch of the VM
+  std::vector<int64_t> deep_vars;  // frame spill for deep nests
+  std::vector<int64_t> lhs_idx;    // eval_store's target tuple (distinct
+                                   // from idx: LHS programs run the VM)
+};
+
 /// The shared bytecode execution core: compiles every equation of a
 /// module against the module-wide slot layout once, binds the caller's
 /// array storage and scalar values to dense slots, and then evaluates
@@ -61,10 +79,11 @@ union EvalSlot {
 /// Both runtime engines sit on top of this class: the flowchart
 /// `Interpreter` (rectangular schedules) and the `WavefrontRunner`
 /// (hyperplane-transformed modules with windowed storage). Evaluation
-/// (`run`, `eval_store`) is const and uses thread-local scratch, so one
-/// core instance may be shared by every worker of a thread pool as long
-/// as concurrent writes hit disjoint array cells -- exactly the DOALL
-/// guarantee both engines schedule under.
+/// (`run`, `eval_store`) is const and all mutable state lives in the
+/// caller-supplied EvalScratch, so one core instance may be shared by
+/// every worker of a thread pool -- each worker passing its own
+/// scratch -- as long as concurrent writes hit disjoint array cells,
+/// exactly the DOALL guarantee both engines schedule under.
 class EvalCore {
  public:
   /// Per-equation compiled programs: the RHS and one program per fixed
@@ -131,24 +150,26 @@ class EvalCore {
   /// BcDispatch::Threaded silently executes the switch loop.
   [[nodiscard]] static bool threaded_dispatch_available();
 
-  /// Execute one compiled program against the frame's index bindings.
-  /// Programs may bind any number of index variables: frames up to 8
-  /// variables live on the VM stack frame, deeper nests spill to a
-  /// thread-local scratch buffer.
-  [[nodiscard]] EvalSlot run(const BcProgram& program,
-                             const VarFrame& frame) const;
+  /// Execute one compiled program against the frame's index bindings,
+  /// using `scratch` for every mutable buffer. Programs may bind any
+  /// number of index variables: frames up to 8 variables live on the VM
+  /// stack frame, deeper nests spill into the scratch.
+  [[nodiscard]] EvalSlot run(const BcProgram& program, const VarFrame& frame,
+                             EvalScratch& scratch) const;
 
   /// RHS value of equation `eq` as a double (ints promoted).
   [[nodiscard]] double eval_rhs_real(const CheckedEquation& eq,
-                                     const VarFrame& frame) const;
+                                     const VarFrame& frame,
+                                     EvalScratch& scratch) const;
 
   /// Resolve the LHS target index tuple of `eq` into `idx`.
   void lhs_index(const CheckedEquation& eq, const VarFrame& frame,
-                 std::vector<int64_t>& idx) const;
+                 EvalScratch& scratch, std::vector<int64_t>& idx) const;
 
   /// One full instance of an array-targeted equation: evaluate the RHS,
   /// resolve the LHS subscripts and store the value (bounds-checked).
-  void eval_store(const CheckedEquation& eq, const VarFrame& frame) const;
+  void eval_store(const CheckedEquation& eq, const VarFrame& frame,
+                  EvalScratch& scratch) const;
 
   [[nodiscard]] const EquationPrograms& programs(size_t eq_index) const {
     return programs_[eq_index];
@@ -173,9 +194,11 @@ class EvalCore {
 
  private:
   [[nodiscard]] EvalSlot exec_switch(const BcProgram& program,
-                                     const int64_t* vars) const;
+                                     const int64_t* vars,
+                                     EvalScratch& scratch) const;
   [[nodiscard]] EvalSlot exec_threaded(const BcProgram& program,
-                                       const int64_t* vars) const;
+                                       const int64_t* vars,
+                                       EvalScratch& scratch) const;
 
   const CheckedModule* module_ = nullptr;
   BcLayout layout_;

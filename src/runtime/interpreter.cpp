@@ -146,16 +146,19 @@ void Interpreter::reset() {
 
 void Interpreter::run() {
   Frame frame;
-  exec_list(flowchart_, frame);
+  EvalScratch scratch;
+  exec_list(flowchart_, frame, scratch);
 }
 
-void Interpreter::exec_list(const Flowchart& steps, Frame& frame) {
-  for (const FlowStep& step : steps) exec_step(step, frame);
+void Interpreter::exec_list(const Flowchart& steps, Frame& frame,
+                            EvalScratch& scratch) {
+  for (const FlowStep& step : steps) exec_step(step, frame, scratch);
 }
 
-void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
+void Interpreter::exec_step(const FlowStep& step, Frame& frame,
+                            EvalScratch& scratch) {
   if (step.kind == FlowStep::Kind::Equation) {
-    exec_equation(step.node, frame);
+    exec_equation(step.node, frame, scratch);
     return;
   }
   const LoopLevelBounds* exact =
@@ -180,7 +183,7 @@ void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
     frame.vars.emplace_back(step.var, 0);
     for (int64_t it = *lo; it <= *hi; ++it) {
       frame.vars.back().second = it;
-      exec_list(step.children, frame);
+      exec_list(step.children, frame, scratch);
     }
     frame.vars.pop_back();
     return;
@@ -216,6 +219,7 @@ void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
         0, total, [&](int64_t from, int64_t to) {
           try {
             Frame local = frame;  // private index bindings per chunk
+            EvalScratch local_scratch;  // private VM scratch per chunk
             size_t base = local.vars.size();
             for (const FlowStep* level : chain)
               local.vars.emplace_back(level->var, 0);
@@ -223,7 +227,7 @@ void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
               for (size_t d = 0; d < width; ++d)
                 local.vars[base + d].second =
                     tuples[static_cast<size_t>(t) * width + d];
-              exec_list(innermost, local);
+              exec_list(innermost, local, local_scratch);
             }
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
@@ -268,6 +272,7 @@ void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
       0, total, [&](int64_t from, int64_t to) {
         try {
           Frame local = frame;  // private index bindings per chunk
+          EvalScratch local_scratch;  // private VM scratch per chunk
           size_t base = local.vars.size();
           for (const Level& level : levels)
             local.vars.emplace_back(level.loop->var, 0);
@@ -278,7 +283,7 @@ void Interpreter::exec_step(const FlowStep& step, Frame& frame) {
                   levels[d].lo + rest % levels[d].extent;
               rest /= levels[d].extent;
             }
-            exec_list(innermost, local);
+            exec_list(innermost, local, local_scratch);
           }
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -326,18 +331,19 @@ void Interpreter::enumerate_levels(const std::vector<const FlowStep*>& chain,
   env.erase(step.var);
 }
 
-void Interpreter::exec_equation(uint32_t node, Frame& frame) {
+void Interpreter::exec_equation(uint32_t node, Frame& frame,
+                                EvalScratch& scratch) {
   const CheckedEquation& eq = graph_.equation_of(graph_.node(node));
   const DataItem& target = module_.data[eq.target];
 
   if (options_.engine == EvalEngine::Bytecode) {
     if (target.is_scalar()) {
       const BcProgram& rhs = core_.programs(eq.id).rhs;
-      EvalSlot result = core_.run(rhs, frame);
+      EvalSlot result = core_.run(rhs, frame, scratch);
       write_scalar(eq.target, rhs.result_real ? RtValue::of_real(result.d)
                                               : RtValue::of_int(result.i));
     } else {
-      core_.eval_store(eq, frame);
+      core_.eval_store(eq, frame, scratch);
     }
     return;
   }

@@ -105,8 +105,12 @@ class Interpreter {
     static RtValue of_bool(bool v) { return {Tag::Bool, 0, 0, v}; }
   };
 
-  void exec_list(const Flowchart& steps, Frame& frame);
-  void exec_step(const FlowStep& step, Frame& frame);
+  // Execution threads an explicit per-worker frame and VM scratch pair
+  // through every step (the pool chunks clone the frame and bring a
+  // fresh scratch), so no hidden thread_local couples concurrent
+  // interpreters sharing an OS thread.
+  void exec_list(const Flowchart& steps, Frame& frame, EvalScratch& scratch);
+  void exec_step(const FlowStep& step, Frame& frame, EvalScratch& scratch);
   /// int_env_ plus the frame's loop-index bindings, for evaluating exact
   /// (outer-index-dependent) loop bounds.
   [[nodiscard]] IntEnv env_with_frame(const Frame& frame) const;
@@ -115,7 +119,7 @@ class Interpreter {
   void enumerate_levels(const std::vector<const FlowStep*>& chain,
                         size_t level, IntEnv& env,
                         std::vector<int64_t>& tuples) const;
-  void exec_equation(uint32_t node, Frame& frame);
+  void exec_equation(uint32_t node, Frame& frame, EvalScratch& scratch);
   RtValue eval(const Expr& e, const Frame& frame);
   int64_t eval_int(const Expr& e, const Frame& frame);
 

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <exception>
 #include <functional>
-#include <limits>
-#include <mutex>
 #include <stdexcept>
 
 namespace ps {
@@ -321,6 +319,13 @@ WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
                                     std::move(win)));
   }
 
+  // Layer construction: the schedule over the exact nest, and the
+  // execution backend the options select. The consumer stream is built
+  // lazily on first run() (matching the old bucket-build error timing).
+  schedule_ = std::make_unique<HyperplaneSchedule>(nest_, int_env_);
+  backend_ = make_wavefront_backend(options_.backend, options_.pool,
+                                    options_.shards);
+
   if (options_.engine == EvalEngine::Bytecode) {
     setup_bytecode();
   } else {
@@ -388,12 +393,21 @@ size_t WavefrontRunner::allocated_doubles() const {
   return total;
 }
 
+std::string WavefrontRunner::backend_description() const {
+  return backend_->describe();
+}
+
+std::vector<int64_t> WavefrontRunner::context_points() const {
+  return backend_->context_points();
+}
+
 void WavefrontRunner::eval_equation_instance(
-    const CheckedEquation& eq, const std::vector<int64_t>& loop_vals) {
-  // Reused per worker: a fresh VarFrame would heap-allocate on every
-  // wavefront point, which costs more than the stencil arithmetic once
-  // the RHS itself is fused superinstructions.
-  thread_local VarFrame frame;
+    const CheckedEquation& eq, const std::vector<int64_t>& loop_vals,
+    WorkerContext& ctx) {
+  // The frame and VM scratch are this worker's own (a WorkerContext per
+  // backend worker replaced the old thread_locals): reuse avoids a heap
+  // allocation per wavefront point without coupling concurrent runners.
+  VarFrame& frame = ctx.frame;
   frame.vars.clear();
   frame.vars.reserve(eq.loop_dims.size());
   for (size_t d = 0; d < eq.loop_dims.size(); ++d)
@@ -402,13 +416,13 @@ void WavefrontRunner::eval_equation_instance(
   if (use_bytecode_) {
     // Hot path: every recurrence point, rotate-in and consumer flush
     // executes compiled stack code on the shared core.
-    core_.eval_store(eq, frame);
+    core_.eval_store(eq, frame, ctx.scratch);
     return;
   }
 
   std::vector<std::pair<std::string_view, int64_t>>& vars = frame.vars;
-  EvalCtx ctx{&vars, &int_env_, &real_inputs_, &arrays_, &module_};
-  double value = eval(*eq.rhs, ctx).as_real();
+  EvalCtx tree_ctx{&vars, &int_env_, &real_inputs_, &arrays_, &module_};
+  double value = eval(*eq.rhs, tree_ctx).as_real();
 
   const DataItem& target = module_.data[eq.target];
   std::vector<int64_t> idx(target.rank());
@@ -421,7 +435,7 @@ void WavefrontRunner::eval_equation_instance(
       if (it == vars.end()) fail("unbound LHS index '" + sub.var + "'");
       idx[d] = it->second;
     } else {
-      idx[d] = eval_int(*sub.fixed, ctx);
+      idx[d] = eval_int(*sub.fixed, tree_ctx);
     }
   }
   NdArray& arr = arrays_.at(target.name);
@@ -444,153 +458,58 @@ void WavefrontRunner::execute_pre_equations() {
       hi[d] = *h;
     }
     for_each_box_point(lo, hi, [&](const std::vector<int64_t>& vals) {
-      eval_equation_instance(eq, vals);
-    });
-  }
-}
-
-void WavefrontRunner::build_consumer_buckets() {
-  for (size_t id : consumers_) {
-    const CheckedEquation& eq = module_.equations[id];
-    // The hyperplane coordinate each A'-read hits, as an affine form of
-    // the consumer's loop variables.
-    std::vector<AffineForm> reads;
-    for (const ArrayRefInfo& ref : eq.array_refs) {
-      if (ref.array != new_array_) continue;
-      auto form = affine_from_expr(*ref.subs.front().expr);
-      if (!form)
-        fail("consumer reads '" + new_array_ +
-             "' at a non-affine hyperplane subscript");
-      reads.push_back(std::move(*form));
-    }
-
-    std::vector<int64_t> lo(eq.loop_dims.size());
-    std::vector<int64_t> hi(eq.loop_dims.size());
-    for (size_t d = 0; d < eq.loop_dims.size(); ++d) {
-      auto l = eval_const_int(*eq.loop_dims[d].range->lo, int_env_);
-      auto h = eval_const_int(*eq.loop_dims[d].range->hi, int_env_);
-      if (!l || !h) fail("cannot evaluate consumer bounds");
-      lo[d] = *l;
-      hi[d] = *h;
-    }
-
-    for_each_box_point(lo, hi, [&](const std::vector<int64_t>& vals) {
-      IntEnv env = int_env_;
-      for (size_t d = 0; d < vals.size(); ++d)
-        env[eq.loop_dims[d].var] = vals[d];
-      int64_t newest = std::numeric_limits<int64_t>::min();
-      int64_t oldest = std::numeric_limits<int64_t>::max();
-      for (const AffineForm& form : reads) {
-        auto v = form.evaluate(env);
-        if (!v || !v->is_integer()) fail("non-integer hyperplane subscript");
-        newest = std::max(newest, v->as_integer());
-        oldest = std::min(oldest, v->as_integer());
-      }
-      if (newest - oldest >= window_)
-        fail("consumer instance spans " +
-             std::to_string(newest - oldest + 1) +
-             " hyperplane slices, more than the window");
-      buckets_[newest].push_back(ConsumerInstance{id, vals});
+      eval_equation_instance(eq, vals, main_ctx_);
     });
   }
 }
 
 void WavefrontRunner::execute_hyperplane(int64_t t) {
   const CheckedEquation& rec = module_.equations[recurrence_];
-  const size_t n = transform_.dims();
-
-  // Enumerate the points of this hyperplane from the exact inner
-  // bounds (levels 1..n-1 of the nest, with the hyperplane coordinate
-  // fixed).
-  std::vector<int64_t> points;  // (n-1) coordinates per point
-  IntEnv env = int_env_;
-  env[nest_.levels[0].var] = t;
-  std::vector<int64_t> current(n - 1);
-  auto enumerate = [&](auto&& self, size_t level) -> void {
-    if (level == n) {
-      points.insert(points.end(), current.begin(), current.end());
-      return;
-    }
-    const LoopLevelBounds& bounds = nest_.levels[level];
-    int64_t lo = bounds.lower(env);
-    int64_t hi = bounds.upper(env);
-    for (int64_t it = lo; it <= hi; ++it) {
-      env[bounds.var] = it;
-      current[level - 1] = it;
-      self(self, level + 1);
-    }
-    env.erase(bounds.var);
-  };
-  enumerate(enumerate, 1);
-
-  const int64_t count = static_cast<int64_t>(points.size() / (n - 1));
-  stats_.points += count;
-
-  auto run_point = [&](int64_t p) {
-    thread_local std::vector<int64_t> vals;
-    vals.resize(n);
-    vals[0] = t;
-    for (size_t d = 1; d < n; ++d)
-      vals[d] = points[static_cast<size_t>(p) * (n - 1) + d - 1];
-    eval_equation_instance(rec, vals);
-  };
-
-  if (options_.pool != nullptr && count > 1) {
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    options_.pool->parallel_for_chunked(0, count, [&](int64_t from,
-                                                      int64_t to) {
-      try {
-        for (int64_t p = from; p < to; ++p) run_point(p);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    });
-    if (error) std::rethrow_exception(error);
-  } else {
-    for (int64_t p = 0; p < count; ++p) run_point(p);
-  }
+  stats_.points += backend_->run_hyperplane(
+      *schedule_, t,
+      [&](WorkerContext& ctx) { eval_equation_instance(rec, ctx.vals, ctx); });
 }
 
-void WavefrontRunner::flush_bucket(int64_t t) {
-  auto it = buckets_.find(t);
-  if (it == buckets_.end()) return;
-  for (const ConsumerInstance& inst : it->second) {
-    eval_equation_instance(module_.equations[inst.equation], inst.loop_vals);
-    ++stats_.flushed;
-  }
-  buckets_.erase(it);
+void WavefrontRunner::flush_hyperplane(int64_t t) {
+  int64_t flushed = stream_->for_hyperplane(
+      t, [&](size_t eq, const std::vector<int64_t>& vals) {
+        eval_equation_instance(module_.equations[eq], vals, main_ctx_);
+      });
+  stats_.flushed += flushed;
+  stats_.peak_bucket_instances =
+      std::max(stats_.peak_bucket_instances, flushed);
 }
 
 void WavefrontRunner::run() {
   stats_ = {};
   stats_.fallback_reason = fallback_reason_;
-  buckets_.clear();
+  stats_.backend = backend_->describe();
+  backend_->reset_counters();
   execute_pre_equations();
-  build_consumer_buckets();
+  if (stream_ == nullptr)
+    stream_ = std::make_unique<ConsumerStream>(module_, consumers_,
+                                               new_array_, window_, int_env_);
 
-  IntEnv env = int_env_;
-  int64_t t_lo = nest_.levels[0].lower(env);
-  int64_t t_hi = nest_.levels[0].upper(env);
+  const int64_t t_lo = schedule_->t_lo();
+  const int64_t t_hi = schedule_->t_hi();
   // Flush anything scheduled before the first hyperplane (reads of
   // slices the recurrence never writes read zero-initialised storage,
   // matching the rectangular interpreter's zero fill).
-  for (auto it = buckets_.begin();
-       it != buckets_.end() && it->first < t_lo;) {
-    int64_t t = it->first;
-    ++it;
-    flush_bucket(t);
-  }
+  for (int64_t t = stream_->min_t(); t < t_lo && t <= stream_->max_t(); ++t)
+    flush_hyperplane(t);
   for (int64_t t = t_lo; t <= t_hi; ++t) {
     execute_hyperplane(t);
     ++stats_.hyperplanes;
-    flush_bucket(t);  // unrotate: the slice is still live in the window
+    flush_hyperplane(t);  // unrotate: the slice is still live in the window
   }
-  // Anything left (reads beyond the last hyperplane) is a bug in the
-  // bucket construction -- the image bounds cover every written slice.
-  if (!buckets_.empty())
-    fail("unflushed consumer instances remain after the last hyperplane");
+  // Instances landing beyond the last hyperplane would be a bug in the
+  // stream construction -- the image bounds cover every written slice.
+  for (int64_t t = std::max(t_hi + 1, t_lo); t <= stream_->max_t(); ++t) {
+    int64_t stranded = stream_->for_hyperplane(
+        t, [](size_t, const std::vector<int64_t>&) {});
+    if (stranded > 0)
+      fail("unflushed consumer instances remain after the last hyperplane");
+  }
 }
 
 }  // namespace ps

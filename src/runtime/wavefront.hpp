@@ -2,15 +2,19 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/const_eval.hpp"
 #include "frontend/sema.hpp"
+#include "runtime/consumer_stream.hpp"
 #include "runtime/eval_core.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/wavefront_backend.hpp"
+#include "runtime/wavefront_schedule.hpp"
 #include "transform/hyperplane.hpp"
 #include "transform/polyhedron.hpp"
 
@@ -35,12 +39,27 @@ struct WavefrontOptions {
   /// Bytecode VM dispatch strategy (Threaded = computed goto where
   /// compiled in, Switch = the portable reference loop).
   BcDispatch dispatch = BcDispatch::Threaded;
+  /// How the points of one hyperplane execute (psc --wavefront-backend=).
+  /// Auto keeps the historical behaviour: PooledChunked with a pool,
+  /// Sequential without. All backends are bit-exact against each other.
+  WavefrontBackend backend = WavefrontBackend::Auto;
+  /// Worker count of the Sharded backend (0 = the pool size, or 1
+  /// without a pool). Ignored by the other backends.
+  size_t shards = 0;
 };
 
 struct WavefrontStats {
   int64_t hyperplanes = 0;  // outer time steps executed
   int64_t points = 0;       // recurrence points evaluated
   int64_t flushed = 0;      // consumer equation instances written
+  /// Peak number of consumer instances streamed for one hyperplane --
+  /// the live-set bound of the consumer-stream layer. The old eager
+  /// bucket map held *every* instance of the module live at once; the
+  /// stream keeps this per-hyperplane maximum instead, proving the
+  /// O(window) storage story extends to the consumer side.
+  int64_t peak_bucket_instances = 0;
+  /// The execution backend in effect (ExecutionBackend::describe()).
+  std::string backend;
   /// Why the runner is on the tree-walk evaluator; empty on the
   /// bytecode engine. Set at construction, preserved across run()s.
   std::string fallback_reason;
@@ -53,6 +72,20 @@ struct WavefrontStats {
 /// transformed array A' in the recurrence, and unrotate back into the
 /// return parameter".
 ///
+/// The runner is the composition of three explicit layers:
+///
+///  * the **schedule layer** (`HyperplaneSchedule`) lazily enumerates
+///    the points of one hyperplane from the exact Fourier-Motzkin
+///    bounds -- chunked cursors, no per-hyperplane point vector;
+///  * the **consumer-stream layer** (`ConsumerStream`) yields the
+///    consumer instances landing on hyperplane t on demand, so the
+///    flush state is O(per-hyperplane) instead of O(consumers)
+///    (`WavefrontStats::peak_bucket_instances` records the bound);
+///  * the **backend layer** (`ExecutionBackend`) runs the points of a
+///    hyperplane -- sequentially, chunk-self-scheduled on the pool, or
+///    statically sharded with per-worker `WorkerContext`s -- selected
+///    via `WavefrontOptions::backend`, bit-exact across all choices.
+///
 /// Concretely:
 ///  * A' keeps only `window` hyperplane slices (3 x maxK x M for the
 ///    relaxation, versus the full (2maxK+2M+1) x maxK x (M+2) box);
@@ -64,7 +97,7 @@ struct WavefrontStats {
 ///    instance as soon as the hyperplane slice they read completes,
 ///    while it is still live in the window -- the unrotate;
 ///  * points within one hyperplane carry no dependences, so they run as
-///    a DOALL on the pool; hyperplanes are separated by one barrier
+///    a DOALL on the backend; hyperplanes are separated by one barrier
 ///    each, exactly the cost model of the paper's generated loops.
 ///
 /// Exactness of the scan comes from the Fourier-Motzkin `nest`, so no
@@ -111,19 +144,22 @@ class WavefrontRunner {
     return fallback_reason_;
   }
 
- private:
-  struct ConsumerInstance {
-    size_t equation = 0;             // index into module.equations
-    std::vector<int64_t> loop_vals;  // one per equation loop_dim
-  };
+  /// The execution backend in effect (ExecutionBackend::describe()).
+  [[nodiscard]] std::string backend_description() const;
 
+  /// Lifetime recurrence points per worker context of the backend --
+  /// one entry for the sequential backend, per-shard balance for the
+  /// sharded one.
+  [[nodiscard]] std::vector<int64_t> context_points() const;
+
+ private:
   void execute_pre_equations();
-  void build_consumer_buckets();
   void execute_hyperplane(int64_t t);
-  void flush_bucket(int64_t t);
+  void flush_hyperplane(int64_t t);
   void setup_bytecode();
   void eval_equation_instance(const CheckedEquation& eq,
-                              const std::vector<int64_t>& loop_vals);
+                              const std::vector<int64_t>& loop_vals,
+                              WorkerContext& ctx);
 
   const CheckedModule& module_;
   const HyperplaneTransform& transform_;
@@ -139,8 +175,17 @@ class WavefrontRunner {
   int64_t window_ = 0;
 
   std::map<std::string, NdArray, std::less<>> arrays_;
-  std::map<int64_t, std::vector<ConsumerInstance>> buckets_;
   WavefrontStats stats_;
+
+  // The three layers (schedule, consumer stream, backend). The stream
+  // is built on first run() -- its construction reproduces the old
+  // bucket-build error contract (non-affine subscripts and so on throw
+  // from run(), not from the constructor).
+  std::unique_ptr<HyperplaneSchedule> schedule_;
+  std::unique_ptr<ConsumerStream> stream_;
+  std::unique_ptr<ExecutionBackend> backend_;
+  /// Context for the sequential phases (pre-equations, flushes).
+  WorkerContext main_ctx_;
 
   /// Shared bytecode execution core (compiled once per runner when the
   /// Bytecode engine is selected and the module fits the fragment).

@@ -1,0 +1,262 @@
+#include "runtime/wavefront_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+/// The parallel backends divide work by HyperplaneSchedule's row-summed
+/// point count and then pull points through cursors; if the two ever
+/// disagreed (drift between NestCursor::count and the cursor walk over
+/// the same bounds), a chunk would silently execute fewer points than
+/// claimed. Fail loudly instead -- the old materialised point vector
+/// made count and execution inherently consistent, and this check
+/// restores that invariant.
+void check_full_coverage(int64_t executed, int64_t count) {
+  if (executed != count)
+    throw std::runtime_error(
+        "wavefront: schedule cursor enumerated " + std::to_string(executed) +
+        " hyperplane points where the bounds count " + std::to_string(count));
+}
+
+/// Position `ctx.vals` as {t, coords...} and run the body over `count`
+/// consecutive points starting at the cursor's current point. The
+/// cursor must already stand on the first point to execute. Returns the
+/// number of points actually executed (== count unless the space is
+/// exhausted early; callers with a precomputed count assert coverage
+/// via check_full_coverage).
+int64_t run_span(WorkerContext& ctx, NestCursor& cursor, int64_t t,
+                 int64_t count, const PointBody& body) {
+  const std::vector<int64_t>& coords = cursor.coords();
+  ctx.vals.resize(coords.size() + 1);
+  ctx.vals[0] = t;
+  int64_t executed = 0;
+  while (true) {
+    std::copy(coords.begin(), coords.end(), ctx.vals.begin() + 1);
+    body(ctx);
+    ++executed;
+    if (executed == count || !cursor.next()) break;
+  }
+  ctx.points += executed;
+  return executed;
+}
+
+class SequentialBackend final : public ExecutionBackend {
+ public:
+  std::string describe() const override { return "sequential"; }
+
+  int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
+                         const PointBody& body) override {
+    NestCursor cursor = schedule.cursor(t);
+    if (!cursor.next()) return 0;
+    return run_span(context_, cursor, t,
+                    std::numeric_limits<int64_t>::max(), body);
+  }
+
+  std::vector<int64_t> context_points() const override {
+    return {context_.points};
+  }
+
+  void reset_counters() override { context_.points = 0; }
+
+ private:
+  WorkerContext context_;
+};
+
+/// Today's parallel_for_chunked path, with the thread_local scratch
+/// replaced by a free list of explicit contexts: each chunk claims a
+/// context (at most pool-size chunks are in flight, so the list never
+/// runs dry), seeks a fresh cursor to its range and streams it.
+class PooledChunkedBackend final : public ExecutionBackend {
+ public:
+  explicit PooledChunkedBackend(ThreadPool* pool)
+      : pool_(pool), contexts_(pool == nullptr ? 1 : pool->size()) {
+    free_.reserve(contexts_.size());
+    for (size_t c = contexts_.size(); c-- > 0;) free_.push_back(c);
+  }
+
+  std::string describe() const override {
+    return "pooled-chunked (" + std::to_string(contexts_.size()) +
+           " workers)";
+  }
+
+  int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
+                         const PointBody& body) override {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    if (pool_ == nullptr || count == 1) {
+      NestCursor cursor = schedule.cursor(t);
+      int64_t executed =
+          cursor.next() ? run_span(contexts_[0], cursor, t, count, body) : 0;
+      check_full_coverage(executed, count);
+      return executed;
+    }
+
+    std::atomic<int64_t> executed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    pool_->parallel_for_chunked(0, count, [&](int64_t from, int64_t to) {
+      size_t slot = acquire();
+      try {
+        NestCursor cursor = schedule.cursor(t);
+        if (cursor.next() && (from == 0 || cursor.skip(from) == from))
+          executed.fetch_add(
+              run_span(contexts_[slot], cursor, t, to - from, body),
+              std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      release(slot);
+    });
+    if (error) std::rethrow_exception(error);
+    int64_t done = executed.load(std::memory_order_relaxed);
+    check_full_coverage(done, count);
+    return done;
+  }
+
+  std::vector<int64_t> context_points() const override {
+    std::vector<int64_t> points;
+    points.reserve(contexts_.size());
+    for (const WorkerContext& ctx : contexts_) points.push_back(ctx.points);
+    return points;
+  }
+
+  void reset_counters() override {
+    for (WorkerContext& ctx : contexts_) ctx.points = 0;
+  }
+
+ private:
+  size_t acquire() {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    size_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  void release(size_t slot) {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    free_.push_back(slot);
+  }
+
+  ThreadPool* pool_;
+  std::vector<WorkerContext> contexts_;
+  std::vector<size_t> free_;
+  std::mutex free_mutex_;
+};
+
+/// Static point striping: shard w always executes the contiguous range
+/// [w*count/W, (w+1)*count/W) of each hyperplane on its own context.
+/// No claiming traffic inside a hyperplane, shard-stable scratch, and a
+/// per-shard point counter the stats report as shard balance.
+class ShardedBackend final : public ExecutionBackend {
+ public:
+  ShardedBackend(ThreadPool* pool, size_t shards)
+      : pool_(pool),
+        contexts_(shards > 0         ? shards
+                  : pool_ != nullptr ? pool_->size()
+                                     : 1) {}
+
+  std::string describe() const override {
+    return "sharded (" + std::to_string(contexts_.size()) + " shards)";
+  }
+
+  int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
+                         const PointBody& body) override {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    const int64_t shards = static_cast<int64_t>(contexts_.size());
+
+    std::atomic<int64_t> executed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto run_shard = [&](int64_t w) {
+      const int64_t begin = w * count / shards;
+      const int64_t end = (w + 1) * count / shards;
+      if (begin >= end) return;
+      try {
+        NestCursor cursor = schedule.cursor(t);
+        if (cursor.next() && (begin == 0 || cursor.skip(begin) == begin))
+          executed.fetch_add(run_span(contexts_[static_cast<size_t>(w)],
+                                      cursor, t, end - begin, body),
+                             std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    };
+    if (pool_ != nullptr && shards > 1 && count > 1) {
+      pool_->parallel_tasks(shards, run_shard);
+    } else {
+      for (int64_t w = 0; w < shards; ++w) run_shard(w);
+    }
+    if (error) std::rethrow_exception(error);
+    int64_t done = executed.load(std::memory_order_relaxed);
+    check_full_coverage(done, count);
+    return done;
+  }
+
+  std::vector<int64_t> context_points() const override {
+    std::vector<int64_t> points;
+    points.reserve(contexts_.size());
+    for (const WorkerContext& ctx : contexts_) points.push_back(ctx.points);
+    return points;
+  }
+
+  void reset_counters() override {
+    for (WorkerContext& ctx : contexts_) ctx.points = 0;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<WorkerContext> contexts_;
+};
+
+}  // namespace
+
+const char* wavefront_backend_name(WavefrontBackend backend) {
+  switch (backend) {
+    case WavefrontBackend::Auto:
+      return "auto";
+    case WavefrontBackend::Sequential:
+      return "sequential";
+    case WavefrontBackend::PooledChunked:
+      return "pooled";
+    case WavefrontBackend::Sharded:
+      return "sharded";
+  }
+  return "auto";
+}
+
+std::optional<WavefrontBackend> parse_wavefront_backend(
+    std::string_view name) {
+  if (name == "auto") return WavefrontBackend::Auto;
+  if (name == "sequential") return WavefrontBackend::Sequential;
+  if (name == "pooled") return WavefrontBackend::PooledChunked;
+  if (name == "sharded") return WavefrontBackend::Sharded;
+  return std::nullopt;
+}
+
+std::unique_ptr<ExecutionBackend> make_wavefront_backend(
+    WavefrontBackend kind, ThreadPool* pool, size_t shards) {
+  if (kind == WavefrontBackend::Auto)
+    kind = pool != nullptr ? WavefrontBackend::PooledChunked
+                           : WavefrontBackend::Sequential;
+  switch (kind) {
+    case WavefrontBackend::Sequential:
+      return std::make_unique<SequentialBackend>();
+    case WavefrontBackend::PooledChunked:
+      return std::make_unique<PooledChunkedBackend>(pool);
+    case WavefrontBackend::Sharded:
+      return std::make_unique<ShardedBackend>(pool, shards);
+    case WavefrontBackend::Auto:
+      break;  // resolved above
+  }
+  return std::make_unique<SequentialBackend>();
+}
+
+}  // namespace ps

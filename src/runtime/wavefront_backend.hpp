@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/eval_core.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/wavefront_schedule.hpp"
+
+namespace ps {
+
+/// How the points within one hyperplane are executed.
+enum class WavefrontBackend {
+  /// Resolve from the options: PooledChunked when a pool is set,
+  /// Sequential otherwise (the historical behaviour).
+  Auto,
+  /// Every point on the calling thread, one cursor, one context.
+  Sequential,
+  /// Dynamic chunk self-scheduling on the thread pool
+  /// (ThreadPool::parallel_for_chunked): chunks claim a worker context
+  /// from a small free list, so irregular hyperplanes balance.
+  PooledChunked,
+  /// Static point striping: shard w owns the contiguous point range
+  /// [w*count/W, (w+1)*count/W) of every hyperplane and always executes
+  /// on its own WorkerContext, giving each shard stable scratch (and a
+  /// per-shard point counter) across the whole run.
+  Sharded,
+};
+
+[[nodiscard]] const char* wavefront_backend_name(WavefrontBackend backend);
+
+/// Parse a --wavefront-backend= value ("auto", "sequential", "pooled",
+/// "sharded"); nullopt for anything else.
+[[nodiscard]] std::optional<WavefrontBackend> parse_wavefront_backend(
+    std::string_view name);
+
+/// Explicit per-worker execution state: the index-variable frame, the
+/// point-coordinate scratch and the bytecode VM scratch, plus a
+/// per-context point counter (the shard statistics). These used to be
+/// thread_locals inside wavefront.cpp/eval_core, which silently coupled
+/// concurrent runners sharing an OS thread; every backend now owns its
+/// contexts outright.
+struct WorkerContext {
+  VarFrame frame;
+  std::vector<int64_t> vals;  // current point, transformed coordinates
+  EvalScratch scratch;
+  int64_t points = 0;  // points this context executed (lifetime)
+};
+
+/// Evaluates the recurrence at the point in `ctx.vals` using that
+/// context's frame and scratch. Writes go to disjoint array cells per
+/// point (the DOALL guarantee), so bodies may run concurrently.
+using PointBody = std::function<void(WorkerContext&)>;
+
+/// Backend layer of the wavefront engine: executes the points of one
+/// hyperplane, pulling them lazily from the schedule's cursors. The
+/// runner calls run_hyperplane once per hyperplane (barriers between
+/// hyperplanes are implicit in the call sequence, exactly the cost
+/// model of the paper's generated loops).
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Human-readable backend description for reports and --verbose.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Execute every point of hyperplane `t`; returns the point count.
+  /// Exceptions from the body are rethrown on the calling thread after
+  /// all workers drain (first one wins).
+  virtual int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
+                                 const PointBody& body) = 0;
+
+  /// Lifetime point counters, one per worker context (size 1 for the
+  /// sequential backend; shard balance for the sharded one).
+  [[nodiscard]] virtual std::vector<int64_t> context_points() const = 0;
+
+  /// Zero the per-context counters (the runner resets stats per run()).
+  virtual void reset_counters() = 0;
+};
+
+/// Build the backend `kind` resolves to over `pool`. `shards` only
+/// affects the sharded backend (0 = the pool's worker count, or 1
+/// without a pool). Auto resolves to PooledChunked when `pool` is
+/// non-null and Sequential otherwise.
+[[nodiscard]] std::unique_ptr<ExecutionBackend> make_wavefront_backend(
+    WavefrontBackend kind, ThreadPool* pool, size_t shards);
+
+}  // namespace ps

@@ -1,0 +1,29 @@
+#include "runtime/wavefront_schedule.hpp"
+
+#include <stdexcept>
+
+namespace ps {
+
+HyperplaneSchedule::HyperplaneSchedule(const LoopNestBounds& nest,
+                                       IntEnv params)
+    : nest_(&nest), params_(std::move(params)) {
+  if (nest.levels.empty())
+    throw std::runtime_error("wavefront: exact-bounds nest is empty");
+  inner_dims_ = nest.levels.size() - 1;
+  t_lo_ = nest.levels[0].lower(params_);
+  t_hi_ = nest.levels[0].upper(params_);
+}
+
+int64_t HyperplaneSchedule::count_points(int64_t t) const {
+  IntEnv env = params_;
+  env[nest_->levels[0].var] = t;
+  return NestCursor::count(*nest_, 1, std::move(env));
+}
+
+NestCursor HyperplaneSchedule::cursor(int64_t t) const {
+  IntEnv env = params_;
+  env[nest_->levels[0].var] = t;
+  return NestCursor(*nest_, 1, std::move(env));
+}
+
+}  // namespace ps

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/const_eval.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+/// Schedule layer of the wavefront engine: the iteration structure of
+/// a hyperplane-transformed module, derived from the exact
+/// Fourier-Motzkin nest the `transform/` passes produce.
+///
+/// The outermost nest level is the hyperplane coordinate t; the inner
+/// levels are the DOALL points within one hyperplane. The schedule
+/// never materialises a per-hyperplane point vector: backends pull the
+/// points of hyperplane t through `NestCursor`s (O(depth) state each)
+/// and may seek a cursor to any point index to claim a stripe, so the
+/// engine's working memory stays O(window) however large a hyperplane
+/// grows.
+class HyperplaneSchedule {
+ public:
+  /// `nest` must be in transformed-variable order (outermost = the
+  /// hyperplane coordinate) and must outlive the schedule; `params`
+  /// binds every symbolic module parameter the bounds mention.
+  HyperplaneSchedule(const LoopNestBounds& nest, IntEnv params);
+
+  /// Inclusive hyperplane (time) range of the recurrence.
+  [[nodiscard]] int64_t t_lo() const { return t_lo_; }
+  [[nodiscard]] int64_t t_hi() const { return t_hi_; }
+
+  /// Loop depth inside one hyperplane (nest depth minus the hyperplane
+  /// level; 0 means one point per hyperplane).
+  [[nodiscard]] size_t inner_dims() const { return inner_dims_; }
+
+  /// Number of points on hyperplane `t`, counted row by row without
+  /// enumerating the innermost level.
+  [[nodiscard]] int64_t count_points(int64_t t) const;
+
+  /// A fresh cursor over the inner coordinates of hyperplane `t`.
+  /// Call next() to reach the first point; use skip() to seek.
+  [[nodiscard]] NestCursor cursor(int64_t t) const;
+
+  [[nodiscard]] const LoopNestBounds& nest() const { return *nest_; }
+  [[nodiscard]] const IntEnv& params() const { return params_; }
+
+ private:
+  const LoopNestBounds* nest_;
+  IntEnv params_;
+  size_t inner_dims_ = 0;
+  int64_t t_lo_ = 0;
+  int64_t t_hi_ = -1;
+};
+
+}  // namespace ps

@@ -55,7 +55,8 @@ std::string ArtifactCache::path_for(const std::string& key) const {
   return options_.dir + "/" + key + ".art";
 }
 
-std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
+std::optional<std::string> ArtifactCache::read_validated(
+    const std::string& key) {
   std::string path = path_for(key);
   std::string bytes;
   {
@@ -73,9 +74,8 @@ std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
     if (bytes.size() < kMagicLen ||
         bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0)
       throw WireError("bad artifact magic");
-    WireReader reader(
-        std::string_view(bytes).substr(kMagicLen));
-    UnitArtifact artifact = read_artifact(reader);
+    WireReader reader(std::string_view(bytes).substr(kMagicLen));
+    skip_artifact(reader);  // full structural walk, zero copies
     reader.expect_end();
     // Refresh the timestamp so eviction is least-recently-used, not
     // first-written (best effort; a failure only skews eviction order).
@@ -83,7 +83,9 @@ std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
-    return artifact;
+    // In-place header strip: no second allocation of a large artifact.
+    bytes.erase(0, kMagicLen);
+    return std::move(bytes);
   } catch (const WireError&) {
     // Truncated or corrupt: remove the bad entry so it cannot keep
     // wasting probes, and recompile. Never serve a questionable hit.
@@ -96,6 +98,20 @@ std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
       dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(bytes.size()));
     return std::nullopt;
   }
+}
+
+std::optional<UnitArtifact> ArtifactCache::load(const std::string& key) {
+  std::optional<std::string> payload = read_validated(key);
+  if (!payload) return std::nullopt;
+  // The payload passed the structural walk, which checks exactly the
+  // fields the decoder reads, so this decode cannot throw.
+  WireReader reader(*payload);
+  UnitArtifact artifact = read_artifact(reader);
+  return artifact;
+}
+
+std::optional<std::string> ArtifactCache::load_raw(const std::string& key) {
+  return read_validated(key);
 }
 
 bool ArtifactCache::store(const std::string& key,

@@ -82,6 +82,15 @@ class ArtifactCache {
   /// miss) when absent or unreadable.
   [[nodiscard]] std::optional<UnitArtifact> load(const std::string& key);
 
+  /// The raw serialised bytes (write_artifact encoding) stored under
+  /// `key`, structurally validated -- every length walked, nothing
+  /// decoded into a UnitArtifact. The daemon splices these straight
+  /// into a reply frame, so a spilled cache hit is read and validated
+  /// once instead of decoded from disk and re-encoded onto the wire.
+  /// Corrupt entries are treated exactly like load(): counted, deleted,
+  /// and never served.
+  [[nodiscard]] std::optional<std::string> load_raw(const std::string& key);
+
   /// Store `artifact` under `key`. Returns false when the directory or
   /// file cannot be written (the caller keeps its in-memory copy).
   bool store(const std::string& key, const UnitArtifact& artifact);
@@ -99,6 +108,13 @@ class ArtifactCache {
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;
+  /// Shared skeleton of load()/load_raw(): read the cache file, check
+  /// the magic, structurally validate the payload (zero-copy walk),
+  /// refresh the LRU timestamp and account hits -- or treat the entry
+  /// as corrupt (counted, deleted, never served). Returns the payload
+  /// with the magic header stripped.
+  [[nodiscard]] std::optional<std::string> read_validated(
+      const std::string& key);
   void evict_over_budget(const std::string& keep_path);
 
   ArtifactCacheOptions options_;

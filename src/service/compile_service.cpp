@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "core/flowchart.hpp"
+#include "service/protocol.hpp"
+#include "support/report_format.hpp"
+#include "support/text_table.hpp"
 
 namespace ps {
 
@@ -132,6 +135,7 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
       continue;
     }
     unit.ok = artifact->ok;
+    unit.module_name = artifact->module_name;
     unit.cache_hit = true;
     unit.milliseconds = ms_since(probe);
     if (spill) {
@@ -162,6 +166,7 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
         BatchUnitResult& result = results[m - begin];
         UnitArtifact artifact = artifact_from_result(result);
         unit.ok = artifact.ok;
+        unit.module_name = artifact.module_name;
         unit.milliseconds = result.milliseconds;
         bool stored =
             cache_ != nullptr && cache_->store(unit.key, artifact);
@@ -196,6 +201,64 @@ std::optional<UnitArtifact> CompileService::artifact(
   if (unit.artifact != nullptr) return *unit.artifact;
   if (cache_ == nullptr || unit.key.empty()) return std::nullopt;
   return cache_->load(unit.key);
+}
+
+std::optional<std::string> CompileService::artifact_bytes(
+    const ServiceUnit& unit) const {
+  if (unit.artifact != nullptr) {
+    WireWriter writer;
+    write_artifact(writer, *unit.artifact);
+    return writer.take();
+  }
+  if (cache_ == nullptr || unit.key.empty()) return std::nullopt;
+  return cache_->load_raw(unit.key);
+}
+
+std::string format_service_report(const std::vector<ServiceReportRow>& rows,
+                                  const ServiceReportSummary& summary) {
+  TextTable table({"Unit", "Module", "Status", "Source", "Time (ms)"});
+  size_t succeeded = 0;
+  for (const ServiceReportRow& row : rows) {
+    if (row.ok) ++succeeded;
+    table.add_row({row.name, row.module.empty() ? "-" : row.module,
+                   row.ok ? "ok" : "failed",
+                   row.cache_hit ? "cache" : "compiled",
+                   format_ms_fixed(row.milliseconds)});
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << succeeded << "/" << rows.size() << " units succeeded, "
+     << summary.cache_hits << " cache hits, " << summary.cache_misses
+     << " compiled, -j " << summary.jobs << ", wall "
+     << format_ms_fixed(summary.wall_ms) << " ms\n";
+  return os.str();
+}
+
+std::string service_report_json(const std::vector<ServiceReportRow>& rows,
+                                const ServiceReportSummary& summary) {
+  size_t succeeded = 0;
+  for (const ServiceReportRow& row : rows)
+    if (row.ok) ++succeeded;
+  std::ostringstream os;
+  os << "{\n  \"summary\": {\"total\": " << rows.size()
+     << ", \"succeeded\": " << succeeded
+     << ", \"failed\": " << rows.size() - succeeded
+     << ", \"jobs\": " << summary.jobs
+     << ", \"wall_ms\": " << format_ms_fixed(summary.wall_ms)
+     << ", \"cache_hits\": " << summary.cache_hits
+     << ", \"cache_misses\": " << summary.cache_misses << "},\n";
+  os << "  \"units\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServiceReportRow& row = rows[i];
+    os << "    {\"name\": \"" << json_escape(row.name) << "\", \"module\": \""
+       << json_escape(row.module) << "\", \"ok\": "
+       << (row.ok ? "true" : "false") << ", \"cache_hit\": "
+       << (row.cache_hit ? "true" : "false")
+       << ", \"ms\": " << format_ms_fixed(row.milliseconds) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
 }
 
 ServiceStats CompileService::stats() const {

@@ -28,6 +28,9 @@ struct ServiceRequest {
 
 struct ServiceUnit {
   std::string name;
+  /// Compiled module name (empty for failed units); carried so report
+  /// modes can be served without reloading (or recompiling) artifacts.
+  std::string module_name;
   bool ok = false;
   bool cache_hit = false;
   /// The artifact lives only in the cache directory (oversized batch);
@@ -101,6 +104,14 @@ class CompileService {
   [[nodiscard]] std::optional<UnitArtifact> artifact(
       const ServiceUnit& unit) const;
 
+  /// The artifact of `unit` as its serialised wire bytes (the
+  /// write_artifact encoding). In-memory artifacts encode once; spilled
+  /// ones come straight from the cache file, validated but not decoded,
+  /// so the daemon reply path never pays the old decode-then-re-encode
+  /// double hop for a spilled cache hit.
+  [[nodiscard]] std::optional<std::string> artifact_bytes(
+      const ServiceUnit& unit) const;
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] ArtifactCacheStats cache_stats() const;
   [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
@@ -138,5 +149,42 @@ struct RenderFlags {
 /// included; they go to stderr, in unit order).
 [[nodiscard]] std::string render_artifact(const UnitArtifact& artifact,
                                           const RenderFlags& flags);
+
+// -- batch reports over cached artifacts ------------------------------------
+//
+// `psc --batch-report` used to force an in-process compile even when
+// every unit was a cache hit: the report renderer only understood live
+// BatchUnitResults. These shapes let the driver build the report from
+// whatever the service (or the daemon) answered -- artifact metadata is
+// all it needs -- so a warm report costs cache probes, not compiles.
+
+/// One row of a service batch report, buildable from a ServiceResponse
+/// unit or a daemon RemoteUnitResult alike.
+struct ServiceReportRow {
+  std::string name;
+  std::string module;  // empty for failed units
+  bool ok = false;
+  bool cache_hit = false;
+  double milliseconds = 0;  // this request's cost (probe or compile)
+};
+
+struct ServiceReportSummary {
+  size_t jobs = 1;
+  double wall_ms = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// Human-readable service batch report (psc --batch-report on the
+/// cached/daemon path): the per-unit table plus a summary line with the
+/// cache split instead of the in-process pipeline statistics.
+[[nodiscard]] std::string format_service_report(
+    const std::vector<ServiceReportRow>& rows,
+    const ServiceReportSummary& summary);
+
+/// Machine-readable service batch report (psc --batch-report --json).
+[[nodiscard]] std::string service_report_json(
+    const std::vector<ServiceReportRow>& rows,
+    const ServiceReportSummary& summary);
 
 }  // namespace ps

@@ -229,30 +229,32 @@ bool Daemon::handle_message(int fd, const std::string& payload) {
                                     ", client is " + request.client_version));
         }
         ServiceResponse response = service_.compile(request);
-        RemoteReply reply;
-        reply.cache_hits = response.cache_hits;
-        reply.cache_misses = response.cache_misses;
-        reply.jobs = response.jobs;
-        reply.wall_ms = response.wall_ms;
-        reply.units.reserve(response.units.size());
+        std::vector<RawUnitReply> units;
+        units.reserve(response.units.size());
         for (const ServiceUnit& unit : response.units) {
-          RemoteUnitResult remote;
-          remote.name = unit.name;
-          remote.cache_hit = unit.cache_hit;
-          remote.milliseconds = unit.milliseconds;
-          // Spilled artifacts reload from the cache directory here;
-          // the wire always carries the full artifact.
-          std::optional<UnitArtifact> artifact = service_.artifact(unit);
-          if (!artifact) {
+          RawUnitReply raw;
+          raw.name = unit.name;
+          raw.cache_hit = unit.cache_hit;
+          raw.milliseconds = unit.milliseconds;
+          // The wire always carries the full artifact, as raw
+          // serialised bytes: in-memory results encode once, and a
+          // spilled cache hit splices the validated cache-file payload
+          // straight into the frame -- the old path decoded it from
+          // disk here only to re-encode it below.
+          std::optional<std::string> bytes = service_.artifact_bytes(unit);
+          if (!bytes) {
             return write_frame(
                 fd, encode_simple(MsgKind::Error,
                                   "artifact for '" + unit.name +
                                       "' evicted before reply"));
           }
-          remote.artifact = std::move(*artifact);
-          reply.units.push_back(std::move(remote));
+          raw.artifact_bytes = std::move(*bytes);
+          units.push_back(std::move(raw));
         }
-        return write_frame(fd, encode_compile_reply(reply));
+        return write_frame(
+            fd, encode_compile_reply_raw(response.cache_hits,
+                                         response.cache_misses, response.jobs,
+                                         response.wall_ms, units));
       }
       default:
         return write_frame(

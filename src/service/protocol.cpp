@@ -51,6 +51,13 @@ std::string WireReader::str() {
   return out;
 }
 
+void WireReader::skip_str() {
+  uint32_t len = u32();
+  if (len > kMaxFrameBytes) throw WireError("overlong string");
+  need(len);
+  pos_ += len;
+}
+
 void WireReader::expect_end() const {
   if (!at_end()) throw WireError("trailing bytes after message");
 }
@@ -71,6 +78,12 @@ StageArtifact read_stage(WireReader& reader) {
   stage.schedule = reader.str();
   stage.c_code = reader.str();
   return stage;
+}
+
+void skip_stage(WireReader& reader) {
+  reader.skip_str();  // source
+  reader.skip_str();  // schedule
+  reader.skip_str();  // c_code
 }
 
 }  // namespace
@@ -105,6 +118,22 @@ UnitArtifact read_artifact(WireReader& reader) {
   }
   artifact.compile_ms = reader.f64();
   return artifact;
+}
+
+void skip_artifact(WireReader& reader) {
+  // Field for field the structure of read_artifact, lengths checked,
+  // nothing materialised.
+  reader.u8();        // ok
+  reader.skip_str();  // diagnostics
+  reader.skip_str();  // module_name
+  skip_stage(reader);
+  if (reader.u8() != 0) {  // has_transform
+    reader.skip_str();     // transform_array
+    reader.skip_str();     // transform_desc
+    reader.skip_str();     // exact_nest
+    skip_stage(reader);
+  }
+  reader.f64();  // compile_ms
 }
 
 // -- compile options --------------------------------------------------------
@@ -186,6 +215,27 @@ std::string encode_compile_reply(const RemoteReply& reply) {
     writer.u8(unit.cache_hit ? 1 : 0);
     writer.f64(unit.milliseconds);
     write_artifact(writer, unit.artifact);
+  }
+  return writer.take();
+}
+
+std::string encode_compile_reply_raw(size_t cache_hits, size_t cache_misses,
+                                     size_t jobs, double wall_ms,
+                                     const std::vector<RawUnitReply>& units) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::CompileReply));
+  writer.u64(cache_hits);
+  writer.u64(cache_misses);
+  writer.u64(jobs);
+  writer.f64(wall_ms);
+  writer.u32(static_cast<uint32_t>(units.size()));
+  for (const RawUnitReply& unit : units) {
+    writer.str(unit.name);
+    writer.u8(unit.cache_hit ? 1 : 0);
+    writer.f64(unit.milliseconds);
+    // The pre-serialised artifact splices in verbatim: the frame is
+    // byte-identical to encode_compile_reply on the decoded artifact.
+    writer.raw(unit.artifact_bytes);
   }
   return writer.take();
 }

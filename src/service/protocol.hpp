@@ -43,6 +43,10 @@ class WireWriter {
     u32(static_cast<uint32_t>(text.size()));
     out_.append(text.data(), text.size());
   }
+  /// Splice already-encoded wire bytes verbatim (no length prefix).
+  /// The raw-reply path appends cached artifact encodings with this,
+  /// skipping the decode/encode round trip.
+  void raw(std::string_view bytes) { out_.append(bytes.data(), bytes.size()); }
 
   [[nodiscard]] const std::string& bytes() const { return out_; }
   [[nodiscard]] std::string take() { return std::move(out_); }
@@ -62,6 +66,10 @@ class WireReader {
   uint64_t u64();
   double f64();
   std::string str();
+  /// Advance past one length-prefixed string without materialising it
+  /// (bounds-checked like str()). The validation-only walks use this,
+  /// so checking a cached artifact costs no string allocations.
+  void skip_str();
 
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
   /// Throw unless the whole payload was consumed (trailing garbage
@@ -79,6 +87,14 @@ class WireReader {
 
 void write_artifact(WireWriter& writer, const UnitArtifact& artifact);
 [[nodiscard]] UnitArtifact read_artifact(WireReader& reader);
+
+/// Walk one serialised artifact without building a UnitArtifact: every
+/// length is bounds-checked but no field is copied. Throws WireError on
+/// structural corruption exactly where read_artifact would. This is the
+/// cheap validation behind ArtifactCache::load_raw -- corrupt entries
+/// are still never served, but a valid one is read once instead of
+/// decoded and re-encoded.
+void skip_artifact(WireReader& reader);
 
 // -- compile options --------------------------------------------------------
 
@@ -118,6 +134,23 @@ struct RemoteReply {
 [[nodiscard]] ServiceRequest decode_compile_request(std::string_view payload);
 [[nodiscard]] std::string encode_compile_reply(const RemoteReply& reply);
 [[nodiscard]] RemoteReply decode_compile_reply(std::string_view payload);
+
+/// One unit of a raw-spliced compile reply: the artifact is supplied as
+/// its already-serialised write_artifact bytes (straight from the
+/// artifact cache for a spilled hit) instead of a decoded UnitArtifact.
+struct RawUnitReply {
+  std::string name;
+  bool cache_hit = false;
+  double milliseconds = 0;
+  std::string artifact_bytes;
+};
+
+/// encode_compile_reply with the per-unit artifacts spliced in as raw
+/// bytes -- byte-identical to encoding the decoded artifacts, minus the
+/// decode. decode_compile_reply reads both alike.
+[[nodiscard]] std::string encode_compile_reply_raw(
+    size_t cache_hits, size_t cache_misses, size_t jobs, double wall_ms,
+    const std::vector<RawUnitReply>& units);
 /// Kind-only messages (Ping/Pong/Shutdown/ShutdownAck) and Error.
 [[nodiscard]] std::string encode_simple(MsgKind kind,
                                         std::string_view text = {});

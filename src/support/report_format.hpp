@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ps {
+
+// Shared formatting helpers of the report renderers (the batch driver's
+// --batch-report and the compile service's cached-report variant), so
+// the two surfaces cannot drift apart.
+
+/// Milliseconds with fixed three-decimal precision.
+inline std::string format_ms_fixed(double ms) {
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+/// Minimal JSON string escaping (RFC 8259: quotes, backslashes and all
+/// control characters).
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          snprintf(buffer, sizeof(buffer), "\\u%04x",
+                   static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ps

@@ -486,4 +486,122 @@ int64_t count_loop_nest_points(const LoopNestBounds& nest,
   return count;
 }
 
+// -- NestCursor -------------------------------------------------------------
+
+NestCursor::NestCursor(const LoopNestBounds& nest, size_t first, IntEnv env)
+    : nest_(&nest), first_(first), env_(std::move(env)) {
+  const size_t levels = nest.levels.size();
+  if (first_ > levels)
+    throw std::runtime_error("NestCursor: first level beyond the nest");
+  coords_.resize(levels - first_);
+  his_.resize(levels - first_);
+  // Pre-bind every cursor-level variable and cache its map node (map
+  // nodes are address-stable). A level's bounds reference only outer
+  // levels and symbolic parameters, so the dormant zero binding of an
+  // inner variable can never affect a bound evaluation.
+  slots_.reserve(levels - first_);
+  for (size_t d = first_; d < levels; ++d)
+    slots_.push_back(&env_[nest.levels[d].var]);
+}
+
+bool NestCursor::descend(size_t d) {
+  while (true) {
+    if (d == depth()) return true;
+    const LoopLevelBounds& level = nest_->levels[first_ + d];
+    int64_t lo = level.lower(env_);
+    int64_t hi = level.upper(env_);
+    if (lo <= hi) {
+      coords_[d] = lo;
+      his_[d] = hi;
+      *slots_[d] = lo;
+      ++d;
+      continue;
+    }
+    // Empty inner range: carry at the deepest outer level that can
+    // still move, then re-establish the lower corner below it.
+    while (true) {
+      if (d == 0) {
+        exhausted_ = true;
+        return false;
+      }
+      --d;
+      if (coords_[d] < his_[d]) {
+        *slots_[d] = ++coords_[d];
+        ++d;
+        break;
+      }
+    }
+  }
+}
+
+bool NestCursor::next() {
+  if (exhausted_) return false;
+  if (!started_) {
+    started_ = true;
+    if (depth() == 0) return true;  // the single empty point
+    return descend(0);
+  }
+  if (depth() == 0) {
+    exhausted_ = true;
+    return false;
+  }
+  size_t d = depth();
+  while (true) {
+    if (d == 0) {
+      exhausted_ = true;
+      return false;
+    }
+    --d;
+    if (coords_[d] < his_[d]) {
+      *slots_[d] = ++coords_[d];
+      return descend(d + 1);
+    }
+  }
+}
+
+int64_t NestCursor::skip(int64_t count) {
+  if (!started_ || exhausted_ || count <= 0 || depth() == 0) return 0;
+  const size_t last = depth() - 1;
+  int64_t& slot = *slots_[last];
+  int64_t skipped = 0;
+  while (skipped < count) {
+    int64_t row_left = his_[last] - coords_[last];
+    if (row_left >= count - skipped) {
+      // The target lies in the current innermost row: one O(1) jump.
+      coords_[last] += count - skipped;
+      slot = coords_[last];
+      return count;
+    }
+    // Consume the rest of the row, then carry onto the next row.
+    skipped += row_left;
+    coords_[last] = his_[last];
+    slot = coords_[last];
+    if (!next()) return skipped;
+    ++skipped;
+  }
+  return skipped;
+}
+
+int64_t NestCursor::count(const LoopNestBounds& nest, size_t first,
+                          IntEnv env) {
+  const size_t levels = nest.levels.size();
+  if (first >= levels) return 1;  // rank-0 subspace: one empty point
+
+  // Odometer over the outer cursor levels, summing innermost extents
+  // row by row -- O(points / innermost extent) instead of O(points).
+  std::function<int64_t(size_t)> walk = [&](size_t level) -> int64_t {
+    const LoopLevelBounds& bounds = nest.levels[level];
+    int64_t lo = bounds.lower(env);
+    int64_t hi = bounds.upper(env);
+    if (level + 1 == levels) return hi < lo ? 0 : hi - lo + 1;
+    int64_t total = 0;
+    for (int64_t it = lo; it <= hi; ++it) {
+      env[bounds.var] = it;
+      total += walk(level + 1);
+    }
+    return total;
+  };
+  return walk(first);
+}
+
 }  // namespace ps

@@ -148,6 +148,69 @@ struct LoopNestBounds {
 void scan_loop_nest(const LoopNestBounds& nest, const IntEnv& params,
                     const std::function<void(const IntEnv&)>& body);
 
+/// A lazy lexicographic cursor over the integer points of the nest
+/// levels [first, levels.size()), with every outer level (and every
+/// symbolic parameter) already bound in the environment. State is
+/// O(depth): no point vector is ever materialised, which is what lets
+/// the streaming wavefront executor scan one hyperplane at a time in
+/// O(window) memory and hand disjoint point ranges to worker shards.
+///
+/// Usage: call next() to step onto the first point and after that onto
+/// each successive point; coords() is valid while the last next()
+/// returned true. skip(k) advances past up to k additional points
+/// without observing them (whole innermost rows are skipped in O(1)
+/// per row), which is how parallel workers seek to their stripe.
+class NestCursor {
+ public:
+  /// `nest` must outlive the cursor. A depth of zero (first ==
+  /// levels.size()) yields exactly one empty point.
+  NestCursor(const LoopNestBounds& nest, size_t first, IntEnv env);
+
+  // Movable but not copyable: the cursor caches pointers into its own
+  // environment's map nodes (stable under move, not under copy).
+  NestCursor(NestCursor&&) = default;
+  NestCursor& operator=(NestCursor&&) = default;
+  NestCursor(const NestCursor&) = delete;
+  NestCursor& operator=(const NestCursor&) = delete;
+
+  /// Advance to the next point; false once the space is exhausted.
+  bool next();
+
+  /// Coordinates of the current point: one value per level in
+  /// [first, levels.size()), outermost first.
+  [[nodiscard]] const std::vector<int64_t>& coords() const { return coords_; }
+
+  /// Advance past up to `count` further points (the current point stays
+  /// consumed); returns how many were actually skipped. After skip(k)
+  /// the cursor is positioned k points after where it stood, and
+  /// coords() reflects the new position when the full count was
+  /// available.
+  int64_t skip(int64_t count);
+
+  /// Number of points of the subspace, summing innermost extents row by
+  /// row instead of enumerating individual points.
+  [[nodiscard]] static int64_t count(const LoopNestBounds& nest, size_t first,
+                                     IntEnv env);
+
+ private:
+  [[nodiscard]] size_t depth() const { return coords_.size(); }
+  /// Establish the lower-bound corner of levels [d, depth); on an empty
+  /// inner range, carry outward. False when exhausted.
+  bool descend(size_t d);
+
+  const LoopNestBounds* nest_;
+  size_t first_;
+  IntEnv env_;
+  std::vector<int64_t> coords_;  // current value per cursor level
+  std::vector<int64_t> his_;     // cached upper bound per cursor level
+  /// The env_ map node of each cursor level's variable, bound once at
+  /// construction: advancing the innermost level writes one int
+  /// through this instead of a string-keyed map lookup per point.
+  std::vector<int64_t*> slots_;
+  bool started_ = false;
+  bool exhausted_ = false;
+};
+
 /// Number of integer points (scan_loop_nest with a counter).
 [[nodiscard]] int64_t count_loop_nest_points(const LoopNestBounds& nest,
                                              const IntEnv& params);

@@ -57,6 +57,18 @@ inline double input_value(size_t i) {
 inline const char* kInputValueC =
     "(double)((long)(i % 97) - 48) * 0.0625";
 
+/// Input pattern for int-element arrays: the plain integer ramp. Int
+/// arrays always use this (even under a content-fuzz fill) -- IEEE edge
+/// values are a floating-point concern, and double->int casts of
+/// out-of-range values are undefined in both C and C++, so no engine
+/// could promise bit-stable results for them.
+inline int64_t int_input_value(size_t i) {
+  return static_cast<int64_t>(i % 97) - 48;
+}
+
+/// The same pattern as a C expression over index variable `i`.
+inline const char* kIntInputValueC = "(long)(i % 97) - 48";
+
 /// Every non-input value an engine produced, in module data order.
 struct EngineOutputs {
   std::vector<std::pair<std::string, std::vector<double>>> arrays;
@@ -69,8 +81,11 @@ inline void fill_interpreter_inputs(Interpreter& interp,
   if (fill == nullptr) fill = input_value;
   for (const DataItem& item : module.data) {
     if (item.cls != DataClass::Input || item.is_scalar()) continue;
+    bool int_elems = item.elem != nullptr &&
+                     item.elem->scalar_kind() == TypeKind::Int;
     auto span = interp.array(item.name).raw();
-    for (size_t i = 0; i < span.size(); ++i) span[i] = fill(i);
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = int_elems ? static_cast<double>(int_input_value(i)) : fill(i);
   }
 }
 
@@ -154,14 +169,17 @@ inline std::optional<int64_t> element_count(const DataItem& item,
 }
 
 /// Generate a C main() that fills the module's inputs with the shared
-/// pattern, calls the generated function, and prints every output value
-/// (%a for doubles -- exact hex floats -- and %ld for integers).
-/// Returns nullopt for module shapes the driver generator does not
-/// cover (record/bool items).
+/// pattern (or, under a content-fuzz fill, with the exact per-element
+/// hex-float literals of that pattern), calls the generated function,
+/// and prints every output value: doubles as their raw 64-bit patterns
+/// (%llx over memcpy'd bits -- no printf/strtod round trip, so NaNs and
+/// signed zeroes compare exactly) and integers as %ld. Int-element
+/// input arrays fill with the integer ramp. Returns nullopt for module
+/// shapes the driver generator does not cover (record/bool items).
 inline std::optional<std::string> make_c_main(const CheckedModule& module,
                                               const DiffCase& test_case) {
   std::ostringstream os;
-  os << "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  os << "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n\n";
 
   // Extern declaration, mirroring c_emitter's signature() exactly.
   std::vector<std::string> params;
@@ -191,14 +209,37 @@ inline std::optional<std::string> make_c_main(const CheckedModule& module,
         }
         args.push_back(literal);
       } else {
-        if (kind != TypeKind::Real) return std::nullopt;
-        params.push_back("const double* " + cname);
+        params.push_back("const " + std::string(scalar_c) + "* " + cname);
         auto count = element_count(item, test_case.int_inputs);
         if (!count) return std::nullopt;
-        setup << "  double* " << cname << " = malloc(sizeof(double) * "
-              << *count << ");\n"
-              << "  for (long i = 0; i < " << *count << "; ++i) " << cname
-              << "[i] = " << kInputValueC << ";\n";
+        if (kind == TypeKind::Int) {
+          // Int arrays always take the integer ramp (see
+          // int_input_value for why content patterns do not apply).
+          setup << "  long* " << cname << " = malloc(sizeof(long) * "
+                << *count << ");\n"
+                << "  for (long i = 0; i < " << *count << "; ++i) " << cname
+                << "[i] = " << kIntInputValueC << ";\n";
+        } else if (test_case.input_fill != nullptr) {
+          // Content-fuzz fill: the pattern is a C++ function, so embed
+          // its exact values as hex-float literals element by element.
+          setup << "  static const double " << cname << "_init[] = {";
+          for (int64_t i = 0; i < *count; ++i) {
+            char literal[64];
+            snprintf(literal, sizeof(literal), "%a",
+                     test_case.input_fill(static_cast<size_t>(i)));
+            setup << (i ? ", " : "") << literal;
+          }
+          setup << "};\n"
+                << "  double* " << cname << " = malloc(sizeof(double) * "
+                << *count << ");\n"
+                << "  memcpy(" << cname << ", " << cname
+                << "_init, sizeof(double) * " << *count << ");\n";
+        } else {
+          setup << "  double* " << cname << " = malloc(sizeof(double) * "
+                << *count << ");\n"
+                << "  for (long i = 0; i < " << *count << "; ++i) " << cname
+                << "[i] = " << kInputValueC << ";\n";
+        }
         args.push_back(cname);
       }
     } else {  // Output
@@ -206,17 +247,22 @@ inline std::optional<std::string> make_c_main(const CheckedModule& module,
       if (item.is_scalar()) {
         setup << "  " << scalar_c << " " << cname << "_v = 0;\n";
         args.push_back("&" + cname + "_v");
-        print << "  printf(\"" << (kind == TypeKind::Real ? "%a" : "%ld")
-              << "\\n\", " << cname << "_v);\n";
+        if (kind == TypeKind::Real)
+          print << "  print_bits(" << cname << "_v);\n";
+        else
+          print << "  printf(\"%ld\\n\", " << cname << "_v);\n";
       } else {
         auto count = element_count(item, test_case.int_inputs);
         if (!count) return std::nullopt;
         setup << "  " << scalar_c << "* " << cname << " = calloc(" << *count
               << ", sizeof(" << scalar_c << "));\n";
         args.push_back(cname);
-        print << "  for (long i = 0; i < " << *count << "; ++i) printf(\""
-              << (kind == TypeKind::Real ? "%a" : "%ld") << "\\n\", " << cname
-              << "[i]);\n";
+        if (kind == TypeKind::Real)
+          print << "  for (long i = 0; i < " << *count
+                << "; ++i) print_bits(" << cname << "[i]);\n";
+        else
+          print << "  for (long i = 0; i < " << *count
+                << "; ++i) printf(\"%ld\\n\", " << cname << "[i]);\n";
       }
     }
   }
@@ -224,8 +270,13 @@ inline std::optional<std::string> make_c_main(const CheckedModule& module,
   os << "void " << c_identifier(module.name) << "(";
   for (size_t i = 0; i < params.size(); ++i)
     os << (i ? ", " : "") << params[i];
-  os << ");\n\nint main(void) {\n" << setup.str() << "  "
-     << c_identifier(module.name) << "(";
+  os << ");\n\n"
+     << "static void print_bits(double v) {\n"
+     << "  unsigned long long bits;\n"
+     << "  memcpy(&bits, &v, sizeof bits);\n"
+     << "  printf(\"%llx\\n\", bits);\n"
+     << "}\n\nint main(void) {\n"
+     << setup.str() << "  " << c_identifier(module.name) << "(";
   for (size_t i = 0; i < args.size(); ++i) os << (i ? ", " : "") << args[i];
   os << ");\n" << print.str() << "  return 0;\n}\n";
   return os.str();
@@ -283,7 +334,11 @@ inline std::optional<EngineOutputs> run_generated_c(
     bool real = item.elem->scalar_kind() == TypeKind::Real;
     auto next_value = [&]() -> std::optional<double> {
       if (!std::getline(lines, line)) return std::nullopt;
-      return real ? std::strtod(line.c_str(), nullptr)
+      // Doubles travel as raw hex bit patterns (make_c_main's
+      // print_bits), so the round trip is exact for every value
+      // including NaNs and signed zeroes.
+      return real ? std::bit_cast<double>(static_cast<uint64_t>(
+                        std::strtoull(line.c_str(), nullptr, 16)))
                   : static_cast<double>(std::strtoll(line.c_str(), nullptr,
                                                      10));
     };

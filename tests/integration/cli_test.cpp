@@ -372,6 +372,59 @@ TEST(CliService, EditedFileRecompilesThroughTheCache) {
   EXPECT_EQ(strip_psc_lines(warm.out), reference.out);
 }
 
+TEST(CliService, BatchReportIsServedFromTheCache) {
+  static int counter = 0;
+  std::string tag = "rep" + std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  std::string dir = std::string(::testing::TempDir());
+  std::string cache = dir + "psc_cli_repcache_" + tag;
+  std::string input = dir + "psc_cli_repin_" + tag + ".ps";
+  {
+    std::ofstream f(input);
+    f << kGaussSeidelSource;
+  }
+  std::string flags = "--batch-report --cache-dir " + cache + " --verbose";
+  CliResult cold = run_psc_on(flags, input, tag + "c");
+  CliResult warm = run_psc_on(flags, input, tag + "w");
+  ASSERT_EQ(cold.exit_code, 0) << cold.out;
+  ASSERT_EQ(warm.exit_code, 0) << warm.out;
+  // Cold: the unit compiled through the service and the report says so.
+  EXPECT_NE(cold.out.find("compiled"), std::string::npos) << cold.out;
+  EXPECT_NE(cold.out.find("Relaxation"), std::string::npos) << cold.out;
+  // Warm: a full cache hit -- the report is served without compiling.
+  EXPECT_NE(warm.out.find("| cache"), std::string::npos) << warm.out;
+  EXPECT_NE(warm.out.find("1 cache hits, 0 compiled"), std::string::npos)
+      << warm.out;
+  EXPECT_NE(warm.out.find("0 compiled, 0 spilled"), std::string::npos)
+      << warm.out;  // the --verbose service stats agree
+
+  // And the JSON shape, also from the cache.
+  CliResult json = run_psc_on(flags + " --json", input, tag + "j");
+  ASSERT_EQ(json.exit_code, 0) << json.out;
+  EXPECT_NE(json.out.find("\"cache_hit\": true"), std::string::npos)
+      << json.out;
+  EXPECT_NE(json.out.find("\"module\": \"Relaxation\""), std::string::npos);
+}
+
+TEST(Cli, WavefrontBackendFlagValidatesAndReports) {
+  CliResult report = run_psc("--exact --verbose --wavefront-backend=sharded",
+                             kGaussSeidelSource);
+  EXPECT_EQ(report.exit_code, 0) << report.out;
+  EXPECT_NE(report.out.find("wavefront backend [Relaxation_h]: sharded"),
+            std::string::npos)
+      << report.out;
+
+  CliResult defaulted = run_psc("--exact --verbose", kGaussSeidelSource);
+  EXPECT_NE(defaulted.out.find("wavefront backend [Relaxation_h]: auto"),
+            std::string::npos)
+      << defaulted.out;
+
+  CliResult bad = run_psc("--wavefront-backend=bogus", kGaussSeidelSource);
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.out.find("unknown wavefront backend"), std::string::npos)
+      << bad.out;
+}
+
 TEST(CliService, ClientWithoutDaemonFallsBackInProcess) {
   CliResult plain = run_psc("--c", kRelaxationSource);
   CliResult client = run_psc("--client=/tmp/psc_no_such_daemon.sock --c",

@@ -89,6 +89,21 @@ define
 end Tri;
 )";
 
+// Integer-element arrays end to end: a 2-D summed-area recurrence over
+// int inputs with an int array output. The generated-C leg used to
+// cover only real-element arrays; this case pins the `long` signature,
+// the integer fill and the %ld output path.
+constexpr const char* kIntGridSource = R"(
+IntGrid: module (seed: array[I, J] of int; n: int):
+  [cnt: array[I, J] of int];
+type I = 0 .. n; J = 0 .. n;
+define
+  cnt[I, J] = if I = 0 or J = 0
+              then seed[I, J]
+              else seed[I, J] + cnt[I-1, J] + cnt[I, J-1] - cnt[I-1, J-1];
+end IntGrid;
+)";
+
 std::vector<DiffCase> differential_corpus() {
   std::vector<DiffCase> cases;
   cases.push_back({"jacobi", kRelaxationSource,
@@ -105,6 +120,7 @@ std::vector<DiffCase> differential_corpus() {
   cases.push_back({"pingpong", kPingPongSource,
                    IntEnv{{"n", 6}, {"s", 5}}, {}});
   cases.push_back({"tri", kTriangularSource, IntEnv{{"n", 8}}, {}});
+  cases.push_back({"intgrid", kIntGridSource, IntEnv{{"n", 7}}, {}});
   return cases;
 }
 
@@ -206,6 +222,28 @@ TEST_P(Differential, FuzzedArrayContentsAgreeAcrossEngines) {
   for (const DiffCase& fuzzed :
        testutil::fuzz_array_content_cases(base, /*count=*/3)) {
     testutil::expect_engines_agree_on_case(fuzzed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+/// The IEEE edge-value content patterns through the generated-C leg:
+/// the same fill the interpreters see is embedded as exact hex-float
+/// literals in the generated main, and outputs travel back as raw bit
+/// patterns -- so denormals, signed zeroes, infinities and NaNs must
+/// agree bit for bit between the bytecode engine and cc's code.
+TEST_P(Differential, FuzzedArrayContentsMatchGeneratedC) {
+  if (!testutil::have_cc()) GTEST_SKIP() << "no system C compiler";
+  DiffCase base = GetParam();
+  for (const DiffCase& fuzzed :
+       testutil::fuzz_array_content_cases(base, /*count=*/2)) {
+    auto result = compile_or_die(fuzzed.source, fuzzed.options);
+    auto interp = testutil::run_interpreter(*result.primary, fuzzed,
+                                            EvalEngine::Bytecode,
+                                            /*outputs_only=*/true);
+    auto c_run = testutil::run_generated_c(*result.primary, fuzzed,
+                                           fuzzed.name + "_c");
+    ASSERT_TRUE(c_run.has_value()) << fuzzed.name;
+    testutil::expect_bitwise_equal(interp, *c_run, fuzzed.name + "/C");
     if (::testing::Test::HasFatalFailure()) break;
   }
 }

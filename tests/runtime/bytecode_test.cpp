@@ -275,7 +275,8 @@ TEST(BytecodeFold, JumpTargetsAreRemappedAcrossASplice) {
 
   // The folded program still executes correctly.
   EvalCore core;
-  EvalSlot slot = core.run(program, VarFrame{});
+  EvalScratch scratch;
+  EvalSlot slot = core.run(program, VarFrame{}, scratch);
   EXPECT_EQ(slot.i, 5);
 }
 
@@ -305,7 +306,9 @@ TEST(BytecodeFold, DivisionByConstantZeroIsNotFolded) {
   program.max_stack = 2;
   EXPECT_EQ(fold_constants(program), 0u);
   EvalCore core;
-  EXPECT_THROW(core.run(program, VarFrame{}), std::runtime_error);
+  EvalScratch scratch;
+  EXPECT_THROW((void)core.run(program, VarFrame{}, scratch),
+               std::runtime_error);
 }
 
 TEST(BytecodeFold, EvalCoreHandsBackFoldedPrograms) {
@@ -364,7 +367,9 @@ void expect_fold_matches_vm(BcOp op, int64_t lhs, int64_t rhs) {
   EXPECT_EQ(folded.code[0].op, BcOp::PushInt);
 
   EvalCore core;
-  EXPECT_EQ(core.run(program, VarFrame{}).i, core.run(folded, VarFrame{}).i)
+  EvalScratch scratch;
+  EXPECT_EQ(core.run(program, VarFrame{}, scratch).i,
+            core.run(folded, VarFrame{}, scratch).i)
       << "op " << static_cast<int>(op) << " on " << lhs << ", " << rhs;
 }
 
@@ -388,10 +393,11 @@ TEST(BytecodeFold, NegateAndAbsWrapOnInt64Min) {
     BcProgram folded = program;
     ASSERT_EQ(fold_constants(folded), 1u);
     EvalCore core;
+    EvalScratch scratch;
     // Two's-complement wrap: both negate and abs of INT64_MIN stay
     // INT64_MIN, in the folder and in the VM alike.
-    EXPECT_EQ(core.run(folded, VarFrame{}).i, kI64Min);
-    EXPECT_EQ(core.run(program, VarFrame{}).i, kI64Min);
+    EXPECT_EQ(core.run(folded, VarFrame{}, scratch).i, kI64Min);
+    EXPECT_EQ(core.run(program, VarFrame{}, scratch).i, kI64Min);
   }
 }
 
@@ -407,7 +413,8 @@ TEST(BytecodeFold, DivModOfInt64MinByMinusOneAreNotFolded) {
     program.max_stack = 2;
     EXPECT_EQ(fold_constants(program), 0u);
     EvalCore core;
-    EXPECT_EQ(core.run(program, VarFrame{}).i,
+    EvalScratch scratch;
+    EXPECT_EQ(core.run(program, VarFrame{}, scratch).i,
               op == BcOp::DivI ? kI64Min : 0);
   }
 }
@@ -418,6 +425,7 @@ TEST(BytecodeFold, FloorCeilOutsideInt64StayUnfolded) {
   // converts through bc_double_to_int64 (saturating, NaN -> 0), the
   // same defined conversion the tree walk uses. In-range values fold.
   EvalCore core;
+  EvalScratch scratch;
   for (double v : {std::nan(""), 1e300, -1e300, 9.3e18, -9.3e18}) {
     for (BcOp op : {BcOp::FloorD, BcOp::CeilD}) {
       BcProgram program;
@@ -428,7 +436,7 @@ TEST(BytecodeFold, FloorCeilOutsideInt64StayUnfolded) {
       EXPECT_EQ(fold_constants(program), 0u) << v;
       EXPECT_EQ(program.code[1].op, op) << v;
       int64_t expect = v != v ? 0 : (v < 0 ? kI64Min : kI64Max);
-      EXPECT_EQ(core.run(program, VarFrame{}).i, expect) << v;
+      EXPECT_EQ(core.run(program, VarFrame{}, scratch).i, expect) << v;
     }
   }
   BcProgram program;
@@ -526,10 +534,11 @@ end M;
   fold_constants(fused);
   EXPECT_GT(fuse_superinstructions(fused), 0u);
   EvalCore core;
+  EvalScratch scratch;
   for (int64_t i : {0, 7}) {
     VarFrame frame;
     frame.vars.emplace_back("I", i);
-    EXPECT_EQ(core.run(raw, frame).i, core.run(fused, frame).i) << i;
+    EXPECT_EQ(core.run(raw, frame, scratch).i, core.run(fused, frame, scratch).i) << i;
   }
 }
 
@@ -727,6 +736,7 @@ TEST(BytecodeQuicken, QuickenedRunMatchesUnquickenedBitForBit) {
   };
   auto plain = make_core(false);
   auto quick = make_core(true);
+  EvalScratch scratch;
   for (int64_t k = 2; k <= 4; ++k)
     for (int64_t i = 0; i <= 6; ++i)
       for (int64_t j = 0; j <= 6; ++j) {
@@ -734,8 +744,8 @@ TEST(BytecodeQuicken, QuickenedRunMatchesUnquickenedBitForBit) {
         frame.vars.emplace_back("K", k);
         frame.vars.emplace_back("I", i);
         frame.vars.emplace_back("J", j);
-        EvalSlot a = plain->run(plain->programs(2).rhs, frame);
-        EvalSlot b = quick->run(quick->programs(2).rhs, frame);
+        EvalSlot a = plain->run(plain->programs(2).rhs, frame, scratch);
+        EvalSlot b = quick->run(quick->programs(2).rhs, frame, scratch);
         EXPECT_EQ(std::bit_cast<uint64_t>(a.d), std::bit_cast<uint64_t>(b.d))
             << "K=" << k << " I=" << i << " J=" << j;
       }
@@ -779,6 +789,7 @@ TEST(BytecodeAddressing, ReducedAndGenericPathsAgreeOnWindowedArrays) {
   }
   // The stencil RHS reads the windowed A and, under the guard, the
   // fully allocated InitialA -- both paths in one program.
+  EvalScratch scratch;
   for (int64_t k = 2; k <= 6; ++k)
     for (int64_t i = 0; i <= 5; ++i)
       for (int64_t j = 0; j <= 5; ++j) {
@@ -787,9 +798,9 @@ TEST(BytecodeAddressing, ReducedAndGenericPathsAgreeOnWindowedArrays) {
         frame.vars.emplace_back("I", i);
         frame.vars.emplace_back("J", j);
         core.set_reduced_addressing(true);
-        EvalSlot fast = core.run(core.programs(2).rhs, frame);
+        EvalSlot fast = core.run(core.programs(2).rhs, frame, scratch);
         core.set_reduced_addressing(false);
-        EvalSlot generic = core.run(core.programs(2).rhs, frame);
+        EvalSlot generic = core.run(core.programs(2).rhs, frame, scratch);
         EXPECT_EQ(std::bit_cast<uint64_t>(fast.d),
                   std::bit_cast<uint64_t>(generic.d))
             << "K=" << k << " I=" << i << " J=" << j;
@@ -846,12 +857,14 @@ end M;
   arrays.emplace("x", NdArray::full({0}, {3}));
   arrays.emplace("y", NdArray::full({0}, {3}));
   core.bind_arrays(arrays);
+  EvalScratch scratch;
   VarFrame ok_frame;
   ok_frame.vars.emplace_back("i", 2);
-  EXPECT_NO_THROW(core.run(program, ok_frame));
+  EXPECT_NO_THROW((void)core.run(program, ok_frame, scratch));
   VarFrame bad_frame;
   bad_frame.vars.emplace_back("i", 7);
-  EXPECT_THROW(core.run(program, bad_frame), std::runtime_error);
+  EXPECT_THROW((void)core.run(program, bad_frame, scratch),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// The consumer-stream layer against an eager-bucket oracle: the old
+// WavefrontRunner materialised every consumer instance up front in a
+// bucket map keyed by hyperplane (O(consumers) memory). ConsumerStream
+// must yield exactly the same instances in exactly the same order per
+// hyperplane -- while holding only per-equation affine forms.
+
+#include "runtime/consumer_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/wavefront.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+/// A consumer-heavy variant of the paper's Gauss-Seidel: three output
+/// equations read the recurrence array at different affine slices --
+/// after the transform, hyperplane subscripts 2maxK+I+J (pivot
+/// coefficient 1), 2maxK+2I (pivot coefficient 2: half the candidate
+/// solutions are fractional and must be filtered) and 2maxK+1+J.
+constexpr const char* kConsumerHeavySource = R"PS(
+Heavy: module (InitialA: array[I,J] of real; M: int; maxK: int):
+  [newA: array [I, J] of real; diag: array [I] of real;
+   edge: array [J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+define
+  A[1] = InitialA;
+  newA = A[maxK];
+  diag[I] = A[maxK, I, I];
+  edge[J] = A[maxK, 1, J];
+  A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+             then A[K-1,I,J]
+             else ( A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+end Heavy;
+)PS";
+
+struct WavefrontSetup {
+  CompileResult result;
+  const CheckedModule* module = nullptr;
+  std::string new_array;
+  std::vector<size_t> consumers;
+  int64_t window = 0;
+};
+
+WavefrontSetup setup_for(const char* source) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  WavefrontSetup setup;
+  setup.result = compile_or_die(source, options);
+  EXPECT_TRUE(setup.result.transformed.has_value());
+  setup.module = setup.result.transformed->module.operator->();
+  setup.new_array = setup.result.transform->array + "'";
+  size_t target = setup.module->data_index(setup.new_array);
+  for (const CheckedEquation& eq : setup.module->equations) {
+    if (eq.target == target) continue;
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array == setup.new_array) {
+        setup.consumers.push_back(eq.id);
+        break;
+      }
+    }
+  }
+  setup.window = 3;  // the paper's gauss-seidel window
+  return setup;
+}
+
+using Instance = std::pair<size_t, std::vector<int64_t>>;
+using Buckets = std::map<int64_t, std::vector<Instance>>;
+
+/// The old eager construction, kept verbatim as the oracle: scan every
+/// consumer box, evaluate the affine hyperplane subscripts, bucket by
+/// the newest slice read.
+Buckets eager_buckets(const WavefrontSetup& setup, const IntEnv& params) {
+  Buckets buckets;
+  for (size_t id : setup.consumers) {
+    const CheckedEquation& eq = setup.module->equations[id];
+    std::vector<AffineForm> reads;
+    for (const ArrayRefInfo& ref : eq.array_refs) {
+      if (ref.array != setup.new_array) continue;
+      reads.push_back(*affine_from_expr(*ref.subs.front().expr));
+    }
+    std::vector<int64_t> lo(eq.loop_dims.size());
+    std::vector<int64_t> hi(eq.loop_dims.size());
+    for (size_t d = 0; d < eq.loop_dims.size(); ++d) {
+      lo[d] = *eval_const_int(*eq.loop_dims[d].range->lo, params);
+      hi[d] = *eval_const_int(*eq.loop_dims[d].range->hi, params);
+    }
+    std::vector<int64_t> vals = lo;
+    bool empty = false;
+    for (size_t d = 0; d < lo.size(); ++d)
+      if (hi[d] < lo[d]) empty = true;
+    if (empty) continue;
+    while (true) {
+      IntEnv env = params;
+      for (size_t d = 0; d < vals.size(); ++d)
+        env[eq.loop_dims[d].var] = vals[d];
+      int64_t newest = std::numeric_limits<int64_t>::min();
+      for (const AffineForm& form : reads)
+        newest = std::max(newest, form.evaluate(env)->as_integer());
+      buckets[newest].push_back({id, vals});
+      size_t d = vals.size();
+      bool done = false;
+      while (true) {
+        if (d == 0) {
+          done = true;
+          break;
+        }
+        --d;
+        if (++vals[d] <= hi[d]) break;
+        vals[d] = lo[d];
+      }
+      if (done) break;
+    }
+  }
+  return buckets;
+}
+
+void expect_stream_matches_eager(const char* source, const IntEnv& params) {
+  WavefrontSetup setup = setup_for(source);
+  ASSERT_FALSE(setup.consumers.empty());
+  Buckets expected = eager_buckets(setup, params);
+  ConsumerStream stream(*setup.module, setup.consumers, setup.new_array,
+                        setup.window, params);
+
+  // The conservative range covers every occupied bucket.
+  ASSERT_FALSE(expected.empty());
+  EXPECT_LE(stream.min_t(), expected.begin()->first);
+  EXPECT_GE(stream.max_t(), expected.rbegin()->first);
+
+  int64_t total = 0;
+  for (int64_t t = stream.min_t(); t <= stream.max_t(); ++t) {
+    std::vector<Instance> got;
+    int64_t count = stream.for_hyperplane(
+        t, [&](size_t eq, const std::vector<int64_t>& vals) {
+          got.push_back({eq, vals});
+        });
+    EXPECT_EQ(count, static_cast<int64_t>(got.size()));
+    total += count;
+    auto it = expected.find(t);
+    if (it == expected.end()) {
+      // Same instances: nothing may appear on an unoccupied hyperplane.
+      EXPECT_TRUE(got.empty()) << "t=" << t;
+    } else {
+      // Same instances, same order per hyperplane.
+      EXPECT_EQ(got, it->second) << "t=" << t;
+    }
+  }
+  int64_t expected_total = 0;
+  for (const auto& [t, instances] : expected)
+    expected_total += static_cast<int64_t>(instances.size());
+  EXPECT_EQ(total, expected_total);
+}
+
+TEST(ConsumerStream, MatchesEagerBucketsOnGaussSeidel) {
+  expect_stream_matches_eager(kGaussSeidelSource,
+                              IntEnv{{"M", 6}, {"maxK", 5}});
+  expect_stream_matches_eager(kGaussSeidelSource,
+                              IntEnv{{"M", 1}, {"maxK", 1}});
+}
+
+TEST(ConsumerStream, MatchesEagerBucketsOnJacobi) {
+  expect_stream_matches_eager(kRelaxationSource,
+                              IntEnv{{"M", 5}, {"maxK", 4}});
+}
+
+TEST(ConsumerStream, MatchesEagerBucketsOnHeat1d) {
+  expect_stream_matches_eager(kHeat1dSource,
+                              IntEnv{{"N", 9}, {"steps", 6}});
+}
+
+TEST(ConsumerStream, MatchesEagerBucketsOnConsumerHeavyModule) {
+  // Three consumer equations with distinct affine forms, including a
+  // coefficient-2 pivot whose fractional solutions must be filtered.
+  expect_stream_matches_eager(kConsumerHeavySource,
+                              IntEnv{{"M", 7}, {"maxK", 5}});
+  expect_stream_matches_eager(kConsumerHeavySource,
+                              IntEnv{{"M", 2}, {"maxK", 2}});
+}
+
+/// A consumer reading two adjacent sweeps: after the transform its two
+/// A'-reads are 2 hyperplane slices apart, so the instance needs a
+/// window of at least 3 to ever be flushable.
+constexpr const char* kSpanningConsumerSource = R"PS(
+Span: module (InitialA: array[I,J] of real; M: int; maxK: int):
+  [d: array [I, J] of real; s: array [I, J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+define
+  A[1] = InitialA;
+  d[I,J] = A[maxK,I,J] - A[maxK-1,I,J];
+  s[I,J] = A[maxK,I,J] + A[maxK,J,I];
+  A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+             then A[K-1,I,J]
+             else ( A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J] ) / 4;
+end Span;
+)PS";
+
+TEST(ConsumerStream, ThrowsOnInstancesSpanningTheWindow) {
+  WavefrontSetup setup = setup_for(kSpanningConsumerSource);
+  IntEnv params{{"M", 4}, {"maxK", 3}};
+  auto drain = [&](int64_t window) {
+    ConsumerStream stream(*setup.module, setup.consumers, setup.new_array,
+                          window, params);
+    int64_t total = 0;
+    for (int64_t t = stream.min_t(); t <= stream.max_t(); ++t)
+      total += stream.for_hyperplane(
+          t, [](size_t, const std::vector<int64_t>&) {});
+    return total;
+  };
+  // Window 3 holds both slices the consumer reads; window 2 cannot, and
+  // the stream must fail loudly (the old bucket build's contract)
+  // instead of flushing an instance whose older slice already rotated
+  // out.
+  EXPECT_GT(drain(3), 0);
+  EXPECT_THROW(drain(2), std::runtime_error);
+  // The eager oracle agrees at the workable window.
+  expect_stream_matches_eager(kSpanningConsumerSource, params);
+}
+
+// ---------------------------------------------------------------------------
+// The live-set bound: peak_bucket_instances on the full runner
+// ---------------------------------------------------------------------------
+
+TEST(ConsumerStream, RunnerPeakIsBoundedByTheLargestHyperplane) {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(kConsumerHeavySource, options);
+  const int64_t m = 12;
+  const int64_t sweeps = 6;
+  IntEnv params{{"M", m}, {"maxK", sweeps}};
+
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest, params);
+  auto span = runner.array("InitialA").raw();
+  for (size_t i = 0; i < span.size(); ++i)
+    span[i] = std::cos(static_cast<double>(i));
+  runner.run();
+
+  // Oracle: the largest single-hyperplane instance count.
+  WavefrontSetup setup = setup_for(kConsumerHeavySource);
+  Buckets buckets = eager_buckets(setup, params);
+  int64_t largest = 0;
+  int64_t total = 0;
+  for (const auto& [t, instances] : buckets) {
+    largest = std::max(largest, static_cast<int64_t>(instances.size()));
+    total += static_cast<int64_t>(instances.size());
+  }
+
+  EXPECT_EQ(runner.stats().flushed, total);
+  // The stream's live set is bounded by one hyperplane's instances --
+  // the eager map held `total` (the whole module) live instead.
+  EXPECT_EQ(runner.stats().peak_bucket_instances, largest);
+  EXPECT_LT(runner.stats().peak_bucket_instances, total);
+}
+
+}  // namespace
+}  // namespace ps

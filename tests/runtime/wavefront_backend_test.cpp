@@ -1,0 +1,250 @@
+// The backend layer of the wavefront engine: sequential, pooled-chunked
+// and sharded execution must be bit-exact against each other (DOALL
+// points write disjoint cells, so scheduling cannot change results),
+// and per-worker WorkerContexts must isolate concurrent runners -- the
+// old thread_local frames silently coupled engines sharing a thread.
+
+#include "runtime/wavefront_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/wavefront.hpp"
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+CompileResult compile_exact_gs() {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  return compile_or_die(kGaussSeidelSource, options);
+}
+
+void fill_input(NdArray& in, int64_t m) {
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j)
+      in.set(std::vector<int64_t>{i, j},
+             std::cos(static_cast<double>(i * 5 + j)));
+}
+
+/// Run the exact gauss-seidel wavefront under `options` and return newA.
+NdArray run_newA(const CompileResult& result, int64_t m, int64_t sweeps,
+                 WavefrontOptions options, WavefrontStats* stats = nullptr) {
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  if (stats != nullptr) *stats = runner.stats();
+  return runner.array("newA");
+}
+
+void expect_bit_identical(const NdArray& a, const NdArray& b, int64_t m,
+                          const std::string& label) {
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      ASSERT_EQ(std::bit_cast<uint64_t>(a.at(idx)),
+                std::bit_cast<uint64_t>(b.at(idx)))
+          << label << " at " << i << "," << j;
+    }
+}
+
+TEST(WavefrontBackendOptions, NamesRoundTripAndRejectUnknown) {
+  for (WavefrontBackend backend :
+       {WavefrontBackend::Auto, WavefrontBackend::Sequential,
+        WavefrontBackend::PooledChunked, WavefrontBackend::Sharded}) {
+    auto parsed = parse_wavefront_backend(wavefront_backend_name(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(parse_wavefront_backend("bogus").has_value());
+  EXPECT_FALSE(parse_wavefront_backend("").has_value());
+}
+
+TEST(WavefrontBackend, AutoResolvesFromThePool) {
+  auto result = compile_exact_gs();
+  WavefrontRunner sequential(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             IntEnv{{"M", 4}, {"maxK", 3}});
+  EXPECT_EQ(sequential.backend_description(), "sequential");
+
+  ThreadPool pool(3);
+  WavefrontOptions pooled;
+  pooled.pool = &pool;
+  WavefrontRunner chunked(*result.transformed->module, *result.transform,
+                          *result.exact_nest, IntEnv{{"M", 4}, {"maxK", 3}},
+                          {}, pooled);
+  EXPECT_EQ(chunked.backend_description(), "pooled-chunked (3 workers)");
+
+  WavefrontOptions sharded;
+  sharded.pool = &pool;
+  sharded.backend = WavefrontBackend::Sharded;
+  sharded.shards = 2;
+  WavefrontRunner shard_runner(*result.transformed->module,
+                               *result.transform, *result.exact_nest,
+                               IntEnv{{"M", 4}, {"maxK", 3}}, {}, sharded);
+  EXPECT_EQ(shard_runner.backend_description(), "sharded (2 shards)");
+}
+
+TEST(WavefrontBackend, ShardedIsBitExactAtOneTwoAndEightShards) {
+  auto result = compile_exact_gs();
+  const int64_t m = 11;
+  const int64_t sweeps = 6;
+  WavefrontStats reference_stats;
+  NdArray reference =
+      run_newA(result, m, sweeps, {}, &reference_stats);
+
+  ThreadPool pool(4);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    WavefrontOptions options;
+    options.pool = &pool;
+    options.backend = WavefrontBackend::Sharded;
+    options.shards = shards;
+    WavefrontStats stats;
+    NdArray sharded = run_newA(result, m, sweeps, options, &stats);
+    expect_bit_identical(reference, sharded, m,
+                         "shards=" + std::to_string(shards));
+    EXPECT_EQ(stats.points, reference_stats.points);
+    EXPECT_EQ(stats.hyperplanes, reference_stats.hyperplanes);
+    EXPECT_EQ(stats.flushed, reference_stats.flushed);
+    EXPECT_EQ(stats.backend,
+              "sharded (" + std::to_string(shards) + " shards)");
+  }
+}
+
+TEST(WavefrontBackend, ShardedWithoutAPoolRunsInline) {
+  auto result = compile_exact_gs();
+  const int64_t m = 6;
+  const int64_t sweeps = 4;
+  NdArray reference = run_newA(result, m, sweeps, {});
+  WavefrontOptions options;
+  options.backend = WavefrontBackend::Sharded;  // no pool: one shard
+  NdArray sharded = run_newA(result, m, sweeps, options);
+  expect_bit_identical(reference, sharded, m, "poolless shard");
+}
+
+TEST(WavefrontBackend, PooledChunkedMatchesSequentialAndTreeWalk) {
+  auto result = compile_exact_gs();
+  const int64_t m = 10;
+  const int64_t sweeps = 5;
+  NdArray sequential = run_newA(result, m, sweeps, {});
+
+  ThreadPool pool(4);
+  WavefrontOptions pooled;
+  pooled.pool = &pool;
+  pooled.backend = WavefrontBackend::PooledChunked;
+  NdArray chunked = run_newA(result, m, sweeps, pooled);
+  expect_bit_identical(sequential, chunked, m, "pooled-chunked");
+
+  WavefrontOptions tree;
+  tree.pool = &pool;
+  tree.backend = WavefrontBackend::Sharded;
+  tree.engine = EvalEngine::TreeWalk;
+  NdArray tree_sharded = run_newA(result, m, sweeps, tree);
+  expect_bit_identical(sequential, tree_sharded, m, "tree-walk sharded");
+}
+
+TEST(WavefrontBackend, ShardCountersAccountEveryPoint) {
+  auto result = compile_exact_gs();
+  const int64_t m = 9;
+  const int64_t sweeps = 5;
+  ThreadPool pool(4);
+  WavefrontOptions options;
+  options.pool = &pool;
+  options.backend = WavefrontBackend::Sharded;
+  options.shards = 4;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  std::vector<int64_t> per_shard = runner.context_points();
+  ASSERT_EQ(per_shard.size(), 4u);
+  EXPECT_EQ(std::accumulate(per_shard.begin(), per_shard.end(), int64_t{0}),
+            runner.stats().points);
+  // Static striping: every shard gets work on a non-trivial module.
+  for (int64_t points : per_shard) EXPECT_GT(points, 0);
+}
+
+/// Two runners executing concurrently on separate threads, each with
+/// its own pool and sharded contexts, must produce exactly what each
+/// produces alone. Under the old thread_local VarFrame/scratch in
+/// wavefront.cpp and eval_core this interleaving aliased mutable
+/// buffers between unrelated runner instances (e.g. two daemon clients
+/// driving wavefront executions in one process).
+TEST(WavefrontBackend, TwoConcurrentRunnersDoNotAliasState) {
+  auto gs = compile_exact_gs();
+  CompileOptions heat_options;
+  heat_options.apply_hyperplane = true;
+  heat_options.exact_bounds = true;
+  auto heat = compile_or_die(kHeat1dSource, heat_options);
+  ASSERT_TRUE(heat.transformed.has_value());
+
+  const int64_t m = 13;
+  const int64_t sweeps = 7;
+  NdArray gs_solo = run_newA(gs, m, sweeps, {});
+
+  auto run_heat = [&](ThreadPool* pool) {
+    WavefrontOptions options;
+    options.pool = pool;
+    options.backend = WavefrontBackend::Sharded;
+    WavefrontRunner runner(*heat.transformed->module, *heat.transform,
+                           *heat.exact_nest,
+                           IntEnv{{"N", 40}, {"steps", 9}}, {{"r", 0.21}},
+                           options);
+    auto span = runner.array("u0").raw();
+    for (size_t i = 0; i < span.size(); ++i)
+      span[i] = std::sin(static_cast<double>(i));
+    runner.run();
+    return runner.array("uOut");
+  };
+  NdArray heat_solo = run_heat(nullptr);
+
+  // Concurrent phase: both runners live at once, on their own threads
+  // (and pools), repeatedly -- any shared mutable scratch between the
+  // two engines would corrupt one of the outputs.
+  for (int round = 0; round < 3; ++round) {
+    NdArray gs_out;
+    NdArray heat_out;
+    std::thread gs_thread([&] {
+      ThreadPool pool(3);
+      WavefrontOptions options;
+      options.pool = &pool;
+      options.backend = WavefrontBackend::Sharded;
+      options.shards = 3;
+      gs_out = run_newA(gs, m, sweeps, options);
+    });
+    std::thread heat_thread([&] {
+      ThreadPool pool(2);
+      heat_out = run_heat(&pool);
+    });
+    gs_thread.join();
+    heat_thread.join();
+
+    expect_bit_identical(gs_solo, gs_out, m, "concurrent gauss-seidel");
+    auto want = heat_solo.raw();
+    auto got = heat_out.raw();
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(std::bit_cast<uint64_t>(want[i]),
+                std::bit_cast<uint64_t>(got[i]))
+          << "concurrent heat1d at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ps

@@ -193,6 +193,53 @@ TEST(ArtifactCache, TrailingBytesAreCorrupt) {
   EXPECT_EQ(cache.stats().corrupt, 1u);
 }
 
+TEST(ArtifactCache, LoadRawReturnsTheExactStoredEncoding) {
+  std::string dir = fresh_dir("raw");
+  ArtifactCache cache = make_cache(dir);
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  UnitArtifact artifact = sample_artifact();
+  ASSERT_TRUE(cache.store(key, artifact));
+
+  std::optional<std::string> raw = cache.load_raw(key);
+  ASSERT_TRUE(raw.has_value());
+  // The raw bytes are precisely the write_artifact encoding: decoding
+  // them reproduces the artifact, and re-encoding the decode
+  // reproduces the bytes (so a spliced daemon reply is byte-identical
+  // to a decoded-and-re-encoded one).
+  WireReader reader(*raw);
+  UnitArtifact decoded = read_artifact(reader);
+  reader.expect_end();
+  EXPECT_EQ(decoded.primary.c_code, artifact.primary.c_code);
+  WireWriter writer;
+  write_artifact(writer, decoded);
+  EXPECT_EQ(writer.bytes(), *raw);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ArtifactCache, LoadRawNeverServesCorruptEntries) {
+  std::string dir = fresh_dir("rawcorrupt");
+  ArtifactCache cache = make_cache(dir);
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  ASSERT_TRUE(cache.store(key, sample_artifact()));
+  std::string path = dir + "/" + key + ".art";
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  // Same contract as load(): the truncated entry is a recorded miss,
+  // deleted, and never spliced onto the wire.
+  EXPECT_FALSE(cache.load_raw(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(path));
+
+  // Trailing bytes after a valid artifact are corrupt too.
+  ASSERT_TRUE(cache.store(key, sample_artifact()));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_FALSE(cache.load_raw(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
 TEST(ArtifactCache, EvictionKeepsTheBudgetAndTheNewestEntry) {
   std::string dir = fresh_dir("evict");
   // Budget of ~2 artifacts: storing several must evict the oldest.

@@ -20,6 +20,7 @@
 #include "core/flowchart.hpp"
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
+#include "service/protocol.hpp"
 
 namespace fs = std::filesystem;
 
@@ -311,6 +312,88 @@ TEST(CompileService, ConcurrentRequestsSerialiseSafely) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(bad.load(), 0);
   EXPECT_EQ(service.stats().requests, 12u);
+}
+
+TEST(CompileService, UnitsCarryModuleNamesOnEveryPath) {
+  // The batch report is served from this metadata, so it must be
+  // populated for compiled units, in-memory cache hits and spilled
+  // hits alike.
+  std::string dir = fresh_dir("modnames");
+  ServiceRequest request;
+  request.units = corpus_inputs();
+
+  CompileService service(cached_options(dir));
+  ServiceResponse cold = service.compile(request);
+  ASSERT_EQ(cold.units.size(), 4u);
+  EXPECT_EQ(cold.units[0].module_name, "Relaxation");
+  EXPECT_EQ(cold.units[2].module_name, "Heat1d");
+  EXPECT_EQ(cold.units[3].module_name, "Chain");
+
+  ServiceResponse warm = service.compile(request);
+  for (size_t i = 0; i < warm.units.size(); ++i) {
+    EXPECT_TRUE(warm.units[i].cache_hit);
+    EXPECT_EQ(warm.units[i].module_name, cold.units[i].module_name);
+  }
+
+  ServiceOptions spill_options = cached_options(dir);
+  spill_options.spill_after = 1;
+  CompileService spilling(spill_options);
+  ServiceResponse spilled = spilling.compile(request);
+  for (size_t i = 0; i < spilled.units.size(); ++i) {
+    EXPECT_TRUE(spilled.units[i].spilled);
+    EXPECT_EQ(spilled.units[i].module_name, cold.units[i].module_name);
+  }
+}
+
+TEST(CompileService, ServiceReportRendersTextAndJson) {
+  std::vector<ServiceReportRow> rows{
+      {"a.ps", "ModA", true, true, 0.5},
+      {"b.ps", "", false, false, 2.0},
+  };
+  ServiceReportSummary summary{2, 3.0, 1, 1};
+
+  std::string text = format_service_report(rows, summary);
+  EXPECT_NE(text.find("a.ps"), std::string::npos);
+  EXPECT_NE(text.find("ModA"), std::string::npos);
+  EXPECT_NE(text.find("cache"), std::string::npos);
+  EXPECT_NE(text.find("compiled"), std::string::npos);
+  EXPECT_NE(text.find("failed"), std::string::npos);
+  EXPECT_NE(text.find("1/2 units succeeded, 1 cache hits, 1 compiled"),
+            std::string::npos)
+      << text;
+
+  std::string json = service_report_json(rows, summary);
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"succeeded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"a.ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"module\": \"ModA\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+}
+
+TEST(CompileService, ArtifactBytesMatchTheDecodedArtifact) {
+  std::string dir = fresh_dir("rawbytes");
+  ServiceRequest request;
+  request.units = corpus_inputs();
+
+  ServiceOptions options = cached_options(dir);
+  options.spill_after = 1;
+  CompileService service(options);
+  ServiceResponse cold = service.compile(request);
+  ServiceResponse warm = service.compile(request);
+
+  for (const ServiceResponse* response : {&cold, &warm}) {
+    for (const ServiceUnit& unit : response->units) {
+      std::optional<std::string> bytes = service.artifact_bytes(unit);
+      ASSERT_TRUE(bytes.has_value()) << unit.name;
+      std::optional<UnitArtifact> decoded = service.artifact(unit);
+      ASSERT_TRUE(decoded.has_value()) << unit.name;
+      WireWriter writer;
+      write_artifact(writer, *decoded);
+      EXPECT_EQ(writer.bytes(), *bytes) << unit.name;
+    }
+  }
 }
 
 TEST(CompileService, RenderMatchesEveryFlagCombination) {

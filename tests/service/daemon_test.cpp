@@ -130,6 +130,43 @@ TEST(Daemon, CompileReplyMatchesColdOneShot) {
   }
 }
 
+TEST(Daemon, SpilledCacheHitsSpliceRawBytesByteIdentically) {
+  // Under spill, a warm request's artifacts live only on disk. The
+  // reply path used to decode each spilled artifact from the cache
+  // file and re-encode it into the frame; it now splices the validated
+  // raw bytes. The client-visible reply must be indistinguishable.
+  std::string sock = fresh_socket("spill");
+  DaemonOptions options;
+  options.socket_path = sock;
+  options.service.cache_dir = fresh_dir("spill");
+  options.service.spill_after = 1;  // every multi-unit batch spills
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(sock));
+  ServiceRequest request = corpus_request();
+
+  std::optional<RemoteReply> cold = client.compile(request);
+  ASSERT_TRUE(cold.has_value()) << client.error();
+  std::optional<RemoteReply> warm = client.compile(request);
+  ASSERT_TRUE(warm.has_value()) << client.error();
+  EXPECT_EQ(warm->cache_hits, request.units.size());
+
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    EXPECT_TRUE(warm->units[i].cache_hit);
+    const UnitArtifact& a = cold->units[i].artifact;
+    const UnitArtifact& b = warm->units[i].artifact;
+    EXPECT_EQ(a.module_name, b.module_name);
+    EXPECT_EQ(a.diagnostics, b.diagnostics);
+    EXPECT_EQ(a.primary.source, b.primary.source);
+    EXPECT_EQ(a.primary.schedule, b.primary.schedule);
+    EXPECT_EQ(a.primary.c_code, b.primary.c_code);
+    EXPECT_EQ(a.has_transform, b.has_transform);
+    EXPECT_EQ(a.transformed.c_code, b.transformed.c_code);
+  }
+}
+
 TEST(Daemon, ConcurrentClientsGetCorrectIsolatedReplies) {
   std::string sock = fresh_socket("concurrent");
   DaemonOptions options;

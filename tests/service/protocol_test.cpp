@@ -113,6 +113,64 @@ TEST(Wire, FailedUnitArtifactRoundTrip) {
   expect_same(artifact, read_artifact(reader));
 }
 
+TEST(Wire, SkipArtifactWalksExactlyOneArtifact) {
+  // skip_artifact is the zero-copy validator behind load_raw: it must
+  // consume exactly the bytes read_artifact would, for the transform
+  // and no-transform shapes alike, and throw where a decode would.
+  for (bool with_transform : {true, false}) {
+    UnitArtifact artifact = sample_artifact();
+    artifact.has_transform = with_transform;
+    WireWriter writer;
+    write_artifact(writer, artifact);
+    writer.str("sentinel");  // trailing field after the artifact
+    WireReader reader(writer.bytes());
+    skip_artifact(reader);
+    EXPECT_EQ(reader.str(), "sentinel");
+    EXPECT_TRUE(reader.at_end());
+  }
+  // Truncation throws instead of reading past the end.
+  WireWriter writer;
+  write_artifact(writer, sample_artifact());
+  std::string bytes = writer.bytes();
+  WireReader truncated(std::string_view(bytes).substr(0, bytes.size() / 2));
+  EXPECT_THROW(skip_artifact(truncated), WireError);
+}
+
+TEST(Wire, RawReplySplicesByteIdenticalFrames) {
+  // The daemon's spilled-hit fast path: encoding a reply from raw
+  // artifact bytes must produce the exact frame encode_compile_reply
+  // builds from the decoded artifacts -- the client cannot tell which
+  // path answered.
+  RemoteReply reply;
+  reply.cache_hits = 2;
+  reply.cache_misses = 1;
+  reply.jobs = 4;
+  reply.wall_ms = 3.25;
+  std::vector<RawUnitReply> raw_units;
+  for (int i = 0; i < 2; ++i) {
+    RemoteUnitResult unit;
+    unit.name = "unit" + std::to_string(i);
+    unit.cache_hit = i == 0;
+    unit.milliseconds = 1.5 * i;
+    unit.artifact = sample_artifact();
+    unit.artifact.module_name = "M" + std::to_string(i);
+    WireWriter artifact_writer;
+    write_artifact(artifact_writer, unit.artifact);
+    raw_units.push_back({unit.name, unit.cache_hit, unit.milliseconds,
+                         artifact_writer.take()});
+    reply.units.push_back(std::move(unit));
+  }
+  std::string decoded_frame = encode_compile_reply(reply);
+  std::string raw_frame = encode_compile_reply_raw(
+      reply.cache_hits, reply.cache_misses, reply.jobs, reply.wall_ms,
+      raw_units);
+  EXPECT_EQ(raw_frame, decoded_frame);
+
+  RemoteReply round_trip = decode_compile_reply(raw_frame);
+  ASSERT_EQ(round_trip.units.size(), 2u);
+  expect_same(reply.units[1].artifact, round_trip.units[1].artifact);
+}
+
 TEST(Wire, OptionsRoundTripAllFlagCombinations) {
   for (unsigned bits = 0; bits < 64; ++bits) {
     CompileOptions options;

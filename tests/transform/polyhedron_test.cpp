@@ -418,6 +418,101 @@ TEST(LoopNestBounds, RenderingMentionsCeilFloorOnlyWhenDividing) {
       << qnest->to_string();
 }
 
+// ---------------------------------------------------------------------------
+// NestCursor: the lazy bounds iterator behind the streaming wavefront
+// ---------------------------------------------------------------------------
+
+/// The gauss-seidel exact nest, the canonical non-rectangular space.
+LoopNestBounds gauss_seidel_nest() {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(kGaussSeidelSource, options);
+  return *result.exact_nest;
+}
+
+TEST(NestCursor, EnumeratesExactlyTheScannedPoints) {
+  LoopNestBounds nest = gauss_seidel_nest();
+  IntEnv params{{"M", 5}, {"maxK", 4}};
+
+  // Oracle: scan_loop_nest in full lexicographic order.
+  std::vector<std::vector<int64_t>> expected;
+  scan_loop_nest(nest, params, [&](const IntEnv& env) {
+    std::vector<int64_t> point;
+    for (const LoopLevelBounds& level : nest.levels)
+      point.push_back(env.at(level.var));
+    expected.push_back(point);
+  });
+
+  NestCursor cursor(nest, 0, params);
+  std::vector<std::vector<int64_t>> actual;
+  while (cursor.next()) actual.push_back(cursor.coords());
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(cursor.next());  // stays exhausted
+}
+
+TEST(NestCursor, SuffixCursorScansOneHyperplane) {
+  LoopNestBounds nest = gauss_seidel_nest();
+  IntEnv params{{"M", 6}, {"maxK", 5}};
+  int64_t t_lo = nest.levels[0].lower(params);
+  int64_t t_hi = nest.levels[0].upper(params);
+
+  int64_t total = 0;
+  for (int64_t t = t_lo; t <= t_hi; ++t) {
+    IntEnv env = params;
+    env[nest.levels[0].var] = t;
+
+    std::vector<std::vector<int64_t>> inner;
+    NestCursor cursor(nest, 1, env);
+    while (cursor.next()) inner.push_back(cursor.coords());
+
+    EXPECT_EQ(static_cast<int64_t>(inner.size()),
+              NestCursor::count(nest, 1, env))
+        << "t=" << t;
+    total += static_cast<int64_t>(inner.size());
+  }
+  // Every image point lies on exactly one hyperplane.
+  EXPECT_EQ(total, count_loop_nest_points(nest, params));
+}
+
+TEST(NestCursor, SkipSeeksLikeRepeatedNext) {
+  LoopNestBounds nest = gauss_seidel_nest();
+  IntEnv params{{"M", 5}, {"maxK", 3}};
+
+  std::vector<std::vector<int64_t>> all;
+  {
+    NestCursor cursor(nest, 0, params);
+    while (cursor.next()) all.push_back(cursor.coords());
+  }
+  ASSERT_GT(all.size(), 8u);
+  for (int64_t seek : {int64_t{0}, int64_t{1}, int64_t{7},
+                       static_cast<int64_t>(all.size()) - 1}) {
+    NestCursor cursor(nest, 0, params);
+    ASSERT_TRUE(cursor.next());
+    EXPECT_EQ(cursor.skip(seek), seek);
+    EXPECT_EQ(cursor.coords(), all[static_cast<size_t>(seek)]) << seek;
+  }
+  // Skipping past the end reports how far it actually got.
+  NestCursor cursor(nest, 0, params);
+  ASSERT_TRUE(cursor.next());
+  EXPECT_EQ(cursor.skip(static_cast<int64_t>(all.size()) + 50),
+            static_cast<int64_t>(all.size()) - 1);
+  EXPECT_FALSE(cursor.next());
+}
+
+TEST(NestCursor, RankZeroSubspaceHasOneEmptyPoint) {
+  LoopNestBounds nest = gauss_seidel_nest();
+  IntEnv env{{"M", 4}, {"maxK", 3}};
+  env[nest.levels[0].var] = nest.levels[0].lower(env);
+  env[nest.levels[1].var] = nest.levels[1].lower(env);
+  env[nest.levels[2].var] = nest.levels[2].lower(env);
+  NestCursor cursor(nest, nest.levels.size(), env);
+  EXPECT_TRUE(cursor.next());
+  EXPECT_TRUE(cursor.coords().empty());
+  EXPECT_FALSE(cursor.next());
+  EXPECT_EQ(NestCursor::count(nest, nest.levels.size(), env), 1);
+}
+
 TEST(LoopNestBounds, FindLocatesLevelsByName) {
   auto nest = fourier_motzkin_bounds(box2d(0, 1, 0, 1), {"x", "y"});
   ASSERT_TRUE(nest.has_value());
