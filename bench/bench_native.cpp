@@ -1,0 +1,193 @@
+// The native execution tier's perf surface, recorded as
+// BENCH_native.json and gated by scripts/check_bench_regression.py:
+//
+//   * BM_NativeTier {M, tier}: the three-engine sweep on the same
+//     Gauss-Seidel wavefront (0 = tree-walk, 1 = bytecode, 2 = native)
+//     -- the end-to-end payoff of JIT-compiling the recurrence to
+//     machine code;
+//   * BM_NativeStripeAblation {M, stripes}: per-point kernel calls
+//     (0) versus the batched stripe kernel (1) -- what amortising the
+//     call and cursor overhead over a whole point range buys;
+//   * BM_NativeColdStart: compile-included cost of a cold module
+//     (every iteration re-runs `cc`; the cc_invocations counter proves
+//     it);
+//   * BM_NativeWarmStart: the same module loaded from the on-disk
+//     shared-object cache (cc_invocations stays 0 -- warm sessions
+//     never pay the compiler).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "runtime/native_engine.hpp"
+#include "runtime/wavefront.hpp"
+#include "service/artifact_cache.hpp"
+
+namespace {
+
+using ps::bench::compile;
+
+ps::CompileResult compile_exact() {
+  ps::CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  return compile(ps::kGaussSeidelSource, options);
+}
+
+void fill(ps::NdArray& in, long m) {
+  for (long i = 0; i <= m + 1; ++i)
+    for (long j = 0; j <= m + 1; ++j)
+      in.set(std::vector<int64_t>{i, j},
+             static_cast<double>((i * 13 + j) % 17));
+}
+
+double run_once(const ps::CompileResult& result, long m,
+                ps::WavefrontOptions opts) {
+  ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                           *result.exact_nest,
+                           ps::IntEnv{{"M", m}, {"maxK", 32}}, {}, opts);
+  fill(wave.array("InitialA"), m);
+  wave.run();
+  return wave.array("newA").raw()[0];
+}
+
+// args: {M, tier} with 0 = tree-walk, 1 = bytecode, 2 = native (JIT
+// compiled once, then reused from the in-process module cache -- the
+// steady-state cost a warm session pays per run).
+void BM_NativeTier(benchmark::State& state) {
+  auto result = compile_exact();
+  const long m = state.range(0);
+  ps::WavefrontOptions opts;
+  opts.engine = state.range(1) == 0   ? ps::EvalEngine::TreeWalk
+                : state.range(1) == 1 ? ps::EvalEngine::Bytecode
+                                      : ps::EvalEngine::Native;
+  if (opts.engine == ps::EvalEngine::Native &&
+      !ps::native_engine_available()) {
+    state.SkipWithError("native tier unavailable");
+    return;
+  }
+  for (auto _ : state) {
+    double probe = run_once(result, m, opts);
+    benchmark::DoNotOptimize(probe);
+  }
+}
+BENCHMARK(BM_NativeTier)
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// args: {M, stripes}: 0 calls the per-equation point kernel through
+// the generic schedule walk, 1 drives the batched stripe kernel over
+// whole point ranges (the call/cursor overhead amortisation axis).
+void BM_NativeStripeAblation(benchmark::State& state) {
+  if (!ps::native_engine_available()) {
+    state.SkipWithError("native tier unavailable");
+    return;
+  }
+  auto result = compile_exact();
+  const long m = state.range(0);
+  ps::WavefrontOptions opts;
+  opts.engine = ps::EvalEngine::Native;
+  opts.native_stripes = state.range(1) != 0;
+  for (auto _ : state) {
+    double probe = run_once(result, m, opts);
+    benchmark::DoNotOptimize(probe);
+  }
+}
+BENCHMARK(BM_NativeStripeAblation)
+    ->Args({96, 0})->Args({96, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Cold start: every iteration drops the in-process module cache and
+// runs without an object store, so the wavefront pays emit + `cc` +
+// dlopen + run. The cc_invocations counter confirms one compile per
+// iteration; compile_ms records what the JIT itself cost.
+void BM_NativeColdStart(benchmark::State& state) {
+  if (!ps::native_engine_available()) {
+    state.SkipWithError("native tier unavailable");
+    return;
+  }
+  auto result = compile_exact();
+  ps::WavefrontOptions opts;
+  opts.engine = ps::EvalEngine::Native;
+  const int64_t before = ps::native_cc_invocations();
+  double compile_ms = 0;
+  for (auto _ : state) {
+    ps::native_engine_clear_in_process_cache();
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", 64}, {"maxK", 32}}, {}, opts);
+    fill(wave.array("InitialA"), 64);
+    wave.run();
+    compile_ms = wave.stats().native_compile_ms;
+    double probe = wave.array("newA").raw()[0];
+    benchmark::DoNotOptimize(probe);
+  }
+  state.counters["cc_invocations"] = benchmark::Counter(
+      static_cast<double>(ps::native_cc_invocations() - before));
+  state.counters["compile_ms"] = benchmark::Counter(compile_ms);
+}
+BENCHMARK(BM_NativeColdStart)->Unit(benchmark::kMillisecond);
+
+// Warm start: the shared object sits in an on-disk ArtifactCache and
+// the in-process cache is dropped each iteration, so every run path is
+// lookup + dlopen + run -- `cc` never runs (cc_invocations must be 0).
+void BM_NativeWarmStart(benchmark::State& state) {
+  if (!ps::native_engine_available()) {
+    state.SkipWithError("native tier unavailable");
+    return;
+  }
+  auto result = compile_exact();
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("psc_bench_native_" + std::to_string(getpid()));
+  ps::ArtifactCacheOptions cache_options;
+  cache_options.dir = dir;
+  ps::ArtifactCache cache{cache_options};
+  ps::WavefrontOptions opts;
+  opts.engine = ps::EvalEngine::Native;
+  opts.native_store = &cache;
+  // Prime the disk cache outside the timed loop.
+  ps::native_engine_clear_in_process_cache();
+  benchmark::DoNotOptimize(run_once(result, 64, opts));
+  const int64_t before = ps::native_cc_invocations();
+  bool cache_hit = false;
+  for (auto _ : state) {
+    ps::native_engine_clear_in_process_cache();
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", 64}, {"maxK", 32}}, {}, opts);
+    fill(wave.array("InitialA"), 64);
+    wave.run();
+    cache_hit = wave.stats().native_cache_hit;
+    double probe = wave.array("newA").raw()[0];
+    benchmark::DoNotOptimize(probe);
+  }
+  state.counters["cc_invocations"] = benchmark::Counter(
+      static_cast<double>(ps::native_cc_invocations() - before));
+  state.counters["cache_hit"] =
+      benchmark::Counter(cache_hit ? 1.0 : 0.0);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_NativeWarmStart)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!ps::bench::json_to_stdout(argc, argv)) {
+    if (ps::native_engine_available()) {
+      printf("=== native tier ===\ncompiler fingerprint: %s\n\n",
+             ps::native_cc_fingerprint().c_str());
+    } else {
+      printf("=== native tier unavailable: %s ===\n\n",
+             ps::native_engine_unavailable_reason().c_str());
+    }
+  }
+  return ps::bench::run_benchmarks(argc, argv);
+}

@@ -4,7 +4,8 @@
 //   * BM_FourierMotzkinGaussSeidel / BM_ExactNestScan: the exact-bounds
 //     machinery the schedule layer is built on;
 //   * BM_WavefrontRunner {M, engine}: the historical end-to-end axis
-//     (0 = shared bytecode core, 1 = tree-walk reference);
+//     (0 = shared bytecode core, 1 = tree-walk reference, 2 = native
+//     JIT);
 //   * BM_WavefrontBackend {M, backend}: the backend layer head to head
 //     (0 = sequential, 1 = pooled-chunked, 2 = sharded);
 //   * BM_WavefrontStreamingMemory: the streaming-memory axis on a
@@ -67,16 +68,19 @@ BENCHMARK(BM_ExactNestScan)->Arg(32)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 // args: {M, engine} with engine 0 = shared bytecode core, 1 = tree-walk
-// reference -- the ratio is the payoff of compiling the recurrence once
-// instead of re-walking its AST at every wavefront point.
+// reference, 2 = native JIT (when a system `cc` answers the probe;
+// silently falls back to bytecode otherwise, like the runtime) -- the
+// ratios are the payoff of compiling the recurrence once instead of
+// re-walking its AST at every point, then of machine code over the VM.
 void BM_WavefrontRunner(benchmark::State& state) {
   auto result = compile_exact();
   const long m = state.range(0);
   ps::ThreadPool pool;
   ps::WavefrontOptions opts;
   opts.pool = &pool;
-  opts.engine = state.range(1) == 0 ? ps::EvalEngine::Bytecode
-                                    : ps::EvalEngine::TreeWalk;
+  opts.engine = state.range(1) == 0   ? ps::EvalEngine::Bytecode
+                : state.range(1) == 1 ? ps::EvalEngine::TreeWalk
+                                      : ps::EvalEngine::Native;
   for (auto _ : state) {
     ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
                              *result.exact_nest,
@@ -87,7 +91,8 @@ void BM_WavefrontRunner(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WavefrontRunner)
-    ->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})
     ->Unit(benchmark::kMillisecond);
 
 // args: {M, backend} with 0 = sequential (no pool), 1 = pooled-chunked

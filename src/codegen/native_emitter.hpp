@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/sema.hpp"
+#include "runtime/bytecode.hpp"
+#include "transform/polyhedron.hpp"
+
+namespace ps {
+
+/// The generated C of one module's native-tier kernels: a translation
+/// unit with one point kernel per equation plus (when an exact nest is
+/// supplied) one stripe kernel scanning a contiguous point range of a
+/// hyperplane. Compiled to a shared object and driven through function
+/// pointers by the NativeEngine (runtime/native_engine.hpp).
+///
+/// ABI (C99, LP64 -- `long` is int64_t on every platform the tier
+/// supports; the engine refuses to load elsewhere):
+///
+///   typedef struct {
+///     double* data;        // NdArray::raw()
+///     const long* lo;      // per-dim lower bounds
+///     const long* win;     // per-dim physical window
+///     const long* stride;  // per-dim row-major stride
+///   } psc_arr;
+///
+///   // One equation instance; iv holds the loop-variable values in
+///   // CheckedEquation::loop_dims order.
+///   void psc_eq_<id>(psc_arr* a, const long* ints, const double* reals,
+///                    const long* iv);
+///
+///   // Recurrence points [begin, end) of hyperplane t, in the exact
+///   // nest's lexicographic point order (the order NestCursor scans).
+///   // Returns the number of points executed.
+///   long psc_stripe(psc_arr* a, const long* ints, const double* reals,
+///                   const long* P, long t, long begin, long end);
+///
+/// `a` is indexed by BcLayout array slot, `ints`/`reals` by scalar slot
+/// (both interpretations of every bound scalar, exactly like
+/// EvalCore::set_scalar), and `P` by NativeKernel::param_names order --
+/// the symbolic parameters the stripe's Fourier-Motzkin bounds mention.
+///
+/// Semantics mirror the bytecode VM instruction by instruction
+/// (wrapping integer arithmetic, bc_double_to_int64 saturation, the
+/// VM's min/max operand order), so a kernel result is bit-identical to
+/// the bytecode engine's -- the cross-engine differential tests hold
+/// the native tier to the same last-ulp contract as the other two.
+struct NativeKernel {
+  std::string c_source;
+  /// Symbolic parameters of the stripe bounds, in P[] binding order.
+  std::vector<std::string> param_names;
+  /// Equation ids with a point kernel (every equation of the module).
+  std::vector<size_t> equations;
+  bool has_stripe = false;
+
+  [[nodiscard]] static std::string equation_symbol(size_t id) {
+    return "psc_eq_" + std::to_string(id);
+  }
+  [[nodiscard]] static const char* stripe_symbol() { return "psc_stripe"; }
+};
+
+/// Emit the native kernels of `module` against the dense slot `layout`
+/// (BcLayout::for_module). `nest` (optional) adds the stripe kernel for
+/// the recurrence equation `recurrence`; `windowed_array` names the one
+/// array whose first dimension may be physically windowed (the
+/// transformed A' -- its dim-0 addressing gets the wrap modulo, every
+/// other dimension of every array is allocated at full extent by the
+/// WavefrontRunner). Throws std::runtime_error for modules outside the
+/// emitter's fragment (record fields, real-valued fixed LHS subscripts,
+/// unbounded nest levels); the caller treats that as a fallback to the
+/// bytecode tier.
+[[nodiscard]] NativeKernel emit_native_kernel(const CheckedModule& module,
+                                              const BcLayout& layout,
+                                              const LoopNestBounds* nest,
+                                              size_t recurrence,
+                                              const std::string& windowed_array);
+
+}  // namespace ps

@@ -24,6 +24,13 @@
 //                       pooled (chunk self-scheduling on the worker pool) or
 //                       sharded (static point striping with per-worker
 //                       contexts); reported by --verbose
+//     --engine=K        runtime evaluator tier for transformed modules:
+//                       tree-walk, bytecode (default) or native (JIT the
+//                       generated C to a shared object with the system cc).
+//                       With --verbose --engine=native the driver JITs the
+//                       kernels and reports compile time or the cache tier
+//                       hit; with --cache-dir the shared object is stored
+//                       in (and reloaded from) the artifact cache
 //
 //   Batch compilation (several inputs, or --corpus):
 //     -j N              compile units on N workers (default 1; 0 = all cores)
@@ -67,10 +74,12 @@
 #include <string>
 #include <vector>
 
+#include "codegen/native_emitter.hpp"
 #include "driver/batch_driver.hpp"
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
 #include "runtime/eval_core.hpp"
+#include "runtime/native_engine.hpp"
 #include "runtime/wavefront_backend.hpp"
 #include "service/compile_service.hpp"
 #include "service/daemon.hpp"
@@ -162,12 +171,85 @@ void print_wavefront_backend_report(const ps::CompiledModule& stage,
   std::cout << ", streaming consumer flushes, O(window) storage\n";
 }
 
+/// --verbose with --engine=native: JIT the transformed module's kernels
+/// exactly like the WavefrontRunner would and report the outcome --
+/// compile milliseconds on a cold run, or the cache tier that made `cc`
+/// unnecessary on a warm one. With --cache-dir the shared object goes
+/// through the artifact cache, so a later run (or a runner pointed at
+/// the same directory) starts from machine code.
+void print_native_report(const ps::CompileResult& result,
+                         const std::string& cache_dir,
+                         size_t cache_max_bytes) {
+  if (!result.transformed || !result.transform || !result.exact_nest) return;
+  const ps::CompiledModule& stage = *result.transformed;
+  std::cout << "-- native engine [" << stage.module->name << "]: ";
+  if (!ps::native_engine_available()) {
+    std::cout << "unavailable: " << ps::native_engine_unavailable_reason()
+              << '\n';
+    return;
+  }
+  // The recurrence equation is the one defining the transformed array
+  // (the WavefrontRunner enforces uniqueness; the report just finds it).
+  const std::string new_array = result.transform->array + "'";
+  size_t recurrence = 0;
+  bool found = false;
+  if (stage.module->find_data(new_array) != nullptr) {
+    size_t target = stage.module->data_index(new_array);
+    for (const ps::CheckedEquation& eq : stage.module->equations)
+      if (eq.target == target && !found) {
+        recurrence = eq.id;
+        found = true;
+      }
+  }
+  if (!found) {
+    std::cout << "fallback: no recurrence over '" << new_array << "'\n";
+    return;
+  }
+  ps::NativeKernel kernel;
+  try {
+    kernel = ps::emit_native_kernel(*stage.module,
+                                    ps::BcLayout::for_module(*stage.module),
+                                    &*result.exact_nest, recurrence,
+                                    new_array);
+  } catch (const std::exception& error) {
+    std::cout << "fallback: " << error.what() << '\n';
+    return;
+  }
+  std::unique_ptr<ps::ArtifactCache> store;
+  if (!cache_dir.empty()) {
+    ps::ArtifactCacheOptions cache_options;
+    cache_options.dir = cache_dir;
+    cache_options.max_bytes = cache_max_bytes;
+    store = std::make_unique<ps::ArtifactCache>(std::move(cache_options));
+  }
+  ps::NativeLoadInfo info;
+  auto module = ps::load_native_module(kernel, store.get(), info);
+  if (module == nullptr) {
+    std::cout << "fallback: " << info.error << '\n';
+    return;
+  }
+  std::cout << "ok: " << kernel.equations.size() << " equation kernel"
+            << (kernel.equations.size() == 1 ? "" : "s")
+            << (kernel.has_stripe ? " + stripe" : "") << ", ";
+  if (info.in_process_hit)
+    std::cout << "in-process cache hit";
+  else if (info.cache_hit)
+    std::cout << "shared-object cache hit";
+  else
+    std::cout << "compiled " << info.compile_ms << " ms with `cc`";
+  std::cout << '\n';
+}
+
 void print_engine_reports(const ps::CompileResult& result,
-                          ps::WavefrontBackend wavefront_backend) {
+                          ps::WavefrontBackend wavefront_backend,
+                          ps::EvalEngine engine, const std::string& cache_dir,
+                          size_t cache_max_bytes) {
   if (!result.primary) return;
   print_engine_report(*result.primary);
   if (result.transformed) {
     print_engine_report(*result.transformed);
+    if (engine == ps::EvalEngine::Native)
+      print_native_report(result, cache_dir, cache_max_bytes);
     print_wavefront_backend_report(*result.transformed, wavefront_backend);
   }
 }
@@ -284,6 +366,7 @@ int main(int argc, char** argv) {
   size_t spill_after = 0;
   size_t jobs = 1;
   ps::WavefrontBackend wavefront_backend = ps::WavefrontBackend::Auto;
+  ps::EvalEngine engine = ps::EvalEngine::Bytecode;
   std::vector<std::string> paths;
 
   ps::CompileOptions options;
@@ -313,6 +396,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       wavefront_backend = *parsed;
+    }
+    else if (arg.rfind("--engine=", 0) == 0) {
+      auto parsed = ps::parse_eval_engine(arg.substr(9));
+      if (!parsed) {
+        std::cerr << "psc: unknown engine '" << arg.substr(9)
+                  << "' (use tree-walk, bytecode or native)\n";
+        return 2;
+      }
+      engine = *parsed;
     }
     else if (arg == "--batch-report") batch_report = true;
     else if (arg == "--json") json = true;
@@ -372,6 +464,7 @@ int main(int argc, char** argv) {
                    "--source] [--hyperplane] [--exact] [--merge] "
                    "[--no-windows] [--passes] [--time-passes] [--verbose] "
                    "[--wavefront-backend=auto|sequential|pooled|sharded] "
+                   "[--engine=tree-walk|bytecode|native] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
                    "[--cache-dir DIR] [--cache-max-bytes N] "
                    "[--spill-after N] [--daemon[=SOCK]] [--client[=SOCK]] "
@@ -483,8 +576,13 @@ int main(int argc, char** argv) {
   // schedule, C) plus the metadata --batch-report needs. Structural
   // dumps and --passes/--time-passes re-derive state from a live
   // CompileResult, so they always compile in-process.
-  const bool service_renderable = !flags.components && !flags.graph &&
-                                  !flags.dot && !list_passes && !time_passes;
+  const bool service_renderable =
+      !flags.components && !flags.graph && !flags.dot && !list_passes &&
+      !time_passes &&
+      // The native engine report JITs a live CompileResult (and, with
+      // --cache-dir, warms the shared-object cache); keep that
+      // combination on the in-process path.
+      !(verbose && engine == ps::EvalEngine::Native);
   if ((client_mode || !cache_dir.empty()) && service_renderable) {
     ps::RenderFlags render_flags;
     render_flags.source = flags.source;
@@ -612,7 +710,9 @@ int main(int argc, char** argv) {
       std::cout << ps::format_pass_timings(result.pass_timings) << '\n';
     if (!result.ok || !result.primary) return 1;
     print_result(result, flags);
-    if (verbose) print_engine_reports(result, wavefront_backend);
+    if (verbose)
+      print_engine_reports(result, wavefront_backend, engine, cache_dir,
+                           cache_max_bytes);
     return 0;
   }
 
@@ -635,7 +735,9 @@ int main(int argc, char** argv) {
     for (const ps::BatchUnitResult& unit : results) {
       std::cout << "== " << unit.name << " ==\n";
       print_result(unit.result, flags);
-      if (verbose) print_engine_reports(unit.result, wavefront_backend);
+      if (verbose)
+        print_engine_reports(unit.result, wavefront_backend, engine,
+                             cache_dir, cache_max_bytes);
     }
   }
   // The report already embeds the aggregate table; only print it here

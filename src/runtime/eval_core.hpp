@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -21,7 +22,30 @@ enum class EvalEngine {
   /// Direct AST evaluation; kept as the semantic reference and
   /// cross-checked against the bytecode engine in the tests.
   TreeWalk,
+  /// Equations JIT-compiled through the C emitter into a shared object
+  /// and driven through function pointers (runtime/native_engine.hpp).
+  /// Falls back to Bytecode when the module is outside the native
+  /// emitter's fragment or no working C compiler is present.
+  Native,
 };
+
+/// Parse an --engine= value; nullopt for unknown names.
+[[nodiscard]] inline std::optional<EvalEngine> parse_eval_engine(
+    std::string_view name) {
+  if (name == "bytecode") return EvalEngine::Bytecode;
+  if (name == "tree-walk") return EvalEngine::TreeWalk;
+  if (name == "native") return EvalEngine::Native;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline const char* eval_engine_name(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::Bytecode: return "bytecode";
+    case EvalEngine::TreeWalk: return "tree-walk";
+    case EvalEngine::Native: return "native";
+  }
+  return "?";
+}
 
 /// How the bytecode VM dispatches opcodes. Threaded is the default hot
 /// path (computed-goto table under GCC/Clang when the build enables

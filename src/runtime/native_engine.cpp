@@ -1,0 +1,417 @@
+#include "runtime/native_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <system_error>
+
+#include "support/hash.hpp"
+
+#if PS_NATIVE_ENGINE
+#include <dlfcn.h>
+#include <unistd.h>
+#endif
+
+namespace ps {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Compile flags of every kernel. -ffp-contract=off pins IEEE operation
+/// ordering (no fused multiply-add), which is what makes the native
+/// result bit-identical to the bytecode VM's; the differential harness
+/// compiles its reference C drivers the same way.
+constexpr const char kCompileFlags[] =
+    "-O2 -shared -fPIC -std=c99 -ffp-contract=off";
+constexpr const char kAbiTag[] = "psc-native-abi-1";
+
+std::mutex& state_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& compiler_command() {
+  static std::string cmd = "cc";
+  return cmd;
+}
+
+/// Probe + fingerprint results per compiler command (the override hook
+/// may switch commands mid-process in the tests).
+std::map<std::string, bool>& probe_cache() {
+  static std::map<std::string, bool> cache;
+  return cache;
+}
+std::map<std::string, std::string>& fingerprint_cache() {
+  static std::map<std::string, std::string> cache;
+  return cache;
+}
+
+/// Live NativeModule instances by canonical .so path. Guards cache
+/// eviction: a pinned object's file must not be unlinked.
+std::map<std::string, int>& pin_registry() {
+  static std::map<std::string, int> pins;
+  return pins;
+}
+
+/// Process-local module cache by kernel key. Holds strong references:
+/// a warm session keeps its JIT-compiled modules loaded for the whole
+/// process (one entry per distinct kernel), so back-to-back runners
+/// never re-invoke `cc` or re-dlopen. The retained .so stays pinned
+/// against cache eviction -- it is mapped executable code -- until
+/// native_engine_clear_in_process_cache() drops the references.
+std::map<std::string, std::shared_ptr<NativeModule>>& module_cache() {
+  static std::map<std::string, std::shared_ptr<NativeModule>> cache;
+  return cache;
+}
+
+std::atomic<int64_t>& cc_invocation_counter() {
+  static std::atomic<int64_t> count{0};
+  return count;
+}
+
+std::string pin_key(const fs::path& path) {
+  std::error_code ec;
+  fs::path canon = fs::weakly_canonical(path, ec);
+  return (ec ? path : canon).string();
+}
+
+#if PS_NATIVE_ENGINE
+
+bool probe_compiler_locked(const std::string& cmd) {
+  auto it = probe_cache().find(cmd);
+  if (it != probe_cache().end()) return it->second;
+  bool ok = std::system((cmd + " --version > /dev/null 2>&1").c_str()) == 0;
+  probe_cache()[cmd] = ok;
+  return ok;
+}
+
+std::string fingerprint_locked(const std::string& cmd) {
+  auto it = fingerprint_cache().find(cmd);
+  if (it != fingerprint_cache().end()) return it->second;
+  std::string line = "unknown-cc";
+  if (FILE* pipe = popen((cmd + " --version 2>/dev/null").c_str(), "r")) {
+    char buffer[256];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      line = buffer;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+    }
+    pclose(pipe);
+  }
+  std::string fp = line + " | " + kCompileFlags;
+  fingerprint_cache()[cmd] = fp;
+  return fp;
+}
+
+/// Read a whole file; empty string when unreadable.
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct CompileOutput {
+  std::string so_bytes;
+  std::string error;
+  double ms = 0.0;
+};
+
+/// Run `cc` on the kernel source in a scratch directory; returns the
+/// object bytes (the scratch directory is always removed).
+CompileOutput compile_kernel(const std::string& cmd,
+                             const std::string& c_source) {
+  static std::atomic<uint64_t> scratch_counter{0};
+  CompileOutput out;
+  std::error_code ec;
+  fs::path dir = fs::temp_directory_path(ec);
+  if (ec) {
+    out.error = "no temp directory: " + ec.message();
+    return out;
+  }
+  dir /= "psc_native_" + std::to_string(getpid()) + "_" +
+         std::to_string(scratch_counter.fetch_add(1));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    out.error = "cannot create " + dir.string() + ": " + ec.message();
+    return out;
+  }
+  fs::path src = dir / "kernel.c";
+  fs::path so = dir / "kernel.so";
+  fs::path log = dir / "cc.log";
+  {
+    std::ofstream f(src, std::ios::binary);
+    f << c_source;
+    if (!f) {
+      out.error = "cannot write " + src.string();
+      fs::remove_all(dir, ec);
+      return out;
+    }
+  }
+  std::string invocation = cmd + " " + kCompileFlags + " -o " + so.string() +
+                           " " + src.string() + " -lm 2> " + log.string();
+  auto start = std::chrono::steady_clock::now();
+  cc_invocation_counter().fetch_add(1);
+  int rc = std::system(invocation.c_str());
+  out.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count();
+  if (rc != 0) {
+    std::string diag = slurp(log);
+    out.error = "cc failed (exit " + std::to_string(rc) + ")";
+    if (!diag.empty()) out.error += ": " + diag.substr(0, 512);
+  } else {
+    out.so_bytes = slurp(so);
+    if (out.so_bytes.empty()) out.error = "cc produced no object";
+  }
+  fs::remove_all(dir, ec);
+  return out;
+}
+
+#endif  // PS_NATIVE_ENGINE
+
+}  // namespace
+
+#if PS_NATIVE_ENGINE
+/// dlopen + resolve every entry point; nullptr with `error` set on any
+/// missing piece. `path` may already be unlinked afterwards -- the
+/// mapping survives on every platform the tier supports. A class (not a
+/// free function) so it can be befriended from the header without
+/// exposing the NativeModule constructor.
+class NativeModuleLoader {
+ public:
+  static std::shared_ptr<NativeModule> open(const NativeKernel& kernel,
+                                            const fs::path& path,
+                                            std::string& error) {
+    void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+      const char* why = dlerror();
+      error = "dlopen failed: " + std::string(why != nullptr ? why : "?");
+      return nullptr;
+    }
+    auto module = std::shared_ptr<NativeModule>(
+        new NativeModule(handle, path.string()));
+    if (kernel.has_stripe) {
+      module->stripe_ = reinterpret_cast<NativeModule::StripeFn>(
+          dlsym(handle, NativeKernel::stripe_symbol()));
+      if (module->stripe_ == nullptr) {
+        error = "missing symbol " + std::string(NativeKernel::stripe_symbol());
+        return nullptr;
+      }
+    }
+    for (size_t id : kernel.equations) {
+      std::string symbol = NativeKernel::equation_symbol(id);
+      auto fn = reinterpret_cast<NativeModule::EquationFn>(
+          dlsym(handle, symbol.c_str()));
+      if (fn == nullptr) {
+        error = "missing symbol " + symbol;
+        return nullptr;
+      }
+      module->equations_[id] = fn;
+    }
+    return module;
+  }
+};
+
+namespace {
+std::shared_ptr<NativeModule> open_module(const NativeKernel& kernel,
+                                          const fs::path& path,
+                                          std::string& error) {
+  return NativeModuleLoader::open(kernel, path, error);
+}
+}  // namespace
+#endif  // PS_NATIVE_ENGINE
+
+NativeModule::NativeModule(void* handle, std::string path)
+    : handle_(handle), path_(std::move(path)) {
+  std::lock_guard lock(state_mutex());
+  ++pin_registry()[pin_key(path_)];
+}
+
+NativeModule::~NativeModule() {
+  {
+    std::lock_guard lock(state_mutex());
+    auto it = pin_registry().find(pin_key(path_));
+    if (it != pin_registry().end() && --it->second <= 0)
+      pin_registry().erase(it);
+  }
+#if PS_NATIVE_ENGINE
+  if (handle_ != nullptr) dlclose(handle_);
+#endif
+}
+
+bool native_engine_available() {
+#if PS_NATIVE_ENGINE
+  if (sizeof(long) != sizeof(int64_t)) return false;  // kernels assume LP64
+  std::lock_guard lock(state_mutex());
+  return probe_compiler_locked(compiler_command());
+#else
+  return false;
+#endif
+}
+
+std::string native_engine_unavailable_reason() {
+#if PS_NATIVE_ENGINE
+  if (sizeof(long) != sizeof(int64_t))
+    return "platform is not LP64 (long != int64)";
+  std::lock_guard lock(state_mutex());
+  if (!probe_compiler_locked(compiler_command()))
+    return "no working C compiler ('" + compiler_command() + "')";
+  return "";
+#else
+  return "built without native-tier support (PS_NATIVE_ENGINE=0)";
+#endif
+}
+
+std::string native_cc_fingerprint() {
+#if PS_NATIVE_ENGINE
+  std::lock_guard lock(state_mutex());
+  return fingerprint_locked(compiler_command());
+#else
+  return "native-tier-disabled";
+#endif
+}
+
+std::string native_kernel_key(const std::string& c_source) {
+  return sha256_hex(std::string(kAbiTag) + "\n" + native_cc_fingerprint() +
+                    "\n" + c_source);
+}
+
+int64_t native_cc_invocations() { return cc_invocation_counter().load(); }
+
+bool native_object_in_use(const std::filesystem::path& path) {
+  std::lock_guard lock(state_mutex());
+  return pin_registry().count(pin_key(path)) != 0;
+}
+
+std::shared_ptr<NativeModule> load_native_module(const NativeKernel& kernel,
+                                                 NativeObjectStore* store,
+                                                 NativeLoadInfo& info) {
+  info = NativeLoadInfo{};
+#if !PS_NATIVE_ENGINE
+  (void)kernel;
+  (void)store;
+  info.error = native_engine_unavailable_reason();
+  return nullptr;
+#else
+  if (!native_engine_available()) {
+    info.error = native_engine_unavailable_reason();
+    return nullptr;
+  }
+  info.key = native_kernel_key(kernel.c_source);
+
+  // 1. A module loaded earlier in this process.
+  {
+    std::lock_guard lock(state_mutex());
+    auto it = module_cache().find(info.key);
+    if (it != module_cache().end()) {
+      info.ok = true;
+      info.in_process_hit = true;
+      info.cache_hit = true;
+      info.so_path = it->second->path();
+      return it->second;
+    }
+  }
+
+  std::string cmd;
+  {
+    std::lock_guard lock(state_mutex());
+    cmd = compiler_command();
+  }
+
+  // 2. A shared object published by an earlier session.
+  if (store != nullptr) {
+    if (auto cached = store->native_lookup(info.key)) {
+      std::string error;
+      if (auto module = open_module(kernel, *cached, error)) {
+        info.ok = true;
+        info.cache_hit = true;
+        info.so_path = module->path();
+        std::lock_guard lock(state_mutex());
+        module_cache()[info.key] = module;
+        return module;
+      }
+      // Corrupt or wrong-arch object: drop it and recompile below.
+      store->native_discard(info.key);
+    }
+  }
+
+  // 3. Compile.
+  CompileOutput compiled = compile_kernel(cmd, kernel.c_source);
+  info.compile_ms = compiled.ms;
+  if (!compiled.error.empty()) {
+    info.error = compiled.error;
+    return nullptr;
+  }
+
+  fs::path load_path;
+  fs::path scratch;
+  if (store != nullptr) {
+    if (auto published = store->native_publish(info.key, compiled.so_bytes))
+      load_path = *published;
+  }
+  if (load_path.empty()) {
+    // No store (or publish refused): load from a private scratch copy,
+    // removed right after dlopen -- the mapping keeps the code alive.
+    static std::atomic<uint64_t> load_counter{0};
+    std::error_code ec;
+    scratch = fs::temp_directory_path(ec);
+    if (ec) {
+      info.error = "no temp directory: " + ec.message();
+      return nullptr;
+    }
+    scratch /= "psc_native_load_" + std::to_string(getpid()) + "_" +
+               std::to_string(load_counter.fetch_add(1));
+    fs::create_directories(scratch, ec);
+    load_path = scratch / "kernel.so";
+    std::ofstream f(load_path, std::ios::binary);
+    f.write(compiled.so_bytes.data(),
+            static_cast<std::streamsize>(compiled.so_bytes.size()));
+    if (!f) {
+      info.error = "cannot write " + load_path.string();
+      return nullptr;
+    }
+    f.close();
+  }
+
+  std::string error;
+  auto module = open_module(kernel, load_path, error);
+  if (!scratch.empty()) {
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+  }
+  if (module == nullptr) {
+    info.error = error;
+    return nullptr;
+  }
+  info.ok = true;
+  info.so_path = module->path();
+  std::lock_guard lock(state_mutex());
+  module_cache()[info.key] = module;
+  return module;
+#endif
+}
+
+void native_engine_clear_in_process_cache() {
+  // Swap the retained modules out first: ~NativeModule takes the state
+  // mutex to unpin its .so, so destroying them under the lock would
+  // deadlock.
+  std::map<std::string, std::shared_ptr<NativeModule>> dropped;
+  {
+    std::lock_guard lock(state_mutex());
+    dropped.swap(module_cache());
+  }
+}
+
+void native_engine_set_compiler(const std::string& command) {
+  std::lock_guard lock(state_mutex());
+  compiler_command() = command.empty() ? "cc" : command;
+}
+
+}  // namespace ps

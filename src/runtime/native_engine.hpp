@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/native_emitter.hpp"
+
+namespace ps {
+
+/// Host-side mirror of the generated code's `psc_arr` (see
+/// codegen/native_emitter.hpp). LP64 makes `const long*` and
+/// `const int64_t*` the same pointer type inside the kernel.
+struct PscArr {
+  double* data = nullptr;
+  const int64_t* lo = nullptr;
+  const int64_t* win = nullptr;
+  const int64_t* stride = nullptr;
+};
+
+/// Where compiled shared objects persist between sessions. ArtifactCache
+/// implements this (a `<key>.so` file next to the `<key>.art` text
+/// artifacts); a null store means compile-and-load without persistence.
+class NativeObjectStore {
+ public:
+  virtual ~NativeObjectStore() = default;
+
+  /// Path of a previously published object for `key`, if still cached.
+  [[nodiscard]] virtual std::optional<std::filesystem::path> native_lookup(
+      const std::string& key) = 0;
+
+  /// Persist `so_bytes` under `key`; returns the published path (the
+  /// engine dlopens the published copy so eviction pinning sees it).
+  [[nodiscard]] virtual std::optional<std::filesystem::path> native_publish(
+      const std::string& key, const std::string& so_bytes) = 0;
+
+  /// Drop a cached object that failed to load (corrupt / wrong arch).
+  virtual void native_discard(const std::string& key) = 0;
+};
+
+/// How a native module was obtained, for WavefrontStats / --verbose /
+/// the benches.
+struct NativeLoadInfo {
+  bool ok = false;
+  /// The .so came out of the NativeObjectStore; `cc` was not invoked.
+  bool cache_hit = false;
+  /// The module object was still alive in this process (no dlopen either).
+  bool in_process_hit = false;
+  double compile_ms = 0.0;
+  std::string key;
+  std::string so_path;
+  std::string error;
+};
+
+/// A loaded native kernel module: the dlopen handle plus resolved entry
+/// points. Shared by every runner executing the same module; the pin
+/// registry keeps cache eviction from unlinking the backing .so while
+/// any instance is alive (ISSUE 6 satellite: evict under a running
+/// wavefront must not pull the code out from under it).
+class NativeModule {
+ public:
+  using StripeFn = int64_t (*)(PscArr*, const int64_t*, const double*,
+                               const int64_t*, int64_t, int64_t, int64_t);
+  using EquationFn = void (*)(PscArr*, const int64_t*, const double*,
+                              const int64_t*);
+
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  [[nodiscard]] StripeFn stripe() const { return stripe_; }
+  [[nodiscard]] EquationFn equation(size_t id) const {
+    auto it = equations_.find(id);
+    return it == equations_.end() ? nullptr : it->second;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  friend class NativeModuleLoader;
+
+  NativeModule(void* handle, std::string path);
+
+  void* handle_ = nullptr;
+  std::string path_;
+  StripeFn stripe_ = nullptr;
+  std::map<size_t, EquationFn> equations_;
+};
+
+/// True when the native tier can run at all: compiled in
+/// (PS_NATIVE_ENGINE) and a working `cc` answers the probe. The probe
+/// result is cached per compiler command.
+[[nodiscard]] bool native_engine_available();
+
+/// Human-readable reason when native_engine_available() is false.
+[[nodiscard]] std::string native_engine_unavailable_reason();
+
+/// First line of `cc --version` plus the compile flags -- part of the
+/// cache key, so a toolchain upgrade or flag change invalidates cached
+/// objects instead of loading stale code.
+[[nodiscard]] std::string native_cc_fingerprint();
+
+/// Content key of a kernel: SHA-256 over the ABI tag, the compiler
+/// fingerprint and the generated C.
+[[nodiscard]] std::string native_kernel_key(const std::string& c_source);
+
+/// Process-wide count of actual `cc` invocations; the warm-cache tests
+/// and benches assert this does not move on a hit.
+[[nodiscard]] int64_t native_cc_invocations();
+
+/// True when `path` backs a currently loaded NativeModule. ArtifactCache
+/// eviction skips such objects.
+[[nodiscard]] bool native_object_in_use(const std::filesystem::path& path);
+
+/// Compile (or re-load) `kernel` and resolve its entry points. Order:
+/// in-process module cache -> store lookup -> compile with `cc`,
+/// publishing through `store` when given. Returns nullptr with
+/// info.error set on failure; never throws.
+[[nodiscard]] std::shared_ptr<NativeModule> load_native_module(
+    const NativeKernel& kernel, NativeObjectStore* store,
+    NativeLoadInfo& info);
+
+/// Test/bench hooks. clear_in_process_cache drops the process-local
+/// module cache's retained references (unpinning any .so no live runner
+/// still uses), so the next load goes back to the store or `cc`;
+/// set_compiler overrides the `cc` command ("" restores the default,
+/// "false" is a convenient always-failing compiler for fallback tests).
+void native_engine_clear_in_process_cache();
+void native_engine_set_compiler(const std::string& command);
+
+}  // namespace ps

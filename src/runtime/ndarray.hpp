@@ -74,6 +74,13 @@ class NdArray {
   [[nodiscard]] std::span<double> raw() { return data_; }
   [[nodiscard]] std::span<const double> raw() const { return data_; }
 
+  /// Stable pointers to the shape tables, for the native tier's psc_arr
+  /// descriptors (runtime/native_engine.hpp). Valid as long as the
+  /// NdArray itself is not reshaped or moved.
+  [[nodiscard]] const int64_t* lo_ptr() const { return lo_.data(); }
+  [[nodiscard]] const int64_t* window_ptr() const { return window_.data(); }
+  [[nodiscard]] const int64_t* stride_ptr() const { return stride_.data(); }
+
   void fill(double value);
 
   [[nodiscard]] size_t offset(std::span<const int64_t> idx) const;

@@ -11,6 +11,7 @@
 #include "frontend/sema.hpp"
 #include "runtime/consumer_stream.hpp"
 #include "runtime/eval_core.hpp"
+#include "runtime/native_engine.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/wavefront_backend.hpp"
@@ -46,6 +47,14 @@ struct WavefrontOptions {
   /// Worker count of the Sharded backend (0 = the pool size, or 1
   /// without a pool). Ignored by the other backends.
   size_t shards = 0;
+  /// Where the native tier persists compiled shared objects (normally
+  /// the CompileService's ArtifactCache). nullptr compiles without
+  /// persistence. Ignored unless engine == Native.
+  NativeObjectStore* native_store = nullptr;
+  /// Native tier only: drive whole point stripes through the batched
+  /// psc_stripe kernel (one call per contiguous range) instead of one
+  /// indirect call per point. Off is the ablation axis of bench_native.
+  bool native_stripes = true;
 };
 
 struct WavefrontStats {
@@ -60,9 +69,19 @@ struct WavefrontStats {
   int64_t peak_bucket_instances = 0;
   /// The execution backend in effect (ExecutionBackend::describe()).
   std::string backend;
-  /// Why the runner is on the tree-walk evaluator; empty on the
-  /// bytecode engine. Set at construction, preserved across run()s.
+  /// Why the runner is not on the requested engine tier; empty when the
+  /// requested tier is in effect. Set at construction, preserved across
+  /// run()s. Native-tier causes are prefixed "native:".
   std::string fallback_reason;
+  /// Native tier only: wall time spent inside `cc` building the shared
+  /// object (0 on a cache hit).
+  double native_compile_ms = 0.0;
+  /// Native tier only: the .so came from the object store or the
+  /// process-local module cache -- `cc` was not invoked.
+  bool native_cache_hit = false;
+  /// Native tier only: the module was still loaded in this process (no
+  /// dlopen either).
+  bool native_in_process_hit = false;
 };
 
 /// Executes a hyperplane-transformed module (the output of
@@ -132,16 +151,26 @@ class WavefrontRunner {
   /// The derived (or forced) hyperplane window.
   [[nodiscard]] int64_t window() const { return window_; }
 
-  /// The evaluator actually in use (may be TreeWalk even when Bytecode
-  /// was requested, if the module falls outside the bytecode fragment).
+  /// The evaluator actually in use. The tiers degrade Native ->
+  /// Bytecode -> TreeWalk: a Native request falls to Bytecode when the
+  /// module is outside the native emitter's fragment or no compiler is
+  /// usable, and Bytecode falls to TreeWalk exactly as before.
   [[nodiscard]] EvalEngine engine() const {
+    if (use_native_) return EvalEngine::Native;
     return use_bytecode_ ? EvalEngine::Bytecode : EvalEngine::TreeWalk;
   }
 
-  /// Why the tree-walk evaluator is in effect (empty on bytecode).
-  /// Also recorded in stats() so batch reports can surface it.
+  /// Why a lower tier than requested is in effect (empty when the
+  /// requested engine runs). Also recorded in stats() so batch reports
+  /// can surface it.
   [[nodiscard]] const std::string& fallback_reason() const {
     return fallback_reason_;
+  }
+
+  /// Native tier load details (key, cache hits, compile ms); only
+  /// meaningful when engine() == Native.
+  [[nodiscard]] const NativeLoadInfo& native_info() const {
+    return native_info_;
   }
 
   /// The execution backend in effect (ExecutionBackend::describe()).
@@ -157,6 +186,10 @@ class WavefrontRunner {
   void execute_hyperplane(int64_t t);
   void flush_hyperplane(int64_t t);
   void setup_bytecode();
+  void setup_native();
+  /// Append a tier-degradation cause to fallback_reason_ (and the
+  /// stats), separating multiple causes with "; ".
+  void record_fallback(const std::string& reason);
   void eval_equation_instance(const CheckedEquation& eq,
                               const std::vector<int64_t>& loop_vals,
                               WorkerContext& ctx);
@@ -192,6 +225,20 @@ class WavefrontRunner {
   EvalCore core_;
   bool use_bytecode_ = false;
   std::string fallback_reason_;
+
+  /// Native tier state (engine == Native and the module loaded): the
+  /// shared kernel module, the psc_arr descriptor table (BcLayout array
+  /// slot order), both scalar interpretations per scalar slot, and the
+  /// stripe kernel's parameter values in NativeKernel::param_names
+  /// order. The descriptors point into arrays_, whose NdArrays never
+  /// move after construction.
+  std::shared_ptr<NativeModule> native_;
+  NativeLoadInfo native_info_;
+  std::vector<PscArr> native_arrs_;
+  std::vector<int64_t> native_ints_;
+  std::vector<double> native_reals_;
+  std::vector<int64_t> native_params_;
+  bool use_native_ = false;
 };
 
 }  // namespace ps

@@ -58,6 +58,16 @@ class SequentialBackend final : public ExecutionBackend {
                     std::numeric_limits<int64_t>::max(), body);
   }
 
+  int64_t run_hyperplane_stripes(const HyperplaneSchedule& schedule, int64_t t,
+                                 const StripeBody& body) override {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    int64_t executed = body(context_, 0, count);
+    context_.points += executed;
+    check_full_coverage(executed, count);
+    return executed;
+  }
+
   std::vector<int64_t> context_points() const override {
     return {context_.points};
   }
@@ -108,6 +118,38 @@ class PooledChunkedBackend final : public ExecutionBackend {
           executed.fetch_add(
               run_span(contexts_[slot], cursor, t, to - from, body),
               std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      release(slot);
+    });
+    if (error) std::rethrow_exception(error);
+    int64_t done = executed.load(std::memory_order_relaxed);
+    check_full_coverage(done, count);
+    return done;
+  }
+
+  int64_t run_hyperplane_stripes(const HyperplaneSchedule& schedule, int64_t t,
+                                 const StripeBody& body) override {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    if (pool_ == nullptr || count == 1) {
+      int64_t executed = body(contexts_[0], 0, count);
+      contexts_[0].points += executed;
+      check_full_coverage(executed, count);
+      return executed;
+    }
+
+    std::atomic<int64_t> executed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    pool_->parallel_for_chunked(0, count, [&](int64_t from, int64_t to) {
+      size_t slot = acquire();
+      try {
+        int64_t done = body(contexts_[slot], from, to);
+        contexts_[slot].points += done;
+        executed.fetch_add(done, std::memory_order_relaxed);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -184,6 +226,40 @@ class ShardedBackend final : public ExecutionBackend {
           executed.fetch_add(run_span(contexts_[static_cast<size_t>(w)],
                                       cursor, t, end - begin, body),
                              std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    };
+    if (pool_ != nullptr && shards > 1 && count > 1) {
+      pool_->parallel_tasks(shards, run_shard);
+    } else {
+      for (int64_t w = 0; w < shards; ++w) run_shard(w);
+    }
+    if (error) std::rethrow_exception(error);
+    int64_t done = executed.load(std::memory_order_relaxed);
+    check_full_coverage(done, count);
+    return done;
+  }
+
+  int64_t run_hyperplane_stripes(const HyperplaneSchedule& schedule, int64_t t,
+                                 const StripeBody& body) override {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    const int64_t shards = static_cast<int64_t>(contexts_.size());
+
+    std::atomic<int64_t> executed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto run_shard = [&](int64_t w) {
+      const int64_t begin = w * count / shards;
+      const int64_t end = (w + 1) * count / shards;
+      if (begin >= end) return;
+      try {
+        WorkerContext& ctx = contexts_[static_cast<size_t>(w)];
+        int64_t done = body(ctx, begin, end);
+        ctx.points += done;
+        executed.fetch_add(done, std::memory_order_relaxed);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -58,6 +58,14 @@ struct WorkerContext {
 /// point (the DOALL guarantee), so bodies may run concurrently.
 using PointBody = std::function<void(WorkerContext&)>;
 
+/// Evaluates the recurrence over a whole contiguous point range
+/// [begin, end) of the hyperplane in one call (the native tier's
+/// batched stripe kernel -- the body scans the range itself, so the
+/// backend pays one call per stripe instead of one per point). Must
+/// return the number of points actually executed.
+using StripeBody =
+    std::function<int64_t(WorkerContext&, int64_t begin, int64_t end)>;
+
 /// Backend layer of the wavefront engine: executes the points of one
 /// hyperplane, pulling them lazily from the schedule's cursors. The
 /// runner calls run_hyperplane once per hyperplane (barriers between
@@ -75,6 +83,14 @@ class ExecutionBackend {
   /// all workers drain (first one wins).
   virtual int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
                                  const PointBody& body) = 0;
+
+  /// Execute every point of hyperplane `t` through a batched stripe
+  /// body: the backend only partitions [0, count) into contiguous
+  /// ranges (its usual chunking/striping policy) and the body scans
+  /// each range. Coverage is checked exactly like run_hyperplane.
+  virtual int64_t run_hyperplane_stripes(const HyperplaneSchedule& schedule,
+                                         int64_t t,
+                                         const StripeBody& body) = 0;
 
   /// Lifetime point counters, one per worker context (size 1 for the
   /// sequential backend; shard balance for the sharded one).

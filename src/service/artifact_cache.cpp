@@ -55,6 +55,74 @@ std::string ArtifactCache::path_for(const std::string& key) const {
   return options_.dir + "/" + key + ".art";
 }
 
+std::string ArtifactCache::so_path_for(const std::string& key) const {
+  return options_.dir + "/" + key + ".so";
+}
+
+std::optional<std::filesystem::path> ArtifactCache::native_lookup(
+    const std::string& key) {
+  fs::path path = so_path_for(key);
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.native_misses;
+    return std::nullopt;
+  }
+  // LRU refresh, same policy as the text artifacts (best effort).
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.native_hits;
+  return path;
+}
+
+std::optional<std::filesystem::path> ArtifactCache::native_publish(
+    const std::string& key, const std::string& so_bytes) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  std::string path = so_path_for(key);
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return std::nullopt;
+    out.write(so_bytes.data(), static_cast<std::streamsize>(so_bytes.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return std::nullopt;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return std::nullopt;
+  }
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.native_stores;
+    if (dir_bytes_ >= 0) dir_bytes_ += static_cast<int64_t>(so_bytes.size());
+    over_budget = options_.max_bytes > 0 &&
+                  (dir_bytes_ < 0 ||
+                   dir_bytes_ > static_cast<int64_t>(options_.max_bytes));
+  }
+  if (over_budget) evict_over_budget(path);
+  return fs::path(path);
+}
+
+void ArtifactCache::native_discard(const std::string& key) {
+  fs::path path = so_path_for(key);
+  std::error_code ec;
+  uintmax_t size = fs::file_size(path, ec);
+  if (ec) size = 0;
+  if (fs::remove(path, ec)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dir_bytes_ >= 0)
+      dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(size));
+  }
+}
+
 std::optional<std::string> ArtifactCache::read_validated(
     const std::string& key) {
   std::string path = path_for(key);
@@ -170,7 +238,8 @@ void ArtifactCache::evict_over_budget(const std::string& keep_path) {
   uintmax_t total = 0;
   std::error_code ec;
   for (const auto& item : fs::directory_iterator(options_.dir, ec)) {
-    if (item.path().extension() != ".art") continue;
+    fs::path ext = item.path().extension();
+    if (ext != ".art" && ext != ".so") continue;
     std::error_code item_ec;
     uintmax_t size = item.file_size(item_ec);
     if (item_ec) continue;
@@ -190,6 +259,11 @@ void ArtifactCache::evict_over_budget(const std::string& keep_path) {
       // Never evict the artifact just stored: a cache smaller than one
       // entry would otherwise thrash and spilled units would vanish.
       if (entry.path == fs::path(keep_path)) continue;
+      // Never unlink a shared object a live NativeModule still has
+      // dlopen-ed (the satellite fix: evicting under a running
+      // wavefront must not pull its machine code's backing file).
+      if (entry.path.extension() == ".so" && native_object_in_use(entry.path))
+        continue;
       std::error_code remove_ec;
       if (fs::remove(entry.path, remove_ec)) {
         total -= std::min(total, entry.size);

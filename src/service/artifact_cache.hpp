@@ -7,6 +7,7 @@
 
 #include "driver/batch_driver.hpp"
 #include "driver/compile_types.hpp"
+#include "runtime/native_engine.hpp"
 
 namespace ps {
 
@@ -57,6 +58,12 @@ struct ArtifactCacheStats {
   /// counts as a miss too, and the bad file is removed so it cannot
   /// keep wasting probes.
   size_t corrupt = 0;
+  /// Native-tier shared objects (the `.so` siblings of the `.art`
+  /// entries), counted separately so warm-vs-cold native sessions are
+  /// observable next to the text-artifact traffic.
+  size_t native_hits = 0;
+  size_t native_misses = 0;
+  size_t native_stores = 0;
 };
 
 /// A content-addressed on-disk artifact cache. Keys are
@@ -70,7 +77,15 @@ struct ArtifactCacheStats {
 /// Writes go through a temp file + atomic rename, so concurrent
 /// clients (or a daemon racing a one-shot psc) never observe a
 /// half-written artifact. Thread-safe.
-class ArtifactCache {
+///
+/// The cache doubles as the native tier's NativeObjectStore: compiled
+/// shared objects live as `<hex key>.so` next to the `.art` text
+/// artifacts (the key already folds in the `cc` fingerprint, see
+/// native_kernel_key). Eviction covers both kinds by LRU, but never
+/// unlinks a `.so` still dlopen-ed by a live NativeModule
+/// (native_object_in_use) -- pulling mapped code's backing file out
+/// from under a running wavefront stays impossible by construction.
+class ArtifactCache : public NativeObjectStore {
  public:
   explicit ArtifactCache(ArtifactCacheOptions options);
 
@@ -100,6 +115,13 @@ class ArtifactCache {
   [[nodiscard]] static std::string options_fingerprint(
       const CompileOptions& options);
 
+  // NativeObjectStore: `.so` siblings of the text artifacts.
+  [[nodiscard]] std::optional<std::filesystem::path> native_lookup(
+      const std::string& key) override;
+  [[nodiscard]] std::optional<std::filesystem::path> native_publish(
+      const std::string& key, const std::string& so_bytes) override;
+  void native_discard(const std::string& key) override;
+
   [[nodiscard]] ArtifactCacheStats stats() const;
   [[nodiscard]] const std::string& dir() const { return options_.dir; }
   [[nodiscard]] const std::string& version() const {
@@ -108,6 +130,7 @@ class ArtifactCache {
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;
+  [[nodiscard]] std::string so_path_for(const std::string& key) const;
   /// Shared skeleton of load()/load_raw(): read the cache file, check
   /// the magic, structurally validate the payload (zero-copy walk),
   /// refresh the LRU timestamp and account hits -- or treat the entry
@@ -120,7 +143,7 @@ class ArtifactCache {
   ArtifactCacheOptions options_;
   mutable std::mutex mutex_;
   ArtifactCacheStats stats_;
-  /// Running estimate of the directory's .art bytes (-1 = not yet
+  /// Running estimate of the directory's .art + .so bytes (-1 = not yet
   /// scanned). Maintained incrementally so a store only pays the full
   /// directory walk when the budget is actually exceeded, not on
   /// every write of a large spill batch.

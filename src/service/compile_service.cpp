@@ -282,6 +282,10 @@ std::string CompileService::describe_stats() const {
     os << "; artifact cache: " << cache.hits << " hits, " << cache.misses
        << " misses, " << cache.stores << " stores, " << cache.evictions
        << " evicted, " << cache.corrupt << " corrupt";
+    if (cache.native_hits + cache.native_misses + cache.native_stores > 0)
+      os << "; native objects: " << cache.native_hits << " hits, "
+         << cache.native_misses << " misses, " << cache.native_stores
+         << " stores";
   }
   return os.str();
 }

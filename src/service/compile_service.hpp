@@ -115,6 +115,12 @@ class CompileService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] ArtifactCacheStats cache_stats() const;
   [[nodiscard]] bool cache_enabled() const { return cache_ != nullptr; }
+  /// The cache as the native tier's shared-object store (nullptr when
+  /// caching is disabled); wire into WavefrontOptions::native_store so
+  /// warm sessions load machine code without invoking `cc`.
+  [[nodiscard]] NativeObjectStore* native_store() const {
+    return cache_.get();
+  }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
   /// One-line session summary (daemon logs, psc --verbose).

@@ -493,9 +493,13 @@ inline void expect_engines_agree_on_case(const DiffCase& test_case) {
 
 /// The wavefront cross-check as a reusable fixture: compile with the
 /// hyperplane + exact-bounds pipeline and, when the module transforms,
-/// run the WavefrontRunner under both evaluators and compare all
-/// outputs (and stats) bit-exactly. Returns false when the module has
-/// no hyperplane transform (nothing to check).
+/// run the WavefrontRunner under every evaluator tier -- tree-walk,
+/// bytecode and (when a C compiler answers the probe) the in-process
+/// native JIT -- and compare all outputs (and stats) bit-exactly.
+/// Inputs honour the case's content-fuzz fill, with int-element arrays
+/// on the integer ramp, exactly like the interpreter legs. Returns
+/// false when the module has no hyperplane transform (nothing to
+/// check).
 inline bool expect_wavefront_engines_agree(const DiffCase& test_case) {
   CompileOptions options = test_case.options;
   options.apply_hyperplane = true;
@@ -503,41 +507,65 @@ inline bool expect_wavefront_engines_agree(const DiffCase& test_case) {
   auto result = compile_or_die(test_case.source, options);
   if (!result.transformed || !result.exact_nest) return false;
 
-  WavefrontOptions tree;
-  tree.engine = EvalEngine::TreeWalk;
-  WavefrontRunner reference(*result.transformed->module, *result.transform,
-                            *result.exact_nest, test_case.int_inputs,
-                            test_case.real_inputs, tree);
-  WavefrontRunner bytecode(*result.transformed->module, *result.transform,
-                           *result.exact_nest, test_case.int_inputs,
-                           test_case.real_inputs);
+  auto make_runner = [&](EvalEngine engine) {
+    WavefrontOptions opts;
+    opts.engine = engine;
+    return std::make_unique<WavefrontRunner>(
+        *result.transformed->module, *result.transform, *result.exact_nest,
+        test_case.int_inputs, test_case.real_inputs, opts);
+  };
+
+  auto reference = make_runner(EvalEngine::TreeWalk);
+  auto bytecode = make_runner(EvalEngine::Bytecode);
   // No silent capability cliff: every module the harness feeds through
-  // here must actually run on the requested bytecode engine (the
-  // fallback records its reason precisely so this can be asserted).
-  EXPECT_EQ(bytecode.engine(), EvalEngine::Bytecode)
-      << test_case.name << " fell back: " << bytecode.fallback_reason();
-  for (auto* runner : {&reference, &bytecode}) {
+  // here must actually run on the requested engine tier (the fallback
+  // records its reason precisely so this can be asserted).
+  EXPECT_EQ(bytecode->engine(), EvalEngine::Bytecode)
+      << test_case.name << " fell back: " << bytecode->fallback_reason();
+  std::vector<std::pair<const char*, std::unique_ptr<WavefrontRunner>>>
+      runners;
+  runners.emplace_back("tree-walk", std::move(reference));
+  runners.emplace_back("bytecode", std::move(bytecode));
+  if (native_engine_available()) {
+    auto native = make_runner(EvalEngine::Native);
+    EXPECT_EQ(native->engine(), EvalEngine::Native)
+        << test_case.name << " fell back: " << native->fallback_reason();
+    runners.emplace_back("native", std::move(native));
+  }
+
+  double (*fill)(size_t) =
+      test_case.input_fill != nullptr ? test_case.input_fill : input_value;
+  for (auto& [engine_name, runner] : runners) {
     for (const DataItem& item : result.transformed->module->data) {
       if (item.cls != DataClass::Input || item.is_scalar()) continue;
+      bool int_elems = item.elem != nullptr &&
+                       item.elem->scalar_kind() == TypeKind::Int;
       auto span = runner->array(item.name).raw();
-      for (size_t i = 0; i < span.size(); ++i) span[i] = input_value(i);
+      for (size_t i = 0; i < span.size(); ++i)
+        span[i] =
+            int_elems ? static_cast<double>(int_input_value(i)) : fill(i);
     }
+    runner->run();
   }
-  reference.run();
-  bytecode.run();
-  EXPECT_EQ(reference.stats().points, bytecode.stats().points);
-  EXPECT_EQ(reference.stats().hyperplanes, bytecode.stats().hyperplanes);
-  EXPECT_EQ(reference.stats().flushed, bytecode.stats().flushed);
-  for (const DataItem& item : result.transformed->module->data) {
-    if (item.cls != DataClass::Output || item.is_scalar()) continue;
-    auto want = reference.array(item.name).raw();
-    auto got = bytecode.array(item.name).raw();
-    EXPECT_EQ(want.size(), got.size()) << item.name;
-    if (want.size() != got.size()) continue;
-    for (size_t i = 0; i < want.size(); ++i)
-      EXPECT_EQ(std::bit_cast<uint64_t>(want[i]),
-                std::bit_cast<uint64_t>(got[i]))
-          << test_case.name << " " << item.name << "[" << i << "]";
+
+  const WavefrontRunner& want = *runners.front().second;
+  for (size_t r = 1; r < runners.size(); ++r) {
+    const auto& [engine_name, runner] = runners[r];
+    const std::string label = test_case.name + std::string("/") + engine_name;
+    EXPECT_EQ(want.stats().points, runner->stats().points) << label;
+    EXPECT_EQ(want.stats().hyperplanes, runner->stats().hyperplanes) << label;
+    EXPECT_EQ(want.stats().flushed, runner->stats().flushed) << label;
+    for (const DataItem& item : result.transformed->module->data) {
+      if (item.cls != DataClass::Output || item.is_scalar()) continue;
+      auto expected = want.array(item.name).raw();
+      auto got = runner->array(item.name).raw();
+      EXPECT_EQ(expected.size(), got.size()) << label << " " << item.name;
+      if (expected.size() != got.size()) continue;
+      for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(std::bit_cast<uint64_t>(expected[i]),
+                  std::bit_cast<uint64_t>(got[i]))
+            << label << " " << item.name << "[" << i << "]";
+    }
   }
   return true;
 }

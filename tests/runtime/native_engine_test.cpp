@@ -1,0 +1,247 @@
+// The native execution tier: JIT-compiled kernels must be bit-exact
+// against the bytecode VM, fall back to bytecode automatically (and
+// observably) when `cc` is unusable, skip the compiler entirely on a
+// warm shared-object cache, and never lose the backing .so to cache
+// eviction while a live runner still has it dlopen-ed.
+
+#include "runtime/native_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "../common/test_util.hpp"
+#include "driver/paper_modules.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/wavefront.hpp"
+#include "service/artifact_cache.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ps {
+namespace {
+
+using testutil::compile_or_die;
+
+CompileResult compile_exact_gs() {
+  CompileOptions options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  return compile_or_die(kGaussSeidelSource, options);
+}
+
+void fill_input(NdArray& in, int64_t m) {
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j)
+      in.set(std::vector<int64_t>{i, j},
+             std::cos(static_cast<double>(i * 5 + j)));
+}
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = std::string(::testing::TempDir()) + "psc_native_" + tag +
+                    "_" + std::to_string(getpid()) + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Build, fill, run; returns the runner so callers can read stats and
+/// outputs.
+std::unique_ptr<WavefrontRunner> run_gs(const CompileResult& result,
+                                        int64_t m, int64_t sweeps,
+                                        WavefrontOptions options) {
+  auto runner = std::make_unique<WavefrontRunner>(
+      *result.transformed->module, *result.transform, *result.exact_nest,
+      IntEnv{{"M", m}, {"maxK", sweeps}}, std::map<std::string, double>{},
+      options);
+  fill_input(runner->array("InitialA"), m);
+  runner->run();
+  return runner;
+}
+
+void expect_bit_identical(const NdArray& got, const NdArray& want, int64_t m,
+                          const char* label) {
+  for (int64_t i = 0; i <= m + 1; ++i)
+    for (int64_t j = 0; j <= m + 1; ++j) {
+      std::vector<int64_t> idx{i, j};
+      EXPECT_EQ(got.at(idx), want.at(idx)) << label << " at " << i << "," << j;
+    }
+}
+
+#define SKIP_WITHOUT_NATIVE()                                              \
+  if (!native_engine_available())                                          \
+    GTEST_SKIP() << "native tier unavailable: "                            \
+                 << native_engine_unavailable_reason();
+
+TEST(NativeEngine, MatchesBytecodeBitExact) {
+  SKIP_WITHOUT_NATIVE();
+  native_engine_clear_in_process_cache();
+  auto result = compile_exact_gs();
+  const int64_t m = 11;
+  const int64_t sweeps = 7;
+
+  auto bytecode = run_gs(result, m, sweeps, {});
+  ASSERT_EQ(bytecode->engine(), EvalEngine::Bytecode)
+      << bytecode->fallback_reason();
+
+  WavefrontOptions native_opts;
+  native_opts.engine = EvalEngine::Native;
+  auto native = run_gs(result, m, sweeps, native_opts);
+  ASSERT_EQ(native->engine(), EvalEngine::Native) << native->fallback_reason();
+  EXPECT_TRUE(native->fallback_reason().empty());
+
+  expect_bit_identical(native->array("newA"), bytecode->array("newA"), m,
+                       "native vs bytecode");
+  EXPECT_EQ(native->stats().points, bytecode->stats().points);
+  EXPECT_EQ(native->stats().hyperplanes, bytecode->stats().hyperplanes);
+  EXPECT_EQ(native->stats().flushed, bytecode->stats().flushed);
+}
+
+TEST(NativeEngine, StripeAblationAndBackendsAreBitExact) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  const int64_t m = 9;
+  const int64_t sweeps = 5;
+
+  WavefrontOptions striped;
+  striped.engine = EvalEngine::Native;
+  auto reference = run_gs(result, m, sweeps, striped);
+  ASSERT_EQ(reference->engine(), EvalEngine::Native)
+      << reference->fallback_reason();
+
+  // Per-point kernel calls (the ablation axis of bench_native).
+  WavefrontOptions per_point = striped;
+  per_point.native_stripes = false;
+  auto pointwise = run_gs(result, m, sweeps, per_point);
+  ASSERT_EQ(pointwise->engine(), EvalEngine::Native);
+  expect_bit_identical(pointwise->array("newA"), reference->array("newA"), m,
+                       "per-point vs striped");
+
+  // Striped execution across the parallel backends.
+  ThreadPool pool(4);
+  for (WavefrontBackend backend :
+       {WavefrontBackend::PooledChunked, WavefrontBackend::Sharded}) {
+    WavefrontOptions parallel = striped;
+    parallel.pool = &pool;
+    parallel.backend = backend;
+    auto run = run_gs(result, m, sweeps, parallel);
+    ASSERT_EQ(run->engine(), EvalEngine::Native) << run->fallback_reason();
+    expect_bit_identical(run->array("newA"), reference->array("newA"), m,
+                         wavefront_backend_name(backend));
+    EXPECT_EQ(run->stats().points, reference->stats().points);
+  }
+}
+
+TEST(NativeEngine, FallsBackToBytecodeWhenCompilerIsUnusable) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  native_engine_clear_in_process_cache();
+  native_engine_set_compiler("false");  // probe fails -> tier unavailable
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  auto runner = run_gs(result, 7, 4, options);
+  native_engine_set_compiler("");
+  EXPECT_EQ(runner->engine(), EvalEngine::Bytecode);
+  EXPECT_NE(runner->fallback_reason().find("native:"), std::string::npos)
+      << runner->fallback_reason();
+  EXPECT_EQ(runner->stats().fallback_reason, runner->fallback_reason());
+}
+
+TEST(NativeEngine, WarmCacheSkipsTheCompilerEntirely) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = fresh_dir("warm");
+  ArtifactCache cache{cache_options};
+
+  native_engine_clear_in_process_cache();
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  options.native_store = &cache;
+
+  const int64_t cold_invocations = native_cc_invocations();
+  auto cold = run_gs(result, 8, 5, options);
+  ASSERT_EQ(cold->engine(), EvalEngine::Native) << cold->fallback_reason();
+  EXPECT_FALSE(cold->stats().native_cache_hit);
+  EXPECT_EQ(native_cc_invocations(), cold_invocations + 1);
+  EXPECT_GT(cold->stats().native_compile_ms, 0.0);
+  EXPECT_EQ(cache.stats().native_stores, 1u);
+  EXPECT_EQ(cache.stats().native_misses, 1u);
+
+  // Drop the in-process module so the warm path must go through the
+  // on-disk object, exactly like a fresh daemon session.
+  cold.reset();
+  native_engine_clear_in_process_cache();
+
+  const int64_t warm_invocations = native_cc_invocations();
+  auto warm = run_gs(result, 8, 5, options);
+  ASSERT_EQ(warm->engine(), EvalEngine::Native) << warm->fallback_reason();
+  EXPECT_TRUE(warm->stats().native_cache_hit);
+  EXPECT_FALSE(warm->stats().native_in_process_hit);
+  EXPECT_EQ(warm->stats().native_compile_ms, 0.0);
+  EXPECT_EQ(native_cc_invocations(), warm_invocations);  // cc never ran
+  EXPECT_EQ(cache.stats().native_hits, 1u);
+
+  // A third runner while `warm` is alive hits the in-process module.
+  auto hot = run_gs(result, 8, 5, options);
+  ASSERT_EQ(hot->engine(), EvalEngine::Native);
+  EXPECT_TRUE(hot->stats().native_in_process_hit);
+  EXPECT_EQ(native_cc_invocations(), warm_invocations);
+}
+
+TEST(NativeEngine, EvictionSparesTheSharedObjectOfALiveRunner) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = fresh_dir("evict");
+  cache_options.max_bytes = 1;  // everything evictable is over budget
+  ArtifactCache cache{cache_options};
+
+  native_engine_clear_in_process_cache();
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  options.native_store = &cache;
+  auto runner = run_gs(result, 8, 5, options);
+  ASSERT_EQ(runner->engine(), EvalEngine::Native) << runner->fallback_reason();
+  fs::path so_path = runner->native_info().so_path;
+  ASSERT_TRUE(fs::exists(so_path));
+  EXPECT_TRUE(native_object_in_use(so_path));
+
+  // Storing a text artifact pushes the directory over its 1-byte budget
+  // and runs eviction -- which must skip the pinned .so.
+  UnitArtifact artifact;
+  artifact.ok = true;
+  artifact.module_name = "M";
+  artifact.primary = {"s", "sched", "c"};
+  EXPECT_TRUE(cache.store("deadbeef", artifact));
+  EXPECT_TRUE(fs::exists(so_path)) << "evicted a dlopen-ed shared object";
+
+  // The runner still executes against the mapped code.
+  runner->run();
+  EXPECT_GT(runner->stats().points, 0);
+
+  // Release the module (runner + in-process cache): the pin is gone and
+  // the next eviction pass may reclaim the object.
+  runner.reset();
+  native_engine_clear_in_process_cache();
+  EXPECT_FALSE(native_object_in_use(so_path));
+  EXPECT_TRUE(cache.store("deadbeef2", artifact));
+  EXPECT_FALSE(fs::exists(so_path));
+}
+
+TEST(NativeEngine, KernelKeyFoldsInCompilerFingerprint) {
+  SKIP_WITHOUT_NATIVE();
+  std::string key = native_kernel_key("int x;");
+  EXPECT_EQ(key.size(), 64u);
+  EXPECT_NE(key, native_kernel_key("int y;"));
+  EXPECT_FALSE(native_cc_fingerprint().empty());
+}
+
+}  // namespace
+}  // namespace ps

@@ -294,5 +294,50 @@ TEST(ArtifactCache, ConcurrentStoresAndLoadsAreSafe) {
   EXPECT_EQ(cache.stats().corrupt, 0u);
 }
 
+TEST(ArtifactCache, NativeObjectStoreRoundTripsAndCounts) {
+  ArtifactCache cache = make_cache(fresh_dir("native"));
+  const std::string key(64, 'a');
+  EXPECT_FALSE(cache.native_lookup(key).has_value());  // cold: miss
+
+  const std::string so_bytes = "\x7f" "ELF not really, but bytes";
+  std::optional<std::string> stored = cache.native_publish(key, so_bytes);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_TRUE(fs::exists(*stored));
+  EXPECT_EQ(fs::path(*stored).extension(), ".so");
+
+  std::optional<std::string> found = cache.native_lookup(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, *stored);
+  std::ifstream in(*found, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, so_bytes);
+
+  ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.native_misses, 1u);
+  EXPECT_EQ(stats.native_stores, 1u);
+  EXPECT_EQ(stats.native_hits, 1u);
+
+  cache.native_discard(key);
+  EXPECT_FALSE(fs::exists(*stored));
+  EXPECT_FALSE(cache.native_lookup(key).has_value());
+}
+
+TEST(ArtifactCache, NativeObjectsShareTheEvictionBudget) {
+  // Unpinned .so entries are ordinary cache tenants: the size budget
+  // counts their bytes and eviction reclaims them oldest-first.
+  ArtifactCache cache = make_cache(fresh_dir("native_evict"), 1);
+  const std::string key(64, 'b');
+  std::optional<std::string> stored =
+      cache.native_publish(key, std::string(1024, 'x'));
+  ASSERT_TRUE(stored.has_value());
+
+  // Nothing pins the object, so the next store's eviction pass (over a
+  // 1-byte budget) reclaims it while keeping the entry just written.
+  EXPECT_TRUE(cache.store(std::string(64, 'c'), sample_artifact()));
+  EXPECT_FALSE(fs::exists(*stored));
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
 }  // namespace
 }  // namespace ps
