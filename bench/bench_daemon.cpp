@@ -1,0 +1,211 @@
+// Daemon round-trip throughput: what a client pays on top of the
+// in-process service for the reactor, the framing protocol and the
+// streamed v2 reply path. BM_DaemonPingPong is the floor (one frame
+// each way, no compile); BM_DaemonWarmCorpus serves the replicated
+// paper corpus entirely from the artifact cache -- cache probes on the
+// reactor thread, raw-byte splicing into UnitReply frames -- and is
+// the daemon-side counterpart of BM_ServiceCorpusWarm. Both rate
+// counters feed the CI regression gate (BENCH_daemon.json).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/paper_modules.hpp"
+#include "service/daemon.hpp"
+
+namespace {
+
+std::string bench_socket(const char* tag) {
+  std::string path = "/tmp/psc_bench_" + std::string(tag) + "_" +
+                     std::to_string(getpid()) + ".sock";
+  ::unlink(path.c_str());
+  return path;
+}
+
+std::string bench_cache_dir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("psc_bench_daemon_" + std::string(tag) + "_" +
+                     std::to_string(getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A daemon served on its own thread for the duration of one benchmark.
+class BenchDaemon {
+ public:
+  explicit BenchDaemon(ps::DaemonOptions options) : daemon_(options) {
+    ok_ = daemon_.start();
+    if (ok_) thread_ = std::thread([this] { daemon_.serve(); });
+  }
+  ~BenchDaemon() {
+    daemon_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  ps::Daemon daemon_;
+  bool ok_ = false;
+  std::thread thread_;
+};
+
+ps::ServiceRequest corpus_request(size_t copies) {
+  ps::ServiceRequest request;
+  for (size_t c = 0; c < copies; ++c)
+    for (const ps::PaperModule& module : ps::paper_corpus())
+      request.units.push_back({std::string(module.name) + "#" +
+                                   std::to_string(c),
+                               module.source, false});
+  return request;
+}
+
+/// One frame each way through the reactor: the fixed per-request
+/// overhead every daemon round trip pays.
+void BM_DaemonPingPong(benchmark::State& state) {
+  ps::DaemonOptions options;
+  options.socket_path = bench_socket("ping");
+  BenchDaemon daemon(options);
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  ps::DaemonClient client;
+  if (!client.connect(options.socket_path)) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  size_t pings = 0;
+  for (auto _ : state) {
+    if (!client.ping()) {
+      state.SkipWithError("ping failed");
+      return;
+    }
+    ++pings;
+  }
+  state.counters["pings_per_s"] = benchmark::Counter(
+      static_cast<double>(pings), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DaemonPingPong)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+/// The warm developer loop over the wire: every unit is a cache hit,
+/// served inline on the reactor and streamed back as raw artifact
+/// bytes. Compare modules_per_s against BM_ServiceCorpusWarm for the
+/// socket + framing overhead.
+void BM_DaemonWarmCorpus(benchmark::State& state) {
+  ps::DaemonOptions options;
+  options.socket_path = bench_socket("warm");
+  options.service.jobs = 1;
+  options.service.cache_dir = bench_cache_dir("warm");
+  BenchDaemon daemon(options);
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  ps::DaemonClient client;
+  if (!client.connect(options.socket_path)) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  ps::ServiceRequest request = corpus_request(8);
+  // Seed the cache; every timed iteration is then all hits.
+  std::optional<ps::RemoteReply> seed = client.compile(request);
+  if (!seed || seed->cache_misses != request.units.size()) {
+    state.SkipWithError("cache seed failed");
+    return;
+  }
+  size_t served = 0;
+  for (auto _ : state) {
+    std::optional<ps::RemoteReply> reply = client.compile(request);
+    if (!reply || reply->cache_hits != request.units.size()) {
+      state.SkipWithError("expected all hits");
+      return;
+    }
+    benchmark::DoNotOptimize(reply->units.data());
+    served += reply->units.size();
+  }
+  state.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(options.service.cache_dir);
+}
+BENCHMARK(BM_DaemonWarmCorpus)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Four clients hammering one daemon concurrently with warm
+/// single-unit requests: reactor fairness and the cost of multiplexing
+/// connections on one poll loop.
+void BM_DaemonConcurrentClients(benchmark::State& state) {
+  ps::DaemonOptions options;
+  options.socket_path = bench_socket("multi");
+  options.service.jobs = 1;
+  options.service.cache_dir = bench_cache_dir("multi");
+  BenchDaemon daemon(options);
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  constexpr size_t kClients = 4;
+  const std::vector<ps::PaperModule>& corpus = ps::paper_corpus();
+  // Seed every unit the clients will request.
+  {
+    ps::DaemonClient seeder;
+    if (!seeder.connect(options.socket_path) ||
+        !seeder.compile(corpus_request(1))) {
+      state.SkipWithError("cache seed failed");
+      return;
+    }
+  }
+  size_t served = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    std::atomic<size_t> replies{0};
+    std::atomic<bool> failed{false};
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        const ps::PaperModule& module = corpus[c % corpus.size()];
+        ps::DaemonClient client;
+        if (!client.connect(options.socket_path)) {
+          failed = true;
+          return;
+        }
+        ps::ServiceRequest request;
+        request.units.push_back(
+            {std::string(module.name) + "#0", module.source, false});
+        for (int i = 0; i < 8; ++i) {
+          std::optional<ps::RemoteReply> reply = client.compile(request);
+          if (!reply || reply->units.size() != 1) {
+            failed = true;
+            return;
+          }
+          replies.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (failed.load()) {
+      state.SkipWithError("a client failed");
+      return;
+    }
+    served += replies.load();
+  }
+  state.counters["replies_per_s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(options.service.cache_dir);
+}
+BENCHMARK(BM_DaemonConcurrentClients)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ps::bench::run_benchmarks(argc, argv);
+}

@@ -47,9 +47,21 @@
 //                       in memory (needs --cache-dir)
 //     --daemon[=SOCK]   run the warm compile daemon on a unix socket
 //                       (foreground; SIGINT/SIGTERM or --stop-daemon stop it)
+//     --listen=HOST:PORT  with --daemon: also accept clients over TCP
+//                       (port 0 picks an ephemeral port, printed on stderr)
+//     --max-queue N     with --daemon: answer Busy once N compile requests
+//                       are queued or in flight (cache-complete requests
+//                       are served inline and never count; default 16)
+//     --cache-ttl N     with --daemon: a janitor thread prunes cache
+//                       entries idle longer than N seconds (pinned .so
+//                       objects are spared; 0 = off)
 //     --client[=SOCK]   send this compile to the daemon; falls back to
-//                       in-process compilation when no daemon is up
+//                       in-process compilation when no daemon is up (or
+//                       when a saturated daemon answers Busy)
+//     --connect=HOST:PORT  like --client, over the daemon's TCP listener
 //     --stop-daemon[=SOCK]  ask the daemon to shut down gracefully
+//     --daemon-stats[=SOCK]  print the daemon's service/cache/queue
+//                       counters (text, or JSON with --json)
 //
 // With more than one input the driver routes everything through the
 // BatchDriver: per-unit output and diagnostics are identical to the
@@ -360,10 +372,15 @@ int main(int argc, char** argv) {
   bool daemon_mode = false;
   bool client_mode = false;
   bool stop_daemon = false;
-  std::string socket_path;  // empty = default_daemon_socket()
+  bool daemon_stats = false;
+  std::string socket_path;   // empty = default_daemon_socket()
+  std::string listen_spec;   // --listen=HOST:PORT (daemon TCP listener)
+  std::string connect_spec;  // --connect=HOST:PORT (client over TCP)
   std::string cache_dir;
   size_t cache_max_bytes = 0;
   size_t spill_after = 0;
+  size_t max_queue = 16;  // daemon admission depth (Busy past this)
+  size_t cache_ttl = 0;   // daemon janitor TTL in seconds (0 = off)
   size_t jobs = 1;
   ps::WavefrontBackend wavefront_backend = ps::WavefrontBackend::Auto;
   ps::EvalEngine engine = ps::EvalEngine::Bytecode;
@@ -424,6 +441,42 @@ int main(int argc, char** argv) {
       stop_daemon = true;
       socket_path = arg.substr(14);
     }
+    else if (arg == "--daemon-stats") daemon_stats = true;
+    else if (arg.rfind("--daemon-stats=", 0) == 0) {
+      daemon_stats = true;
+      socket_path = arg.substr(15);
+    }
+    else if (arg.rfind("--listen=", 0) == 0) listen_spec = arg.substr(9);
+    else if (arg.rfind("--connect=", 0) == 0) {
+      client_mode = true;
+      connect_spec = arg.substr(10);
+    }
+    else if (arg == "--max-queue") {
+      if (i + 1 >= argc || !parse_size(argv[i + 1], max_queue)) {
+        std::cerr << "psc: --max-queue needs a request count\n";
+        return 2;
+      }
+      ++i;
+    }
+    else if (arg.rfind("--max-queue=", 0) == 0) {
+      if (!parse_size(arg.substr(12), max_queue)) {
+        std::cerr << "psc: --max-queue needs a request count\n";
+        return 2;
+      }
+    }
+    else if (arg == "--cache-ttl") {
+      if (i + 1 >= argc || !parse_size(argv[i + 1], cache_ttl)) {
+        std::cerr << "psc: --cache-ttl needs a duration in seconds\n";
+        return 2;
+      }
+      ++i;
+    }
+    else if (arg.rfind("--cache-ttl=", 0) == 0) {
+      if (!parse_size(arg.substr(12), cache_ttl)) {
+        std::cerr << "psc: --cache-ttl needs a duration in seconds\n";
+        return 2;
+      }
+    }
     else if (arg == "--cache-dir") {
       if (i + 1 >= argc) {
         std::cerr << "psc: --cache-dir needs a directory\n";
@@ -467,8 +520,10 @@ int main(int argc, char** argv) {
                    "[--engine=tree-walk|bytecode|native] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
                    "[--cache-dir DIR] [--cache-max-bytes N] "
-                   "[--spill-after N] [--daemon[=SOCK]] [--client[=SOCK]] "
-                   "[--stop-daemon[=SOCK]] "
+                   "[--spill-after N] [--daemon[=SOCK]] "
+                   "[--listen=HOST:PORT] [--max-queue N] [--cache-ttl N] "
+                   "[--client[=SOCK]] [--connect=HOST:PORT] "
+                   "[--stop-daemon[=SOCK]] [--daemon-stats[=SOCK]] "
                    "<file.ps|file.eqn|-> [more files...]\n";
       return 0;
     } else {
@@ -478,8 +533,8 @@ int main(int argc, char** argv) {
   if (!flags.components && !flags.graph && !flags.dot && !flags.c_code &&
       !flags.source)
     flags.schedule = true;
-  if (json && !batch_report) {
-    std::cerr << "psc: --json requires --batch-report\n";
+  if (json && !batch_report && !daemon_stats) {
+    std::cerr << "psc: --json requires --batch-report or --daemon-stats\n";
     return 2;
   }
   if (spill_after > 0 && cache_dir.empty()) {
@@ -487,16 +542,46 @@ int main(int argc, char** argv) {
                  "into the cache directory)\n";
     return 2;
   }
+  if (!listen_spec.empty() && !daemon_mode) {
+    std::cerr << "psc: --listen needs --daemon\n";
+    return 2;
+  }
+
+  // Where a client-side mode reaches the daemon: the TCP address when
+  // --connect was given, the unix socket otherwise.
+  auto connect_client = [&](ps::DaemonClient& client, std::string& where) {
+    if (!connect_spec.empty()) {
+      where = connect_spec;
+      return client.connect_tcp(connect_spec);
+    }
+    where = socket_path.empty() ? ps::default_daemon_socket() : socket_path;
+    return client.connect(where);
+  };
 
   if (stop_daemon) {
     ps::DaemonClient client;
-    std::string sock =
-        socket_path.empty() ? ps::default_daemon_socket() : socket_path;
-    if (!client.connect(sock) || !client.shutdown()) {
-      std::cerr << "psc: no daemon listening on " << sock << '\n';
+    std::string where;
+    if (!connect_client(client, where) || !client.shutdown()) {
+      std::cerr << "psc: no daemon listening on " << where << '\n';
       return 1;
     }
-    std::cerr << "psc: daemon on " << sock << " stopped\n";
+    std::cerr << "psc: daemon on " << where << " stopped\n";
+    return 0;
+  }
+
+  if (daemon_stats) {
+    ps::DaemonClient client;
+    std::string where;
+    if (!connect_client(client, where)) {
+      std::cerr << "psc: no daemon listening on " << where << '\n';
+      return 1;
+    }
+    std::optional<std::string> stats = client.stats(json);
+    if (!stats) {
+      std::cerr << "psc: " << client.error() << '\n';
+      return 1;
+    }
+    std::cout << *stats;
     return 0;
   }
 
@@ -507,6 +592,9 @@ int main(int argc, char** argv) {
     // command line.
     ps::DaemonOptions daemon_options;
     daemon_options.socket_path = socket_path;
+    daemon_options.listen = listen_spec;
+    daemon_options.max_queue = max_queue;
+    daemon_options.cache_ttl = std::chrono::seconds(cache_ttl);
     daemon_options.service.jobs = jobs;
     daemon_options.service.cache_dir = cache_dir;
     daemon_options.service.cache_max_bytes = cache_max_bytes;
@@ -519,7 +607,10 @@ int main(int argc, char** argv) {
     g_daemon = &daemon;
     std::signal(SIGINT, stop_daemon_on_signal);
     std::signal(SIGTERM, stop_daemon_on_signal);
-    std::cerr << "psc: daemon listening on " << daemon.socket_path() << '\n';
+    std::cerr << "psc: daemon listening on " << daemon.socket_path();
+    if (daemon.tcp_port() != 0)
+      std::cerr << " and tcp port " << daemon.tcp_port();
+    std::cerr << '\n';
     daemon.serve();
     std::cerr << "psc: daemon stopped (" << daemon.service().describe_stats()
               << ")\n";
@@ -594,13 +685,12 @@ int main(int argc, char** argv) {
 
     if (client_mode) {
       ps::DaemonClient client;
-      std::string sock =
-          socket_path.empty() ? ps::default_daemon_socket() : socket_path;
-      if (client.connect(sock)) {
+      std::string where;
+      if (connect_client(client, where)) {
         std::optional<ps::RemoteReply> reply = client.compile(request);
         if (reply) {
           if (verbose)
-            std::cerr << "psc: daemon on " << sock << ": "
+            std::cerr << "psc: daemon on " << where << ": "
                       << reply->cache_hits << " cache hits, "
                       << reply->cache_misses << " compiled, -j "
                       << reply->jobs << '\n';
@@ -628,15 +718,16 @@ int main(int argc, char** argv) {
                                                     render_flags)});
           return print_rendered_units(rendered, batch);
         }
-        // Daemon refused (version mismatch) or the connection broke
-        // mid-request: nothing has been printed yet, so compiling
-        // in-process below is safe and gives the user their output.
+        // Daemon refused (version mismatch, a Busy queue) or the
+        // connection broke mid-request: nothing has been printed yet,
+        // so compiling in-process below is safe and gives the user
+        // their output.
         std::cerr << "psc: " << client.error()
                   << "; compiling in-process\n";
       } else {
         // No daemon up: fall through to the in-process service (when a
         // cache directory was given) or the plain driver below.
-        std::cerr << "psc: no daemon on " << sock
+        std::cerr << "psc: no daemon on " << where
                   << "; compiling in-process\n";
       }
     }

@@ -11,6 +11,8 @@
 
 #include "support/hash.hpp"
 
+#include <sys/wait.h>
+
 #if PS_NATIVE_ENGINE
 #include <dlfcn.h>
 #include <unistd.h>
@@ -108,6 +110,21 @@ std::string fingerprint_locked(const std::string& cmd) {
   return fp;
 }
 
+/// POSIX-shell single-quote `text` so std::system passes it to cc as
+/// one literal argument whatever it contains (each embedded ' becomes
+/// the '\'' dance).
+std::string shell_quote(const std::string& text) {
+  std::string quoted = "'";
+  for (char c : text) {
+    if (c == '\'')
+      quoted += "'\\''";
+    else
+      quoted += c;
+  }
+  quoted += "'";
+  return quoted;
+}
+
 /// Read a whole file; empty string when unreadable.
 std::string slurp(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -154,8 +171,14 @@ CompileOutput compile_kernel(const std::string& cmd,
       return out;
     }
   }
-  std::string invocation = cmd + " " + kCompileFlags + " -o " + so.string() +
-                           " " + src.string() + " -lm 2> " + log.string();
+  // Every path is shell-quoted (including the stderr redirect): a
+  // TMPDIR or cache directory containing spaces or shell
+  // metacharacters must not break the invocation -- it used to, and
+  // the whole native tier silently demoted to bytecode.
+  std::string invocation = cmd + " " + kCompileFlags + " -o " +
+                           shell_quote(so.string()) + " " +
+                           shell_quote(src.string()) + " -lm 2> " +
+                           shell_quote(log.string());
   auto start = std::chrono::steady_clock::now();
   cc_invocation_counter().fetch_add(1);
   int rc = std::system(invocation.c_str());
@@ -164,7 +187,7 @@ CompileOutput compile_kernel(const std::string& cmd,
                .count();
   if (rc != 0) {
     std::string diag = slurp(log);
-    out.error = "cc failed (exit " + std::to_string(rc) + ")";
+    out.error = "cc failed (" + native_describe_wait_status(rc) + ")";
     if (!diag.empty()) out.error += ": " + diag.substr(0, 512);
   } else {
     out.so_bytes = slurp(so);
@@ -284,6 +307,18 @@ std::string native_kernel_key(const std::string& c_source) {
 }
 
 int64_t native_cc_invocations() { return cc_invocation_counter().load(); }
+
+// The raw std::system() value is a wait(2) status, not an exit code: a
+// compiler exiting 1 used to be reported as "exit 256", and a
+// signal-killed cc was indistinguishable from a failing one.
+std::string native_describe_wait_status(int status) {
+  if (status == -1) return "could not spawn shell";
+  if (WIFEXITED(status))
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "wait status " + std::to_string(status);
+}
 
 bool native_object_in_use(const std::filesystem::path& path) {
   std::lock_guard lock(state_mutex());

@@ -111,6 +111,12 @@ class NativeModule {
 /// and benches assert this does not move on a hit.
 [[nodiscard]] int64_t native_cc_invocations();
 
+/// Human-readable decode of a std::system()/wait(2) status: "exit N",
+/// "killed by signal N", or "could not spawn shell" for -1. The native
+/// tier's cc failures are reported through this (a compiler exiting 1
+/// used to be surfaced as the raw wait status 256).
+[[nodiscard]] std::string native_describe_wait_status(int status);
+
 /// True when `path` backs a currently loaded NativeModule. ArtifactCache
 /// eviction skips such objects.
 [[nodiscard]] bool native_object_in_use(const std::filesystem::path& path);

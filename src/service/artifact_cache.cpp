@@ -182,6 +182,40 @@ std::optional<std::string> ArtifactCache::load_raw(const std::string& key) {
   return read_validated(key);
 }
 
+bool ArtifactCache::contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::is_regular_file(path_for(key), ec) && !ec;
+}
+
+size_t ArtifactCache::prune_older_than(std::chrono::seconds ttl) {
+  fs::file_time_type cutoff = fs::file_time_type::clock::now() - ttl;
+  size_t pruned = 0;
+  uintmax_t freed = 0;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(options_.dir, ec)) {
+    fs::path ext = item.path().extension();
+    if (ext != ".art" && ext != ".so") continue;
+    std::error_code item_ec;
+    fs::file_time_type mtime = item.last_write_time(item_ec);
+    if (item_ec || mtime >= cutoff) continue;
+    // Same pinned-.so rule as LRU eviction: never unlink machine code
+    // a live NativeModule still has mapped, no matter how old.
+    if (ext == ".so" && native_object_in_use(item.path())) continue;
+    uintmax_t size = item.file_size(item_ec);
+    if (item_ec) size = 0;
+    std::error_code remove_ec;
+    if (fs::remove(item.path(), remove_ec)) {
+      ++pruned;
+      freed += size;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.ttl_pruned += pruned;
+  if (dir_bytes_ >= 0)
+    dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(freed));
+  return pruned;
+}
+
 bool ArtifactCache::store(const std::string& key,
                           const UnitArtifact& artifact) {
   std::error_code ec;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <optional>
@@ -64,6 +65,9 @@ struct ArtifactCacheStats {
   size_t native_hits = 0;
   size_t native_misses = 0;
   size_t native_stores = 0;
+  /// Entries removed by prune_older_than (the daemon's TTL janitor),
+  /// counted separately from LRU evictions.
+  size_t ttl_pruned = 0;
 };
 
 /// A content-addressed on-disk artifact cache. Keys are
@@ -106,9 +110,26 @@ class ArtifactCache : public NativeObjectStore {
   /// and never served.
   [[nodiscard]] std::optional<std::string> load_raw(const std::string& key);
 
+  /// Existence probe: true when an artifact file is present under
+  /// `key`. No validation, no LRU refresh, no hit/miss accounting --
+  /// the daemon's reactor uses this to decide whether a request can be
+  /// served inline from the cache or must be queued for compilation,
+  /// and only the actual load() / load_raw() counts. A probe that says
+  /// true can still miss at load time (eviction race, corruption); the
+  /// caller must handle that.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
   /// Store `artifact` under `key`. Returns false when the directory or
   /// file cannot be written (the caller keeps its in-memory copy).
   bool store(const std::string& key, const UnitArtifact& artifact);
+
+  /// Remove every .art / .so entry whose mtime is older than now - ttl.
+  /// Because every load refreshes the timestamp, this is an idle-time
+  /// TTL: entries served within the window survive. Shared objects
+  /// still dlopen-ed by a live NativeModule are spared regardless of
+  /// age (same pinned-.so rule as LRU eviction). Returns the number of
+  /// files removed; the daemon's janitor thread calls this on a timer.
+  size_t prune_older_than(std::chrono::seconds ttl);
 
   /// Canonical serialisation of every CompileOptions field that can
   /// change compile output; part of the key.

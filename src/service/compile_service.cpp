@@ -187,11 +187,48 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
     if (unit.spilled) ++response.spilled;
   response.wall_ms = ms_since(start);
 
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.units += request.units.size();
+    stats_.compiled += response.cache_misses;
+    stats_.cache_hits += response.cache_hits;
+    stats_.cache_misses += response.cache_misses;
+    stats_.spilled += response.spilled;
+  }
+  return response;
+}
+
+std::optional<ServiceResponse> CompileService::serve_cached(
+    const ServiceRequest& request) {
+  if (cache_ == nullptr || request.units.empty()) return std::nullopt;
+  Clock::time_point start = Clock::now();
+
+  ServiceResponse response;
+  response.jobs = pool_.size();
+  response.units.resize(request.units.size());
+  for (size_t i = 0; i < request.units.size(); ++i) {
+    const BatchInput& input = request.units[i];
+    ServiceUnit& unit = response.units[i];
+    Clock::time_point probe = Clock::now();
+    unit.name = input.name;
+    unit.key = cache_->key(input, request.options);
+    // Existence probe only -- the artifact stays on disk until the
+    // caller streams it out with artifact_bytes(). One miss and the
+    // whole request goes to the compile queue instead.
+    if (!cache_->contains(unit.key)) return std::nullopt;
+    unit.cache_hit = true;
+    unit.spilled = true;
+    unit.milliseconds = ms_since(probe);
+  }
+  response.cache_hits = request.units.size();
+  response.spilled = request.units.size();
+  response.wall_ms = ms_since(start);
+
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   ++stats_.requests;
   stats_.units += request.units.size();
-  stats_.compiled += response.cache_misses;
   stats_.cache_hits += response.cache_hits;
-  stats_.cache_misses += response.cache_misses;
   stats_.spilled += response.spilled;
   return response;
 }
@@ -262,7 +299,7 @@ std::string service_report_json(const std::vector<ServiceReportRow>& rows,
 }
 
 ServiceStats CompileService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
 }
 

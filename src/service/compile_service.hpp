@@ -97,6 +97,18 @@ class CompileService {
   /// Compile (or fetch) every unit of `request`.
   [[nodiscard]] ServiceResponse compile(const ServiceRequest& request);
 
+  /// Serve `request` purely from the artifact cache, without touching
+  /// the compile pipeline or its lock: probe every unit's key with
+  /// ArtifactCache::contains() and answer only when every unit is
+  /// present (nullopt otherwise -- the caller queues the request for
+  /// compile()). The returned units are marked spilled: fetch bytes
+  /// per unit with artifact_bytes(), which is when the cache counts
+  /// the hit. Never blocks behind an in-flight compile, so the
+  /// daemon's reactor can call it inline; `ok`/`module_name` are left
+  /// unset (the artifact is not decoded here).
+  [[nodiscard]] std::optional<ServiceResponse> serve_cached(
+      const ServiceRequest& request);
+
   /// The artifact of `unit`, reloading spilled ones from the cache
   /// directory. nullopt only when a spilled artifact was evicted
   /// under us (configure spill_after together with an adequate
@@ -121,6 +133,9 @@ class CompileService {
   [[nodiscard]] NativeObjectStore* native_store() const {
     return cache_.get();
   }
+  /// The artifact cache itself (nullptr when caching is disabled); the
+  /// daemon's janitor prunes through it and the stats endpoint reads it.
+  [[nodiscard]] ArtifactCache* artifact_cache() const { return cache_.get(); }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
   /// One-line session summary (daemon logs, psc --verbose).
@@ -136,7 +151,12 @@ class CompileService {
   std::map<std::string, std::unique_ptr<BatchDriver>> drivers_;
   std::unique_ptr<ArtifactCache> cache_;
   ServiceStats stats_;
+  /// Serialises compile() (BatchDriver is single-caller).
   mutable std::mutex mutex_;
+  /// Guards stats_ alone, so stats() and serve_cached() answer
+  /// instantly while a long compile holds mutex_. Lock order:
+  /// mutex_ before stats_mutex_, never the reverse.
+  mutable std::mutex stats_mutex_;
 };
 
 /// Build the cacheable artifact bundle from one batch unit result

@@ -1,20 +1,31 @@
 #include "service/daemon.hpp"
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/file.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 namespace ps {
 
 namespace {
+
+/// Stop encoding further stream units once this many unwritten bytes
+/// sit in a connection's write buffer; POLLOUT drains it and the pump
+/// resumes. This is what bounds a streamed reply's daemon-side memory
+/// to roughly one unit regardless of batch size.
+constexpr size_t kWriteHighWater = 256 * 1024;
+constexpr size_t kReadChunk = 64 * 1024;
 
 /// Fill a sockaddr_un for `path`; false when the path does not fit
 /// (sun_path is ~108 bytes).
@@ -39,6 +50,30 @@ bool socket_is_live(const std::string& path) {
   return live;
 }
 
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Split "HOST:PORT" at the last colon (so a numeric IPv6 host keeps
+/// its own colons).
+bool split_host_port(const std::string& spec, std::string& host,
+                     std::string& port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    return false;
+  host = spec.substr(0, colon);
+  port = spec.substr(colon + 1);
+  return true;
+}
+
+uint32_t read_le32(const char* bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
 }  // namespace
 
 std::string default_daemon_socket() {
@@ -56,29 +91,52 @@ Daemon::Daemon(DaemonOptions options)
 
 Daemon::~Daemon() {
   request_stop();
+  // serve() normally closed everything; this covers start()-without-
+  // serve() and failed starts.
+  for (auto& [id, conn] : connections_) ::close(conn.fd);
+  connections_.clear();
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     ::unlink(socket_path_.c_str());
   }
-  std::lock_guard<std::mutex> lock(clients_mutex_);
-  for (ClientThread& client : clients_)
-    if (client.thread.joinable()) client.thread.join();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
 }
 
-void Daemon::reap_finished_clients() {
-  std::lock_guard<std::mutex> lock(clients_mutex_);
-  for (size_t i = 0; i < clients_.size();) {
-    if (clients_[i].done->load()) {
-      clients_[i].thread.join();
-      clients_[i] = std::move(clients_.back());
-      clients_.pop_back();
-    } else {
-      ++i;
-    }
+void Daemon::request_stop() {
+  stop_.store(true);
+  // write() is async-signal-safe, which is why the wakeup is a
+  // self-pipe and not a condition variable: the CLI calls this from
+  // its SIGINT/SIGTERM handler. The pipe is non-blocking; if it is
+  // full the reactor has unread wakeups pending anyway.
+  if (wake_write_fd_ >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Daemon::wake() {
+  if (wake_write_fd_ >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
   }
 }
 
 bool Daemon::start() {
+  if (wake_read_fd_ < 0) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      error_ = std::string("pipe: ") + std::strerror(errno);
+      return false;
+    }
+    wake_read_fd_ = fds[0];
+    wake_write_fd_ = fds[1];
+    set_nonblocking(wake_read_fd_);
+    set_nonblocking(wake_write_fd_);
+    ::fcntl(wake_read_fd_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wake_write_fd_, F_SETFD, FD_CLOEXEC);
+  }
   sockaddr_un addr;
   if (!make_address(socket_path_, addr)) {
     error_ = "socket path too long: " + socket_path_;
@@ -91,7 +149,11 @@ bool Daemon::start() {
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    if (errno == EADDRINUSE) {
+    // Capture errno before any other call can clobber it (the old code
+    // read it only after the liveness probe's socket/connect/close
+    // sequence, reporting whatever those left behind).
+    int bind_errno = errno;
+    if (bind_errno == EADDRINUSE) {
       // Either a live daemon (refuse: two daemons on one socket would
       // steal each other's clients) or a stale file from a crash
       // (reclaim it). The probe-unlink-rebind sequence runs under an
@@ -101,31 +163,41 @@ bool Daemon::start() {
       std::string lock_path = socket_path_ + ".lock";
       int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0600);
       if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+      // Probe once and reuse the answer for the error message below:
+      // re-probing after a failed reclaim is racy (a daemon exiting
+      // between two probes used to yield "bind:" with a bogus errno).
+      const bool live = socket_is_live(socket_path_);
       bool reclaimed = false;
-      if (!socket_is_live(socket_path_)) {
+      if (!live) {
         ::unlink(socket_path_.c_str());
         reclaimed = ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                            sizeof(addr)) == 0;
+        if (!reclaimed) bind_errno = errno;  // the rebind's own errno
       }
-      int bind_errno = errno;
       if (lock_fd >= 0) ::close(lock_fd);  // releases the flock
       if (!reclaimed) {
-        error_ = socket_is_live(socket_path_)
-                     ? "a daemon is already listening on " + socket_path_
-                     : std::string("bind: ") + std::strerror(bind_errno);
+        error_ = live ? "a daemon is already listening on " + socket_path_
+                      : std::string("bind: ") + std::strerror(bind_errno);
         ::close(listen_fd_);
         listen_fd_ = -1;
         return false;
       }
     } else {
-      error_ = std::string("bind: ") + std::strerror(errno);
+      error_ = std::string("bind: ") + std::strerror(bind_errno);
       ::close(listen_fd_);
       listen_fd_ = -1;
       return false;
     }
   }
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, 64) != 0) {
     error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    return false;
+  }
+  set_nonblocking(listen_fd_);
+  if (!options_.listen.empty() && !start_tcp()) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(socket_path_.c_str());
@@ -134,148 +206,630 @@ bool Daemon::start() {
   return true;
 }
 
+bool Daemon::start_tcp() {
+  std::string host;
+  std::string port;
+  if (!split_host_port(options_.listen, host, port)) {
+    error_ = "bad --listen address (want HOST:PORT): " + options_.listen;
+    return false;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    error_ = std::string("getaddrinfo: ") + ::gai_strerror(rc);
+    return false;
+  }
+  int fd = -1;
+  std::string bind_error = "no usable address for " + options_.listen;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      bind_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0)
+      break;
+    bind_error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    error_ = bind_error;
+    return false;
+  }
+  set_nonblocking(fd);
+  // Read back the bound port so --listen=HOST:0 (tests, ephemeral
+  // ports) is usable: tcp_port() reports where we actually listen.
+  sockaddr_storage bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    if (bound.ss_family == AF_INET)
+      tcp_port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    else if (bound.ss_family == AF_INET6)
+      tcp_port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+  }
+  tcp_listen_fd_ = fd;
+  return true;
+}
+
 void Daemon::serve() {
   if (listen_fd_ < 0) return;
-  while (!stop_.load()) {
-    // Poll with a short timeout so request_stop() (and the Shutdown
-    // handler, which sets the same flag) is noticed promptly without
-    // busy-waiting in accept().
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    // Socket timeouts so a client that stalls mid-frame (crash between
-    // the length header and the payload, or never draining a reply)
-    // cannot pin its thread in read_all/write_all forever -- the drain
-    // join at shutdown must always complete. Between frames the poll
-    // loop handles idleness; these only fire mid-frame.
-    timeval timeout{10, 0};
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    // Join whatever finished before adding the next thread, so the
-    // live set tracks concurrent clients, not lifetime clients.
-    reap_finished_clients();
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread([this, client, done] {
-      handle_client(client);
-      done->store(true);
-    });
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    clients_.push_back({std::move(thread), std::move(done)});
-  }
-  // Drain: join every client before tearing the socket down, so a
-  // shutdown acknowledges in-flight compiles instead of severing them.
-  std::vector<ClientThread> clients;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  if (options_.cache_ttl.count() > 0 && service_.artifact_cache() != nullptr)
+    janitor_ = std::thread([this] { janitor_main(); });
+
+  serve_loop();
+
+  // The loop only exits with the compile queue drained, so the
+  // dispatcher is idle; tell it to stop waiting and join.
   {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    clients.swap(clients_);
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    dispatcher_stop_ = true;
   }
-  for (ClientThread& client : clients)
-    if (client.thread.joinable()) client.thread.join();
+  jobs_cv_.notify_all();
+  dispatcher_.join();
+  if (janitor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(janitor_mutex_);
+      janitor_stop_ = true;
+    }
+    janitor_cv_.notify_all();
+    janitor_.join();
+  }
+
+  for (auto& [id, conn] : connections_) ::close(conn.fd);
+  connections_.clear();
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(socket_path_.c_str());
 }
 
-void Daemon::handle_client(int fd) {
-  while (!stop_.load()) {
-    // Wait for readability with a timeout instead of blocking in
-    // read_frame: an idle connection must notice shutdown too, or it
-    // would pin serve()'s final join forever.
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+void Daemon::serve_loop() {
+  using Clock = std::chrono::steady_clock;
+  bool accepting = true;
+  std::optional<Clock::time_point> flush_deadline;
+  while (true) {
+    const bool stopping = stop_.load();
+    if (stopping) accepting = false;
+    drain_done_jobs();
+    if (stopping) {
+      // Close idle connections; the ones still owed bytes (an unflushed
+      // ShutdownAck, a mid-stream reply, a queued compile) drain first
+      // -- a shutdown acknowledges in-flight work instead of severing
+      // it, exactly like the old per-client-thread join did.
+      std::vector<uint64_t> idle;
+      for (const auto& [id, conn] : connections_)
+        if (!conn.busy && conn.stream == nullptr &&
+            conn.out_pos == conn.out.size())
+          idle.push_back(id);
+      for (uint64_t id : idle) close_connection(id);
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        drained = queue_.empty() && in_flight_ == 0 && done_.empty();
+      }
+      if (drained && connections_.empty()) return;
+      if (drained) {
+        // Only unflushed replies remain. Give their clients a bounded
+        // grace to drain; a stalled reader must not pin shutdown.
+        if (!flush_deadline)
+          flush_deadline = Clock::now() + std::chrono::seconds(10);
+        else if (Clock::now() > *flush_deadline)
+          return;
+      } else {
+        flush_deadline.reset();  // new work finished; re-arm later
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<uint64_t> ids;  // parallel; 0 = listener / wake pipe
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    ids.push_back(0);
+    if (accepting) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      ids.push_back(0);
+      if (tcp_listen_fd_ >= 0) {
+        pfds.push_back({tcp_listen_fd_, POLLIN, 0});
+        ids.push_back(0);
+      }
+    }
+    for (const auto& [id, conn] : connections_) {
+      short events = 0;
+      // No POLLIN while a request is in flight: frames queue up in the
+      // kernel buffer and the client blocks in write() -- that is the
+      // per-connection backpressure.
+      if (!conn.busy && conn.stream == nullptr && !conn.close_after_write &&
+          !stopping)
+        events |= POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      ids.push_back(id);
+    }
+
+    int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                       stopping ? 100 : -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      break;
+      return;
     }
-    if (ready == 0) continue;
-    std::optional<std::string> payload = read_frame(fd);
-    if (!payload) break;  // EOF or a torn frame: the client is gone
-    if (!handle_message(fd, *payload)) break;
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      if (pfds[i].fd == wake_read_fd_) {
+        char buf[64];
+        while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (pfds[i].fd == listen_fd_ && ids[i] == 0) {
+        accept_ready(listen_fd_, /*tcp=*/false);
+        continue;
+      }
+      if (pfds[i].fd == tcp_listen_fd_ && ids[i] == 0) {
+        accept_ready(tcp_listen_fd_, /*tcp=*/true);
+        continue;
+      }
+      uint64_t id = ids[i];
+      if (connections_.find(id) == connections_.end()) continue;
+      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        close_connection(id);
+        continue;
+      }
+      if (pfds[i].revents & POLLIN) read_ready(id);
+      if (connections_.find(id) == connections_.end()) continue;
+      if (pfds[i].revents & POLLHUP) {
+        // Stream sockets report POLLHUP only on a full peer close:
+        // nobody is left to read a reply, so drop the connection even
+        // mid-compile (the finished job is discarded in
+        // drain_done_jobs). Without this a dead busy client would
+        // spin the poll loop, since POLLHUP ignores the event mask.
+        close_connection(id);
+        continue;
+      }
+      if (pfds[i].revents & POLLOUT) write_ready(id);
+    }
   }
-  ::close(fd);
 }
 
-bool Daemon::handle_message(int fd, const std::string& payload) {
+void Daemon::accept_ready(int listen_fd, bool tcp) {
+  while (true) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN: drained; others: retry on next poll
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    if (tcp) {
+      // The protocol is strictly request/reply; never batch frames.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    Connection conn;
+    conn.fd = fd;
+    connections_.emplace(next_conn_id_++, std::move(conn));
+    ++stats_.connections_accepted;
+  }
+}
+
+void Daemon::close_connection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::close(it->second.fd);
+  connections_.erase(it);
+}
+
+void Daemon::append_frame(Connection& conn, std::string_view payload) {
+  char header[4];
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<char>((length >> (8 * i)) & 0xff);
+  conn.out.append(header, sizeof(header));
+  conn.out.append(payload.data(), payload.size());
+}
+
+void Daemon::read_ready(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  char buf[kReadChunk];
+  while (true) {
+    ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // EOF: the client is gone
+      close_connection(conn_id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(conn_id);
+    return;
+  }
+  parse_frames(conn_id);
+}
+
+void Daemon::parse_frames(uint64_t conn_id) {
+  while (true) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    // One request in flight per connection; and don't parse more while
+    // a large reply is still flushing (bounded buffering both ways).
+    if (conn.busy || conn.stream != nullptr || conn.close_after_write)
+      return;
+    if (conn.out.size() - conn.out_pos >= kWriteHighWater) return;
+    if (conn.in.size() < 4) return;
+    uint32_t length = read_le32(conn.in.data());
+    if (length > kMaxFrameBytes) {
+      append_frame(conn, encode_simple(MsgKind::Error, "oversized frame"));
+      conn.close_after_write = true;
+      return;
+    }
+    if (conn.in.size() < 4 + static_cast<size_t>(length)) return;
+    std::string payload = conn.in.substr(4, length);
+    conn.in.erase(0, 4 + static_cast<size_t>(length));
+    handle_message(conn_id, payload);
+  }
+}
+
+void Daemon::handle_message(uint64_t conn_id, std::string_view payload) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
   try {
     switch (peek_kind(payload)) {
       case MsgKind::Ping:
-        return write_frame(fd, encode_simple(MsgKind::Pong));
+        append_frame(conn, encode_simple(MsgKind::Pong));
+        return;
       case MsgKind::Shutdown:
-        // Acknowledge first, then stop the accept loop; other clients'
-        // in-flight requests still drain in serve().
-        write_frame(fd, encode_simple(MsgKind::ShutdownAck));
-        stop_.store(true);
-        return false;
-      case MsgKind::CompileRequest: {
-        ServiceRequest request = decode_compile_request(payload);
-        // A client built from a different compiler version must not be
-        // served: this daemon's pipeline would produce that build's
-        // output, not the client's, silently breaking the byte-identity
-        // contract. The client falls back to in-process compilation.
-        if (request.client_version != service_.options().version) {
-          return write_frame(
-              fd, encode_simple(MsgKind::Error,
-                                "version mismatch: daemon is " +
-                                    service_.options().version +
-                                    ", client is " + request.client_version));
-        }
-        ServiceResponse response = service_.compile(request);
-        std::vector<RawUnitReply> units;
-        units.reserve(response.units.size());
-        for (const ServiceUnit& unit : response.units) {
-          RawUnitReply raw;
-          raw.name = unit.name;
-          raw.cache_hit = unit.cache_hit;
-          raw.milliseconds = unit.milliseconds;
-          // The wire always carries the full artifact, as raw
-          // serialised bytes: in-memory results encode once, and a
-          // spilled cache hit splices the validated cache-file payload
-          // straight into the frame -- the old path decoded it from
-          // disk here only to re-encode it below.
-          std::optional<std::string> bytes = service_.artifact_bytes(unit);
-          if (!bytes) {
-            return write_frame(
-                fd, encode_simple(MsgKind::Error,
-                                  "artifact for '" + unit.name +
-                                      "' evicted before reply"));
-          }
-          raw.artifact_bytes = std::move(*bytes);
-          units.push_back(std::move(raw));
-        }
-        return write_frame(
-            fd, encode_compile_reply_raw(response.cache_hits,
-                                         response.cache_misses, response.jobs,
-                                         response.wall_ms, units));
-      }
+        // Ack first, then stop: the reactor drains queued compiles and
+        // unflushed replies before exiting, so other clients' in-flight
+        // requests still complete.
+        append_frame(conn, encode_simple(MsgKind::ShutdownAck));
+        conn.close_after_write = true;
+        request_stop();
+        return;
+      case MsgKind::StatsRequest:
+        append_frame(conn,
+                     encode_simple(MsgKind::StatsReply,
+                                   render_stats(decode_stats_request(payload))));
+        return;
+      case MsgKind::CompileRequest:
+        handle_compile(conn_id, payload, /*v2=*/false);
+        return;
+      case MsgKind::CompileRequestV2:
+        handle_compile(conn_id, payload, /*v2=*/true);
+        return;
       default:
-        return write_frame(
-            fd, encode_simple(MsgKind::Error, "unexpected message kind"));
+        append_frame(conn,
+                     encode_simple(MsgKind::Error, "unexpected message kind"));
+        return;
     }
   } catch (const WireError& error) {
-    // Malformed frame: answer with the error and drop this client;
-    // everyone else is unaffected.
-    write_frame(fd, encode_simple(MsgKind::Error, error.what()));
-    return false;
+    // Malformed frame: answer with the error, flush, and drop this
+    // client; everyone else is unaffected.
+    append_frame(conn, encode_simple(MsgKind::Error, error.what()));
+    conn.close_after_write = true;
   } catch (const std::exception& error) {
-    write_frame(fd, encode_simple(MsgKind::Error,
-                                  std::string("internal: ") + error.what()));
-    return true;  // the service survived; keep the connection
+    append_frame(conn, encode_simple(MsgKind::Error,
+                                     std::string("internal: ") + error.what()));
   }
+}
+
+void Daemon::handle_compile(uint64_t conn_id, std::string_view payload,
+                            bool v2) {
+  Connection& conn = connections_.at(conn_id);
+  ++stats_.compile_requests;
+  ServiceRequest request = decode_compile_request(payload);
+  // A client built from a different compiler version must not be
+  // served: this daemon's pipeline would produce that build's output,
+  // not the client's, silently breaking the byte-identity contract.
+  // The client falls back to in-process compilation.
+  if (request.client_version != service_.options().version) {
+    append_frame(conn,
+                 encode_simple(MsgKind::Error,
+                               "version mismatch: daemon is " +
+                                   service_.options().version + ", client is " +
+                                   request.client_version));
+    return;
+  }
+  // Cache-aware admission: a request whose every unit is already on
+  // disk is answered right here on the reactor thread -- serve_cached
+  // does pure existence probes and never blocks behind an in-flight
+  // compile, and the bytes stream straight off the cache files as the
+  // reply drains. Only actual compile work competes for the queue.
+  if (std::optional<ServiceResponse> cached = service_.serve_cached(request)) {
+    ++stats_.served_inline;
+    if (v2)
+      begin_stream(conn_id, std::move(*cached));
+    else
+      reply_monolithic(conn_id, *cached);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  size_t depth = queue_.size() + in_flight_;
+  if (depth >= options_.max_queue) {
+    ++stats_.busy_rejections;
+    append_frame(conn, encode_simple(MsgKind::Busy,
+                                     "compile queue full (" +
+                                         std::to_string(depth) +
+                                         " pending); compile in-process"));
+    return;
+  }
+  ++stats_.queued;
+  conn.busy = true;
+  Job job;
+  job.conn_id = conn_id;
+  job.request = std::move(request);
+  job.v2 = v2;
+  queue_.push_back(std::move(job));
+  jobs_cv_.notify_one();
+}
+
+void Daemon::begin_stream(uint64_t conn_id, ServiceResponse response) {
+  Connection& conn = connections_.at(conn_id);
+  conn.busy = true;
+  ReplyBegin begin;
+  begin.unit_count = response.units.size();
+  begin.jobs = response.jobs;
+  append_frame(conn, encode_reply_begin(begin));
+  conn.stream = std::make_unique<Stream>();
+  conn.stream->response = std::move(response);
+  pump_stream(conn_id);
+}
+
+void Daemon::pump_stream(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  while (conn.stream != nullptr &&
+         conn.out.size() - conn.out_pos < kWriteHighWater) {
+    Stream& stream = *conn.stream;
+    if (stream.next_unit < stream.response.units.size()) {
+      const ServiceUnit& unit = stream.response.units[stream.next_unit];
+      // The wire always carries the full artifact, as raw serialised
+      // bytes: in-memory results encode once, and a spilled cache hit
+      // splices the validated cache-file payload straight into the
+      // frame (no decode/re-encode round trip).
+      std::optional<std::string> bytes = service_.artifact_bytes(unit);
+      if (!bytes) {
+        // Evicted between the probe and the stream: tell the client
+        // (it falls back to compiling in-process) and end the stream.
+        append_frame(conn, encode_simple(MsgKind::Error,
+                                         "artifact for '" + unit.name +
+                                             "' evicted before reply"));
+        conn.stream.reset();
+        conn.busy = false;
+        conn.close_after_write = true;
+        return;
+      }
+      RawUnitReply raw;
+      raw.name = unit.name;
+      raw.cache_hit = unit.cache_hit;
+      raw.milliseconds = unit.milliseconds;
+      raw.artifact_bytes = std::move(*bytes);
+      append_frame(conn, encode_unit_reply_raw(raw));
+      ++stream.next_unit;
+      continue;
+    }
+    ReplyEnd end;
+    end.cache_hits = stream.response.cache_hits;
+    end.cache_misses = stream.response.cache_misses;
+    end.wall_ms = stream.response.wall_ms;
+    append_frame(conn, encode_reply_end(end));
+    conn.stream.reset();
+    conn.busy = false;
+  }
+}
+
+void Daemon::reply_monolithic(uint64_t conn_id,
+                              const ServiceResponse& response) {
+  Connection& conn = connections_.at(conn_id);
+  conn.busy = false;
+  std::vector<RawUnitReply> units;
+  units.reserve(response.units.size());
+  for (const ServiceUnit& unit : response.units) {
+    std::optional<std::string> bytes = service_.artifact_bytes(unit);
+    if (!bytes) {
+      append_frame(conn, encode_simple(MsgKind::Error, "artifact for '" +
+                                                           unit.name +
+                                                           "' evicted before "
+                                                           "reply"));
+      conn.close_after_write = true;
+      return;
+    }
+    RawUnitReply raw;
+    raw.name = unit.name;
+    raw.cache_hit = unit.cache_hit;
+    raw.milliseconds = unit.milliseconds;
+    raw.artifact_bytes = std::move(*bytes);
+    units.push_back(std::move(raw));
+  }
+  append_frame(conn, encode_compile_reply_raw(response.cache_hits,
+                                              response.cache_misses,
+                                              response.jobs, response.wall_ms,
+                                              units));
+}
+
+void Daemon::write_ready(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  while (conn.out_pos < conn.out.size()) {
+    // MSG_NOSIGNAL: a client dying mid-reply must be an EPIPE for this
+    // connection, not a SIGPIPE for the whole daemon.
+    ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                       conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(conn_id);
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > kWriteHighWater) {
+    // Reclaim the flushed prefix so a long stream's buffer stays
+    // bounded instead of accumulating every frame ever written.
+    conn.out.erase(0, conn.out_pos);
+    conn.out_pos = 0;
+  }
+  if (conn.stream != nullptr) pump_stream(conn_id);
+  auto again = connections_.find(conn_id);
+  if (again == connections_.end()) return;
+  Connection& current = again->second;
+  if (current.out_pos == current.out.size() && current.close_after_write) {
+    close_connection(conn_id);
+    return;
+  }
+  if (!current.busy && current.stream == nullptr) parse_frames(conn_id);
+}
+
+void Daemon::drain_done_jobs() {
+  std::vector<DoneJob> done;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    done.swap(done_);
+  }
+  for (DoneJob& job : done) {
+    auto it = connections_.find(job.conn_id);
+    if (it == connections_.end()) continue;  // client left mid-compile
+    Connection& conn = it->second;
+    if (!job.error.empty()) {
+      conn.busy = false;
+      append_frame(conn, encode_simple(MsgKind::Error,
+                                       "internal: " + job.error));
+      continue;
+    }
+    if (job.v2)
+      begin_stream(job.conn_id, std::move(job.response));
+    else
+      reply_monolithic(job.conn_id, job.response);
+  }
+}
+
+size_t Daemon::queue_depth() {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void Daemon::dispatcher_main() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock,
+                    [this] { return dispatcher_stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only stops once drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    DoneJob done;
+    done.conn_id = job.conn_id;
+    done.v2 = job.v2;
+    try {
+      done.response = service_.compile(job.request);
+    } catch (const std::exception& error) {
+      done.error = error.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      --in_flight_;
+      done_.push_back(std::move(done));
+    }
+    wake();
+  }
+}
+
+void Daemon::janitor_main() {
+  ArtifactCache* cache = service_.artifact_cache();
+  const std::chrono::seconds ttl = options_.cache_ttl;
+  // Wake about twice per TTL (clamped): often enough that an expired
+  // entry lives at most ~1.5 TTLs, rare enough to cost nothing.
+  auto period =
+      std::chrono::duration_cast<std::chrono::milliseconds>(ttl) / 2;
+  period = std::clamp(period, std::chrono::milliseconds(500),
+                      std::chrono::milliseconds(30000));
+  std::unique_lock<std::mutex> lock(janitor_mutex_);
+  while (!janitor_stop_) {
+    janitor_cv_.wait_for(lock, period, [this] { return janitor_stop_; });
+    if (janitor_stop_) return;
+    lock.unlock();
+    cache->prune_older_than(ttl);
+    lock.lock();
+  }
+}
+
+std::string Daemon::render_stats(bool json) {
+  DaemonStats d = stats_;
+  d.connections_open = connections_.size();
+  d.queue_depth = queue_depth();
+  ServiceStats s = service_.stats();
+  ArtifactCacheStats c = service_.cache_stats();
+  std::ostringstream os;
+  if (json) {
+    os << "{\n"
+       << "  \"daemon\": {\"connections_accepted\": " << d.connections_accepted
+       << ", \"connections_open\": " << d.connections_open
+       << ", \"compile_requests\": " << d.compile_requests
+       << ", \"served_inline\": " << d.served_inline
+       << ", \"queued\": " << d.queued
+       << ", \"busy_rejections\": " << d.busy_rejections
+       << ", \"queue_depth\": " << d.queue_depth << "},\n"
+       << "  \"service\": {\"requests\": " << s.requests
+       << ", \"units\": " << s.units << ", \"compiled\": " << s.compiled
+       << ", \"cache_hits\": " << s.cache_hits
+       << ", \"cache_misses\": " << s.cache_misses
+       << ", \"spilled\": " << s.spilled << "},\n"
+       << "  \"artifact_cache\": {\"hits\": " << c.hits
+       << ", \"misses\": " << c.misses << ", \"stores\": " << c.stores
+       << ", \"evictions\": " << c.evictions << ", \"corrupt\": " << c.corrupt
+       << ", \"ttl_pruned\": " << c.ttl_pruned
+       << ", \"native_hits\": " << c.native_hits
+       << ", \"native_misses\": " << c.native_misses
+       << ", \"native_stores\": " << c.native_stores << "}\n"
+       << "}\n";
+    return os.str();
+  }
+  os << "daemon: " << d.connections_accepted << " connections accepted, "
+     << d.connections_open << " open; " << d.compile_requests
+     << " compile requests (" << d.served_inline << " served inline, "
+     << d.queued << " queued, " << d.busy_rejections
+     << " busy-rejected); queue depth " << d.queue_depth << "\n"
+     << "service: " << s.requests << " requests, " << s.units << " units ("
+     << s.cache_hits << " cache hits, " << s.compiled << " compiled, "
+     << s.spilled << " spilled)\n"
+     << "artifact cache: " << c.hits << " hits, " << c.misses << " misses, "
+     << c.stores << " stores, " << c.evictions << " evicted, " << c.corrupt
+     << " corrupt, " << c.ttl_pruned << " ttl-pruned\n"
+     << "native objects: " << c.native_hits << " hits, " << c.native_misses
+     << " misses, " << c.native_stores << " stores\n";
+  return os.str();
 }
 
 // -- client -----------------------------------------------------------------
 
 bool DaemonClient::connect(const std::string& socket_path) {
   close();
+  busy_ = false;
   sockaddr_un addr;
   if (!make_address(socket_path, addr)) {
     error_ = "socket path too long: " + socket_path;
@@ -289,6 +843,48 @@ bool DaemonClient::connect(const std::string& socket_path) {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     error_ = std::string("connect: ") + std::strerror(errno);
     close();
+    return false;
+  }
+  return true;
+}
+
+bool DaemonClient::connect_tcp(const std::string& host_port) {
+  close();
+  busy_ = false;
+  std::string host;
+  std::string port;
+  if (!split_host_port(host_port, host, port)) {
+    error_ = "bad daemon address (want HOST:PORT): " + host_port;
+    return false;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    error_ = std::string("getaddrinfo: ") + ::gai_strerror(rc);
+    return false;
+  }
+  int connect_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      connect_errno = errno;
+      continue;
+    }
+    if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      break;
+    }
+    connect_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0) {
+    error_ = std::string("connect: ") + std::strerror(connect_errno);
     return false;
   }
   return true;
@@ -323,15 +919,60 @@ std::optional<std::string> DaemonClient::round_trip(
 
 std::optional<RemoteReply> DaemonClient::compile(
     const ServiceRequest& request) {
+  busy_ = false;
   std::optional<std::string> reply =
-      round_trip(encode_compile_request(request));
+      round_trip(encode_compile_request_v2(request));
   if (!reply) return std::nullopt;
   try {
-    if (peek_kind(*reply) == MsgKind::Error) {
-      error_ = "daemon error: " + decode_error(*reply);
+    switch (peek_kind(*reply)) {
+      case MsgKind::Error:
+        error_ = "daemon error: " + decode_error(*reply);
+        return std::nullopt;
+      case MsgKind::Busy:
+        // The daemon is healthy, just saturated -- the caller compiles
+        // in-process instead of waiting (never a hang).
+        busy_ = true;
+        error_ = "daemon busy: " + decode_text(*reply, MsgKind::Busy);
+        return std::nullopt;
+      case MsgKind::CompileReply:
+        // A pre-v2 daemon answering monolithically; still understood.
+        return decode_compile_reply(*reply);
+      case MsgKind::CompileReplyBegin:
+        break;
+      default:
+        error_ = "bad reply: unexpected message kind";
+        return std::nullopt;
+    }
+    // Streamed reply: one UnitReply frame per unit, then the trailer.
+    ReplyBegin begin = decode_reply_begin(*reply);
+    RemoteReply out;
+    out.jobs = begin.jobs;
+    out.units.reserve(begin.unit_count);
+    for (size_t i = 0; i < begin.unit_count; ++i) {
+      std::optional<std::string> frame = read_frame(fd_);
+      if (!frame) {
+        error_ = "connection lost mid-stream";
+        close();
+        return std::nullopt;
+      }
+      if (peek_kind(*frame) == MsgKind::Error) {
+        error_ = "daemon error: " + decode_error(*frame);
+        close();  // the daemon drops the connection after this too
+        return std::nullopt;
+      }
+      out.units.push_back(decode_unit_reply(*frame));
+    }
+    std::optional<std::string> trailer = read_frame(fd_);
+    if (!trailer) {
+      error_ = "connection lost before reply trailer";
+      close();
       return std::nullopt;
     }
-    return decode_compile_reply(*reply);
+    ReplyEnd end = decode_reply_end(*trailer);
+    out.cache_hits = end.cache_hits;
+    out.cache_misses = end.cache_misses;
+    out.wall_ms = end.wall_ms;
+    return out;
   } catch (const WireError& error) {
     error_ = std::string("bad reply: ") + error.what();
     return std::nullopt;
@@ -356,6 +997,21 @@ bool DaemonClient::shutdown() {
     return peek_kind(*reply) == MsgKind::ShutdownAck;
   } catch (const WireError&) {
     return false;
+  }
+}
+
+std::optional<std::string> DaemonClient::stats(bool json) {
+  std::optional<std::string> reply = round_trip(encode_stats_request(json));
+  if (!reply) return std::nullopt;
+  try {
+    if (peek_kind(*reply) == MsgKind::Error) {
+      error_ = "daemon error: " + decode_error(*reply);
+      return std::nullopt;
+    }
+    return decode_text(*reply, MsgKind::StatsReply);
+  } catch (const WireError& error) {
+    error_ = std::string("bad reply: ") + error.what();
+    return std::nullopt;
   }
 }
 

@@ -1,6 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -19,25 +25,70 @@ namespace ps {
 struct DaemonOptions {
   /// Unix-domain socket path; empty uses default_daemon_socket().
   std::string socket_path;
+  /// Optional TCP listener as "HOST:PORT" (psc --daemon --listen=...).
+  /// Port 0 binds an ephemeral port; read it back with tcp_port().
+  /// Empty disables TCP -- the unix socket always listens.
+  std::string listen;
+  /// Admission control: Busy-reject a compile request once this many
+  /// requests are queued or in flight (cache-complete requests are
+  /// served inline on the reactor and never count). 0 rejects every
+  /// request that would have to compile.
+  size_t max_queue = 16;
+  /// Janitor TTL: prune cache entries idle longer than this (their
+  /// mtime refreshes on every load, so this is time-since-last-use).
+  /// 0 disables the janitor thread.
+  std::chrono::seconds cache_ttl{0};
   ServiceOptions service;
+};
+
+/// Reactor-level counters, exported next to the service/cache stats by
+/// the Stats request (psc --daemon-stats).
+struct DaemonStats {
+  size_t connections_accepted = 0;
+  size_t connections_open = 0;
+  size_t compile_requests = 0;
+  /// Requests fully answerable from the artifact cache, served on the
+  /// reactor thread without touching the compile queue.
+  size_t served_inline = 0;
+  size_t queued = 0;  // requests dispatched to the compile queue
+  size_t busy_rejections = 0;
+  size_t queue_depth = 0;  // queued + in-flight right now
 };
 
 /// The warm compile daemon behind `psc --daemon`: one long-lived
 /// CompileService (worker pool, hyperplane/interner caches and the
-/// artifact cache all stay warm across invocations) served over a
-/// unix-domain socket with the length-prefixed framing protocol.
+/// artifact cache all stay warm across invocations) served by a single
+/// poll()-based event loop.
 ///
-/// Each accepted client runs on its own thread, so a client streaming
-/// a huge batch never blocks a neighbour's ping; compile requests
-/// themselves serialise inside CompileService, which is what keeps
-/// concurrent clients isolated (one client's units can never interleave
-/// into another's batch). A malformed frame gets an Error reply and
-/// closes only that client's connection; the daemon stays up.
+/// One reactor thread owns every connection: non-blocking sockets, a
+/// per-connection read buffer that frames are parsed out of and a
+/// write buffer drained on POLLOUT -- no thread per client, no wakeup
+/// polling (a self-pipe wakes the loop for stop requests and finished
+/// compiles). An optional TCP listener accepts remote clients next to
+/// the unix socket; both speak the same framing protocol.
+///
+/// Compile dispatch is cache-aware with admission control: a request
+/// whose every unit is already cached is answered inline on the
+/// reactor (CompileService::serve_cached -- it never blocks behind an
+/// in-flight compile), anything else goes to a bounded queue consumed
+/// by one dispatcher thread, and past max_queue the daemon answers
+/// Busy instead of queueing (the client falls back to in-process
+/// compilation; a saturated daemon never hangs its clients). One
+/// dispatcher is not a throughput limit: CompileService serialises
+/// compile() internally and fans each batch out on its worker pool.
+///
+/// Replies to protocol-v2 clients are streamed per unit
+/// (CompileReplyBegin / UnitReply* / CompileReplyEnd) with a bounded
+/// write high-water mark, so a spilled thousand-unit batch never holds
+/// more than about one unit's bytes in daemon memory; v1 clients keep
+/// getting the monolithic CompileReply.
 ///
 /// Lifecycle: start() binds and listens (refusing to double-bind a
 /// live daemon, reclaiming a stale socket file left by a crash);
-/// serve() accepts until a Shutdown message or request_stop(), then
-/// joins every client thread and removes the socket file.
+/// serve() runs the reactor until a Shutdown message or
+/// request_stop(), drains queued compiles and unflushed replies, then
+/// removes the socket file. A background janitor thread prunes
+/// cache entries older than cache_ttl, sparing pinned `.so`s.
 class Daemon {
  public:
   explicit Daemon(DaemonOptions options);
@@ -46,53 +97,125 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  /// Bind and listen on the socket. False when another daemon is live
-  /// on the path or the socket cannot be created -- see error().
+  /// Bind and listen on the unix socket (and the TCP address when
+  /// configured). False when another daemon is live on the path or a
+  /// socket cannot be created -- see error().
   [[nodiscard]] bool start();
 
-  /// Accept-and-serve until Shutdown or request_stop(). Blocks; run on
+  /// Run the reactor until Shutdown or request_stop(). Blocks; run on
   /// a dedicated thread when the caller needs to keep working.
   void serve();
 
-  /// Ask the accept loop to exit (signal handlers, tests). Safe from
-  /// any thread; serve() notices within its poll interval.
-  void request_stop() { stop_.store(true); }
+  /// Ask the reactor to stop. Async-signal-safe (an atomic store and a
+  /// self-pipe write), callable from any thread or a signal handler.
+  void request_stop();
 
   [[nodiscard]] const std::string& socket_path() const {
     return socket_path_;
   }
+  /// The bound TCP port (after start()); 0 when TCP is disabled.
+  [[nodiscard]] uint16_t tcp_port() const { return tcp_port_; }
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] CompileService& service() { return service_; }
 
- private:
-  void handle_client(int fd);
-  /// Serve one decoded message; returns false when the connection
-  /// should close (shutdown, EOF-provoking error).
-  bool handle_message(int fd, const std::string& payload);
+  /// The Stats reply body: daemon/service/cache counters as aligned
+  /// text or JSON.
+  [[nodiscard]] std::string render_stats(bool json);
 
-  /// One accepted connection: the serving thread plus a completion
-  /// flag so the accept loop can reap finished threads as it goes (a
-  /// long-lived daemon must not accumulate one joinable thread per
-  /// client it ever served).
-  struct ClientThread {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
+ private:
+  /// An in-progress streamed (or deferred monolithic) reply: units are
+  /// encoded into the write buffer one at a time as it drains, so
+  /// reply memory is bounded by the high-water mark plus one unit.
+  struct Stream {
+    ServiceResponse response;
+    size_t next_unit = 0;
+    bool v2 = true;
   };
-  void reap_finished_clients();
+
+  /// One accepted connection and its read/write state machine.
+  struct Connection {
+    int fd = -1;
+    std::string in;      // received bytes not yet parsed into frames
+    std::string out;     // encoded reply bytes not yet written
+    size_t out_pos = 0;  // how much of `out` already went out
+    /// One request in flight (queued for compile or mid-stream); the
+    /// reactor stops parsing this connection's frames until it clears.
+    bool busy = false;
+    bool close_after_write = false;
+    std::unique_ptr<Stream> stream;
+  };
+
+  struct Job {
+    uint64_t conn_id = 0;
+    ServiceRequest request;
+    bool v2 = false;
+  };
+  struct DoneJob {
+    uint64_t conn_id = 0;
+    bool v2 = false;
+    ServiceResponse response;
+    std::string error;  // non-empty: compile threw; reply with Error
+  };
+
+  [[nodiscard]] bool start_tcp();
+  void serve_loop();
+  void accept_ready(int listen_fd, bool tcp);
+  void read_ready(uint64_t conn_id);
+  void write_ready(uint64_t conn_id);
+  void parse_frames(uint64_t conn_id);
+  /// Serve one decoded request frame; may mark the connection busy.
+  void handle_message(uint64_t conn_id, std::string_view payload);
+  void handle_compile(uint64_t conn_id, std::string_view payload, bool v2);
+  /// Encode ready units into the write buffer up to the high-water
+  /// mark; finishes the stream (trailer frame, busy cleared) when the
+  /// last unit went out.
+  void pump_stream(uint64_t conn_id);
+  /// Answer with the whole ServiceResponse at once (protocol v1).
+  void reply_monolithic(uint64_t conn_id, const ServiceResponse& response);
+  void begin_stream(uint64_t conn_id, ServiceResponse response);
+  void append_frame(Connection& conn, std::string_view payload);
+  void close_connection(uint64_t conn_id);
+  void drain_done_jobs();
+  [[nodiscard]] size_t queue_depth();
+  void dispatcher_main();
+  void janitor_main();
+  void wake();
 
   DaemonOptions options_;
   std::string socket_path_;
   std::string error_;
   CompileService service_;
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;      // unix
+  int tcp_listen_fd_ = -1;  // optional TCP
+  uint16_t tcp_port_ = 0;
+  int wake_read_fd_ = -1;  // self-pipe: request_stop / dispatcher wakeups
+  int wake_write_fd_ = -1;
   std::atomic<bool> stop_{false};
-  std::mutex clients_mutex_;
-  std::vector<ClientThread> clients_;
+
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, Connection> connections_;  // reactor thread only
+  DaemonStats stats_;                           // reactor thread only
+
+  std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> queue_;
+  size_t in_flight_ = 0;
+  std::vector<DoneJob> done_;
+  bool dispatcher_stop_ = false;
+  std::thread dispatcher_;
+
+  std::mutex janitor_mutex_;
+  std::condition_variable janitor_cv_;
+  bool janitor_stop_ = false;
+  std::thread janitor_;
 };
 
-/// Client half of the daemon protocol: what `psc --client` speaks. One
-/// connection per object; compile()/ping()/shutdown() frame a request
-/// and block for the reply.
+/// Client half of the daemon protocol: what `psc --client` (and
+/// `--connect=HOST:PORT`) speaks. One connection per object;
+/// compile()/ping()/shutdown()/stats() frame a request and block for
+/// the reply. compile() sends protocol v2 and consumes the streamed
+/// reply frame by frame (a monolithic CompileReply from an old daemon
+/// is accepted too).
 class DaemonClient {
  public:
   DaemonClient() = default;
@@ -101,14 +224,17 @@ class DaemonClient {
   DaemonClient(const DaemonClient&) = delete;
   DaemonClient& operator=(const DaemonClient&) = delete;
 
-  /// Connect to a daemon socket. False when nothing is listening --
-  /// the CLI falls back to in-process compilation on that path.
+  /// Connect to a daemon's unix socket. False when nothing is
+  /// listening -- the CLI falls back to in-process compilation.
   [[nodiscard]] bool connect(const std::string& socket_path);
+  /// Connect to a daemon's TCP listener ("HOST:PORT").
+  [[nodiscard]] bool connect_tcp(const std::string& host_port);
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Round-trip one compile request. nullopt on connection loss or a
-  /// daemon-side Error reply (see error()).
+  /// Round-trip one compile request. nullopt on connection loss, a
+  /// daemon-side Error reply, or a Busy rejection (see error() and
+  /// busy() -- a Busy daemon is healthy, just saturated).
   [[nodiscard]] std::optional<RemoteReply> compile(
       const ServiceRequest& request);
 
@@ -118,7 +244,12 @@ class DaemonClient {
   /// Graceful shutdown; true when the daemon acknowledged.
   bool shutdown();
 
+  /// The daemon's stats report (text, or JSON when `json`).
+  [[nodiscard]] std::optional<std::string> stats(bool json);
+
   [[nodiscard]] const std::string& error() const { return error_; }
+  /// True when the last compile() was refused with Busy.
+  [[nodiscard]] bool busy() const { return busy_; }
 
  private:
   [[nodiscard]] std::optional<std::string> round_trip(
@@ -126,6 +257,7 @@ class DaemonClient {
 
   int fd_ = -1;
   std::string error_;
+  bool busy_ = false;
 };
 
 }  // namespace ps

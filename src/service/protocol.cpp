@@ -165,9 +165,12 @@ CompileOptions read_options(WireReader& reader) {
 
 // -- messages ---------------------------------------------------------------
 
-std::string encode_compile_request(const ServiceRequest& request) {
+namespace {
+
+std::string encode_compile_request_kind(const ServiceRequest& request,
+                                        MsgKind kind) {
   WireWriter writer;
-  writer.u8(static_cast<uint8_t>(MsgKind::CompileRequest));
+  writer.u8(static_cast<uint8_t>(kind));
   writer.str(request.client_version);
   write_options(writer, request.options);
   writer.u32(static_cast<uint32_t>(request.units.size()));
@@ -179,9 +182,21 @@ std::string encode_compile_request(const ServiceRequest& request) {
   return writer.take();
 }
 
+}  // namespace
+
+std::string encode_compile_request(const ServiceRequest& request) {
+  return encode_compile_request_kind(request, MsgKind::CompileRequest);
+}
+
+std::string encode_compile_request_v2(const ServiceRequest& request) {
+  return encode_compile_request_kind(request, MsgKind::CompileRequestV2);
+}
+
 ServiceRequest decode_compile_request(std::string_view payload) {
   WireReader reader(payload);
-  if (reader.u8() != static_cast<uint8_t>(MsgKind::CompileRequest))
+  uint8_t kind = reader.u8();
+  if (kind != static_cast<uint8_t>(MsgKind::CompileRequest) &&
+      kind != static_cast<uint8_t>(MsgKind::CompileRequestV2))
     throw WireError("not a compile request");
   ServiceRequest request;
   request.client_version = reader.str();
@@ -263,10 +278,97 @@ RemoteReply decode_compile_reply(std::string_view payload) {
   return reply;
 }
 
+// -- streamed replies -------------------------------------------------------
+
+std::string encode_reply_begin(const ReplyBegin& begin) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::CompileReplyBegin));
+  writer.u32(static_cast<uint32_t>(begin.unit_count));
+  writer.u64(begin.jobs);
+  return writer.take();
+}
+
+ReplyBegin decode_reply_begin(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::CompileReplyBegin))
+    throw WireError("not a reply-begin message");
+  ReplyBegin begin;
+  begin.unit_count = reader.u32();
+  begin.jobs = reader.u64();
+  reader.expect_end();
+  return begin;
+}
+
+std::string encode_unit_reply_raw(const RawUnitReply& unit) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::UnitReply));
+  writer.str(unit.name);
+  writer.u8(unit.cache_hit ? 1 : 0);
+  writer.f64(unit.milliseconds);
+  // Raw splice, like encode_compile_reply_raw: a spilled cache hit's
+  // bytes go from the cache file to the frame without a decode.
+  writer.raw(unit.artifact_bytes);
+  return writer.take();
+}
+
+RemoteUnitResult decode_unit_reply(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::UnitReply))
+    throw WireError("not a unit-reply message");
+  RemoteUnitResult unit;
+  unit.name = reader.str();
+  unit.cache_hit = reader.u8() != 0;
+  unit.milliseconds = reader.f64();
+  unit.artifact = read_artifact(reader);
+  reader.expect_end();
+  return unit;
+}
+
+std::string encode_reply_end(const ReplyEnd& end) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::CompileReplyEnd));
+  writer.u64(end.cache_hits);
+  writer.u64(end.cache_misses);
+  writer.f64(end.wall_ms);
+  return writer.take();
+}
+
+ReplyEnd decode_reply_end(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::CompileReplyEnd))
+    throw WireError("not a reply-end message");
+  ReplyEnd end;
+  end.cache_hits = reader.u64();
+  end.cache_misses = reader.u64();
+  end.wall_ms = reader.f64();
+  reader.expect_end();
+  return end;
+}
+
+// -- stats ------------------------------------------------------------------
+
+std::string encode_stats_request(bool json) {
+  WireWriter writer;
+  writer.u8(static_cast<uint8_t>(MsgKind::StatsRequest));
+  writer.u8(json ? 1 : 0);
+  return writer.take();
+}
+
+bool decode_stats_request(std::string_view payload) {
+  WireReader reader(payload);
+  if (reader.u8() != static_cast<uint8_t>(MsgKind::StatsRequest))
+    throw WireError("not a stats request");
+  bool json = reader.u8() != 0;
+  reader.expect_end();
+  return json;
+}
+
 std::string encode_simple(MsgKind kind, std::string_view text) {
   WireWriter writer;
   writer.u8(static_cast<uint8_t>(kind));
-  if (kind == MsgKind::Error) writer.str(text);
+  if (kind == MsgKind::Error || kind == MsgKind::Busy ||
+      kind == MsgKind::StatsReply)
+    writer.str(text);
   return writer.take();
 }
 
@@ -275,13 +377,17 @@ MsgKind peek_kind(std::string_view payload) {
   return static_cast<MsgKind>(static_cast<uint8_t>(payload[0]));
 }
 
-std::string decode_error(std::string_view payload) {
+std::string decode_text(std::string_view payload, MsgKind kind) {
   WireReader reader(payload);
-  if (reader.u8() != static_cast<uint8_t>(MsgKind::Error))
-    throw WireError("not an error message");
+  if (reader.u8() != static_cast<uint8_t>(kind))
+    throw WireError("unexpected message kind for text payload");
   std::string text = reader.str();
   reader.expect_end();
   return text;
+}
+
+std::string decode_error(std::string_view payload) {
+  return decode_text(payload, MsgKind::Error);
 }
 
 // -- framing ----------------------------------------------------------------

@@ -104,13 +104,30 @@ void write_options(WireWriter& writer, const CompileOptions& options);
 // -- messages ---------------------------------------------------------------
 
 enum class MsgKind : uint8_t {
-  CompileRequest = 1,
+  CompileRequest = 1,  // protocol v1: replied to with one CompileReply
   CompileReply = 2,
   Ping = 3,
   Pong = 4,
   Shutdown = 5,
   ShutdownAck = 6,
   Error = 7,  // payload: one string (the daemon-side error text)
+  // -- protocol v2 (streamed replies) --
+  // Same request body as CompileRequest; the kind is the version bump.
+  // The server answers with CompileReplyBegin, one UnitReply per unit
+  // in request order, then CompileReplyEnd -- so a spilled batch's
+  // reply memory is bounded by one unit on both sides of the wire.
+  // v1 clients keep sending kind 1 and keep getting the monolithic
+  // CompileReply.
+  CompileRequestV2 = 8,
+  CompileReplyBegin = 9,
+  UnitReply = 10,
+  CompileReplyEnd = 11,
+  // Admission control: the compile queue is at its configured depth
+  // and this request was refused, not queued. Payload: one string.
+  // The client falls back to in-process compilation (never a hang).
+  Busy = 12,
+  StatsRequest = 13,  // payload: u8 json flag
+  StatsReply = 14,    // payload: one string (rendered text or JSON)
 };
 
 /// One unit of a daemon reply: the artifact plus this request's
@@ -131,6 +148,11 @@ struct RemoteReply {
 };
 
 [[nodiscard]] std::string encode_compile_request(const ServiceRequest& request);
+/// The v2 request: byte-for-byte the v1 body under MsgKind::CompileRequestV2,
+/// announcing that this client understands streamed replies.
+[[nodiscard]] std::string encode_compile_request_v2(
+    const ServiceRequest& request);
+/// Decodes both request kinds (the body never changed across versions).
 [[nodiscard]] ServiceRequest decode_compile_request(std::string_view payload);
 [[nodiscard]] std::string encode_compile_reply(const RemoteReply& reply);
 [[nodiscard]] RemoteReply decode_compile_reply(std::string_view payload);
@@ -145,17 +167,53 @@ struct RawUnitReply {
   std::string artifact_bytes;
 };
 
+// -- streamed replies (protocol v2) -----------------------------------------
+
+/// Header of a streamed reply: how many UnitReply frames follow.
+struct ReplyBegin {
+  size_t unit_count = 0;
+  size_t jobs = 1;
+};
+
+/// Trailer of a streamed reply: totals only known once every unit has
+/// been served.
+struct ReplyEnd {
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  double wall_ms = 0;
+};
+
+[[nodiscard]] std::string encode_reply_begin(const ReplyBegin& begin);
+[[nodiscard]] ReplyBegin decode_reply_begin(std::string_view payload);
+/// One streamed unit, artifact spliced in as raw write_artifact bytes
+/// (straight from the cache for a spilled hit, exactly like the
+/// monolithic raw reply path).
+[[nodiscard]] std::string encode_unit_reply_raw(const RawUnitReply& unit);
+[[nodiscard]] RemoteUnitResult decode_unit_reply(std::string_view payload);
+[[nodiscard]] std::string encode_reply_end(const ReplyEnd& end);
+[[nodiscard]] ReplyEnd decode_reply_end(std::string_view payload);
+
+// -- stats ------------------------------------------------------------------
+
+[[nodiscard]] std::string encode_stats_request(bool json);
+/// Returns the json flag of a StatsRequest payload.
+[[nodiscard]] bool decode_stats_request(std::string_view payload);
+
 /// encode_compile_reply with the per-unit artifacts spliced in as raw
 /// bytes -- byte-identical to encoding the decoded artifacts, minus the
 /// decode. decode_compile_reply reads both alike.
 [[nodiscard]] std::string encode_compile_reply_raw(
     size_t cache_hits, size_t cache_misses, size_t jobs, double wall_ms,
     const std::vector<RawUnitReply>& units);
-/// Kind-only messages (Ping/Pong/Shutdown/ShutdownAck) and Error.
+/// Kind-only messages (Ping/Pong/Shutdown/ShutdownAck) and the
+/// one-string messages (Error/Busy/StatsReply).
 [[nodiscard]] std::string encode_simple(MsgKind kind,
                                         std::string_view text = {});
 /// The message kind of an encoded payload (first byte).
 [[nodiscard]] MsgKind peek_kind(std::string_view payload);
+/// The string payload of a one-string message of `kind`
+/// (Error/Busy/StatsReply).
+[[nodiscard]] std::string decode_text(std::string_view payload, MsgKind kind);
 /// The string payload of an Error message.
 [[nodiscard]] std::string decode_error(std::string_view payload);
 

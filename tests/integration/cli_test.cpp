@@ -4,9 +4,11 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -487,6 +489,83 @@ TEST(CliService, DaemonLifecycleEndToEnd) {
                      " > /dev/null 2>&1";
   EXPECT_EQ(WEXITSTATUS(std::system(stop.c_str())), 0);
   // The daemon exits and removes its socket.
+  bool gone = false;
+  for (int i = 0; i < 100 && !gone; ++i) {
+    std::string probe = "test -S " + sock;
+    gone = std::system(probe.c_str()) != 0;
+    if (!gone) usleep(100 * 1000);
+  }
+  EXPECT_TRUE(gone);
+}
+
+TEST(CliService, TcpClientAndStatsEndToEnd) {
+  static int counter = 0;
+  std::string tag = std::to_string(getpid()) + "t" + std::to_string(counter++);
+  std::string sock = "/tmp/psc_cli_t_" + tag + ".sock";
+  std::string cache = std::string(::testing::TempDir()) + "psc_cli_tc_" + tag;
+  std::string log = std::string(::testing::TempDir()) + "psc_cli_tlog_" +
+                    tag + ".txt";
+
+  // Daemon with a TCP listener on an ephemeral port; the port is
+  // announced on stderr ("... and tcp port N").
+  std::string start = psc_binary() + " --daemon=" + sock +
+                      " --listen=127.0.0.1:0 --cache-dir " + cache +
+                      " -j 2 > " + log + " 2>&1 &";
+  ASSERT_EQ(std::system(start.c_str()), 0);
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    std::string probe = "grep -q 'tcp port' " + log + " 2>/dev/null";
+    up = std::system(probe.c_str()) == 0;
+    if (!up) usleep(100 * 1000);
+  }
+  ASSERT_TRUE(up) << "daemon never announced its TCP port";
+  std::string port;
+  {
+    std::ifstream f(log);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    size_t pos = text.find("tcp port ");
+    ASSERT_NE(pos, std::string::npos) << text;
+    pos += 9;
+    while (pos < text.size() && std::isdigit(text[pos])) port += text[pos++];
+  }
+  ASSERT_FALSE(port.empty());
+
+  // A TCP client compile is byte-identical to the plain run.
+  CliResult plain = run_psc("--c", kGaussSeidelSource);
+  CliResult via_tcp = run_psc("--connect=127.0.0.1:" + port + " --c",
+                              kGaussSeidelSource);
+  EXPECT_EQ(via_tcp.exit_code, 0) << via_tcp.out;
+  EXPECT_EQ(via_tcp.out, plain.out);
+
+  // The stats endpoint works over both transports and both renderings.
+  std::string stats_out = std::string(::testing::TempDir()) +
+                          "psc_cli_tstats_" + tag + ".txt";
+  std::string stats_cmd = psc_binary() + " --daemon-stats=" + sock + " > " +
+                          stats_out + " 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(stats_cmd.c_str())), 0);
+  {
+    std::ifstream f(stats_out);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("compile requests"), std::string::npos) << text;
+  }
+  std::string json_cmd = psc_binary() + " --connect=127.0.0.1:" + port +
+                         " --daemon-stats --json > " + stats_out + " 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(json_cmd.c_str())), 0);
+  {
+    std::ifstream f(stats_out);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"daemon\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"compile_requests\": 1"), std::string::npos)
+        << text;
+  }
+
+  // Stop over TCP too.
+  std::string stop = psc_binary() + " --connect=127.0.0.1:" + port +
+                     " --stop-daemon > /dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(stop.c_str())), 0);
   bool gone = false;
   for (int i = 0; i < 100 && !gone; ++i) {
     std::string probe = "test -S " + sock;

@@ -10,8 +10,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -232,6 +235,137 @@ TEST(NativeEngine, EvictionSparesTheSharedObjectOfALiveRunner) {
   native_engine_clear_in_process_cache();
   EXPECT_FALSE(native_object_in_use(so_path));
   EXPECT_TRUE(cache.store("deadbeef2", artifact));
+  EXPECT_FALSE(fs::exists(so_path));
+}
+
+/// Write an executable fake `cc` that answers --version (so the
+/// availability probe passes) and otherwise runs `body`.
+std::string write_fake_cc(const std::string& tag, const std::string& body) {
+  std::string dir = fresh_dir(tag);
+  fs::create_directories(dir);
+  fs::path script = fs::path(dir) / "fake-cc";
+  std::ofstream f(script);
+  f << "#!/bin/sh\n"
+    << "case \"$1\" in\n"
+    << "  --version) echo fake-cc 1.0; exit 0;;\n"
+    << "esac\n"
+    << body << "\n";
+  f.close();
+  fs::permissions(script, fs::perms::owner_all | fs::perms::group_read |
+                              fs::perms::others_read);
+  return script.string();
+}
+
+TEST(NativeEngine, CompilerExitCodeIsDecodedNotReportedRaw) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  native_engine_clear_in_process_cache();
+  native_engine_set_compiler(write_fake_cc("exit7", "exit 7"));
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  auto runner = run_gs(result, 7, 4, options);
+  native_engine_set_compiler("");
+  EXPECT_EQ(runner->engine(), EvalEngine::Bytecode);
+  // std::system returns a wait status; the raw value for exit 7 is
+  // 1792 and used to be printed as-is. The reason must name the real
+  // exit code.
+  EXPECT_NE(runner->fallback_reason().find("cc failed (exit 7)"),
+            std::string::npos)
+      << runner->fallback_reason();
+  EXPECT_EQ(runner->fallback_reason().find("1792"), std::string::npos)
+      << runner->fallback_reason();
+}
+
+TEST(NativeEngine, WaitStatusDecodeCoversExitSignalAndSpawnFailure) {
+  // Feed the decoder real wait(2) statuses from std::system: a shell
+  // that exits 7, and one that SIGKILLs itself (the builtin kill
+  // targets the outer sh that std::system waits on, so the status is
+  // genuinely signal-terminated, not a 128+N exit).
+  EXPECT_EQ(native_describe_wait_status(std::system("exit 7")), "exit 7");
+  EXPECT_EQ(native_describe_wait_status(std::system("kill -9 $$")),
+            "killed by signal 9");
+  EXPECT_EQ(native_describe_wait_status(std::system("true")), "exit 0");
+  EXPECT_EQ(native_describe_wait_status(-1), "could not spawn shell");
+}
+
+TEST(NativeEngine, CompilesFromDirectoriesContainingSpaces) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+
+  // Scratch (TMPDIR) and cache directories both contain spaces; every
+  // path in the cc invocation is shell-quoted, so the cold compile must
+  // succeed with no fallback -- it used to demote the whole tier.
+  std::string scratch = fresh_dir("space scratch");
+  std::string cache_dir = fresh_dir("space cache");
+  fs::create_directories(scratch);
+  const char* old_tmpdir = ::getenv("TMPDIR");
+  std::string saved = old_tmpdir != nullptr ? old_tmpdir : "";
+  ASSERT_EQ(::setenv("TMPDIR", scratch.c_str(), 1), 0);
+
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = cache_dir;
+  ArtifactCache cache{cache_options};
+  native_engine_clear_in_process_cache();
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  options.native_store = &cache;
+  auto runner = run_gs(result, 8, 5, options);
+
+  if (old_tmpdir != nullptr)
+    ::setenv("TMPDIR", saved.c_str(), 1);
+  else
+    ::unsetenv("TMPDIR");
+
+  ASSERT_EQ(runner->engine(), EvalEngine::Native) << runner->fallback_reason();
+  EXPECT_TRUE(runner->fallback_reason().empty()) << runner->fallback_reason();
+  EXPECT_FALSE(runner->stats().native_cache_hit);  // genuinely cold
+  EXPECT_EQ(cache.stats().native_stores, 1u);
+  runner.reset();
+  native_engine_clear_in_process_cache();
+}
+
+TEST(NativeEngine, TtlPruneSparesThePinnedSharedObject) {
+  SKIP_WITHOUT_NATIVE();
+  auto result = compile_exact_gs();
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = fresh_dir("ttl");
+  ArtifactCache cache{cache_options};
+
+  native_engine_clear_in_process_cache();
+  WavefrontOptions options;
+  options.engine = EvalEngine::Native;
+  options.native_store = &cache;
+  auto runner = run_gs(result, 8, 5, options);
+  ASSERT_EQ(runner->engine(), EvalEngine::Native) << runner->fallback_reason();
+  fs::path so_path = runner->native_info().so_path;
+  ASSERT_TRUE(fs::exists(so_path));
+  ASSERT_TRUE(native_object_in_use(so_path));
+
+  UnitArtifact artifact;
+  artifact.ok = true;
+  artifact.module_name = "M";
+  artifact.primary = {"s", "sched", "c"};
+  ASSERT_TRUE(cache.store("feedface", artifact));
+  fs::path art_path = fs::path(cache.dir()) / "feedface.art";
+  ASSERT_TRUE(fs::exists(art_path));
+
+  // Both entries idle past the TTL: the janitor's prune reaps the text
+  // artifact but must spare the .so a live runner has dlopen-ed.
+  auto ancient =
+      fs::file_time_type::clock::now() - std::chrono::hours(2);
+  fs::last_write_time(so_path, ancient);
+  fs::last_write_time(art_path, ancient);
+  EXPECT_EQ(cache.prune_older_than(std::chrono::seconds(3600)), 1u);
+  EXPECT_FALSE(fs::exists(art_path));
+  EXPECT_TRUE(fs::exists(so_path)) << "pruned a dlopen-ed shared object";
+  runner->run();  // the mapped code still executes
+  EXPECT_GT(runner->stats().points, 0);
+
+  // Pin released: the next prune may reclaim the object.
+  runner.reset();
+  native_engine_clear_in_process_cache();
+  fs::last_write_time(so_path, ancient);
+  EXPECT_EQ(cache.prune_older_than(std::chrono::seconds(3600)), 1u);
   EXPECT_FALSE(fs::exists(so_path));
 }
 

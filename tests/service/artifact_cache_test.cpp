@@ -121,6 +121,53 @@ TEST(ArtifactCache, KeyDependsOnEveryIngredient) {
   EXPECT_NE(bumped.key(input, options), base);
 }
 
+TEST(ArtifactCache, ContainsProbesWithoutTouchingAccountingOrLru) {
+  ArtifactCache cache = make_cache(fresh_dir("contains"));
+  std::string key = cache.key(sample_input(), CompileOptions{});
+  EXPECT_FALSE(cache.contains(key));
+  ASSERT_TRUE(cache.store(key, sample_artifact()));
+  EXPECT_TRUE(cache.contains(key));
+
+  // The probe is the daemon reactor's admission check: it must be free
+  // of side effects -- no hit/miss counters, no mtime refresh.
+  ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ArtifactCache, PruneOlderThanReapsIdleEntriesAndSparesFreshOnes) {
+  std::string dir = fresh_dir("prune");
+  ArtifactCache cache = make_cache(dir);
+  std::string idle_key = cache.key(sample_input(), CompileOptions{});
+  BatchInput other = sample_input();
+  other.name = "fresh.ps";
+  std::string fresh_key = cache.key(other, CompileOptions{});
+  ASSERT_TRUE(cache.store(idle_key, sample_artifact()));
+  ASSERT_TRUE(cache.store(fresh_key, sample_artifact()));
+
+  // Nothing is older than the TTL yet: prune is a no-op.
+  EXPECT_EQ(cache.prune_older_than(std::chrono::seconds(3600)), 0u);
+
+  // Backdate one entry past the TTL; only it is reaped.
+  fs::path idle_path = fs::path(dir) / (idle_key + ".art");
+  ASSERT_TRUE(fs::exists(idle_path));
+  fs::last_write_time(idle_path, fs::file_time_type::clock::now() -
+                                     std::chrono::hours(2));
+  EXPECT_EQ(cache.prune_older_than(std::chrono::seconds(3600)), 1u);
+  EXPECT_FALSE(cache.contains(idle_key));
+  EXPECT_TRUE(cache.contains(fresh_key));
+  EXPECT_EQ(cache.stats().ttl_pruned, 1u);
+
+  // A load refreshes the mtime, so the TTL measures idle time: a
+  // backdated-then-loaded entry survives the next prune.
+  fs::path fresh_path = fs::path(dir) / (fresh_key + ".art");
+  fs::last_write_time(fresh_path, fs::file_time_type::clock::now() -
+                                      std::chrono::hours(2));
+  ASSERT_TRUE(cache.load(fresh_key).has_value());
+  EXPECT_EQ(cache.prune_older_than(std::chrono::seconds(3600)), 0u);
+  EXPECT_TRUE(cache.contains(fresh_key));
+}
+
 TEST(ArtifactCache, VersionBumpMissesOldEntries) {
   std::string dir = fresh_dir("version");
   BatchInput input = sample_input();

@@ -1,6 +1,8 @@
-// The warm compile daemon over its unix-domain socket: lifecycle,
-// request/reply fidelity, concurrent clients on one daemon, and
-// resilience to malformed frames.
+// The warm compile daemon over its unix-domain socket and optional TCP
+// listener: lifecycle, request/reply fidelity (streamed v2 replies),
+// concurrent clients on one daemon, admission control under a full
+// queue, the stats endpoint, the cache janitor, and resilience to
+// malformed frames.
 
 #include "service/daemon.hpp"
 
@@ -12,6 +14,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -306,6 +309,270 @@ TEST(DaemonClient, ConnectToNothingFailsCleanly) {
   ServiceRequest request;
   request.units.push_back({"a.ps", kRelaxationSource, false});
   EXPECT_FALSE(client.compile(request).has_value());
+}
+
+TEST(Daemon, TcpListenerServesByteIdenticalReplies) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("tcp");
+  options.listen = "127.0.0.1:0";  // ephemeral port, read back below
+  options.service.cache_dir = fresh_dir("tcp");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+  ASSERT_NE(fixture.daemon().tcp_port(), 0);
+
+  ServiceRequest request = corpus_request();
+
+  DaemonClient unix_client;
+  ASSERT_TRUE(unix_client.connect(options.socket_path)) << unix_client.error();
+  std::optional<RemoteReply> cold = unix_client.compile(request);
+  ASSERT_TRUE(cold.has_value()) << unix_client.error();
+
+  DaemonClient tcp_client;
+  std::string address =
+      "127.0.0.1:" + std::to_string(fixture.daemon().tcp_port());
+  ASSERT_TRUE(tcp_client.connect_tcp(address)) << tcp_client.error();
+  EXPECT_TRUE(tcp_client.ping());
+  std::optional<RemoteReply> warm = tcp_client.compile(request);
+  ASSERT_TRUE(warm.has_value()) << tcp_client.error();
+
+  // Both transports run the same framing protocol over the same
+  // service: the TCP reply must be indistinguishable from the unix one.
+  EXPECT_EQ(warm->cache_hits, request.units.size());
+  ASSERT_EQ(warm->units.size(), cold->units.size());
+  for (size_t i = 0; i < cold->units.size(); ++i) {
+    const UnitArtifact& a = cold->units[i].artifact;
+    const UnitArtifact& b = warm->units[i].artifact;
+    EXPECT_EQ(a.module_name, b.module_name);
+    EXPECT_EQ(a.diagnostics, b.diagnostics);
+    EXPECT_EQ(a.primary.source, b.primary.source);
+    EXPECT_EQ(a.primary.schedule, b.primary.schedule);
+    EXPECT_EQ(a.primary.c_code, b.primary.c_code);
+  }
+}
+
+TEST(Daemon, EightConcurrentClientsAcrossUnixAndTcp) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("mixed");
+  options.listen = "127.0.0.1:0";
+  options.service.cache_dir = fresh_dir("mixed");
+  options.service.jobs = 2;
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+  std::string address =
+      "127.0.0.1:" + std::to_string(fixture.daemon().tcp_port());
+
+  // Eight clients, alternating transport, each hammering its own unit:
+  // every reply must be for that client's unit and must complete.
+  const std::vector<PaperModule>& corpus = paper_corpus();
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      const PaperModule& module = corpus[c % corpus.size()];
+      DaemonClient client;
+      bool connected = (c % 2 == 0) ? client.connect(options.socket_path)
+                                    : client.connect_tcp(address);
+      if (!connected) {
+        ++bad;
+        return;
+      }
+      ServiceRequest request;
+      request.units.push_back({module.name, module.source, false});
+      for (int i = 0; i < 4; ++i) {
+        std::optional<RemoteReply> reply = client.compile(request);
+        if (!reply || reply->units.size() != 1 ||
+            reply->units[0].name != module.name ||
+            !reply->units[0].artifact.ok)
+          ++bad;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(fixture.daemon().service().stats().requests, 8u);
+}
+
+TEST(Daemon, FullQueueAnswersBusyButCacheHitsStillServeInline) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("busy");
+  options.service.cache_dir = fresh_dir("busy");
+  options.max_queue = 0;  // every request that would compile is refused
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  ServiceRequest request;
+  request.units.push_back({"relax.ps", kRelaxationSource, false});
+
+  // Cold: the artifact is not cached, so the request needs the compile
+  // queue -- which admits nothing. The reply is a prompt Busy, never a
+  // hang, and the client reports it distinctly from an error.
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  EXPECT_FALSE(client.compile(request).has_value());
+  EXPECT_TRUE(client.busy());
+  EXPECT_NE(client.error().find("daemon busy"), std::string::npos)
+      << client.error();
+  EXPECT_NE(client.error().find("queue full"), std::string::npos)
+      << client.error();
+  // The connection survives a Busy rejection.
+  EXPECT_TRUE(client.ping());
+
+  // Seed the shared artifact cache out of band (same dir + version =
+  // same keys), then retry: cache-complete requests bypass the queue
+  // and are served inline on the reactor even at max_queue = 0.
+  {
+    CompileService seeder(options.service);
+    ServiceResponse seeded = seeder.compile(request);
+    ASSERT_EQ(seeded.units.size(), 1u);
+    ASSERT_TRUE(seeded.units[0].artifact != nullptr &&
+                seeded.units[0].artifact->ok);
+  }
+  std::optional<RemoteReply> warm = client.compile(request);
+  ASSERT_TRUE(warm.has_value()) << client.error();
+  EXPECT_FALSE(client.busy());
+  ASSERT_EQ(warm->units.size(), 1u);
+  EXPECT_TRUE(warm->units[0].cache_hit);
+  EXPECT_TRUE(warm->units[0].artifact.ok);
+
+  // The stats endpoint sees one rejection and one inline serve.
+  std::optional<std::string> stats = client.stats(true);
+  ASSERT_TRUE(stats.has_value()) << client.error();
+  EXPECT_NE(stats->find("\"busy_rejections\": 1"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"served_inline\": 1"), std::string::npos) << *stats;
+}
+
+TEST(Daemon, StatsCountersReconcileWithClientObservations) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("stats");
+  options.service.cache_dir = fresh_dir("stats");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  ServiceRequest request = corpus_request();
+  std::optional<RemoteReply> cold = client.compile(request);
+  ASSERT_TRUE(cold.has_value()) << client.error();
+  std::optional<RemoteReply> warm = client.compile(request);
+  ASSERT_TRUE(warm.has_value()) << client.error();
+
+  // The cold batch went through the compile queue, the warm one was
+  // cache-complete and served inline; the daemon's counters must tell
+  // exactly that story.
+  std::optional<std::string> json = client.stats(true);
+  ASSERT_TRUE(json.has_value()) << client.error();
+  EXPECT_NE(json->find("\"compile_requests\": 2"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"queued\": 1"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"served_inline\": 1"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"busy_rejections\": 0"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"queue_depth\": 0"), std::string::npos) << *json;
+  // Service totals reconcile with what the two replies claimed.
+  size_t units = request.units.size();
+  EXPECT_NE(json->find("\"cache_hits\": " + std::to_string(warm->cache_hits)),
+            std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"units\": " + std::to_string(2 * units)),
+            std::string::npos)
+      << *json;
+
+  // The text rendering carries the same numbers for humans.
+  std::optional<std::string> text = client.stats(false);
+  ASSERT_TRUE(text.has_value()) << client.error();
+  EXPECT_NE(text->find("compile requests"), std::string::npos) << *text;
+  EXPECT_NE(text->find("served inline"), std::string::npos) << *text;
+}
+
+TEST(Daemon, JanitorPrunesIdleCacheEntriesButNotFreshOnes) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("janitor");
+  options.service.cache_dir = fresh_dir("janitor");
+  options.cache_ttl = std::chrono::seconds(1);
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  ServiceRequest request = corpus_request();
+  ASSERT_TRUE(client.compile(request).has_value()) << client.error();
+
+  // Backdate every artifact beyond the TTL; the janitor (period =
+  // ttl / 2, floored at 500ms) must reap them within a few seconds.
+  size_t backdated = 0;
+  for (const auto& entry :
+       fs::directory_iterator(options.service.cache_dir)) {
+    if (entry.path().extension() != ".art") continue;
+    fs::last_write_time(entry.path(),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(1));
+    ++backdated;
+  }
+  ASSERT_EQ(backdated, request.units.size());
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  size_t remaining = backdated;
+  while (std::chrono::steady_clock::now() < deadline) {
+    remaining = 0;
+    for (const auto& entry :
+         fs::directory_iterator(options.service.cache_dir))
+      if (entry.path().extension() == ".art") ++remaining;
+    if (remaining == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(remaining, 0u) << remaining << " artifacts survived the TTL";
+
+  // The daemon is still healthy: a recompile misses (the pruned
+  // entries are really gone) and the stats endpoint accounts the
+  // reaping. (Idle-vs-fresh selectivity is covered deterministically
+  // by the ArtifactCache prune_older_than test -- with a 1s TTL,
+  // anything in this daemon's cache is prunable again within a
+  // second.)
+  std::optional<RemoteReply> recompiled = client.compile(request);
+  ASSERT_TRUE(recompiled.has_value()) << client.error();
+  EXPECT_EQ(recompiled->cache_hits, 0u);
+  std::optional<std::string> stats = client.stats(true);
+  ASSERT_TRUE(stats.has_value());
+  size_t pos = stats->find("\"ttl_pruned\": ");
+  ASSERT_NE(pos, std::string::npos) << *stats;
+  size_t pruned = std::stoul(stats->substr(pos + 14));
+  EXPECT_GE(pruned, backdated) << *stats;
+}
+
+TEST(Daemon, BindFailureReportsTheBindErrno) {
+  // A directory at the socket path makes bind() fail with EADDRINUSE,
+  // the liveness probe fail (nothing listens), and the unlink-rebind
+  // reclaim fail too. The reported errno must be the bind's own --
+  // this used to surface whatever errno the probe left behind.
+  std::string dir = fresh_socket("errdir");
+  ASSERT_TRUE(fs::create_directory(dir));
+  DaemonOptions options;
+  options.socket_path = dir;
+  Daemon daemon(options);
+  EXPECT_FALSE(daemon.start());
+  EXPECT_NE(daemon.error().find("bind: "), std::string::npos)
+      << daemon.error();
+  EXPECT_NE(daemon.error().find(std::strerror(EADDRINUSE)),
+            std::string::npos)
+      << daemon.error();
+  fs::remove_all(dir);
+}
+
+TEST(Daemon, RefusesABadListenAddress) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("badlisten");
+  options.listen = "no-port-here";
+  Daemon daemon(options);
+  EXPECT_FALSE(daemon.start());
+  EXPECT_NE(daemon.error().find("HOST:PORT"), std::string::npos)
+      << daemon.error();
+}
+
+TEST(DaemonClient, ConnectTcpToNothingFailsCleanly) {
+  DaemonClient client;
+  // Port 1 on localhost: reserved, nothing listens in the sandbox.
+  EXPECT_FALSE(client.connect_tcp("127.0.0.1:1"));
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.error().empty());
 }
 
 TEST(Daemon, ShutdownDrainsOtherClientsInFlight) {

@@ -236,6 +236,75 @@ TEST(Wire, CompileReplyRoundTrip) {
   expect_same(decoded.units[0].artifact, reply.units[0].artifact);
 }
 
+TEST(Wire, CompileRequestV2DecodesLikeV1) {
+  // The v2 request is the v1 body under a new kind byte -- the version
+  // bump that announces the client understands streamed replies.
+  ServiceRequest request;
+  request.options.exact_bounds = true;
+  request.units.push_back({"a.ps", kRelaxationSource, false});
+
+  std::string v1 = encode_compile_request(request);
+  std::string v2 = encode_compile_request_v2(request);
+  EXPECT_EQ(peek_kind(v1), MsgKind::CompileRequest);
+  EXPECT_EQ(peek_kind(v2), MsgKind::CompileRequestV2);
+  EXPECT_EQ(v1.substr(1), v2.substr(1));
+
+  ServiceRequest decoded = decode_compile_request(v2);
+  ASSERT_EQ(decoded.units.size(), 1u);
+  EXPECT_EQ(decoded.units[0].name, "a.ps");
+  EXPECT_TRUE(decoded.options.exact_bounds);
+}
+
+TEST(Wire, StreamedReplyFramesRoundTrip) {
+  ReplyBegin begin;
+  begin.unit_count = 3;
+  begin.jobs = 8;
+  ReplyBegin begin_decoded = decode_reply_begin(encode_reply_begin(begin));
+  EXPECT_EQ(begin_decoded.unit_count, 3u);
+  EXPECT_EQ(begin_decoded.jobs, 8u);
+
+  RemoteUnitResult unit;
+  unit.name = "a.ps";
+  unit.cache_hit = true;
+  unit.milliseconds = 2.5;
+  unit.artifact = sample_artifact();
+  WireWriter artifact_writer;
+  write_artifact(artifact_writer, unit.artifact);
+  std::string frame = encode_unit_reply_raw(
+      {unit.name, unit.cache_hit, unit.milliseconds, artifact_writer.take()});
+  EXPECT_EQ(peek_kind(frame), MsgKind::UnitReply);
+  RemoteUnitResult unit_decoded = decode_unit_reply(frame);
+  EXPECT_EQ(unit_decoded.name, "a.ps");
+  EXPECT_TRUE(unit_decoded.cache_hit);
+  EXPECT_DOUBLE_EQ(unit_decoded.milliseconds, 2.5);
+  expect_same(unit_decoded.artifact, unit.artifact);
+
+  ReplyEnd end;
+  end.cache_hits = 2;
+  end.cache_misses = 1;
+  end.wall_ms = 4.75;
+  ReplyEnd end_decoded = decode_reply_end(encode_reply_end(end));
+  EXPECT_EQ(end_decoded.cache_hits, 2u);
+  EXPECT_EQ(end_decoded.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(end_decoded.wall_ms, 4.75);
+
+  // Truncated or mis-kinded streamed frames throw, never misparse.
+  EXPECT_THROW(decode_unit_reply(encode_reply_end(end)), WireError);
+  EXPECT_THROW(decode_reply_begin(frame.substr(0, 3)), WireError);
+}
+
+TEST(Wire, StatsAndBusyMessagesRoundTrip) {
+  EXPECT_TRUE(decode_stats_request(encode_stats_request(true)));
+  EXPECT_FALSE(decode_stats_request(encode_stats_request(false)));
+  std::string busy = encode_simple(MsgKind::Busy, "queue full");
+  EXPECT_EQ(peek_kind(busy), MsgKind::Busy);
+  EXPECT_EQ(decode_text(busy, MsgKind::Busy), "queue full");
+  // decode_text checks the kind byte: a Busy frame is not a StatsReply.
+  EXPECT_THROW(decode_text(busy, MsgKind::StatsReply), WireError);
+  std::string stats = encode_simple(MsgKind::StatsReply, "{}");
+  EXPECT_EQ(decode_text(stats, MsgKind::StatsReply), "{}");
+}
+
 TEST(Wire, MessageKindsAndErrors) {
   EXPECT_EQ(peek_kind(encode_simple(MsgKind::Ping)), MsgKind::Ping);
   EXPECT_EQ(peek_kind(encode_simple(MsgKind::Shutdown)), MsgKind::Shutdown);
