@@ -8,6 +8,10 @@
 //   * BM_NativeStripeAblation {M, stripes}: per-point kernel calls
 //     (0) versus the batched stripe kernel (1) -- what amortising the
 //     call and cursor overhead over a whole point range buys;
+//   * BM_InterpreterTier {M, tier}: the same three-tier ladder on a
+//     plain (non-wavefront) interpreted run -- tier 2 executes the
+//     whole scheduled flowchart through one JIT'd module kernel
+//     (emit_native_module via the shared EngineHost);
 //   * BM_NativeColdStart: compile-included cost of a cold module
 //     (every iteration re-runs `cc`; the cc_invocations counter proves
 //     it);
@@ -103,6 +107,43 @@ void BM_NativeStripeAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_NativeStripeAblation)
     ->Args({96, 0})->Args({96, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// args: {M, tier} with 0 = tree-walk, 1 = bytecode, 2 = native: the
+// interpreter arm of the ladder. A plain (non-hyperplane) compile of
+// the same Gauss-Seidel module runs through the flowchart Interpreter;
+// on tier 2 the whole flowchart executes as one JIT'd module kernel
+// (compiled once, then reused from the in-process cache -- the warm
+// per-run cost, like BM_NativeTier).
+void BM_InterpreterTier(benchmark::State& state) {
+  auto result = compile(ps::kGaussSeidelSource, {});
+  const long m = state.range(0);
+  ps::InterpreterOptions opts;
+  opts.engine = state.range(1) == 0   ? ps::EvalEngine::TreeWalk
+                : state.range(1) == 1 ? ps::EvalEngine::Bytecode
+                                      : ps::EvalEngine::Native;
+  if (opts.engine == ps::EvalEngine::Native &&
+      !ps::native_engine_available()) {
+    state.SkipWithError("native tier unavailable");
+    return;
+  }
+  for (auto _ : state) {
+    ps::Interpreter interp(*result.primary->module, *result.primary->graph,
+                           result.primary->schedule.flowchart,
+                           ps::IntEnv{{"M", m}, {"maxK", 32}}, {}, opts);
+    if (interp.engine() != opts.engine) {
+      state.SkipWithError(("fell back: " + interp.fallback_reason()).c_str());
+      return;
+    }
+    ps::bench::fill_inputs(interp, *result.primary->module);
+    interp.run();
+    double probe = interp.array("newA").raw()[0];
+    benchmark::DoNotOptimize(probe);
+  }
+}
+BENCHMARK(BM_InterpreterTier)
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})
     ->Unit(benchmark::kMillisecond);
 
 // Cold start: every iteration drops the in-process module cache and

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/flowchart.hpp"
 #include "frontend/sema.hpp"
 #include "runtime/bytecode.hpp"
 #include "transform/polyhedron.hpp"
@@ -36,6 +37,13 @@ namespace ps {
 ///   long psc_stripe(psc_arr* a, const long* ints, const double* reals,
 ///                   const long* P, long t, long begin, long end);
 ///
+///   // Whole-module kernel (emit_native_module): one call executes the
+///   // flowchart in the Interpreter's order -- every loop sequential,
+///   // every equation inline. ints/reals are mutable because scalar-
+///   // target equations write both interpretations mid-run, exactly
+///   // like EvalCore::set_scalar.
+///   void psc_module(psc_arr* a, long* ints, double* reals, const long* P);
+///
 /// `a` is indexed by BcLayout array slot, `ints`/`reals` by scalar slot
 /// (both interpretations of every bound scalar, exactly like
 /// EvalCore::set_scalar), and `P` by NativeKernel::param_names order --
@@ -50,14 +58,17 @@ struct NativeKernel {
   std::string c_source;
   /// Symbolic parameters of the stripe bounds, in P[] binding order.
   std::vector<std::string> param_names;
-  /// Equation ids with a point kernel (every equation of the module).
+  /// Equation ids with a point kernel (every equation of the module;
+  /// empty for whole-module kernels).
   std::vector<size_t> equations;
   bool has_stripe = false;
+  bool has_module = false;
 
   [[nodiscard]] static std::string equation_symbol(size_t id) {
     return "psc_eq_" + std::to_string(id);
   }
   [[nodiscard]] static const char* stripe_symbol() { return "psc_stripe"; }
+  [[nodiscard]] static const char* module_symbol() { return "psc_module"; }
 };
 
 /// Emit the native kernels of `module` against the dense slot `layout`
@@ -67,7 +78,7 @@ struct NativeKernel {
 /// transformed A' -- its dim-0 addressing gets the wrap modulo, every
 /// other dimension of every array is allocated at full extent by the
 /// WavefrontRunner). Throws std::runtime_error for modules outside the
-/// emitter's fragment (record fields, real-valued fixed LHS subscripts,
+/// emitter's fragment (whole-record values outside a field projection,
 /// unbounded nest levels); the caller treats that as a fallback to the
 /// bytecode tier.
 [[nodiscard]] NativeKernel emit_native_kernel(const CheckedModule& module,
@@ -75,5 +86,22 @@ struct NativeKernel {
                                               const LoopNestBounds* nest,
                                               size_t recurrence,
                                               const std::string& windowed_array);
+
+/// Emit the whole-module kernel for an interpreted (flowchart-ordered)
+/// run: `psc_module` walks `flowchart` exactly like the Interpreter --
+/// loops in order (DOALL included, sequentially; results are identical
+/// because DOALL instances are independent), equations inline. Loop
+/// bounds come from `exact_bounds` where the level's variable has an
+/// entry (outer indices and P[] parameters), else from the rectangular
+/// subrange, whose names resolve through P[] only -- mirroring the
+/// Interpreter's eval_const_int over the parameter environment. Every
+/// array is addressed at full extent (no windowing); callers using
+/// virtual windows must not take this path. Throws like
+/// emit_native_kernel for modules outside the fragment.
+[[nodiscard]] NativeKernel emit_native_module(const CheckedModule& module,
+                                              const BcLayout& layout,
+                                              const DepGraph& graph,
+                                              const Flowchart& flowchart,
+                                              const LoopNestBounds* exact_bounds);
 
 }  // namespace ps

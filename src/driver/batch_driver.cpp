@@ -8,6 +8,7 @@
 
 #include "eqn/translate.hpp"
 #include "frontend/ast.hpp"
+#include "runtime/engine_host.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/report_format.hpp"
 #include "support/text_table.hpp"
@@ -105,6 +106,11 @@ std::vector<BatchUnitResult> BatchDriver::compile_all(
       out.module_symbol = symbols_.intern(out.result.primary->module->name);
       for (const DataItem& item : out.result.primary->module->data)
         symbols_.intern(item.name);
+      // The tier column of the batch report: which compiled runtime
+      // tier this unit reaches, and why if it degrades.
+      EngineTierProbe probe = probe_engine_tier(*out.result.primary->module);
+      out.engine_tier = std::move(probe.tier);
+      out.engine_fallback = std::move(probe.fallback);
     }
   };
 
@@ -158,12 +164,15 @@ std::string BatchDriver::merged_diagnostics(
 
 std::string BatchDriver::format_report(
     const std::vector<BatchUnitResult>& results, const BatchSummary& summary) {
-  TextTable table({"Unit", "Module", "Status", "Time (ms)"});
+  TextTable table({"Unit", "Module", "Status", "Engine", "Time (ms)"});
+  size_t degraded = 0;
   for (const BatchUnitResult& unit : results) {
     std::string module = unit.module_symbol.empty()
                              ? "-"
                              : std::string(unit.module_symbol);
+    if (!unit.engine_fallback.empty()) ++degraded;
     table.add_row({unit.name, module, unit.result.ok ? "ok" : "failed",
+                   unit.engine_tier.empty() ? "-" : unit.engine_tier,
                    format_ms(unit.milliseconds)});
   }
   std::ostringstream os;
@@ -174,6 +183,14 @@ std::string BatchDriver::format_report(
   os << "hyperplane cache: " << summary.hyperplane_hits << " hits, "
      << summary.hyperplane_misses << " misses; interned symbols: "
      << summary.distinct_symbols << "\n";
+  // Tier degradations are silent per unit (the runtime still runs);
+  // surface the causes here so a batch on the slow tier is visible.
+  if (degraded > 0) {
+    os << "engine fallbacks:\n";
+    for (const BatchUnitResult& unit : results)
+      if (!unit.engine_fallback.empty())
+        os << "  " << unit.name << ": " << unit.engine_fallback << "\n";
+  }
   if (!summary.aggregate_timings.empty())
     os << "aggregate pass times:\n"
        << format_pass_timings(summary.aggregate_timings);
@@ -196,7 +213,9 @@ std::string BatchDriver::report_json(
     const BatchUnitResult& unit = results[i];
     os << "    {\"name\": \"" << json_escape(unit.name) << "\", \"ok\": "
        << (unit.result.ok ? "true" : "false")
-       << ", \"ms\": " << format_ms(unit.milliseconds) << "}"
+       << ", \"engine\": \"" << json_escape(unit.engine_tier)
+       << "\", \"fallback\": \"" << json_escape(unit.engine_fallback)
+       << "\", \"ms\": " << format_ms(unit.milliseconds) << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"passes\": [\n";

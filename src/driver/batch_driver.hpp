@@ -28,6 +28,13 @@ struct BatchUnitResult {
   /// The unit's module name as a view into the driver's shared symbol
   /// table (empty for failed units). Valid while the driver lives.
   std::string_view module_symbol;
+  /// The compiled runtime tier the unit's primary module reaches
+  /// ("bytecode", or "tree-walk" when the bytecode compiler does not
+  /// cover it; empty for failed units), with the structured
+  /// "<tier>: <cause>" in `engine_fallback` -- the batch report's tier
+  /// column (probe_engine_tier).
+  std::string engine_tier;
+  std::string engine_fallback;
 };
 
 struct BatchOptions {

@@ -15,7 +15,7 @@ namespace ps {
 /// whenever a pass, the emitter or the diagnostics renderer changes
 /// observable output, and every previously cached artifact silently
 /// becomes a miss (never a stale hit).
-inline constexpr const char kPscVersion[] = "psc-4.0";
+inline constexpr const char kPscVersion[] = "psc-5.0";
 
 /// End-to-end compilation options.
 struct CompileOptions {

@@ -24,13 +24,18 @@
 //                       pooled (chunk self-scheduling on the worker pool) or
 //                       sharded (static point striping with per-worker
 //                       contexts); reported by --verbose
-//     --engine=K        runtime evaluator tier for transformed modules:
+//     --engine=K        runtime evaluator tier, uniform for both runners
+//                       (the flowchart interpreter and the wavefront
+//                       runner ride the same EngineHost ladder):
 //                       tree-walk, bytecode (default) or native (JIT the
-//                       generated C to a shared object with the system cc).
-//                       With --verbose --engine=native the driver JITs the
-//                       kernels and reports compile time or the cache tier
-//                       hit; with --cache-dir the shared object is stored
-//                       in (and reloaded from) the artifact cache
+//                       generated C to a shared object with the system cc;
+//                       a plain interpreted run compiles to one
+//                       whole-module kernel, a transformed module to
+//                       per-equation + stripe kernels). With --verbose
+//                       --engine=native the driver JITs the kernels and
+//                       reports compile time or the cache tier hit; with
+//                       --cache-dir the shared object is stored in (and
+//                       reloaded from) the artifact cache
 //
 //   Batch compilation (several inputs, or --corpus):
 //     -j N              compile units on N workers (default 1; 0 = all cores)
@@ -67,14 +72,16 @@
 // BatchDriver: per-unit output and diagnostics are identical to the
 // corresponding single-file runs at any -j, printed in input order with
 // a "== name ==" separator. The cached, daemon and in-process paths all
-// print byte-identical artifacts for the supported output flags
-// (--source, --schedule, --c); --batch-report (text and --json) is
-// served from cached artifact metadata on the service paths, so a
-// fully warm report costs cache probes, not compiles. Structural dumps
-// (--graph, --dot, --components), --passes and --time-passes always
-// compile in-process. On the service paths --verbose reports cache /
-// daemon statistics on stderr instead of the per-module engine
-// reports (those need a live CompileResult).
+// print byte-identical artifacts for every output flag (--source,
+// --schedule, --c, and the structural dumps --graph / --dot /
+// --components, which are captured as text in the artifact);
+// --batch-report (text and --json) is served from cached artifact
+// metadata on the service paths -- including the per-unit engine tier
+// and fallback cause -- so a fully warm report costs cache probes, not
+// compiles. --passes and --time-passes always compile in-process. On
+// the service paths --verbose reports cache / daemon statistics on
+// stderr instead of the per-module engine reports (those need a live
+// CompileResult).
 
 #include <csignal>
 
@@ -95,7 +102,6 @@
 #include "runtime/wavefront_backend.hpp"
 #include "service/compile_service.hpp"
 #include "service/daemon.hpp"
-#include "support/text_table.hpp"
 
 namespace {
 
@@ -112,20 +118,7 @@ void print_stage(const ps::CompiledModule& stage, const OutputFlags& flags) {
   if (flags.source) std::cout << stage.source << '\n';
   if (flags.graph) std::cout << stage.graph->summary() << '\n';
   if (flags.dot) std::cout << stage.graph->to_dot() << '\n';
-  if (flags.components) {
-    ps::TextTable table({"Component", "Node(s)", "Flowchart"});
-    for (size_t i = 0; i < stage.schedule.components.size(); ++i) {
-      const auto& comp = stage.schedule.components[i];
-      std::string names;
-      for (size_t j = 0; j < comp.nodes.size(); ++j) {
-        if (j) names += ", ";
-        names += stage.graph->node(comp.nodes[j]).name;
-      }
-      table.add_row({std::to_string(i + 1), names,
-                     ps::flowchart_to_line(comp.flowchart, *stage.graph)});
-    }
-    std::cout << table.render() << '\n';
-  }
+  if (flags.components) std::cout << ps::components_table(stage) << '\n';
   if (flags.schedule)
     std::cout << ps::flowchart_to_string(stage.schedule.flowchart,
                                          *stage.graph)
@@ -252,12 +245,62 @@ void print_native_report(const ps::CompileResult& result,
   std::cout << '\n';
 }
 
+/// --verbose with --engine=native: JIT the primary (interpreted)
+/// module's whole-flowchart kernel exactly like the Interpreter's
+/// EngineHost would -- the tier ladder is uniform across both runners,
+/// so a plain interpreted run gets the same native report the wavefront
+/// runner's transformed module does. With --cache-dir the shared object
+/// goes through the artifact cache.
+void print_native_module_report(const ps::CompiledModule& stage,
+                                const std::string& cache_dir,
+                                size_t cache_max_bytes) {
+  std::cout << "-- native engine [" << stage.module->name << "]: ";
+  if (!ps::native_engine_available()) {
+    std::cout << "unavailable: " << ps::native_engine_unavailable_reason()
+              << '\n';
+    return;
+  }
+  ps::NativeKernel kernel;
+  try {
+    kernel = ps::emit_native_module(*stage.module,
+                                    ps::BcLayout::for_module(*stage.module),
+                                    *stage.graph, stage.schedule.flowchart,
+                                    nullptr);
+  } catch (const std::exception& error) {
+    std::cout << "fallback: " << error.what() << '\n';
+    return;
+  }
+  std::unique_ptr<ps::ArtifactCache> store;
+  if (!cache_dir.empty()) {
+    ps::ArtifactCacheOptions cache_options;
+    cache_options.dir = cache_dir;
+    cache_options.max_bytes = cache_max_bytes;
+    store = std::make_unique<ps::ArtifactCache>(std::move(cache_options));
+  }
+  ps::NativeLoadInfo info;
+  auto module = ps::load_native_module(kernel, store.get(), info);
+  if (module == nullptr) {
+    std::cout << "fallback: " << info.error << '\n';
+    return;
+  }
+  std::cout << "ok: whole-module kernel, ";
+  if (info.in_process_hit)
+    std::cout << "in-process cache hit";
+  else if (info.cache_hit)
+    std::cout << "shared-object cache hit";
+  else
+    std::cout << "compiled " << info.compile_ms << " ms with `cc`";
+  std::cout << '\n';
+}
+
 void print_engine_reports(const ps::CompileResult& result,
                           ps::WavefrontBackend wavefront_backend,
                           ps::EvalEngine engine, const std::string& cache_dir,
                           size_t cache_max_bytes) {
   if (!result.primary) return;
   print_engine_report(*result.primary);
+  if (engine == ps::EvalEngine::Native)
+    print_native_module_report(*result.primary, cache_dir, cache_max_bytes);
   if (result.transformed) {
     print_engine_report(*result.transformed);
     if (engine == ps::EvalEngine::Native)
@@ -663,13 +706,13 @@ int main(int argc, char** argv) {
   const bool batch = inputs.size() > 1 || corpus || batch_report;
 
   // The service path (daemon client or the one-shot disk cache) serves
-  // stored artifacts, which carry the printable output surface (source,
-  // schedule, C) plus the metadata --batch-report needs. Structural
-  // dumps and --passes/--time-passes re-derive state from a live
-  // CompileResult, so they always compile in-process.
+  // stored artifacts, which carry the whole printable output surface
+  // (source, schedule, C, and the structural dumps --graph / --dot /
+  // --components, captured as text at artifact-build time) plus the
+  // metadata --batch-report needs. --passes/--time-passes re-derive
+  // state from a live CompileResult, so they always compile in-process.
   const bool service_renderable =
-      !flags.components && !flags.graph && !flags.dot && !list_passes &&
-      !time_passes &&
+      !list_passes && !time_passes &&
       // The native engine report JITs a live CompileResult (and, with
       // --cache-dir, warms the shared-object cache); keep that
       // combination on the in-process path.
@@ -679,6 +722,9 @@ int main(int argc, char** argv) {
     render_flags.source = flags.source;
     render_flags.schedule = flags.schedule;
     render_flags.c_code = flags.c_code;
+    render_flags.graph = flags.graph;
+    render_flags.dot = flags.dot;
+    render_flags.components = flags.components;
     ps::ServiceRequest request;
     request.options = options;
     request.units = inputs;
@@ -701,7 +747,9 @@ int main(int argc, char** argv) {
             for (const ps::RemoteUnitResult& unit : reply->units) {
               rows.push_back({unit.name, unit.artifact.module_name,
                               unit.artifact.ok, unit.cache_hit,
-                              unit.milliseconds});
+                              unit.milliseconds,
+                              unit.artifact.primary.engine_tier,
+                              unit.artifact.primary.engine_fallback});
               diagnostics.push_back(unit.artifact.diagnostics);
             }
             ps::ServiceReportSummary summary{reply->jobs, reply->wall_ms,
@@ -745,12 +793,14 @@ int main(int argc, char** argv) {
         std::vector<std::string> diagnostics;
         rows.reserve(response.units.size());
         for (const ps::ServiceUnit& unit : response.units) {
-          rows.push_back({unit.name, unit.module_name, unit.ok,
-                          unit.cache_hit, unit.milliseconds});
+          ps::ServiceReportRow row{unit.name, unit.module_name, unit.ok,
+                                   unit.cache_hit, unit.milliseconds,
+                                   unit.engine_tier, unit.engine_fallback};
           // Diagnostics live in the artifact. Read in-memory ones in
           // place (no whole-artifact copy just for one string); only
           // spilled units reload from the cache directory (report
-          // mode, not the hot path).
+          // mode, not the hot path) -- the reload also recovers the
+          // tier metadata the spill path dropped.
           if (unit.artifact != nullptr) {
             diagnostics.push_back(unit.artifact->diagnostics);
           } else {
@@ -758,7 +808,12 @@ int main(int argc, char** argv) {
                 service.artifact(unit);
             diagnostics.push_back(artifact ? artifact->diagnostics
                                            : std::string());
+            if (artifact) {
+              row.engine = artifact->primary.engine_tier;
+              row.fallback = artifact->primary.engine_fallback;
+            }
           }
+          rows.push_back(std::move(row));
         }
         ps::ServiceReportSummary summary{response.jobs, response.wall_ms,
                                          response.cache_hits,

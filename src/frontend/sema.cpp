@@ -322,8 +322,13 @@ class Checker {
         EqScope empty_scope{&kNoLoopDims};
         const Type* sub_type = check_expr(*eq.lhs_subs[p], empty_scope);
         if (sub_type == nullptr) return;
-        if (sub_type->scalar_kind() != TypeKind::Int) {
-          diags_.error(sub.loc, "fixed subscript must be an integer");
+        // Integer expressions index directly; real-valued fixed
+        // subscripts are admitted too and truncated at runtime through
+        // the engines' shared defined conversion (bc_double_to_int64),
+        // so all three tiers land on the same cell.
+        if (sub_type->scalar_kind() != TypeKind::Int &&
+            sub_type->scalar_kind() != TypeKind::Real) {
+          diags_.error(sub.loc, "fixed subscript must be an integer or real");
           return;
         }
         ce.lhs_subs.push_back(LhsSubscript{false, "", &sub});

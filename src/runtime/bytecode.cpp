@@ -46,6 +46,15 @@ class Compiler {
     return std::move(program_);
   }
 
+  /// Project field `ordinal` out of a record-valued expression: the
+  /// program of one per-field store of a record-target equation.
+  BcProgram run_field(const Expr& expr, size_t ordinal) {
+    Kind kind = compile_record_project(expr, ordinal);
+    emit(BcOp::Halt);
+    program_.result_real = kind == Kind::Real;
+    return std::move(program_);
+  }
+
  private:
   int32_t pc() const { return static_cast<int32_t>(program_.code.size()); }
 
@@ -104,8 +113,7 @@ class Compiler {
       case ExprKind::Index:
         return compile_index(static_cast<const IndexExpr&>(e));
       case ExprKind::Field:
-        throw std::runtime_error(
-            "bytecode: record fields are not supported");
+        return compile_field(static_cast<const FieldExpr&>(e));
       case ExprKind::Unary: {
         const auto& u = static_cast<const UnaryExpr&>(e);
         Kind k = compile(*u.operand);
@@ -128,6 +136,9 @@ class Compiler {
 
   Kind compile_name(const NameExpr& e) {
     const DataItem* item = module_.find_data(e.name);
+    if (item != nullptr && bc_is_record_item(*item))
+      throw std::runtime_error(
+          "bytecode: record value outside a field projection");
     // A name that is a scalar data item AND could be a loop variable is
     // resolved as a loop variable first, mirroring sema's scope rules --
     // but sema rejects such shadowing at declaration time, so the data
@@ -176,6 +187,98 @@ class Compiler {
     emit(real ? BcOp::LoadArrayD : BcOp::LoadArrayI, slot,
          static_cast<int32_t>(e.subs.size()));
     return real ? Kind::Real : Kind::Int;
+  }
+
+  /// Resolve a record-valued base expression (a rank-0 record name or
+  /// a subscripted record array), compiling its subscripts, and return
+  /// the data item. Anything else throws.
+  const DataItem* compile_record_base(const Expr& base) {
+    if (base.kind == ExprKind::Name) {
+      const auto& name = static_cast<const NameExpr&>(base).name;
+      const DataItem* item = module_.find_data(name);
+      if (item == nullptr || !bc_is_record_item(*item) || item->rank() != 0)
+        throw std::runtime_error("bytecode: bad record reference to '" + name +
+                                 "'");
+      return item;
+    }
+    if (base.kind == ExprKind::Index) {
+      const auto& ix = static_cast<const IndexExpr&>(base);
+      if (ix.base->kind != ExprKind::Name)
+        throw std::runtime_error("bytecode: unsupported record base");
+      const auto& name = static_cast<const NameExpr&>(*ix.base).name;
+      const DataItem* item = module_.find_data(name);
+      if (item == nullptr || !bc_is_record_item(*item) ||
+          item->rank() != ix.subs.size())
+        throw std::runtime_error("bytecode: bad record reference to '" + name +
+                                 "'");
+      for (const auto& sub : ix.subs) {
+        Kind k = compile(*sub);
+        if (k != Kind::Int)
+          throw std::runtime_error("bytecode: non-integer subscript");
+      }
+      return item;
+    }
+    throw std::runtime_error("bytecode: unsupported record base expression");
+  }
+
+  /// Finish a field access once the base subscripts are on the stack:
+  /// push the ordinal as the trailing subscript and load by the field's
+  /// scalar kind (records store every field as a double; integer and
+  /// boolean fields convert on load, exactly like int-element arrays).
+  Kind load_field(const DataItem& item, size_t ordinal) {
+    if (ordinal >= item.elem->fields.size())
+      throw std::runtime_error("bytecode: record field ordinal out of range");
+    const Type* ftype = item.elem->fields[ordinal].second;
+    push_int(static_cast<int64_t>(ordinal));
+    int32_t slot = layout_.array_slot[module_.data_index(item.name)];
+    bool real = ftype->scalar_kind() == TypeKind::Real;
+    emit(real ? BcOp::LoadArrayD : BcOp::LoadArrayI, slot,
+         static_cast<int32_t>(item.rank() + 1));
+    if (real) return Kind::Real;
+    return ftype->scalar_kind() == TypeKind::Bool ? Kind::Bool : Kind::Int;
+  }
+
+  /// `r.f` / `a[i,j].f`: an array load with the field ordinal appended
+  /// as one extra subscript (see bc_is_record_item).
+  Kind compile_field(const FieldExpr& e) {
+    const DataItem* item = compile_record_base(*e.base);
+    int64_t ordinal = bc_record_field_ordinal(*item->elem, e.field);
+    if (ordinal < 0)
+      throw std::runtime_error("bytecode: record has no field '" + e.field +
+                               "'");
+    return load_field(*item, static_cast<size_t>(ordinal));
+  }
+
+  /// Project field `ordinal` out of a record-valued expression -- the
+  /// RHS of a record-target equation. Supported shapes: a record name,
+  /// a record array element, and conditionals over those; each arm
+  /// necessarily carries the same field layout (sema's assignability
+  /// check), so no conversion is needed at the join.
+  Kind compile_record_project(const Expr& e, size_t ordinal) {
+    switch (e.kind) {
+      case ExprKind::Name:
+      case ExprKind::Index:
+        return load_field(*compile_record_base(e), ordinal);
+      case ExprKind::If: {
+        const auto& i = static_cast<const IfExpr&>(e);
+        compile(*i.cond);
+        size_t jz_at = program_.code.size();
+        emit(BcOp::JumpIfFalse);
+        Kind tk = compile_record_project(*i.then_expr, ordinal);
+        size_t jend_at = program_.code.size();
+        emit(BcOp::Jump);
+        program_.code[jz_at].a = pc();
+        Kind ek = compile_record_project(*i.else_expr, ordinal);
+        program_.code[jend_at].a = pc();
+        if (tk != ek)
+          throw std::runtime_error(
+              "bytecode: conditional arms disagree on record field kind");
+        return tk;
+      }
+      default:
+        throw std::runtime_error(
+            "bytecode: unsupported record-valued expression");
+    }
   }
 
   Kind compile_binary(const BinaryExpr& e) {
@@ -320,7 +423,9 @@ BcLayout BcLayout::for_module(const CheckedModule& module) {
   layout.scalar_slot.assign(module.data.size(), -1);
   layout.array_slot.assign(module.data.size(), -1);
   for (size_t i = 0; i < module.data.size(); ++i) {
-    if (module.data[i].is_scalar())
+    // Rank-0 records report is_scalar(), but they live in array slots:
+    // their storage is a 1-d array over the field ordinals.
+    if (module.data[i].is_scalar() && !bc_is_record_item(module.data[i]))
       layout.scalar_slot[i] = layout.scalar_count++;
     else
       layout.array_slot[i] = layout.array_count++;
@@ -332,6 +437,13 @@ BcProgram compile_expr(const Expr& expr, const CheckedModule& module,
                        const BcLayout& layout) {
   Compiler compiler(module, layout);
   return compiler.run(expr);
+}
+
+BcProgram compile_record_field_expr(const Expr& expr, size_t ordinal,
+                                    const CheckedModule& module,
+                                    const BcLayout& layout) {
+  Compiler compiler(module, layout);
+  return compiler.run_field(expr, ordinal);
 }
 
 namespace {

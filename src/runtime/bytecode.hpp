@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "frontend/sema.hpp"
@@ -121,8 +122,27 @@ struct BcProgram {
   [[nodiscard]] std::string disassemble() const;
 };
 
+/// True when `item` stores record values. Record items live in array
+/// slots at any rank (a rank-0 record is a 1-d array over its fields):
+/// storage appends one trailing dimension indexed by field ordinal
+/// (lo 0, extent = field count), so a field access is an ordinary
+/// array load with one extra subscript and every engine tier shares
+/// the addressing.
+[[nodiscard]] inline bool bc_is_record_item(const DataItem& item) {
+  return item.elem != nullptr && item.elem->kind == TypeKind::Record;
+}
+
+/// Field ordinal of `field` within record type `rec`; -1 when absent.
+[[nodiscard]] inline int64_t bc_record_field_ordinal(const Type& rec,
+                                                     std::string_view field) {
+  for (size_t i = 0; i < rec.fields.size(); ++i)
+    if (rec.fields[i].first == field) return static_cast<int64_t>(i);
+  return -1;
+}
+
 /// Slot assignment shared by all programs of one module: scalar data
 /// items and arrays are numbered by their position in CheckedModule::data.
+/// Record items always take array slots (see bc_is_record_item).
 struct BcLayout {
   /// data index -> scalar slot (or -1); scalar slot count.
   std::vector<int32_t> scalar_slot;
@@ -134,10 +154,20 @@ struct BcLayout {
 };
 
 /// Compile one (elaborated, type-annotated) expression. Throws
-/// std::runtime_error on unsupported constructs (record fields).
+/// std::runtime_error on unsupported constructs (whole-record values
+/// outside a field projection, nested record fields).
 [[nodiscard]] BcProgram compile_expr(const Expr& expr,
                                      const CheckedModule& module,
                                      const BcLayout& layout);
+
+/// Compile the projection of field `ordinal` out of the record-valued
+/// `expr` (the RHS of a record-target equation). The supported
+/// record-valued shapes are names, array elements and conditionals over
+/// them; anything else throws like compile_expr.
+[[nodiscard]] BcProgram compile_record_field_expr(const Expr& expr,
+                                                  size_t ordinal,
+                                                  const CheckedModule& module,
+                                                  const BcLayout& layout);
 
 /// Constant-fold a compiled program in place: any operation whose
 /// operands are literal pushes is evaluated at compile time and replaced

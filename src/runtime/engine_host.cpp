@@ -1,0 +1,240 @@
+#include "runtime/engine_host.hpp"
+
+#include <exception>
+#include <string_view>
+#include <utility>
+
+namespace ps {
+
+namespace {
+
+/// Strip a "<tier>: " prefix a lower layer already baked into its
+/// message (the native emitter throws "native: ...", the bytecode
+/// compiler "bytecode: ..."), so the structured cause carries the bare
+/// text and rendering does not double the prefix.
+std::string strip_tier_prefix(EvalEngine tier, std::string cause) {
+  std::string prefix = std::string(eval_engine_name(tier)) + ": ";
+  if (cause.rfind(prefix, 0) == 0) cause.erase(0, prefix.size());
+  return cause;
+}
+
+}  // namespace
+
+std::string EngineHost::render(const TierFallback& fallback) {
+  return std::string(eval_engine_name(fallback.tier)) + ": " + fallback.cause;
+}
+
+void EngineHost::record_fallback(EvalEngine tier, std::string cause) {
+  TierFallback fallback{tier, strip_tier_prefix(tier, std::move(cause))};
+  if (!rendered_.empty()) rendered_ += "; ";
+  rendered_ += render(fallback);
+  fallbacks_.push_back(std::move(fallback));
+}
+
+bool EngineHost::is_equation_target(size_t data_index) const {
+  for (const CheckedEquation& eq : module_->equations)
+    if (eq.target == data_index) return true;
+  return false;
+}
+
+bool EngineHost::bind_scalar_input(const std::string& name, int64_t& as_int,
+                                   double& as_real) const {
+  auto from_int = [&]() {
+    auto it = int_env_->find(name);
+    if (it == int_env_->end()) return false;
+    as_int = it->second;
+    as_real = static_cast<double>(it->second);
+    return true;
+  };
+  auto from_real = [&]() {
+    auto it = real_inputs_->find(name);
+    if (it == real_inputs_->end()) return false;
+    as_int = static_cast<int64_t>(it->second);
+    as_real = it->second;
+    return true;
+  };
+  if (options_.prefer_real_scalars) return from_real() || from_int();
+  return from_int() || from_real();
+}
+
+void EngineHost::select(const CheckedModule& module,
+                        std::map<std::string, NdArray, std::less<>>& arrays,
+                        const IntEnv& int_env,
+                        const std::map<std::string, double>& real_inputs,
+                        const EngineHostOptions& options, KernelEmitFn emit) {
+  module_ = &module;
+  arrays_ = &arrays;
+  int_env_ = &int_env;
+  real_inputs_ = &real_inputs;
+  options_ = options;
+  layout_ = BcLayout::for_module(module);
+
+  // The tier ladder: Native degrades to Bytecode (recording why), and
+  // Bytecode degrades to TreeWalk. A tree-walk request skips both
+  // compiled tiers -- also recorded, so `engine()` plus
+  // `fallback_reason()` always explain the evaluator in effect.
+  if (options_.engine == EvalEngine::Native) {
+    setup_native(emit);
+    if (!use_native_) setup_bytecode();
+  } else if (options_.engine == EvalEngine::Bytecode) {
+    setup_bytecode();
+  } else {
+    record_fallback(EvalEngine::TreeWalk, "engine requested");
+  }
+}
+
+void EngineHost::setup_native(const KernelEmitFn& emit) {
+  if (!native_engine_available()) {
+    record_fallback(EvalEngine::Native, native_engine_unavailable_reason());
+    return;
+  }
+  if (!emit) {
+    record_fallback(EvalEngine::Native, "no kernel emitter for this runner");
+    return;
+  }
+
+  // Bind both interpretations of every scalar input up front, exactly
+  // like the bytecode tier; an unbound but referenced scalar keeps the
+  // module on the lower tiers (their lazy-name story). Equation-target
+  // scalars are computed by the kernel itself mid-run, so they need no
+  // binding.
+  native_ints_.assign(static_cast<size_t>(layout_.scalar_count), 0);
+  native_reals_.assign(static_cast<size_t>(layout_.scalar_count), 0.0);
+  for (size_t i = 0; i < module_->data.size(); ++i) {
+    const DataItem& item = module_->data[i];
+    if (!item.is_scalar()) continue;
+    int32_t slot = layout_.scalar_slot[i];
+    if (slot < 0) continue;
+    int64_t as_int = 0;
+    double as_real = 0.0;
+    if (bind_scalar_input(item.name, as_int, as_real)) {
+      native_ints_[static_cast<size_t>(slot)] = as_int;
+      native_reals_[static_cast<size_t>(slot)] = as_real;
+    } else if (!is_equation_target(i)) {
+      bool referenced = false;
+      for (const CheckedEquation& eq : module_->equations)
+        for (const std::string& name : eq.scalar_refs)
+          if (name == item.name) referenced = true;
+      if (referenced) {
+        record_fallback(EvalEngine::Native,
+                        "scalar input '" + item.name + "' is unbound");
+        return;
+      }
+    }
+  }
+
+  NativeKernel kernel;
+  try {
+    kernel = emit(layout_);
+  } catch (const std::exception& error) {
+    record_fallback(EvalEngine::Native, error.what());
+    return;
+  }
+
+  native_params_.clear();
+  native_params_.reserve(kernel.param_names.size());
+  for (const std::string& param : kernel.param_names) {
+    auto it = int_env_->find(param);
+    if (it == int_env_->end()) {
+      record_fallback(EvalEngine::Native,
+                      "bound parameter '" + param + "' is unbound");
+      return;
+    }
+    native_params_.push_back(it->second);
+  }
+
+  auto module = load_native_module(kernel, options_.native_store, native_info_);
+  if (module == nullptr) {
+    record_fallback(EvalEngine::Native, native_info_.error);
+    return;
+  }
+  native_ = std::move(module);
+
+  // psc_arr descriptors over the client's storage, in array-slot order.
+  // The NdArrays live in a node-stable map and are never reshaped, so
+  // the pointers stay valid for the host's lifetime.
+  native_arrs_.assign(static_cast<size_t>(layout_.array_count), PscArr{});
+  for (size_t i = 0; i < module_->data.size(); ++i) {
+    const DataItem& item = module_->data[i];
+    // Keyed on the layout slot, not is_scalar(): rank-0 record items
+    // take array slots too (one trailing field dimension, see
+    // bc_is_record_item), and skipping them would hand the kernel a
+    // null psc_arr descriptor.
+    int32_t slot = layout_.array_slot[i];
+    if (slot < 0) continue;
+    NdArray& arr = arrays_->at(item.name);
+    native_arrs_[static_cast<size_t>(slot)] =
+        PscArr{arr.raw().data(), arr.lo_ptr(), arr.window_ptr(),
+               arr.stride_ptr()};
+  }
+  use_native_ = true;
+}
+
+void EngineHost::setup_bytecode() {
+  // Compile every equation once against the module-wide slot layout.
+  // The VM frame sizes itself to the loop nest, so there is no depth
+  // limit; modules genuinely outside the bytecode fragment keep the
+  // tree-walk reference evaluator instead of failing -- and the reason
+  // is recorded rather than swallowed.
+  try {
+    core_.compile(*module_);
+  } catch (const std::exception& error) {
+    record_fallback(EvalEngine::Bytecode, error.what());
+    return;
+  }
+  core_.set_dispatch(options_.dispatch);
+  core_.bind_arrays(*arrays_);
+  for (size_t i = 0; i < module_->data.size(); ++i) {
+    const DataItem& item = module_->data[i];
+    if (!item.is_scalar()) continue;
+    int64_t as_int = 0;
+    double as_real = 0.0;
+    if (bind_scalar_input(item.name, as_int, as_real)) {
+      core_.set_scalar(i, as_int, as_real);
+    } else if (!is_equation_target(i) && core_.scalar_referenced(i)) {
+      // The tree-walk evaluator reports unbound names lazily, and only
+      // when a taken branch actually reads them; preserve that by
+      // leaving the slow path in charge of this module.
+      record_fallback(
+          EvalEngine::Bytecode,
+          "scalar input '" + item.name + "' is unbound (tree-walk resolves "
+          "names lazily; the bytecode engine would need a value up front)");
+      return;
+    }
+  }
+  // Every referenced input scalar is now bound (or we fell back above);
+  // quicken the parameter loads into immediates before the hot loops.
+  // Equation-target scalars are never quickened, so the clients'
+  // mid-run set_scalar writes keep working.
+  core_.quicken_scalars();
+  use_bytecode_ = true;
+}
+
+EngineTierProbe probe_engine_tier(const CheckedModule& module) {
+  EngineTierProbe probe;
+  EvalCore core;
+  try {
+    core.compile(module);
+    probe.tier = std::string(eval_engine_name(EvalEngine::Bytecode));
+  } catch (const std::exception& error) {
+    probe.tier = std::string(eval_engine_name(EvalEngine::TreeWalk));
+    probe.fallback = EngineHost::render(TierFallback{
+        EvalEngine::Bytecode,
+        strip_tier_prefix(EvalEngine::Bytecode, error.what())});
+  }
+  return probe;
+}
+
+void EngineHost::set_scalar(size_t data_index, int64_t as_int,
+                            double as_real) {
+  if (core_.compiled()) core_.set_scalar(data_index, as_int, as_real);
+  if (use_native_) {
+    int32_t slot = layout_.scalar_slot[data_index];
+    if (slot >= 0) {
+      native_ints_[static_cast<size_t>(slot)] = as_int;
+      native_reals_[static_cast<size_t>(slot)] = as_real;
+    }
+  }
+}
+
+}  // namespace ps

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/const_eval.hpp"
+#include "frontend/sema.hpp"
+#include "runtime/eval_core.hpp"
+#include "runtime/native_engine.hpp"
+#include "runtime/ndarray.hpp"
+
+namespace ps {
+
+/// One recorded tier degradation: `tier` is the tier that was given up
+/// (or deliberately skipped), `cause` says why -- *without* the tier
+/// prefix. Renderers print a fallback uniformly as "<tier>: <cause>",
+/// so the prefixes are stable across every runner and report.
+struct TierFallback {
+  EvalEngine tier = EvalEngine::Bytecode;
+  std::string cause;
+};
+
+struct EngineHostOptions {
+  /// Requested tier; the host degrades Native -> Bytecode -> TreeWalk,
+  /// recording why each step down happened.
+  EvalEngine engine = EvalEngine::Bytecode;
+  /// Bytecode VM dispatch strategy for the compiled core.
+  BcDispatch dispatch = BcDispatch::Threaded;
+  /// Where the native tier persists compiled shared objects; nullptr
+  /// compiles without persistence. Ignored unless engine == Native.
+  NativeObjectStore* native_store = nullptr;
+  /// Scalar binding precedence when a name appears in both input maps:
+  /// the flowchart Interpreter historically resolves real_inputs first,
+  /// the wavefront runner int_env first. Preserved per client so the
+  /// refactor is value-identical for both.
+  bool prefer_real_scalars = false;
+};
+
+/// The shared execution-tier selector both runtime engines sit on.
+///
+/// One EngineHost owns the tree-walk -> bytecode -> native ladder that
+/// used to live (twice, privately) inside the runners: it compiles the
+/// module into the shared EvalCore, binds scalar inputs in both
+/// interpretations, drives per-module native compilation and caching
+/// through the NativeEngine and the NativeObjectStore, and records
+/// every silent tier degradation as a structured TierFallback. Clients
+/// supply the one genuinely engine-specific ingredient -- the kernel
+/// emitter (`emit_native_kernel` for the wavefront runner,
+/// `emit_native_module` for the flowchart interpreter) -- as a
+/// callback; everything else (availability probe, scalar binding,
+/// unbound-input checks, parameter binding, load/publish, descriptor
+/// tables, quickening) is this class.
+///
+/// Degradation is silent but observable: `engine()` reports the tier in
+/// effect, `fallbacks()` the structured causes, `fallback_reason()`
+/// their rendered "; "-joined form, exactly the strings the runners
+/// used to build by hand.
+class EngineHost {
+ public:
+  /// Emits the native kernel for the module against the dense slot
+  /// layout. Throwing std::runtime_error means the module is outside
+  /// the emitter's fragment; the host records the cause and falls back
+  /// to the bytecode tier.
+  using KernelEmitFn = std::function<NativeKernel(const BcLayout&)>;
+
+  /// Run the tier ladder once. `arrays` must hold the client's NdArray
+  /// storage for every non-scalar data item (the NdArrays must not move
+  /// afterwards -- the native descriptor table points into them);
+  /// `int_env` / `real_inputs` bind the scalar inputs. A Native request
+  /// tries `emit`, degrading to Bytecode on any failure; a Bytecode
+  /// request (or the degraded path) compiles the EvalCore, degrading to
+  /// TreeWalk when the module or its bindings are outside the bytecode
+  /// fragment; a TreeWalk request skips both compiled tiers and records
+  /// "engine requested". All referenced module state must outlive the
+  /// host.
+  void select(const CheckedModule& module,
+              std::map<std::string, NdArray, std::less<>>& arrays,
+              const IntEnv& int_env,
+              const std::map<std::string, double>& real_inputs,
+              const EngineHostOptions& options, KernelEmitFn emit);
+
+  /// The evaluator actually in effect after select().
+  [[nodiscard]] EvalEngine engine() const {
+    if (use_native_) return EvalEngine::Native;
+    return use_bytecode_ ? EvalEngine::Bytecode : EvalEngine::TreeWalk;
+  }
+  [[nodiscard]] bool native_ready() const { return use_native_; }
+  [[nodiscard]] bool bytecode_ready() const { return use_bytecode_; }
+
+  /// Rendered degradation causes ("<tier>: <cause>" joined with "; ");
+  /// empty when the requested tier runs.
+  [[nodiscard]] const std::string& fallback_reason() const {
+    return rendered_;
+  }
+  /// The structured (tier, cause) pairs behind fallback_reason().
+  [[nodiscard]] const std::vector<TierFallback>& fallbacks() const {
+    return fallbacks_;
+  }
+  /// Native tier load details (key, cache hits, compile ms); only
+  /// meaningful when engine() == Native or a native load was attempted.
+  [[nodiscard]] const NativeLoadInfo& native_info() const {
+    return native_info_;
+  }
+
+  /// The shared bytecode core (compiled iff bytecode_ready()).
+  [[nodiscard]] EvalCore& core() { return core_; }
+  [[nodiscard]] const EvalCore& core() const { return core_; }
+
+  /// The loaded native module and its call operands (valid iff
+  /// native_ready()): psc_arr descriptors in array-slot order, both
+  /// scalar interpretations in scalar-slot order, and the bound P[]
+  /// parameter values in NativeKernel::param_names order.
+  [[nodiscard]] NativeModule* native_module() const { return native_.get(); }
+  [[nodiscard]] PscArr* native_arrays() { return native_arrs_.data(); }
+  [[nodiscard]] int64_t* native_ints() { return native_ints_.data(); }
+  [[nodiscard]] double* native_reals() { return native_reals_.data(); }
+  [[nodiscard]] const int64_t* native_params() const {
+    return native_params_.data();
+  }
+
+  /// The dense slot layout of the module (valid after select()).
+  [[nodiscard]] const BcLayout& layout() const { return layout_; }
+
+  /// Write both interpretations of a scalar through to every live tier
+  /// (the compiled core's slot and the native operand vectors). The
+  /// clients' mid-run scalar-target writes funnel through this.
+  void set_scalar(size_t data_index, int64_t as_int, double as_real);
+
+  /// Render one structured fallback the way fallback_reason() does.
+  [[nodiscard]] static std::string render(const TierFallback& fallback);
+
+ private:
+  void record_fallback(EvalEngine tier, std::string cause);
+  void setup_native(const KernelEmitFn& emit);
+  void setup_bytecode();
+  /// Bind a scalar input from the input maps in the client's precedence
+  /// order; returns false when the name is bound by neither.
+  bool bind_scalar_input(const std::string& name, int64_t& as_int,
+                         double& as_real) const;
+  /// True when `data_index` is the target of some equation (such
+  /// scalars are computed mid-run, so being unbound up front is fine).
+  [[nodiscard]] bool is_equation_target(size_t data_index) const;
+
+  const CheckedModule* module_ = nullptr;
+  std::map<std::string, NdArray, std::less<>>* arrays_ = nullptr;
+  const IntEnv* int_env_ = nullptr;
+  const std::map<std::string, double>* real_inputs_ = nullptr;
+  EngineHostOptions options_;
+  BcLayout layout_;
+
+  EvalCore core_;
+  bool use_bytecode_ = false;
+
+  std::shared_ptr<NativeModule> native_;
+  NativeLoadInfo native_info_;
+  std::vector<PscArr> native_arrs_;
+  std::vector<int64_t> native_ints_;
+  std::vector<double> native_reals_;
+  std::vector<int64_t> native_params_;
+  bool use_native_ = false;
+
+  std::vector<TierFallback> fallbacks_;
+  std::string rendered_;
+};
+
+/// Input-free tier probe for compile-time reports (--verbose, batch
+/// reports, cached artifacts): which compiled tier the module's
+/// *equations* reach, ignoring scalar bindings (those are a property of
+/// one run, not of the unit). `tier` is "bytecode" when the bytecode
+/// compiler covers the module, "tree-walk" otherwise, with the rendered
+/// "<tier>: <cause>" in `fallback`.
+struct EngineTierProbe {
+  std::string tier;
+  std::string fallback;  // empty when the bytecode tier compiles
+};
+
+[[nodiscard]] EngineTierProbe probe_engine_tier(const CheckedModule& module);
+
+}  // namespace ps

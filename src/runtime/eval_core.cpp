@@ -53,8 +53,20 @@ void EvalCore::compile(const CheckedModule& module) {
   programs_.reserve(module.equations.size());
   for (const CheckedEquation& eq : module.equations) {
     EquationPrograms programs;
-    programs.rhs = compile_expr(*eq.rhs, module, layout_);
-    optimise(programs.rhs);
+    if (bc_is_record_item(module.data[eq.target])) {
+      // Record target: one projection program per field (the RHS slot
+      // stays empty; eval_store drives field_rhs instead).
+      size_t field_count = module.data[eq.target].elem->fields.size();
+      programs.field_rhs.reserve(field_count);
+      for (size_t f = 0; f < field_count; ++f) {
+        programs.field_rhs.push_back(
+            compile_record_field_expr(*eq.rhs, f, module, layout_));
+        optimise(programs.field_rhs.back());
+      }
+    } else {
+      programs.rhs = compile_expr(*eq.rhs, module, layout_);
+      optimise(programs.rhs);
+    }
     for (const LhsSubscript& sub : eq.lhs_subs) {
       if (sub.is_index_var) {
         programs.lhs_fixed.push_back(nullptr);
@@ -131,6 +143,7 @@ size_t EvalCore::quicken_scalars() {
   };
   for (EquationPrograms& programs : programs_) {
     quicken(programs.rhs);
+    for (BcProgram& field : programs.field_rhs) quicken(field);
     for (auto& lhs : programs.lhs_fixed)
       if (lhs != nullptr) quicken(*lhs);
   }
@@ -151,6 +164,8 @@ bool EvalCore::scalar_referenced(size_t data_index) const {
   };
   for (const EquationPrograms& programs : programs_) {
     if (reads(programs.rhs)) return true;
+    for (const BcProgram& field : programs.field_rhs)
+      if (reads(field)) return true;
     for (const auto& lhs : programs.lhs_fixed)
       if (lhs != nullptr && reads(*lhs)) return true;
   }
@@ -300,8 +315,11 @@ void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
       idx.push_back(*v);
     } else {
       EvalSlot s = run(*programs.lhs_fixed[p], frame, scratch);
+      // Real-valued fixed subscripts truncate through the shared
+      // defined conversion so every engine tier lands on the same cell
+      // (a raw cast is UB for NaN and out-of-range values).
       idx.push_back(programs.lhs_fixed[p]->result_real
-                        ? static_cast<int64_t>(s.d)
+                        ? bc_double_to_int64(s.d)
                         : s.i);
     }
   }
@@ -309,6 +327,29 @@ void EvalCore::lhs_index(const CheckedEquation& eq, const VarFrame& frame,
 
 void EvalCore::eval_store(const CheckedEquation& eq, const VarFrame& frame,
                           EvalScratch& scratch) const {
+  const EquationPrograms& eq_programs = programs_[eq.id];
+  if (!eq_programs.field_rhs.empty()) {
+    // Record target: store every field, the ordinal appended as the
+    // trailing subscript of the target tuple.
+    std::vector<int64_t>& idx = scratch.lhs_idx;
+    lhs_index(eq, frame, scratch, idx);
+    const DataItem& target = module_->data[eq.target];
+    NdArray& arr =
+        *array_table_[static_cast<size_t>(layout_.array_slot[eq.target])];
+    idx.push_back(0);
+    for (size_t f = 0; f < eq_programs.field_rhs.size(); ++f) {
+      idx.back() = static_cast<int64_t>(f);
+      EvalSlot s = run(eq_programs.field_rhs[f], frame, scratch);
+      double value = eq_programs.field_rhs[f].result_real
+                         ? s.d
+                         : static_cast<double>(s.i);
+      if (!arr.in_bounds(idx))
+        fail(eq.display_name + ": write outside the bounds of '" +
+             target.name + "'");
+      arr.set(idx, value);
+    }
+    return;
+  }
   double value = eval_rhs_real(eq, frame, scratch);
   std::vector<int64_t>& idx = scratch.lhs_idx;
   lhs_index(eq, frame, scratch, idx);

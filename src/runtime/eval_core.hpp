@@ -111,16 +111,22 @@ struct EvalScratch {
 class EvalCore {
  public:
   /// Per-equation compiled programs: the RHS and one program per fixed
-  /// (non-index-variable) LHS subscript position.
+  /// (non-index-variable) LHS subscript position. Record-target
+  /// equations compile one projection program per field into
+  /// `field_rhs` instead of `rhs` (which stays empty): eval_store runs
+  /// them in ordinal order with the ordinal appended as the trailing
+  /// subscript of the target tuple.
   struct EquationPrograms {
     BcProgram rhs;
     std::vector<std::unique_ptr<BcProgram>> lhs_fixed;
+    std::vector<BcProgram> field_rhs;
   };
 
   EvalCore() = default;
 
   /// Compile every equation of `module`. Throws std::runtime_error on
-  /// constructs the bytecode compiler does not support (record fields).
+  /// constructs the bytecode compiler does not support (record values
+  /// outside name/element/conditional shapes, nested record fields).
   /// `module` must outlive the core.
   void compile(const CheckedModule& module);
 

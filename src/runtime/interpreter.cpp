@@ -4,6 +4,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "codegen/native_emitter.hpp"
+
 namespace ps {
 
 namespace {
@@ -31,9 +33,17 @@ Interpreter::Interpreter(const CheckedModule& module, const DepGraph& graph,
   }
 
   for (const DataItem& item : module_.data) {
-    if (item.elem != nullptr && item.elem->kind == TypeKind::Record)
-      fail("record-typed data item '" + item.name + "' is not supported");
-    if (item.is_scalar()) {
+    // Record items store as arrays with one trailing field dimension
+    // (see bc_is_record_item): a field access is an ordinary array
+    // load with the ordinal as the extra subscript, shared by all
+    // engine tiers. Only scalar-field records fit that layout.
+    const bool record = bc_is_record_item(item);
+    if (record)
+      for (const auto& [fname, ftype] : item.elem->fields)
+        if (ftype->kind == TypeKind::Record || ftype->kind == TypeKind::Array)
+          fail("record field '" + fname + "' of '" + item.name +
+               "' is not scalar; nested records are not supported");
+    if (item.is_scalar() && !record) {
       if (item.cls == DataClass::Input) {
         auto ri = real_inputs_.find(item.name);
         auto ii = int_env_.find(item.name);
@@ -69,40 +79,48 @@ Interpreter::Interpreter(const CheckedModule& module, const DepGraph& graph,
       }
       window.push_back(w);
     }
+    if (record) {
+      int64_t field_count = static_cast<int64_t>(item.elem->fields.size());
+      lo.push_back(0);
+      hi.push_back(field_count - 1);
+      window.push_back(field_count);
+    }
     arrays_.emplace(item.name,
                     NdArray(std::move(lo), std::move(hi), std::move(window)));
   }
 
-  if (options_.engine == EvalEngine::Bytecode) compile_programs();
+  select_engine();
 }
 
-void Interpreter::compile_programs() {
-  core_.compile(module_);
-  core_.set_dispatch(options_.dispatch);
-  core_.bind_arrays(arrays_);
-  for (size_t i = 0; i < module_.data.size(); ++i) {
-    auto sc = scalars_.find(module_.data[i].name);
-    if (sc == scalars_.end()) continue;
-    core_.set_scalar(i,
-                     sc->second.tag == RtValue::Tag::Int
-                         ? sc->second.i
-                         : static_cast<int64_t>(sc->second.as_real()),
-                     sc->second.as_real());
-  }
-  // Input scalars are pinned for the run; specialise their loads away
-  // (equation-target scalars stay slot reads so write_scalar works).
-  core_.quicken_scalars();
+void Interpreter::select_engine() {
+  EngineHostOptions host_options;
+  host_options.engine = options_.engine;
+  host_options.dispatch = options_.dispatch;
+  host_options.native_store = options_.native_store;
+  host_options.prefer_real_scalars = true;  // real_inputs binds first
+  host_.select(module_, arrays_, int_env_, real_inputs_, host_options,
+               [this](const BcLayout& layout) {
+                 // The whole-module kernel addresses every array at
+                 // full extent; windowed (wrapped) storage is outside
+                 // its fragment, so virtually windowed runs stay on
+                 // the lower tiers.
+                 if (options_.use_virtual_windows)
+                   throw std::runtime_error(
+                       "native: virtual windows need wrapped addressing "
+                       "outside the whole-module kernel fragment");
+                 return emit_native_module(module_, layout, graph_,
+                                           flowchart_, options_.exact_bounds);
+               });
 }
 
 void Interpreter::write_scalar(size_t data_index, RtValue value) {
   const DataItem& item = module_.data[data_index];
   scalars_[item.name] = value;
-  if (core_.compiled())
-    core_.set_scalar(data_index,
-                     value.tag == RtValue::Tag::Int
-                         ? value.i
-                         : static_cast<int64_t>(value.as_real()),
-                     value.as_real());
+  host_.set_scalar(data_index,
+                   value.tag == RtValue::Tag::Int
+                       ? value.i
+                       : static_cast<int64_t>(value.as_real()),
+                   value.as_real());
 }
 
 NdArray& Interpreter::array(std::string_view name) {
@@ -145,9 +163,51 @@ void Interpreter::reset() {
 }
 
 void Interpreter::run() {
+  if (host_.native_ready()) {
+    run_native_module();
+    return;
+  }
   Frame frame;
   EvalScratch scratch;
   exec_list(flowchart_, frame, scratch);
+}
+
+void Interpreter::run_native_module() {
+  // One call executes the whole flowchart in the Interpreter's order;
+  // the kernel writes arrays through the shared psc_arr descriptors
+  // (pointing straight into arrays_) and scalar targets into the
+  // host's ints/reals vectors.
+  NativeModule::ModuleFn fn = host_.native_module()->module_entry();
+  fn(host_.native_arrays(), host_.native_ints(), host_.native_reals(),
+     host_.native_params());
+
+  // Mirror the scalar-target results back into the scalar map so
+  // scalar() observes the same values as the other tiers, typed by the
+  // declared kind exactly like the bytecode path's write_scalar.
+  const BcLayout& layout = host_.layout();
+  for (size_t i = 0; i < module_.data.size(); ++i) {
+    const DataItem& item = module_.data[i];
+    if (!item.is_scalar() || bc_is_record_item(item)) continue;
+    int32_t slot = layout.scalar_slot[i];
+    if (slot < 0) continue;
+    bool computed = false;
+    for (const CheckedEquation& eq : module_.equations)
+      if (eq.target == i) computed = true;
+    if (!computed) continue;
+    int64_t as_int = host_.native_ints()[slot];
+    double as_real = host_.native_reals()[slot];
+    switch (item.elem->scalar_kind()) {
+      case TypeKind::Real:
+        scalars_[item.name] = RtValue::of_real(as_real);
+        break;
+      case TypeKind::Bool:
+        scalars_[item.name] = RtValue::of_bool(as_int != 0);
+        break;
+      default:
+        scalars_[item.name] = RtValue::of_int(as_int);
+        break;
+    }
+  }
 }
 
 void Interpreter::exec_list(const Flowchart& steps, Frame& frame,
@@ -336,14 +396,55 @@ void Interpreter::exec_equation(uint32_t node, Frame& frame,
   const CheckedEquation& eq = graph_.equation_of(graph_.node(node));
   const DataItem& target = module_.data[eq.target];
 
-  if (options_.engine == EvalEngine::Bytecode) {
-    if (target.is_scalar()) {
-      const BcProgram& rhs = core_.programs(eq.id).rhs;
-      EvalSlot result = core_.run(rhs, frame, scratch);
+  if (host_.bytecode_ready()) {
+    if (target.is_scalar() && !bc_is_record_item(target)) {
+      const BcProgram& rhs = host_.core().programs(eq.id).rhs;
+      EvalSlot result = host_.core().run(rhs, frame, scratch);
       write_scalar(eq.target, rhs.result_real ? RtValue::of_real(result.d)
                                               : RtValue::of_int(result.i));
     } else {
-      core_.eval_store(eq, frame, scratch);
+      // Array and record targets (a rank-0 record is a 1-d array over
+      // its fields) both store through the core.
+      host_.core().eval_store(eq, frame, scratch);
+    }
+    return;
+  }
+
+  // Fixed LHS subscripts may be real-valued: convert through the same
+  // defined truncation as the bytecode VM's lhs_index, so all tiers
+  // agree even on NaN/out-of-range values.
+  auto fixed_index = [&](const Expr& e) {
+    RtValue v = eval(e, frame);
+    if (v.tag == RtValue::Tag::Bool)
+      fail(eq.display_name + ": boolean used as a subscript");
+    return v.tag == RtValue::Tag::Real ? bc_double_to_int64(v.d) : v.i;
+  };
+
+  if (bc_is_record_item(target)) {
+    // Record-target store: one write per field, the ordinal appended as
+    // the trailing subscript -- the order the VM's field programs run.
+    std::vector<int64_t> idx;
+    idx.reserve(eq.lhs_subs.size() + 1);
+    for (const LhsSubscript& sub : eq.lhs_subs) {
+      if (sub.is_index_var) {
+        const int64_t* v = frame.find(sub.var);
+        if (v == nullptr)
+          fail(eq.display_name + ": unbound index variable '" + sub.var +
+               "'");
+        idx.push_back(*v);
+      } else {
+        idx.push_back(fixed_index(*sub.fixed));
+      }
+    }
+    NdArray& arr = arrays_.find(target.name)->second;
+    idx.push_back(0);
+    for (size_t f = 0; f < target.elem->fields.size(); ++f) {
+      idx.back() = static_cast<int64_t>(f);
+      double value = eval_field_store(*eq.rhs, f, frame);
+      if (!arr.in_bounds(idx))
+        fail(eq.display_name + ": write outside the bounds of '" +
+             target.name + "'");
+      arr.set(idx, value);
     }
     return;
   }
@@ -364,7 +465,7 @@ void Interpreter::exec_equation(uint32_t node, Frame& frame,
         fail(eq.display_name + ": unbound index variable '" + sub.var + "'");
       idx.push_back(*v);
     } else {
-      idx.push_back(eval_int(*sub.fixed, frame));
+      idx.push_back(fixed_index(*sub.fixed));
     }
   }
   NdArray& arr = arrays_.find(target.name)->second;
@@ -405,6 +506,9 @@ Interpreter::RtValue Interpreter::eval(const Expr& e, const Frame& frame) {
       if (sc != scalars_.end()) return sc->second;
       auto en = enum_consts_.find(name);
       if (en != enum_consts_.end()) return RtValue::of_int(en->second);
+      const DataItem* item = module_.find_data(name);
+      if (item != nullptr && bc_is_record_item(*item))
+        fail("record value outside a field projection");
       fail("no value for name '" + name + "'");
     }
     case ExprKind::Index: {
@@ -419,14 +523,18 @@ Interpreter::RtValue Interpreter::eval(const Expr& e, const Frame& frame) {
       for (const auto& sub : ix.subs) idx.push_back(eval_int(*sub, frame));
       if (!it->second.in_bounds(idx))
         fail("read outside the bounds of '" + name + "'");
-      double v = it->second.at(idx);
       const DataItem* item = module_.find_data(name);
+      if (item != nullptr && bc_is_record_item(*item))
+        fail("record value outside a field projection");
+      double v = it->second.at(idx);
       if (item != nullptr && item->elem->scalar_kind() == TypeKind::Int)
         return RtValue::of_int(static_cast<int64_t>(v));
       return RtValue::of_real(v);
     }
-    case ExprKind::Field:
-      fail("record fields are not supported by the interpreter");
+    case ExprKind::Field: {
+      const auto& f = static_cast<const FieldExpr&>(e);
+      return eval_field(*f.base, f.field, frame);
+    }
     case ExprKind::Unary: {
       const auto& u = static_cast<const UnaryExpr&>(e);
       RtValue v = eval(*u.operand, frame);
@@ -547,6 +655,84 @@ Interpreter::RtValue Interpreter::eval(const Expr& e, const Frame& frame) {
     }
   }
   fail("unreachable expression kind");
+}
+
+const DataItem& Interpreter::record_base(const Expr& base, const Frame& frame,
+                                         std::vector<int64_t>& idx) {
+  const NameExpr* name = nullptr;
+  if (base.kind == ExprKind::Name) {
+    name = &static_cast<const NameExpr&>(base);
+  } else if (base.kind == ExprKind::Index) {
+    const auto& ix = static_cast<const IndexExpr&>(base);
+    if (ix.base->kind != ExprKind::Name)
+      fail("unsupported record base expression");
+    name = &static_cast<const NameExpr&>(*ix.base);
+    idx.reserve(ix.subs.size() + 1);
+    for (const auto& sub : ix.subs) idx.push_back(eval_int(*sub, frame));
+  } else {
+    fail("unsupported record base expression");
+  }
+  const DataItem* item = module_.find_data(name->name);
+  if (item == nullptr || !bc_is_record_item(*item) ||
+      item->rank() != idx.size())
+    fail("bad record reference to '" + name->name + "'");
+  return *item;
+}
+
+Interpreter::RtValue Interpreter::eval_field(const Expr& base,
+                                             std::string_view field,
+                                             const Frame& frame) {
+  if (base.kind == ExprKind::If) {
+    const auto& i = static_cast<const IfExpr&>(base);
+    RtValue c = eval(*i.cond, frame);
+    return eval_field(c.b ? *i.then_expr : *i.else_expr, field, frame);
+  }
+  std::vector<int64_t> idx;
+  const DataItem& item = record_base(base, frame, idx);
+  int64_t ordinal = bc_record_field_ordinal(*item.elem, field);
+  if (ordinal < 0)
+    fail("record '" + item.name + "' has no field '" + std::string(field) +
+         "'");
+  idx.push_back(ordinal);
+  NdArray& arr = arrays_.find(item.name)->second;
+  if (!arr.in_bounds(idx))
+    fail("read outside the bounds of '" + item.name + "'");
+  double v = arr.at(idx);
+  // Field loads mirror the VM's trailing-subscript LoadArray: real
+  // fields as-is, int/bool fields through the integer view (the same
+  // truncation as int-element arrays).
+  const Type* ftype = item.elem->fields[static_cast<size_t>(ordinal)].second;
+  switch (ftype->scalar_kind()) {
+    case TypeKind::Real:
+      return RtValue::of_real(v);
+    case TypeKind::Bool:
+      return RtValue::of_bool(static_cast<int64_t>(v) != 0);
+    default:
+      return RtValue::of_int(static_cast<int64_t>(v));
+  }
+}
+
+double Interpreter::eval_field_store(const Expr& e, size_t ordinal,
+                                     const Frame& frame) {
+  if (e.kind == ExprKind::If) {
+    const auto& i = static_cast<const IfExpr&>(e);
+    RtValue c = eval(*i.cond, frame);
+    return eval_field_store(c.b ? *i.then_expr : *i.else_expr, ordinal, frame);
+  }
+  std::vector<int64_t> idx;
+  const DataItem& item = record_base(e, frame, idx);
+  if (ordinal >= item.elem->fields.size())
+    fail("record field ordinal out of range");
+  idx.push_back(static_cast<int64_t>(ordinal));
+  NdArray& arr = arrays_.find(item.name)->second;
+  if (!arr.in_bounds(idx))
+    fail("read outside the bounds of '" + item.name + "'");
+  double v = arr.at(idx);
+  const Type* ftype = item.elem->fields[ordinal].second;
+  // Stored exactly as the VM's field programs produce the value: real
+  // fields pass through, int/bool fields round-trip the integer view.
+  if (ftype->scalar_kind() == TypeKind::Real) return v;
+  return static_cast<double>(static_cast<int64_t>(v));
 }
 
 }  // namespace ps

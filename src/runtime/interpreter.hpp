@@ -10,7 +10,7 @@
 #include "core/flowchart.hpp"
 #include "core/scheduler.hpp"
 #include "graph/depgraph.hpp"
-#include "runtime/eval_core.hpp"
+#include "runtime/engine_host.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
 #include "transform/polyhedron.hpp"
@@ -44,6 +44,10 @@ struct InterpreterOptions {
   /// so the guarded bounding-box scan of the rewritten module shrinks to
   /// exactly the image points. Must outlive the interpreter.
   const LoopNestBounds* exact_bounds = nullptr;
+  /// Where the native tier persists compiled shared objects (normally
+  /// the CompileService's ArtifactCache). nullptr compiles without
+  /// persistence. Ignored unless engine == Native.
+  NativeObjectStore* native_store = nullptr;
 };
 
 /// Executes a scheduled PS module: walks the flowchart, running DO loops
@@ -78,6 +82,30 @@ class Interpreter {
 
   /// Bytes of array storage allocated (used by the memory benches).
   [[nodiscard]] size_t allocated_doubles() const;
+
+  /// The evaluator actually in use. The interpreter now rides the same
+  /// EngineHost ladder as the wavefront runner: a Native request JIT-
+  /// compiles the whole flowchart (emit_native_module) and degrades to
+  /// Bytecode, which degrades to TreeWalk, with the causes recorded.
+  [[nodiscard]] EvalEngine engine() const { return host_.engine(); }
+
+  /// Why a lower tier than requested is in effect (empty when the
+  /// requested engine runs), rendered "<tier>: <cause>" per step.
+  [[nodiscard]] const std::string& fallback_reason() const {
+    return host_.fallback_reason();
+  }
+
+  /// The structured (tier, cause) degradation record behind
+  /// fallback_reason().
+  [[nodiscard]] const std::vector<TierFallback>& fallbacks() const {
+    return host_.fallbacks();
+  }
+
+  /// Native tier load details (key, cache hits, compile ms); only
+  /// meaningful when engine() == Native.
+  [[nodiscard]] const NativeLoadInfo& native_info() const {
+    return host_.native_info();
+  }
 
  private:
   /// Loop-index bindings, shared representation with the eval core.
@@ -123,8 +151,25 @@ class Interpreter {
   RtValue eval(const Expr& e, const Frame& frame);
   int64_t eval_int(const Expr& e, const Frame& frame);
 
-  // -- bytecode engine (delegates to the shared EvalCore) ---------------
-  void compile_programs();
+  // -- record fields (tree-walk reference semantics) --------------------
+  /// Resolve a record reference (a rank-0 record name or a subscripted
+  /// record array) to its data item, appending the base subscripts.
+  const DataItem& record_base(const Expr& base, const Frame& frame,
+                              std::vector<int64_t>& idx);
+  /// Load field `ordinal` of the record `base` refers to, mirroring the
+  /// VM's trailing-subscript load (int/bool fields truncate like
+  /// int-element arrays).
+  RtValue eval_field(const Expr& base, std::string_view field,
+                     const Frame& frame);
+  /// The stored double of field `ordinal` of a record-valued expression
+  /// (name / element / conditional), as a record-target equation writes
+  /// it: real fields as-is, int/bool fields through the VM's
+  /// load-as-integer conversion.
+  double eval_field_store(const Expr& e, size_t ordinal, const Frame& frame);
+
+  // -- engine tiers (delegate to the shared EngineHost) ------------------
+  void select_engine();
+  void run_native_module();
   void write_scalar(size_t data_index, RtValue value);
 
   const CheckedModule& module_;
@@ -138,8 +183,11 @@ class Interpreter {
   std::map<std::string, RtValue, std::less<>> scalars_;
   std::map<std::string, int64_t, std::less<>> enum_consts_;
 
-  // Bytecode state (populated when options_.engine == Bytecode).
-  EvalCore core_;
+  /// The shared tier ladder (tree-walk -> bytecode -> native). The emit
+  /// callback the interpreter hands it wraps emit_native_module over
+  /// the flowchart, so `psc --engine=native` accelerates plain
+  /// interpreted runs through one whole-module JIT kernel.
+  EngineHost host_;
 };
 
 }  // namespace ps

@@ -228,6 +228,14 @@ class NativeModuleLoader {
         return nullptr;
       }
     }
+    if (kernel.has_module) {
+      module->module_ = reinterpret_cast<NativeModule::ModuleFn>(
+          dlsym(handle, NativeKernel::module_symbol()));
+      if (module->module_ == nullptr) {
+        error = "missing symbol " + std::string(NativeKernel::module_symbol());
+        return nullptr;
+      }
+    }
     for (size_t id : kernel.equations) {
       std::string symbol = NativeKernel::equation_symbol(id);
       auto fn = reinterpret_cast<NativeModule::EquationFn>(

@@ -67,6 +67,9 @@ class NativeModule {
                                const int64_t*, int64_t, int64_t, int64_t);
   using EquationFn = void (*)(PscArr*, const int64_t*, const double*,
                               const int64_t*);
+  /// Whole-module kernel (emit_native_module): ints/reals mutable so
+  /// scalar-target equations update both interpretations mid-run.
+  using ModuleFn = void (*)(PscArr*, int64_t*, double*, const int64_t*);
 
   ~NativeModule();
   NativeModule(const NativeModule&) = delete;
@@ -77,6 +80,7 @@ class NativeModule {
     auto it = equations_.find(id);
     return it == equations_.end() ? nullptr : it->second;
   }
+  [[nodiscard]] ModuleFn module_entry() const { return module_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
@@ -87,6 +91,7 @@ class NativeModule {
   void* handle_ = nullptr;
   std::string path_;
   StripeFn stripe_ = nullptr;
+  ModuleFn module_ = nullptr;
   std::map<size_t, EquationFn> equations_;
 };
 

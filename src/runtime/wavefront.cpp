@@ -326,147 +326,24 @@ WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
   backend_ = make_wavefront_backend(options_.backend, options_.pool,
                                     options_.shards);
 
-  // Engine tiering: Native degrades to Bytecode (recording why), and
-  // Bytecode degrades to TreeWalk exactly as before. A tree-walk
-  // request skips both compiled tiers.
-  if (options_.engine == EvalEngine::Native) {
-    setup_native();
-    if (!use_native_) setup_bytecode();
-  } else if (options_.engine == EvalEngine::Bytecode) {
-    setup_bytecode();
-  } else {
-    record_fallback("tree-walk engine requested");
-  }
-}
-
-void WavefrontRunner::record_fallback(const std::string& reason) {
-  if (!fallback_reason_.empty()) fallback_reason_ += "; ";
-  fallback_reason_ += reason;
-  stats_.fallback_reason = fallback_reason_;
-}
-
-void WavefrontRunner::setup_native() {
-  if (!native_engine_available()) {
-    record_fallback("native: " + native_engine_unavailable_reason());
-    return;
-  }
-  const BcLayout layout = BcLayout::for_module(module_);
-
-  // Bind both interpretations of every scalar input up front, exactly
-  // like the bytecode tier; an unbound but referenced scalar keeps the
-  // module on the lower tiers (their lazy-name story).
-  native_ints_.assign(static_cast<size_t>(layout.scalar_count), 0);
-  native_reals_.assign(static_cast<size_t>(layout.scalar_count), 0.0);
-  for (size_t i = 0; i < module_.data.size(); ++i) {
-    const DataItem& item = module_.data[i];
-    if (!item.is_scalar()) continue;
-    int32_t slot = layout.scalar_slot[i];
-    if (slot < 0) continue;
-    if (auto ii = int_env_.find(item.name); ii != int_env_.end()) {
-      native_ints_[slot] = ii->second;
-      native_reals_[slot] = static_cast<double>(ii->second);
-    } else if (auto ri = real_inputs_.find(item.name);
-               ri != real_inputs_.end()) {
-      native_ints_[slot] = static_cast<int64_t>(ri->second);
-      native_reals_[slot] = ri->second;
-    } else {
-      bool referenced = false;
-      for (const CheckedEquation& eq : module_.equations)
-        for (const std::string& name : eq.scalar_refs)
-          if (name == item.name) referenced = true;
-      if (referenced) {
-        record_fallback("native: scalar input '" + item.name +
-                        "' is unbound");
-        return;
-      }
-    }
-  }
-
-  NativeKernel kernel;
-  try {
-    kernel =
-        emit_native_kernel(module_, layout, &nest_, recurrence_, new_array_);
-  } catch (const std::exception& error) {
-    record_fallback(error.what());  // already "native: ..."
-    return;
-  }
-
-  native_params_.clear();
-  native_params_.reserve(kernel.param_names.size());
-  for (const std::string& param : kernel.param_names) {
-    auto it = int_env_.find(param);
-    if (it == int_env_.end()) {
-      record_fallback("native: stripe bound parameter '" + param +
-                      "' is unbound");
-      return;
-    }
-    native_params_.push_back(it->second);
-  }
-
-  auto module = load_native_module(kernel, options_.native_store, native_info_);
-  if (module == nullptr) {
-    record_fallback("native: " + native_info_.error);
-    return;
-  }
-  native_ = std::move(module);
-  stats_.native_compile_ms = native_info_.compile_ms;
-  stats_.native_cache_hit = native_info_.cache_hit;
-  stats_.native_in_process_hit = native_info_.in_process_hit;
-
-  // psc_arr descriptors over the runner's storage, in array-slot order.
-  // The NdArrays live in a node-stable map and are never reshaped, so
-  // the pointers stay valid for the runner's lifetime.
-  native_arrs_.assign(static_cast<size_t>(layout.array_count), PscArr{});
-  for (size_t i = 0; i < module_.data.size(); ++i) {
-    const DataItem& item = module_.data[i];
-    if (item.is_scalar()) continue;
-    int32_t slot = layout.array_slot[i];
-    if (slot < 0) continue;
-    NdArray& arr = arrays_.at(item.name);
-    native_arrs_[static_cast<size_t>(slot)] =
-        PscArr{arr.raw().data(), arr.lo_ptr(), arr.window_ptr(),
-               arr.stride_ptr()};
-  }
-  use_native_ = true;
-}
-
-void WavefrontRunner::setup_bytecode() {
-  // Compile every equation once against the module-wide slot layout.
-  // The VM frame sizes itself to the loop nest, so there is no depth
-  // limit any more; modules genuinely outside the bytecode fragment
-  // (record fields) keep the tree-walk reference evaluator instead of
-  // failing -- and the reason is recorded rather than swallowed.
-  try {
-    core_.compile(module_);
-  } catch (const std::exception& error) {
-    record_fallback(error.what());
-    return;
-  }
-  core_.set_dispatch(options_.dispatch);
-  core_.bind_arrays(arrays_);
-  for (size_t i = 0; i < module_.data.size(); ++i) {
-    const DataItem& item = module_.data[i];
-    if (!item.is_scalar()) continue;
-    if (auto ii = int_env_.find(item.name); ii != int_env_.end()) {
-      core_.set_scalar(i, ii->second, static_cast<double>(ii->second));
-    } else if (auto ri = real_inputs_.find(item.name);
-               ri != real_inputs_.end()) {
-      core_.set_scalar(i, static_cast<int64_t>(ri->second), ri->second);
-    } else if (core_.scalar_referenced(i)) {
-      // The tree-walk evaluator reports unbound names lazily, and only
-      // when a taken branch actually reads them; preserve that by
-      // leaving the slow path in charge of this module.
-      record_fallback(
-          "scalar input '" + item.name + "' is unbound (tree-walk resolves "
-          "names lazily; the bytecode engine would need a value up front)");
-      return;
-    }
-  }
-  // Every referenced scalar is now bound (or we fell back above), and
-  // the wavefront fragment has no scalar-target equations -- quicken
-  // the parameter loads into immediates before the hot point loop.
-  core_.quicken_scalars();
-  use_bytecode_ = true;
+  // Engine tiering through the shared host: Native degrades to
+  // Bytecode (recording why), and Bytecode degrades to TreeWalk
+  // exactly as before. The runner contributes only its kernel emitter
+  // (the per-equation + stripe form over the exact nest).
+  EngineHostOptions host_options;
+  host_options.engine = options_.engine;
+  host_options.dispatch = options_.dispatch;
+  host_options.native_store = options_.native_store;
+  host_options.prefer_real_scalars = false;  // int_env binds first
+  host_.select(module_, arrays_, int_env_, real_inputs_, host_options,
+               [this](const BcLayout& layout) {
+                 return emit_native_kernel(module_, layout, &nest_,
+                                           recurrence_, new_array_);
+               });
+  stats_.fallback_reason = host_.fallback_reason();
+  stats_.native_compile_ms = host_.native_info().compile_ms;
+  stats_.native_cache_hit = host_.native_info().cache_hit;
+  stats_.native_in_process_hit = host_.native_info().in_process_hit;
 }
 
 NdArray& WavefrontRunner::array(std::string_view name) {
@@ -498,12 +375,12 @@ std::vector<int64_t> WavefrontRunner::context_points() const {
 void WavefrontRunner::eval_equation_instance(
     const CheckedEquation& eq, const std::vector<int64_t>& loop_vals,
     WorkerContext& ctx) {
-  if (use_native_) {
+  if (host_.native_ready()) {
     // Every equation of a loaded module has a point kernel; pre-phase
     // rotate-ins and consumer flushes run through the same machine code
     // as the recurrence, so all tiers of one run agree bit for bit.
-    if (NativeModule::EquationFn fn = native_->equation(eq.id)) {
-      fn(native_arrs_.data(), native_ints_.data(), native_reals_.data(),
+    if (NativeModule::EquationFn fn = host_.native_module()->equation(eq.id)) {
+      fn(host_.native_arrays(), host_.native_ints(), host_.native_reals(),
          loop_vals.data());
       return;
     }
@@ -517,10 +394,10 @@ void WavefrontRunner::eval_equation_instance(
   for (size_t d = 0; d < eq.loop_dims.size(); ++d)
     frame.vars.emplace_back(eq.loop_dims[d].var, loop_vals[d]);
 
-  if (use_bytecode_) {
+  if (host_.bytecode_ready()) {
     // Hot path: every recurrence point, rotate-in and consumer flush
     // executes compiled stack code on the shared core.
-    core_.eval_store(eq, frame, ctx.scratch);
+    host_.core().eval_store(eq, frame, ctx.scratch);
     return;
   }
 
@@ -539,7 +416,12 @@ void WavefrontRunner::eval_equation_instance(
       if (it == vars.end()) fail("unbound LHS index '" + sub.var + "'");
       idx[d] = it->second;
     } else {
-      idx[d] = eval_int(*sub.fixed, tree_ctx);
+      // Fixed LHS subscripts may be real-valued: convert through the
+      // same defined truncation as the bytecode VM's lhs_index, so all
+      // tiers agree even on NaN/out-of-range values.
+      Val v = eval(*sub.fixed, tree_ctx);
+      if (v.tag == Val::Tag::Bool) fail("boolean used as a subscript");
+      idx[d] = v.tag == Val::Tag::Real ? bc_double_to_int64(v.d) : v.i;
     }
   }
   NdArray& arr = arrays_.at(target.name);
@@ -569,15 +451,16 @@ void WavefrontRunner::execute_pre_equations() {
 
 void WavefrontRunner::execute_hyperplane(int64_t t) {
   const CheckedEquation& rec = module_.equations[recurrence_];
-  if (use_native_ && options_.native_stripes && native_->stripe() != nullptr) {
+  if (host_.native_ready() && options_.native_stripes &&
+      host_.native_module()->stripe() != nullptr) {
     // Batched path: one kernel call scans a whole contiguous stripe of
     // the hyperplane, so the C compiler's auto-vectorised inner loop
     // replaces a per-point indirect call.
-    NativeModule::StripeFn stripe = native_->stripe();
+    NativeModule::StripeFn stripe = host_.native_module()->stripe();
     stats_.points += backend_->run_hyperplane_stripes(
         *schedule_, t, [&](WorkerContext&, int64_t begin, int64_t end) {
-          return stripe(native_arrs_.data(), native_ints_.data(),
-                        native_reals_.data(), native_params_.data(), t, begin,
+          return stripe(host_.native_arrays(), host_.native_ints(),
+                        host_.native_reals(), host_.native_params(), t, begin,
                         end);
         });
     return;
@@ -599,11 +482,11 @@ void WavefrontRunner::flush_hyperplane(int64_t t) {
 
 void WavefrontRunner::run() {
   stats_ = {};
-  stats_.fallback_reason = fallback_reason_;
+  stats_.fallback_reason = host_.fallback_reason();
   stats_.backend = backend_->describe();
-  stats_.native_compile_ms = native_info_.compile_ms;
-  stats_.native_cache_hit = native_info_.cache_hit;
-  stats_.native_in_process_hit = native_info_.in_process_hit;
+  stats_.native_compile_ms = host_.native_info().compile_ms;
+  stats_.native_cache_hit = host_.native_info().cache_hit;
+  stats_.native_in_process_hit = host_.native_info().in_process_hit;
   backend_->reset_counters();
   execute_pre_equations();
   if (stream_ == nullptr)

@@ -10,8 +10,7 @@
 #include "core/const_eval.hpp"
 #include "frontend/sema.hpp"
 #include "runtime/consumer_stream.hpp"
-#include "runtime/eval_core.hpp"
-#include "runtime/native_engine.hpp"
+#include "runtime/engine_host.hpp"
 #include "runtime/ndarray.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/wavefront_backend.hpp"
@@ -154,23 +153,27 @@ class WavefrontRunner {
   /// The evaluator actually in use. The tiers degrade Native ->
   /// Bytecode -> TreeWalk: a Native request falls to Bytecode when the
   /// module is outside the native emitter's fragment or no compiler is
-  /// usable, and Bytecode falls to TreeWalk exactly as before.
-  [[nodiscard]] EvalEngine engine() const {
-    if (use_native_) return EvalEngine::Native;
-    return use_bytecode_ ? EvalEngine::Bytecode : EvalEngine::TreeWalk;
-  }
+  /// usable, and Bytecode falls to TreeWalk exactly as before. The
+  /// selection lives in the shared EngineHost.
+  [[nodiscard]] EvalEngine engine() const { return host_.engine(); }
 
   /// Why a lower tier than requested is in effect (empty when the
-  /// requested engine runs). Also recorded in stats() so batch reports
-  /// can surface it.
+  /// requested engine runs), rendered "<tier>: <cause>" per step. Also
+  /// recorded in stats() so batch reports can surface it.
   [[nodiscard]] const std::string& fallback_reason() const {
-    return fallback_reason_;
+    return host_.fallback_reason();
+  }
+
+  /// The structured (tier, cause) degradation record behind
+  /// fallback_reason() (--batch-report --json surfaces these).
+  [[nodiscard]] const std::vector<TierFallback>& fallbacks() const {
+    return host_.fallbacks();
   }
 
   /// Native tier load details (key, cache hits, compile ms); only
   /// meaningful when engine() == Native.
   [[nodiscard]] const NativeLoadInfo& native_info() const {
-    return native_info_;
+    return host_.native_info();
   }
 
   /// The execution backend in effect (ExecutionBackend::describe()).
@@ -185,11 +188,6 @@ class WavefrontRunner {
   void execute_pre_equations();
   void execute_hyperplane(int64_t t);
   void flush_hyperplane(int64_t t);
-  void setup_bytecode();
-  void setup_native();
-  /// Append a tier-degradation cause to fallback_reason_ (and the
-  /// stats), separating multiple causes with "; ".
-  void record_fallback(const std::string& reason);
   void eval_equation_instance(const CheckedEquation& eq,
                               const std::vector<int64_t>& loop_vals,
                               WorkerContext& ctx);
@@ -220,25 +218,10 @@ class WavefrontRunner {
   /// Context for the sequential phases (pre-equations, flushes).
   WorkerContext main_ctx_;
 
-  /// Shared bytecode execution core (compiled once per runner when the
-  /// Bytecode engine is selected and the module fits the fragment).
-  EvalCore core_;
-  bool use_bytecode_ = false;
-  std::string fallback_reason_;
-
-  /// Native tier state (engine == Native and the module loaded): the
-  /// shared kernel module, the psc_arr descriptor table (BcLayout array
-  /// slot order), both scalar interpretations per scalar slot, and the
-  /// stripe kernel's parameter values in NativeKernel::param_names
-  /// order. The descriptors point into arrays_, whose NdArrays never
-  /// move after construction.
-  std::shared_ptr<NativeModule> native_;
-  NativeLoadInfo native_info_;
-  std::vector<PscArr> native_arrs_;
-  std::vector<int64_t> native_ints_;
-  std::vector<double> native_reals_;
-  std::vector<int64_t> native_params_;
-  bool use_native_ = false;
+  /// The shared tier ladder: bytecode core, native module + call
+  /// operands, and the structured fallback record. The emit callback
+  /// the runner hands it wraps emit_native_kernel over the exact nest.
+  EngineHost host_;
 };
 
 }  // namespace ps

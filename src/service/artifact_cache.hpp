@@ -16,9 +16,18 @@ namespace ps {
 /// hyperplane-transformed module) -- everything the client-facing
 /// render paths need, with no live AST behind it.
 struct StageArtifact {
-  std::string source;    // pretty-printed PS (psc --source)
-  std::string schedule;  // flowchart text (psc --schedule, the default)
-  std::string c_code;    // generated C (psc --c)
+  std::string source;      // pretty-printed PS (psc --source)
+  std::string schedule;    // flowchart text (psc --schedule, the default)
+  std::string c_code;      // generated C (psc --c)
+  std::string graph;       // dependency-graph inventory (psc --graph)
+  std::string dot;         // Graphviz DOT (psc --dot)
+  std::string components;  // MSCC table (psc --components)
+  /// The compiled runtime tier the stage's module reaches ("bytecode",
+  /// or "tree-walk" with the rendered "<tier>: <cause>" next to it) --
+  /// probe_engine_tier at artifact-build time, so batch reports and the
+  /// daemon's tier counters never need a live CompileResult.
+  std::string engine_tier;
+  std::string engine_fallback;
 };
 
 /// The cached result of compiling one unit: the compile service's unit

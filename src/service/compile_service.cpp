@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/flowchart.hpp"
+#include "runtime/engine_host.hpp"
 #include "service/protocol.hpp"
 #include "support/report_format.hpp"
 #include "support/text_table.hpp"
@@ -24,10 +25,31 @@ StageArtifact stage_artifact(const CompiledModule& stage) {
   out.source = stage.source;
   out.schedule = flowchart_to_string(stage.schedule.flowchart, *stage.graph);
   out.c_code = stage.c_code;
+  out.graph = stage.graph->summary();
+  out.dot = stage.graph->to_dot();
+  out.components = components_table(stage);
+  EngineTierProbe probe = probe_engine_tier(*stage.module);
+  out.engine_tier = std::move(probe.tier);
+  out.engine_fallback = std::move(probe.fallback);
   return out;
 }
 
 }  // namespace
+
+std::string components_table(const CompiledModule& stage) {
+  TextTable table({"Component", "Node(s)", "Flowchart"});
+  for (size_t i = 0; i < stage.schedule.components.size(); ++i) {
+    const auto& comp = stage.schedule.components[i];
+    std::string names;
+    for (size_t j = 0; j < comp.nodes.size(); ++j) {
+      if (j) names += ", ";
+      names += stage.graph->node(comp.nodes[j]).name;
+    }
+    table.add_row({std::to_string(i + 1), names,
+                   flowchart_to_line(comp.flowchart, *stage.graph)});
+  }
+  return table.render();
+}
 
 UnitArtifact artifact_from_result(const BatchUnitResult& unit) {
   UnitArtifact artifact;
@@ -56,6 +78,9 @@ std::string render_artifact(const UnitArtifact& artifact,
   std::string out;
   auto render_stage = [&](const StageArtifact& stage) {
     if (flags.source) out += stage.source + "\n";
+    if (flags.graph) out += stage.graph + "\n";
+    if (flags.dot) out += stage.dot + "\n";
+    if (flags.components) out += stage.components + "\n";
     if (flags.schedule) out += stage.schedule + "\n";
     if (flags.c_code) out += stage.c_code + "\n";
   };
@@ -115,6 +140,19 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
   const bool spill = cache_ != nullptr && options_.spill_after > 0 &&
                      request.units.size() > options_.spill_after;
 
+  // Engine-tier counters over every decoded artifact's stages; folded
+  // into the session stats at the end (psc --daemon-stats reads them).
+  size_t tier_bytecode = 0;
+  size_t tier_tree_walk = 0;
+  auto count_tiers = [&](const UnitArtifact& artifact) {
+    auto count = [&](const std::string& tier) {
+      if (tier == "bytecode") ++tier_bytecode;
+      else if (tier == "tree-walk") ++tier_tree_walk;
+    };
+    count(artifact.primary.engine_tier);
+    if (artifact.has_transform) count(artifact.transformed.engine_tier);
+  };
+
   // Probe the cache first: every hit is a unit the pass pipeline never
   // sees. Under spill, hits are validated (decoded, then dropped) so
   // the response never accumulates whole-batch artifact text.
@@ -136,8 +174,11 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
     }
     unit.ok = artifact->ok;
     unit.module_name = artifact->module_name;
+    unit.engine_tier = artifact->primary.engine_tier;
+    unit.engine_fallback = artifact->primary.engine_fallback;
     unit.cache_hit = true;
     unit.milliseconds = ms_since(probe);
+    count_tiers(*artifact);
     if (spill) {
       unit.spilled = true;
     } else {
@@ -167,7 +208,10 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
         UnitArtifact artifact = artifact_from_result(result);
         unit.ok = artifact.ok;
         unit.module_name = artifact.module_name;
+        unit.engine_tier = artifact.primary.engine_tier;
+        unit.engine_fallback = artifact.primary.engine_fallback;
         unit.milliseconds = result.milliseconds;
+        count_tiers(artifact);
         bool stored =
             cache_ != nullptr && cache_->store(unit.key, artifact);
         // Spilling drops the in-memory copy, so it is only safe when
@@ -195,6 +239,8 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
     stats_.cache_hits += response.cache_hits;
     stats_.cache_misses += response.cache_misses;
     stats_.spilled += response.spilled;
+    stats_.tier_bytecode += tier_bytecode;
+    stats_.tier_tree_walk += tier_tree_walk;
   }
   return response;
 }
@@ -253,12 +299,16 @@ std::optional<std::string> CompileService::artifact_bytes(
 
 std::string format_service_report(const std::vector<ServiceReportRow>& rows,
                                   const ServiceReportSummary& summary) {
-  TextTable table({"Unit", "Module", "Status", "Source", "Time (ms)"});
+  TextTable table({"Unit", "Module", "Status", "Engine", "Source",
+                   "Time (ms)"});
   size_t succeeded = 0;
+  size_t degraded = 0;
   for (const ServiceReportRow& row : rows) {
     if (row.ok) ++succeeded;
+    if (!row.fallback.empty()) ++degraded;
     table.add_row({row.name, row.module.empty() ? "-" : row.module,
                    row.ok ? "ok" : "failed",
+                   row.engine.empty() ? "-" : row.engine,
                    row.cache_hit ? "cache" : "compiled",
                    format_ms_fixed(row.milliseconds)});
   }
@@ -268,6 +318,12 @@ std::string format_service_report(const std::vector<ServiceReportRow>& rows,
      << summary.cache_hits << " cache hits, " << summary.cache_misses
      << " compiled, -j " << summary.jobs << ", wall "
      << format_ms_fixed(summary.wall_ms) << " ms\n";
+  if (degraded > 0) {
+    os << "engine fallbacks:\n";
+    for (const ServiceReportRow& row : rows)
+      if (!row.fallback.empty())
+        os << "  " << row.name << ": " << row.fallback << "\n";
+  }
   return os.str();
 }
 
@@ -291,7 +347,9 @@ std::string service_report_json(const std::vector<ServiceReportRow>& rows,
        << json_escape(row.module) << "\", \"ok\": "
        << (row.ok ? "true" : "false") << ", \"cache_hit\": "
        << (row.cache_hit ? "true" : "false")
-       << ", \"ms\": " << format_ms_fixed(row.milliseconds) << "}"
+       << ", \"engine\": \"" << json_escape(row.engine)
+       << "\", \"fallback\": \"" << json_escape(row.fallback)
+       << "\", \"ms\": " << format_ms_fixed(row.milliseconds) << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -314,6 +372,9 @@ std::string CompileService::describe_stats() const {
   os << "service: " << stats.requests << " requests, " << stats.units
      << " units (" << stats.cache_hits << " cache hits, " << stats.compiled
      << " compiled, " << stats.spilled << " spilled)";
+  if (stats.tier_bytecode + stats.tier_tree_walk > 0)
+    os << "; engine tiers: " << stats.tier_bytecode << " bytecode, "
+       << stats.tier_tree_walk << " tree-walk";
   if (cache_ != nullptr) {
     ArtifactCacheStats cache = cache_->stats();
     os << "; artifact cache: " << cache.hits << " hits, " << cache.misses

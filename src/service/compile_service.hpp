@@ -31,6 +31,11 @@ struct ServiceUnit {
   /// Compiled module name (empty for failed units); carried so report
   /// modes can be served without reloading (or recompiling) artifacts.
   std::string module_name;
+  /// The primary stage's compiled runtime tier and rendered fallback
+  /// cause (StageArtifact::engine_tier/engine_fallback); empty for
+  /// failed units and for spilled units (not decoded on this path).
+  std::string engine_tier;
+  std::string engine_fallback;
   bool ok = false;
   bool cache_hit = false;
   /// The artifact lives only in the cache directory (oversized batch);
@@ -59,6 +64,13 @@ struct ServiceStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t spilled = 0;
+  /// Engine-tier counters over every *stage* (primary and transformed)
+  /// of every decoded artifact: which compiled runtime tier the stage's
+  /// module reaches. Both runners sit on the same EngineHost ladder, so
+  /// one pair of counters covers the flowchart interpreter and the
+  /// wavefront runner alike (psc --daemon-stats aggregates these).
+  size_t tier_bytecode = 0;
+  size_t tier_tree_walk = 0;
 };
 
 struct ServiceOptions {
@@ -163,12 +175,23 @@ class CompileService {
 /// (renders the schedule/source/C text the client paths print).
 [[nodiscard]] UnitArtifact artifact_from_result(const BatchUnitResult& unit);
 
-/// Flags of the psc output surface an artifact can reproduce.
+/// Flags of the psc output surface an artifact can reproduce. The
+/// structural dumps (--graph, --dot, --components) render from text
+/// captured at artifact-build time, so the service path serves them
+/// without a live CompileResult.
 struct RenderFlags {
   bool source = false;
   bool schedule = false;
   bool c_code = false;
+  bool graph = false;
+  bool dot = false;
+  bool components = false;
 };
+
+/// The MSCC table of one compiled stage (psc --components), rendered
+/// once here so the live driver path and the cached artifact are
+/// byte-identical by construction.
+[[nodiscard]] std::string components_table(const CompiledModule& stage);
 
 /// Render `artifact` exactly as a one-shot `psc` run with the same
 /// flags prints a successful unit to stdout (diagnostics are not
@@ -192,6 +215,10 @@ struct ServiceReportRow {
   bool ok = false;
   bool cache_hit = false;
   double milliseconds = 0;  // this request's cost (probe or compile)
+  /// Compiled runtime tier of the primary stage plus the rendered
+  /// fallback cause, from the artifact metadata ("-" when unknown).
+  std::string engine;
+  std::string fallback;
 };
 
 struct ServiceReportSummary {

@@ -798,7 +798,9 @@ std::string Daemon::render_stats(bool json) {
        << ", \"units\": " << s.units << ", \"compiled\": " << s.compiled
        << ", \"cache_hits\": " << s.cache_hits
        << ", \"cache_misses\": " << s.cache_misses
-       << ", \"spilled\": " << s.spilled << "},\n"
+       << ", \"spilled\": " << s.spilled
+       << ", \"tier_bytecode\": " << s.tier_bytecode
+       << ", \"tier_tree_walk\": " << s.tier_tree_walk << "},\n"
        << "  \"artifact_cache\": {\"hits\": " << c.hits
        << ", \"misses\": " << c.misses << ", \"stores\": " << c.stores
        << ", \"evictions\": " << c.evictions << ", \"corrupt\": " << c.corrupt
@@ -817,6 +819,9 @@ std::string Daemon::render_stats(bool json) {
      << "service: " << s.requests << " requests, " << s.units << " units ("
      << s.cache_hits << " cache hits, " << s.compiled << " compiled, "
      << s.spilled << " spilled)\n"
+     << "engine tiers: " << s.tier_bytecode << " bytecode, "
+     << s.tier_tree_walk
+     << " tree-walk (stage tier counters across both runners)\n"
      << "artifact cache: " << c.hits << " hits, " << c.misses << " misses, "
      << c.stores << " stores, " << c.evictions << " evicted, " << c.corrupt
      << " corrupt, " << c.ttl_pruned << " ttl-pruned\n"

@@ -70,6 +70,11 @@ void write_stage(WireWriter& writer, const StageArtifact& stage) {
   writer.str(stage.source);
   writer.str(stage.schedule);
   writer.str(stage.c_code);
+  writer.str(stage.graph);
+  writer.str(stage.dot);
+  writer.str(stage.components);
+  writer.str(stage.engine_tier);
+  writer.str(stage.engine_fallback);
 }
 
 StageArtifact read_stage(WireReader& reader) {
@@ -77,6 +82,11 @@ StageArtifact read_stage(WireReader& reader) {
   stage.source = reader.str();
   stage.schedule = reader.str();
   stage.c_code = reader.str();
+  stage.graph = reader.str();
+  stage.dot = reader.str();
+  stage.components = reader.str();
+  stage.engine_tier = reader.str();
+  stage.engine_fallback = reader.str();
   return stage;
 }
 
@@ -84,6 +94,11 @@ void skip_stage(WireReader& reader) {
   reader.skip_str();  // source
   reader.skip_str();  // schedule
   reader.skip_str();  // c_code
+  reader.skip_str();  // graph
+  reader.skip_str();  // dot
+  reader.skip_str();  // components
+  reader.skip_str();  // engine_tier
+  reader.skip_str();  // engine_fallback
 }
 
 }  // namespace

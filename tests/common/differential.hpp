@@ -27,6 +27,7 @@
 #include "codegen/c_emitter.hpp"
 #include "core/const_eval.hpp"
 #include "driver/compiler.hpp"
+#include "runtime/bytecode.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/wavefront.hpp"
 #include "common/test_util.hpp"
@@ -75,18 +76,46 @@ struct EngineOutputs {
   std::vector<std::pair<std::string, double>> scalars;
 };
 
+/// Record items live in array storage (one trailing field dimension,
+/// see bc_is_record_item), so the harness fills and collects them
+/// through the array surface even at rank 0.
+inline bool takes_array_slot(const DataItem& item) {
+  return !item.is_scalar() || bc_is_record_item(item);
+}
+
 inline void fill_interpreter_inputs(Interpreter& interp,
                                     const CheckedModule& module,
                                     double (*fill)(size_t) = nullptr) {
   if (fill == nullptr) fill = input_value;
   for (const DataItem& item : module.data) {
-    if (item.cls != DataClass::Input || item.is_scalar()) continue;
+    if (item.cls != DataClass::Input || !takes_array_slot(item)) continue;
     bool int_elems = item.elem != nullptr &&
                      item.elem->scalar_kind() == TypeKind::Int;
     auto span = interp.array(item.name).raw();
     for (size_t i = 0; i < span.size(); ++i)
       span[i] = int_elems ? static_cast<double>(int_input_value(i)) : fill(i);
   }
+}
+
+/// Snapshot every non-input value (optionally Outputs only) in module
+/// data order. Record items travel through the array surface, flattened
+/// field by field.
+inline EngineOutputs collect_outputs(const Interpreter& interp,
+                                     const CheckedModule& module,
+                                     bool outputs_only) {
+  EngineOutputs out;
+  for (const DataItem& item : module.data) {
+    if (item.cls == DataClass::Input) continue;
+    if (outputs_only && item.cls != DataClass::Output) continue;
+    if (takes_array_slot(item)) {
+      auto span = interp.array(item.name).raw();
+      out.arrays.emplace_back(
+          item.name, std::vector<double>(span.begin(), span.end()));
+    } else {
+      out.scalars.emplace_back(item.name, interp.scalar(item.name));
+    }
+  }
+  return out;
 }
 
 /// Run the flowchart interpreter with the given evaluator engine (and,
@@ -107,20 +136,7 @@ inline EngineOutputs run_interpreter(const CompiledModule& stage,
                      test_case.int_inputs, test_case.real_inputs, options);
   fill_interpreter_inputs(interp, *stage.module, test_case.input_fill);
   interp.run();
-
-  EngineOutputs out;
-  for (const DataItem& item : stage.module->data) {
-    if (item.cls == DataClass::Input) continue;
-    if (outputs_only && item.cls != DataClass::Output) continue;
-    if (item.is_scalar()) {
-      out.scalars.emplace_back(item.name, interp.scalar(item.name));
-    } else {
-      auto span = interp.array(item.name).raw();
-      out.arrays.emplace_back(
-          item.name, std::vector<double>(span.begin(), span.end()));
-    }
-  }
-  return out;
+  return collect_outputs(interp, *stage.module, outputs_only);
 }
 
 /// Bitwise comparison: engines must perform the same double operations
@@ -489,6 +505,39 @@ inline void expect_engines_agree_on_case(const DiffCase& test_case) {
     expect_bitwise_equal(tree, threaded, label + "/threaded");
     expect_bitwise_equal(tree, switched, label + "/switch");
   }
+}
+
+/// The interpreter's native tier (EngineHost's whole-module JIT kernel,
+/// `psc --engine=native` on a plain interpreted run) differentially
+/// against the tree walk and the bytecode engine on the primary module.
+/// Asserts the native tier actually engaged -- an empty fallback_reason
+/// and engine() == Native -- so a module silently demoted out of the
+/// widened fragment (records, fixed real LHS subscripts) is a failure,
+/// not a skipped comparison. Returns false when no C compiler answers
+/// the probe (nothing to check).
+inline bool expect_native_interpreter_agrees(const DiffCase& test_case) {
+  if (!native_engine_available()) return false;
+  auto result = compile_or_die(test_case.source, test_case.options);
+  const CompiledModule& stage = *result.primary;
+
+  InterpreterOptions options;
+  options.engine = EvalEngine::Native;
+  Interpreter native(*stage.module, *stage.graph, stage.schedule.flowchart,
+                     test_case.int_inputs, test_case.real_inputs, options);
+  EXPECT_EQ(native.engine(), EvalEngine::Native)
+      << test_case.name << " fell back: " << native.fallback_reason();
+  EXPECT_TRUE(native.fallback_reason().empty())
+      << test_case.name << ": " << native.fallback_reason();
+  fill_interpreter_inputs(native, *stage.module, test_case.input_fill);
+  native.run();
+  EngineOutputs native_out =
+      collect_outputs(native, *stage.module, /*outputs_only=*/false);
+
+  auto tree = run_interpreter(stage, test_case, EvalEngine::TreeWalk);
+  auto bytecode = run_interpreter(stage, test_case, EvalEngine::Bytecode);
+  expect_bitwise_equal(tree, native_out, test_case.name + "/native");
+  expect_bitwise_equal(tree, bytecode, test_case.name + "/native-vs-bytecode");
+  return true;
 }
 
 /// The wavefront cross-check as a reusable fixture: compile with the

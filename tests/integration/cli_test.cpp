@@ -597,9 +597,10 @@ TEST(Cli, VerboseReportsTheRuntimeEngine) {
   EXPECT_NE(r.out.find("dispatch="), std::string::npos);
 }
 
-TEST(Cli, VerboseReportsTreeWalkFallbacks) {
-  // Record fields are outside the bytecode fragment; --verbose must say
-  // so instead of leaving the fallback silent.
+TEST(Cli, VerboseReportsRecordModulesOnTheBytecodeTier) {
+  // Record fields used to be outside the bytecode fragment; the widened
+  // compiler now covers them, so --verbose reports the fast tier in
+  // charge instead of a tree-walk fallback.
   CliResult r = run_psc("--verbose", R"(
 M: module (p: Particle; n: int): [y: array[I] of real];
 type
@@ -609,7 +610,40 @@ define
 end M;
 )");
   if (r.exit_code != 0) GTEST_SKIP() << "records rejected upstream";
+  EXPECT_NE(r.out.find("bytecode engine [M]: ok:"), std::string::npos)
+      << r.out;
+}
+
+TEST(Cli, VerboseReportsTreeWalkFallbacks) {
+  // Nested records are still outside the bytecode fragment; --verbose
+  // must say so instead of leaving the fallback silent.
+  CliResult r = run_psc("--verbose", R"(
+M: module (p: P; n: int): [y: array[I] of real];
+type
+  I = 0 .. n;
+  Q = record x: real; end;
+  P = record m: real; q: Q; end;
+define
+  y[I] = p.q.x;
+end M;
+)");
+  if (r.exit_code != 0) GTEST_SKIP() << "nested records rejected upstream";
   EXPECT_NE(r.out.find("tree-walk fallback"), std::string::npos) << r.out;
+}
+
+TEST(Cli, VerboseNativeEngineReportsThePrimaryModule) {
+  // --engine=native is uniform across both runners: a plain interpreted
+  // module gets a whole-module native report, not just the transformed
+  // wavefront stage.
+  CliResult r = run_psc("--verbose --engine=native", R"(
+M: module (x: array[I] of real; n: int): [y: array[I] of real];
+type I = 0 .. n;
+define
+  y[I] = x[I] * 2.0 + 1.0;
+end M;
+)");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("-- native engine [M]: "), std::string::npos) << r.out;
 }
 
 }  // namespace

@@ -104,6 +104,45 @@ define
 end IntGrid;
 )";
 
+// The widened native fragment (ISSUE 8): record fields and real-valued
+// fixed LHS subscripts used to be the top fallback causes out of the
+// bytecode and native tiers. These two modules pin them inside the
+// fragment -- all three interpreter tiers must run them bit-exact, the
+// native one with an empty fallback_reason.
+
+// Records end to end: a rank-0 record input broadcast into a record
+// array, field reads feeding real arithmetic, and a record-to-record
+// copy (with a fixed subscript) into a rank-0 record output.
+constexpr const char* kParticlesSource = R"(
+Particles: module (p: Pt; scale: array[I] of real; n: int):
+  [energy: array[I] of real; pick: Pt];
+type I = 0 .. n; Pt = record m: real; v: real; end;
+var held: array [I] of Pt;
+define
+  held[I] = p;
+  energy[I] = held[I].m * scale[I] + held[I].v * 0.5;
+  pick = held[n];
+end Particles;
+)";
+
+// A real-valued fixed LHS subscript seeding the first sweep: 1.5
+// truncates to row 1 through the tiers' shared defined conversion
+// (bc_double_to_int64), so tree walk, bytecode and native must land on
+// the same cell.
+constexpr const char* kSeedRealSource = R"(
+SeedReal: module (x0: array[X] of real; n: int; s: int):
+  [xOut: array[X] of real];
+type T = 2 .. s; X = 0 .. n;
+var x: array [1 .. s] of array [X] of real;
+define
+  x[1.5] = x0;
+  xOut = x[s];
+  x[T,X] = if X = 0 or X = n
+           then x[T-1,X]
+           else (x[T-1,X-1] + x[T-1,X+1]) / 2;
+end SeedReal;
+)";
+
 std::vector<DiffCase> differential_corpus() {
   std::vector<DiffCase> cases;
   cases.push_back({"jacobi", kRelaxationSource,
@@ -121,6 +160,9 @@ std::vector<DiffCase> differential_corpus() {
                    IntEnv{{"n", 6}, {"s", 5}}, {}});
   cases.push_back({"tri", kTriangularSource, IntEnv{{"n", 8}}, {}});
   cases.push_back({"intgrid", kIntGridSource, IntEnv{{"n", 7}}, {}});
+  cases.push_back({"particles", kParticlesSource, IntEnv{{"n", 8}}, {}});
+  cases.push_back({"seedreal", kSeedRealSource,
+                   IntEnv{{"n", 10}, {"s", 6}}, {}});
   return cases;
 }
 
@@ -154,6 +196,9 @@ TEST_P(Differential, GeneratedCMatchesInterpreter) {
   if (!testutil::have_cc()) GTEST_SKIP() << "no system C compiler";
   DiffCase test_case = GetParam();
   auto result = compile_or_die(test_case.source, test_case.options);
+  if (!testutil::make_c_main(*result.primary->module, test_case))
+    GTEST_SKIP() << test_case.name
+                 << ": record items outside the generated-C driver";
 
   auto interp = testutil::run_interpreter(*result.primary, test_case,
                                           EvalEngine::Bytecode,
@@ -175,6 +220,9 @@ TEST_P(Differential, TransformedGeneratedCMatchesInterpreter) {
   auto result = compile_or_die(test_case.source, options);
   if (!result.transformed)
     GTEST_SKIP() << test_case.name << " has no hyperplane transform";
+  if (!testutil::make_c_main(*result.transformed->module, test_case))
+    GTEST_SKIP() << test_case.name
+                 << ": record items outside the generated-C driver";
 
   auto interp = testutil::run_interpreter(*result.transformed, test_case,
                                           EvalEngine::Bytecode,
@@ -193,6 +241,40 @@ TEST_P(Differential, WavefrontEnginesAgree) {
   bool checked = testutil::expect_wavefront_engines_agree(test_case);
   if (!checked)
     GTEST_SKIP() << test_case.name << " has no hyperplane transform";
+}
+
+/// Engine 5 (ISSUE 8): the interpreter's own native tier. `psc
+/// --engine=native` on a plain (non-wavefront) run executes the whole
+/// flowchart through one JIT kernel; every corpus module -- including
+/// the record-field and fixed-real-subscript shapes the widened emitter
+/// fragment just admitted -- must run on it with an empty
+/// fallback_reason and agree bit-exactly with the tree walk and the
+/// bytecode engine on every non-input value.
+TEST_P(Differential, NativeModuleKernelMatchesOtherTiers) {
+  DiffCase test_case = GetParam();
+  if (!testutil::expect_native_interpreter_agrees(test_case))
+    GTEST_SKIP() << "no system C compiler for the native tier";
+}
+
+/// The native module kernel under fuzzed input shapes and IEEE
+/// edge-value array contents: the JIT'd C must reproduce the
+/// interpreters' arithmetic bit for bit across random extents,
+/// denormals, signed zeroes and overflow-to-infinity -- on the widened
+/// fragment too (records, fixed real LHS subscripts).
+TEST_P(Differential, FuzzedShapesAndContentsAgreeOnNativeTier) {
+  DiffCase base = GetParam();
+  uint64_t seed = 0xa0761d64u;
+  for (char c : base.name) seed = seed * 131 + static_cast<uint64_t>(c);
+  std::vector<DiffCase> fuzzed =
+      testutil::fuzz_int_env_cases(base, /*count=*/2, seed);
+  for (DiffCase& content :
+       testutil::fuzz_array_content_cases(base, /*count=*/1))
+    fuzzed.push_back(std::move(content));
+  for (const DiffCase& variant : fuzzed) {
+    if (!testutil::expect_native_interpreter_agrees(variant))
+      GTEST_SKIP() << "no system C compiler for the native tier";
+    if (::testing::Test::HasFatalFailure()) break;
+  }
 }
 
 /// Input fuzzing (ROADMAP item): random IntEnv shapes as module inputs,
@@ -237,6 +319,9 @@ TEST_P(Differential, FuzzedArrayContentsMatchGeneratedC) {
   for (const DiffCase& fuzzed :
        testutil::fuzz_array_content_cases(base, /*count=*/2)) {
     auto result = compile_or_die(fuzzed.source, fuzzed.options);
+    if (!testutil::make_c_main(*result.primary->module, fuzzed))
+      GTEST_SKIP() << fuzzed.name
+                   << ": record items outside the generated-C driver";
     auto interp = testutil::run_interpreter(*result.primary, fuzzed,
                                             EvalEngine::Bytecode,
                                             /*outputs_only=*/true);

@@ -334,7 +334,7 @@ TEST(WavefrontEngine, TreeWalkCanBeForced) {
                          {}, options);
   EXPECT_EQ(runner.engine(), EvalEngine::TreeWalk);
   // The forced fallback is observable, not silent.
-  EXPECT_EQ(runner.fallback_reason(), "tree-walk engine requested");
+  EXPECT_EQ(runner.fallback_reason(), "tree-walk: engine requested");
 }
 
 TEST(WavefrontEngine, BytecodePathReportsNoFallback) {

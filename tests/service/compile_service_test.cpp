@@ -432,5 +432,38 @@ TEST(CompileService, RenderMatchesEveryFlagCombination) {
   EXPECT_NE(c_rendered.find(result.transformed->c_code), std::string::npos);
 }
 
+TEST(CompileService, ArtifactCarriesStructuralDumpsAndTierMetadata) {
+  // Structural dumps (--graph, --dot, --components) are captured as
+  // text at artifact-build time, so the service path can serve them
+  // byte-identically to the live driver without a CompileResult; the
+  // engine-tier probe travels alongside for the batch reports and the
+  // daemon's tier counters.
+  BatchInput input{"gs.ps", kGaussSeidelSource, false};
+  BatchUnitResult unit;
+  unit.name = input.name;
+  unit.result = Compiler(CompileOptions{}).compile(input.source, input.name);
+  ASSERT_TRUE(unit.result.ok);
+  unit.module_symbol = unit.result.primary->module->name;
+  UnitArtifact artifact = artifact_from_result(unit);
+
+  const CompiledModule& stage = *unit.result.primary;
+  RenderFlags graph_only;
+  graph_only.graph = true;
+  EXPECT_EQ(render_artifact(artifact, graph_only),
+            stage.graph->summary() + "\n");
+  RenderFlags dot_only;
+  dot_only.dot = true;
+  EXPECT_EQ(render_artifact(artifact, dot_only),
+            stage.graph->to_dot() + "\n");
+  RenderFlags components_only;
+  components_only.components = true;
+  EXPECT_EQ(render_artifact(artifact, components_only),
+            components_table(stage) + "\n");
+
+  // Gauss-Seidel is fully inside the bytecode fragment.
+  EXPECT_EQ(artifact.primary.engine_tier, "bytecode");
+  EXPECT_TRUE(artifact.primary.engine_fallback.empty());
+}
+
 }  // namespace
 }  // namespace ps

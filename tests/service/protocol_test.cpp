@@ -21,12 +21,16 @@ UnitArtifact sample_artifact() {
   artifact.ok = true;
   artifact.diagnostics = "warn: something\n";
   artifact.module_name = "Relaxation";
-  artifact.primary = {"src text", "DO K (...)\n", "void Relaxation() {}\n"};
+  artifact.primary = {"src text",   "DO K (...)\n", "void Relaxation() {}\n",
+                      "graph text", "digraph G {}", "components table",
+                      "bytecode",   ""};
   artifact.has_transform = true;
   artifact.transform_array = "A";
   artifact.transform_desc = "K' = 2K + I + J";
   artifact.exact_nest = "K' = 2 .. 2*M";
-  artifact.transformed = {"src'", "DOALL I' (...)\n", "void R_h() {}\n"};
+  artifact.transformed = {"src'",     "DOALL I' (...)\n", "void R_h() {}\n",
+                          "graph'",   "digraph H {}",     "components'",
+                          "tree-walk", "bytecode: unsupported record base"};
   artifact.compile_ms = 12.5;
   return artifact;
 }
@@ -38,6 +42,11 @@ void expect_same(const UnitArtifact& a, const UnitArtifact& b) {
   EXPECT_EQ(a.primary.source, b.primary.source);
   EXPECT_EQ(a.primary.schedule, b.primary.schedule);
   EXPECT_EQ(a.primary.c_code, b.primary.c_code);
+  EXPECT_EQ(a.primary.graph, b.primary.graph);
+  EXPECT_EQ(a.primary.dot, b.primary.dot);
+  EXPECT_EQ(a.primary.components, b.primary.components);
+  EXPECT_EQ(a.primary.engine_tier, b.primary.engine_tier);
+  EXPECT_EQ(a.primary.engine_fallback, b.primary.engine_fallback);
   EXPECT_EQ(a.has_transform, b.has_transform);
   EXPECT_EQ(a.transform_array, b.transform_array);
   EXPECT_EQ(a.transform_desc, b.transform_desc);
