@@ -1,0 +1,95 @@
+// The telemetry layer's perf surface, recorded as BENCH_telemetry.json
+// and gated by scripts/check_bench_regression.py:
+//
+//   * BM_TelemetryOverhead/disabled: a TraceSpan construct+destroy pair
+//     while tracing is off -- the cost every instrumented hot path pays
+//     on a normal run. The contract is "one relaxed atomic load",
+//     i.e. ~1 ns; this bench is what holds the line on it.
+//   * BM_TelemetryOverhead/enabled: the same span with tracing on --
+//     two clock reads plus a lock-free ring-buffer append.
+//   * BM_TimedSpanFinish: the TimedSpan used by the timing-dedup paths
+//     (pass timings, batch units, service wall_ms). Always reads the
+//     clock, so this is the floor --time-passes pays span-by-span.
+//   * BM_CounterAdd / BM_HistogramRecord: the MetricsRegistry
+//     primitives on cached handles, as the instrumented code holds
+//     them (one relaxed fetch_add; bucket index + two CAS loops).
+//   * BM_RegistryLookup: counter() resolution by name -- the cost of
+//     NOT caching the handle, kept visible so instrumentation authors
+//     know when to hoist.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <string>
+
+#include "support/telemetry.hpp"
+
+namespace {
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  if (enabled)
+    ps::TraceSession::global().enable();
+  else
+    ps::TraceSession::global().disable();
+  for (auto _ : state) {
+    ps::TraceSpan span("bench-span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  if (enabled) {
+    ps::TraceSession::global().disable();
+    ps::TraceSession::global().clear();
+  }
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+void BM_TimedSpanFinish(benchmark::State& state) {
+  ps::TraceSession::global().disable();
+  double sink = 0.0;
+  for (auto _ : state) {
+    ps::TimedSpan span("bench-timed", "bench");
+    sink += span.finish_ms();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TimedSpanFinish)->Unit(benchmark::kNanosecond);
+
+void BM_CounterAdd(benchmark::State& state) {
+  ps::Counter& counter =
+      ps::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) counter.add(1);
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd)->Unit(benchmark::kNanosecond);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  ps::Histogram& histogram =
+      ps::MetricsRegistry::global().histogram("bench.histogram_ms");
+  double sample = 0.0;
+  for (auto _ : state) {
+    histogram.record(sample);
+    sample += 0.001;
+    if (sample > 50.0) sample = 0.0;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  ps::MetricsRegistry& registry = ps::MetricsRegistry::global();
+  for (auto _ : state) {
+    ps::Counter& counter = registry.counter("bench.lookup.counter");
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_RegistryLookup)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!ps::bench::json_to_stdout(argc, argv))
+    printf("=== telemetry overhead ===\n\n");
+  return ps::bench::run_benchmarks(argc, argv);
+}

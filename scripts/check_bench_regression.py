@@ -104,31 +104,48 @@ def main():
               "advisory only -- re-record the baseline on this runner "
               "class to arm the gate (--force-absolute overrides)")
 
+    # Per-bench delta table, printed pass or fail: CI logs should show
+    # the whole perf picture at a glance, not only the regressions.
     failures = []
+    rows = []
     for name, (base_value, higher_is_better) in sorted(baseline.items()):
         if name not in current:
-            print(f"note: {name} missing from current report (retired?)")
+            rows.append((name, f"{base_value:.3f}", "-", "-", "retired?"))
             continue
         cur_value, _ = current[name]
         if base_value <= 0:
             continue
         if higher_is_better:
             change = (cur_value - base_value) / base_value
-            regressed = change < -args.threshold
-            direction = "throughput"
+            metric = "rate"
         else:
             change = (base_value - cur_value) / base_value
-            regressed = change < -args.threshold
-            direction = "time"
+            metric = "ns"
+        regressed = change < -args.threshold
         status = "FAIL" if regressed else "ok"
-        print(f"{status:>4}  {name}: {direction} change "
-              f"{change * 100:+.1f}% (baseline {base_value:.3f}, "
-              f"current {cur_value:.3f})")
+        rows.append((name, f"{base_value:.3f}", f"{cur_value:.3f}",
+                     f"{change * 100:+.1f}% {metric}", status))
         if regressed:
             failures.append(name)
 
     for name in sorted(set(current) - set(baseline)):
-        print(f"note: {name} is new (no baseline)")
+        cur_value, _ = current[name]
+        rows.append((name, "-", f"{cur_value:.3f}", "-", "new"))
+
+    headers = ("benchmark", "baseline", "current", "delta", "status")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        return "  ".join(cells)
+    print()
+    print(fmt(headers))
+    print(fmt(tuple("-" * w for w in widths)))
+    for row in rows:
+        print(fmt(row))
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "

@@ -11,18 +11,12 @@
 #include "runtime/engine_host.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/report_format.hpp"
+#include "support/telemetry.hpp"
 #include "support/text_table.hpp"
 
 namespace ps {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 /// format_ms / json_escape moved to support/report_format.hpp, shared
 /// with the compile service's cached-report renderer.
@@ -82,12 +76,18 @@ std::vector<BatchUnitResult> BatchDriver::compile_all(
   // driver; the summary reports this call's delta, not lifetime totals.
   size_t hits_before = hyperplane_cache_.hits();
   size_t misses_before = hyperplane_cache_.misses();
-  Clock::time_point batch_start = Clock::now();
+  TimedSpan batch_span("compile-all", "batch");
+  batch_span.arg("units", static_cast<int64_t>(inputs.size()));
+  batch_span.arg("jobs", static_cast<int64_t>(jobs));
 
   auto run_one = [&](int64_t i) {
     const BatchInput& input = inputs[static_cast<size_t>(i)];
     BatchUnitResult& out = results[static_cast<size_t>(i)];
-    Clock::time_point start = Clock::now();
+    // The unit span is the unit timer: each -j worker records into its
+    // own thread's trace ring, so worker lanes come out as separate tid
+    // rows in the trace viewer with the per-pass spans nested inside.
+    TimedSpan span("compile-unit", "batch");
+    span.arg("unit", input.name);
     out.name = input.name;
     try {
       out.result = compile_unit(input);
@@ -99,7 +99,11 @@ std::vector<BatchUnitResult> BatchDriver::compile_all(
       out.result.diagnostics =
           input.name + ": error: internal: " + e.what() + "\n";
     }
-    out.milliseconds = ms_since(start);
+    out.milliseconds = span.finish_ms();
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    metrics.histogram("batch.unit_ms").record(out.milliseconds);
+    metrics.counter("batch.units").add(1);
+    if (!out.result.ok) metrics.counter("batch.failures").add(1);
     if (out.result.primary) {
       // Fold this unit's spellings into the batch-wide symbol table;
       // the report prints module names from the interned storage.
@@ -127,7 +131,7 @@ std::vector<BatchUnitResult> BatchDriver::compile_all(
     pool.parallel_tasks(static_cast<int64_t>(inputs.size()), run_one);
   }
 
-  summary_.wall_ms = ms_since(batch_start);
+  summary_.wall_ms = batch_span.finish_ms();
   for (const BatchUnitResult& unit : results) {
     if (unit.result.ok)
       ++summary_.succeeded;

@@ -68,6 +68,19 @@
 //     --daemon-stats[=SOCK]  print the daemon's service/cache/queue
 //                       counters (text, or JSON with --json)
 //
+//   Observability (any mode):
+//     --trace[=FILE]    record structured trace spans (per-pass, per
+//                       batch unit and -j worker lane, engine tier
+//                       decisions, native cc compiles, wavefront
+//                       hyperplanes, service requests) and write them as
+//                       Chrome trace-event JSON on exit (default
+//                       psc-trace.json; load in chrome://tracing or
+//                       Perfetto)
+//     --metrics[=FILE]  print the process-wide metrics registry on exit:
+//                       counters and latency histograms with p50/p95/p99
+//                       (text on stderr by default, or to FILE; --json
+//                       switches the format)
+//
 // With more than one input the driver routes everything through the
 // BatchDriver: per-unit output and diagnostics are identical to the
 // corresponding single-file runs at any -j, printed in input order with
@@ -102,6 +115,7 @@
 #include "runtime/wavefront_backend.hpp"
 #include "service/compile_service.hpp"
 #include "service/daemon.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -354,6 +368,43 @@ bool parse_size(const std::string& text, size_t& out) {
   return true;
 }
 
+/// End-of-process telemetry flush, as an RAII object so every one of
+/// main()'s return paths (client, daemon, service, batch, single-file)
+/// writes the trace and metrics the run collected.
+struct TelemetryDump {
+  bool trace = false;
+  std::string trace_file;
+  bool metrics = false;
+  std::string metrics_file;  // empty: text report on stderr
+  bool json = false;
+
+  ~TelemetryDump() {
+    if (trace) {
+      std::string body = ps::TraceSession::global().flush_json();
+      ps::TraceSession::global().disable();
+      std::ofstream out(trace_file, std::ios::binary | std::ios::trunc);
+      out << body;
+      if (!out)
+        std::cerr << "psc: cannot write trace to '" << trace_file << "'\n";
+      else
+        std::cerr << "psc: trace written to " << trace_file << '\n';
+    }
+    if (metrics) {
+      ps::MetricsRegistry& registry = ps::MetricsRegistry::global();
+      std::string body = json ? registry.render_json() : registry.render_text();
+      if (metrics_file.empty()) {
+        std::cerr << body;
+        return;
+      }
+      std::ofstream out(metrics_file, std::ios::binary | std::ios::trunc);
+      out << body;
+      if (!out)
+        std::cerr << "psc: cannot write metrics to '" << metrics_file
+                  << "'\n";
+    }
+  }
+};
+
 // The signal handler needs a target; one foreground daemon per process.
 ps::Daemon* g_daemon = nullptr;
 
@@ -416,6 +467,10 @@ int main(int argc, char** argv) {
   bool client_mode = false;
   bool stop_daemon = false;
   bool daemon_stats = false;
+  bool trace = false;
+  std::string trace_file = "psc-trace.json";
+  bool metrics = false;
+  std::string metrics_file;  // empty with `metrics`: text on stderr
   std::string socket_path;   // empty = default_daemon_socket()
   std::string listen_spec;   // --listen=HOST:PORT (daemon TCP listener)
   std::string connect_spec;  // --connect=HOST:PORT (client over TCP)
@@ -488,6 +543,24 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--daemon-stats=", 0) == 0) {
       daemon_stats = true;
       socket_path = arg.substr(15);
+    }
+    else if (arg == "--trace") trace = true;
+    else if (arg.rfind("--trace=", 0) == 0) {
+      trace = true;
+      trace_file = arg.substr(8);
+      if (trace_file.empty()) {
+        std::cerr << "psc: --trace= needs a file name\n";
+        return 2;
+      }
+    }
+    else if (arg == "--metrics") metrics = true;
+    else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_file = arg.substr(10);
+      if (metrics_file.empty()) {
+        std::cerr << "psc: --metrics= needs a file name\n";
+        return 2;
+      }
     }
     else if (arg.rfind("--listen=", 0) == 0) listen_spec = arg.substr(9);
     else if (arg.rfind("--connect=", 0) == 0) {
@@ -567,6 +640,7 @@ int main(int argc, char** argv) {
                    "[--listen=HOST:PORT] [--max-queue N] [--cache-ttl N] "
                    "[--client[=SOCK]] [--connect=HOST:PORT] "
                    "[--stop-daemon[=SOCK]] [--daemon-stats[=SOCK]] "
+                   "[--trace[=FILE]] [--metrics[=FILE]] "
                    "<file.ps|file.eqn|-> [more files...]\n";
       return 0;
     } else {
@@ -576,8 +650,9 @@ int main(int argc, char** argv) {
   if (!flags.components && !flags.graph && !flags.dot && !flags.c_code &&
       !flags.source)
     flags.schedule = true;
-  if (json && !batch_report && !daemon_stats) {
-    std::cerr << "psc: --json requires --batch-report or --daemon-stats\n";
+  if (json && !batch_report && !daemon_stats && !metrics) {
+    std::cerr << "psc: --json requires --batch-report, --daemon-stats or "
+                 "--metrics\n";
     return 2;
   }
   if (spill_after > 0 && cache_dir.empty()) {
@@ -589,6 +664,16 @@ int main(int argc, char** argv) {
     std::cerr << "psc: --listen needs --daemon\n";
     return 2;
   }
+
+  // Telemetry switches on before any compile work and flushes when the
+  // dump object unwinds, whichever return path main() takes.
+  TelemetryDump dump;
+  dump.trace = trace;
+  dump.trace_file = trace_file;
+  dump.metrics = metrics;
+  dump.metrics_file = metrics_file;
+  dump.json = json;
+  if (trace) ps::TraceSession::global().enable();
 
   // Where a client-side mode reaches the daemon: the TCP address when
   // --connect was given, the unix socket otherwise.

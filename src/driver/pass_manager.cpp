@@ -6,6 +6,7 @@
 
 #include "driver/compiler.hpp"
 #include "frontend/ast.hpp"
+#include "support/telemetry.hpp"
 #include "support/text_table.hpp"
 
 namespace ps {
@@ -274,11 +275,17 @@ bool PassManager::run(CompilationUnit& unit) {
     PassTiming timing;
     timing.name = std::string(pass->name());
     if (!halted && pass->enabled(unit)) {
-      auto start = std::chrono::steady_clock::now();
+      // One timing source: the span's clock reads feed the PassTiming
+      // (psc --time-passes), the trace event (psc --trace) and the
+      // per-pass latency histogram (psc --metrics) alike -- there is no
+      // second hand-rolled timer to drift from the telemetry view.
+      TimedSpan span(timing.name.c_str(), "pass");
+      span.arg("unit", unit.diags.file_name());
       pass->run(unit);
-      auto end = std::chrono::steady_clock::now();
-      timing.milliseconds =
-          std::chrono::duration<double, std::milli>(end - start).count();
+      timing.milliseconds = span.finish_ms();
+      MetricsRegistry::global()
+          .histogram("pass." + timing.name + "_ms")
+          .record(timing.milliseconds);
       timing.ran = true;
       // Early exit: a pass that diagnosed errors (or requested a stop)
       // ends the pipeline; the remaining stages are recorded as skipped.

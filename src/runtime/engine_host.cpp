@@ -4,6 +4,8 @@
 #include <string_view>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace ps {
 
 namespace {
@@ -73,6 +75,9 @@ void EngineHost::select(const CheckedModule& module,
   // Bytecode degrades to TreeWalk. A tree-walk request skips both
   // compiled tiers -- also recorded, so `engine()` plus
   // `fallback_reason()` always explain the evaluator in effect.
+  TraceSpan span("tier-select", "engine");
+  span.arg("module", module.name);
+  span.arg("requested", eval_engine_name(options_.engine));
   if (options_.engine == EvalEngine::Native) {
     setup_native(emit);
     if (!use_native_) setup_bytecode();
@@ -81,6 +86,14 @@ void EngineHost::select(const CheckedModule& module,
   } else {
     record_fallback(EvalEngine::TreeWalk, "engine requested");
   }
+  span.arg("selected", eval_engine_name(engine()));
+  if (!rendered_.empty()) span.arg("fallback", rendered_);
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  metrics
+      .counter(std::string("engine.selected.") +
+               std::string(eval_engine_name(engine())))
+      .add(1);
+  if (!fallbacks_.empty()) metrics.counter("engine.fallbacks").add(1);
 }
 
 void EngineHost::setup_native(const KernelEmitFn& emit) {

@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "support/hash.hpp"
+#include "support/telemetry.hpp"
 
 #include <sys/wait.h>
 
@@ -179,12 +180,16 @@ CompileOutput compile_kernel(const std::string& cmd,
                            shell_quote(so.string()) + " " +
                            shell_quote(src.string()) + " -lm 2> " +
                            shell_quote(log.string());
-  auto start = std::chrono::steady_clock::now();
+  // The span's clock is the tier's compile timer: one pair of reads
+  // feeds CompileOutput::ms (the --verbose "native" report), the trace
+  // event and the cc latency histogram.
+  TimedSpan span("cc-compile", "native");
+  span.arg("cmd", cmd);
   cc_invocation_counter().fetch_add(1);
+  MetricsRegistry::global().counter("native.cc_invocations").add(1);
   int rc = std::system(invocation.c_str());
-  out.ms = std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-               .count();
+  out.ms = span.finish_ms();
+  MetricsRegistry::global().histogram("native.cc_compile_ms").record(out.ms);
   if (rc != 0) {
     std::string diag = slurp(log);
     out.error = "cc failed (" + native_describe_wait_status(rc) + ")";

@@ -6,6 +6,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "support/telemetry.hpp"
+
 namespace ps {
 
 namespace {
@@ -488,6 +490,9 @@ void WavefrontRunner::run() {
   stats_.native_cache_hit = host_.native_info().cache_hit;
   stats_.native_in_process_hit = host_.native_info().in_process_hit;
   backend_->reset_counters();
+  TraceSpan run_span("wavefront-run", "wavefront");
+  run_span.arg("module", module_.name);
+  run_span.arg("backend", stats_.backend);
   execute_pre_equations();
   if (stream_ == nullptr)
     stream_ = std::make_unique<ConsumerStream>(module_, consumers_,
@@ -501,9 +506,16 @@ void WavefrontRunner::run() {
   for (int64_t t = stream_->min_t(); t < t_lo && t <= stream_->max_t(); ++t)
     flush_hyperplane(t);
   for (int64_t t = t_lo; t <= t_hi; ++t) {
+    // Per-hyperplane spans are the hot path of the trace story -- with
+    // telemetry off this is one relaxed load per plane, nothing more.
+    TraceSpan plane_span("hyperplane", "wavefront");
+    plane_span.arg("t", t);
+    plane_span.arg("backend", stats_.backend);
+    int64_t points_before = stats_.points;
     execute_hyperplane(t);
     ++stats_.hyperplanes;
     flush_hyperplane(t);  // unrotate: the slice is still live in the window
+    plane_span.arg("points", stats_.points - points_before);
   }
   // Instances landing beyond the last hyperplane would be a bug in the
   // stream construction -- the image bounds cover every written slice.
@@ -513,6 +525,12 @@ void WavefrontRunner::run() {
     if (stranded > 0)
       fail("unflushed consumer instances remain after the last hyperplane");
   }
+  run_span.arg("hyperplanes", stats_.hyperplanes);
+  run_span.arg("points", stats_.points);
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  metrics.counter("wavefront.runs").add(1);
+  metrics.counter("wavefront.hyperplanes").add(stats_.hyperplanes);
+  metrics.counter("wavefront.points").add(stats_.points);
 }
 
 }  // namespace ps

@@ -10,6 +10,7 @@
 
 #include "service/protocol.hpp"
 #include "support/hash.hpp"
+#include "support/telemetry.hpp"
 
 namespace fs = std::filesystem;
 
@@ -21,6 +22,14 @@ namespace {
 /// with this is not ours (or is a torn write) and reads as a miss.
 constexpr char kMagic[] = "PSART1\n";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+/// Mirror each ArtifactCacheStats bump into the process-wide metrics
+/// registry so `psc --metrics` sees cache traffic without a second
+/// bookkeeping path. Zero increments stay out of the registry (and out
+/// of the report).
+void cache_counter(std::string_view name, int64_t n = 1) {
+  if (n > 0) MetricsRegistry::global().counter(name).add(n);
+}
 
 }  // namespace
 
@@ -66,12 +75,14 @@ std::optional<std::filesystem::path> ArtifactCache::native_lookup(
   if (!fs::is_regular_file(path, ec) || ec) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.native_misses;
+    cache_counter("cache.native_misses");
     return std::nullopt;
   }
   // LRU refresh, same policy as the text artifacts (best effort).
   fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.native_hits;
+  cache_counter("cache.native_hits");
   return path;
 }
 
@@ -102,6 +113,7 @@ std::optional<std::filesystem::path> ArtifactCache::native_publish(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.native_stores;
+    cache_counter("cache.native_stores");
     if (dir_bytes_ >= 0) dir_bytes_ += static_cast<int64_t>(so_bytes.size());
     over_budget = options_.max_bytes > 0 &&
                   (dir_bytes_ < 0 ||
@@ -132,6 +144,7 @@ std::optional<std::string> ArtifactCache::read_validated(
     if (!in) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
+      cache_counter("cache.misses");
       return std::nullopt;
     }
     std::ostringstream buffer;
@@ -151,6 +164,7 @@ std::optional<std::string> ArtifactCache::read_validated(
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
+    cache_counter("cache.hits");
     // In-place header strip: no second allocation of a large artifact.
     bytes.erase(0, kMagicLen);
     return std::move(bytes);
@@ -162,6 +176,8 @@ std::optional<std::string> ArtifactCache::read_validated(
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.corrupt;
     ++stats_.misses;
+    cache_counter("cache.corrupt");
+    cache_counter("cache.misses");
     if (dir_bytes_ >= 0)
       dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(bytes.size()));
     return std::nullopt;
@@ -211,6 +227,7 @@ size_t ArtifactCache::prune_older_than(std::chrono::seconds ttl) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.ttl_pruned += pruned;
+  cache_counter("cache.ttl_pruned", static_cast<int64_t>(pruned));
   if (dir_bytes_ >= 0)
     dir_bytes_ -= std::min(dir_bytes_, static_cast<int64_t>(freed));
   return pruned;
@@ -252,6 +269,7 @@ bool ArtifactCache::store(const std::string& key,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
+    cache_counter("cache.stores");
     if (dir_bytes_ >= 0)
       dir_bytes_ += static_cast<int64_t>(kMagicLen + writer.bytes().size());
     over_budget = options_.max_bytes > 0 &&
@@ -306,6 +324,7 @@ void ArtifactCache::evict_over_budget(const std::string& keep_path) {
     }
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evictions += evicted;
+    cache_counter("cache.evictions", static_cast<int64_t>(evicted));
     dir_bytes_ = static_cast<int64_t>(total);
     return;
   }

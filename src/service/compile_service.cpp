@@ -7,6 +7,7 @@
 #include "runtime/engine_host.hpp"
 #include "service/protocol.hpp"
 #include "support/report_format.hpp"
+#include "support/telemetry.hpp"
 #include "support/text_table.hpp"
 
 namespace ps {
@@ -131,7 +132,10 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
   // they can never interleave inside a BatchDriver (whose compile_all
   // is single-caller) and responses stay deterministic.
   std::lock_guard<std::mutex> lock(mutex_);
-  Clock::time_point start = Clock::now();
+  // The request span is also the wall timer the response reports; one
+  // pair of clock reads feeds both (and the service latency histogram).
+  TimedSpan span("service-request", "service");
+  span.arg("units", static_cast<int64_t>(request.units.size()));
 
   ServiceResponse response;
   response.jobs = pool_.size();
@@ -229,7 +233,24 @@ ServiceResponse CompileService::compile(const ServiceRequest& request) {
 
   for (const ServiceUnit& unit : response.units)
     if (unit.spilled) ++response.spilled;
-  response.wall_ms = ms_since(start);
+  span.arg("cache_hits", static_cast<int64_t>(response.cache_hits));
+  span.arg("compiled", static_cast<int64_t>(response.cache_misses));
+  response.wall_ms = span.finish_ms();
+
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  metrics.histogram("service.request_ms").record(response.wall_ms);
+  metrics.counter("service.requests").add(1);
+  metrics.counter("service.units")
+      .add(static_cast<int64_t>(request.units.size()));
+  if (response.cache_hits > 0)
+    metrics.counter("service.cache_hits")
+        .add(static_cast<int64_t>(response.cache_hits));
+  if (response.cache_misses > 0)
+    metrics.counter("service.cache_misses")
+        .add(static_cast<int64_t>(response.cache_misses));
+  if (response.spilled > 0)
+    metrics.counter("service.spilled")
+        .add(static_cast<int64_t>(response.spilled));
 
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);

@@ -16,6 +16,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "support/report_format.hpp"
+#include "support/telemetry.hpp"
+
 namespace ps {
 
 namespace {
@@ -124,6 +127,7 @@ void Daemon::wake() {
 }
 
 bool Daemon::start() {
+  start_time_ = std::chrono::steady_clock::now();
   if (wake_read_fd_ < 0) {
     int fds[2];
     if (::pipe(fds) != 0) {
@@ -532,13 +536,16 @@ void Daemon::handle_message(uint64_t conn_id, std::string_view payload) {
 void Daemon::handle_compile(uint64_t conn_id, std::string_view payload,
                             bool v2) {
   Connection& conn = connections_.at(conn_id);
-  ++stats_.compile_requests;
   ServiceRequest request = decode_compile_request(payload);
   // A client built from a different compiler version must not be
   // served: this daemon's pipeline would produce that build's output,
   // not the client's, silently breaking the byte-identity contract.
-  // The client falls back to in-process compilation.
+  // The client falls back to in-process compilation. Refusals count as
+  // `rejected`, not `compile_requests`: only admitted requests enter
+  // the inline/queued/busy ledger, so those three always sum back to
+  // the request count (the stats endpoint's reconcile identity).
   if (request.client_version != service_.options().version) {
+    ++stats_.rejected;
     append_frame(conn,
                  encode_simple(MsgKind::Error,
                                "version mismatch: daemon is " +
@@ -546,6 +553,7 @@ void Daemon::handle_compile(uint64_t conn_id, std::string_view payload,
                                    request.client_version));
     return;
   }
+  ++stats_.compile_requests;
   // Cache-aware admission: a request whose every unit is already on
   // disk is answered right here on the reactor thread -- serve_cached
   // does pure existence probes and never blocks behind an in-flight
@@ -553,6 +561,12 @@ void Daemon::handle_compile(uint64_t conn_id, std::string_view payload,
   // reply drains. Only actual compile work competes for the queue.
   if (std::optional<ServiceResponse> cached = service_.serve_cached(request)) {
     ++stats_.served_inline;
+    // Inline serves never wait: their queue wait is an exact zero, and
+    // recording it keeps the two latency histograms' counts equal to
+    // the requests the daemon actually served.
+    MetricsRegistry::global().histogram("daemon.queue_wait_ms").record(0.0);
+    MetricsRegistry::global().histogram("daemon.service_ms")
+        .record(cached->wall_ms);
     if (v2)
       begin_stream(conn_id, std::move(*cached));
     else
@@ -575,6 +589,7 @@ void Daemon::handle_compile(uint64_t conn_id, std::string_view payload,
   job.conn_id = conn_id;
   job.request = std::move(request);
   job.v2 = v2;
+  job.enqueued = std::chrono::steady_clock::now();
   queue_.push_back(std::move(job));
   jobs_cv_.notify_one();
 }
@@ -742,11 +757,17 @@ void Daemon::dispatcher_main() {
       queue_.pop_front();
       ++in_flight_;
     }
+    MetricsRegistry::global().histogram("daemon.queue_wait_ms")
+        .record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - job.enqueued)
+                    .count());
     DoneJob done;
     done.conn_id = job.conn_id;
     done.v2 = job.v2;
     try {
       done.response = service_.compile(job.request);
+      MetricsRegistry::global().histogram("daemon.service_ms")
+          .record(done.response.wall_ms);
     } catch (const std::exception& error) {
       done.error = error.what();
     }
@@ -779,11 +800,37 @@ void Daemon::janitor_main() {
 }
 
 std::string Daemon::render_stats(bool json) {
+  // Snapshot the reconcilable counters in one place: stats_ lives on
+  // the reactor thread (render_stats runs there too), queue_depth()
+  // reads the live queue under its own lock, and the latency
+  // percentiles come from the process-wide telemetry histograms -- the
+  // same ones `psc --metrics` reports.
   DaemonStats d = stats_;
   d.connections_open = connections_.size();
   d.queue_depth = queue_depth();
   ServiceStats s = service_.stats();
   ArtifactCacheStats c = service_.cache_stats();
+  Histogram& wait = MetricsRegistry::global().histogram("daemon.queue_wait_ms");
+  Histogram& serve = MetricsRegistry::global().histogram("daemon.service_ms");
+  double uptime_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+  auto latency_json = [](Histogram& h) {
+    std::ostringstream out;
+    out << "{\"count\": " << h.count()
+        << ", \"p50\": " << format_ms_fixed(h.percentile(50.0))
+        << ", \"p95\": " << format_ms_fixed(h.percentile(95.0))
+        << ", \"p99\": " << format_ms_fixed(h.percentile(99.0)) << "}";
+    return out.str();
+  };
+  auto latency_text = [](Histogram& h) {
+    std::ostringstream out;
+    out << "p50 " << format_ms_fixed(h.percentile(50.0)) << " ms, p95 "
+        << format_ms_fixed(h.percentile(95.0)) << " ms, p99 "
+        << format_ms_fixed(h.percentile(99.0)) << " ms (" << h.count()
+        << " samples)";
+    return out.str();
+  };
   std::ostringstream os;
   if (json) {
     os << "{\n"
@@ -793,7 +840,11 @@ std::string Daemon::render_stats(bool json) {
        << ", \"served_inline\": " << d.served_inline
        << ", \"queued\": " << d.queued
        << ", \"busy_rejections\": " << d.busy_rejections
-       << ", \"queue_depth\": " << d.queue_depth << "},\n"
+       << ", \"rejected\": " << d.rejected
+       << ", \"queue_depth\": " << d.queue_depth
+       << ", \"uptime_ms\": " << format_ms_fixed(uptime_ms)
+       << ", \"queue_wait_ms\": " << latency_json(wait)
+       << ", \"service_ms\": " << latency_json(serve) << "},\n"
        << "  \"service\": {\"requests\": " << s.requests
        << ", \"units\": " << s.units << ", \"compiled\": " << s.compiled
        << ", \"cache_hits\": " << s.cache_hits
@@ -815,7 +866,11 @@ std::string Daemon::render_stats(bool json) {
      << d.connections_open << " open; " << d.compile_requests
      << " compile requests (" << d.served_inline << " served inline, "
      << d.queued << " queued, " << d.busy_rejections
-     << " busy-rejected); queue depth " << d.queue_depth << "\n"
+     << " busy-rejected); queue depth " << d.queue_depth << "; "
+     << d.rejected << " rejected; uptime "
+     << format_ms_fixed(uptime_ms) << " ms\n"
+     << "queue wait: " << latency_text(wait) << "\n"
+     << "service time: " << latency_text(serve) << "\n"
      << "service: " << s.requests << " requests, " << s.units << " units ("
      << s.cache_hits << " cache hits, " << s.compiled << " compiled, "
      << s.spilled << " spilled)\n"

@@ -52,6 +52,10 @@ struct DaemonStats {
   size_t served_inline = 0;
   size_t queued = 0;  // requests dispatched to the compile queue
   size_t busy_rejections = 0;
+  /// Requests refused before admission (version mismatch): these never
+  /// enter the inline/queued/busy accounting, so the identity
+  /// compile_requests == served_inline + queued + busy_rejections holds.
+  size_t rejected = 0;
   size_t queue_depth = 0;  // queued + in-flight right now
 };
 
@@ -149,6 +153,9 @@ class Daemon {
     uint64_t conn_id = 0;
     ServiceRequest request;
     bool v2 = false;
+    /// When the reactor queued it; the dispatcher's dequeue time minus
+    /// this feeds the daemon.queue_wait_ms histogram.
+    std::chrono::steady_clock::time_point enqueued;
   };
   struct DoneJob {
     uint64_t conn_id = 0;
@@ -192,6 +199,7 @@ class Daemon {
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_{false};
 
+  std::chrono::steady_clock::time_point start_time_{};  // set by start()
   uint64_t next_conn_id_ = 1;
   std::map<uint64_t, Connection> connections_;  // reactor thread only
   DaemonStats stats_;                           // reactor thread only

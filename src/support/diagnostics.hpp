@@ -39,6 +39,10 @@ class DiagnosticEngine {
     return diags_;
   }
 
+  /// The file-name label attached by set_source (telemetry spans tag
+  /// per-pass trace events with it).
+  [[nodiscard]] const std::string& file_name() const { return file_name_; }
+
   /// Render all diagnostics as "file:line:col: severity: message" lines,
   /// each followed by the quoted source line and a caret when the source
   /// buffer is available.

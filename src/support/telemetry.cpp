@@ -1,0 +1,386 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "support/report_format.hpp"
+#include "support/text_table.hpp"
+
+namespace ps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Force the epoch to be captured as early as any telemetry use.
+[[maybe_unused]] const int64_t g_epoch_init = (trace_epoch(), 0);
+
+double bits_to_double(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t double_to_bits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+std::string format_fixed(double v) { return format_ms_fixed(v); }
+
+}  // namespace
+
+int64_t trace_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               trace_epoch())
+      .count();
+}
+
+// -- Histogram --------------------------------------------------------------
+
+double Histogram::bucket_limit(size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  // 0.001ms * 2^i: 1us, 2us, 4us ... ~4.8 hours.
+  return 0.001 * static_cast<double>(uint64_t{1} << i);
+}
+
+size_t Histogram::bucket_for(double ms) {
+  if (!(ms > 0)) return 0;  // negatives and NaN land in the first bucket
+  double limit = 0.001;
+  for (size_t i = 0; i + 1 < kBuckets; ++i) {
+    if (ms <= limit) return i;
+    limit *= 2.0;
+  }
+  return kBuckets - 1;
+}
+
+void Histogram::record(double ms) {
+  buckets_[bucket_for(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected, double_to_bits(bits_to_double(expected) + ms),
+      std::memory_order_relaxed)) {
+  }
+  expected = max_bits_.load(std::memory_order_relaxed);
+  while (bits_to_double(expected) < ms &&
+         !max_bits_.compare_exchange_weak(expected, double_to_bits(ms),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return bits_to_double(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return bits_to_double(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::percentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // The rank of the percentile among `total` samples (nearest-rank,
+  // 1-based), then a linear interpolation inside the winning bucket.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      double lower = i == 0 ? 0.0 : bucket_limit(i - 1);
+      double upper = bucket_limit(i);
+      // The unbounded tail (and any bucket) never reports beyond the
+      // recorded maximum.
+      if (std::isinf(upper)) return max();
+      double fraction = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+      return std::min(lower + (upper - lower) * fraction, max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+}
+
+// -- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  if (!counters_.empty()) {
+    TextTable table({"Counter", "Value"});
+    for (const auto& [name, counter] : counters_)
+      table.add_row({name, std::to_string(counter->value())});
+    os << table.render();
+  }
+  if (!gauges_.empty()) {
+    TextTable table({"Gauge", "Value"});
+    for (const auto& [name, gauge] : gauges_)
+      table.add_row({name, std::to_string(gauge->value())});
+    os << table.render();
+  }
+  if (!histograms_.empty()) {
+    TextTable table({"Histogram", "Count", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                     "Max (ms)"});
+    for (const auto& [name, h] : histograms_)
+      table.add_row({name, std::to_string(h->count()),
+                     format_fixed(h->percentile(50)),
+                     format_fixed(h->percentile(95)),
+                     format_fixed(h->percentile(99)), format_fixed(h->max())});
+    os << table.render();
+  }
+  std::string out = os.str();
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << gauge->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": {\"count\": " << h->count()
+       << ", \"sum_ms\": " << format_fixed(h->sum())
+       << ", \"p50\": " << format_fixed(h->percentile(50))
+       << ", \"p95\": " << format_fixed(h->percentile(95))
+       << ", \"p99\": " << format_fixed(h->percentile(99))
+       << ", \"max\": " << format_fixed(h->max()) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+// -- TraceSession -----------------------------------------------------------
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::enable(size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_capacity_ = std::max<size_t>(ring_capacity, 16);
+  }
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::disable() {
+  g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::shared_ptr<TraceSession::ThreadBuffer>
+TraceSession::buffer_for_this_thread() {
+  // The shared_ptr is held both thread-locally (fast path) and in the
+  // session's list (so a thread's events survive its exit until the
+  // next flush). One thread-local per process-wide session is enough:
+  // there is exactly one global session.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    fresh->tid = next_tid_++;
+    fresh->capacity = ring_capacity_;
+    fresh->ring.reserve(std::min<size_t>(fresh->capacity, 1024));
+    buffers_.push_back(fresh);
+    buffer = std::move(fresh);
+  }
+  return buffer;
+}
+
+void TraceSession::record(std::string_view name, std::string_view cat,
+                          int64_t ts_us, int64_t dur_us,
+                          std::string args_json) {
+  if (!enabled()) return;
+  std::shared_ptr<ThreadBuffer> buffer = buffer_for_this_thread();
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer->tid;
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (buffer->ring.size() < buffer->capacity) {
+    buffer->ring.push_back(std::move(event));
+  } else {
+    // Full: overwrite the oldest slot (the ring runs head-first once
+    // saturated) and count the loss instead of growing without bound.
+    buffer->ring[buffer->head] = std::move(event);
+    buffer->head = (buffer->head + 1) % buffer->capacity;
+    ++buffer->dropped;
+  }
+}
+
+std::string TraceSession::flush_json() {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      // Oldest-first: the saturated ring starts at head.
+      for (size_t i = 0; i < buffer->ring.size(); ++i) {
+        size_t idx = buffer->ring.size() == buffer->capacity
+                         ? (buffer->head + i) % buffer->capacity
+                         : i;
+        events.push_back(buffer->ring[idx]);
+      }
+      buffer->ring.clear();
+      buffer->head = 0;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+    if (!e.args_json.empty()) os << ",\"args\":{" << e.args_json << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+uint64_t TraceSession::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->dropped = 0;
+  }
+}
+
+// -- span helpers -----------------------------------------------------------
+
+void trace_args_append(std::string& body, std::string_view key,
+                       std::string_view value) {
+  if (!body.empty()) body += ',';
+  body += '"';
+  body += json_escape(std::string(key));
+  body += "\":\"";
+  body += json_escape(std::string(value));
+  body += '"';
+}
+
+void trace_args_append(std::string& body, std::string_view key,
+                       int64_t value) {
+  if (!body.empty()) body += ',';
+  body += '"';
+  body += json_escape(std::string(key));
+  body += "\":";
+  body += std::to_string(value);
+}
+
+void TraceSpan::finish() {
+  if (!live_) return;
+  live_ = false;
+  int64_t end_us = trace_now_us();
+  TraceSession::global().record(name_, cat_, start_us_, end_us - start_us_,
+                                std::move(args_));
+}
+
+double TimedSpan::finish_ms() {
+  finished_ = true;
+  int64_t end_us = trace_now_us();
+  int64_t dur_us = end_us - start_us_;
+  if (TraceSession::enabled())
+    TraceSession::global().record(name_, cat_, start_us_, dur_us,
+                                  std::move(args_));
+  return static_cast<double>(dur_us) / 1000.0;
+}
+
+}  // namespace ps

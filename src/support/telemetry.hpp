@@ -1,0 +1,280 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include <map>
+#include <vector>
+
+namespace ps {
+
+// ---------------------------------------------------------------------------
+// Unified telemetry: one process-wide metrics registry (counters, gauges,
+// latency histograms) plus one trace session recording structured spans
+// into per-thread ring buffers, flushed as Chrome trace-event JSON.
+//
+// Every timing surface of the system reads from (or writes through) this
+// layer: pass timings, batch units, engine tier decisions, native `cc`
+// compiles, wavefront hyperplanes, cache traffic and the daemon's
+// queue-wait / service-time distributions. The design constraint is that
+// the *disabled* trace path costs one relaxed atomic load and nothing
+// else (BM_TelemetryOverhead holds it to ~1ns), so instrumentation can
+// sit on hot paths permanently.
+// ---------------------------------------------------------------------------
+
+/// Microseconds on the steady clock since the process-wide trace epoch
+/// (captured on first use). The `ts` domain of every trace event.
+[[nodiscard]] int64_t trace_now_us();
+
+// -- metrics ----------------------------------------------------------------
+
+/// A monotonically increasing counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value-wins level (queue depth, open connections). Thread-safe.
+class Gauge {
+ public:
+  void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket latency histogram over milliseconds: exponential
+/// bucket bounds 0.001ms * 2^i (1us, 2us, 4us, ... ~4.8h) plus one
+/// overflow bucket. record() is lock-free; percentiles interpolate
+/// linearly inside the winning bucket, clamped to the recorded maximum.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 36;
+
+  /// Upper bound of bucket `i` in ms; the last bucket is unbounded
+  /// (returns infinity).
+  [[nodiscard]] static double bucket_limit(size_t i);
+  /// The bucket a value of `ms` lands in.
+  [[nodiscard]] static size_t bucket_for(double ms);
+
+  void record(double ms);
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double max() const;
+  /// The p-th percentile (0..100) of recorded values in ms; 0 when the
+  /// histogram is empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double bits, CAS-accumulated
+  std::atomic<uint64_t> max_bits_{0};  // double bits, CAS-maximised
+};
+
+/// The process-wide metrics registry. Instruments are created on first
+/// use by name and live for the process (handles returned here are
+/// stable pointers -- cache them on hot paths); reset() zeroes every
+/// instrument in place without invalidating handles, which is how a
+/// fresh CompileService session starts from clean numbers in tests.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Zero every instrument (names and handles stay valid).
+  void reset();
+
+  /// Aligned text rendering (psc --metrics), names sorted.
+  [[nodiscard]] std::string render_text() const;
+  /// JSON rendering (psc --metrics --json):
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// -- tracing ----------------------------------------------------------------
+
+/// The one global the disabled-path check reads. Constant-initialised,
+/// so there is no static-init-order hazard; only TraceSession writes it.
+inline std::atomic<bool> g_trace_enabled{false};
+
+/// One completed span as stored in a thread's ring buffer.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;
+  /// Pre-rendered JSON object *body* ("k":"v",...), empty = no args.
+  std::string args_json;
+};
+
+/// Records spans into per-thread ring buffers and flushes them as
+/// Chrome trace-event / Perfetto-compatible JSON (load the file in
+/// chrome://tracing or ui.perfetto.dev). Each OS thread gets its own
+/// fixed-capacity ring: recording never blocks another thread, worker
+/// lanes show up as separate tid rows in the viewer for free, and a
+/// runaway producer overwrites its own oldest events (counted in
+/// dropped_events()) instead of growing without bound.
+class TraceSession {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 14;
+
+  [[nodiscard]] static TraceSession& global();
+
+  /// The gate every span checks first: one relaxed atomic load.
+  [[nodiscard]] static bool enabled() {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  void enable(size_t ring_capacity = kDefaultRingCapacity);
+  void disable();
+
+  /// Append one completed span to the calling thread's ring. No-op
+  /// when the session is disabled.
+  void record(std::string_view name, std::string_view cat, int64_t ts_us,
+              int64_t dur_us, std::string args_json = {});
+
+  /// Merge every thread's ring (sorted by start time) into one
+  /// trace-event JSON document and clear the buffers.
+  [[nodiscard]] std::string flush_json();
+
+  /// Events overwritten before a flush, across all threads.
+  [[nodiscard]] uint64_t dropped_events() const;
+
+  /// Drop all buffered events (without rendering) and zero dropped().
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    uint32_t tid = 0;
+    size_t capacity = 0;
+    std::vector<TraceEvent> ring;  // ring.size() <= capacity
+    size_t head = 0;               // next slot once the ring is full
+    uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<ThreadBuffer> buffer_for_this_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  uint32_t next_tid_ = 1;
+};
+
+/// Append one escaped "key":"value" (or "key":N) pair to a trace-args
+/// JSON body. Shared with the renderers; exposed for tests.
+void trace_args_append(std::string& body, std::string_view key,
+                       std::string_view value);
+void trace_args_append(std::string& body, std::string_view key,
+                       int64_t value);
+
+/// RAII span gated on TraceSession::enabled(): when tracing is off the
+/// constructor is one relaxed load and the destructor one branch --
+/// nothing else happens, no clock is read. `name`/`cat` must outlive
+/// the span (string literals in practice).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (!TraceSession::enabled()) return;
+    live_ = true;
+    name_ = name;
+    cat_ = cat;
+    start_us_ = trace_now_us();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (live_) finish();
+  }
+
+  [[nodiscard]] bool live() const { return live_; }
+
+  void arg(std::string_view key, std::string_view value) {
+    if (live_) trace_args_append(args_, key, value);
+  }
+  void arg(std::string_view key, int64_t value) {
+    if (live_) trace_args_append(args_, key, value);
+  }
+
+  /// End the span now (idempotent); the destructor is the usual path.
+  void finish();
+
+ private:
+  bool live_ = false;
+  int64_t start_us_ = 0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::string args_;
+};
+
+/// A span that *always* reads the clock because its caller needs the
+/// elapsed time regardless of tracing -- the single timing source
+/// behind PassTiming, batch unit times and the daemon's service-time
+/// histogram: one pair of clock reads feeds the caller's number, the
+/// trace event (when enabled) and any histogram the caller records
+/// into, so the old parallel hand-rolled timing structs are gone.
+class TimedSpan {
+ public:
+  TimedSpan(const char* name, const char* cat)
+      : name_(name), cat_(cat), start_us_(trace_now_us()) {}
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+  ~TimedSpan() {
+    if (!finished_) (void)finish_ms();
+  }
+
+  void arg(std::string_view key, std::string_view value) {
+    if (TraceSession::enabled()) trace_args_append(args_, key, value);
+  }
+  void arg(std::string_view key, int64_t value) {
+    if (TraceSession::enabled()) trace_args_append(args_, key, value);
+  }
+
+  /// End the span: emits the trace event when the session is enabled
+  /// and returns the elapsed wall milliseconds either way.
+  double finish_ms();
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t start_us_;
+  std::string args_;
+  bool finished_ = false;
+};
+
+}  // namespace ps

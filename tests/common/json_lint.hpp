@@ -1,0 +1,256 @@
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::test {
+
+/// A deliberately small recursive-descent JSON parser for validating the
+/// documents psc emits (--trace files, --metrics --json, --daemon-stats
+/// --json, --batch-report --json). It accepts exactly RFC-8259 JSON --
+/// no comments, no trailing commas -- so a test that feeds it a psc
+/// output file is asserting real well-formedness, the same property
+/// `python3 -m json.tool` checks in CI.
+///
+/// Values are held in a tiny variant tree; tests mostly use parse() for
+/// validity plus the typed accessors to spot-check fields.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::shared_ptr<JsonValue>> array;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class JsonParser {
+ public:
+  /// Parse a complete document. Returns nullptr on any syntax error
+  /// (including trailing garbage) and sets error() to a short reason.
+  [[nodiscard]] static std::shared_ptr<JsonValue> parse(std::string_view text,
+                                                        std::string* error
+                                                        = nullptr) {
+    JsonParser parser(text);
+    std::shared_ptr<JsonValue> value = parser.parse_value();
+    parser.skip_ws();
+    if (value != nullptr && parser.pos_ != parser.text_.size()) {
+      parser.error_ = "trailing characters after document";
+      value = nullptr;
+    }
+    if (error != nullptr) *error = value == nullptr ? parser.error_ : "";
+    return value;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return nullptr;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string_value();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      return std::make_shared<JsonValue>();
+    }
+    return parse_number();
+  }
+
+  std::shared_ptr<JsonValue> parse_bool() {
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::Bool;
+    if (literal("true")) {
+      value->boolean = true;
+      return value;
+    }
+    if (literal("false")) return value;
+    return fail("bad literal");
+  }
+
+  std::shared_ptr<JsonValue> parse_number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      return fail("bad number");
+    // Leading zero rule: 0 may not be followed by another digit.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+      return fail("number with leading zero");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        return fail("bad fraction");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        return fail("bad exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::Number;
+    value->number = std::strtod(std::string(text_.substr(start, pos_ - start))
+                                    .c_str(),
+                                nullptr);
+    return value;
+  }
+
+  bool parse_string_into(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (size_t i = 0; i < 4; ++i)
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + i])))
+                return false;
+            // Validation-oriented: keep the escape verbatim rather than
+            // decoding UTF-16 surrogate pairs.
+            out += "\\u";
+            out += std::string(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  std::shared_ptr<JsonValue> parse_string_value() {
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::String;
+    if (!parse_string_into(value->string)) return fail("bad string");
+    return value;
+  }
+
+  std::shared_ptr<JsonValue> parse_array() {
+    ++pos_;  // '['
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (consume(']')) return value;
+    while (true) {
+      std::shared_ptr<JsonValue> element = parse_value();
+      if (element == nullptr) return nullptr;
+      value->array.push_back(std::move(element));
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (consume('}')) return value;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string_into(key)) return fail("expected object key");
+      if (!consume(':')) return fail("expected ':' after key");
+      std::shared_ptr<JsonValue> member = parse_value();
+      if (member == nullptr) return nullptr;
+      value->object[key] = std::move(member);
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace ps::test

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_lint.hpp"
 #include "driver/paper_modules.hpp"
 
 namespace ps {
@@ -644,6 +645,112 @@ end M;
 )");
   EXPECT_EQ(r.exit_code, 0) << r.out;
   EXPECT_NE(r.out.find("-- native engine [M]: "), std::string::npos) << r.out;
+}
+
+
+// ---------------------------------------------------------------------------
+// Observability: --trace and --metrics.
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(CliTelemetry, TraceFileIsWellFormedChromeJson) {
+  std::string file = std::string(::testing::TempDir()) + "/psc_trace_" +
+                     std::to_string(getpid()) + ".json";
+  CliResult r = run_psc("--exact --trace=" + file, kGaussSeidelSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("psc: trace written to "), std::string::npos) << r.out;
+
+  std::string body = slurp(file);
+  ASSERT_FALSE(body.empty());
+  std::string error;
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(body, &error);
+  ASSERT_NE(doc, nullptr) << error << "\n" << body;
+  const test::JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->array.empty());
+  // Every pipeline stage shows up as a complete ("ph":"X") span, and
+  // the per-unit pass spans carry the file they ran over.
+  bool saw_parse = false;
+  bool saw_schedule = false;
+  for (const auto& event : events->array) {
+    const test::JsonValue* name = event->get("name");
+    const test::JsonValue* ph = event->get("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string, "X");
+    if (name->string == "Parse") saw_parse = true;
+    if (name->string == "Schedule") saw_schedule = true;
+  }
+  EXPECT_TRUE(saw_parse) << body;
+  EXPECT_TRUE(saw_schedule) << body;
+}
+
+TEST(CliTelemetry, BareTraceDefaultsToPscTraceJson) {
+  // The bare flag writes psc-trace.json into the working directory;
+  // the stderr note names it so the user can find the file.
+  CliResult r = run_psc("--trace", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("psc: trace written to psc-trace.json"),
+            std::string::npos)
+      << r.out;
+  std::remove("psc-trace.json");
+}
+
+TEST(CliTelemetry, MetricsJsonFileIsWellFormedAndCountsTheCorpus) {
+  std::string file = std::string(::testing::TempDir()) + "/psc_metrics_" +
+                     std::to_string(getpid()) + ".json";
+  std::string out_file = std::string(::testing::TempDir()) +
+                         "/psc_metrics_out_" + std::to_string(getpid()) +
+                         ".txt";
+  std::string cmd = psc_binary() + " --corpus --metrics=" + file +
+                    " --json > " + out_file + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << slurp(out_file);
+
+  std::string body = slurp(file);
+  ASSERT_FALSE(body.empty());
+  std::string error;
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(body, &error);
+  ASSERT_NE(doc, nullptr) << error << "\n" << body;
+  const test::JsonValue* counters = doc->get("counters");
+  ASSERT_NE(counters, nullptr);
+  const test::JsonValue* units = counters->get("batch.units");
+  ASSERT_NE(units, nullptr) << body;
+  EXPECT_EQ(units->number, 4.0) << body;  // the paper corpus
+  const test::JsonValue* histograms = doc->get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const test::JsonValue* unit_ms = histograms->get("batch.unit_ms");
+  ASSERT_NE(unit_ms, nullptr) << body;
+  const test::JsonValue* count = unit_ms->get("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 4.0) << body;
+}
+
+TEST(CliTelemetry, BareMetricsPrintsTextTablesOnStderr) {
+  CliResult r = run_psc("--metrics", kRelaxationSource);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  // stdout stays byte-compatible (the schedule still prints); the
+  // metrics report rides on stderr after it.
+  EXPECT_NE(r.out.find("DO K ("), std::string::npos) << r.out;
+  // A plain compile records pass histograms only; empty categories
+  // (counters, gauges) print no table at all.
+  EXPECT_NE(r.out.find("Histogram"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("p95 (ms)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("pass.Parse_ms"), std::string::npos) << r.out;
+}
+
+TEST(CliTelemetry, EmptyFlagValueIsAUsageError) {
+  CliResult trace = run_psc("--trace=", kRelaxationSource);
+  EXPECT_EQ(trace.exit_code, 2) << trace.out;
+  CliResult metrics = run_psc("--metrics=", kRelaxationSource);
+  EXPECT_EQ(metrics.exit_code, 2) << metrics.out;
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/json_lint.hpp"
 #include "driver/compiler.hpp"
 #include "driver/paper_modules.hpp"
 
@@ -481,6 +482,95 @@ TEST(Daemon, StatsCountersReconcileWithClientObservations) {
   ASSERT_TRUE(text.has_value()) << client.error();
   EXPECT_NE(text->find("compile requests"), std::string::npos) << *text;
   EXPECT_NE(text->find("served inline"), std::string::npos) << *text;
+}
+
+TEST(Daemon, VersionMismatchCountsAsRejectedNotAsACompileRequest) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("reject");
+  options.service.cache_dir = fresh_dir("reject");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  ServiceRequest mismatched = corpus_request();
+  mismatched.client_version = "some-other-build";
+  std::optional<RemoteReply> refused = client.compile(mismatched);
+  EXPECT_FALSE(refused.has_value());
+  EXPECT_NE(client.error().find("version mismatch"), std::string::npos)
+      << client.error();
+
+  // One good request afterwards. The refusal must appear as `rejected`
+  // and never as a compile request: compile_requests counts admitted
+  // requests only, so served_inline + queued + busy_rejections always
+  // sums back to it (the reconcile identity the stats report).
+  ASSERT_TRUE(client.connect(options.socket_path));
+  ServiceRequest good = corpus_request();
+  ASSERT_TRUE(client.compile(good).has_value()) << client.error();
+
+  std::optional<std::string> json = client.stats(true);
+  ASSERT_TRUE(json.has_value()) << client.error();
+  EXPECT_NE(json->find("\"rejected\": 1"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"compile_requests\": 1"), std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"queued\": 1"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"served_inline\": 0"), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"busy_rejections\": 0"), std::string::npos)
+      << *json;
+}
+
+TEST(Daemon, StatsCarryLatencyPercentilesAndUptime) {
+  DaemonOptions options;
+  options.socket_path = fresh_socket("latency");
+  options.service.cache_dir = fresh_dir("latency");
+  DaemonFixture fixture(options);
+  ASSERT_TRUE(fixture.started()) << fixture.daemon().error();
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  ServiceRequest request = corpus_request();
+  ASSERT_TRUE(client.compile(request).has_value()) << client.error();
+  ASSERT_TRUE(client.compile(request).has_value()) << client.error();
+
+  std::optional<std::string> json = client.stats(true);
+  ASSERT_TRUE(json.has_value()) << client.error();
+  // The document must be real JSON, and the admission ledger must
+  // reconcile: every admitted request was served inline, queued, or
+  // busy-rejected -- nothing else.
+  std::string parse_error;
+  std::shared_ptr<test::JsonValue> doc =
+      test::JsonParser::parse(*json, &parse_error);
+  ASSERT_NE(doc, nullptr) << parse_error << "\n" << *json;
+  const test::JsonValue* daemon = doc->get("daemon");
+  ASSERT_NE(daemon, nullptr) << *json;
+  auto field = [&](const char* name) {
+    const test::JsonValue* value = daemon->get(name);
+    EXPECT_NE(value, nullptr) << name << " missing in " << *json;
+    return value == nullptr ? -1.0 : value->number;
+  };
+  EXPECT_EQ(field("compile_requests"),
+            field("served_inline") + field("queued") +
+                field("busy_rejections"))
+      << *json;
+  EXPECT_GT(field("uptime_ms"), 0.0) << *json;
+  const test::JsonValue* wait = daemon->get("queue_wait_ms");
+  ASSERT_NE(wait, nullptr) << *json;
+  ASSERT_NE(wait->get("count"), nullptr) << *json;
+  EXPECT_NE(json->find("\"uptime_ms\": "), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"queue_wait_ms\": {\"count\": "),
+            std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"service_ms\": {\"count\": "), std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"p50\": "), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"p95\": "), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"p99\": "), std::string::npos) << *json;
+
+  std::optional<std::string> text = client.stats(false);
+  ASSERT_TRUE(text.has_value()) << client.error();
+  EXPECT_NE(text->find("queue wait: p50 "), std::string::npos) << *text;
+  EXPECT_NE(text->find("service time: p50 "), std::string::npos) << *text;
+  EXPECT_NE(text->find("uptime "), std::string::npos) << *text;
 }
 
 TEST(Daemon, JanitorPrunesIdleCacheEntriesButNotFreshOnes) {

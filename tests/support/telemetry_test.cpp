@@ -1,0 +1,351 @@
+#include "support/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_lint.hpp"
+#include "driver/paper_modules.hpp"
+#include "service/compile_service.hpp"
+
+namespace ps {
+namespace {
+
+/// Every trace test drives the one global session; this guard makes
+/// each test start from a clean, disabled state and leave it that way
+/// for whoever runs next in the binary.
+struct TraceGuard {
+  explicit TraceGuard(size_t ring_capacity
+                      = TraceSession::kDefaultRingCapacity) {
+    TraceSession::global().disable();
+    TraceSession::global().clear();
+    TraceSession::global().enable(ring_capacity);
+  }
+  ~TraceGuard() {
+    TraceSession::global().disable();
+    TraceSession::global().clear();
+  }
+};
+
+TEST(Histogram, BucketBoundariesAreExponentialFromOneMicrosecond) {
+  // Bucket i spans (limit(i-1), limit(i)] with limit(i) = 0.001 * 2^i.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_limit(0), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_limit(1), 0.002);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_limit(10), 1.024);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_limit(Histogram::kBuckets - 1)));
+
+  EXPECT_EQ(Histogram::bucket_for(0.0005), 0u);
+  EXPECT_EQ(Histogram::bucket_for(0.001), 0u);   // inclusive upper bound
+  EXPECT_EQ(Histogram::bucket_for(0.0011), 1u);  // just past it
+  EXPECT_EQ(Histogram::bucket_for(0.002), 1u);
+  EXPECT_EQ(Histogram::bucket_for(1.0), 10u);
+  EXPECT_EQ(Histogram::bucket_for(1.024), 10u);
+  EXPECT_EQ(Histogram::bucket_for(1.025), 11u);
+  // Degenerate inputs land in the first bucket rather than anywhere odd.
+  EXPECT_EQ(Histogram::bucket_for(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_for(-5.0), 0u);
+  // Beyond the last finite limit: the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_for(1e12), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, PercentilesInterpolateAndClampToRecordedMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // empty histogram reads zero
+
+  // 100 samples at ~1ms, one straggler at 100ms: the median must stay
+  // near 1ms and p100 must report exactly the recorded maximum, not a
+  // bucket boundary above it.
+  for (int i = 0; i < 100; ++i) h.record(1.0);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.sum(), 200.0, 1e-9);
+  double p50 = h.percentile(50);
+  EXPECT_GT(p50, 0.5);
+  EXPECT_LE(p50, 1.024);  // inside the 1ms bucket
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  // p99 of 101 samples is rank 100 -- still one of the 1ms samples.
+  EXPECT_LE(h.percentile(99), 1.024);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1.0);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // The CAS-accumulated sum must agree exactly: every sample was 1.0.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndResetZeroesInPlace) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& counter = registry.counter("test.reset_counter");
+  Histogram& histogram = registry.histogram("test.reset_histogram");
+  counter.add(7);
+  histogram.record(2.5);
+  EXPECT_EQ(&registry.counter("test.reset_counter"), &counter);
+  EXPECT_EQ(&registry.histogram("test.reset_histogram"), &histogram);
+  EXPECT_EQ(counter.value(), 7u);
+
+  registry.reset();
+  // The old handles still point at live instruments, now zeroed.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+  counter.add(1);
+  EXPECT_EQ(registry.counter("test.reset_counter").value(), 1u);
+}
+
+TEST(MetricsRegistry, RenderJsonIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("test.render_counter").add(3);
+  registry.gauge("test.render_gauge").set(-2);
+  registry.histogram("test.render_histogram").record(1.5);
+
+  std::string error;
+  std::shared_ptr<test::JsonValue> doc =
+      test::JsonParser::parse(registry.render_json(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const test::JsonValue* counters = doc->get("counters");
+  ASSERT_NE(counters, nullptr);
+  const test::JsonValue* counter = counters->get("test.render_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_GE(counter->number, 3.0);
+  const test::JsonValue* histograms = doc->get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const test::JsonValue* h = histograms->get("test.render_histogram");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->get("p50"), nullptr);
+  ASSERT_NE(h->get("p95"), nullptr);
+  ASSERT_NE(h->get("p99"), nullptr);
+  ASSERT_NE(h->get("count"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetSeparatesCompileServiceSessions) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+
+  ServiceRequest request;
+  for (const PaperModule& module : paper_corpus())
+    request.units.push_back({module.name, module.source, false});
+
+  {
+    CompileService service{ServiceOptions{}};
+    (void)service.compile(request);
+  }
+  uint64_t first_requests = registry.counter("service.requests").value();
+  uint64_t first_units = registry.counter("service.units").value();
+  EXPECT_EQ(first_requests, 1u);
+  EXPECT_EQ(first_units, request.units.size());
+  EXPECT_GE(registry.counter("batch.units").value(), request.units.size());
+  EXPECT_GT(registry.histogram("service.request_ms").count(), 0u);
+
+  // A fresh session starts from clean numbers: reset between services
+  // and the counters tell only the second session's story.
+  registry.reset();
+  EXPECT_EQ(registry.counter("service.requests").value(), 0u);
+  {
+    CompileService service{ServiceOptions{}};
+    (void)service.compile(request);
+    (void)service.compile(request);
+  }
+  EXPECT_EQ(registry.counter("service.requests").value(), 2u);
+  EXPECT_EQ(registry.counter("service.units").value(),
+            2 * request.units.size());
+  registry.reset();
+}
+
+TEST(TraceSession, DisabledSessionRecordsNothingAndSpansStayCheap) {
+  TraceSession::global().disable();
+  TraceSession::global().clear();
+  {
+    TraceSpan span("never", "test");
+    EXPECT_FALSE(span.live());
+    span.arg("key", std::string_view("value"));
+  }
+  TraceSession::global().record("direct", "test", 0, 1);
+  TraceSession::global().enable();
+  std::string json = TraceSession::global().flush_json();
+  TraceSession::global().disable();
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(json);
+  ASSERT_NE(doc, nullptr);
+  const test::JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const auto& event : events->array) {
+    const test::JsonValue* name = event->get("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(name->string, "never");
+    EXPECT_NE(name->string, "direct");
+  }
+}
+
+TEST(TraceSession, TimedSpanTimesEvenWhenDisabledButEmitsNoEvent) {
+  TraceSession::global().disable();
+  TraceSession::global().clear();
+  TimedSpan span("timed-disabled", "test");
+  double ms = span.finish_ms();
+  EXPECT_GE(ms, 0.0);  // the clock ran regardless of the session state
+  TraceSession::global().enable();
+  std::string json = TraceSession::global().flush_json();
+  TraceSession::global().disable();
+  EXPECT_EQ(json.find("timed-disabled"), std::string::npos);
+}
+
+TEST(TraceSession, ConcurrentSpansFromEightThreadsFlushWellFormedJson) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  TraceGuard guard;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker-span", "test");
+        span.arg("thread", static_cast<int64_t>(t));
+        span.arg("iteration", static_cast<int64_t>(i));
+        // A value that must survive JSON escaping intact.
+        span.arg("payload", std::string_view("quote\" backslash\\ tab\t"));
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  std::string json = TraceSession::global().flush_json();
+  std::string error;
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(json, &error);
+  ASSERT_NE(doc, nullptr) << error << "\n" << json.substr(0, 400);
+
+  const test::JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  size_t worker_events = 0;
+  std::set<double> tids;
+  int64_t last_ts = -1;
+  for (const auto& event : events->array) {
+    const test::JsonValue* name = event->get("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(event->get("ts"), nullptr);
+    ASSERT_NE(event->get("dur"), nullptr);
+    ASSERT_NE(event->get("tid"), nullptr);
+    // flush_json sorts by start time so viewers stream it directly.
+    int64_t ts = static_cast<int64_t>(event->get("ts")->number);
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (name->string != "worker-span") continue;
+    ++worker_events;
+    tids.insert(event->get("tid")->number);
+    const test::JsonValue* args = event->get("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->get("payload"), nullptr);
+    EXPECT_EQ(args->get("payload")->string, "quote\" backslash\\ tab\t");
+  }
+  // Nothing dropped at this volume, and each OS thread got its own
+  // trace lane (distinct tid) -- that is what makes -j worker lanes
+  // visible in the viewer.
+  EXPECT_EQ(worker_events,
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(TraceSession::global().dropped_events(), 0u);
+  EXPECT_GE(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TraceSession, SaturatedRingOverwritesOldestAndCountsDrops) {
+  constexpr size_t kCapacity = 16;  // enable() floors the ring here
+  TraceGuard guard(kCapacity);
+  for (int i = 0; i < 50; ++i) {
+    TraceSpan span("ring-span", "test");
+    span.arg("i", static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(TraceSession::global().dropped_events(),
+            static_cast<uint64_t>(50 - kCapacity));
+
+  std::string json = TraceSession::global().flush_json();
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(json);
+  ASSERT_NE(doc, nullptr);
+  const test::JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Only the newest kCapacity events survive, oldest-first.
+  std::vector<int64_t> kept;
+  for (const auto& event : events->array) {
+    if (event->get("name")->string != "ring-span") continue;
+    kept.push_back(static_cast<int64_t>(event->get("args")->get("i")->number));
+  }
+  ASSERT_EQ(kept.size(), kCapacity);
+  EXPECT_EQ(kept.front(), static_cast<int64_t>(50 - kCapacity));
+  EXPECT_EQ(kept.back(), 49);
+  // clear() also zeroes the drop ledger.
+  TraceSession::global().clear();
+  EXPECT_EQ(TraceSession::global().dropped_events(), 0u);
+}
+
+TEST(TraceSession, PassSpansCarryTheUnitFileName) {
+  TraceGuard guard;
+  ServiceRequest request;
+  for (const PaperModule& module : paper_corpus())
+    request.units.push_back({module.name, module.source, false});
+  {
+    CompileService service{ServiceOptions{}};
+    (void)service.compile(request);
+  }
+  std::string json = TraceSession::global().flush_json();
+  std::string error;
+  std::shared_ptr<test::JsonValue> doc = test::JsonParser::parse(json, &error);
+  ASSERT_NE(doc, nullptr) << error;
+
+  // The whole instrumented stack shows up in one trace: the service
+  // request, each batch unit, and the per-pass spans tagged with the
+  // unit they compiled.
+  std::set<std::string> names;
+  bool parse_has_unit = false;
+  for (const auto& event : doc->get("traceEvents")->array) {
+    names.insert(event->get("name")->string);
+    if (event->get("name")->string == "Parse") {
+      const test::JsonValue* args = event->get("args");
+      if (args != nullptr && args->get("unit") != nullptr &&
+          !args->get("unit")->string.empty())
+        parse_has_unit = true;
+    }
+  }
+  EXPECT_TRUE(names.count("service-request")) << json.substr(0, 400);
+  EXPECT_TRUE(names.count("compile-all"));
+  EXPECT_TRUE(names.count("compile-unit"));
+  EXPECT_TRUE(names.count("Parse"));
+  EXPECT_TRUE(names.count("Schedule"));
+  EXPECT_TRUE(parse_has_unit);
+}
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace ps
