@@ -8,10 +8,12 @@
 //   * BM_NativeStripeAblation {M, stripes}: per-point kernel calls
 //     (0) versus the batched stripe kernel (1) -- what amortising the
 //     call and cursor overhead over a whole point range buys;
-//   * BM_InterpreterTier {M, tier}: the same three-tier ladder on a
-//     plain (non-wavefront) interpreted run -- tier 2 executes the
-//     whole scheduled flowchart through one JIT'd module kernel
-//     (emit_native_module via the shared EngineHost);
+//   * BM_InterpreterTier {M, tier}: the same tier ladder on a plain
+//     (non-wavefront) interpreted run -- tier 2 executes the whole
+//     scheduled flowchart through one JIT'd module kernel
+//     (emit_native_module via the shared EngineHost), tier 3 is the
+//     same kernel's parallel form fanned across a four-worker pool
+//     (psc_module_par slicing each parallelisable DOALL);
 //   * BM_NativeColdStart: compile-included cost of a cold module
 //     (every iteration re-runs `cc`; the cc_invocations counter proves
 //     it);
@@ -31,6 +33,7 @@
 
 #include "bench_common.hpp"
 #include "runtime/native_engine.hpp"
+#include "runtime/thread_pool.hpp"
 #include "runtime/wavefront.hpp"
 #include "service/artifact_cache.hpp"
 
@@ -109,19 +112,27 @@ BENCHMARK(BM_NativeStripeAblation)
     ->Args({96, 0})->Args({96, 1})
     ->Unit(benchmark::kMillisecond);
 
-// args: {M, tier} with 0 = tree-walk, 1 = bytecode, 2 = native: the
-// interpreter arm of the ladder. A plain (non-hyperplane) compile of
-// the same Gauss-Seidel module runs through the flowchart Interpreter;
-// on tier 2 the whole flowchart executes as one JIT'd module kernel
-// (compiled once, then reused from the in-process cache -- the warm
-// per-run cost, like BM_NativeTier).
+// args: {M, tier} with 0 = tree-walk, 1 = bytecode, 2 = native,
+// 3 = native parallel: the interpreter arm of the ladder. A plain
+// (non-hyperplane) compile of the same Gauss-Seidel module runs
+// through the flowchart Interpreter; on tier 2 the whole flowchart
+// executes as one JIT'd module kernel (compiled once, then reused from
+// the in-process cache -- the warm per-run cost, like BM_NativeTier);
+// tier 3 runs the parallel form of that kernel across a four-worker
+// pool, each worker driving psc_module_site over its slice of every
+// parallelisable DOALL.
 void BM_InterpreterTier(benchmark::State& state) {
   auto result = compile(ps::kGaussSeidelSource, {});
   const long m = state.range(0);
+  ps::ThreadPool pool(4);
   ps::InterpreterOptions opts;
   opts.engine = state.range(1) == 0   ? ps::EvalEngine::TreeWalk
                 : state.range(1) == 1 ? ps::EvalEngine::Bytecode
                                       : ps::EvalEngine::Native;
+  if (state.range(1) == 3) {
+    opts.pool = &pool;
+    opts.native_threads = 4;
+  }
   if (opts.engine == ps::EvalEngine::Native &&
       !ps::native_engine_available()) {
     state.SkipWithError("native tier unavailable");
@@ -142,8 +153,8 @@ void BM_InterpreterTier(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterpreterTier)
-    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
-    ->Args({128, 0})->Args({128, 1})->Args({128, 2})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})->Args({64, 3})
+    ->Args({128, 0})->Args({128, 1})->Args({128, 2})->Args({128, 3})
     ->Unit(benchmark::kMillisecond);
 
 // Cold start: every iteration drops the in-process module cache and

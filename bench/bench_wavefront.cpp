@@ -7,7 +7,12 @@
 //     (0 = shared bytecode core, 1 = tree-walk reference, 2 = native
 //     JIT);
 //   * BM_WavefrontBackend {M, backend}: the backend layer head to head
-//     (0 = sequential, 1 = pooled-chunked, 2 = sharded);
+//     (0 = sequential, 1 = pooled-chunked, 2 = sharded, 3 =
+//     work-stealing);
+//   * BM_WavefrontWorkStealing {M, backend}: sharded (0) versus
+//     work-stealing (1) on a module whose per-point cost is skewed
+//     across each hyperplane -- the irregular-load case static stripes
+//     cannot balance (the steals counter records the rebalancing);
 //   * BM_WavefrontStreamingMemory: the streaming-memory axis on a
 //     consumer-heavy module -- the peak_bucket_instances counters prove
 //     the consumer stream's live set is bounded by one hyperplane, not
@@ -97,8 +102,10 @@ BENCHMARK(BM_WavefrontRunner)
 
 // args: {M, backend} with 0 = sequential (no pool), 1 = pooled-chunked
 // (dynamic chunk self-scheduling), 2 = sharded (static point stripes on
-// per-worker contexts). All three are bit-exact; the axis records what
-// the scheduling strategy itself costs or buys per hyperplane.
+// per-worker contexts), 3 = work-stealing (per-worker deques, idle
+// workers steal from the back of a victim's band). All four are
+// bit-exact; the axis records what the scheduling strategy itself
+// costs or buys per hyperplane.
 void BM_WavefrontBackend(benchmark::State& state) {
   auto result = compile_exact();
   const long m = state.range(0);
@@ -112,9 +119,13 @@ void BM_WavefrontBackend(benchmark::State& state) {
       opts.pool = &pool;
       opts.backend = ps::WavefrontBackend::PooledChunked;
       break;
-    default:
+    case 2:
       opts.pool = &pool;
       opts.backend = ps::WavefrontBackend::Sharded;
+      break;
+    default:
+      opts.pool = &pool;
+      opts.backend = ps::WavefrontBackend::WorkStealing;
       break;
   }
   for (auto _ : state) {
@@ -127,7 +138,65 @@ void BM_WavefrontBackend(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WavefrontBackend)
-    ->Args({96, 0})->Args({96, 1})->Args({96, 2})
+    ->Args({96, 0})->Args({96, 1})->Args({96, 2})->Args({96, 3})
+    ->Unit(benchmark::kMillisecond);
+
+/// Gauss-Seidel with skewed per-point cost: points above the diagonal
+/// take a two-term average while points on or below it evaluate a
+/// sixteen-term sum, so the expensive points cluster at one end of
+/// every hyperplane. Static stripes (Sharded) pin that cluster to a
+/// subset of the workers; the work-stealing deques rebalance it.
+constexpr const char* kIrregularSource = R"PS(
+Skewed: module (InitialA: array[I,J] of real; M: int; maxK: int):
+  [newA: array [I, J] of real];
+type
+  I, J = 0 .. M+1;  K = 2 .. maxK;
+var
+  A: array [1 .. maxK] of array [I, J] of real;
+define
+  A[1] = InitialA;
+  newA = A[maxK];
+  A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)
+             then A[K-1,I,J]
+             else if I < J
+             then ( A[K,I,J-1] + A[K-1,I,J+1] ) / 2
+             else ( A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J]
+                   +A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J]
+                   +A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J]
+                   +A[K,I,J-1] + A[K,I-1,J]
+                   +A[K-1,I,J+1] + A[K-1,I+1,J] ) / 16;
+end Skewed;
+)PS";
+
+// args: {M, backend} with 0 = sharded, 1 = work-stealing, on the
+// skewed-cost module above. The axis is the irregular-load case: the
+// steals counter records how many chunk bands moved between workers to
+// even out the diagonal cost cliff that static stripes cannot see.
+void BM_WavefrontWorkStealing(benchmark::State& state) {
+  auto result = compile_exact(kIrregularSource);
+  const long m = state.range(0);
+  ps::ThreadPool pool;
+  ps::WavefrontOptions opts;
+  opts.pool = &pool;
+  opts.backend = state.range(1) == 0 ? ps::WavefrontBackend::Sharded
+                                     : ps::WavefrontBackend::WorkStealing;
+  int64_t steals = 0;
+  for (auto _ : state) {
+    ps::WavefrontRunner wave(*result.transformed->module, *result.transform,
+                             *result.exact_nest,
+                             ps::IntEnv{{"M", m}, {"maxK", 16}}, {}, opts);
+    fill(wave.array("InitialA"), m);
+    wave.run();
+    steals = wave.stats().steals;
+    benchmark::DoNotOptimize(wave.stats().points);
+  }
+  state.counters["steals"] = benchmark::Counter(static_cast<double>(steals));
+}
+BENCHMARK(BM_WavefrontWorkStealing)
+    ->Args({96, 0})->Args({96, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// A consumer-heavy Gauss-Seidel: three output equations read the

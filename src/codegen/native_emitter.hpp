@@ -44,6 +44,26 @@ namespace ps {
 ///   // like EvalCore::set_scalar.
 ///   void psc_module(psc_arr* a, long* ints, double* reals, const long* P);
 ///
+///   // Parallel whole-module form (emitted when the flowchart has at
+///   // least one DOALL loop whose body only stores to arrays/records).
+///   // psc_module_par walks the flowchart exactly like psc_module, but
+///   // at each outermost such DOALL (site k) it calls the host's hook
+///   // with the enclosing DO-loop index values (`outer`, loop-stack
+///   // order) and the loop's trip count instead of running the loop.
+///   // The host then invokes psc_module_site once per worker: each
+///   // call rebinds the outer indices, recomputes the loop bounds and
+///   // runs the contiguous slice [lo + worker*n/nworkers,
+///   // lo + (worker+1)*n/nworkers) of the site's iterations (inner
+///   // loops sequential). The hook must not return before every worker
+///   // call completes -- the barrier that keeps flowchart order.
+///   typedef void (*psc_par_hook)(void* hook_ctx, long site,
+///                                const long* outer, long count);
+///   void psc_module_par(psc_arr* a, long* ints, double* reals,
+///                       const long* P, psc_par_hook hook, void* hook_ctx);
+///   void psc_module_site(psc_arr* a, long* ints, double* reals,
+///                        const long* P, long site, const long* outer,
+///                        long worker, long nworkers);
+///
 /// `a` is indexed by BcLayout array slot, `ints`/`reals` by scalar slot
 /// (both interpretations of every bound scalar, exactly like
 /// EvalCore::set_scalar), and `P` by NativeKernel::param_names order --
@@ -63,12 +83,32 @@ struct NativeKernel {
   std::vector<size_t> equations;
   bool has_stripe = false;
   bool has_module = false;
+  /// psc_module_par + psc_module_site were emitted (whole-module
+  /// kernels with at least one parallelisable DOALL site).
+  bool has_module_par = false;
 
   [[nodiscard]] static std::string equation_symbol(size_t id) {
     return "psc_eq_" + std::to_string(id);
   }
   [[nodiscard]] static const char* stripe_symbol() { return "psc_stripe"; }
   [[nodiscard]] static const char* module_symbol() { return "psc_module"; }
+  [[nodiscard]] static const char* module_par_symbol() {
+    return "psc_module_par";
+  }
+  [[nodiscard]] static const char* module_site_symbol() {
+    return "psc_module_site";
+  }
+};
+
+/// Emission knobs shared by both entry points.
+struct NativeEmitOptions {
+  /// When non-empty, innermost loops whose bodies are pure equation
+  /// stores get `#pragma <simd_pragma>` (e.g. "omp simd"). The caller
+  /// must have probed that the compile flags honour it
+  /// (native_engine_simd_enabled) -- an unhonoured pragma is ignored
+  /// noise, an honoured one vectorises independent iterations without
+  /// reassociation, so results stay bit-identical either way.
+  std::string simd_pragma;
 };
 
 /// Emit the native kernels of `module` against the dense slot `layout`
@@ -81,11 +121,10 @@ struct NativeKernel {
 /// emitter's fragment (whole-record values outside a field projection,
 /// unbounded nest levels); the caller treats that as a fallback to the
 /// bytecode tier.
-[[nodiscard]] NativeKernel emit_native_kernel(const CheckedModule& module,
-                                              const BcLayout& layout,
-                                              const LoopNestBounds* nest,
-                                              size_t recurrence,
-                                              const std::string& windowed_array);
+[[nodiscard]] NativeKernel emit_native_kernel(
+    const CheckedModule& module, const BcLayout& layout,
+    const LoopNestBounds* nest, size_t recurrence,
+    const std::string& windowed_array, const NativeEmitOptions& options = {});
 
 /// Emit the whole-module kernel for an interpreted (flowchart-ordered)
 /// run: `psc_module` walks `flowchart` exactly like the Interpreter --
@@ -98,10 +137,9 @@ struct NativeKernel {
 /// array is addressed at full extent (no windowing); callers using
 /// virtual windows must not take this path. Throws like
 /// emit_native_kernel for modules outside the fragment.
-[[nodiscard]] NativeKernel emit_native_module(const CheckedModule& module,
-                                              const BcLayout& layout,
-                                              const DepGraph& graph,
-                                              const Flowchart& flowchart,
-                                              const LoopNestBounds* exact_bounds);
+[[nodiscard]] NativeKernel emit_native_module(
+    const CheckedModule& module, const BcLayout& layout, const DepGraph& graph,
+    const Flowchart& flowchart, const LoopNestBounds* exact_bounds,
+    const NativeEmitOptions& options = {});
 
 }  // namespace ps

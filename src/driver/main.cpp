@@ -21,9 +21,19 @@
 //                       execution backend in effect
 //     --wavefront-backend=K  execution backend of the wavefront runtime
 //                       for transformed modules: auto (default), sequential,
-//                       pooled (chunk self-scheduling on the worker pool) or
+//                       pooled (chunk self-scheduling on the worker pool),
 //                       sharded (static point striping with per-worker
-//                       contexts); reported by --verbose
+//                       contexts) or stealing (per-worker chunk deques with
+//                       work stealing for irregular hyperplanes); reported
+//                       by --verbose
+//     --shards=N        worker count of the sharded/stealing backends
+//                       (default: the pool size). Must be 1..8x the
+//                       hardware concurrency -- out-of-range values are
+//                       errors, never silently clamped
+//     --native-threads=N  workers fanning the parallel native whole-module
+//                       kernel's DOALL sites (default: the pool size;
+//                       1 forces the single-threaded kernel). Same
+//                       validation as --shards
 //     --engine=K        runtime evaluator tier, uniform for both runners
 //                       (the flowchart interpreter and the wavefront
 //                       runner ride the same EngineHost ladder):
@@ -104,6 +114,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codegen/native_emitter.hpp"
@@ -178,16 +189,51 @@ void print_engine_report(const ps::CompiledModule& stage) {
             << '\n';
 }
 
+/// The machine's hardware concurrency with the standard's "0 = unknown"
+/// answer pinned to a usable default.
+size_t hardware_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<size_t>(hw);
+}
+
+/// --shards / --native-threads: an explicit worker count is validated,
+/// never silently clamped -- 0 and anything past 8x the hardware
+/// concurrency are configuration errors the user should see, not
+/// guesses the driver should paper over.
+bool validate_worker_count(const char* flag, size_t value) {
+  const size_t limit = hardware_workers() * 8;
+  if (value == 0) {
+    std::cerr << "psc: " << flag
+              << " must be at least 1 (omit the flag for the automatic "
+                 "worker count)\n";
+    return false;
+  }
+  if (value > limit) {
+    std::cerr << "psc: " << flag << "=" << value
+              << " exceeds 8x the hardware concurrency (" << limit
+              << " on this machine)\n";
+    return false;
+  }
+  return true;
+}
+
 /// --verbose: the wavefront execution backend a transformed module
 /// would run under (--wavefront-backend selects it; Auto resolves from
-/// whether the caller hands the runner a worker pool).
+/// whether the caller hands the runner a worker pool). `shards` is the
+/// validated --shards value (0 = automatic).
 void print_wavefront_backend_report(const ps::CompiledModule& stage,
-                                    ps::WavefrontBackend backend) {
+                                    ps::WavefrontBackend backend,
+                                    size_t shards) {
   std::cout << "-- wavefront backend [" << stage.module->name
             << "]: " << ps::wavefront_backend_name(backend);
   if (backend == ps::WavefrontBackend::Auto)
     std::cout << " (pooled with a worker pool, sequential without)";
-  std::cout << ", streaming consumer flushes, O(window) storage\n";
+  const size_t workers = backend == ps::WavefrontBackend::Sequential
+                             ? 1
+                             : (shards > 0 ? shards : hardware_workers());
+  std::cout << ", " << workers << " worker" << (workers == 1 ? "" : "s")
+            << (shards > 0 || workers == 1 ? "" : " (hardware concurrency)")
+            << ", streaming consumer flushes, O(window) storage\n";
 }
 
 /// --verbose with --engine=native: JIT the transformed module's kernels
@@ -267,7 +313,8 @@ void print_native_report(const ps::CompileResult& result,
 /// goes through the artifact cache.
 void print_native_module_report(const ps::CompiledModule& stage,
                                 const std::string& cache_dir,
-                                size_t cache_max_bytes) {
+                                size_t cache_max_bytes,
+                                size_t native_threads) {
   std::cout << "-- native engine [" << stage.module->name << "]: ";
   if (!ps::native_engine_available()) {
     std::cout << "unavailable: " << ps::native_engine_unavailable_reason()
@@ -297,7 +344,14 @@ void print_native_module_report(const ps::CompiledModule& stage,
     std::cout << "fallback: " << info.error << '\n';
     return;
   }
-  std::cout << "ok: whole-module kernel, ";
+  std::cout << "ok: whole-module kernel";
+  if (kernel.has_module_par) {
+    const size_t workers =
+        native_threads > 0 ? native_threads : hardware_workers();
+    std::cout << " + parallel form (" << workers << " worker"
+              << (workers == 1 ? "" : "s") << ")";
+  }
+  std::cout << ", ";
   if (info.in_process_hit)
     std::cout << "in-process cache hit";
   else if (info.cache_hit)
@@ -310,16 +364,19 @@ void print_native_module_report(const ps::CompiledModule& stage,
 void print_engine_reports(const ps::CompileResult& result,
                           ps::WavefrontBackend wavefront_backend,
                           ps::EvalEngine engine, const std::string& cache_dir,
-                          size_t cache_max_bytes) {
+                          size_t cache_max_bytes, size_t shards,
+                          size_t native_threads) {
   if (!result.primary) return;
   print_engine_report(*result.primary);
   if (engine == ps::EvalEngine::Native)
-    print_native_module_report(*result.primary, cache_dir, cache_max_bytes);
+    print_native_module_report(*result.primary, cache_dir, cache_max_bytes,
+                               native_threads);
   if (result.transformed) {
     print_engine_report(*result.transformed);
     if (engine == ps::EvalEngine::Native)
       print_native_report(result, cache_dir, cache_max_bytes);
-    print_wavefront_backend_report(*result.transformed, wavefront_backend);
+    print_wavefront_backend_report(*result.transformed, wavefront_backend,
+                                   shards);
   }
 }
 
@@ -480,6 +537,8 @@ int main(int argc, char** argv) {
   size_t max_queue = 16;  // daemon admission depth (Busy past this)
   size_t cache_ttl = 0;   // daemon janitor TTL in seconds (0 = off)
   size_t jobs = 1;
+  size_t shards = 0;          // --shards (0 = automatic worker count)
+  size_t native_threads = 0;  // --native-threads (0 = automatic)
   ps::WavefrontBackend wavefront_backend = ps::WavefrontBackend::Auto;
   ps::EvalEngine engine = ps::EvalEngine::Bytecode;
   std::vector<std::string> paths;
@@ -507,10 +566,25 @@ int main(int argc, char** argv) {
       auto parsed = ps::parse_wavefront_backend(arg.substr(20));
       if (!parsed) {
         std::cerr << "psc: unknown wavefront backend '" << arg.substr(20)
-                  << "' (use auto, sequential, pooled or sharded)\n";
+                  << "' (use auto, sequential, pooled, sharded or "
+                     "stealing)\n";
         return 2;
       }
       wavefront_backend = *parsed;
+    }
+    else if (arg.rfind("--shards=", 0) == 0) {
+      if (!parse_size(arg.substr(9), shards)) {
+        std::cerr << "psc: --shards needs a worker count\n";
+        return 2;
+      }
+      if (!validate_worker_count("--shards", shards)) return 2;
+    }
+    else if (arg.rfind("--native-threads=", 0) == 0) {
+      if (!parse_size(arg.substr(17), native_threads)) {
+        std::cerr << "psc: --native-threads needs a worker count\n";
+        return 2;
+      }
+      if (!validate_worker_count("--native-threads", native_threads)) return 2;
     }
     else if (arg.rfind("--engine=", 0) == 0) {
       auto parsed = ps::parse_eval_engine(arg.substr(9));
@@ -632,7 +706,8 @@ int main(int argc, char** argv) {
       std::cout << "usage: psc [--schedule|--components|--graph|--dot|--c|"
                    "--source] [--hyperplane] [--exact] [--merge] "
                    "[--no-windows] [--passes] [--time-passes] [--verbose] "
-                   "[--wavefront-backend=auto|sequential|pooled|sharded] "
+                   "[--wavefront-backend=auto|sequential|pooled|sharded|"
+                   "stealing] [--shards=N] [--native-threads=N] "
                    "[--engine=tree-walk|bytecode|native] "
                    "[-j N] [--batch-report] [--json] [--corpus] "
                    "[--cache-dir DIR] [--cache-max-bytes N] "
@@ -943,7 +1018,7 @@ int main(int argc, char** argv) {
     print_result(result, flags);
     if (verbose)
       print_engine_reports(result, wavefront_backend, engine, cache_dir,
-                           cache_max_bytes);
+                           cache_max_bytes, shards, native_threads);
     return 0;
   }
 
@@ -968,7 +1043,8 @@ int main(int argc, char** argv) {
       print_result(unit.result, flags);
       if (verbose)
         print_engine_reports(unit.result, wavefront_backend, engine,
-                             cache_dir, cache_max_bytes);
+                             cache_dir, cache_max_bytes, shards,
+                             native_threads);
     }
   }
   // The report already embeds the aggregate table; only print it here

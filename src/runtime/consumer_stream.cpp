@@ -188,6 +188,28 @@ ConsumerStream::ConsumerStream(const CheckedModule& module,
       consumer.forms.push_back(std::move(form));
     }
 
+    if (!consumer.empty_box && consumer.forms.size() > 1) {
+      // Pairwise read span: the slice distance between two reads of one
+      // instance is (form_j - form_k)(v), itself affine -- its box
+      // maximum bounds newest - oldest over the whole consumer.
+      // Single-form consumers read exactly one slice, span 0.
+      for (size_t j = 0; j < consumer.forms.size(); ++j) {
+        for (size_t k = 0; k < consumer.forms.size(); ++k) {
+          if (j == k) continue;
+          const Form& fj = consumer.forms[j];
+          const Form& fk = consumer.forms[k];
+          Rational diff_max = fj.c0 - fk.c0;
+          for (size_t d = 0; d < dims; ++d) {
+            Rational c = fj.coeffs[d] - fk.coeffs[d];
+            if (c.is_zero()) continue;
+            diff_max += std::max(c * Rational(consumer.lo[d]),
+                                 c * Rational(consumer.hi[d]));
+          }
+          max_read_span_ = std::max(max_read_span_, rat_floor(diff_max));
+        }
+      }
+    }
+
     if (!consumer.empty_box && !consumer.forms.empty()) {
       // Conservative hyperplane range: every instance's landing slice
       // t(v) = max_k form_k(v) satisfies

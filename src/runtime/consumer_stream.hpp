@@ -40,6 +40,14 @@ class ConsumerStream {
   [[nodiscard]] int64_t min_t() const { return min_t_; }
   [[nodiscard]] int64_t max_t() const { return max_t_; }
 
+  /// Upper bound on newest - oldest hyperplane slice any single consumer
+  /// instance reads: the box maximum, over every consumer and every
+  /// ordered pair of its forms, of the affine difference form_j - form_k.
+  /// The overlapped-flush gate compares this against window - 2: while
+  /// hyperplane t flushes, the recurrence writes slice t+1, which evicts
+  /// slice t+1-window -- reads back to t - (window-2) stay live.
+  [[nodiscard]] int64_t max_read_span() const { return max_read_span_; }
+
   /// Invoke `fn(equation_index, loop_vals)` for every instance landing
   /// on hyperplane `t`, in eager-bucket order; returns the instance
   /// count. Throws when an instance spans more hyperplane slices than
@@ -90,6 +98,7 @@ class ConsumerStream {
   std::vector<Consumer> consumers_;
   int64_t min_t_ = 0;
   int64_t max_t_ = -1;
+  int64_t max_read_span_ = 0;
 };
 
 }  // namespace ps

@@ -1,10 +1,12 @@
 #include "runtime/interpreter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <exception>
 #include <stdexcept>
 
 #include "codegen/native_emitter.hpp"
+#include "support/telemetry.hpp"
 
 namespace ps {
 
@@ -108,8 +110,12 @@ void Interpreter::select_engine() {
                    throw std::runtime_error(
                        "native: virtual windows need wrapped addressing "
                        "outside the whole-module kernel fragment");
+                 NativeEmitOptions emit_options;
+                 if (native_engine_simd_enabled())
+                   emit_options.simd_pragma = "omp simd";
                  return emit_native_module(module_, layout, graph_,
-                                           flowchart_, options_.exact_bounds);
+                                           flowchart_, options_.exact_bounds,
+                                           emit_options);
                });
 }
 
@@ -176,10 +182,58 @@ void Interpreter::run_native_module() {
   // One call executes the whole flowchart in the Interpreter's order;
   // the kernel writes arrays through the shared psc_arr descriptors
   // (pointing straight into arrays_) and scalar targets into the
-  // host's ints/reals vectors.
-  NativeModule::ModuleFn fn = host_.native_module()->module_entry();
-  fn(host_.native_arrays(), host_.native_ints(), host_.native_reals(),
-     host_.native_params());
+  // host's ints/reals vectors. When the kernel has a parallel form and
+  // a pool is available, psc_module_par hands each DOALL site back to
+  // the hook below, which fans psc_module_site slices across the pool
+  // (parallel_tasks is the barrier that keeps flowchart order); results
+  // are bit-identical because every instance computes the same
+  // expression, only partitioned differently.
+  const NativeModule& native = *host_.native_module();
+  const size_t workers = options_.native_threads > 0 ? options_.native_threads
+                         : options_.pool != nullptr  ? options_.pool->size()
+                                                     : 1;
+  if (native.module_par_entry() != nullptr && options_.pool != nullptr &&
+      options_.honor_doall && workers > 1) {
+    struct ParDispatch {
+      ThreadPool* pool;
+      int64_t workers;
+      NativeModule::ModuleSiteFn site;
+      PscArr* arrs;
+      int64_t* ints;
+      double* reals;
+      const int64_t* params;
+    } dispatch{options_.pool,
+               static_cast<int64_t>(workers),
+               native.module_site_entry(),
+               host_.native_arrays(),
+               host_.native_ints(),
+               host_.native_reals(),
+               host_.native_params()};
+    auto hook = [](void* ctx, int64_t site, const int64_t* outer,
+                   int64_t count) {
+      auto* d = static_cast<ParDispatch*>(ctx);
+      // Tiny sites are not worth a pool round trip; run them inline as
+      // the whole-iteration slice of a single worker.
+      if (count < 2 || d->workers < 2) {
+        d->site(d->arrs, d->ints, d->reals, d->params, site, outer, 0, 1);
+        return;
+      }
+      const int64_t w = std::min(d->workers, count);
+      d->pool->parallel_tasks(w, [&](int64_t i) {
+        d->site(d->arrs, d->ints, d->reals, d->params, site, outer, i, w);
+      });
+    };
+    TimedSpan span("native-parallel", "native");
+    native.module_par_entry()(dispatch.arrs, dispatch.ints, dispatch.reals,
+                              dispatch.params, hook, &dispatch);
+    MetricsRegistry::global()
+        .histogram("native.parallel_ms")
+        .record(span.finish_ms());
+  } else {
+    NativeModule::ModuleFn fn = native.module_entry();
+    fn(host_.native_arrays(), host_.native_ints(), host_.native_reals(),
+       host_.native_params());
+  }
 
   // Mirror the scalar-target results back into the scalar map so
   // scalar() observes the same values as the other tiers, typed by the

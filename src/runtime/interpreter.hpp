@@ -48,6 +48,11 @@ struct InterpreterOptions {
   /// the CompileService's ArtifactCache). nullptr compiles without
   /// persistence. Ignored unless engine == Native.
   NativeObjectStore* native_store = nullptr;
+  /// Workers fanning the parallel native whole-module kernel's DOALL
+  /// sites across `pool` (0 = the pool's lane count). 1 forces the
+  /// single-threaded psc_module even with a pool; ignored without a
+  /// pool or when the kernel has no parallel form.
+  size_t native_threads = 0;
 };
 
 /// Executes a scheduled PS module: walks the flowchart, running DO loops

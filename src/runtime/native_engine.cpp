@@ -93,6 +93,58 @@ bool probe_compiler_locked(const std::string& cmd) {
   return ok;
 }
 
+/// POSIX-shell single-quote (defined below, used by the simd probe).
+std::string shell_quote(const std::string& text);
+
+std::map<std::string, bool>& simd_probe_cache() {
+  static std::map<std::string, bool> cache;
+  return cache;
+}
+
+/// Does `cmd` honour -fopenmp-simd? Compile a one-pragma kernel with
+/// the flag under -Werror: an unknown flag (or an "unused argument"
+/// warning) fails the probe and the tier keeps the plain flag set.
+bool simd_enabled_locked(const std::string& cmd) {
+  auto it = simd_probe_cache().find(cmd);
+  if (it != simd_probe_cache().end()) return it->second;
+  bool ok = false;
+  std::error_code ec;
+  fs::path dir = fs::temp_directory_path(ec);
+  if (!ec) {
+    static std::atomic<uint64_t> probe_counter{0};
+    dir /= "psc_simd_probe_" + std::to_string(getpid()) + "_" +
+           std::to_string(probe_counter.fetch_add(1));
+    fs::create_directories(dir, ec);
+    if (!ec) {
+      fs::path src = dir / "probe.c";
+      fs::path so = dir / "probe.so";
+      std::ofstream f(src);
+      f << "void psc_probe(double* restrict d, long n) {\n"
+           "#pragma omp simd\n"
+           "  for (long i = 0; i < n; ++i) d[i] = d[i] + 1.0;\n"
+           "}\n";
+      f.close();
+      ok = std::system((cmd + " " + kCompileFlags +
+                        " -fopenmp-simd -Werror -o " +
+                        shell_quote(so.string()) + " " +
+                        shell_quote(src.string()) + " > /dev/null 2>&1")
+                           .c_str()) == 0;
+      fs::remove_all(dir, ec);
+    }
+  }
+  simd_probe_cache()[cmd] = ok;
+  return ok;
+}
+
+/// The flags kernels are actually compiled with: kCompileFlags plus
+/// -fopenmp-simd when the probe passes. Feeds both the invocation and
+/// the fingerprint, so turning the flag on rolls every cache key.
+std::string effective_flags_locked(const std::string& cmd) {
+  std::string flags = kCompileFlags;
+  if (simd_enabled_locked(cmd)) flags += " -fopenmp-simd";
+  return flags;
+}
+
 std::string fingerprint_locked(const std::string& cmd) {
   auto it = fingerprint_cache().find(cmd);
   if (it != fingerprint_cache().end()) return it->second;
@@ -106,7 +158,7 @@ std::string fingerprint_locked(const std::string& cmd) {
     }
     pclose(pipe);
   }
-  std::string fp = line + " | " + kCompileFlags;
+  std::string fp = line + " | " + effective_flags_locked(cmd);
   fingerprint_cache()[cmd] = fp;
   return fp;
 }
@@ -142,8 +194,9 @@ struct CompileOutput {
 };
 
 /// Run `cc` on the kernel source in a scratch directory; returns the
-/// object bytes (the scratch directory is always removed).
-CompileOutput compile_kernel(const std::string& cmd,
+/// object bytes (the scratch directory is always removed). `flags` is
+/// the effective flag set resolved under the state mutex by the caller.
+CompileOutput compile_kernel(const std::string& cmd, const std::string& flags,
                              const std::string& c_source) {
   static std::atomic<uint64_t> scratch_counter{0};
   CompileOutput out;
@@ -176,7 +229,7 @@ CompileOutput compile_kernel(const std::string& cmd,
   // TMPDIR or cache directory containing spaces or shell
   // metacharacters must not break the invocation -- it used to, and
   // the whole native tier silently demoted to bytecode.
-  std::string invocation = cmd + " " + kCompileFlags + " -o " +
+  std::string invocation = cmd + " " + flags + " -o " +
                            shell_quote(so.string()) + " " +
                            shell_quote(src.string()) + " -lm 2> " +
                            shell_quote(log.string());
@@ -238,6 +291,22 @@ class NativeModuleLoader {
           dlsym(handle, NativeKernel::module_symbol()));
       if (module->module_ == nullptr) {
         error = "missing symbol " + std::string(NativeKernel::module_symbol());
+        return nullptr;
+      }
+    }
+    if (kernel.has_module_par) {
+      module->module_par_ = reinterpret_cast<NativeModule::ModuleParFn>(
+          dlsym(handle, NativeKernel::module_par_symbol()));
+      if (module->module_par_ == nullptr) {
+        error = "missing symbol " +
+                std::string(NativeKernel::module_par_symbol());
+        return nullptr;
+      }
+      module->module_site_ = reinterpret_cast<NativeModule::ModuleSiteFn>(
+          dlsym(handle, NativeKernel::module_site_symbol()));
+      if (module->module_site_ == nullptr) {
+        error = "missing symbol " +
+                std::string(NativeKernel::module_site_symbol());
         return nullptr;
       }
     }
@@ -314,6 +383,16 @@ std::string native_cc_fingerprint() {
 #endif
 }
 
+bool native_engine_simd_enabled() {
+#if PS_NATIVE_ENGINE
+  if (!native_engine_available()) return false;
+  std::lock_guard lock(state_mutex());
+  return simd_enabled_locked(compiler_command());
+#else
+  return false;
+#endif
+}
+
 std::string native_kernel_key(const std::string& c_source) {
   return sha256_hex(std::string(kAbiTag) + "\n" + native_cc_fingerprint() +
                     "\n" + c_source);
@@ -368,9 +447,11 @@ std::shared_ptr<NativeModule> load_native_module(const NativeKernel& kernel,
   }
 
   std::string cmd;
+  std::string flags;
   {
     std::lock_guard lock(state_mutex());
     cmd = compiler_command();
+    flags = effective_flags_locked(cmd);
   }
 
   // 2. A shared object published by an earlier session.
@@ -391,7 +472,7 @@ std::shared_ptr<NativeModule> load_native_module(const NativeKernel& kernel,
   }
 
   // 3. Compile.
-  CompileOutput compiled = compile_kernel(cmd, kernel.c_source);
+  CompileOutput compiled = compile_kernel(cmd, flags, kernel.c_source);
   info.compile_ms = compiled.ms;
   if (!compiled.error.empty()) {
     info.error = compiled.error;

@@ -70,6 +70,15 @@ class NativeModule {
   /// Whole-module kernel (emit_native_module): ints/reals mutable so
   /// scalar-target equations update both interpretations mid-run.
   using ModuleFn = void (*)(PscArr*, int64_t*, double*, const int64_t*);
+  /// Parallel whole-module form: psc_module_par calls the hook at every
+  /// DOALL dispatch site (the hook runs psc_module_site once per worker
+  /// and must not return until all complete -- the barrier), site args
+  /// are {site id, enclosing DO indices, worker, nworkers}.
+  using ModuleParHookFn = void (*)(void*, int64_t, const int64_t*, int64_t);
+  using ModuleParFn = void (*)(PscArr*, int64_t*, double*, const int64_t*,
+                               ModuleParHookFn, void*);
+  using ModuleSiteFn = void (*)(PscArr*, int64_t*, double*, const int64_t*,
+                                int64_t, const int64_t*, int64_t, int64_t);
 
   ~NativeModule();
   NativeModule(const NativeModule&) = delete;
@@ -81,6 +90,8 @@ class NativeModule {
     return it == equations_.end() ? nullptr : it->second;
   }
   [[nodiscard]] ModuleFn module_entry() const { return module_; }
+  [[nodiscard]] ModuleParFn module_par_entry() const { return module_par_; }
+  [[nodiscard]] ModuleSiteFn module_site_entry() const { return module_site_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
@@ -92,6 +103,8 @@ class NativeModule {
   std::string path_;
   StripeFn stripe_ = nullptr;
   ModuleFn module_ = nullptr;
+  ModuleParFn module_par_ = nullptr;
+  ModuleSiteFn module_site_ = nullptr;
   std::map<size_t, EquationFn> equations_;
 };
 
@@ -103,10 +116,17 @@ class NativeModule {
 /// Human-readable reason when native_engine_available() is false.
 [[nodiscard]] std::string native_engine_unavailable_reason();
 
-/// First line of `cc --version` plus the compile flags -- part of the
-/// cache key, so a toolchain upgrade or flag change invalidates cached
-/// objects instead of loading stale code.
+/// First line of `cc --version` plus the effective compile flags --
+/// part of the cache key, so a toolchain upgrade or flag change
+/// (including the probed -fopenmp-simd) invalidates cached objects
+/// instead of loading stale code.
 [[nodiscard]] std::string native_cc_fingerprint();
+
+/// True when the compiler accepts -fopenmp-simd (probed once per
+/// compiler command, like the availability probe): kernels are then
+/// compiled with the flag and may carry "#pragma omp simd" on innermost
+/// DOALL loops (NativeEmitOptions::simd_pragma).
+[[nodiscard]] bool native_engine_simd_enabled();
 
 /// Content key of a kernel: SHA-256 over the ABI tag, the compiler
 /// fingerprint and the generated C.

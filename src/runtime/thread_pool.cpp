@@ -43,6 +43,7 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       batch = current_;
       batch->active.fetch_add(1, std::memory_order_relaxed);
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
     }
     work_on(*batch);
     if (batch->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -92,7 +93,15 @@ void ThreadPool::run_batch(int64_t begin, int64_t end, int64_t chunk,
     current_ = &batch;
     ++generation_;
   }
-  wake_.notify_all();
+  // Wake only as many workers as there are chunks beyond the one the
+  // caller claims itself; notify_all on a 2-chunk batch would stampede
+  // the whole pool through the mutex just to find the queue drained.
+  // A missed wake cannot strand work: the caller alone can drain the
+  // batch, and workers re-check the predicate before sleeping.
+  const int64_t chunks = (n + chunk - 1) / chunk;
+  const size_t wakes =
+      std::min(workers_.size(), static_cast<size_t>(chunks - 1));
+  for (size_t i = 0; i < wakes; ++i) wake_.notify_one();
 
   work_on(batch);
 
@@ -126,6 +135,9 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
 
 void ThreadPool::parallel_tasks(int64_t count,
                                 const std::function<void(int64_t)>& body) {
+  // Warm-service callers probe with empty task lists; bail before
+  // touching the pool at all rather than waking workers for nothing.
+  if (count <= 0) return;
   run_batch(0, count, 1, [&](int64_t from, int64_t to) {
     for (int64_t i = from; i < to; ++i) body(i);
   });

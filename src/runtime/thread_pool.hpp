@@ -50,6 +50,14 @@ class ThreadPool {
   /// A process-wide pool sized to the hardware.
   static ThreadPool& global();
 
+  /// Lifetime count of worker threads that woke up to join a batch.
+  /// Regression guard for the wake policy: dispatching a batch of k
+  /// chunks must wake at most min(workers, k - 1) workers, and an empty
+  /// batch must wake none.
+  [[nodiscard]] uint64_t worker_wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Batch {
     int64_t begin = 0;
@@ -73,6 +81,7 @@ class ThreadPool {
   uint64_t generation_ = 0;
   bool stopping_ = false;
   bool in_parallel_ = false;
+  std::atomic<uint64_t> wakeups_{0};
 };
 
 }  // namespace ps

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <exception>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "runtime/native_engine.hpp"
 #include "support/telemetry.hpp"
 
 namespace ps {
@@ -339,8 +343,12 @@ WavefrontRunner::WavefrontRunner(const CheckedModule& transformed,
   host_options.prefer_real_scalars = false;  // int_env binds first
   host_.select(module_, arrays_, int_env_, real_inputs_, host_options,
                [this](const BcLayout& layout) {
+                 NativeEmitOptions emit_options;
+                 if (native_engine_simd_enabled())
+                   emit_options.simd_pragma = "omp simd";
                  return emit_native_kernel(module_, layout, &nest_,
-                                           recurrence_, new_array_);
+                                           recurrence_, new_array_,
+                                           emit_options);
                });
   stats_.fallback_reason = host_.fallback_reason();
   stats_.native_compile_ms = host_.native_info().compile_ms;
@@ -472,14 +480,112 @@ void WavefrontRunner::execute_hyperplane(int64_t t) {
       [&](WorkerContext& ctx) { eval_equation_instance(rec, ctx.vals, ctx); });
 }
 
-void WavefrontRunner::flush_hyperplane(int64_t t) {
+void WavefrontRunner::flush_hyperplane(int64_t t, WorkerContext& ctx) {
   int64_t flushed = stream_->for_hyperplane(
       t, [&](size_t eq, const std::vector<int64_t>& vals) {
-        eval_equation_instance(module_.equations[eq], vals, main_ctx_);
+        eval_equation_instance(module_.equations[eq], vals, ctx);
       });
   stats_.flushed += flushed;
   stats_.peak_bucket_instances =
       std::max(stats_.peak_bucket_instances, flushed);
+}
+
+bool WavefrontRunner::overlap_safe() const {
+  if (!options_.overlap_flush || options_.pool == nullptr) return false;
+  if (consumers_.empty()) return false;
+  // While hyperplane t flushes, the backend writes slice t+1, evicting
+  // physical slice (t+1) mod window -- logical slice t+1-window. The
+  // flush reads back to t - max_read_span, so the span must stop short
+  // of the evicted slice: span <= window - 2. (A window of 1 or 2 never
+  // qualifies unless the span is 0 resp. 0 -- exactly right: with
+  // window 2 the flush of t may still read t-0 only.)
+  if (stream_->max_read_span() > window_ - 2) return false;
+  // The flush writes the consumer target arrays; the concurrently
+  // executing recurrence must not read (or define) any of them.
+  const CheckedEquation& rec = module_.equations[recurrence_];
+  for (size_t id : consumers_) {
+    const CheckedEquation& eq = module_.equations[id];
+    const std::string& target = module_.data[eq.target].name;
+    if (target == new_array_) return false;
+    for (const ArrayRefInfo& ref : rec.array_refs)
+      if (ref.array == target) return false;
+  }
+  return true;
+}
+
+void WavefrontRunner::run_hyperplanes_overlapped(int64_t t_lo, int64_t t_hi) {
+  // Depth-1 flush pipeline on a dedicated thread (NOT the options pool:
+  // the pool runs one batch at a time, and the backend needs it for the
+  // very hyperplane the flush overlaps). stats_.flushed / peak /
+  // overlapped_flushes are written only by the flush thread inside the
+  // loop; the join below publishes them back to the caller.
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t pending_t = 0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  bool stop = false;
+  std::exception_ptr flush_error;
+  WorkerContext flush_ctx;
+
+  std::thread flusher([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      cv.wait(lock, [&] { return submitted > completed || stop; });
+      if (submitted == completed) return;  // stop, nothing in flight
+      const int64_t t = pending_t;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        flush_hyperplane(t, flush_ctx);
+        ++stats_.overlapped_flushes;
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err != nullptr && flush_error == nullptr) flush_error = err;
+      ++completed;
+      cv.notify_all();
+    }
+  });
+  auto stop_flusher = [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    flusher.join();
+  };
+
+  try {
+    for (int64_t t = t_lo; t <= t_hi; ++t) {
+      TraceSpan plane_span("hyperplane", "wavefront");
+      plane_span.arg("t", t);
+      plane_span.arg("backend", stats_.backend);
+      int64_t points_before = stats_.points;
+      execute_hyperplane(t);
+      ++stats_.hyperplanes;
+      plane_span.arg("points", stats_.points - points_before);
+      // Hand the completed slice to the flush thread. Waiting for the
+      // previous flush first keeps the pipeline at depth 1 -- the
+      // barrier the window safety argument (overlap_safe) relies on.
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return completed == submitted; });
+      if (flush_error != nullptr) break;
+      pending_t = t;
+      ++submitted;
+      cv.notify_all();
+    }
+    // Drain the last in-flight flush before the stranded check reads
+    // the stream again from this thread.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == submitted; });
+  } catch (...) {
+    stop_flusher();
+    throw;
+  }
+  stop_flusher();
+  if (flush_error != nullptr) std::rethrow_exception(flush_error);
 }
 
 void WavefrontRunner::run() {
@@ -504,18 +610,23 @@ void WavefrontRunner::run() {
   // slices the recurrence never writes read zero-initialised storage,
   // matching the rectangular interpreter's zero fill).
   for (int64_t t = stream_->min_t(); t < t_lo && t <= stream_->max_t(); ++t)
-    flush_hyperplane(t);
-  for (int64_t t = t_lo; t <= t_hi; ++t) {
-    // Per-hyperplane spans are the hot path of the trace story -- with
-    // telemetry off this is one relaxed load per plane, nothing more.
-    TraceSpan plane_span("hyperplane", "wavefront");
-    plane_span.arg("t", t);
-    plane_span.arg("backend", stats_.backend);
-    int64_t points_before = stats_.points;
-    execute_hyperplane(t);
-    ++stats_.hyperplanes;
-    flush_hyperplane(t);  // unrotate: the slice is still live in the window
-    plane_span.arg("points", stats_.points - points_before);
+    flush_hyperplane(t, main_ctx_);
+  if (overlap_safe()) {
+    run_hyperplanes_overlapped(t_lo, t_hi);
+  } else {
+    for (int64_t t = t_lo; t <= t_hi; ++t) {
+      // Per-hyperplane spans are the hot path of the trace story -- with
+      // telemetry off this is one relaxed load per plane, nothing more.
+      TraceSpan plane_span("hyperplane", "wavefront");
+      plane_span.arg("t", t);
+      plane_span.arg("backend", stats_.backend);
+      int64_t points_before = stats_.points;
+      execute_hyperplane(t);
+      ++stats_.hyperplanes;
+      // Unrotate: the slice is still live in the window.
+      flush_hyperplane(t, main_ctx_);
+      plane_span.arg("points", stats_.points - points_before);
+    }
   }
   // Instances landing beyond the last hyperplane would be a bug in the
   // stream construction -- the image bounds cover every written slice.
@@ -525,12 +636,15 @@ void WavefrontRunner::run() {
     if (stranded > 0)
       fail("unflushed consumer instances remain after the last hyperplane");
   }
+  stats_.steals = backend_->steal_count();
   run_span.arg("hyperplanes", stats_.hyperplanes);
   run_span.arg("points", stats_.points);
   MetricsRegistry& metrics = MetricsRegistry::global();
   metrics.counter("wavefront.runs").add(1);
   metrics.counter("wavefront.hyperplanes").add(stats_.hyperplanes);
   metrics.counter("wavefront.points").add(stats_.points);
+  metrics.counter("wavefront.steals").add(stats_.steals);
+  metrics.counter("wavefront.overlapped_flushes").add(stats_.overlapped_flushes);
 }
 
 }  // namespace ps

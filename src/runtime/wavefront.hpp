@@ -54,6 +54,15 @@ struct WavefrontOptions {
   /// psc_stripe kernel (one call per contiguous range) instead of one
   /// indirect call per point. Off is the ablation axis of bench_native.
   bool native_stripes = true;
+  /// Double-buffer the consumer flush: a dedicated flush thread writes
+  /// the unrotate instances of hyperplane t while the backend executes
+  /// the points of t+1. Applied only when provably safe -- a pool is in
+  /// use, the widest consumer read span fits window - 2 slices (the
+  /// slice the recurrence writes next cannot evict anything the flush
+  /// still reads) and the recurrence reads none of the consumer target
+  /// arrays. Output is byte-exact either way; WavefrontStats::
+  /// overlapped_flushes reports how many flushes actually overlapped.
+  bool overlap_flush = true;
 };
 
 struct WavefrontStats {
@@ -66,6 +75,14 @@ struct WavefrontStats {
   /// stream keeps this per-hyperplane maximum instead, proving the
   /// O(window) storage story extends to the consumer side.
   int64_t peak_bucket_instances = 0;
+  /// Chunks executed by a worker other than their owner (WorkStealing
+  /// backend only; 0 for the static backends). The load-imbalance
+  /// signal: a regular hyperplane steals nothing, an irregular one
+  /// steals in proportion to the imbalance the static shards would eat.
+  int64_t steals = 0;
+  /// Consumer flushes that ran on the flush thread, overlapped with the
+  /// next hyperplane's point execution (WavefrontOptions::overlap_flush).
+  int64_t overlapped_flushes = 0;
   /// The execution backend in effect (ExecutionBackend::describe()).
   std::string backend;
   /// Why the runner is not on the requested engine tier; empty when the
@@ -187,7 +204,13 @@ class WavefrontRunner {
  private:
   void execute_pre_equations();
   void execute_hyperplane(int64_t t);
-  void flush_hyperplane(int64_t t);
+  void flush_hyperplane(int64_t t, WorkerContext& ctx);
+  /// True when the flush of hyperplane t may overlap the execution of
+  /// t+1 (see WavefrontOptions::overlap_flush). Requires stream_.
+  [[nodiscard]] bool overlap_safe() const;
+  /// The main hyperplane loop with the dedicated flush thread; assumes
+  /// overlap_safe(). Bit-exact with the sequential loop.
+  void run_hyperplanes_overlapped(int64_t t_lo, int64_t t_hi);
   void eval_equation_instance(const CheckedEquation& eq,
                               const std::vector<int64_t>& loop_vals,
                               WorkerContext& ctx);

@@ -292,6 +292,189 @@ class ShardedBackend final : public ExecutionBackend {
   std::vector<WorkerContext> contexts_;
 };
 
+/// Work stealing over point-range chunks. The hyperplane's [0, count)
+/// range is cut into chunks of ~count/(W*8) points; worker w initially
+/// owns the contiguous band [w*nchunks/W, (w+1)*nchunks/W). Each band
+/// is a tiny Chase-Lev-style deque packed into one atomic word
+/// ({head, tail} relative chunk indices): the owner claims from the
+/// front, idle workers claim from the back of a victim's band. Nothing
+/// is ever pushed after setup, so claims only move the two indices
+/// toward each other and a single CAS per claim is race-free (no ABA:
+/// indices are monotone within a hyperplane). Regular hyperplanes run
+/// like the sharded backend (everyone drains their own band, zero
+/// steals); irregular per-point costs rebalance through the steals.
+class WorkStealingBackend final : public ExecutionBackend {
+ public:
+  WorkStealingBackend(ThreadPool* pool, size_t workers)
+      : pool_(pool),
+        contexts_(workers > 0       ? workers
+                  : pool != nullptr ? pool->size()
+                                    : 1),
+        bands_(contexts_.size()) {}
+
+  std::string describe() const override {
+    return "work-stealing (" + std::to_string(contexts_.size()) +
+           " workers)";
+  }
+
+  int64_t run_hyperplane(const HyperplaneSchedule& schedule, int64_t t,
+                         const PointBody& body) override {
+    return run_all(schedule, t,
+                   [&](WorkerContext& ctx, int64_t from, int64_t to) {
+                     NestCursor cursor = schedule.cursor(t);
+                     if (!cursor.next()) return int64_t{0};
+                     if (from != 0 && cursor.skip(from) != from)
+                       return int64_t{0};
+                     return run_span(ctx, cursor, t, to - from, body);
+                   });
+  }
+
+  int64_t run_hyperplane_stripes(const HyperplaneSchedule& schedule, int64_t t,
+                                 const StripeBody& body) override {
+    return run_all(schedule, t,
+                   [&](WorkerContext& ctx, int64_t from, int64_t to) {
+                     int64_t done = body(ctx, from, to);
+                     ctx.points += done;
+                     return done;
+                   });
+  }
+
+  std::vector<int64_t> context_points() const override {
+    std::vector<int64_t> points;
+    points.reserve(contexts_.size());
+    for (const WorkerContext& ctx : contexts_) points.push_back(ctx.points);
+    return points;
+  }
+
+  void reset_counters() override {
+    for (WorkerContext& ctx : contexts_) ctx.points = 0;
+    steals_.store(0, std::memory_order_relaxed);
+  }
+
+  int64_t steal_count() const override {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One worker's chunk band: head (claimed by the owner) in the high
+  /// 32 bits, tail (claimed by thieves) in the low 32, both relative to
+  /// `base`. Padded so concurrent claims on neighbouring bands never
+  /// share a cache line.
+  struct alignas(64) Band {
+    std::atomic<uint64_t> state{0};
+    int64_t base = 0;
+  };
+
+  static bool claim_front(Band& band, int64_t* rel) {
+    uint64_t s = band.state.load(std::memory_order_acquire);
+    while (true) {
+      const uint32_t head = static_cast<uint32_t>(s >> 32);
+      const uint32_t tail = static_cast<uint32_t>(s);
+      if (head >= tail) return false;
+      const uint64_t next = (static_cast<uint64_t>(head + 1) << 32) | tail;
+      if (band.state.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        *rel = head;
+        return true;
+      }
+    }
+  }
+
+  static bool claim_back(Band& band, int64_t* rel) {
+    uint64_t s = band.state.load(std::memory_order_acquire);
+    while (true) {
+      const uint32_t head = static_cast<uint32_t>(s >> 32);
+      const uint32_t tail = static_cast<uint32_t>(s);
+      if (head >= tail) return false;
+      const uint64_t next = (static_cast<uint64_t>(head) << 32) | (tail - 1);
+      if (band.state.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        *rel = static_cast<int64_t>(tail) - 1;
+        return true;
+      }
+    }
+  }
+
+  template <typename ChunkFn>
+  int64_t run_all(const HyperplaneSchedule& schedule, int64_t t,
+                  const ChunkFn& chunk_fn) {
+    const int64_t count = schedule.count_points(t);
+    if (count <= 0) return 0;
+    const int64_t workers = static_cast<int64_t>(contexts_.size());
+    // ~8 chunks per worker so a cost skew of a few chunks still
+    // balances; the tail index must fit 32 bits, so clamp the chunk
+    // count on (absurdly) large hyperplanes.
+    constexpr int64_t kMaxChunks = int64_t{1} << 30;
+    const int64_t chunk =
+        std::max({int64_t{1}, count / (workers * 8),
+                  (count + kMaxChunks - 1) / kMaxChunks});
+    const int64_t nchunks = (count + chunk - 1) / chunk;
+    for (int64_t w = 0; w < workers; ++w) {
+      const int64_t lo = w * nchunks / workers;
+      const int64_t hi = (w + 1) * nchunks / workers;
+      bands_[static_cast<size_t>(w)].base = lo;
+      bands_[static_cast<size_t>(w)].state.store(
+          static_cast<uint64_t>(hi - lo), std::memory_order_relaxed);
+    }
+    const bool threaded = pool_ != nullptr && workers > 1 && count > 1;
+
+    std::atomic<int64_t> executed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto worker_fn = [&](int64_t w) {
+      WorkerContext& ctx = contexts_[static_cast<size_t>(w)];
+      int64_t done = 0;
+      int64_t stolen = 0;
+      auto run_chunk = [&](int64_t global) {
+        const int64_t from = global * chunk;
+        const int64_t to = std::min(count, from + chunk);
+        done += chunk_fn(ctx, from, to);
+      };
+      try {
+        int64_t rel = 0;
+        Band& own = bands_[static_cast<size_t>(w)];
+        while (claim_front(own, &rel)) run_chunk(own.base + rel);
+        // Inline (no pool) runs drain every band in turn through its
+        // owner above; stealing would just misattribute the counters.
+        if (threaded) {
+          bool found = true;
+          while (found) {
+            found = false;
+            for (int64_t v = 1; v < workers && !found; ++v) {
+              Band& victim =
+                  bands_[static_cast<size_t>((w + v) % workers)];
+              if (claim_back(victim, &rel)) {
+                ++stolen;
+                run_chunk(victim.base + rel);
+                found = true;  // rescan from the nearest victim
+              }
+            }
+          }
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      executed.fetch_add(done, std::memory_order_relaxed);
+      if (stolen > 0) steals_.fetch_add(stolen, std::memory_order_relaxed);
+    };
+    if (threaded) {
+      pool_->parallel_tasks(workers, worker_fn);
+    } else {
+      for (int64_t w = 0; w < workers; ++w) worker_fn(w);
+    }
+    if (error) std::rethrow_exception(error);
+    int64_t done = executed.load(std::memory_order_relaxed);
+    check_full_coverage(done, count);
+    return done;
+  }
+
+  ThreadPool* pool_;
+  std::vector<WorkerContext> contexts_;
+  std::vector<Band> bands_;
+  std::atomic<int64_t> steals_{0};
+};
+
 }  // namespace
 
 const char* wavefront_backend_name(WavefrontBackend backend) {
@@ -304,6 +487,8 @@ const char* wavefront_backend_name(WavefrontBackend backend) {
       return "pooled";
     case WavefrontBackend::Sharded:
       return "sharded";
+    case WavefrontBackend::WorkStealing:
+      return "stealing";
   }
   return "auto";
 }
@@ -314,6 +499,7 @@ std::optional<WavefrontBackend> parse_wavefront_backend(
   if (name == "sequential") return WavefrontBackend::Sequential;
   if (name == "pooled") return WavefrontBackend::PooledChunked;
   if (name == "sharded") return WavefrontBackend::Sharded;
+  if (name == "stealing") return WavefrontBackend::WorkStealing;
   return std::nullopt;
 }
 
@@ -329,6 +515,8 @@ std::unique_ptr<ExecutionBackend> make_wavefront_backend(
       return std::make_unique<PooledChunkedBackend>(pool);
     case WavefrontBackend::Sharded:
       return std::make_unique<ShardedBackend>(pool, shards);
+    case WavefrontBackend::WorkStealing:
+      return std::make_unique<WorkStealingBackend>(pool, shards);
     case WavefrontBackend::Auto:
       break;  // resolved above
   }

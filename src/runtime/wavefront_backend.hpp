@@ -31,12 +31,18 @@ enum class WavefrontBackend {
   /// on its own WorkerContext, giving each shard stable scratch (and a
   /// per-shard point counter) across the whole run.
   Sharded,
+  /// Work stealing: each worker owns a contiguous band of point-range
+  /// chunks in a per-worker deque; owners pop from the front, idle
+  /// workers steal from the back of a victim's deque. Irregular
+  /// per-point costs rebalance without the claiming traffic the pooled
+  /// backend pays on every chunk.
+  WorkStealing,
 };
 
 [[nodiscard]] const char* wavefront_backend_name(WavefrontBackend backend);
 
 /// Parse a --wavefront-backend= value ("auto", "sequential", "pooled",
-/// "sharded"); nullopt for anything else.
+/// "sharded", "stealing"); nullopt for anything else.
 [[nodiscard]] std::optional<WavefrontBackend> parse_wavefront_backend(
     std::string_view name);
 
@@ -98,12 +104,16 @@ class ExecutionBackend {
 
   /// Zero the per-context counters (the runner resets stats per run()).
   virtual void reset_counters() = 0;
+
+  /// Lifetime number of chunks executed by a context that did not own
+  /// them (work-stealing backend only; every other backend reports 0).
+  [[nodiscard]] virtual int64_t steal_count() const { return 0; }
 };
 
-/// Build the backend `kind` resolves to over `pool`. `shards` only
-/// affects the sharded backend (0 = the pool's worker count, or 1
-/// without a pool). Auto resolves to PooledChunked when `pool` is
-/// non-null and Sequential otherwise.
+/// Build the backend `kind` resolves to over `pool`. `shards` sizes
+/// the sharded and work-stealing backends (0 = the pool's worker
+/// count, or 1 without a pool). Auto resolves to PooledChunked when
+/// `pool` is non-null and Sequential otherwise.
 [[nodiscard]] std::unique_ptr<ExecutionBackend> make_wavefront_backend(
     WavefrontBackend kind, ThreadPool* pool, size_t shards);
 

@@ -540,6 +540,113 @@ inline bool expect_native_interpreter_agrees(const DiffCase& test_case) {
   return true;
 }
 
+/// The parallel native whole-module kernel: psc_module_par's DOALL
+/// sites fanned over a worker pool at several worker counts (the -j
+/// 1/2/8 ladder), each run bit-exact against the tree walk on every
+/// non-input value. Asserts the native tier actually engaged (empty
+/// fallback_reason) -- the parallel form must not silently demote the
+/// module. Returns false when no C compiler answers the probe.
+inline bool expect_parallel_native_interpreter_agrees(
+    const DiffCase& test_case) {
+  if (!native_engine_available()) return false;
+  auto result = compile_or_die(test_case.source, test_case.options);
+  const CompiledModule& stage = *result.primary;
+  auto tree = run_interpreter(stage, test_case, EvalEngine::TreeWalk);
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(workers);
+    InterpreterOptions options;
+    options.engine = EvalEngine::Native;
+    options.pool = &pool;
+    options.native_threads = workers;
+    Interpreter native(*stage.module, *stage.graph, stage.schedule.flowchart,
+                       test_case.int_inputs, test_case.real_inputs, options);
+    EXPECT_EQ(native.engine(), EvalEngine::Native)
+        << test_case.name << " fell back: " << native.fallback_reason();
+    EXPECT_TRUE(native.fallback_reason().empty())
+        << test_case.name << ": " << native.fallback_reason();
+    fill_interpreter_inputs(native, *stage.module, test_case.input_fill);
+    native.run();
+    EngineOutputs native_out =
+        collect_outputs(native, *stage.module, /*outputs_only=*/false);
+    expect_bitwise_equal(
+        tree, native_out,
+        test_case.name + "/parallel-native-j" + std::to_string(workers));
+  }
+  return true;
+}
+
+/// The work-stealing wavefront backend at several worker counts (1, 2
+/// and 8) against the sequential tree-walk reference: outputs and the
+/// points/hyperplanes/flushed counters must agree exactly, and the
+/// bytecode tier must be in effect with an empty fallback_reason.
+/// Returns false when the module has no hyperplane transform.
+inline bool expect_workstealing_wavefront_agrees(const DiffCase& test_case) {
+  CompileOptions options = test_case.options;
+  options.apply_hyperplane = true;
+  options.exact_bounds = true;
+  auto result = compile_or_die(test_case.source, options);
+  if (!result.transformed || !result.exact_nest) return false;
+
+  auto run_one = [&](const WavefrontOptions& opts) {
+    auto runner = std::make_unique<WavefrontRunner>(
+        *result.transformed->module, *result.transform, *result.exact_nest,
+        test_case.int_inputs, test_case.real_inputs, opts);
+    double (*fill)(size_t) =
+        test_case.input_fill != nullptr ? test_case.input_fill : input_value;
+    for (const DataItem& item : result.transformed->module->data) {
+      if (item.cls != DataClass::Input || item.is_scalar()) continue;
+      bool int_elems = item.elem != nullptr &&
+                       item.elem->scalar_kind() == TypeKind::Int;
+      auto span = runner->array(item.name).raw();
+      for (size_t i = 0; i < span.size(); ++i)
+        span[i] =
+            int_elems ? static_cast<double>(int_input_value(i)) : fill(i);
+    }
+    runner->run();
+    return runner;
+  };
+
+  WavefrontOptions reference_opts;
+  reference_opts.engine = EvalEngine::TreeWalk;
+  auto reference = run_one(reference_opts);
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(workers);
+    WavefrontOptions opts;
+    opts.pool = &pool;
+    opts.backend = WavefrontBackend::WorkStealing;
+    opts.shards = workers;
+    auto stealing = run_one(opts);
+    const std::string label = test_case.name + "/stealing-j" +
+                              std::to_string(workers);
+    EXPECT_EQ(stealing->engine(), EvalEngine::Bytecode)
+        << label << " fell back: " << stealing->fallback_reason();
+    EXPECT_TRUE(stealing->fallback_reason().empty())
+        << label << ": " << stealing->fallback_reason();
+    EXPECT_EQ(reference->stats().points, stealing->stats().points) << label;
+    EXPECT_EQ(reference->stats().hyperplanes, stealing->stats().hyperplanes)
+        << label;
+    EXPECT_EQ(reference->stats().flushed, stealing->stats().flushed) << label;
+    for (const DataItem& item : result.transformed->module->data) {
+      if (item.cls != DataClass::Output || item.is_scalar()) continue;
+      auto expected = reference->array(item.name).raw();
+      auto got = stealing->array(item.name).raw();
+      EXPECT_EQ(expected.size(), got.size()) << label << " " << item.name;
+      if (expected.size() != got.size()) continue;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(expected[i]),
+                  std::bit_cast<uint64_t>(got[i]))
+            << label << " " << item.name << "[" << i << "]";
+        if (std::bit_cast<uint64_t>(expected[i]) !=
+            std::bit_cast<uint64_t>(got[i]))
+          break;
+      }
+    }
+  }
+  return true;
+}
+
 /// The wavefront cross-check as a reusable fixture: compile with the
 /// hyperplane + exact-bounds pipeline and, when the module transforms,
 /// run the WavefrontRunner under every evaluator tier -- tree-walk,

@@ -256,6 +256,43 @@ TEST_P(Differential, NativeModuleKernelMatchesOtherTiers) {
     GTEST_SKIP() << "no system C compiler for the native tier";
 }
 
+/// The parallel native whole-module kernel (psc_module_par's DOALL
+/// sites fanned over a worker pool) at -j 1, 2 and 8: every leg must
+/// stay on the native tier (empty fallback_reason) and reproduce the
+/// tree walk bit for bit -- slicing a DOALL across workers must not
+/// change which cell any instance writes or the order of operations
+/// within one instance.
+TEST_P(Differential, ParallelNativeModuleKernelMatchesTreeWalk) {
+  DiffCase test_case = GetParam();
+  if (!testutil::expect_parallel_native_interpreter_agrees(test_case))
+    GTEST_SKIP() << "no system C compiler for the native tier";
+}
+
+/// The work-stealing wavefront backend at 1, 2 and 8 workers against
+/// the sequential tree-walk reference: dynamic chunk migration between
+/// workers must be invisible in the outputs and the counters.
+TEST_P(Differential, WorkStealingWavefrontMatchesTreeWalk) {
+  DiffCase test_case = GetParam();
+  if (!testutil::expect_workstealing_wavefront_agrees(test_case))
+    GTEST_SKIP() << test_case.name << " has no hyperplane transform";
+}
+
+/// The two parallel paths under fuzzed input shapes: random extents
+/// through the parallel native kernel and the work-stealing backend,
+/// still bit-exact against the tree walk at every worker count.
+TEST_P(Differential, FuzzedShapesAgreeOnParallelPaths) {
+  DiffCase base = GetParam();
+  uint64_t seed = 0x6a09e667u;
+  for (char c : base.name) seed = seed * 131 + static_cast<uint64_t>(c);
+  for (const DiffCase& fuzzed :
+       testutil::fuzz_int_env_cases(base, /*count=*/2, seed)) {
+    if (!testutil::expect_parallel_native_interpreter_agrees(fuzzed))
+      GTEST_SKIP() << "no system C compiler for the native tier";
+    testutil::expect_workstealing_wavefront_agrees(fuzzed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
 /// The native module kernel under fuzzed input shapes and IEEE
 /// edge-value array contents: the JIT'd C must reproduce the
 /// interpreters' arithmetic bit for bit across random extents,

@@ -105,6 +105,51 @@ TEST(ThreadPool, RapidSmallBatchesNeverLoseCompletionWakeups) {
   EXPECT_EQ(total.load(), 60000);
 }
 
+TEST(ThreadPool, EmptyTaskListWakesNoWorkers) {
+  // Regression guard: warm-service callers probe with empty task lists;
+  // parallel_tasks must bail before touching the pool instead of waking
+  // workers (or flipping in_parallel_) for nothing.
+  ThreadPool pool(4);
+  const uint64_t before = pool.worker_wakeups();
+  std::atomic<int> count{0};
+  pool.parallel_tasks(0, [&](int64_t) { ++count; });
+  pool.parallel_tasks(-3, [&](int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(pool.worker_wakeups(), before);
+}
+
+TEST(ThreadPool, SingleTaskRunsInlineWithoutWakeups) {
+  ThreadPool pool(4);
+  const uint64_t before = pool.worker_wakeups();
+  std::atomic<int> count{0};
+  pool.parallel_tasks(1, [&](int64_t i) {
+    EXPECT_EQ(i, 0);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(pool.worker_wakeups(), before);
+}
+
+TEST(ThreadPool, WakesAtMostChunksMinusOneWorkers) {
+  // The wake policy: a batch of k chunks wakes at most min(workers,
+  // k - 1) workers (the caller claims one chunk itself). The counter is
+  // cumulative, so the bound is asserted over the whole sequence --
+  // individual batches may hand a stale notify to the next batch, but
+  // the total can never exceed the total notifies issued.
+  ThreadPool pool(4);  // 3 workers
+  const uint64_t before = pool.worker_wakeups();
+  std::atomic<int64_t> total{0};
+  const int rounds = 50;
+  for (int round = 0; round < rounds; ++round)
+    pool.parallel_tasks(2, [&](int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 2 * rounds);
+  // Two chunks per batch: at most one wake each, never the whole pool.
+  EXPECT_LE(pool.worker_wakeups() - before,
+            static_cast<uint64_t>(rounds));
+}
+
 TEST(ThreadPool, GlobalPoolSingleton) {
   ThreadPool& a = ThreadPool::global();
   ThreadPool& b = ThreadPool::global();

@@ -66,7 +66,8 @@ void expect_bit_identical(const NdArray& a, const NdArray& b, int64_t m,
 TEST(WavefrontBackendOptions, NamesRoundTripAndRejectUnknown) {
   for (WavefrontBackend backend :
        {WavefrontBackend::Auto, WavefrontBackend::Sequential,
-        WavefrontBackend::PooledChunked, WavefrontBackend::Sharded}) {
+        WavefrontBackend::PooledChunked, WavefrontBackend::Sharded,
+        WavefrontBackend::WorkStealing}) {
     auto parsed = parse_wavefront_backend(wavefront_backend_name(backend));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, backend);
@@ -98,6 +99,14 @@ TEST(WavefrontBackend, AutoResolvesFromThePool) {
                                *result.transform, *result.exact_nest,
                                IntEnv{{"M", 4}, {"maxK", 3}}, {}, sharded);
   EXPECT_EQ(shard_runner.backend_description(), "sharded (2 shards)");
+
+  WavefrontOptions stealing;
+  stealing.pool = &pool;
+  stealing.backend = WavefrontBackend::WorkStealing;
+  WavefrontRunner steal_runner(*result.transformed->module,
+                               *result.transform, *result.exact_nest,
+                               IntEnv{{"M", 4}, {"maxK", 3}}, {}, stealing);
+  EXPECT_EQ(steal_runner.backend_description(), "work-stealing (3 workers)");
 }
 
 TEST(WavefrontBackend, ShardedIsBitExactAtOneTwoAndEightShards) {
@@ -180,6 +189,115 @@ TEST(WavefrontBackend, ShardCountersAccountEveryPoint) {
   for (int64_t points : per_shard) EXPECT_GT(points, 0);
 }
 
+TEST(WavefrontBackend, WorkStealingIsBitExactAtOneTwoAndEightWorkers) {
+  auto result = compile_exact_gs();
+  const int64_t m = 11;
+  const int64_t sweeps = 6;
+  WavefrontStats reference_stats;
+  NdArray reference = run_newA(result, m, sweeps, {}, &reference_stats);
+
+  ThreadPool pool(4);
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    WavefrontOptions options;
+    options.pool = &pool;
+    options.backend = WavefrontBackend::WorkStealing;
+    options.shards = workers;
+    WavefrontStats stats;
+    NdArray stolen = run_newA(result, m, sweeps, options, &stats);
+    expect_bit_identical(reference, stolen, m,
+                         "stealing workers=" + std::to_string(workers));
+    EXPECT_EQ(stats.points, reference_stats.points);
+    EXPECT_EQ(stats.hyperplanes, reference_stats.hyperplanes);
+    EXPECT_EQ(stats.flushed, reference_stats.flushed);
+    EXPECT_EQ(stats.backend, "work-stealing (" + std::to_string(workers) +
+                                 " workers)");
+    EXPECT_GE(stats.steals, 0);
+  }
+}
+
+TEST(WavefrontBackend, WorkStealingCountersAccountEveryPoint) {
+  auto result = compile_exact_gs();
+  const int64_t m = 9;
+  const int64_t sweeps = 5;
+  ThreadPool pool(4);
+  WavefrontOptions options;
+  options.pool = &pool;
+  options.backend = WavefrontBackend::WorkStealing;
+  options.shards = 4;
+  WavefrontRunner runner(*result.transformed->module, *result.transform,
+                         *result.exact_nest,
+                         IntEnv{{"M", m}, {"maxK", sweeps}}, {}, options);
+  fill_input(runner.array("InitialA"), m);
+  runner.run();
+  std::vector<int64_t> per_worker = runner.context_points();
+  ASSERT_EQ(per_worker.size(), 4u);
+  // Stealing migrates chunks between workers, but every point executes
+  // exactly once -- the per-context counters must still account for all
+  // of them.
+  EXPECT_EQ(std::accumulate(per_worker.begin(), per_worker.end(), int64_t{0}),
+            runner.stats().points);
+}
+
+TEST(WavefrontBackend, WorkStealingWithoutAPoolRunsInlineWithoutSteals) {
+  auto result = compile_exact_gs();
+  const int64_t m = 6;
+  const int64_t sweeps = 4;
+  NdArray reference = run_newA(result, m, sweeps, {});
+  WavefrontOptions options;
+  options.backend = WavefrontBackend::WorkStealing;  // no pool: one worker
+  WavefrontStats stats;
+  NdArray stolen = run_newA(result, m, sweeps, options, &stats);
+  expect_bit_identical(reference, stolen, m, "poolless stealing");
+  EXPECT_EQ(stats.steals, 0);
+}
+
+/// The overlapped consumer flush: with a pool and a window that leaves
+/// headroom (gauss-seidel's consumer reads exactly one slice), the
+/// flush of hyperplane t runs on the flush thread while t+1 executes --
+/// observable through stats().overlapped_flushes -- and the outputs are
+/// byte-identical to the strictly sequential interleaving.
+TEST(WavefrontBackend, OverlappedFlushIsBitExactAndObservable) {
+  auto result = compile_exact_gs();
+  const int64_t m = 10;
+  const int64_t sweeps = 5;
+
+  WavefrontOptions plain;
+  plain.overlap_flush = false;
+  WavefrontStats plain_stats;
+  NdArray reference = run_newA(result, m, sweeps, plain, &plain_stats);
+  EXPECT_EQ(plain_stats.overlapped_flushes, 0);
+
+  ThreadPool pool(3);
+  for (WavefrontBackend backend :
+       {WavefrontBackend::PooledChunked, WavefrontBackend::Sharded,
+        WavefrontBackend::WorkStealing}) {
+    WavefrontOptions options;
+    options.pool = &pool;
+    options.backend = backend;
+    WavefrontStats stats;
+    NdArray overlapped = run_newA(result, m, sweeps, options, &stats);
+    expect_bit_identical(reference, overlapped, m,
+                         std::string("overlap ") +
+                             wavefront_backend_name(backend));
+    EXPECT_EQ(stats.flushed, plain_stats.flushed);
+    EXPECT_EQ(stats.peak_bucket_instances, plain_stats.peak_bucket_instances);
+    // Every main-loop flush overlapped (the pre-loop flushes, if any,
+    // stay on the main thread and are not counted).
+    EXPECT_GT(stats.overlapped_flushes, 0);
+    EXPECT_LE(stats.overlapped_flushes, stats.hyperplanes);
+  }
+
+  // Opting out must fully disable the flush thread even with a pool.
+  WavefrontOptions opt_out;
+  opt_out.pool = &pool;
+  opt_out.overlap_flush = false;
+  WavefrontStats opt_out_stats;
+  NdArray sequential_flush = run_newA(result, m, sweeps, opt_out,
+                                      &opt_out_stats);
+  expect_bit_identical(reference, sequential_flush, m, "overlap opt-out");
+  EXPECT_EQ(opt_out_stats.overlapped_flushes, 0);
+}
+
 /// Two runners executing concurrently on separate threads, each with
 /// its own pool and sharded contexts, must produce exactly what each
 /// produces alone. Under the old thread_local VarFrame/scratch in
@@ -216,7 +334,10 @@ TEST(WavefrontBackend, TwoConcurrentRunnersDoNotAliasState) {
 
   // Concurrent phase: both runners live at once, on their own threads
   // (and pools), repeatedly -- any shared mutable scratch between the
-  // two engines would corrupt one of the outputs.
+  // two engines would corrupt one of the outputs. Alternating the
+  // gauss-seidel backend extends the isolation contract to the
+  // work-stealing deques (their Bands are per-run state, nothing
+  // process-global to alias).
   for (int round = 0; round < 3; ++round) {
     NdArray gs_out;
     NdArray heat_out;
@@ -224,7 +345,8 @@ TEST(WavefrontBackend, TwoConcurrentRunnersDoNotAliasState) {
       ThreadPool pool(3);
       WavefrontOptions options;
       options.pool = &pool;
-      options.backend = WavefrontBackend::Sharded;
+      options.backend = round % 2 == 0 ? WavefrontBackend::Sharded
+                                       : WavefrontBackend::WorkStealing;
       options.shards = 3;
       gs_out = run_newA(gs, m, sweeps, options);
     });
